@@ -1,0 +1,57 @@
+//! Experiment regenerators under `cargo bench`: runs each of E1–E8 in a
+//! bench-sized configuration and prints its table once, so a single
+//! `cargo bench --workspace` regenerates every figure/table alongside
+//! the kernel measurements. Full-scale runs live in the `expt_*`
+//! binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_all_tables() {
+    PRINT_ONCE.call_once(|| {
+        println!("\n================ paper tables/figures (bench-sized) ================\n");
+        let rows = gm_bench::fig12();
+        gm_bench::print_fig12(&rows);
+        println!();
+        let series = gm_bench::fig13(24);
+        gm_bench::print_fig13(&series);
+        println!();
+        let series = gm_bench::fig14(24);
+        gm_bench::print_fig14(&series);
+        println!();
+        let rows = gm_bench::table1();
+        gm_bench::print_table1(&rows);
+        println!();
+        let r = gm_bench::fig15("b12_lite", 200);
+        gm_bench::print_fig15(&r);
+        println!();
+        let (total, rows) = gm_bench::table2();
+        gm_bench::print_table2(total, &rows);
+        println!();
+        let rows = gm_bench::fig16(&[("b01", 85), ("b02", 50), ("b09", 500)]);
+        gm_bench::print_fig16(&rows);
+        println!();
+        let rows = gm_bench::table3(500);
+        gm_bench::print_table3(&rows);
+        println!("\n====================================================================\n");
+    });
+}
+
+fn bench_experiments(c: &mut Criterion) {
+    print_all_tables();
+    // Measure the two headline experiments end to end.
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("e1_fig12_arbiter_closure", |b| {
+        b.iter(gm_bench::fig12);
+    });
+    g.bench_function("e4_table1_zero_seed", |b| {
+        b.iter(gm_bench::table1);
+    });
+    g.finish();
+}
+
+criterion_group!(experiments, bench_experiments);
+criterion_main!(experiments);

@@ -1,0 +1,241 @@
+//! Criterion kernels: the per-component costs behind the refinement loop
+//! (the paper's §7 runtime discussion — formal checks at ~1.5 s each on
+//! 2010 hardware dominate; these benches show where our time goes).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gm_mc::{
+    blast, bmc, k_induction, BitAtom, Checker, ExplicitLimits, ReachableStates, WindowProperty,
+};
+use gm_mine::{Dataset, DecisionTree, MiningSpec};
+use gm_rtl::{cone_of, elaborate, parse_verilog};
+use gm_sat::{Solver, Var};
+use gm_sim::{collect_vectors, NopObserver, RandomStimulus, Simulator, TestSuite};
+use goldmine::{Engine, EngineConfig, TargetSelection};
+
+fn bench_simulation(c: &mut Criterion) {
+    let module = gm_designs::b12_lite();
+    let vectors = collect_vectors(&mut RandomStimulus::new(&module, 3, 1000));
+    c.bench_function("sim/b12_lite_1000_cycles", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&module).unwrap();
+            sim.run_vectors(&vectors, &mut NopObserver)
+        });
+    });
+
+    let mut suite = TestSuite::new();
+    suite.push("r", vectors);
+    c.bench_function("sim/b12_lite_1000_cycles_with_coverage", |b| {
+        b.iter(|| {
+            let mut cov = gm_coverage::CoverageSuite::new(&module);
+            suite.run(&module, &mut cov).unwrap();
+            cov.report()
+        });
+    });
+}
+
+fn bench_parse_blast(c: &mut Criterion) {
+    c.bench_function("rtl/parse_b17_lite", |b| {
+        b.iter(|| parse_verilog(gm_designs::sources::B17_LITE).unwrap());
+    });
+    let module = gm_designs::b17_lite();
+    let elab = elaborate(&module).unwrap();
+    c.bench_function("mc/blast_b17_lite", |b| {
+        b.iter(|| blast(&module, &elab).unwrap());
+    });
+}
+
+fn bench_sat(c: &mut Criterion) {
+    // PHP(7,6): a hard UNSAT instance exercising clause learning.
+    c.bench_function("sat/pigeonhole_7_6", |b| {
+        b.iter_batched(
+            || {
+                let mut s = Solver::new();
+                let n = 6;
+                let p: Vec<Vec<Var>> = (0..=n)
+                    .map(|_| (0..n).map(|_| s.new_var()).collect())
+                    .collect();
+                for row in &p {
+                    let c: Vec<_> = row.iter().map(|v| v.positive()).collect();
+                    s.add_clause(&c);
+                }
+                for j in 0..n {
+                    for i1 in 0..=n {
+                        for i2 in (i1 + 1)..=n {
+                            s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                        }
+                    }
+                }
+                s
+            },
+            |mut s| s.solve(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_model_checking(c: &mut Criterion) {
+    let module = gm_designs::arbiter2();
+    let elab = elaborate(&module).unwrap();
+    let blasted = blast(&module, &elab).unwrap();
+    let req0 = module.require("req0").unwrap();
+    let gnt0 = module.require("gnt0").unwrap();
+    // The paper's A2 (true) and A0 (false).
+    let a2 = WindowProperty {
+        antecedent: vec![
+            BitAtom::new(req0, 0, 0, false),
+            BitAtom::new(req0, 0, 1, false),
+        ],
+        consequent: BitAtom::new(gnt0, 0, 2, false),
+    };
+    let a0 = WindowProperty {
+        antecedent: vec![BitAtom::new(req0, 0, 0, false)],
+        consequent: BitAtom::new(gnt0, 0, 1, true),
+    };
+    c.bench_function("mc/explicit_reach_arbiter2", |b| {
+        b.iter(|| ReachableStates::explore(&blasted, &ExplicitLimits::default()).unwrap());
+    });
+    c.bench_function("mc/k_induction_prove_a2", |b| {
+        b.iter(|| k_induction(&module, &blasted, &a2, 8));
+    });
+    c.bench_function("mc/bmc_refute_a0", |b| {
+        b.iter(|| bmc(&module, &blasted, &a0, 8));
+    });
+    c.bench_function("mc/checker_amortized_both", |b| {
+        b.iter_batched(
+            || Checker::new(&module).unwrap(),
+            |mut ch| {
+                let r1 = ch.check(&a2).unwrap();
+                let r2 = ch.check(&a0).unwrap();
+                (r1, r2)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let module = gm_designs::arbiter4();
+    let elab = elaborate(&module).unwrap();
+    let gnt0 = module.require("gnt0").unwrap();
+    let cone = cone_of(&module, &elab, gnt0);
+    let spec = MiningSpec::for_output(&module, &elab, &cone, 0, 1);
+    let mut suite = TestSuite::new();
+    suite.push(
+        "r",
+        collect_vectors(&mut RandomStimulus::new(&module, 5, 2000)),
+    );
+    let traces = suite.run(&module, &mut NopObserver).unwrap();
+    c.bench_function("mine/tree_fit_arbiter4_2000_rows", |b| {
+        b.iter(|| {
+            let mut ds = Dataset::new();
+            ds.add_traces(&spec, &traces);
+            let mut tree = DecisionTree::new(&spec);
+            tree.fit(&ds).unwrap();
+            tree.node_count()
+        });
+    });
+}
+
+fn bench_full_loop(c: &mut Criterion) {
+    let module = gm_designs::arbiter2();
+    let gnt0 = module.require("gnt0").unwrap();
+    c.bench_function("engine/arbiter2_full_closure", |b| {
+        b.iter(|| {
+            let config = EngineConfig {
+                targets: TargetSelection::Bits(vec![(gnt0, 0)]),
+                record_coverage: false,
+                ..EngineConfig::default()
+            };
+            Engine::new(&module, config).unwrap().run().unwrap()
+        });
+    });
+}
+
+/// Ablation: incremental tree updates vs rebuilding from scratch on
+/// every counterexample (the design choice §3 motivates).
+fn bench_ablation_incremental(c: &mut Criterion) {
+    let module = gm_designs::arbiter4();
+    let elab = elaborate(&module).unwrap();
+    let gnt0 = module.require("gnt0").unwrap();
+    let cone = cone_of(&module, &elab, gnt0);
+    let spec = MiningSpec::for_output(&module, &elab, &cone, 0, 1);
+    let mut suite = TestSuite::new();
+    suite.push(
+        "seed",
+        collect_vectors(&mut RandomStimulus::new(&module, 5, 500)),
+    );
+    for i in 0..20 {
+        suite.push(
+            format!("extra-{i}"),
+            collect_vectors(&mut RandomStimulus::new(&module, 100 + i, 5)),
+        );
+    }
+    let traces = suite.run(&module, &mut NopObserver).unwrap();
+
+    c.bench_function("ablation/incremental_tree_updates", |b| {
+        b.iter(|| {
+            let mut ds = Dataset::new();
+            ds.add_trace(&spec, &traces[0]);
+            let mut tree = DecisionTree::new(&spec);
+            tree.fit(&ds).unwrap();
+            for t in &traces[1..] {
+                let rows = ds.add_trace(&spec, t);
+                tree.add_rows(&ds, &rows).unwrap();
+            }
+            tree.node_count()
+        });
+    });
+    c.bench_function("ablation/rebuild_tree_each_time", |b| {
+        b.iter(|| {
+            let mut ds = Dataset::new();
+            ds.add_trace(&spec, &traces[0]);
+            let mut tree = DecisionTree::new(&spec);
+            tree.fit(&ds).unwrap();
+            let mut last = tree.node_count();
+            for t in &traces[1..] {
+                ds.add_trace(&spec, t);
+                let mut tree = DecisionTree::new(&spec);
+                tree.fit(&ds).unwrap();
+                last = tree.node_count();
+            }
+            last
+        });
+    });
+}
+
+/// Ablation: explicit-state vs SAT backends on the same mining load.
+fn bench_ablation_backends(c: &mut Criterion) {
+    let module = gm_designs::arbiter2();
+    let outp = module.require("gnt0").unwrap();
+    for (label, backend) in [
+        ("explicit", gm_mc::Backend::Auto),
+        ("k_induction", gm_mc::Backend::KInduction { max_k: 8 }),
+    ] {
+        c.bench_function(&format!("ablation/backend_{label}_arbiter2"), |b| {
+            b.iter(|| {
+                let config = EngineConfig {
+                    targets: TargetSelection::Bits(vec![(outp, 0)]),
+                    backend,
+                    record_coverage: false,
+                    max_iterations: 16,
+                    ..EngineConfig::default()
+                };
+                Engine::new(&module, config).unwrap().run().unwrap()
+            });
+        });
+    }
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulation,
+        bench_parse_blast,
+        bench_sat,
+        bench_model_checking,
+        bench_mining,
+        bench_full_loop,
+        bench_ablation_incremental,
+        bench_ablation_backends
+);
+criterion_main!(kernels);

@@ -1,0 +1,5 @@
+//! Regenerates E1 / Figure 12.
+fn main() {
+    let rows = gm_bench::fig12();
+    gm_bench::print_fig12(&rows);
+}

@@ -1,0 +1,5 @@
+//! Regenerates E2 / Figure 13.
+fn main() {
+    let series = gm_bench::fig13(32);
+    gm_bench::print_fig13(&series);
+}

@@ -1,0 +1,5 @@
+//! Regenerates E3 / Figure 14.
+fn main() {
+    let series = gm_bench::fig14(32);
+    gm_bench::print_fig14(&series);
+}

@@ -1,0 +1,6 @@
+//! Regenerates E5 / Figure 15.
+fn main() {
+    let design = std::env::args().nth(1).unwrap_or_else(|| "b12_lite".into());
+    let r = gm_bench::fig15(&design, 200);
+    gm_bench::print_fig15(&r);
+}

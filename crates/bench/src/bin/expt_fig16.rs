@@ -1,0 +1,5 @@
+//! Regenerates E7 / Figure 16.
+fn main() {
+    let rows = gm_bench::fig16(&gm_bench::fig16_cases());
+    gm_bench::print_fig16(&rows);
+}

@@ -1,0 +1,5 @@
+//! Regenerates E4 / Table 1.
+fn main() {
+    let rows = gm_bench::table1();
+    gm_bench::print_table1(&rows);
+}

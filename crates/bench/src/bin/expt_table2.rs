@@ -1,0 +1,5 @@
+//! Regenerates E6 / Table 2.
+fn main() {
+    let (total, rows) = gm_bench::table2();
+    gm_bench::print_table2(total, &rows);
+}

@@ -1,0 +1,9 @@
+//! Regenerates E8 / Table 3.
+fn main() {
+    let cycles = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let rows = gm_bench::table3(cycles);
+    gm_bench::print_table3(&rows);
+}

@@ -1,0 +1,27 @@
+//! Regenerates every table and figure in sequence (E1–E8), printing each
+//! in the layout EXPERIMENTS.md records.
+fn main() {
+    let rows = gm_bench::fig12();
+    gm_bench::print_fig12(&rows);
+    println!();
+    let series = gm_bench::fig13(32);
+    gm_bench::print_fig13(&series);
+    println!();
+    let series = gm_bench::fig14(32);
+    gm_bench::print_fig14(&series);
+    println!();
+    let rows = gm_bench::table1();
+    gm_bench::print_table1(&rows);
+    println!();
+    let r = gm_bench::fig15("b12_lite", 200);
+    gm_bench::print_fig15(&r);
+    println!();
+    let (total, rows) = gm_bench::table2();
+    gm_bench::print_table2(total, &rows);
+    println!();
+    let rows = gm_bench::fig16(&gm_bench::fig16_cases());
+    gm_bench::print_fig16(&rows);
+    println!();
+    let rows = gm_bench::table3(2000);
+    gm_bench::print_table3(&rows);
+}

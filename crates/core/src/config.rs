@@ -1,0 +1,98 @@
+//! Engine configuration.
+
+use gm_mc::Backend;
+use gm_rtl::SignalId;
+use gm_sim::InputVector;
+
+/// How the initial test data is produced (the paper's data generator).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SeedStimulus {
+    /// Random input patterns for the given number of cycles (§2.1: the
+    /// design "is simulated for a fixed number of cycles using random
+    /// input patterns").
+    Random {
+        /// Number of random cycles.
+        cycles: u64,
+    },
+    /// An existing directed/regression test.
+    Directed(Vec<InputVector>),
+    /// No initial patterns — the §7.2 zero-pattern limit study. Mining
+    /// starts from the trivial "output is always 0" hypothesis.
+    None,
+}
+
+/// What to do when the formal engines answer `Unknown`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnknownPolicy {
+    /// Treat the candidate as proved but count it in
+    /// [`crate::ClosureOutcome::unknown_assumed`]. Matches the paper's
+    /// bounded-unrolling pragmatics.
+    AssumeTrue,
+    /// Leave the leaf open; the run reports non-convergence.
+    LeaveOpen,
+}
+
+/// Which output bits to mine.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub enum TargetSelection {
+    /// Every bit of every primary output.
+    #[default]
+    AllOutputs,
+    /// Specific signals (all bits of each).
+    Signals(Vec<SignalId>),
+    /// Specific (signal, bit) pairs.
+    Bits(Vec<(SignalId, u32)>),
+}
+
+/// Configuration for a [`crate::Engine`] run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Mining window length `w` (features span offsets `0..=w`).
+    pub window: u32,
+    /// RNG seed for random stimulus.
+    pub seed: u64,
+    /// Initial stimulus.
+    pub stimulus: SeedStimulus,
+    /// Maximum counterexample iterations before giving up.
+    pub max_iterations: u32,
+    /// Model-checking backend.
+    pub backend: Backend,
+    /// Policy for `Unknown` verdicts.
+    pub unknown: UnknownPolicy,
+    /// Target outputs.
+    pub targets: TargetSelection,
+    /// Batch all candidate checks per iteration (the §7 optimization the
+    /// paper describes) instead of feeding each counterexample back
+    /// immediately.
+    pub batched: bool,
+    /// Record per-iteration coverage of the accumulated suite (costs one
+    /// suite re-simulation per iteration).
+    pub record_coverage: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            window: 1,
+            seed: 0xC0FFEE,
+            stimulus: SeedStimulus::Random { cycles: 64 },
+            max_iterations: 64,
+            backend: Backend::Auto,
+            unknown: UnknownPolicy::AssumeTrue,
+            targets: TargetSelection::AllOutputs,
+            batched: true,
+            record_coverage: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A zero-seed configuration (the paper's Table 1 limit study).
+    pub fn zero_seed(window: u32) -> Self {
+        EngineConfig {
+            window,
+            stimulus: SeedStimulus::None,
+            ..EngineConfig::default()
+        }
+    }
+}

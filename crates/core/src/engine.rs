@@ -1,0 +1,361 @@
+//! The counterexample-guided refinement engine (the paper's Figure 3).
+//!
+//! One [`Engine`] run executes the full loop:
+//!
+//! 1. **Data generator** — simulate the seed stimulus (random, directed,
+//!    or none) into traces;
+//! 2. **Static analyzer** — compute each target output's logic cone and
+//!    build its feature space;
+//! 3. **A-Miner** — fit one incremental decision tree per output bit;
+//! 4. **Formal verification** — model-check every 100%-confidence
+//!    candidate; proved leaves freeze, refuted ones yield counterexample
+//!    traces;
+//! 5. **Ctx_simulation** — replay each counterexample from reset, append
+//!    it to the test suite, extend every target's dataset, and re-split
+//!    only the refuted leaves;
+//! 6. repeat until every leaf is proved (*coverage closure*) or the
+//!    iteration budget runs out.
+
+use crate::config::{EngineConfig, SeedStimulus, TargetSelection, UnknownPolicy};
+use crate::error::EngineError;
+use crate::report::{ClosureOutcome, IterationReport, TargetSummary};
+use gm_coverage::CoverageSuite;
+use gm_mc::{BitAtom, CheckResult, Checker, WindowProperty};
+use gm_mine::{
+    assertion_at, input_space_coverage, proved_assertions, Assertion, Dataset, DecisionTree,
+    LeafStatus, MiningSpec,
+};
+use gm_rtl::{cone_of, elaborate, Elab, Module, SignalId};
+use gm_sim::{collect_vectors, run_segment, NopObserver, RandomStimulus, TestSuite, Trace};
+
+/// Converts a mined assertion into the model checker's property form.
+pub fn assertion_property(a: &Assertion) -> WindowProperty {
+    WindowProperty {
+        antecedent: a
+            .literals
+            .iter()
+            .map(|(f, v)| BitAtom::new(f.signal, f.bit, f.offset, *v))
+            .collect(),
+        consequent: BitAtom::new(a.target.signal, a.target.bit, a.target.offset, a.value),
+    }
+}
+
+struct TargetState {
+    signal: SignalId,
+    bit: u32,
+    spec: MiningSpec,
+    dataset: Dataset,
+    tree: DecisionTree,
+    stuck: Option<gm_mine::MineError>,
+}
+
+/// The GoldMine coverage-closure engine.
+///
+/// # Examples
+///
+/// ```
+/// use goldmine::{Engine, EngineConfig, SeedStimulus};
+///
+/// let m = gm_rtl::parse_verilog("
+///     module arbiter2(input clk, input rst, input req0, input req1,
+///                     output reg gnt0, output reg gnt1);
+///       always @(posedge clk)
+///         if (rst) begin gnt0 <= 0; gnt1 <= 0; end
+///         else begin
+///           gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+///           gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+///         end
+///     endmodule")?;
+/// let config = EngineConfig {
+///     stimulus: SeedStimulus::Random { cycles: 16 },
+///     ..EngineConfig::default()
+/// };
+/// let outcome = Engine::new(&m, config)?.run()?;
+/// assert!(outcome.converged, "arbiter closes coverage");
+/// assert!(!outcome.assertions.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Engine<'m> {
+    module: &'m Module,
+    #[allow(dead_code)]
+    elab: Elab,
+    config: EngineConfig,
+    checker: Checker<'m>,
+    targets: Vec<TargetState>,
+    suite: TestSuite,
+    unknown_assumed: usize,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Engine({}, {} targets, {} segments)",
+            self.module.name(),
+            self.targets.len(),
+            self.suite.len()
+        )
+    }
+}
+
+impl<'m> Engine<'m> {
+    /// Prepares an engine: elaborates the module, bit-blasts it for the
+    /// checker, and builds the mining spec for every target bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration and blasting failures.
+    pub fn new(module: &'m Module, config: EngineConfig) -> Result<Self, EngineError> {
+        let elab = elaborate(module)?;
+        let checker = Checker::new(module)?.with_backend(config.backend);
+        let target_bits: Vec<(SignalId, u32)> = match &config.targets {
+            TargetSelection::AllOutputs => module
+                .outputs()
+                .into_iter()
+                .flat_map(|s| (0..module.signal_width(s)).map(move |b| (s, b)))
+                .collect(),
+            TargetSelection::Signals(sigs) => sigs
+                .iter()
+                .flat_map(|&s| (0..module.signal_width(s)).map(move |b| (s, b)))
+                .collect(),
+            TargetSelection::Bits(bits) => bits.clone(),
+        };
+        let targets = target_bits
+            .into_iter()
+            .map(|(signal, bit)| {
+                let cone = cone_of(module, &elab, signal);
+                let spec = MiningSpec::for_output(module, &elab, &cone, bit, config.window);
+                let tree = DecisionTree::new(&spec);
+                TargetState {
+                    signal,
+                    bit,
+                    spec,
+                    dataset: Dataset::new(),
+                    tree,
+                    stuck: None,
+                }
+            })
+            .collect();
+        Ok(Engine {
+            module,
+            elab,
+            config,
+            checker,
+            targets,
+            suite: TestSuite::new(),
+            unknown_assumed: 0,
+        })
+    }
+
+    /// The accumulated test suite (useful mid-run from examples).
+    pub fn suite(&self) -> &TestSuite {
+        &self.suite
+    }
+
+    /// Runs the refinement loop to convergence or budget exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation and model-checking failures. Mining
+    /// failures (contradictory windows) are per-target and reported in
+    /// the outcome's [`TargetSummary::stuck`] instead.
+    pub fn run(mut self) -> Result<ClosureOutcome, EngineError> {
+        // Phase 1: seed data.
+        let seed_vectors = match &self.config.stimulus {
+            SeedStimulus::Random { cycles } => {
+                let mut stim = RandomStimulus::new(self.module, self.config.seed, *cycles);
+                collect_vectors(&mut stim)
+            }
+            SeedStimulus::Directed(v) => v.clone(),
+            SeedStimulus::None => Vec::new(),
+        };
+        if !seed_vectors.is_empty() {
+            self.suite.push("seed", seed_vectors.clone());
+            let trace = run_segment(self.module, &seed_vectors, &mut NopObserver)?;
+            for t in &mut self.targets {
+                let rows = t.dataset.add_trace(&t.spec, &trace);
+                debug_assert!(!rows.is_empty() || trace.len() < t.spec.span() as usize);
+            }
+        }
+        for t in &mut self.targets {
+            if let Err(e) = t.tree.fit(&t.dataset) {
+                t.stuck = Some(e);
+            }
+        }
+
+        let mut history = vec![self.snapshot_report(0, 0)?];
+
+        // Phase 2: counterexample iterations.
+        let mut iteration = 0;
+        while iteration < self.config.max_iterations {
+            iteration += 1;
+            let refuted = self.iteration_pass(iteration)?;
+            history.push(self.snapshot_report(iteration, refuted)?);
+            if self.all_converged() {
+                break;
+            }
+            if refuted == 0 {
+                // No forward progress possible: remaining leaves are
+                // stuck or unknown-open.
+                break;
+            }
+        }
+
+        let assertions: Vec<Assertion> = self
+            .targets
+            .iter()
+            .flat_map(|t| proved_assertions(&t.tree, &t.spec))
+            .collect();
+        let targets = self
+            .targets
+            .iter()
+            .map(|t| TargetSummary {
+                signal: t.signal,
+                bit: t.bit,
+                converged: t.stuck.is_none() && t.tree.converged(),
+                proved: proved_assertions(&t.tree, &t.spec).len(),
+                tree_nodes: t.tree.node_count(),
+                extended: t.tree.is_extended(),
+                stuck: t.stuck.clone(),
+            })
+            .collect();
+        Ok(ClosureOutcome {
+            converged: self.all_converged(),
+            iterations: history,
+            assertions,
+            suite: self.suite,
+            targets,
+            unknown_assumed: self.unknown_assumed,
+        })
+    }
+
+    fn all_converged(&self) -> bool {
+        self.targets
+            .iter()
+            .all(|t| t.stuck.is_none() && t.tree.converged())
+    }
+
+    /// One verification pass over all open candidates; returns the number
+    /// of refuted candidates.
+    fn iteration_pass(&mut self, iteration: u32) -> Result<usize, EngineError> {
+        // Collect (target index, leaf) pairs up front; the tree may morph
+        // under us as counterexample rows arrive.
+        let mut worklist: Vec<(usize, usize)> = Vec::new();
+        for (ti, t) in self.targets.iter().enumerate() {
+            if t.stuck.is_some() {
+                continue;
+            }
+            for leaf in t.tree.leaves() {
+                if t.tree.leaf_status(leaf) == LeafStatus::Open && t.tree.is_pure(leaf) {
+                    worklist.push((ti, leaf));
+                }
+            }
+        }
+        let mut refuted = 0usize;
+        let mut pending_traces: Vec<Trace> = Vec::new();
+        let mut cex_count = 0usize;
+        for (ti, leaf) in worklist {
+            let (assertion, valid) = {
+                let t = &self.targets[ti];
+                if t.stuck.is_some()
+                    || !t.tree.is_leaf(leaf)
+                    || t.tree.leaf_status(leaf) != LeafStatus::Open
+                    || !t.tree.is_pure(leaf)
+                {
+                    (None, false)
+                } else {
+                    (Some(assertion_at(&t.tree, &t.spec, leaf)), true)
+                }
+            };
+            if !valid {
+                continue;
+            }
+            let assertion = assertion.expect("validated leaf has an assertion");
+            let prop = assertion_property(&assertion);
+            match self.checker.check(&prop)? {
+                CheckResult::Proved => {
+                    self.targets[ti].tree.set_proved(leaf);
+                }
+                CheckResult::Violated(cex) => {
+                    refuted += 1;
+                    cex_count += 1;
+                    let label = format!("cex-{iteration}-{cex_count}");
+                    self.suite.push(label, cex.inputs.clone());
+                    let trace = run_segment(self.module, &cex.inputs, &mut NopObserver)?;
+                    if self.config.batched {
+                        pending_traces.push(trace);
+                    } else {
+                        self.absorb_trace(&trace);
+                    }
+                }
+                CheckResult::Unknown { .. } => match self.config.unknown {
+                    UnknownPolicy::AssumeTrue => {
+                        self.unknown_assumed += 1;
+                        self.targets[ti].tree.set_proved(leaf);
+                    }
+                    UnknownPolicy::LeaveOpen => {}
+                },
+            }
+        }
+        for trace in &pending_traces {
+            self.absorb_trace(trace);
+        }
+        Ok(refuted)
+    }
+
+    /// Feeds a counterexample trace into every target's dataset and tree
+    /// (the shared test suite improves all outputs, §3).
+    fn absorb_trace(&mut self, trace: &Trace) {
+        for t in &mut self.targets {
+            if t.stuck.is_some() {
+                continue;
+            }
+            let rows = t.dataset.add_trace(&t.spec, trace);
+            if let Err(e) = t.tree.add_rows(&t.dataset, &rows) {
+                t.stuck = Some(e);
+            }
+        }
+    }
+
+    fn snapshot_report(
+        &mut self,
+        iteration: u32,
+        refuted: usize,
+    ) -> Result<IterationReport, EngineError> {
+        let mut proved_total = 0usize;
+        let mut candidates = 0usize;
+        let mut isc_sum = 0.0f64;
+        for t in &self.targets {
+            let proved = proved_assertions(&t.tree, &t.spec);
+            proved_total += proved.len();
+            isc_sum += input_space_coverage(&proved, self.module);
+            candidates += t
+                .tree
+                .leaves()
+                .into_iter()
+                .filter(|&l| t.tree.leaf_status(l) == LeafStatus::Open && t.tree.is_pure(l))
+                .count();
+        }
+        let input_space = if self.targets.is_empty() {
+            0.0
+        } else {
+            isc_sum / self.targets.len() as f64
+        };
+        let coverage = if self.config.record_coverage {
+            let mut cov = CoverageSuite::new(self.module);
+            self.suite.run(self.module, &mut cov)?;
+            Some(cov.report())
+        } else {
+            None
+        };
+        Ok(IterationReport {
+            iteration,
+            candidates,
+            proved_total,
+            refuted,
+            input_space_coverage: input_space,
+            coverage,
+            suite_cycles: self.suite.total_cycles(),
+        })
+    }
+}

@@ -1,0 +1,48 @@
+//! Engine errors.
+
+use gm_mc::McError;
+use gm_rtl::RtlError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Fatal errors from an engine run.
+///
+/// Per-target mining failures (contradictory windows) are *not* fatal;
+/// they surface as [`crate::TargetSummary::stuck`] in the outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// Elaboration or simulation failed.
+    Rtl(RtlError),
+    /// Model checking failed (limits exceeded on a forced backend).
+    Mc(McError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Rtl(e) => write!(f, "rtl: {e}"),
+            EngineError::Mc(e) => write!(f, "model checking: {e}"),
+        }
+    }
+}
+
+impl StdError for EngineError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            EngineError::Rtl(e) => Some(e),
+            EngineError::Mc(e) => Some(e),
+        }
+    }
+}
+
+impl From<RtlError> for EngineError {
+    fn from(e: RtlError) -> Self {
+        EngineError::Rtl(e)
+    }
+}
+
+impl From<McError> for EngineError {
+    fn from(e: McError) -> Self {
+        EngineError::Mc(e)
+    }
+}

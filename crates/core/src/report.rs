@@ -1,0 +1,89 @@
+//! Run reports: per-iteration progress and final outcomes.
+
+use gm_coverage::CoverageReport;
+use gm_mine::{Assertion, MineError};
+use gm_rtl::SignalId;
+use gm_sim::TestSuite;
+
+/// Progress metrics captured after each counterexample iteration.
+///
+/// `iteration 0` describes the state after mining the seed data, before
+/// any counterexample feedback — matching the paper's iteration axis in
+/// Figures 12–14 and Table 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IterationReport {
+    /// The iteration number (0 = seed only).
+    pub iteration: u32,
+    /// Candidate assertions pending at the start of the iteration.
+    pub candidates: usize,
+    /// Total proved assertions across all targets so far.
+    pub proved_total: usize,
+    /// Candidates refuted (counterexamples generated) in this iteration.
+    pub refuted: usize,
+    /// The paper's input-space coverage of the proved assertions
+    /// (Σ 2^-depth over input literals), averaged across targets.
+    pub input_space_coverage: f64,
+    /// Simulation coverage of the accumulated test suite (present when
+    /// the engine records coverage).
+    pub coverage: Option<CoverageReport>,
+    /// Total stimulus cycles in the accumulated suite.
+    pub suite_cycles: usize,
+}
+
+/// Final state of one mining target.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TargetSummary {
+    /// The mined output signal.
+    pub signal: SignalId,
+    /// The mined bit.
+    pub bit: u32,
+    /// Whether every leaf of the target's tree is proved.
+    pub converged: bool,
+    /// Proved assertions for this target.
+    pub proved: usize,
+    /// Nodes in the final (incremental) decision tree.
+    pub tree_nodes: usize,
+    /// Whether mining had to extend to farthest-back state features.
+    pub extended: bool,
+    /// A mining failure, if the target got stuck.
+    pub stuck: Option<MineError>,
+}
+
+/// The outcome of a refinement run.
+#[derive(Clone, Debug)]
+pub struct ClosureOutcome {
+    /// Whether every target's tree converged (all assertions true): the
+    /// paper's coverage-closure condition.
+    pub converged: bool,
+    /// Per-iteration progress, starting at iteration 0.
+    pub iterations: Vec<IterationReport>,
+    /// All proved assertions across targets.
+    pub assertions: Vec<Assertion>,
+    /// The accumulated validation stimulus: seed patterns plus one
+    /// segment per counterexample.
+    pub suite: TestSuite,
+    /// Per-target summaries.
+    pub targets: Vec<TargetSummary>,
+    /// Candidates assumed true under [`crate::UnknownPolicy::AssumeTrue`].
+    pub unknown_assumed: usize,
+}
+
+impl ClosureOutcome {
+    /// The final input-space coverage (from the last iteration report).
+    pub fn final_input_space_coverage(&self) -> f64 {
+        self.iterations
+            .last()
+            .map(|r| r.input_space_coverage)
+            .unwrap_or(0.0)
+    }
+
+    /// The final simulation coverage report, if recorded.
+    pub fn final_coverage(&self) -> Option<CoverageReport> {
+        self.iterations.last().and_then(|r| r.coverage)
+    }
+
+    /// The number of counterexample iterations performed.
+    pub fn iteration_count(&self) -> u32 {
+        self.iterations.last().map(|r| r.iteration).unwrap_or(0)
+    }
+}

@@ -1,0 +1,559 @@
+//! The coverage collectors.
+//!
+//! Each collector implements [`SimObserver`] and measures one metric; the
+//! [`CoverageSuite`] bundles all of them behind a single observer, which
+//! is what the experiment harness attaches to simulation runs.
+
+use crate::points::{
+    branch_points, count_boolean_nodes, declared_fsm_states, observe_boolean_nodes,
+};
+use crate::ratio::{CoverageReport, Ratio};
+use gm_rtl::{Bv, Expr, Module, SignalId, StmtId};
+use gm_sim::{BranchOutcome, ExprRole, SimObserver};
+use std::collections::{HashMap, HashSet};
+
+/// Statement (line) coverage: every statement executed at least once.
+#[derive(Debug)]
+pub struct LineCoverage {
+    executed: HashSet<StmtId>,
+    total: usize,
+}
+
+impl LineCoverage {
+    /// Instruments `module`.
+    pub fn new(module: &Module) -> Self {
+        LineCoverage {
+            executed: HashSet::new(),
+            total: module.stmt_count() as usize,
+        }
+    }
+
+    /// The current covered/total ratio.
+    pub fn ratio(&self) -> Ratio {
+        Ratio::new(self.executed.len(), self.total)
+    }
+
+    /// Statement ids never executed.
+    pub fn uncovered(&self) -> Vec<StmtId> {
+        (0..self.total as u32)
+            .map(StmtId::from_raw)
+            .filter(|id| !self.executed.contains(id))
+            .collect()
+    }
+}
+
+impl SimObserver for LineCoverage {
+    fn on_stmt(&mut self, stmt: StmtId) {
+        self.executed.insert(stmt);
+    }
+}
+
+/// Branch coverage: every `if` outcome and `case` arm taken.
+#[derive(Debug)]
+pub struct BranchCoverage {
+    universe: Vec<(StmtId, BranchOutcome)>,
+    hit: HashSet<(StmtId, BranchOutcome)>,
+}
+
+impl BranchCoverage {
+    /// Instruments `module`.
+    pub fn new(module: &Module) -> Self {
+        BranchCoverage {
+            universe: branch_points(module),
+            hit: HashSet::new(),
+        }
+    }
+
+    /// The current covered/total ratio.
+    pub fn ratio(&self) -> Ratio {
+        let covered = self
+            .universe
+            .iter()
+            .filter(|pt| self.hit.contains(pt))
+            .count();
+        Ratio::new(covered, self.universe.len())
+    }
+
+    /// Branch points never taken.
+    pub fn uncovered(&self) -> Vec<(StmtId, BranchOutcome)> {
+        self.universe
+            .iter()
+            .filter(|pt| !self.hit.contains(pt))
+            .copied()
+            .collect()
+    }
+}
+
+impl SimObserver for BranchCoverage {
+    fn on_branch(&mut self, stmt: StmtId, outcome: BranchOutcome) {
+        self.hit.insert((stmt, outcome));
+    }
+}
+
+/// Both-polarity tracking for one boolean node.
+#[derive(Clone, Copy, Debug, Default)]
+struct Polarity {
+    seen_false: bool,
+    seen_true: bool,
+}
+
+impl Polarity {
+    fn covered(&self) -> bool {
+        self.seen_false && self.seen_true
+    }
+}
+
+/// Shared machinery for condition and expression coverage: every boolean
+/// (width-1, non-constant) subexpression of the watched expressions must
+/// be observed at both 0 and 1.
+#[derive(Debug)]
+struct BoolNodeCoverage {
+    seen: HashMap<(StmtId, usize), Polarity>,
+    total: usize,
+}
+
+impl BoolNodeCoverage {
+    fn new(module: &Module, watch_conditions: bool) -> Self {
+        BoolNodeCoverage {
+            seen: HashMap::new(),
+            total: count_boolean_nodes(module, watch_conditions),
+        }
+    }
+
+    fn ratio(&self) -> Ratio {
+        let covered = self.seen.values().filter(|p| p.covered()).count();
+        Ratio::new(covered, self.total)
+    }
+
+    fn observe(&mut self, module: &Module, stmt: StmtId, expr: &Expr, values: &[Bv]) {
+        observe_boolean_nodes(expr, module, values, &mut |i, v| {
+            let p = self.seen.entry((stmt, i)).or_default();
+            if v {
+                p.seen_true = true;
+            } else {
+                p.seen_false = true;
+            }
+        });
+    }
+}
+
+/// Condition coverage over `if` predicates.
+///
+/// Needs the module at observation time, so it borrows it for its
+/// lifetime.
+#[derive(Debug)]
+pub struct ConditionCoverage<'m> {
+    module: &'m Module,
+    inner: BoolNodeCoverage,
+}
+
+impl<'m> ConditionCoverage<'m> {
+    /// Instruments `module`.
+    pub fn new(module: &'m Module) -> Self {
+        ConditionCoverage {
+            module,
+            inner: BoolNodeCoverage::new(module, true),
+        }
+    }
+
+    /// The current covered/total ratio.
+    pub fn ratio(&self) -> Ratio {
+        self.inner.ratio()
+    }
+}
+
+impl SimObserver for ConditionCoverage<'_> {
+    fn on_expr(&mut self, stmt: StmtId, role: ExprRole, expr: &Expr, values: &[Bv]) {
+        if role == ExprRole::Condition {
+            self.inner.observe(self.module, stmt, expr, values);
+        }
+    }
+}
+
+/// Expression coverage over assignment right-hand sides.
+///
+/// This is the metric the paper tracks per refinement iteration
+/// (Figures 12 and 14): boolean subterms of the datapath expressions
+/// observed at both polarities.
+#[derive(Debug)]
+pub struct ExpressionCoverage<'m> {
+    module: &'m Module,
+    inner: BoolNodeCoverage,
+}
+
+impl<'m> ExpressionCoverage<'m> {
+    /// Instruments `module`.
+    pub fn new(module: &'m Module) -> Self {
+        ExpressionCoverage {
+            module,
+            inner: BoolNodeCoverage::new(module, false),
+        }
+    }
+
+    /// The current covered/total ratio.
+    pub fn ratio(&self) -> Ratio {
+        self.inner.ratio()
+    }
+}
+
+impl SimObserver for ExpressionCoverage<'_> {
+    fn on_expr(&mut self, stmt: StmtId, role: ExprRole, expr: &Expr, values: &[Bv]) {
+        if role == ExprRole::AssignRhs {
+            self.inner.observe(self.module, stmt, expr, values);
+        }
+    }
+}
+
+/// Toggle coverage: each bit of each signal (clock excluded) must rise
+/// and fall across settled cycle snapshots.
+#[derive(Debug)]
+pub struct ToggleCoverage {
+    watched: Vec<(SignalId, u32)>,
+    rises: HashSet<(SignalId, u32)>,
+    falls: HashSet<(SignalId, u32)>,
+    prev: Option<Vec<Bv>>,
+}
+
+impl ToggleCoverage {
+    /// Instruments `module`.
+    pub fn new(module: &Module) -> Self {
+        let watched = module
+            .signal_ids()
+            .filter(|s| Some(*s) != module.clock())
+            .flat_map(|s| (0..module.signal_width(s)).map(move |b| (s, b)))
+            .collect();
+        ToggleCoverage {
+            watched,
+            rises: HashSet::new(),
+            falls: HashSet::new(),
+            prev: None,
+        }
+    }
+
+    /// The current covered/total ratio (each bit counts a rise point and
+    /// a fall point).
+    pub fn ratio(&self) -> Ratio {
+        let covered = self
+            .watched
+            .iter()
+            .map(|pt| {
+                usize::from(self.rises.contains(pt)) + usize::from(self.falls.contains(pt))
+            })
+            .sum();
+        Ratio::new(covered, self.watched.len() * 2)
+    }
+}
+
+impl SimObserver for ToggleCoverage {
+    fn on_cycle_end(&mut self, cycle: u64, values: &[Bv]) {
+        if cycle == 0 {
+            self.prev = None;
+        }
+        if let Some(prev) = &self.prev {
+            for &(sig, bit) in &self.watched {
+                let old = prev[sig.index()].bit(bit);
+                let new = values[sig.index()].bit(bit);
+                if !old && new {
+                    self.rises.insert((sig, bit));
+                } else if old && !new {
+                    self.falls.insert((sig, bit));
+                }
+            }
+        }
+        self.prev = Some(values.to_vec());
+    }
+}
+
+/// FSM coverage: fraction of declared states visited, per FSM register.
+#[derive(Debug)]
+pub struct FsmCoverage {
+    regs: Vec<(SignalId, Vec<Bv>)>,
+    visited: HashMap<SignalId, HashSet<Bv>>,
+    transitions: HashMap<SignalId, HashSet<(Bv, Bv)>>,
+    prev: Option<Vec<Bv>>,
+}
+
+impl FsmCoverage {
+    /// Instruments the FSM registers declared by `module`.
+    pub fn new(module: &Module) -> Self {
+        let regs = module
+            .fsm_regs()
+            .iter()
+            .map(|&r| (r, declared_fsm_states(module, r)))
+            .collect();
+        FsmCoverage {
+            regs,
+            visited: HashMap::new(),
+            transitions: HashMap::new(),
+            prev: None,
+        }
+    }
+
+    /// Whether the module declares any FSM registers.
+    pub fn has_fsms(&self) -> bool {
+        !self.regs.is_empty()
+    }
+
+    /// Visited-states / declared-states across all FSM registers.
+    pub fn ratio(&self) -> Ratio {
+        let mut covered = 0;
+        let mut total = 0;
+        for (reg, states) in &self.regs {
+            total += states.len();
+            if let Some(v) = self.visited.get(reg) {
+                covered += states.iter().filter(|s| v.contains(s)).count();
+            }
+        }
+        Ratio::new(covered, total)
+    }
+
+    /// The number of distinct state transitions observed on `reg`.
+    pub fn transitions_observed(&self, reg: SignalId) -> usize {
+        self.transitions.get(&reg).map_or(0, |t| t.len())
+    }
+}
+
+impl SimObserver for FsmCoverage {
+    fn on_cycle_end(&mut self, cycle: u64, values: &[Bv]) {
+        if cycle == 0 {
+            self.prev = None;
+        }
+        for (reg, _) in &self.regs {
+            let cur = values[reg.index()];
+            self.visited.entry(*reg).or_default().insert(cur);
+            if let Some(prev) = &self.prev {
+                let old = prev[reg.index()];
+                if old != cur {
+                    self.transitions.entry(*reg).or_default().insert((old, cur));
+                }
+            }
+        }
+        self.prev = Some(values.to_vec());
+    }
+}
+
+/// All collectors bundled behind one observer.
+///
+/// # Examples
+///
+/// ```
+/// use gm_coverage::CoverageSuite;
+/// use gm_sim::{Simulator, SimObserver};
+/// use gm_rtl::Bv;
+///
+/// let m = gm_rtl::parse_verilog(
+///     "module m(input a, input b, output y); assign y = a & b; endmodule")?;
+/// let mut cov = CoverageSuite::new(&m);
+/// let mut sim = Simulator::new(&m)?;
+/// let (a, b) = (m.require("a")?, m.require("b")?);
+/// for (va, vb) in [(0, 0), (1, 1)] {
+///     sim.set_inputs(&[(a, Bv::new(va, 1)), (b, Bv::new(vb, 1))]);
+///     sim.step_observed(&mut cov);
+/// }
+/// let report = cov.report();
+/// assert!(report.line.is_full());
+/// # Ok::<(), gm_rtl::RtlError>(())
+/// ```
+#[derive(Debug)]
+pub struct CoverageSuite<'m> {
+    line: LineCoverage,
+    branch: BranchCoverage,
+    condition: ConditionCoverage<'m>,
+    expression: ExpressionCoverage<'m>,
+    toggle: ToggleCoverage,
+    fsm: FsmCoverage,
+}
+
+impl<'m> CoverageSuite<'m> {
+    /// Instruments every metric on `module`.
+    pub fn new(module: &'m Module) -> Self {
+        CoverageSuite {
+            line: LineCoverage::new(module),
+            branch: BranchCoverage::new(module),
+            condition: ConditionCoverage::new(module),
+            expression: ExpressionCoverage::new(module),
+            toggle: ToggleCoverage::new(module),
+            fsm: FsmCoverage::new(module),
+        }
+    }
+
+    /// Produces the current report.
+    pub fn report(&self) -> CoverageReport {
+        CoverageReport {
+            line: self.line.ratio(),
+            branch: self.branch.ratio(),
+            condition: self.condition.ratio(),
+            expression: self.expression.ratio(),
+            toggle: self.toggle.ratio(),
+            fsm: if self.fsm.has_fsms() {
+                Some(self.fsm.ratio())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// The line collector (for uncovered-point introspection).
+    pub fn line(&self) -> &LineCoverage {
+        &self.line
+    }
+
+    /// The branch collector.
+    pub fn branch(&self) -> &BranchCoverage {
+        &self.branch
+    }
+
+    /// The FSM collector.
+    pub fn fsm(&self) -> &FsmCoverage {
+        &self.fsm
+    }
+}
+
+impl SimObserver for CoverageSuite<'_> {
+    fn on_stmt(&mut self, stmt: StmtId) {
+        self.line.on_stmt(stmt);
+    }
+    fn on_branch(&mut self, stmt: StmtId, outcome: BranchOutcome) {
+        self.branch.on_branch(stmt, outcome);
+    }
+    fn on_expr(&mut self, stmt: StmtId, role: ExprRole, expr: &Expr, values: &[Bv]) {
+        self.condition.on_expr(stmt, role, expr, values);
+        self.expression.on_expr(stmt, role, expr, values);
+    }
+    fn on_cycle_end(&mut self, cycle: u64, values: &[Bv]) {
+        self.toggle.on_cycle_end(cycle, values);
+        self.fsm.on_cycle_end(cycle, values);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_rtl::parse_verilog;
+    use gm_sim::Simulator;
+
+    const MUX: &str = "
+    module mux(input s, input a, input b, output y);
+      assign y = s ? a : b;
+    endmodule";
+
+    #[test]
+    fn expression_coverage_needs_both_polarities() {
+        let m = parse_verilog(MUX).unwrap();
+        let mut cov = ExpressionCoverage::new(&m);
+        let mut sim = Simulator::new(&m).unwrap();
+        let s = m.require("s").unwrap();
+        // Nodes: y-rhs (mux), s, a, b. Drive only s=0 with a=b=0: every node
+        // stuck at 0.
+        sim.set_input(s, Bv::zero_bit());
+        sim.step_observed(&mut cov);
+        assert_eq!(cov.ratio().covered, 0);
+        // Toggle everything.
+        let a = m.require("a").unwrap();
+        let b = m.require("b").unwrap();
+        sim.set_inputs(&[(s, Bv::one_bit()), (a, Bv::one_bit()), (b, Bv::one_bit())]);
+        sim.step_observed(&mut cov);
+        assert!(cov.ratio().is_full(), "{:?}", cov.ratio());
+    }
+
+    #[test]
+    fn branch_and_line_coverage_track_paths() {
+        let m = parse_verilog(
+            "module m(input clk, input c, output reg y);
+               always @(posedge clk)
+                 if (c) y <= 1;
+                 else y <= 0;
+             endmodule",
+        )
+        .unwrap();
+        let mut line = LineCoverage::new(&m);
+        let mut branch = BranchCoverage::new(&m);
+        let mut sim = Simulator::new(&m).unwrap();
+        let c = m.require("c").unwrap();
+        sim.set_input(c, Bv::one_bit());
+        let mut multi = gm_sim::MultiObserver::new();
+        multi.push(&mut line);
+        multi.push(&mut branch);
+        sim.step_observed(&mut multi);
+        drop(multi);
+        assert_eq!(branch.ratio(), Ratio::new(1, 2));
+        assert!(!line.ratio().is_full(), "else assign not yet run");
+        assert_eq!(line.uncovered().len(), 1);
+
+        let mut multi = gm_sim::MultiObserver::new();
+        multi.push(&mut line);
+        multi.push(&mut branch);
+        sim.set_input(c, Bv::zero_bit());
+        sim.step_observed(&mut multi);
+        drop(multi);
+        assert!(branch.ratio().is_full());
+        assert!(line.ratio().is_full());
+    }
+
+    #[test]
+    fn toggle_coverage_counts_rises_and_falls() {
+        let m = parse_verilog(MUX).unwrap();
+        let mut cov = ToggleCoverage::new(&m);
+        let mut sim = Simulator::new(&m).unwrap();
+        let s = m.require("s").unwrap();
+        let a = m.require("a").unwrap();
+        // Cycle 0: everything 0. Cycle 1: s,a rise (and y rises: s?a).
+        sim.step_observed(&mut cov);
+        sim.set_inputs(&[(s, Bv::one_bit()), (a, Bv::one_bit())]);
+        sim.step_observed(&mut cov);
+        let r1 = cov.ratio();
+        assert_eq!(r1.covered, 3, "three rises: s, a, y");
+        // Cycle 2: everything falls.
+        sim.set_inputs(&[(s, Bv::zero_bit()), (a, Bv::zero_bit())]);
+        sim.step_observed(&mut cov);
+        let r2 = cov.ratio();
+        assert_eq!(r2.covered, 6);
+        // b never toggled: 8 points total (4 signals x 2), 6 covered.
+        assert_eq!(r2.total, 8);
+    }
+
+    #[test]
+    fn fsm_coverage_visits_states() {
+        let m = parse_verilog(
+            "module m(input clk, input rst, output reg done);
+               localparam A = 2'd0; localparam B = 2'd1; localparam C = 2'd2;
+               reg [1:0] st;
+               always @(posedge clk)
+                 if (rst) begin st <= A; done <= 0; end
+                 else case (st)
+                   A: begin st <= B; done <= 0; end
+                   B: begin st <= C; done <= 0; end
+                   C: begin st <= A; done <= 1; end
+                   default: begin st <= A; done <= 0; end
+                 endcase
+             endmodule",
+        )
+        .unwrap();
+        let mut cov = FsmCoverage::new(&m);
+        assert!(cov.has_fsms());
+        let mut sim = Simulator::new(&m).unwrap();
+        let rst = m.require("rst").unwrap();
+        sim.set_input(rst, Bv::one_bit());
+        sim.step_observed(&mut cov);
+        sim.set_input(rst, Bv::zero_bit());
+        sim.step_observed(&mut cov); // st = A visible
+        assert_eq!(cov.ratio(), Ratio::new(1, 3));
+        sim.step_observed(&mut cov); // B
+        sim.step_observed(&mut cov); // C
+        assert!(cov.ratio().is_full());
+        let st = m.require("st").unwrap();
+        assert!(cov.transitions_observed(st) >= 2);
+    }
+
+    #[test]
+    fn suite_reports_all_metrics() {
+        let m = parse_verilog(MUX).unwrap();
+        let mut cov = CoverageSuite::new(&m);
+        let mut sim = Simulator::new(&m).unwrap();
+        sim.step_observed(&mut cov);
+        let r = cov.report();
+        assert!(r.line.is_full(), "single assign always runs");
+        assert_eq!(r.fsm, None, "no FSM registers declared");
+        assert!(r.toggle.covered < r.toggle.total);
+    }
+}

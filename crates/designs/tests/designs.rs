@@ -1,0 +1,301 @@
+//! Sanity and behavioral tests for every bundled design.
+
+use gm_designs::{arbiter2_builder, by_name, catalog};
+use gm_mc::{blast, Checker, ExplicitLimits, ReachableStates};
+use gm_rtl::{elaborate, Bv};
+use gm_sim::{collect_vectors, NopObserver, RandomStimulus, Simulator};
+use proptest::prelude::*;
+
+#[test]
+fn every_design_parses_elaborates_and_blasts() {
+    for d in catalog() {
+        let m = d.module();
+        assert_eq!(m.name(), d.name);
+        let e = elaborate(&m).unwrap_or_else(|err| panic!("{}: {err}", d.name));
+        blast(&m, &e).unwrap_or_else(|err| panic!("{}: {err}", d.name));
+        assert_eq!(
+            !m.state_signals().is_empty(),
+            d.sequential,
+            "{} sequential flag",
+            d.name
+        );
+        if d.sequential {
+            assert!(m.clock().is_some(), "{} has a clock", d.name);
+            assert!(m.reset().is_some(), "{} has a reset", d.name);
+        }
+    }
+}
+
+#[test]
+fn every_design_simulates_random_stimulus() {
+    for d in catalog() {
+        let m = d.module();
+        let mut sim = Simulator::new(&m).unwrap();
+        if let Some(rst) = m.reset() {
+            sim.set_input(rst, Bv::one_bit());
+            sim.step();
+            sim.set_input(rst, Bv::zero_bit());
+        }
+        let vectors = collect_vectors(&mut RandomStimulus::new(&m, 99, 200));
+        let trace = sim.run_vectors(&vectors, &mut NopObserver);
+        assert_eq!(trace.len(), 200, "{}", d.name);
+    }
+}
+
+#[test]
+fn catalog_lookup() {
+    assert!(by_name("arbiter2").is_some());
+    assert!(by_name("nope").is_none());
+    assert_eq!(catalog().len(), 12);
+}
+
+#[test]
+fn small_designs_have_expected_reachable_state_counts() {
+    let cases = [
+        ("arbiter2", 3usize), // 00, 01, 10 — never both grants
+        ("b02", 10),          // 7 FSM states x output reg, minus unreachable pairs
+    ];
+    for (name, expected) in cases {
+        let m = by_name(name).unwrap().module();
+        let e = elaborate(&m).unwrap();
+        let b = blast(&m, &e).unwrap();
+        let r = ReachableStates::explore(&b, &ExplicitLimits::default()).unwrap();
+        assert_eq!(r.len(), expected, "{name}");
+    }
+}
+
+#[test]
+fn fetch_stage_honors_mispredict_priority() {
+    let m = by_name("fetch_stage").unwrap().module();
+    let mut sim = Simulator::new(&m).unwrap();
+    let rst = m.require("rst").unwrap();
+    let rdvl = m.require("icache_rdvl_i").unwrap();
+    let stall = m.require("stall_in").unwrap();
+    let mis = m.require("branch_mispredict").unwrap();
+    let bpc = m.require("branch_pc").unwrap();
+    let pc = m.require("pc").unwrap();
+    let valid = m.require("valid").unwrap();
+
+    sim.set_input(rst, Bv::one_bit());
+    sim.step();
+    sim.set_input(rst, Bv::zero_bit());
+
+    // Fetch two instructions.
+    sim.set_input(rdvl, Bv::one_bit());
+    sim.step();
+    sim.step();
+    assert_eq!(sim.value(pc), Bv::new(2, 4));
+    assert_eq!(sim.value(valid), Bv::one_bit());
+
+    // Stall holds everything even with rdvl high.
+    sim.set_input(stall, Bv::one_bit());
+    sim.step();
+    assert_eq!(sim.value(pc), Bv::new(2, 4));
+
+    // Mispredict overrides stall and redirects.
+    sim.set_input(mis, Bv::one_bit());
+    sim.set_input(bpc, Bv::new(9, 4));
+    sim.step();
+    assert_eq!(sim.value(pc), Bv::new(9, 4));
+    assert_eq!(sim.value(valid), Bv::zero_bit());
+}
+
+#[test]
+fn decode_stage_classifies_opcodes() {
+    let m = by_name("decode_stage").unwrap().module();
+    let mut sim = Simulator::new(&m).unwrap();
+    let instr = m.require("instr").unwrap();
+    let iv = m.require("instr_valid").unwrap();
+    sim.set_input(iv, Bv::one_bit());
+
+    let opcode_at = |op: u64| op << 9;
+    let cases = [
+        (0u64, "is_alu"),
+        (3, "is_branch"),
+        (5, "is_mem"),
+        (7, "illegal"),
+    ];
+    for (op, flag) in cases {
+        sim.set_input(instr, Bv::new(opcode_at(op), 12));
+        sim.settle();
+        let f = m.require(flag).unwrap();
+        assert_eq!(sim.value(f), Bv::one_bit(), "opcode {op} sets {flag}");
+    }
+    // Invalid instruction decodes to nothing.
+    sim.set_input(iv, Bv::zero_bit());
+    sim.settle();
+    for flag in ["is_alu", "is_branch", "is_mem", "illegal"] {
+        let f = m.require(flag).unwrap();
+        assert_eq!(sim.value(f), Bv::zero_bit());
+    }
+}
+
+#[test]
+fn arbiter4_grants_are_one_hot_and_rotate() {
+    let m = by_name("arbiter4").unwrap().module();
+    let mut checker = Checker::new(&m).unwrap();
+    // Reachability: no two grants simultaneously (check via all states).
+    let reach = checker.reachable_count().expect("arbiter4 fits explicit");
+    assert!(reach > 1);
+    // Simulate all-requesting traffic: the grant should rotate fairly.
+    let mut sim = Simulator::new(&m).unwrap();
+    let rst = m.require("rst").unwrap();
+    sim.set_input(rst, Bv::one_bit());
+    sim.step();
+    sim.set_input(rst, Bv::zero_bit());
+    for name in ["req0", "req1", "req2", "req3"] {
+        sim.set_input(m.require(name).unwrap(), Bv::one_bit());
+    }
+    let gnts = ["gnt0", "gnt1", "gnt2", "gnt3"].map(|n| m.require(n).unwrap());
+    let mut granted = [0u32; 4];
+    for _ in 0..16 {
+        sim.step();
+        let high: Vec<usize> = (0..4)
+            .filter(|&i| sim.value(gnts[i]).is_nonzero())
+            .collect();
+        assert!(high.len() <= 1, "grants must be one-hot: {high:?}");
+        if let Some(&i) = high.first() {
+            granted[i] += 1;
+        }
+    }
+    assert!(
+        granted.iter().all(|&g| g >= 2),
+        "round robin starves a port: {granted:?}"
+    );
+}
+
+#[test]
+fn b09_emits_shifted_data() {
+    let m = by_name("b09").unwrap().module();
+    let mut sim = Simulator::new(&m).unwrap();
+    let rst = m.require("rst").unwrap();
+    let x = m.require("x").unwrap();
+    let y = m.require("y").unwrap();
+    sim.set_input(rst, Bv::one_bit());
+    sim.step();
+    sim.set_input(rst, Bv::zero_bit());
+    // Kick off a load with x=1 and feed a pattern.
+    let bits = [true, true, false, true, false, false, false, false, false];
+    let mut saw_y_high = false;
+    for b in bits {
+        sim.set_input(x, Bv::from_bool(b));
+        sim.step();
+        saw_y_high |= sim.value(y).is_nonzero();
+    }
+    assert!(saw_y_high, "converter must emit data on y");
+}
+
+#[test]
+fn builder_and_parsed_arbiters_agree_cycle_for_cycle() {
+    let parsed = gm_designs::arbiter2();
+    let built = arbiter2_builder();
+    let mut sim_p = Simulator::new(&parsed).unwrap();
+    let mut sim_b = Simulator::new(&built).unwrap();
+    let inputs = ["rst", "req0", "req1"];
+    let outputs = ["gnt0", "gnt1"];
+    let mut state = 0x12345u64;
+    for cycle in 0..500 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for (i, name) in inputs.iter().enumerate() {
+            let v = Bv::from_bool((state >> (i + 7)) & 1 == 1 || (cycle == 0 && i == 0));
+            sim_p.set_input(parsed.require(name).unwrap(), v);
+            sim_b.set_input(built.require(name).unwrap(), v);
+        }
+        sim_p.step();
+        sim_b.step();
+        for name in outputs {
+            assert_eq!(
+                sim_p.value(parsed.require(name).unwrap()),
+                sim_b.value(built.require(name).unwrap()),
+                "cycle {cycle} signal {name}"
+            );
+        }
+    }
+}
+
+#[test]
+fn print_parse_roundtrip_is_behaviorally_equivalent() {
+    // to_verilog . parse_verilog must preserve cycle semantics on every
+    // bundled design (500 random cycles, all outputs compared).
+    for d in catalog() {
+        let original = d.module();
+        let printed = gm_rtl::to_verilog(&original);
+        let reparsed = gm_rtl::parse_verilog(&printed)
+            .unwrap_or_else(|e| panic!("{}: {e}\n{printed}", d.name));
+        let mut sim_a = Simulator::new(&original).unwrap();
+        let mut sim_b = Simulator::new(&reparsed).unwrap();
+        let vectors = collect_vectors(&mut RandomStimulus::new(&original, 17, 500));
+        if let Some(rst) = original.reset() {
+            for sim in [&mut sim_a, &mut sim_b] {
+                sim.set_input(rst, Bv::one_bit());
+                sim.step();
+                sim.set_input(rst, Bv::zero_bit());
+            }
+        }
+        for (cycle, vec) in vectors.iter().enumerate() {
+            // Signal ids can differ after reparse; drive by name.
+            for (sig, v) in vec {
+                let name = original.signal(*sig).name();
+                sim_a.set_input(*sig, *v);
+                sim_b.set_input(reparsed.require(name).unwrap(), *v);
+            }
+            sim_a.step();
+            sim_b.step();
+            for out in original.outputs() {
+                let name = original.signal(out).name();
+                assert_eq!(
+                    sim_a.value(out),
+                    sim_b.value(reparsed.require(name).unwrap()),
+                    "{} cycle {cycle} output {name}",
+                    d.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Behavioral simulator and bit-blasted netlist agree on every design
+    /// under random stimulus — the cross-check keeping the two semantics
+    /// honest.
+    #[test]
+    fn behavioral_and_netlist_simulation_agree(seed in 0u64..1000) {
+        for d in catalog() {
+            let m = d.module();
+            let e = elaborate(&m).unwrap();
+            let blasted = blast(&m, &e).unwrap();
+            let mut sim = Simulator::new(&m).unwrap();
+            if let Some(rst) = m.reset() {
+                sim.set_input(rst, Bv::one_bit());
+                sim.step();
+                sim.set_input(rst, Bv::zero_bit());
+            }
+            let mut state: Vec<bool> = blasted.aig.initial_state();
+            let vectors = collect_vectors(&mut RandomStimulus::new(&m, seed, 20));
+            for vec in &vectors {
+                sim.set_inputs(vec);
+                sim.settle();
+                // Build the AIG input assignment from the same vector.
+                let inputs: Vec<bool> = blasted
+                    .input_bits
+                    .iter()
+                    .map(|&(sig, bit)| sim.value(sig).bit(bit))
+                    .collect();
+                let vals = blasted.aig.eval(&inputs, &state);
+                // Every output bit must match the behavioral simulator.
+                for out in m.outputs() {
+                    for bit in 0..m.signal_width(out) {
+                        let netlist = blasted.aig.lit_value(&vals, blasted.signal_bit(out, bit));
+                        let behav = sim.value(out).bit(bit);
+                        prop_assert_eq!(netlist, behav,
+                            "{} {}[{}] diverged", d.name, m.signal(out).name(), bit);
+                    }
+                }
+                state = blasted.aig.next_state(&vals);
+                sim.step();
+            }
+        }
+    }
+}

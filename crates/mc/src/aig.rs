@@ -1,0 +1,381 @@
+//! And-inverter graphs with structural hashing.
+//!
+//! The bit-level netlist form of a design: two-input AND nodes with
+//! complemented edges, primary inputs, and latches (one bit of state
+//! each). All richer operators (XOR, MUX, adders, comparators) are built
+//! from ANDs by [`crate::blast`]. Node construction is hash-consed, so
+//! structurally identical subcircuits share nodes.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Not;
+
+/// A literal into an [`Aig`]: a node index with an optional complement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// The constant-false literal (node 0, uncomplemented).
+    pub const FALSE: AigLit = AigLit(0);
+    /// The constant-true literal (node 0, complemented).
+    pub const TRUE: AigLit = AigLit(1);
+
+    fn new(node: u32, complement: bool) -> Self {
+        AigLit(node << 1 | u32::from(complement))
+    }
+
+    /// The index of the underlying node.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the edge is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// A constant literal.
+    pub fn constant(value: bool) -> Self {
+        if value {
+            AigLit::TRUE
+        } else {
+            AigLit::FALSE
+        }
+    }
+}
+
+impl Not for AigLit {
+    type Output = AigLit;
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!n{}", self.node())
+        } else {
+            write!(f, "n{}", self.node())
+        }
+    }
+}
+
+/// A node of the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AigNode {
+    /// The constant-false node (always node 0).
+    ConstFalse,
+    /// Primary input `index` (dense, in creation order).
+    Input {
+        /// The dense input index.
+        index: u32,
+    },
+    /// Latch `index` (dense, in creation order); the current-state value.
+    Latch {
+        /// The dense latch index.
+        index: u32,
+    },
+    /// Two-input AND of two literals.
+    And(AigLit, AigLit),
+}
+
+/// A latch definition: initial value and next-state function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Latch {
+    /// The node representing the latch's current value.
+    pub node: u32,
+    /// Power-on value.
+    pub init: bool,
+    /// Next-state literal (set via [`Aig::set_latch_next`]).
+    pub next: AigLit,
+}
+
+/// An and-inverter graph.
+#[derive(Clone, Debug, Default)]
+pub struct Aig {
+    nodes: Vec<AigNode>,
+    inputs: Vec<u32>,
+    latches: Vec<Latch>,
+    strash: HashMap<(AigLit, AigLit), u32>,
+}
+
+impl Aig {
+    /// Creates an empty graph (just the constant node).
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![AigNode::ConstFalse],
+            inputs: Vec::new(),
+            latches: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// The number of nodes (including the constant).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph contains only the constant node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The number of AND nodes.
+    pub fn and_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, AigNode::And(_, _)))
+            .count()
+    }
+
+    /// The number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// The number of latches.
+    pub fn latch_count(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// The node table.
+    pub fn nodes(&self) -> &[AigNode] {
+        &self.nodes
+    }
+
+    /// The latch table (indexed by dense latch index).
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// The node index of primary input `index`.
+    pub fn input_node(&self, index: usize) -> usize {
+        self.inputs[index] as usize
+    }
+
+    /// Adds a primary input, returning its literal.
+    pub fn add_input(&mut self) -> AigLit {
+        let node = self.nodes.len() as u32;
+        let index = self.inputs.len() as u32;
+        self.nodes.push(AigNode::Input { index });
+        self.inputs.push(node);
+        AigLit::new(node, false)
+    }
+
+    /// Adds a latch with the given initial value, returning its
+    /// current-state literal. The next-state function starts at constant
+    /// false; set it with [`Aig::set_latch_next`] once built.
+    pub fn add_latch(&mut self, init: bool) -> AigLit {
+        let node = self.nodes.len() as u32;
+        let index = self.latches.len() as u32;
+        self.nodes.push(AigNode::Latch { index });
+        self.latches.push(Latch {
+            node,
+            init,
+            next: AigLit::FALSE,
+        });
+        AigLit::new(node, false)
+    }
+
+    /// Sets the next-state function of latch `index`.
+    pub fn set_latch_next(&mut self, index: usize, next: AigLit) {
+        self.latches[index].next = next;
+    }
+
+    /// The AND of two literals, hash-consed with constant/trivial folding.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Constant and trivial cases.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == !b {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE || a == b {
+            return a;
+        }
+        // Canonical operand order for hashing.
+        let (x, y) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if let Some(&node) = self.strash.get(&(x, y)) {
+            return AigLit::new(node, false);
+        }
+        let node = self.nodes.len() as u32;
+        self.nodes.push(AigNode::And(x, y));
+        self.strash.insert((x, y), node);
+        AigLit::new(node, false)
+    }
+
+    /// The OR of two literals.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.and(!a, !b)
+    }
+
+    /// The XOR of two literals.
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let n = self.and(a, !b);
+        let m = self.and(!a, b);
+        self.or(n, m)
+    }
+
+    /// `c ? t : e`.
+    pub fn mux(&mut self, c: AigLit, t: AigLit, e: AigLit) -> AigLit {
+        if t == e {
+            return t;
+        }
+        let ct = self.and(c, t);
+        let ce = self.and(!c, e);
+        self.or(ct, ce)
+    }
+
+    /// `a <-> b`.
+    pub fn iff(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.xor(a, b)
+    }
+
+    /// Conjunction over many literals.
+    pub fn and_many(&mut self, lits: &[AigLit]) -> AigLit {
+        let mut acc = AigLit::TRUE;
+        for &l in lits {
+            acc = self.and(acc, l);
+        }
+        acc
+    }
+
+    /// Disjunction over many literals.
+    pub fn or_many(&mut self, lits: &[AigLit]) -> AigLit {
+        let mut acc = AigLit::FALSE;
+        for &l in lits {
+            acc = self.or(acc, l);
+        }
+        acc
+    }
+
+    /// Evaluates every node given input values (by dense input index) and
+    /// latch values (by dense latch index). Returns per-node values.
+    ///
+    /// Nodes are topologically ordered by construction, so one pass
+    /// suffices.
+    pub fn eval(&self, inputs: &[bool], latches: &[bool]) -> Vec<bool> {
+        debug_assert_eq!(inputs.len(), self.inputs.len());
+        debug_assert_eq!(latches.len(), self.latches.len());
+        let mut values = vec![false; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            values[i] = match node {
+                AigNode::ConstFalse => false,
+                AigNode::Input { index } => inputs[*index as usize],
+                AigNode::Latch { index } => latches[*index as usize],
+                AigNode::And(a, b) => {
+                    let va = values[a.node()] ^ a.is_complemented();
+                    let vb = values[b.node()] ^ b.is_complemented();
+                    va && vb
+                }
+            };
+        }
+        values
+    }
+
+    /// Reads a literal's value from an [`Aig::eval`] result.
+    pub fn lit_value(&self, values: &[bool], lit: AigLit) -> bool {
+        values[lit.node()] ^ lit.is_complemented()
+    }
+
+    /// Computes the next latch state from an [`Aig::eval`] result.
+    pub fn next_state(&self, values: &[bool]) -> Vec<bool> {
+        self.latches
+            .iter()
+            .map(|l| self.lit_value(values, l.next))
+            .collect()
+    }
+
+    /// The initial latch state.
+    pub fn initial_state(&self) -> Vec<bool> {
+        self.latches.iter().map(|l| l.init).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        assert_eq!(g.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(g.and(a, AigLit::TRUE), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), AigLit::FALSE);
+        assert_eq!(g.or(a, AigLit::TRUE), AigLit::TRUE);
+        assert_eq!(g.xor(a, AigLit::FALSE), a);
+        assert_eq!(g.xor(a, a), AigLit::FALSE);
+        assert_eq!(g.and_count(), 0, "no AND nodes for folded ops");
+    }
+
+    #[test]
+    fn structural_hashing_shares_nodes() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y, "commuted AND hash-conses to the same node");
+        assert_eq!(g.and_count(), 1);
+    }
+
+    #[test]
+    fn eval_combinational() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let x = g.xor(a, b);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let vals = g.eval(&[va, vb], &[]);
+            assert_eq!(g.lit_value(&vals, x), va ^ vb);
+        }
+    }
+
+    #[test]
+    fn mux_select() {
+        let mut g = Aig::new();
+        let c = g.add_input();
+        let t = g.add_input();
+        let e = g.add_input();
+        let m = g.mux(c, t, e);
+        for vc in [false, true] {
+            for vt in [false, true] {
+                for ve in [false, true] {
+                    let vals = g.eval(&[vc, vt, ve], &[]);
+                    assert_eq!(g.lit_value(&vals, m), if vc { vt } else { ve });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn latch_state_stepping() {
+        // A toggle flip-flop: next = !state.
+        let mut g = Aig::new();
+        let q = g.add_latch(false);
+        g.set_latch_next(0, !q);
+        let mut state = g.initial_state();
+        assert_eq!(state, vec![false]);
+        for i in 0..4 {
+            let vals = g.eval(&[], &state);
+            state = g.next_state(&vals);
+            assert_eq!(state[0], i % 2 == 0, "toggles each cycle");
+        }
+    }
+
+    #[test]
+    fn complemented_edges_in_eval() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let nand = !g.and(a, b);
+        let vals = g.eval(&[true, true], &[]);
+        assert!(!g.lit_value(&vals, nand));
+        let vals = g.eval(&[true, false], &[]);
+        assert!(g.lit_value(&vals, nand));
+    }
+}

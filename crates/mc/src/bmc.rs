@@ -1,0 +1,338 @@
+//! SAT-based engines: bounded model checking and k-induction.
+//!
+//! The unroller lays the bit-blasted transition relation out over time
+//! frames inside one incremental SAT solver. BMC searches for a
+//! reset-rooted violation of a [`WindowProperty`]; k-induction attempts
+//! an unbounded proof (base case by BMC, inductive step from a free
+//! state). k-induction can answer `Unknown` when the property depends on
+//! reachability invariants the induction does not carry — the checker
+//! then falls back per configuration.
+
+use crate::aig::{AigLit, AigNode};
+use crate::blast::Blasted;
+use crate::prop::{assemble_input_vector, BitAtom, CexTrace, CheckResult, WindowProperty};
+use gm_rtl::Module;
+use gm_sat::{Lit, SolveResult, Solver};
+
+/// Lays AIG time frames into a SAT solver.
+#[derive(Debug)]
+pub struct Unroller<'b> {
+    blasted: &'b Blasted,
+    solver: Solver,
+    true_lit: Lit,
+    /// frames[f][node] = SAT literal of that AIG node at frame f.
+    frames: Vec<Vec<Lit>>,
+    free_init: bool,
+}
+
+impl<'b> Unroller<'b> {
+    /// Creates an unroller. `free_init` leaves frame-0 latches
+    /// unconstrained (for induction steps) instead of pinning them to the
+    /// reset state.
+    pub fn new(blasted: &'b Blasted, free_init: bool) -> Self {
+        let mut solver = Solver::new();
+        let t = solver.new_var().positive();
+        solver.add_clause(&[t]);
+        Unroller {
+            blasted,
+            solver,
+            true_lit: t,
+            frames: Vec::new(),
+            free_init,
+        }
+    }
+
+    /// The underlying solver.
+    pub fn solver(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+
+    fn encode_and(&mut self, a: Lit, b: Lit) -> Lit {
+        let t = self.true_lit;
+        if a == !t || b == !t || a == !b {
+            return !t;
+        }
+        if a == t {
+            return b;
+        }
+        if b == t || a == b {
+            return a;
+        }
+        let out = self.solver.new_var().positive();
+        self.solver.add_clause(&[!out, a]);
+        self.solver.add_clause(&[!out, b]);
+        self.solver.add_clause(&[out, !a, !b]);
+        out
+    }
+
+    /// Ensures frames `0..=frame` exist.
+    pub fn ensure_frame(&mut self, frame: usize) {
+        while self.frames.len() <= frame {
+            let f = self.frames.len();
+            let nodes = self.blasted.aig.nodes().to_vec();
+            let mut lits: Vec<Lit> = Vec::with_capacity(nodes.len());
+            for node in &nodes {
+                let lit = match node {
+                    AigNode::ConstFalse => !self.true_lit,
+                    AigNode::Input { .. } => self.solver.new_var().positive(),
+                    AigNode::Latch { index } => {
+                        if f == 0 {
+                            if self.free_init {
+                                self.solver.new_var().positive()
+                            } else {
+                                let init = self.blasted.aig.latches()[*index as usize].init;
+                                if init {
+                                    self.true_lit
+                                } else {
+                                    !self.true_lit
+                                }
+                            }
+                        } else {
+                            let next = self.blasted.aig.latches()[*index as usize].next;
+                            self.lit_in(f - 1, next)
+                        }
+                    }
+                    AigNode::And(a, b) => {
+                        let la = lits[a.node()];
+                        let la = if a.is_complemented() { !la } else { la };
+                        let lb = lits[b.node()];
+                        let lb = if b.is_complemented() { !lb } else { lb };
+                        self.encode_and(la, lb)
+                    }
+                };
+                lits.push(lit);
+            }
+            self.frames.push(lits);
+        }
+    }
+
+    /// The SAT literal of an AIG literal at a frame (which must exist).
+    pub fn lit_in(&self, frame: usize, lit: AigLit) -> Lit {
+        let l = self.frames[frame][lit.node()];
+        if lit.is_complemented() {
+            !l
+        } else {
+            l
+        }
+    }
+
+    /// The SAT literal of a property atom for a window starting at `base`.
+    pub fn atom_lit(&mut self, base: usize, atom: &BitAtom) -> Lit {
+        let frame = base + atom.offset as usize;
+        self.ensure_frame(frame);
+        let l = self.lit_in(frame, self.blasted.signal_bit(atom.signal, atom.bit));
+        if atom.value {
+            l
+        } else {
+            !l
+        }
+    }
+
+    /// A literal equivalent to "the property's window starting at `base`
+    /// is violated" (antecedent true, consequent false).
+    pub fn violation_lit(&mut self, base: usize, prop: &WindowProperty) -> Lit {
+        let mut acc = self.true_lit;
+        for atom in prop.antecedent.clone() {
+            let al = self.atom_lit(base, &atom);
+            acc = self.encode_and(acc, al);
+        }
+        let cons = self.atom_lit(base, &prop.consequent);
+        self.encode_and(acc, !cons)
+    }
+
+    /// A literal equivalent to "the window starting at `base` satisfies
+    /// the property".
+    pub fn holds_lit(&mut self, base: usize, prop: &WindowProperty) -> Lit {
+        !self.violation_lit(base, prop)
+    }
+
+    /// Extracts the model's input assignments for frames `0..=last` as a
+    /// counterexample trace.
+    pub fn extract_cex(&self, module: &Module, last: usize) -> CexTrace {
+        let mut inputs = Vec::with_capacity(last + 1);
+        for f in 0..=last {
+            let frame = &self.frames[f];
+            let vec = assemble_input_vector(module, self.blasted, |i| {
+                let node = self.blasted.aig.input_node(i);
+                self.solver.model_value(frame[node])
+            });
+            inputs.push(vec);
+        }
+        CexTrace { inputs }
+    }
+}
+
+/// Bounded model checking: searches for a reset-rooted violation with the
+/// window start ranging over `0..=max_start`.
+///
+/// Returns `Violated` with a trace covering the full window, or
+/// `Unknown { bound }` if no violation exists within the bound (BMC alone
+/// cannot prove properties).
+pub fn bmc(
+    module: &Module,
+    blasted: &Blasted,
+    prop: &WindowProperty,
+    max_start: u32,
+) -> CheckResult {
+    let depth = prop.depth() as usize;
+    let mut unroller = Unroller::new(blasted, false);
+    for start in 0..=max_start as usize {
+        unroller.ensure_frame(start + depth);
+        let v = unroller.violation_lit(start, prop);
+        if unroller.solver().solve_with_assumptions(&[v]) == SolveResult::Sat {
+            let cex = unroller.extract_cex(module, start + depth);
+            return CheckResult::Violated(cex);
+        }
+    }
+    CheckResult::Unknown { bound: max_start }
+}
+
+/// k-induction: tries to prove the property outright.
+///
+/// For each `k` up to `max_k`: the base case checks windows starting at
+/// `0..k` from reset (any violation is returned with its trace); the
+/// step case assumes the property on `k` consecutive windows from an
+/// arbitrary state and asks whether the next window can fail. If the
+/// step is UNSAT the property is proved.
+pub fn k_induction(
+    module: &Module,
+    blasted: &Blasted,
+    prop: &WindowProperty,
+    max_k: u32,
+) -> CheckResult {
+    let depth = prop.depth() as usize;
+    // Base cases, shared incrementally.
+    let mut base = Unroller::new(blasted, false);
+    for k in 0..=max_k as usize {
+        // Base: violation in window starting at k from reset?
+        base.ensure_frame(k + depth);
+        let v = base.violation_lit(k, prop);
+        if base.solver().solve_with_assumptions(&[v]) == SolveResult::Sat {
+            let cex = base.extract_cex(module, k + depth);
+            return CheckResult::Violated(cex);
+        }
+        // Step: from a free state, k windows hold but window k fails?
+        let mut step = Unroller::new(blasted, true);
+        step.ensure_frame(k + depth);
+        let mut assumptions = Vec::new();
+        for j in 0..k {
+            let h = step.holds_lit(j, prop);
+            assumptions.push(h);
+        }
+        let v = step.violation_lit(k, prop);
+        assumptions.push(v);
+        if step.solver().solve_with_assumptions(&assumptions) == SolveResult::Unsat {
+            return CheckResult::Proved;
+        }
+    }
+    CheckResult::Unknown { bound: max_k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blast::blast;
+    use gm_rtl::{elaborate, parse_verilog};
+
+    fn setup(src: &str) -> (gm_rtl::Module, Blasted) {
+        let m = parse_verilog(src).unwrap();
+        let e = elaborate(&m).unwrap();
+        let b = blast(&m, &e).unwrap();
+        (m, b)
+    }
+
+    const DFF: &str = "
+    module dff(input clk, input rst, input d, output reg q);
+      always @(posedge clk)
+        if (rst) q <= 0;
+        else q <= d;
+    endmodule";
+
+    #[test]
+    fn bmc_finds_combinational_violation() {
+        let (m, b) = setup("module m(input a, output y); assign y = ~a; endmodule");
+        let a = m.require("a").unwrap();
+        let y = m.require("y").unwrap();
+        // Claim: a -> y. Violated by a=1.
+        let prop = WindowProperty {
+            antecedent: vec![BitAtom::new(a, 0, 0, true)],
+            consequent: BitAtom::new(y, 0, 0, true),
+        };
+        match bmc(&m, &b, &prop, 0) {
+            CheckResult::Violated(cex) => {
+                assert_eq!(cex.len(), 1);
+                let (sig, v) = cex.inputs[0][0];
+                assert_eq!(sig, a);
+                assert!(v.is_nonzero());
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bmc_cannot_violate_true_property() {
+        let (m, b) = setup("module m(input a, output y); assign y = ~a; endmodule");
+        let a = m.require("a").unwrap();
+        let y = m.require("y").unwrap();
+        let prop = WindowProperty {
+            antecedent: vec![BitAtom::new(a, 0, 0, true)],
+            consequent: BitAtom::new(y, 0, 0, false),
+        };
+        assert_eq!(bmc(&m, &b, &prop, 5), CheckResult::Unknown { bound: 5 });
+    }
+
+    #[test]
+    fn k_induction_proves_dff_follows_input() {
+        let (m, b) = setup(DFF);
+        let d = m.require("d").unwrap();
+        let q = m.require("q").unwrap();
+        // d@0 |-> q@1 — inductive with k=1.
+        let prop = WindowProperty {
+            antecedent: vec![BitAtom::new(d, 0, 0, true)],
+            consequent: BitAtom::new(q, 0, 1, true),
+        };
+        assert_eq!(k_induction(&m, &b, &prop, 4), CheckResult::Proved);
+    }
+
+    #[test]
+    fn k_induction_finds_sequential_violation() {
+        let (m, b) = setup(DFF);
+        let d = m.require("d").unwrap();
+        let q = m.require("q").unwrap();
+        // Claim: d@0 |-> !q@1, false: needs one step from reset.
+        let prop = WindowProperty {
+            antecedent: vec![BitAtom::new(d, 0, 0, true)],
+            consequent: BitAtom::new(q, 0, 1, false),
+        };
+        match k_induction(&m, &b, &prop, 4) {
+            CheckResult::Violated(cex) => {
+                assert!(!cex.is_empty());
+                // The violating input must set d at the window start.
+                let (sig, v) = cex.inputs[cex.len() - 2][0];
+                assert_eq!(sig, d);
+                assert!(v.is_nonzero());
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counter_saturation_proved_by_induction() {
+        // A saturating 2-bit counter never wraps: q==3 stays 3.
+        let (m, b) = setup(
+            "module m(input clk, input rst, input en, output reg [1:0] q);
+               always @(posedge clk)
+                 if (rst) q <= 0;
+                 else if (en & (q != 2'd3)) q <= q + 2'd1;
+                 else q <= q;
+             endmodule",
+        );
+        let q = m.require("q").unwrap();
+        // q[0]@0 & q[1]@0 |-> q[0]@1 (saturated stays saturated).
+        let prop = WindowProperty {
+            antecedent: vec![BitAtom::new(q, 0, 0, true), BitAtom::new(q, 1, 0, true)],
+            consequent: BitAtom::new(q, 0, 1, true),
+        };
+        assert_eq!(k_induction(&m, &b, &prop, 4), CheckResult::Proved);
+    }
+}

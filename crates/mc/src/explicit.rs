@@ -1,0 +1,348 @@
+//! Explicit-state reachability model checking.
+//!
+//! For the paper's benchmark-scale designs (a handful of state bits,
+//! narrow input vectors) explicit enumeration is *exact*: it computes the
+//! reachable state set from reset and checks every property window from
+//! every reachable state, so — unlike k-induction — it never answers
+//! `Unknown` and never reports violations from unreachable states.
+//! The reachable set is computed once per design and shared across all
+//! assertion checks of a refinement run.
+
+use crate::aig::Aig;
+use crate::blast::Blasted;
+use crate::error::McError;
+use crate::prop::{assemble_input_vector, CexTrace, CheckResult, WindowProperty};
+use gm_rtl::Module;
+use std::collections::HashMap;
+
+/// Budgets for explicit exploration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExplicitLimits {
+    /// Maximum number of state bits (states are packed into a `u64`).
+    pub max_state_bits: u32,
+    /// Maximum number of free input bits (each state fans out into
+    /// `2^input_bits` successors).
+    pub max_input_bits: u32,
+    /// Maximum number of reachable states to enumerate.
+    pub max_states: usize,
+    /// Maximum `(depth + 1) * input_bits` for window enumeration.
+    pub max_window_bits: u32,
+}
+
+impl Default for ExplicitLimits {
+    fn default() -> Self {
+        ExplicitLimits {
+            max_state_bits: 24,
+            max_input_bits: 12,
+            max_states: 1 << 20,
+            max_window_bits: 24,
+        }
+    }
+}
+
+/// The reachable state space of a blasted design, with BFS predecessors
+/// for counterexample reconstruction.
+#[derive(Clone, Debug)]
+pub struct ReachableStates {
+    /// Packed latch states, in BFS discovery order (index 0 = reset).
+    pub states: Vec<u64>,
+    /// For each state (by discovery index): the predecessor state index
+    /// and the input word that reached it. `None` for the reset state.
+    pub parent: Vec<Option<(usize, u64)>>,
+    input_bits: u32,
+    state_bits: u32,
+}
+
+fn unpack(word: u64, bits: u32) -> Vec<bool> {
+    (0..bits).map(|i| (word >> i) & 1 == 1).collect()
+}
+
+fn pack(bools: &[bool]) -> u64 {
+    bools
+        .iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+impl ReachableStates {
+    /// Enumerates the reachable states of `blasted` from its reset state.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the design exceeds the limits (too many state or input
+    /// bits, or more reachable states than budgeted).
+    pub fn explore(blasted: &Blasted, limits: &ExplicitLimits) -> Result<Self, McError> {
+        let aig = &blasted.aig;
+        let state_bits = aig.latch_count() as u32;
+        let input_bits = aig.input_count() as u32;
+        if state_bits > limits.max_state_bits.min(64) {
+            return Err(McError::StateTooLarge {
+                bits: state_bits,
+                limit: limits.max_state_bits.min(64),
+            });
+        }
+        if input_bits > limits.max_input_bits.min(63) {
+            return Err(McError::InputTooWide {
+                bits: input_bits,
+                limit: limits.max_input_bits.min(63),
+            });
+        }
+        let init = pack(&aig.initial_state());
+        let mut states = vec![init];
+        let mut parent = vec![None];
+        let mut index = HashMap::new();
+        index.insert(init, 0usize);
+        let mut head = 0usize;
+        let combos = 1u64 << input_bits;
+        while head < states.len() {
+            let s = states[head];
+            let latches = unpack(s, state_bits);
+            for u in 0..combos {
+                let inputs = unpack(u, input_bits);
+                let vals = aig.eval(&inputs, &latches);
+                let next = pack(&aig.next_state(&vals));
+                if !index.contains_key(&next) {
+                    if states.len() >= limits.max_states {
+                        return Err(McError::StateSpaceExceeded {
+                            limit: limits.max_states,
+                        });
+                    }
+                    index.insert(next, states.len());
+                    states.push(next);
+                    parent.push(Some((head, u)));
+                }
+            }
+            head += 1;
+        }
+        Ok(ReachableStates {
+            states,
+            parent,
+            input_bits,
+            state_bits,
+        })
+    }
+
+    /// The number of reachable states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether no states were enumerated (impossible after `explore`).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Reconstructs the input sequence leading from reset to the state at
+    /// `state_index`.
+    fn path_to(&self, state_index: usize) -> Vec<u64> {
+        let mut rev = Vec::new();
+        let mut cur = state_index;
+        while let Some((prev, word)) = self.parent[cur] {
+            rev.push(word);
+            cur = prev;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+/// Checks `prop` against every reachable window of the design.
+///
+/// # Errors
+///
+/// Fails when `(depth + 1) * input_bits` exceeds the window budget.
+pub fn explicit_check(
+    module: &Module,
+    blasted: &Blasted,
+    reach: &ReachableStates,
+    prop: &WindowProperty,
+    limits: &ExplicitLimits,
+) -> Result<CheckResult, McError> {
+    let aig = &blasted.aig;
+    let depth = prop.depth();
+    let window_bits = (depth + 1) * reach.input_bits;
+    if window_bits > limits.max_window_bits.min(63) {
+        return Err(McError::WindowTooWide {
+            bits: window_bits,
+            limit: limits.max_window_bits.min(63),
+        });
+    }
+    // Group atoms by offset for incremental checking during the window walk.
+    let mut ant_by_offset: Vec<Vec<&crate::prop::BitAtom>> =
+        vec![Vec::new(); depth as usize + 1];
+    for a in &prop.antecedent {
+        ant_by_offset[a.offset as usize].push(a);
+    }
+    let combos = 1u64 << reach.input_bits;
+
+    for (si, &packed) in reach.states.iter().enumerate() {
+        let start_latches = unpack(packed, reach.state_bits);
+        // Depth-first walk over input sequences with antecedent pruning.
+        let mut stack: Vec<(u32, Vec<bool>, Vec<u64>, Option<bool>)> = Vec::new();
+        // (next_offset, latches_at_offset, inputs_so_far, consequent_value)
+        stack.push((0, start_latches.clone(), Vec::new(), None));
+        while let Some((offset, latches, words, cons_seen)) = stack.pop() {
+            if offset > depth {
+                // All antecedent atoms held; check the consequent.
+                let cons_val = cons_seen.expect("consequent evaluated in-window");
+                if cons_val != prop.consequent.value {
+                    let mut inputs = Vec::new();
+                    for w in reach.path_to(si) {
+                        let bits = unpack(w, reach.input_bits);
+                        inputs.push(assemble_input_vector(module, blasted, |i| bits[i]));
+                    }
+                    for w in &words {
+                        let bits = unpack(*w, reach.input_bits);
+                        inputs.push(assemble_input_vector(module, blasted, |i| bits[i]));
+                    }
+                    return Ok(CheckResult::Violated(CexTrace { inputs }));
+                }
+                continue;
+            }
+            for u in 0..combos {
+                let inputs = unpack(u, reach.input_bits);
+                let vals = aig.eval(&inputs, &latches);
+                // Antecedent atoms at this offset must hold.
+                let ant_ok = ant_by_offset[offset as usize].iter().all(|a| {
+                    aig.lit_value(&vals, blasted.signal_bit(a.signal, a.bit)) == a.value
+                });
+                if !ant_ok {
+                    continue;
+                }
+                let mut cons = cons_seen;
+                if prop.consequent.offset == offset {
+                    cons = Some(aig.lit_value(
+                        &vals,
+                        blasted.signal_bit(prop.consequent.signal, prop.consequent.bit),
+                    ));
+                }
+                let mut w = words.clone();
+                w.push(u);
+                stack.push((offset + 1, next_latches(aig, &vals), w, cons));
+            }
+        }
+    }
+    Ok(CheckResult::Proved)
+}
+
+fn next_latches(aig: &Aig, vals: &[bool]) -> Vec<bool> {
+    aig.next_state(vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blast::blast;
+    use crate::prop::BitAtom;
+    use gm_rtl::{elaborate, parse_verilog};
+
+    const ARBITER2: &str = "
+    module arbiter2(input clk, input rst, input req0, input req1,
+                    output reg gnt0, output reg gnt1);
+      always @(posedge clk)
+        if (rst) begin
+          gnt0 <= 0; gnt1 <= 0;
+        end else begin
+          gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+          gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+        end
+    endmodule";
+
+    fn setup(src: &str) -> (gm_rtl::Module, Blasted, ReachableStates) {
+        let m = parse_verilog(src).unwrap();
+        let e = elaborate(&m).unwrap();
+        let b = blast(&m, &e).unwrap();
+        let r = ReachableStates::explore(&b, &ExplicitLimits::default()).unwrap();
+        (m, b, r)
+    }
+
+    #[test]
+    fn arbiter_reachable_states_exclude_double_grant() {
+        let (_m, _b, r) = setup(ARBITER2);
+        // gnt0 and gnt1 can never be high simultaneously: 3 states, not 4.
+        assert_eq!(r.len(), 3);
+        assert!(!r.states.contains(&0b11));
+    }
+
+    #[test]
+    fn mutual_exclusion_is_proved() {
+        let (m, b, r) = setup(ARBITER2);
+        let gnt0 = m.require("gnt0").unwrap();
+        let gnt1 = m.require("gnt1").unwrap();
+        // gnt0@0 |-> !gnt1@0 — holds on reachable states only.
+        let prop = WindowProperty {
+            antecedent: vec![BitAtom::new(gnt0, 0, 0, true)],
+            consequent: BitAtom::new(gnt1, 0, 0, false),
+        };
+        let res = explicit_check(&m, &b, &r, &prop, &ExplicitLimits::default()).unwrap();
+        assert_eq!(res, CheckResult::Proved);
+    }
+
+    #[test]
+    fn paper_assertion_a0_is_violated_with_trace() {
+        let (m, b, r) = setup(ARBITER2);
+        let req0 = m.require("req0").unwrap();
+        let gnt0 = m.require("gnt0").unwrap();
+        // The paper's A0: !req0@0 |-> gnt0@1 — spurious.
+        let prop = WindowProperty {
+            antecedent: vec![BitAtom::new(req0, 0, 0, false)],
+            consequent: BitAtom::new(gnt0, 0, 1, true),
+        };
+        match explicit_check(&m, &b, &r, &prop, &ExplicitLimits::default()).unwrap() {
+            CheckResult::Violated(cex) => {
+                // Replaying the trace must end with the violation: verify
+                // by simulation.
+                let mut sim = gm_sim::Simulator::new(&m).unwrap();
+                let rst = m.require("rst").unwrap();
+                sim.set_input(rst, gm_rtl::Bv::one_bit());
+                sim.step();
+                sim.set_input(rst, gm_rtl::Bv::zero_bit());
+                let trace = sim.run_vectors(&cex.inputs, &mut gm_sim::NopObserver);
+                let last = trace.len() - 1;
+                assert!(
+                    !trace.bit(last - 1, req0, 0),
+                    "antecedent holds at window start"
+                );
+                assert!(!trace.bit(last, gnt0, 0), "consequent fails at window end");
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_assertion_a2_is_proved() {
+        let (m, b, r) = setup(ARBITER2);
+        let req0 = m.require("req0").unwrap();
+        let gnt0 = m.require("gnt0").unwrap();
+        // A2: !req0@0 & !req0@1 |-> !gnt0@2 (paper: ~req0 & X~req0 => XX~gnt0).
+        let prop = WindowProperty {
+            antecedent: vec![
+                BitAtom::new(req0, 0, 0, false),
+                BitAtom::new(req0, 0, 1, false),
+            ],
+            consequent: BitAtom::new(gnt0, 0, 2, false),
+        };
+        let res = explicit_check(&m, &b, &r, &prop, &ExplicitLimits::default()).unwrap();
+        assert_eq!(res, CheckResult::Proved);
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let m = parse_verilog(
+            "module m(input clk, input [7:0] d, output reg [7:0] q);
+               always @(posedge clk) q <= d;
+             endmodule",
+        )
+        .unwrap();
+        let e = elaborate(&m).unwrap();
+        let b = blast(&m, &e).unwrap();
+        let tight = ExplicitLimits {
+            max_input_bits: 4,
+            ..ExplicitLimits::default()
+        };
+        assert!(matches!(
+            ReachableStates::explore(&b, &tight),
+            Err(McError::InputTooWide { .. })
+        ));
+    }
+}

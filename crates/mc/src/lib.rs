@@ -1,0 +1,42 @@
+//! # gm-mc — bit-level model checking
+//!
+//! The formal half of GoldMine: decides mined candidate assertions and
+//! produces the counterexample traces that drive the paper's refinement
+//! loop. Replaces the SMV / commercial checkers the paper used.
+//!
+//! Pipeline: [`blast`] compiles an elaborated `gm-rtl` module into an
+//! and-inverter graph ([`Aig`]) with hash-consing; properties are
+//! [`WindowProperty`]s (bounded-window implications, the shape of every
+//! decision-tree assertion); three engines decide them:
+//!
+//! * **explicit-state reachability** ([`ReachableStates`],
+//!   [`explicit_check`]) — exact for benchmark-scale designs, never
+//!   `Unknown`, never confused by unreachable states;
+//! * **BMC** ([`bmc`]) — SAT-based refutation with reset-rooted traces;
+//! * **k-induction** ([`k_induction`]) — SAT-based proof, may answer
+//!   `Unknown`.
+//!
+//! [`Checker`] bit-blasts once and dispatches queries, caching the
+//! reachable set across the hundreds of assertion checks a refinement
+//! run makes. Model-checking semantics: reset pinned deasserted, initial
+//! state = declared register init values (see DESIGN.md).
+
+#![warn(missing_docs)]
+
+mod aig;
+mod aiger;
+mod blast;
+mod bmc;
+mod check;
+mod error;
+mod explicit;
+mod prop;
+
+pub use aig::{Aig, AigLit, AigNode, Latch};
+pub use aiger::{blasted_to_aiger, to_aiger};
+pub use blast::{blast, Blasted};
+pub use bmc::{bmc, k_induction, Unroller};
+pub use check::{Backend, Checker};
+pub use error::McError;
+pub use explicit::{explicit_check, ExplicitLimits, ReachableStates};
+pub use prop::{BitAtom, CexTrace, CheckResult, WindowProperty};

@@ -1,0 +1,199 @@
+//! Safety properties over bounded windows, and counterexample traces.
+//!
+//! A mined assertion is an implication over a bounded window of cycles:
+//! a conjunction of (signal, bit, offset, value) atoms implies one
+//! consequent atom. Model checking decides `G (antecedent -> consequent)`
+//! over all reachable windows; a violation yields a reset-rooted input
+//! trace that the engine replays through the simulator (the paper's
+//! `Ctx_simulation()`).
+
+use crate::blast::Blasted;
+use gm_rtl::{Bv, Module, SignalId};
+use gm_sim::InputVector;
+use std::fmt;
+
+/// One observation in a window property: signal bit `bit` of `signal`,
+/// `offset` cycles after the window start, equals `value`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BitAtom {
+    /// The observed signal.
+    pub signal: SignalId,
+    /// The observed bit (0 = LSB).
+    pub bit: u32,
+    /// Cycle offset within the window (0 = window start).
+    pub offset: u32,
+    /// The expected value.
+    pub value: bool,
+}
+
+impl BitAtom {
+    /// Creates an atom.
+    pub fn new(signal: SignalId, bit: u32, offset: u32, value: bool) -> Self {
+        BitAtom {
+            signal,
+            bit,
+            offset,
+            value,
+        }
+    }
+}
+
+/// A windowed safety property: `G (/\ antecedent -> consequent)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowProperty {
+    /// Antecedent atoms (conjoined). Empty means `true`.
+    pub antecedent: Vec<BitAtom>,
+    /// The consequent atom.
+    pub consequent: BitAtom,
+}
+
+impl WindowProperty {
+    /// The window depth: the largest offset used by any atom. The window
+    /// spans `depth() + 1` cycles.
+    pub fn depth(&self) -> u32 {
+        self.antecedent
+            .iter()
+            .map(|a| a.offset)
+            .chain(std::iter::once(self.consequent.offset))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Formats the property with signal names for diagnostics.
+    pub fn display<'a>(&'a self, module: &'a Module) -> DisplayProperty<'a> {
+        DisplayProperty {
+            prop: self,
+            module,
+        }
+    }
+}
+
+/// Helper returned by [`WindowProperty::display`].
+#[derive(Debug)]
+pub struct DisplayProperty<'a> {
+    prop: &'a WindowProperty,
+    module: &'a Module,
+}
+
+impl fmt::Display for DisplayProperty<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let atom = |f: &mut fmt::Formatter<'_>, a: &BitAtom| -> fmt::Result {
+            let sig = self.module.signal(a.signal);
+            if !a.value {
+                write!(f, "!")?;
+            }
+            write!(f, "{}", sig.name())?;
+            if sig.width() > 1 {
+                write!(f, "[{}]", a.bit)?;
+            }
+            write!(f, "@{}", a.offset)
+        };
+        if self.prop.antecedent.is_empty() {
+            write!(f, "true")?;
+        } else {
+            for (i, a) in self.prop.antecedent.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                atom(f, a)?;
+            }
+        }
+        write!(f, " |-> ")?;
+        atom(f, &self.prop.consequent)
+    }
+}
+
+/// A counterexample: a reset-rooted sequence of data-input vectors that
+/// drives the design through a window violating the property.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CexTrace {
+    /// One input vector per cycle, starting at the reset state.
+    pub inputs: Vec<InputVector>,
+}
+
+impl CexTrace {
+    /// The number of cycles in the trace.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+/// Groups per-bit AIG input values into per-signal input vectors.
+///
+/// `bit_of` maps a dense AIG input index to its boolean value.
+pub(crate) fn assemble_input_vector(
+    module: &Module,
+    blasted: &Blasted,
+    bit_of: impl Fn(usize) -> bool,
+) -> InputVector {
+    let mut vec: Vec<(SignalId, Bv)> = module
+        .data_inputs()
+        .into_iter()
+        .map(|s| (s, Bv::zeros(module.signal_width(s))))
+        .collect();
+    for (i, &(sig, bit)) in blasted.input_bits.iter().enumerate() {
+        if let Some(entry) = vec.iter_mut().find(|(s, _)| *s == sig) {
+            entry.1 = entry.1.with_bit(bit, bit_of(i));
+        }
+    }
+    vec
+}
+
+/// The result of a model-checking query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckResult {
+    /// The property holds on all reachable behaviors.
+    Proved,
+    /// The property is violated; the trace drives the design from reset
+    /// into a violating window.
+    Violated(CexTrace),
+    /// The bounded engines could not decide within their budgets.
+    Unknown {
+        /// The bound reached before giving up.
+        bound: u32,
+    },
+}
+
+impl CheckResult {
+    /// Whether the result is [`CheckResult::Proved`].
+    pub fn is_proved(&self) -> bool {
+        matches!(self, CheckResult::Proved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_rtl::parse_verilog;
+
+    #[test]
+    fn depth_is_max_offset() {
+        let m = parse_verilog("module m(input a, output y); assign y = a; endmodule").unwrap();
+        let a = m.require("a").unwrap();
+        let y = m.require("y").unwrap();
+        let p = WindowProperty {
+            antecedent: vec![BitAtom::new(a, 0, 0, true), BitAtom::new(a, 0, 1, false)],
+            consequent: BitAtom::new(y, 0, 2, true),
+        };
+        assert_eq!(p.depth(), 2);
+        let display = format!("{}", p.display(&m));
+        assert_eq!(display, "a@0 & !a@1 |-> y@2");
+    }
+
+    #[test]
+    fn empty_antecedent_displays_true() {
+        let m = parse_verilog("module m(input a, output y); assign y = a; endmodule").unwrap();
+        let y = m.require("y").unwrap();
+        let p = WindowProperty {
+            antecedent: vec![],
+            consequent: BitAtom::new(y, 0, 0, false),
+        };
+        assert_eq!(p.depth(), 0);
+        assert_eq!(format!("{}", p.display(&m)), "true |-> !y@0");
+    }
+}

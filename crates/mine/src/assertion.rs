@@ -1,0 +1,329 @@
+//! Candidate assertions extracted from decision-tree leaves.
+//!
+//! A leaf with zero error is a 100%-confidence rule: the conjunction of
+//! the (feature, value) pairs on its path implies the target value
+//! (Definition 2 in the paper). Assertions render in LTL (the paper's
+//! notation, e.g. `req0 & X req0 & X !req1 => X X gnt0`) and
+//! SystemVerilog Assertion syntax.
+
+use crate::features::{Feature, MiningSpec, Target};
+use crate::tree::{DecisionTree, LeafStatus};
+use gm_rtl::Module;
+
+/// A mined candidate assertion for one output bit.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Assertion {
+    /// Path literals: feature and required value, in root-to-leaf order.
+    pub literals: Vec<(Feature, bool)>,
+    /// The implied target.
+    pub target: Target,
+    /// The implied target value.
+    pub value: bool,
+}
+
+impl Assertion {
+    /// The fraction of the *input* space this assertion covers:
+    /// `2^-(number of input literals)` — the paper's §7.1 formula, where
+    /// non-input (state) literals do not shrink the input share.
+    pub fn input_space_fraction(&self, module: &Module) -> f64 {
+        let input_literals = self
+            .literals
+            .iter()
+            .filter(|(f, _)| module.signal(f.signal).is_input())
+            .count();
+        0.5f64.powi(input_literals as i32)
+    }
+
+    fn atom_name(module: &Module, signal: gm_rtl::SignalId, bit: u32) -> String {
+        let sig = module.signal(signal);
+        if sig.width() > 1 {
+            format!("{}[{}]", sig.name(), bit)
+        } else {
+            sig.name().to_string()
+        }
+    }
+
+    /// Renders the assertion in the paper's LTL notation: literals
+    /// prefixed with one `X` per cycle offset, e.g.
+    /// `req0 & X !req1 => X X gnt0`.
+    pub fn to_ltl(&self, module: &Module) -> String {
+        let mut atoms: Vec<String> = Vec::new();
+        let mut sorted = self.literals.clone();
+        sorted.sort_by_key(|(f, _)| (f.offset, f.signal, f.bit));
+        for (f, v) in &sorted {
+            let mut s = "X ".repeat(f.offset as usize);
+            if !*v {
+                s.push('!');
+            }
+            s.push_str(&Self::atom_name(module, f.signal, f.bit));
+            atoms.push(s);
+        }
+        let ant = if atoms.is_empty() {
+            "true".to_string()
+        } else {
+            atoms.join(" & ")
+        };
+        let mut cons = "X ".repeat(self.target.offset as usize);
+        if !self.value {
+            cons.push('!');
+        }
+        cons.push_str(&Self::atom_name(module, self.target.signal, self.target.bit));
+        format!("{ant} => {cons}")
+    }
+
+    /// Renders the assertion as a PSL property (the paper's other output
+    /// format): `always (ant -> next[k] (cons))` with `next`-nested
+    /// antecedent stages.
+    pub fn to_psl(&self, module: &Module) -> String {
+        let mut sorted = self.literals.clone();
+        sorted.sort_by_key(|(f, _)| (f.offset, f.signal, f.bit));
+        let atom = |signal, bit, value: bool| {
+            format!(
+                "{}{}",
+                if value { "" } else { "!" },
+                Self::atom_name(module, signal, bit)
+            )
+        };
+        let mut ant_parts: Vec<String> = Vec::new();
+        for (f, v) in &sorted {
+            let base = atom(f.signal, f.bit, *v);
+            if f.offset == 0 {
+                ant_parts.push(base);
+            } else {
+                ant_parts.push(format!("next[{}] ({base})", f.offset));
+            }
+        }
+        let ant = if ant_parts.is_empty() {
+            "true".to_string()
+        } else {
+            ant_parts.join(" && ")
+        };
+        let cons_base = atom(self.target.signal, self.target.bit, self.value);
+        let cons = if self.target.offset == 0 {
+            cons_base
+        } else {
+            format!("next[{}] ({cons_base})", self.target.offset)
+        };
+        format!("always (({ant}) -> {cons});")
+    }
+
+    /// Renders the assertion as a SystemVerilog property, using `##N`
+    /// cycle delays between offsets.
+    pub fn to_sva(&self, module: &Module) -> String {
+        let mut by_offset: Vec<(u32, Vec<String>)> = Vec::new();
+        let mut sorted = self.literals.clone();
+        sorted.sort_by_key(|(f, _)| (f.offset, f.signal, f.bit));
+        for (f, v) in &sorted {
+            let name = format!(
+                "{}{}",
+                if *v { "" } else { "!" },
+                Self::atom_name(module, f.signal, f.bit)
+            );
+            match by_offset.iter_mut().find(|(o, _)| *o == f.offset) {
+                Some((_, v)) => v.push(name),
+                None => by_offset.push((f.offset, vec![name])),
+            }
+        }
+        let clock = module
+            .clock()
+            .map(|c| module.signal(c).name().to_string())
+            .unwrap_or_else(|| "clk".to_string());
+        let mut seq = String::new();
+        let mut last_offset = 0;
+        if by_offset.is_empty() {
+            seq.push('1');
+        }
+        for (i, (offset, names)) in by_offset.iter().enumerate() {
+            if i > 0 {
+                seq.push_str(&format!(" ##{} ", offset - last_offset));
+            }
+            seq.push_str(&names.join(" && "));
+            last_offset = *offset;
+        }
+        let delay = self.target.offset.saturating_sub(last_offset);
+        let cons = format!(
+            "{}{}",
+            if self.value { "" } else { "!" },
+            Self::atom_name(module, self.target.signal, self.target.bit)
+        );
+        format!("@(posedge {clock}) {seq} |-> ##{delay} {cons};")
+    }
+}
+
+/// Extracts the assertion at a (pure) leaf of the tree.
+pub fn assertion_at(tree: &DecisionTree, spec: &MiningSpec, leaf: usize) -> Assertion {
+    let literals = tree
+        .path(leaf)
+        .into_iter()
+        .map(|(f, v)| (spec.features[f], v))
+        .collect();
+    Assertion {
+        literals,
+        target: spec.target,
+        value: tree.node(leaf).prediction(),
+    }
+}
+
+/// All candidate assertions at open (unproved) leaves.
+pub fn open_candidates(tree: &DecisionTree, spec: &MiningSpec) -> Vec<(usize, Assertion)> {
+    tree.leaves()
+        .into_iter()
+        .filter(|&l| tree.leaf_status(l) == LeafStatus::Open)
+        .map(|l| (l, assertion_at(tree, spec, l)))
+        .collect()
+}
+
+/// All assertions at proved leaves.
+pub fn proved_assertions(tree: &DecisionTree, spec: &MiningSpec) -> Vec<Assertion> {
+    tree.leaves()
+        .into_iter()
+        .filter(|&l| tree.leaf_status(l) == LeafStatus::Proved)
+        .map(|l| assertion_at(tree, spec, l))
+        .collect()
+}
+
+/// The paper's input-space coverage of a set of true assertions: the sum
+/// of `2^-depth` over the (disjoint) leaves, counting only input
+/// literals. Reaches 1.0 exactly at convergence.
+pub fn input_space_coverage(assertions: &[Assertion], module: &Module) -> f64 {
+    assertions
+        .iter()
+        .map(|a| a.input_space_fraction(module))
+        .sum::<f64>()
+        .min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_rtl::{parse_verilog, SignalId};
+
+    fn arbiter() -> gm_rtl::Module {
+        parse_verilog(
+            "module arbiter2(input clk, input rst, input req0, input req1,
+                             output reg gnt0, output reg gnt1);
+               always @(posedge clk)
+                 if (rst) begin gnt0 <= 0; gnt1 <= 0; end
+                 else begin
+                   gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+                   gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+                 end
+             endmodule",
+        )
+        .unwrap()
+    }
+
+    fn feat(m: &gm_rtl::Module, name: &str, offset: u32) -> Feature {
+        Feature {
+            signal: m.require(name).unwrap(),
+            bit: 0,
+            offset,
+        }
+    }
+
+    /// The paper's A2: !req0 & X req0 => X X gnt0.
+    fn a3(m: &gm_rtl::Module) -> Assertion {
+        Assertion {
+            literals: vec![
+                (feat(m, "req0", 0), false),
+                (feat(m, "req0", 1), true),
+            ],
+            target: Target {
+                signal: m.require("gnt0").unwrap(),
+                bit: 0,
+                offset: 2,
+            },
+            value: true,
+        }
+    }
+
+    #[test]
+    fn ltl_rendering_matches_paper_notation() {
+        let m = arbiter();
+        assert_eq!(a3(&m).to_ltl(&m), "!req0 & X req0 => X X gnt0");
+    }
+
+    #[test]
+    fn psl_rendering_uses_next_operators() {
+        let m = arbiter();
+        assert_eq!(
+            a3(&m).to_psl(&m),
+            "always ((!req0 && next[1] (req0)) -> next[2] (gnt0));"
+        );
+        let empty = Assertion {
+            literals: vec![],
+            target: Target {
+                signal: m.require("gnt0").unwrap(),
+                bit: 0,
+                offset: 0,
+            },
+            value: false,
+        };
+        assert_eq!(empty.to_psl(&m), "always ((true) -> !gnt0);");
+    }
+
+    #[test]
+    fn sva_rendering_uses_cycle_delays() {
+        let m = arbiter();
+        assert_eq!(
+            a3(&m).to_sva(&m),
+            "@(posedge clk) !req0 ##1 req0 |-> ##1 gnt0;"
+        );
+    }
+
+    #[test]
+    fn empty_antecedent_renders_true() {
+        let m = arbiter();
+        let a = Assertion {
+            literals: vec![],
+            target: Target {
+                signal: m.require("gnt0").unwrap(),
+                bit: 0,
+                offset: 0,
+            },
+            value: false,
+        };
+        assert_eq!(a.to_ltl(&m), "true => !gnt0");
+        assert_eq!(a.to_sva(&m), "@(posedge clk) 1 |-> ##0 !gnt0;");
+    }
+
+    #[test]
+    fn input_space_counts_only_input_literals() {
+        let m = arbiter();
+        let mut a = a3(&m);
+        assert_eq!(a.input_space_fraction(&m), 0.25);
+        // Adding a state literal (gnt0@0) does not shrink the share.
+        a.literals.push((feat(&m, "gnt0", 0), true));
+        assert_eq!(a.input_space_fraction(&m), 0.25);
+        let b = a3(&m);
+        assert_eq!(input_space_coverage(&[a, b], &m), 0.5);
+    }
+
+    #[test]
+    fn multibit_atoms_show_bit_indices() {
+        let m = parse_verilog(
+            "module m(input clk, input [1:0] s, output reg y);
+               always @(posedge clk) y <= s[0] & s[1];
+             endmodule",
+        )
+        .unwrap();
+        let a = Assertion {
+            literals: vec![(
+                Feature {
+                    signal: m.require("s").unwrap(),
+                    bit: 1,
+                    offset: 0,
+                },
+                true,
+            )],
+            target: Target {
+                signal: m.require("y").unwrap(),
+                bit: 0,
+                offset: 1,
+            },
+            value: false,
+        };
+        assert_eq!(a.to_ltl(&m), "s[1] => X !y");
+        let _ = SignalId::from_raw(0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Mining datasets: windowed rows extracted from simulation traces.
+
+use crate::features::MiningSpec;
+use gm_sim::Trace;
+
+/// One training example: feature values (aligned with
+/// [`MiningSpec::features`]) and the target value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Values of every candidate feature (active and extension).
+    pub features: Vec<bool>,
+    /// The target bit value.
+    pub target: bool,
+}
+
+/// A growing set of rows for one mining target.
+///
+/// Rows carry values for *all* candidate features (including extension
+/// candidates), so activating an extension feature later never requires
+/// revisiting traces — the incremental tree just widens its search.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    rows: Vec<Row>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// The rows collected so far.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// The number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset is empty (the paper's zero-pattern limit study
+    /// starts here).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a hand-constructed row, returning its index. Intended for
+    /// synthetic datasets; simulation data comes via [`Dataset::add_trace`].
+    pub fn push_row(&mut self, row: Row) -> usize {
+        self.rows.push(row);
+        self.rows.len() - 1
+    }
+
+    /// Extracts every complete window of `trace` as a row. Returns the
+    /// indices of the added rows.
+    ///
+    /// A trace of `n` cycles yields `n - span + 1` rows (none if shorter
+    /// than the window span). Duplicate rows are kept — the decision tree
+    /// works on counts, and duplicates mirror the paper's treatment of
+    /// simulation data.
+    pub fn add_trace(&mut self, spec: &MiningSpec, trace: &Trace) -> Vec<usize> {
+        let span = spec.span() as usize;
+        let mut added = Vec::new();
+        if trace.len() < span {
+            return added;
+        }
+        for start in 0..=(trace.len() - span) {
+            let features = spec
+                .features
+                .iter()
+                .map(|f| trace.bit(start + f.offset as usize, f.signal, f.bit))
+                .collect();
+            let target = trace.bit(
+                start + spec.target.offset as usize,
+                spec.target.signal,
+                spec.target.bit,
+            );
+            added.push(self.rows.len());
+            self.rows.push(Row { features, target });
+        }
+        added
+    }
+
+    /// Adds rows from several traces.
+    pub fn add_traces<'t>(
+        &mut self,
+        spec: &MiningSpec,
+        traces: impl IntoIterator<Item = &'t Trace>,
+    ) -> Vec<usize> {
+        let mut all = Vec::new();
+        for t in traces {
+            all.extend(self.add_trace(spec, t));
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_rtl::{cone_of, elaborate, parse_verilog, Bv};
+    use gm_sim::{NopObserver, Simulator};
+
+    #[test]
+    fn windows_slide_over_the_trace() {
+        let m = parse_verilog(
+            "module m(input clk, input rst, input d, output reg q);
+               always @(posedge clk)
+                 if (rst) q <= 0; else q <= d;
+             endmodule",
+        )
+        .unwrap();
+        let e = elaborate(&m).unwrap();
+        let q = m.require("q").unwrap();
+        let d = m.require("d").unwrap();
+        let cone = cone_of(&m, &e, q);
+        let spec = crate::features::MiningSpec::for_output(&m, &e, &cone, 0, 0);
+        assert_eq!(spec.span(), 2, "d@0 -> q@1");
+
+        let mut sim = Simulator::new(&m).unwrap();
+        let rst = m.require("rst").unwrap();
+        sim.set_input(rst, Bv::one_bit());
+        sim.step();
+        sim.set_input(rst, Bv::zero_bit());
+        let patterns = [true, false, true, true];
+        let vectors: Vec<_> = patterns
+            .iter()
+            .map(|&v| vec![(d, Bv::from_bool(v))])
+            .collect();
+        let trace = sim.run_vectors(&vectors, &mut NopObserver);
+
+        let mut ds = Dataset::new();
+        let added = ds.add_trace(&spec, &trace);
+        assert_eq!(added, vec![0, 1, 2]);
+        // Every row obeys q(t+1) = d(t); feature 0 is d@0.
+        let d_idx = spec
+            .features
+            .iter()
+            .position(|f| f.signal == d && f.offset == 0)
+            .unwrap();
+        for row in ds.rows() {
+            assert_eq!(row.target, row.features[d_idx]);
+        }
+    }
+
+    #[test]
+    fn short_traces_yield_nothing() {
+        let m = parse_verilog(
+            "module m(input clk, input rst, input d, output reg q);
+               always @(posedge clk)
+                 if (rst) q <= 0; else q <= d;
+             endmodule",
+        )
+        .unwrap();
+        let e = elaborate(&m).unwrap();
+        let q = m.require("q").unwrap();
+        let cone = cone_of(&m, &e, q);
+        let spec = crate::features::MiningSpec::for_output(&m, &e, &cone, 0, 1);
+        let trace = {
+            let mut sim = Simulator::new(&m).unwrap();
+            sim.run_vectors(&[vec![]], &mut NopObserver)
+        };
+        let mut ds = Dataset::new();
+        assert!(ds.add_trace(&spec, &trace).is_empty());
+        assert!(ds.is_empty());
+    }
+}

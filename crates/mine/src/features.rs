@@ -1,0 +1,199 @@
+//! Mining features: signal bits at temporal offsets.
+//!
+//! The A-Miner's search space (§2.2 of the paper): the static analyzer
+//! restricts mining to the logic cone of the target output, and the
+//! mining window length determines how many cycles of history become
+//! features. The paper's arbiter example mines `gnt0(t+1)` from
+//! `req0/req1` at offsets `t-1` and `t`, later *extending* the search
+//! with "registers and primary outputs in the farthest back temporal
+//! state" (`gnt0(t-1)`) when the window alone cannot explain the output —
+//! [`MiningSpec`] models exactly that split between initially active
+//! features and extension candidates.
+
+use gm_rtl::{Cone, Elab, Module, SignalId};
+
+/// One mining feature: a bit of a signal observed `offset` cycles after
+/// the window start.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Feature {
+    /// The observed signal.
+    pub signal: SignalId,
+    /// The observed bit.
+    pub bit: u32,
+    /// Cycle offset within the window (0 = farthest back).
+    pub offset: u32,
+}
+
+/// The prediction target: a bit of the output at a fixed offset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Target {
+    /// The target signal.
+    pub signal: SignalId,
+    /// The target bit.
+    pub bit: u32,
+    /// Cycle offset within the window.
+    pub offset: u32,
+}
+
+/// The feature universe for mining one output bit.
+///
+/// `features[..initial_active]` are the paper's default search space
+/// (cone inputs across the window); the remainder are extension
+/// candidates (cone state registers at offset 0), activated only when a
+/// leaf becomes contradictory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MiningSpec {
+    /// All candidate features: active ones first.
+    pub features: Vec<Feature>,
+    /// How many features are initially active.
+    pub initial_active: usize,
+    /// The prediction target.
+    pub target: Target,
+    /// The mining window length `w` (features span offsets `0..=w`).
+    pub window: u32,
+}
+
+impl MiningSpec {
+    /// Builds the spec for one bit of a target signal.
+    ///
+    /// Features are the cone's primary inputs at offsets `0..=window`;
+    /// extension candidates are the cone's state elements (which includes
+    /// registered outputs) at offset 0 — the farthest-back temporal
+    /// stage, following the paper's §6. The target sits at offset
+    /// `window` for combinational outputs and `window + 1` (the
+    /// post-edge value) for registered outputs.
+    pub fn for_output(
+        module: &Module,
+        elab: &Elab,
+        cone: &Cone,
+        target_bit: u32,
+        window: u32,
+    ) -> Self {
+        let mut features = Vec::new();
+        for offset in 0..=window {
+            for &sig in &cone.inputs {
+                for bit in 0..module.signal_width(sig) {
+                    features.push(Feature {
+                        signal: sig,
+                        bit,
+                        offset,
+                    });
+                }
+            }
+        }
+        let initial_active = features.len();
+        for &sig in &cone.state {
+            for bit in 0..module.signal_width(sig) {
+                features.push(Feature {
+                    signal: sig,
+                    bit,
+                    offset: 0,
+                });
+            }
+        }
+        let is_state = elab.is_state(cone.target);
+        let target = Target {
+            signal: cone.target,
+            bit: target_bit,
+            offset: if is_state { window + 1 } else { window },
+        };
+        MiningSpec {
+            features,
+            initial_active,
+            target,
+            window,
+        }
+    }
+
+    /// The number of cycles a mining window spans (the row span).
+    pub fn span(&self) -> u32 {
+        self.features
+            .iter()
+            .map(|f| f.offset)
+            .chain(std::iter::once(self.target.offset))
+            .max()
+            .unwrap_or(0)
+            + 1
+    }
+
+    /// Whether feature `idx` observes a primary input (vs. a state
+    /// element). Input literals determine the paper's input-space
+    /// coverage accounting.
+    pub fn is_input_feature(&self, module: &Module, idx: usize) -> bool {
+        module.signal(self.features[idx].signal).is_input()
+    }
+
+    /// Human-readable feature name, e.g. `req0@1` or `gnt0[0]@0`.
+    pub fn feature_name(&self, module: &Module, idx: usize) -> String {
+        let f = &self.features[idx];
+        let sig = module.signal(f.signal);
+        if sig.width() > 1 {
+            format!("{}[{}]@{}", sig.name(), f.bit, f.offset)
+        } else {
+            format!("{}@{}", sig.name(), f.offset)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_rtl::{cone_of, elaborate, parse_verilog};
+
+    const ARBITER2: &str = "
+    module arbiter2(input clk, input rst, input req0, input req1,
+                    output reg gnt0, output reg gnt1);
+      always @(posedge clk)
+        if (rst) begin
+          gnt0 <= 0; gnt1 <= 0;
+        end else begin
+          gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+          gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+        end
+    endmodule";
+
+    #[test]
+    fn arbiter_spec_matches_paper_setup() {
+        let m = parse_verilog(ARBITER2).unwrap();
+        let e = elaborate(&m).unwrap();
+        let gnt0 = m.require("gnt0").unwrap();
+        let cone = cone_of(&m, &e, gnt0);
+        let spec = MiningSpec::for_output(&m, &e, &cone, 0, 1);
+        // Active: req0/req1 at offsets 0 and 1 = 4 features.
+        assert_eq!(spec.initial_active, 4);
+        // Extension: gnt0 at offset 0 (gnt1 is not in gnt0's cone).
+        assert_eq!(spec.features.len(), 5);
+        let ext = spec.features[4];
+        assert_eq!(ext.signal, gnt0);
+        assert_eq!(ext.offset, 0);
+        // Registered target predicted at the post-edge cycle.
+        assert_eq!(spec.target.offset, 2);
+        assert_eq!(spec.span(), 3);
+        assert!(spec.is_input_feature(&m, 0));
+        assert!(!spec.is_input_feature(&m, 4));
+    }
+
+    #[test]
+    fn combinational_target_sits_in_window() {
+        let m = parse_verilog(
+            "module m(input a, input [1:0] b, output z);
+               assign z = a & b[1];
+             endmodule",
+        )
+        .unwrap();
+        let e = elaborate(&m).unwrap();
+        let z = m.require("z").unwrap();
+        let cone = cone_of(&m, &e, z);
+        let spec = MiningSpec::for_output(&m, &e, &cone, 0, 0);
+        assert_eq!(spec.target.offset, 0);
+        // a + b[0..1] at offset 0.
+        assert_eq!(spec.initial_active, 3);
+        assert_eq!(spec.feature_name(&m, 0), "a@0");
+        let b1 = spec
+            .features
+            .iter()
+            .position(|f| f.bit == 1)
+            .unwrap();
+        assert_eq!(spec.feature_name(&m, b1), "b[1]@0");
+    }
+}

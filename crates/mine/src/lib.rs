@@ -1,0 +1,30 @@
+//! # gm-mine — decision-tree assertion mining
+//!
+//! The paper's **A-Miner**: learns candidate assertions from simulation
+//! traces with an incremental decision tree.
+//!
+//! * [`MiningSpec`] defines the feature universe for one output bit —
+//!   cone inputs across the mining window, with state registers at the
+//!   farthest-back offset as *extension* candidates (activated only when
+//!   the window cannot explain the output, the paper's §6 move);
+//! * [`Dataset`] extracts windowed rows from [`gm_sim::Trace`]s;
+//! * [`DecisionTree`] is the incremental tree of §3: strict-improvement
+//!   variance splits (100% confidence), counterexample rows re-split
+//!   only the refuted leaf while everything above is preserved
+//!   (Definition 6);
+//! * [`Assertion`] renders leaves in LTL / SVA form and carries the
+//!   paper's `2^-depth` input-space accounting.
+
+#![warn(missing_docs)]
+
+mod assertion;
+mod dataset;
+mod features;
+mod tree;
+
+pub use assertion::{
+    assertion_at, input_space_coverage, open_candidates, proved_assertions, Assertion,
+};
+pub use dataset::{Dataset, Row};
+pub use features::{Feature, MiningSpec, Target};
+pub use tree::{DecisionTree, LeafStatus, MineError, Node};

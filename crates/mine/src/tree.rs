@@ -1,0 +1,577 @@
+//! The incremental decision tree (the paper's §3, Figure 4).
+//!
+//! A variance-minimizing binary decision tree over boolean features. The
+//! paper's two departures from a textbook tree are both here:
+//!
+//! * **100% confidence**: only error-0 leaves yield candidate assertions,
+//!   and a split must *strictly* reduce the error sum — a single
+//!   contradicting example discards a rule (§2.4);
+//! * **incrementality** (Definition 6): when a counterexample row lands
+//!   in a refuted leaf, the structure above the leaf is preserved and
+//!   only the leaf re-splits, possibly after *extending* the feature
+//!   search to state registers at the farthest-back offset (§6).
+//!
+//! Split scoring uses exact integer arithmetic (no float ties): for a
+//! binary target, minimizing the summed squared error is equivalent to
+//! maximizing `ones0²/count0 + ones1²/count1`.
+
+use crate::dataset::Dataset;
+use crate::features::MiningSpec;
+use std::fmt;
+
+/// Verification status of a leaf's candidate assertion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeafStatus {
+    /// Candidate not yet (or unsuccessfully) checked.
+    Open,
+    /// Formally proved: a system invariant; never revisited.
+    Proved,
+}
+
+/// A node of the tree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Row indices (into the dataset) reaching this node.
+    rows: Vec<u32>,
+    /// Number of rows.
+    count: usize,
+    /// Number of rows with target = 1.
+    ones: usize,
+    /// Parent node and which side this node hangs off (`true` = the
+    /// feature-is-1 side). `None` at the root.
+    parent: Option<(usize, bool)>,
+    kind: NodeKind,
+}
+
+#[derive(Clone, Debug)]
+enum NodeKind {
+    Leaf(LeafStatus),
+    Split {
+        feature: usize,
+        zero: usize,
+        one: usize,
+    },
+}
+
+impl Node {
+    /// The summed squared error is zero iff the node is pure.
+    fn is_pure(&self) -> bool {
+        self.ones == 0 || self.ones == self.count
+    }
+
+    /// The predicted target value (the mean, which is exact for pure
+    /// nodes; an empty node predicts 0, the paper's zero-seed start).
+    pub fn prediction(&self) -> bool {
+        self.ones * 2 > self.count
+    }
+
+    /// Rows currently at this node.
+    pub fn row_count(&self) -> usize {
+        self.count
+    }
+}
+
+/// Errors from tree construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MineError {
+    /// Rows with identical candidate-feature values disagree on the
+    /// target even after extending the search — the mining window is too
+    /// short to explain the output.
+    Contradictory {
+        /// The node where the contradiction surfaced.
+        node: usize,
+    },
+    /// New simulation data contradicted a leaf that formal verification
+    /// proved — an internal soundness violation.
+    ProvedLeafContradicted {
+        /// The offending leaf.
+        node: usize,
+    },
+}
+
+impl fmt::Display for MineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MineError::Contradictory { node } => write!(
+                f,
+                "contradictory rows at node {node}: the mining window cannot explain the output"
+            ),
+            MineError::ProvedLeafContradicted { node } => {
+                write!(f, "simulation contradicted proved leaf {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MineError {}
+
+/// The incremental decision tree for one output bit.
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    /// Features `0..active` participate in splits; the rest are
+    /// extension candidates.
+    active: usize,
+    initial_active: usize,
+    total_features: usize,
+}
+
+impl DecisionTree {
+    /// Creates a tree with a single empty root leaf for `spec`.
+    pub fn new(spec: &MiningSpec) -> Self {
+        DecisionTree {
+            nodes: vec![Node {
+                rows: Vec::new(),
+                count: 0,
+                ones: 0,
+                parent: None,
+                kind: NodeKind::Leaf(LeafStatus::Open),
+            }],
+            active: spec.initial_active,
+            initial_active: spec.initial_active,
+            total_features: spec.features.len(),
+        }
+    }
+
+    /// The number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the extended (state-register) features have been activated.
+    pub fn is_extended(&self) -> bool {
+        self.active > self.initial_active
+    }
+
+    /// Node accessor.
+    pub fn node(&self, idx: usize) -> &Node {
+        &self.nodes[idx]
+    }
+
+    /// Whether `idx` is currently a leaf (a refuted leaf turns into a
+    /// split when counterexample rows arrive).
+    pub fn is_leaf(&self, idx: usize) -> bool {
+        matches!(self.nodes[idx].kind, NodeKind::Leaf(_))
+    }
+
+    /// Whether the node's rows all agree on the target (zero error).
+    pub fn is_pure(&self, idx: usize) -> bool {
+        self.nodes[idx].is_pure()
+    }
+
+    /// Indices of all current leaves.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| matches!(self.nodes[i].kind, NodeKind::Leaf(_)))
+            .collect()
+    }
+
+    /// The status of a leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf` is not a leaf.
+    pub fn leaf_status(&self, leaf: usize) -> LeafStatus {
+        match self.nodes[leaf].kind {
+            NodeKind::Leaf(s) => s,
+            NodeKind::Split { .. } => panic!("node {leaf} is not a leaf"),
+        }
+    }
+
+    /// Marks a leaf's candidate as formally proved.
+    pub fn set_proved(&mut self, leaf: usize) {
+        match &mut self.nodes[leaf].kind {
+            NodeKind::Leaf(s) => *s = LeafStatus::Proved,
+            NodeKind::Split { .. } => panic!("node {leaf} is not a leaf"),
+        }
+    }
+
+    /// Whether every leaf is proved — the convergence condition (the
+    /// tree is then the paper's *final decision tree* `F_z`).
+    pub fn converged(&self) -> bool {
+        self.leaves()
+            .into_iter()
+            .all(|l| self.leaf_status(l) == LeafStatus::Proved)
+    }
+
+    /// The (feature, value) path from the root to `node`.
+    pub fn path(&self, node: usize) -> Vec<(usize, bool)> {
+        let mut path = Vec::new();
+        let mut cur = node;
+        while let Some((parent, side)) = self.nodes[cur].parent {
+            let feature = match self.nodes[parent].kind {
+                NodeKind::Split { feature, .. } => feature,
+                NodeKind::Leaf(_) => unreachable!("parent must be a split"),
+            };
+            path.push((feature, side));
+            cur = parent;
+        }
+        path.reverse();
+        path
+    }
+
+    /// The depth of `node` (root = 0).
+    pub fn depth(&self, node: usize) -> usize {
+        self.path(node).len()
+    }
+
+    /// The maximum leaf depth.
+    pub fn max_depth(&self) -> usize {
+        self.leaves().into_iter().map(|l| self.depth(l)).max().unwrap_or(0)
+    }
+
+    /// Classifies a feature vector, returning the leaf it reaches.
+    pub fn classify(&self, features: &[bool]) -> usize {
+        let mut cur = 0usize;
+        loop {
+            match self.nodes[cur].kind {
+                NodeKind::Leaf(_) => return cur,
+                NodeKind::Split { feature, zero, one } => {
+                    cur = if features[feature] { one } else { zero };
+                }
+            }
+        }
+    }
+
+    /// The predicted target value for a feature vector.
+    pub fn predict(&self, features: &[bool]) -> bool {
+        self.nodes[self.classify(features)].prediction()
+    }
+
+    /// Builds the tree from the whole dataset (initial fit).
+    ///
+    /// # Errors
+    ///
+    /// See [`MineError::Contradictory`].
+    pub fn fit(&mut self, data: &Dataset) -> Result<(), MineError> {
+        debug_assert_eq!(self.nodes.len(), 1, "fit on a fresh tree");
+        let root = &mut self.nodes[0];
+        root.rows = (0..data.len() as u32).collect();
+        root.count = data.len();
+        root.ones = data.rows().iter().filter(|r| r.target).count();
+        self.split_recursive(data, 0)
+    }
+
+    /// Routes freshly added rows down the tree (updating statistics on
+    /// the way) and re-splits any leaf they made impure — the paper's
+    /// `Ctx_simulation` + `Recompute_error` + continued splitting.
+    ///
+    /// # Errors
+    ///
+    /// See [`MineError`].
+    pub fn add_rows(&mut self, data: &Dataset, new_rows: &[usize]) -> Result<(), MineError> {
+        let mut touched = Vec::new();
+        for &ri in new_rows {
+            let row = &data.rows()[ri];
+            let mut cur = 0usize;
+            loop {
+                let node = &mut self.nodes[cur];
+                node.rows.push(ri as u32);
+                node.count += 1;
+                node.ones += usize::from(row.target);
+                match node.kind {
+                    NodeKind::Leaf(_) => {
+                        if !touched.contains(&cur) {
+                            touched.push(cur);
+                        }
+                        break;
+                    }
+                    NodeKind::Split { feature, zero, one } => {
+                        cur = if row.features[feature] { one } else { zero };
+                    }
+                }
+            }
+        }
+        for leaf in touched {
+            if !self.nodes[leaf].is_pure() {
+                if matches!(self.nodes[leaf].kind, NodeKind::Leaf(LeafStatus::Proved)) {
+                    return Err(MineError::ProvedLeafContradicted { node: leaf });
+                }
+                self.split_recursive(data, leaf)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Recursively splits `node` until every descendant leaf is pure.
+    fn split_recursive(&mut self, data: &Dataset, node: usize) -> Result<(), MineError> {
+        if self.nodes[node].is_pure() {
+            return Ok(());
+        }
+        let path_features: Vec<usize> =
+            self.path(node).into_iter().map(|(f, _)| f).collect();
+        let best = match self.best_split(data, node, &path_features) {
+            Some(f) => f,
+            None => {
+                // The paper's §6 extension: let the search see registers
+                // and outputs at the farthest-back temporal stage.
+                if self.active < self.total_features {
+                    self.active = self.total_features;
+                    match self.best_split(data, node, &path_features) {
+                        Some(f) => f,
+                        None => return Err(MineError::Contradictory { node }),
+                    }
+                } else {
+                    return Err(MineError::Contradictory { node });
+                }
+            }
+        };
+        // Partition rows.
+        let rows = std::mem::take(&mut self.nodes[node].rows);
+        let mut zero_rows = Vec::new();
+        let mut one_rows = Vec::new();
+        let mut zero_ones = 0usize;
+        let mut one_ones = 0usize;
+        for &ri in &rows {
+            let row = &data.rows()[ri as usize];
+            if row.features[best] {
+                one_ones += usize::from(row.target);
+                one_rows.push(ri);
+            } else {
+                zero_ones += usize::from(row.target);
+                zero_rows.push(ri);
+            }
+        }
+        let zero_idx = self.nodes.len();
+        self.nodes.push(Node {
+            count: zero_rows.len(),
+            ones: zero_ones,
+            rows: zero_rows,
+            parent: Some((node, false)),
+            kind: NodeKind::Leaf(LeafStatus::Open),
+        });
+        let one_idx = self.nodes.len();
+        self.nodes.push(Node {
+            count: one_rows.len(),
+            ones: one_ones,
+            rows: one_rows,
+            parent: Some((node, true)),
+            kind: NodeKind::Leaf(LeafStatus::Open),
+        });
+        self.nodes[node].rows = rows;
+        self.nodes[node].kind = NodeKind::Split {
+            feature: best,
+            zero: zero_idx,
+            one: one_idx,
+        };
+        self.split_recursive(data, zero_idx)?;
+        self.split_recursive(data, one_idx)
+    }
+
+    /// Finds the feature whose split strictly minimizes the children's
+    /// summed squared error. Exact integer scoring: maximize
+    /// `ones0²·count1 + ones1²·count0` over `count0·count1`, strictly
+    /// above the parent's `ones²/count`.
+    fn best_split(&self, data: &Dataset, node: usize, path: &[usize]) -> Option<usize> {
+        let n = &self.nodes[node];
+        let parent_num = (n.ones as u128) * (n.ones as u128);
+        let parent_den = n.count as u128;
+        let mut best: Option<(usize, u128, u128)> = None;
+        for f in 0..self.active {
+            if path.contains(&f) {
+                continue;
+            }
+            let mut c1 = 0usize;
+            let mut o1 = 0usize;
+            for &ri in &n.rows {
+                let row = &data.rows()[ri as usize];
+                if row.features[f] {
+                    c1 += 1;
+                    o1 += usize::from(row.target);
+                }
+            }
+            let c0 = n.count - c1;
+            let o0 = n.ones - o1;
+            if c0 == 0 || c1 == 0 {
+                continue;
+            }
+            // score = o0²/c0 + o1²/c1 = (o0²·c1 + o1²·c0) / (c0·c1)
+            let num = (o0 as u128).pow(2) * c1 as u128 + (o1 as u128).pow(2) * c0 as u128;
+            let den = c0 as u128 * c1 as u128;
+            // Strict improvement over the parent: num/den > parent_num/parent_den.
+            if num * parent_den <= parent_num * den {
+                continue;
+            }
+            match &best {
+                None => best = Some((f, num, den)),
+                Some((_, bn, bd)) => {
+                    if num * bd > bn * den {
+                        best = Some((f, num, den));
+                    }
+                }
+            }
+        }
+        best.map(|(f, _, _)| f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Row;
+    use crate::features::{Feature, MiningSpec, Target};
+    use gm_rtl::SignalId;
+
+    /// A spec over `n` synthetic single-bit input features (offset 0) and
+    /// `ext` extension features.
+    fn spec(n: usize, ext: usize) -> MiningSpec {
+        let features = (0..n + ext)
+            .map(|i| Feature {
+                signal: SignalId::from_raw(i as u32),
+                bit: 0,
+                offset: 0,
+            })
+            .collect();
+        MiningSpec {
+            features,
+            initial_active: n,
+            target: Target {
+                signal: SignalId::from_raw((n + ext) as u32),
+                bit: 0,
+                offset: 0,
+            },
+            window: 0,
+        }
+    }
+
+    fn dataset_from(rows: &[(&[bool], bool)]) -> Dataset {
+        let mut ds = Dataset::new();
+        // Dataset only grows through add_trace normally; build directly
+        // through the testing seam.
+        for (f, t) in rows {
+            ds.push_row(Row {
+                features: f.to_vec(),
+                target: *t,
+            });
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_a_conjunction_exactly() {
+        // z = a & b over the full truth table.
+        let sp = spec(2, 0);
+        let ds = dataset_from(&[
+            (&[false, false], false),
+            (&[false, true], false),
+            (&[true, false], false),
+            (&[true, true], true),
+        ]);
+        let mut tree = DecisionTree::new(&sp);
+        tree.fit(&ds).unwrap();
+        for row in ds.rows() {
+            assert_eq!(tree.predict(&row.features), row.target);
+        }
+        // Tree: root split + one pure side + one further split = 5 nodes.
+        assert_eq!(tree.node_count(), 5);
+        assert_eq!(tree.leaves().len(), 3);
+    }
+
+    #[test]
+    fn empty_dataset_predicts_zero() {
+        let sp = spec(2, 0);
+        let ds = Dataset::new();
+        let mut tree = DecisionTree::new(&sp);
+        tree.fit(&ds).unwrap();
+        assert_eq!(tree.leaves(), vec![0]);
+        assert!(!tree.node(0).prediction(), "zero-seed: output always 0");
+    }
+
+    #[test]
+    fn incremental_add_preserves_structure_and_resplits_leaf() {
+        // Start with data where z looks like `a`, then add a row showing
+        // z = a & b: the a=1 leaf must re-split on b, and the a=0 side
+        // must keep its node identity (Definition 6).
+        let sp = spec(2, 0);
+        let mut ds = dataset_from(&[
+            (&[false, true], false),
+            (&[true, true], true),
+        ]);
+        let mut tree = DecisionTree::new(&sp);
+        tree.fit(&ds).unwrap();
+        let leaves_before = tree.leaves();
+        assert_eq!(leaves_before.len(), 2);
+        let zero_leaf = leaves_before
+            .iter()
+            .copied()
+            .find(|&l| !tree.node(l).prediction())
+            .unwrap();
+        tree.set_proved(zero_leaf);
+
+        // Counterexample: a=1, b=0 -> z=0 contradicts the a=1 leaf.
+        ds.push_row(Row {
+            features: vec![true, false],
+            target: false,
+        });
+        tree.add_rows(&ds, &[2]).unwrap();
+        assert_eq!(
+            tree.leaf_status(zero_leaf),
+            LeafStatus::Proved,
+            "untouched proved leaf survives"
+        );
+        assert_eq!(tree.leaves().len(), 3);
+        assert!(!tree.predict(&[true, false]));
+        assert!(tree.predict(&[true, true]));
+    }
+
+    #[test]
+    fn extension_features_activate_when_stuck() {
+        // Target equals the extension feature; the two active features
+        // are pure noise. With identical active values and differing
+        // targets, the tree must extend the search (the paper's
+        // gnt0(t-1) moment).
+        let sp = spec(2, 1);
+        let ds = dataset_from(&[
+            (&[true, false, false], false),
+            (&[true, false, true], true),
+        ]);
+        let mut tree = DecisionTree::new(&sp);
+        tree.fit(&ds).unwrap();
+        assert_eq!(tree.leaves().len(), 2);
+        assert!(tree.predict(&[true, false, true]));
+        assert!(!tree.predict(&[true, false, false]));
+    }
+
+    #[test]
+    fn contradiction_is_reported() {
+        let sp = spec(1, 0);
+        let ds = dataset_from(&[(&[true], true), (&[true], false)]);
+        let mut tree = DecisionTree::new(&sp);
+        assert!(matches!(
+            tree.fit(&ds),
+            Err(MineError::Contradictory { .. })
+        ));
+    }
+
+    #[test]
+    fn paths_and_depths() {
+        let sp = spec(2, 0);
+        let ds = dataset_from(&[
+            (&[false, false], false),
+            (&[false, true], false),
+            (&[true, false], false),
+            (&[true, true], true),
+        ]);
+        let mut tree = DecisionTree::new(&sp);
+        tree.fit(&ds).unwrap();
+        let deep = tree.classify(&[true, true]);
+        let path = tree.path(deep);
+        assert_eq!(path.len(), 2);
+        assert!(path.iter().all(|(_, v)| *v));
+        assert_eq!(tree.max_depth(), 2);
+        assert_eq!(tree.depth(0), 0);
+    }
+
+    #[test]
+    fn converged_only_when_all_leaves_proved() {
+        let sp = spec(1, 0);
+        let ds = dataset_from(&[(&[false], false), (&[true], true)]);
+        let mut tree = DecisionTree::new(&sp);
+        tree.fit(&ds).unwrap();
+        assert!(!tree.converged());
+        for leaf in tree.leaves() {
+            tree.set_proved(leaf);
+        }
+        assert!(tree.converged());
+    }
+}

@@ -1,0 +1,452 @@
+//! Fixed-width bit-vector values.
+//!
+//! All signal values in the RTL IR are [`Bv`]s: two-valued (0/1) bit
+//! vectors of width 1..=64. Arithmetic wraps modulo `2^width` and all
+//! results are kept masked, so `Bv` can be compared structurally.
+
+use std::fmt;
+
+/// Maximum supported signal width in bits.
+pub const MAX_WIDTH: u32 = 64;
+
+/// A two-valued bit-vector with a fixed width between 1 and 64 bits.
+///
+/// The representation invariant is that all bits above `width` are zero;
+/// every constructor and operation re-establishes it, so `PartialEq`/`Hash`
+/// are structural equality on (width, value).
+///
+/// # Examples
+///
+/// ```
+/// use gm_rtl::Bv;
+///
+/// let a = Bv::new(0b1010, 4);
+/// let b = Bv::new(0b0110, 4);
+/// assert_eq!(a.add(b), Bv::new(0b0000, 4)); // wraps mod 2^4
+/// assert_eq!(a.and(b), Bv::new(0b0010, 4));
+/// assert!(a.bit(1));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Bv {
+    bits: u64,
+    width: u32,
+}
+
+#[inline]
+fn mask(width: u32) -> u64 {
+    debug_assert!(width >= 1 && width <= MAX_WIDTH);
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+#[allow(clippy::should_implement_trait)] // named ops mirror Verilog semantics, not Rust operator traits
+impl Bv {
+    /// Creates a bit-vector from `bits`, truncated to `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or greater than [`MAX_WIDTH`].
+    #[inline]
+    pub fn new(bits: u64, width: u32) -> Self {
+        assert!(
+            width >= 1 && width <= MAX_WIDTH,
+            "bit-vector width {width} out of range 1..=64"
+        );
+        Bv {
+            bits: bits & mask(width),
+            width,
+        }
+    }
+
+    /// The single-bit vector `1'b0`.
+    #[inline]
+    pub fn zero_bit() -> Self {
+        Bv { bits: 0, width: 1 }
+    }
+
+    /// The single-bit vector `1'b1`.
+    #[inline]
+    pub fn one_bit() -> Self {
+        Bv { bits: 1, width: 1 }
+    }
+
+    /// A zero value of the given width.
+    #[inline]
+    pub fn zeros(width: u32) -> Self {
+        Bv::new(0, width)
+    }
+
+    /// An all-ones value of the given width.
+    #[inline]
+    pub fn ones(width: u32) -> Self {
+        Bv::new(u64::MAX, width)
+    }
+
+    /// A single-bit vector from a Rust `bool`.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        Bv {
+            bits: b as u64,
+            width: 1,
+        }
+    }
+
+    /// The raw bits, with everything above `width` guaranteed zero.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// The width in bits (1..=64).
+    #[inline]
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// Whether any bit is set; the Verilog truthiness of the value.
+    #[inline]
+    pub fn is_nonzero(self) -> bool {
+        self.bits != 0
+    }
+
+    /// Whether the value is zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.bits == 0
+    }
+
+    /// The value of bit `i` (little-endian: bit 0 is the LSB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    #[inline]
+    pub fn bit(self, i: u32) -> bool {
+        assert!(i < self.width, "bit index {i} out of width {}", self.width);
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Returns a copy with bit `i` set to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    #[inline]
+    pub fn with_bit(self, i: u32, v: bool) -> Self {
+        assert!(i < self.width, "bit index {i} out of width {}", self.width);
+        let bits = if v {
+            self.bits | (1 << i)
+        } else {
+            self.bits & !(1 << i)
+        };
+        Bv {
+            bits,
+            width: self.width,
+        }
+    }
+
+    /// Zero-extends or truncates to `width`.
+    #[inline]
+    pub fn resize(self, width: u32) -> Self {
+        Bv::new(self.bits, width)
+    }
+
+    /// Bitwise AND. Operands are zero-extended to the wider width.
+    #[inline]
+    pub fn and(self, rhs: Self) -> Self {
+        let w = self.width.max(rhs.width);
+        Bv::new(self.bits & rhs.bits, w)
+    }
+
+    /// Bitwise OR. Operands are zero-extended to the wider width.
+    #[inline]
+    pub fn or(self, rhs: Self) -> Self {
+        let w = self.width.max(rhs.width);
+        Bv::new(self.bits | rhs.bits, w)
+    }
+
+    /// Bitwise XOR. Operands are zero-extended to the wider width.
+    #[inline]
+    pub fn xor(self, rhs: Self) -> Self {
+        let w = self.width.max(rhs.width);
+        Bv::new(self.bits ^ rhs.bits, w)
+    }
+
+    /// Bitwise NOT at this value's width.
+    #[inline]
+    pub fn not(self) -> Self {
+        Bv::new(!self.bits, self.width)
+    }
+
+    /// Two's-complement negation modulo `2^width`.
+    #[inline]
+    pub fn neg(self) -> Self {
+        Bv::new(self.bits.wrapping_neg(), self.width)
+    }
+
+    /// Addition modulo `2^max_width`.
+    #[inline]
+    pub fn add(self, rhs: Self) -> Self {
+        let w = self.width.max(rhs.width);
+        Bv::new(self.bits.wrapping_add(rhs.bits), w)
+    }
+
+    /// Subtraction modulo `2^max_width`.
+    #[inline]
+    pub fn sub(self, rhs: Self) -> Self {
+        let w = self.width.max(rhs.width);
+        Bv::new(self.bits.wrapping_sub(rhs.bits), w)
+    }
+
+    /// Multiplication modulo `2^max_width`.
+    #[inline]
+    pub fn mul(self, rhs: Self) -> Self {
+        let w = self.width.max(rhs.width);
+        Bv::new(self.bits.wrapping_mul(rhs.bits), w)
+    }
+
+    /// Unsigned equality as a single-bit result.
+    #[inline]
+    pub fn eq_bit(self, rhs: Self) -> Self {
+        Bv::from_bool(self.bits == rhs.bits)
+    }
+
+    /// Unsigned inequality as a single-bit result.
+    #[inline]
+    pub fn ne_bit(self, rhs: Self) -> Self {
+        Bv::from_bool(self.bits != rhs.bits)
+    }
+
+    /// Unsigned less-than as a single-bit result.
+    #[inline]
+    pub fn lt_bit(self, rhs: Self) -> Self {
+        Bv::from_bool(self.bits < rhs.bits)
+    }
+
+    /// Unsigned less-or-equal as a single-bit result.
+    #[inline]
+    pub fn le_bit(self, rhs: Self) -> Self {
+        Bv::from_bool(self.bits <= rhs.bits)
+    }
+
+    /// Logical shift left; the result keeps the left operand's width.
+    /// Shift amounts at or beyond the width produce zero.
+    #[inline]
+    pub fn shl(self, amount: Self) -> Self {
+        let sh = amount.bits;
+        if sh >= u64::from(self.width) {
+            Bv::zeros(self.width)
+        } else {
+            Bv::new(self.bits << sh, self.width)
+        }
+    }
+
+    /// Logical shift right; the result keeps the left operand's width.
+    /// Shift amounts at or beyond the width produce zero.
+    #[inline]
+    pub fn shr(self, amount: Self) -> Self {
+        let sh = amount.bits;
+        if sh >= u64::from(self.width) {
+            Bv::zeros(self.width)
+        } else {
+            Bv::new(self.bits >> sh, self.width)
+        }
+    }
+
+    /// AND-reduction: 1 iff all bits are set.
+    #[inline]
+    pub fn reduce_and(self) -> Self {
+        Bv::from_bool(self.bits == mask(self.width))
+    }
+
+    /// OR-reduction: 1 iff any bit is set.
+    #[inline]
+    pub fn reduce_or(self) -> Self {
+        Bv::from_bool(self.bits != 0)
+    }
+
+    /// XOR-reduction: parity of the set bits.
+    #[inline]
+    pub fn reduce_xor(self) -> Self {
+        Bv::from_bool(self.bits.count_ones() % 2 == 1)
+    }
+
+    /// Extracts bits `hi..=lo` (inclusive, `hi >= lo`) as a new value of
+    /// width `hi - lo + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi < lo` or `hi >= self.width()`.
+    #[inline]
+    pub fn slice(self, hi: u32, lo: u32) -> Self {
+        assert!(hi >= lo, "slice [{hi}:{lo}] reversed");
+        assert!(hi < self.width, "slice [{hi}:{lo}] exceeds width {}", self.width);
+        Bv::new(self.bits >> lo, hi - lo + 1)
+    }
+
+    /// Concatenates `self` above `low` (Verilog `{self, low}` ordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the combined width exceeds [`MAX_WIDTH`].
+    #[inline]
+    pub fn concat(self, low: Self) -> Self {
+        let w = self.width + low.width;
+        assert!(w <= MAX_WIDTH, "concatenation width {w} exceeds 64");
+        Bv {
+            bits: (self.bits << low.width) | low.bits,
+            width: w,
+        }
+    }
+}
+
+impl fmt::Debug for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'d{}", self.width, self.bits)
+    }
+}
+
+impl fmt::Display for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.width == 1 {
+            write!(f, "{}", self.bits)
+        } else {
+            write!(f, "{}'d{}", self.width, self.bits)
+        }
+    }
+}
+
+impl fmt::Binary for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b{:0w$b}", self.width, self.bits, w = self.width as usize)
+    }
+}
+
+impl fmt::LowerHex for Bv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'h{:x}", self.width, self.bits)
+    }
+}
+
+impl From<bool> for Bv {
+    fn from(b: bool) -> Self {
+        Bv::from_bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_masks_to_width() {
+        assert_eq!(Bv::new(0xff, 4).bits(), 0xf);
+        assert_eq!(Bv::new(0x123, 8).bits(), 0x23);
+        assert_eq!(Bv::new(u64::MAX, 64).bits(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 0 out of range")]
+    fn zero_width_rejected() {
+        let _ = Bv::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 65 out of range")]
+    fn overwide_rejected() {
+        let _ = Bv::new(0, 65);
+    }
+
+    #[test]
+    fn bit_access() {
+        let v = Bv::new(0b1010, 4);
+        assert!(!v.bit(0));
+        assert!(v.bit(1));
+        assert!(!v.bit(2));
+        assert!(v.bit(3));
+        assert_eq!(v.with_bit(0, true), Bv::new(0b1011, 4));
+        assert_eq!(v.with_bit(3, false), Bv::new(0b0010, 4));
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let a = Bv::new(0xf, 4);
+        let b = Bv::new(1, 4);
+        assert_eq!(a.add(b), Bv::new(0, 4));
+        assert_eq!(b.sub(a), Bv::new(2, 4));
+        assert_eq!(a.mul(a), Bv::new(0xe1 & 0xf, 4));
+        assert_eq!(Bv::new(0, 4).neg(), Bv::new(0, 4));
+        assert_eq!(Bv::new(1, 4).neg(), Bv::new(0xf, 4));
+    }
+
+    #[test]
+    fn mixed_width_ops_extend() {
+        let a = Bv::new(0b1, 1);
+        let b = Bv::new(0b10, 2);
+        let r = a.add(b);
+        assert_eq!(r, Bv::new(0b11, 2));
+        assert_eq!(a.or(b), Bv::new(0b11, 2));
+    }
+
+    #[test]
+    fn comparisons_are_single_bit() {
+        let a = Bv::new(3, 4);
+        let b = Bv::new(5, 4);
+        assert_eq!(a.lt_bit(b), Bv::one_bit());
+        assert_eq!(b.lt_bit(a), Bv::zero_bit());
+        assert_eq!(a.eq_bit(a), Bv::one_bit());
+        assert_eq!(a.ne_bit(b), Bv::one_bit());
+        assert_eq!(a.le_bit(a), Bv::one_bit());
+    }
+
+    #[test]
+    fn shifts_saturate_to_zero() {
+        let a = Bv::new(0b1001, 4);
+        assert_eq!(a.shl(Bv::new(1, 4)), Bv::new(0b0010, 4));
+        assert_eq!(a.shr(Bv::new(3, 4)), Bv::new(0b0001, 4));
+        assert_eq!(a.shl(Bv::new(4, 4)), Bv::zeros(4));
+        assert_eq!(a.shr(Bv::new(15, 4)), Bv::zeros(4));
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(Bv::new(0b1111, 4).reduce_and(), Bv::one_bit());
+        assert_eq!(Bv::new(0b1110, 4).reduce_and(), Bv::zero_bit());
+        assert_eq!(Bv::new(0b0000, 4).reduce_or(), Bv::zero_bit());
+        assert_eq!(Bv::new(0b0100, 4).reduce_or(), Bv::one_bit());
+        assert_eq!(Bv::new(0b0110, 4).reduce_xor(), Bv::zero_bit());
+        assert_eq!(Bv::new(0b0111, 4).reduce_xor(), Bv::one_bit());
+        assert_eq!(Bv::ones(64).reduce_and(), Bv::one_bit());
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let v = Bv::new(0b1011_0110, 8);
+        assert_eq!(v.slice(7, 4), Bv::new(0b1011, 4));
+        assert_eq!(v.slice(3, 0), Bv::new(0b0110, 4));
+        assert_eq!(v.slice(4, 4), Bv::new(1, 1));
+        let hi = Bv::new(0b10, 2);
+        let lo = Bv::new(0b011, 3);
+        assert_eq!(hi.concat(lo), Bv::new(0b10011, 5));
+    }
+
+    #[test]
+    fn formatting() {
+        let v = Bv::new(0b101, 3);
+        assert_eq!(format!("{v}"), "3'd5");
+        assert_eq!(format!("{v:b}"), "3'b101");
+        assert_eq!(format!("{v:x}"), "3'h5");
+        assert_eq!(format!("{}", Bv::one_bit()), "1");
+    }
+
+    #[test]
+    fn full_width_edge_cases() {
+        let m = Bv::ones(64);
+        assert_eq!(m.add(Bv::new(1, 64)), Bv::zeros(64));
+        assert_eq!(m.not(), Bv::zeros(64));
+        assert_eq!(m.slice(63, 63), Bv::one_bit());
+    }
+}

@@ -1,0 +1,176 @@
+//! Cone-of-influence analysis — the paper's *static analyzer*.
+//!
+//! GoldMine restricts the decision-tree miner to the variables that can
+//! actually affect a target output (Definition 8 in the paper: "the logic
+//! cone of an output z is the set of variables that affect z", computed as
+//! a transitive closure). This keeps the mining search space at `n << N`.
+
+use crate::elab::Elab;
+use crate::module::{Module, SignalId};
+use std::collections::{BTreeSet, HashMap};
+
+/// The logic cone of a target signal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cone {
+    /// The signal the cone was computed for.
+    pub target: SignalId,
+    /// Every signal that (transitively) affects the target, including the
+    /// target itself. Ascending order.
+    pub signals: Vec<SignalId>,
+    /// The primary inputs within the cone (clock/reset excluded).
+    pub inputs: Vec<SignalId>,
+    /// The state elements within the cone.
+    pub state: Vec<SignalId>,
+}
+
+impl Cone {
+    /// Whether `sig` belongs to the cone.
+    pub fn contains(&self, sig: SignalId) -> bool {
+        self.signals.binary_search(&sig).is_ok()
+    }
+}
+
+/// Computes direct dependencies for every signal: the signals read by the
+/// process driving it. For state elements these are the next-state
+/// dependencies.
+fn direct_deps(module: &Module, elab: &Elab) -> HashMap<SignalId, Vec<SignalId>> {
+    let mut deps = HashMap::new();
+    for sig in module.signal_ids() {
+        let d = match elab.driver(sig) {
+            Some(p) => module.processes()[p].read_set(),
+            None => Vec::new(),
+        };
+        deps.insert(sig, d);
+    }
+    deps
+}
+
+/// Computes the logic cone of influence for `target`.
+///
+/// The closure follows the driver of each signal: a combinationally driven
+/// signal depends on everything its process reads; a state element depends
+/// on everything its sequential process reads (its previous-cycle support).
+/// The clock and reset inputs are excluded from the reported `inputs`
+/// (they are environment, not data).
+pub fn cone_of(module: &Module, elab: &Elab, target: SignalId) -> Cone {
+    let deps = direct_deps(module, elab);
+    let mut seen: BTreeSet<SignalId> = BTreeSet::new();
+    let mut work = vec![target];
+    while let Some(s) = work.pop() {
+        if !seen.insert(s) {
+            continue;
+        }
+        if let Some(ds) = deps.get(&s) {
+            for &d in ds {
+                if !seen.contains(&d) {
+                    work.push(d);
+                }
+            }
+        }
+    }
+    let signals: Vec<SignalId> = seen.into_iter().collect();
+    let inputs = signals
+        .iter()
+        .copied()
+        .filter(|s| {
+            module.signal(*s).is_input()
+                && Some(*s) != module.clock()
+                && Some(*s) != module.reset()
+        })
+        .collect();
+    let state = signals
+        .iter()
+        .copied()
+        .filter(|s| elab.is_state(*s))
+        .collect();
+    Cone {
+        target,
+        signals,
+        inputs,
+        state,
+    }
+}
+
+/// Computes cones for every primary output of the module.
+pub fn output_cones(module: &Module, elab: &Elab) -> Vec<Cone> {
+    module
+        .outputs()
+        .into_iter()
+        .map(|o| cone_of(module, elab, o))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bv::Bv;
+    use crate::elab::elaborate;
+    use crate::expr::Expr;
+    use crate::module::ModuleBuilder;
+
+    #[test]
+    fn cone_excludes_unrelated_inputs() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 1);
+        let c = b.input("c", 1);
+        let unrelated = b.input("unrelated", 1);
+        let w = b.wire("w", 1);
+        let y = b.output("y", 1);
+        let z = b.output("z", 1);
+        b.assign(w, Expr::Signal(a).and(Expr::Signal(c)));
+        b.assign(y, Expr::Signal(w).not());
+        b.assign(z, Expr::Signal(unrelated));
+        let m = b.finish();
+        let e = elaborate(&m).unwrap();
+        let cone = cone_of(&m, &e, y);
+        assert!(cone.contains(a) && cone.contains(c) && cone.contains(w));
+        assert!(!cone.contains(unrelated));
+        assert_eq!(cone.inputs, vec![a, c]);
+        assert!(cone.state.is_empty());
+    }
+
+    #[test]
+    fn cone_follows_state_back_through_time() {
+        let mut b = ModuleBuilder::new("m");
+        let _clk = b.clock("clk");
+        let rst = b.reset("rst");
+        let d = b.input("d", 1);
+        let q1 = b.reg("q1", 1, Bv::zero_bit());
+        let q2 = b.output_reg("q2", 1, Bv::zero_bit());
+        b.always_seq(|p| {
+            p.if_else(
+                Expr::Signal(rst),
+                |t| {
+                    t.assign(q1, Expr::zero());
+                    t.assign(q2, Expr::zero());
+                },
+                |e| {
+                    e.assign(q1, Expr::Signal(d));
+                    e.assign(q2, Expr::Signal(q1));
+                },
+            );
+        });
+        let m = b.finish();
+        let e = elaborate(&m).unwrap();
+        let cone = cone_of(&m, &e, q2);
+        assert!(cone.contains(d), "input reaches q2 through q1");
+        assert_eq!(cone.inputs, vec![d], "clock and reset are excluded");
+        assert_eq!(cone.state, vec![q1, q2]);
+    }
+
+    #[test]
+    fn output_cones_cover_all_outputs() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 1);
+        let y = b.output("y", 1);
+        let z = b.output("z", 1);
+        b.assign(y, Expr::Signal(a));
+        b.assign(z, Expr::Signal(a).not());
+        let m = b.finish();
+        let e = elaborate(&m).unwrap();
+        let cones = output_cones(&m, &e);
+        assert_eq!(cones.len(), 2);
+        assert_eq!(cones[0].target, y);
+        assert_eq!(cones[1].target, z);
+    }
+}

@@ -1,0 +1,583 @@
+//! Elaboration: semantic validation and scheduling of a [`Module`].
+//!
+//! Elaboration checks the structural rules the rest of the system relies
+//! on — single drivers, no combinational loops, no inferred latches, sane
+//! bit indexing — and computes the evaluation order for combinational
+//! processes. Both the behavioral simulator (`gm-sim`) and the bit-blaster
+//! (`gm-mc`) consume the resulting [`Elab`].
+
+use crate::error::{Result, RtlError};
+use crate::expr::Expr;
+use crate::module::{Module, SignalId, SignalKind};
+use crate::stmt::{ProcessKind, Stmt, StmtKind};
+use std::collections::HashSet;
+
+/// The result of elaborating a module: schedules and derived signal roles.
+#[derive(Clone, Debug)]
+pub struct Elab {
+    /// Indices (into `module.processes()`) of combinational processes in
+    /// topological evaluation order.
+    comb_order: Vec<usize>,
+    /// Indices of sequential processes, in declaration order.
+    seq_processes: Vec<usize>,
+    /// Per signal: the index of its driving process, if any.
+    driver: Vec<Option<usize>>,
+    /// Per signal: whether it is a state element (written sequentially).
+    is_state: Vec<bool>,
+}
+
+impl Elab {
+    /// Combinational process indices in a valid evaluation order.
+    pub fn comb_order(&self) -> &[usize] {
+        &self.comb_order
+    }
+
+    /// Sequential process indices in declaration order.
+    pub fn seq_processes(&self) -> &[usize] {
+        &self.seq_processes
+    }
+
+    /// The process driving `sig`, if any.
+    pub fn driver(&self, sig: SignalId) -> Option<usize> {
+        self.driver[sig.index()]
+    }
+
+    /// Whether `sig` is a state element (assigned at the clock edge).
+    pub fn is_state(&self, sig: SignalId) -> bool {
+        self.is_state[sig.index()]
+    }
+
+    /// All state elements, ascending.
+    pub fn state_signals(&self) -> Vec<SignalId> {
+        self.is_state
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s)
+            .map(|(i, _)| SignalId::from_raw(i as u32))
+            .collect()
+    }
+}
+
+/// Validates `module` and computes its evaluation schedule.
+///
+/// # Errors
+///
+/// Returns an [`RtlError`] if the module:
+/// * assigns an input, or assigns a signal from two processes;
+/// * drives a `wire` from a sequential process;
+/// * contains a combinational dependency cycle;
+/// * fails to assign a combinationally driven signal on every path
+///   (latch inference), or reads such a signal before assigning it;
+/// * leaves an output undriven;
+/// * indexes or slices a value outside its width.
+pub fn elaborate(module: &Module) -> Result<Elab> {
+    let n = module.signals().len();
+    let mut driver: Vec<Option<usize>> = vec![None; n];
+    let mut is_state = vec![false; n];
+
+    // Driver uniqueness and storage-class rules.
+    for (pi, proc_) in module.processes().iter().enumerate() {
+        for sig in proc_.write_set() {
+            let record = &module.signal(sig);
+            if record.kind() == SignalKind::Input {
+                return Err(RtlError::AssignToInput {
+                    signal: record.name().to_string(),
+                });
+            }
+            if let Some(_prev) = driver[sig.index()] {
+                return Err(RtlError::MultipleDrivers {
+                    signal: record.name().to_string(),
+                });
+            }
+            driver[sig.index()] = Some(pi);
+            if proc_.kind == ProcessKind::Seq {
+                if record.kind() == SignalKind::Wire {
+                    return Err(RtlError::StorageClass {
+                        signal: record.name().to_string(),
+                        msg: "wire driven from a sequential process".to_string(),
+                    });
+                }
+                is_state[sig.index()] = true;
+            }
+        }
+    }
+
+    // Outputs must be driven.
+    for out in module.outputs() {
+        if driver[out.index()].is_none() {
+            return Err(RtlError::UndrivenOutput {
+                signal: module.signal(out).name().to_string(),
+            });
+        }
+    }
+
+    // Width sanity for every expression in the module.
+    for proc_ in module.processes() {
+        proc_.for_each_stmt(&mut |_s| {});
+        for stmt in &proc_.body {
+            check_stmt_widths(module, stmt)?;
+        }
+    }
+
+    // Latch / read-before-assign analysis per combinational process.
+    for proc_ in module.processes() {
+        if proc_.kind != ProcessKind::Comb {
+            continue;
+        }
+        let writes: HashSet<SignalId> = proc_.write_set().into_iter().collect();
+        let mut assigned = HashSet::new();
+        for stmt in &proc_.body {
+            must_assign(module, stmt, &writes, &mut assigned)?;
+        }
+        for sig in &writes {
+            if !assigned.contains(sig) {
+                return Err(RtlError::IncompleteAssign {
+                    signal: module.signal(*sig).name().to_string(),
+                });
+            }
+        }
+    }
+
+    // Topological order of combinational processes.
+    let comb: Vec<usize> = module
+        .processes()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.kind == ProcessKind::Comb)
+        .map(|(i, _)| i)
+        .collect();
+    let seq_processes: Vec<usize> = module
+        .processes()
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.kind == ProcessKind::Seq)
+        .map(|(i, _)| i)
+        .collect();
+
+    let comb_order = topo_sort_comb(module, &comb, &driver)?;
+
+    Ok(Elab {
+        comb_order,
+        seq_processes,
+        driver,
+        is_state,
+    })
+}
+
+fn check_expr_widths(module: &Module, expr: &Expr) -> Result<()> {
+    let sig_width = |s: SignalId| module.signal_width(s);
+    match expr {
+        Expr::Const(_) | Expr::Signal(_) => Ok(()),
+        Expr::Unary(_, a) => check_expr_widths(module, a),
+        Expr::Binary(_, a, b) => {
+            check_expr_widths(module, a)?;
+            check_expr_widths(module, b)
+        }
+        Expr::Mux {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            check_expr_widths(module, cond)?;
+            check_expr_widths(module, then_val)?;
+            check_expr_widths(module, else_val)
+        }
+        Expr::Index { base, bit } => {
+            check_expr_widths(module, base)?;
+            let w = base.width_in(&sig_width);
+            if *bit >= w {
+                return Err(RtlError::Width {
+                    msg: format!("bit index {bit} out of range for width {w}"),
+                });
+            }
+            Ok(())
+        }
+        Expr::Slice { base, hi, lo } => {
+            check_expr_widths(module, base)?;
+            let w = base.width_in(&sig_width);
+            if hi < lo || *hi >= w {
+                return Err(RtlError::Width {
+                    msg: format!("slice [{hi}:{lo}] out of range for width {w}"),
+                });
+            }
+            Ok(())
+        }
+        Expr::Concat(parts) => {
+            if parts.is_empty() {
+                return Err(RtlError::Width {
+                    msg: "empty concatenation".to_string(),
+                });
+            }
+            let mut total = 0u32;
+            for p in parts {
+                check_expr_widths(module, p)?;
+                total += p.width_in(&sig_width);
+            }
+            if total > crate::bv::MAX_WIDTH {
+                return Err(RtlError::Width {
+                    msg: format!("concatenation width {total} exceeds 64"),
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+fn check_stmt_widths(module: &Module, stmt: &Stmt) -> Result<()> {
+    match &stmt.kind {
+        StmtKind::Assign { rhs, .. } => check_expr_widths(module, rhs),
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            check_expr_widths(module, cond)?;
+            for s in then_body.iter().chain(else_body) {
+                check_stmt_widths(module, s)?;
+            }
+            Ok(())
+        }
+        StmtKind::Case {
+            subject,
+            arms,
+            default,
+        } => {
+            check_expr_widths(module, subject)?;
+            for arm in arms {
+                for s in &arm.body {
+                    check_stmt_widths(module, s)?;
+                }
+            }
+            if let Some(d) = default {
+                for s in d {
+                    check_stmt_widths(module, s)?;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Computes the set of signals definitely assigned by `stmt` into
+/// `assigned`, erroring on reads of not-yet-assigned process-local signals.
+fn must_assign(
+    module: &Module,
+    stmt: &Stmt,
+    writes: &HashSet<SignalId>,
+    assigned: &mut HashSet<SignalId>,
+) -> Result<()> {
+    let check_reads = |expr: &Expr, assigned: &HashSet<SignalId>| -> Result<()> {
+        let mut err = None;
+        expr.for_each_signal(&mut |s| {
+            if writes.contains(&s) && !assigned.contains(&s) && err.is_none() {
+                err = Some(RtlError::ReadBeforeAssign {
+                    signal: module.signal(s).name().to_string(),
+                });
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    };
+    match &stmt.kind {
+        StmtKind::Assign { lhs, rhs } => {
+            check_reads(rhs, assigned)?;
+            assigned.insert(*lhs);
+            Ok(())
+        }
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            check_reads(cond, assigned)?;
+            let mut then_set = assigned.clone();
+            for s in then_body {
+                must_assign(module, s, writes, &mut then_set)?;
+            }
+            let mut else_set = assigned.clone();
+            for s in else_body {
+                must_assign(module, s, writes, &mut else_set)?;
+            }
+            *assigned = then_set.intersection(&else_set).copied().collect();
+            Ok(())
+        }
+        StmtKind::Case {
+            subject,
+            arms,
+            default,
+        } => {
+            check_reads(subject, assigned)?;
+            let sig_width = |s: SignalId| module.signal_width(s);
+            let subject_width = subject.width_in(&sig_width);
+            let mut label_count = 0u64;
+            let mut branch_sets: Vec<HashSet<SignalId>> = Vec::new();
+            for arm in arms {
+                label_count += arm.labels.len() as u64;
+                let mut set = assigned.clone();
+                for s in &arm.body {
+                    must_assign(module, s, writes, &mut set)?;
+                }
+                branch_sets.push(set);
+            }
+            let full_cover = default.is_some()
+                || (subject_width < 64 && label_count >= (1u64 << subject_width));
+            if let Some(d) = default {
+                let mut set = assigned.clone();
+                for s in d {
+                    must_assign(module, s, writes, &mut set)?;
+                }
+                branch_sets.push(set);
+            }
+            if full_cover && !branch_sets.is_empty() {
+                let mut iter = branch_sets.into_iter();
+                let mut acc = iter.next().unwrap();
+                for s in iter {
+                    acc = acc.intersection(&s).copied().collect();
+                }
+                *assigned = acc;
+            }
+            // Without full coverage the fall-through keeps the prior set.
+            Ok(())
+        }
+    }
+}
+
+fn topo_sort_comb(
+    module: &Module,
+    comb: &[usize],
+    driver: &[Option<usize>],
+) -> Result<Vec<usize>> {
+    // Edge P -> Q when Q reads a signal written by comb process P.
+    let pos: std::collections::HashMap<usize, usize> =
+        comb.iter().enumerate().map(|(k, p)| (*p, k)).collect();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); comb.len()];
+    let mut indegree = vec![0usize; comb.len()];
+    for (qi, &q) in comb.iter().enumerate() {
+        let reads = module.processes()[q].read_set();
+        let mut preds = HashSet::new();
+        for r in reads {
+            if let Some(p) = driver[r.index()] {
+                if let Some(&pk) = pos.get(&p) {
+                    if pk != qi {
+                        preds.insert(pk);
+                    }
+                }
+            }
+        }
+        for pk in preds {
+            succs[pk].push(qi);
+            indegree[qi] += 1;
+        }
+    }
+    let mut queue: Vec<usize> = (0..comb.len()).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(comb.len());
+    while let Some(i) = queue.pop() {
+        order.push(comb[i]);
+        for &s in &succs[i] {
+            indegree[s] -= 1;
+            if indegree[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if order.len() != comb.len() {
+        // Collect the names of signals written by processes still in the cycle.
+        let in_order: HashSet<usize> = order.iter().copied().collect();
+        let mut names = Vec::new();
+        for &p in comb {
+            if !in_order.contains(&p) {
+                for s in module.processes()[p].write_set() {
+                    names.push(module.signal(s).name().to_string());
+                }
+            }
+        }
+        names.sort();
+        return Err(RtlError::CombLoop { cycle: names });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bv::Bv;
+    use crate::module::ModuleBuilder;
+
+    #[test]
+    fn simple_module_elaborates() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 1);
+        let w = b.wire("w", 1);
+        let y = b.output("y", 1);
+        b.assign(y, Expr::Signal(w));
+        b.assign(w, Expr::Signal(a).not());
+        let m = b.finish();
+        let e = elaborate(&m).unwrap();
+        // w's process (index 1) must run before y's (index 0).
+        assert_eq!(e.comb_order(), &[1, 0]);
+        assert!(!e.is_state(y));
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 1);
+        let y = b.output("y", 1);
+        b.assign(y, Expr::Signal(a));
+        b.assign(y, Expr::Signal(a).not());
+        let m = b.finish();
+        assert_eq!(
+            elaborate(&m).unwrap_err(),
+            RtlError::MultipleDrivers { signal: "y".into() }
+        );
+    }
+
+    #[test]
+    fn comb_loop_detected() {
+        let mut b = ModuleBuilder::new("m");
+        let _a = b.input("a", 1);
+        let x = b.wire("x", 1);
+        let y = b.output("y", 1);
+        b.assign(x, Expr::Signal(y));
+        b.assign(y, Expr::Signal(x).not());
+        let m = b.finish();
+        match elaborate(&m).unwrap_err() {
+            RtlError::CombLoop { cycle } => {
+                assert!(cycle.contains(&"x".to_string()) && cycle.contains(&"y".to_string()));
+            }
+            other => panic!("expected comb loop, got {other}"),
+        }
+    }
+
+    #[test]
+    fn latch_inference_rejected() {
+        let mut b = ModuleBuilder::new("m");
+        let c = b.input("c", 1);
+        let y = b.output("y", 1);
+        b.always_comb(|p| {
+            p.if_(Expr::Signal(c), |t| t.assign(y, Expr::one()));
+        });
+        let m = b.finish();
+        assert_eq!(
+            elaborate(&m).unwrap_err(),
+            RtlError::IncompleteAssign { signal: "y".into() }
+        );
+    }
+
+    #[test]
+    fn default_assignment_avoids_latch() {
+        let mut b = ModuleBuilder::new("m");
+        let c = b.input("c", 1);
+        let y = b.output("y", 1);
+        b.always_comb(|p| {
+            p.assign(y, Expr::zero());
+            p.if_(Expr::Signal(c), |t| t.assign(y, Expr::one()));
+        });
+        let m = b.finish();
+        assert!(elaborate(&m).is_ok());
+    }
+
+    #[test]
+    fn full_case_is_complete() {
+        let mut b = ModuleBuilder::new("m");
+        let s = b.input("s", 1);
+        let y = b.output("y", 1);
+        b.always_comb(|p| {
+            p.case(Expr::Signal(s), |cb| {
+                cb.arm(&[Bv::new(0, 1)], |a| a.assign(y, Expr::one()));
+                cb.arm(&[Bv::new(1, 1)], |a| a.assign(y, Expr::zero()));
+            });
+        });
+        let m = b.finish();
+        assert!(elaborate(&m).is_ok());
+    }
+
+    #[test]
+    fn partial_case_without_default_is_a_latch() {
+        let mut b = ModuleBuilder::new("m");
+        let s = b.input("s", 2);
+        let y = b.output("y", 1);
+        b.always_comb(|p| {
+            p.case(Expr::Signal(s), |cb| {
+                cb.arm(&[Bv::new(0, 2)], |a| a.assign(y, Expr::one()));
+            });
+        });
+        let m = b.finish();
+        assert_eq!(
+            elaborate(&m).unwrap_err(),
+            RtlError::IncompleteAssign { signal: "y".into() }
+        );
+    }
+
+    #[test]
+    fn read_before_assign_rejected() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 1);
+        let y = b.output("y", 1);
+        b.always_comb(|p| {
+            // reads y before assigning it in the same comb process
+            p.assign(y, Expr::Signal(y).and(Expr::Signal(a)));
+        });
+        let m = b.finish();
+        assert_eq!(
+            elaborate(&m).unwrap_err(),
+            RtlError::ReadBeforeAssign { signal: "y".into() }
+        );
+    }
+
+    #[test]
+    fn sequential_write_marks_state() {
+        let mut b = ModuleBuilder::new("m");
+        let _clk = b.clock("clk");
+        let d = b.input("d", 1);
+        let q = b.output_reg("q", 1, Bv::zero_bit());
+        b.always_seq(|p| p.assign(q, Expr::Signal(d)));
+        let m = b.finish();
+        let e = elaborate(&m).unwrap();
+        assert!(e.is_state(q));
+        assert_eq!(e.state_signals(), vec![q]);
+        assert_eq!(e.seq_processes().len(), 1);
+    }
+
+    #[test]
+    fn wire_from_seq_process_rejected() {
+        let mut b = ModuleBuilder::new("m");
+        let d = b.input("d", 1);
+        let w = b.wire("w", 1);
+        let y = b.output("y", 1);
+        b.assign(y, Expr::Signal(w));
+        b.always_seq(|p| p.assign(w, Expr::Signal(d)));
+        let m = b.finish();
+        match elaborate(&m).unwrap_err() {
+            RtlError::StorageClass { signal, .. } => assert_eq!(signal, "w"),
+            other => panic!("expected storage class error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn undriven_output_rejected() {
+        let mut b = ModuleBuilder::new("m");
+        b.input("a", 1);
+        b.output("y", 1);
+        let m = b.finish();
+        assert_eq!(
+            elaborate(&m).unwrap_err(),
+            RtlError::UndrivenOutput { signal: "y".into() }
+        );
+    }
+
+    #[test]
+    fn out_of_range_slice_rejected() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 4);
+        let y = b.output("y", 1);
+        b.assign(y, Expr::Signal(a).index(7));
+        let m = b.finish();
+        match elaborate(&m).unwrap_err() {
+            RtlError::Width { msg } => assert!(msg.contains("7")),
+            other => panic!("expected width error, got {other}"),
+        }
+    }
+}

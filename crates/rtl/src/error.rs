@@ -1,0 +1,115 @@
+//! Error types for RTL construction, parsing and elaboration.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced while building, parsing or elaborating a module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtlError {
+    /// Syntax error from the Verilog-subset parser.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// 1-based source column.
+        col: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A referenced signal name does not exist in the module.
+    UnknownSignal {
+        /// The unresolved name.
+        name: String,
+    },
+    /// A signal name was declared twice.
+    DuplicateSignal {
+        /// The clashing name.
+        name: String,
+    },
+    /// A signal is assigned by more than one process.
+    MultipleDrivers {
+        /// The multiply-driven signal name.
+        signal: String,
+    },
+    /// An input port appears on the left-hand side of an assignment.
+    AssignToInput {
+        /// The assigned input name.
+        signal: String,
+    },
+    /// Combinational processes form a dependency cycle.
+    CombLoop {
+        /// Signal names participating in the cycle.
+        cycle: Vec<String>,
+    },
+    /// A combinational process does not assign a signal on every path
+    /// (which would infer a latch).
+    IncompleteAssign {
+        /// The signal that is only conditionally assigned.
+        signal: String,
+    },
+    /// A combinational process reads a signal it drives before assigning it.
+    ReadBeforeAssign {
+        /// The offending signal name.
+        signal: String,
+    },
+    /// A `wire`/input is assigned inside a sequential process, or some
+    /// other storage-class violation.
+    StorageClass {
+        /// The offending signal name.
+        signal: String,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A structural width error (slice out of range, concat too wide, ...).
+    Width {
+        /// Description of the width violation.
+        msg: String,
+    },
+    /// The module has no statements driving an output.
+    UndrivenOutput {
+        /// The floating output name.
+        signal: String,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            RtlError::UnknownSignal { name } => write!(f, "unknown signal `{name}`"),
+            RtlError::DuplicateSignal { name } => {
+                write!(f, "signal `{name}` declared more than once")
+            }
+            RtlError::MultipleDrivers { signal } => {
+                write!(f, "signal `{signal}` has multiple drivers")
+            }
+            RtlError::AssignToInput { signal } => {
+                write!(f, "input `{signal}` cannot be assigned")
+            }
+            RtlError::CombLoop { cycle } => {
+                write!(f, "combinational loop through {}", cycle.join(" -> "))
+            }
+            RtlError::IncompleteAssign { signal } => write!(
+                f,
+                "signal `{signal}` is not assigned on every path of its combinational process (latch inferred)"
+            ),
+            RtlError::ReadBeforeAssign { signal } => write!(
+                f,
+                "combinational process reads `{signal}` before assigning it"
+            ),
+            RtlError::StorageClass { signal, msg } => {
+                write!(f, "storage class violation on `{signal}`: {msg}")
+            }
+            RtlError::Width { msg } => write!(f, "width error: {msg}"),
+            RtlError::UndrivenOutput { signal } => {
+                write!(f, "output `{signal}` has no driver")
+            }
+        }
+    }
+}
+
+impl StdError for RtlError {}
+
+/// Convenience alias for RTL results.
+pub type Result<T> = std::result::Result<T, RtlError>;

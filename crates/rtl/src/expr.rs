@@ -1,0 +1,519 @@
+//! RTL expressions.
+//!
+//! Expressions form the right-hand sides of assignments and the conditions
+//! of `if`/`case` statements. They follow simplified synthesizable-Verilog
+//! semantics: everything is unsigned, operands are zero-extended to a
+//! common width, and arithmetic wraps.
+
+use crate::bv::Bv;
+use crate::module::SignalId;
+use std::fmt;
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Bitwise complement `~x`.
+    Not,
+    /// Two's-complement negation `-x`.
+    Neg,
+    /// AND reduction `&x` (single-bit result).
+    RedAnd,
+    /// OR reduction `|x` (single-bit result).
+    RedOr,
+    /// XOR reduction `^x` (single-bit result).
+    RedXor,
+    /// Logical negation `!x` (single-bit result, true iff `x == 0`).
+    LogicNot,
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Bitwise AND `a & b`.
+    And,
+    /// Bitwise OR `a | b`.
+    Or,
+    /// Bitwise XOR `a ^ b`.
+    Xor,
+    /// Wrapping addition `a + b`.
+    Add,
+    /// Wrapping subtraction `a - b`.
+    Sub,
+    /// Wrapping multiplication `a * b`.
+    Mul,
+    /// Equality `a == b` (single-bit result).
+    Eq,
+    /// Inequality `a != b` (single-bit result).
+    Ne,
+    /// Unsigned `a < b` (single-bit result).
+    Lt,
+    /// Unsigned `a <= b` (single-bit result).
+    Le,
+    /// Unsigned `a > b` (single-bit result).
+    Gt,
+    /// Unsigned `a >= b` (single-bit result).
+    Ge,
+    /// Logical shift left `a << b` (result width of `a`).
+    Shl,
+    /// Logical shift right `a >> b` (result width of `a`).
+    Shr,
+    /// Logical AND `a && b` (single-bit result on truthiness).
+    LogicAnd,
+    /// Logical OR `a || b` (single-bit result on truthiness).
+    LogicOr,
+}
+
+impl BinaryOp {
+    /// Whether the operator always yields a single-bit result.
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::LogicAnd
+                | BinaryOp::LogicOr
+        )
+    }
+}
+
+/// An RTL expression tree.
+///
+/// Widths are derived structurally (see [`Expr::width_in`]); signal widths
+/// come from the module's signal table, so the same expression value can
+/// only be interpreted against the module it was built for.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A literal constant.
+    Const(Bv),
+    /// The current value of a signal.
+    Signal(SignalId),
+    /// A unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// A binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// The ternary multiplexer `cond ? t : e`.
+    Mux {
+        /// Select condition (any width; nonzero selects `then_val`).
+        cond: Box<Expr>,
+        /// Value when `cond` is nonzero.
+        then_val: Box<Expr>,
+        /// Value when `cond` is zero.
+        else_val: Box<Expr>,
+    },
+    /// Single-bit select `base[bit]`.
+    Index {
+        /// Expression being indexed.
+        base: Box<Expr>,
+        /// Bit position (0 = LSB).
+        bit: u32,
+    },
+    /// Part select `base[hi:lo]`, inclusive.
+    Slice {
+        /// Expression being sliced.
+        base: Box<Expr>,
+        /// High bit position.
+        hi: u32,
+        /// Low bit position.
+        lo: u32,
+    },
+    /// Concatenation `{a, b, ...}` with the first element in the MSBs.
+    Concat(Vec<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // named ops mirror Verilog operators
+impl Expr {
+    /// A single-bit constant 0.
+    pub fn zero() -> Expr {
+        Expr::Const(Bv::zero_bit())
+    }
+
+    /// A single-bit constant 1.
+    pub fn one() -> Expr {
+        Expr::Const(Bv::one_bit())
+    }
+
+    /// A constant of the given value and width.
+    pub fn lit(bits: u64, width: u32) -> Expr {
+        Expr::Const(Bv::new(bits, width))
+    }
+
+    /// Shorthand for a unary operation.
+    pub fn unary(op: UnaryOp, e: Expr) -> Expr {
+        Expr::Unary(op, Box::new(e))
+    }
+
+    /// Shorthand for a binary operation.
+    pub fn binary(op: BinaryOp, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// Bitwise complement of this expression.
+    pub fn not(self) -> Expr {
+        Expr::unary(UnaryOp::Not, self)
+    }
+
+    /// Bitwise AND of two expressions.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::binary(BinaryOp::And, self, rhs)
+    }
+
+    /// Bitwise OR of two expressions.
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::binary(BinaryOp::Or, self, rhs)
+    }
+
+    /// Bitwise XOR of two expressions.
+    pub fn xor(self, rhs: Expr) -> Expr {
+        Expr::binary(BinaryOp::Xor, self, rhs)
+    }
+
+    /// Equality predicate against another expression.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::binary(BinaryOp::Eq, self, rhs)
+    }
+
+    /// Equality predicate against a constant.
+    pub fn eq_lit(self, bits: u64, width: u32) -> Expr {
+        self.eq(Expr::lit(bits, width))
+    }
+
+    /// Multiplexer with this expression as the select.
+    pub fn mux(self, then_val: Expr, else_val: Expr) -> Expr {
+        Expr::Mux {
+            cond: Box::new(self),
+            then_val: Box::new(then_val),
+            else_val: Box::new(else_val),
+        }
+    }
+
+    /// Single-bit select `self[bit]`.
+    pub fn index(self, bit: u32) -> Expr {
+        Expr::Index {
+            base: Box::new(self),
+            bit,
+        }
+    }
+
+    /// Part select `self[hi:lo]`.
+    pub fn slice(self, hi: u32, lo: u32) -> Expr {
+        Expr::Slice {
+            base: Box::new(self),
+            hi,
+            lo,
+        }
+    }
+
+    /// Computes the width of this expression given a signal-width lookup.
+    ///
+    /// The lookup is typically [`crate::Module::signal_width`].
+    pub fn width_in(&self, sig_width: &impl Fn(SignalId) -> u32) -> u32 {
+        match self {
+            Expr::Const(b) => b.width(),
+            Expr::Signal(s) => sig_width(*s),
+            Expr::Unary(op, a) => match op {
+                UnaryOp::Not | UnaryOp::Neg => a.width_in(sig_width),
+                UnaryOp::RedAnd | UnaryOp::RedOr | UnaryOp::RedXor | UnaryOp::LogicNot => 1,
+            },
+            Expr::Binary(op, a, b) => {
+                if op.is_predicate() {
+                    1
+                } else {
+                    match op {
+                        BinaryOp::Shl | BinaryOp::Shr => a.width_in(sig_width),
+                        _ => a.width_in(sig_width).max(b.width_in(sig_width)),
+                    }
+                }
+            }
+            Expr::Mux {
+                then_val, else_val, ..
+            } => then_val.width_in(sig_width).max(else_val.width_in(sig_width)),
+            Expr::Index { .. } => 1,
+            Expr::Slice { hi, lo, .. } => hi - lo + 1,
+            Expr::Concat(parts) => parts.iter().map(|p| p.width_in(sig_width)).sum(),
+        }
+    }
+
+    /// Evaluates the expression with signal values supplied by `lookup`.
+    ///
+    /// This is the reference semantics used by the behavioral simulator;
+    /// the bit-blaster in `gm-mc` is property-tested against it.
+    pub fn eval(&self, lookup: &impl Fn(SignalId) -> Bv) -> Bv {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Signal(s) => lookup(*s),
+            Expr::Unary(op, a) => {
+                let v = a.eval(lookup);
+                match op {
+                    UnaryOp::Not => v.not(),
+                    UnaryOp::Neg => v.neg(),
+                    UnaryOp::RedAnd => v.reduce_and(),
+                    UnaryOp::RedOr => v.reduce_or(),
+                    UnaryOp::RedXor => v.reduce_xor(),
+                    UnaryOp::LogicNot => Bv::from_bool(v.is_zero()),
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let x = a.eval(lookup);
+                let y = b.eval(lookup);
+                match op {
+                    BinaryOp::And => x.and(y),
+                    BinaryOp::Or => x.or(y),
+                    BinaryOp::Xor => x.xor(y),
+                    BinaryOp::Add => x.add(y),
+                    BinaryOp::Sub => x.sub(y),
+                    BinaryOp::Mul => x.mul(y),
+                    BinaryOp::Eq => x.eq_bit(y),
+                    BinaryOp::Ne => x.ne_bit(y),
+                    BinaryOp::Lt => x.lt_bit(y),
+                    BinaryOp::Le => x.le_bit(y),
+                    BinaryOp::Gt => y.lt_bit(x),
+                    BinaryOp::Ge => y.le_bit(x),
+                    BinaryOp::Shl => x.shl(y),
+                    BinaryOp::Shr => x.shr(y),
+                    BinaryOp::LogicAnd => Bv::from_bool(x.is_nonzero() && y.is_nonzero()),
+                    BinaryOp::LogicOr => Bv::from_bool(x.is_nonzero() || y.is_nonzero()),
+                }
+            }
+            Expr::Mux {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                let w = self.width_in(&|s| lookup(s).width());
+                let r = if cond.eval(lookup).is_nonzero() {
+                    then_val.eval(lookup)
+                } else {
+                    else_val.eval(lookup)
+                };
+                r.resize(w)
+            }
+            Expr::Index { base, bit } => {
+                let v = base.eval(lookup);
+                Bv::from_bool(v.bit(*bit))
+            }
+            Expr::Slice { base, hi, lo } => base.eval(lookup).slice(*hi, *lo),
+            Expr::Concat(parts) => {
+                let mut acc: Option<Bv> = None;
+                for p in parts {
+                    let v = p.eval(lookup);
+                    acc = Some(match acc {
+                        None => v,
+                        Some(a) => a.concat(v),
+                    });
+                }
+                acc.expect("concatenation must have at least one element")
+            }
+        }
+    }
+
+    /// Visits every signal referenced by the expression.
+    pub fn for_each_signal(&self, f: &mut impl FnMut(SignalId)) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Signal(s) => f(*s),
+            Expr::Unary(_, a) => a.for_each_signal(f),
+            Expr::Binary(_, a, b) => {
+                a.for_each_signal(f);
+                b.for_each_signal(f);
+            }
+            Expr::Mux {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                cond.for_each_signal(f);
+                then_val.for_each_signal(f);
+                else_val.for_each_signal(f);
+            }
+            Expr::Index { base, .. } => base.for_each_signal(f),
+            Expr::Slice { base, .. } => base.for_each_signal(f),
+            Expr::Concat(parts) => {
+                for p in parts {
+                    p.for_each_signal(f);
+                }
+            }
+        }
+    }
+
+    /// Collects the set of referenced signals in ascending id order.
+    pub fn signals(&self) -> Vec<SignalId> {
+        let mut out = Vec::new();
+        self.for_each_signal(&mut |s| out.push(s));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Rewrites every signal reference through `f` (used by mutation
+    /// injection and inlining passes).
+    pub fn map_signals(&self, f: &impl Fn(SignalId) -> Expr) -> Expr {
+        match self {
+            Expr::Const(b) => Expr::Const(*b),
+            Expr::Signal(s) => f(*s),
+            Expr::Unary(op, a) => Expr::unary(*op, a.map_signals(f)),
+            Expr::Binary(op, a, b) => Expr::binary(*op, a.map_signals(f), b.map_signals(f)),
+            Expr::Mux {
+                cond,
+                then_val,
+                else_val,
+            } => Expr::Mux {
+                cond: Box::new(cond.map_signals(f)),
+                then_val: Box::new(then_val.map_signals(f)),
+                else_val: Box::new(else_val.map_signals(f)),
+            },
+            Expr::Index { base, bit } => Expr::Index {
+                base: Box::new(base.map_signals(f)),
+                bit: *bit,
+            },
+            Expr::Slice { base, hi, lo } => Expr::Slice {
+                base: Box::new(base.map_signals(f)),
+                hi: *hi,
+                lo: *lo,
+            },
+            Expr::Concat(parts) => Expr::Concat(parts.iter().map(|p| p.map_signals(f)).collect()),
+        }
+    }
+}
+
+impl From<Bv> for Expr {
+    fn from(b: Bv) -> Expr {
+        Expr::Const(b)
+    }
+}
+
+impl From<SignalId> for Expr {
+    fn from(s: SignalId) -> Expr {
+        Expr::Signal(s)
+    }
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnaryOp::Not => "~",
+            UnaryOp::Neg => "-",
+            UnaryOp::RedAnd => "&",
+            UnaryOp::RedOr => "|",
+            UnaryOp::RedXor => "^",
+            UnaryOp::LogicNot => "!",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::And => "&",
+            BinaryOp::Or => "|",
+            BinaryOp::Xor => "^",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Shl => "<<",
+            BinaryOp::Shr => ">>",
+            BinaryOp::LogicAnd => "&&",
+            BinaryOp::LogicOr => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u32) -> SignalId {
+        SignalId::from_raw(n)
+    }
+
+    #[test]
+    fn eval_basic_ops() {
+        let a = Expr::Signal(sid(0));
+        let b = Expr::Signal(sid(1));
+        let e = a.clone().and(b.clone()).or(a.clone().xor(b));
+        let vals = [Bv::new(0b1100, 4), Bv::new(0b1010, 4)];
+        let r = e.eval(&|s| vals[s.index()]);
+        assert_eq!(r, Bv::new((0b1100 & 0b1010) | (0b1100 ^ 0b1010), 4));
+    }
+
+    #[test]
+    fn eval_mux_widens_to_result_width() {
+        // cond ? 2'b11 : 4'b0001 must produce a 4-bit result in both arms.
+        let m = Expr::Signal(sid(0)).mux(Expr::lit(0b11, 2), Expr::lit(1, 4));
+        let taken = m.eval(&|_| Bv::one_bit());
+        assert_eq!(taken, Bv::new(0b0011, 4));
+        let not_taken = m.eval(&|_| Bv::zero_bit());
+        assert_eq!(not_taken, Bv::new(1, 4));
+    }
+
+    #[test]
+    fn eval_predicates_and_logic() {
+        let a = Expr::Signal(sid(0));
+        let e = Expr::binary(
+            BinaryOp::LogicAnd,
+            a.clone().eq_lit(3, 4),
+            Expr::unary(UnaryOp::LogicNot, a.clone().eq_lit(5, 4)),
+        );
+        assert_eq!(e.eval(&|_| Bv::new(3, 4)), Bv::one_bit());
+        assert_eq!(e.eval(&|_| Bv::new(5, 4)), Bv::zero_bit());
+        assert_eq!(e.eval(&|_| Bv::new(7, 4)), Bv::zero_bit());
+    }
+
+    #[test]
+    fn width_rules() {
+        let w = |_: SignalId| 4u32;
+        assert_eq!(Expr::Signal(sid(0)).width_in(&w), 4);
+        assert_eq!(Expr::Signal(sid(0)).eq_lit(1, 4).width_in(&w), 1);
+        assert_eq!(
+            Expr::Signal(sid(0)).and(Expr::lit(1, 8)).width_in(&w),
+            8,
+            "bitwise ops extend to the wider operand"
+        );
+        assert_eq!(
+            Expr::binary(BinaryOp::Shl, Expr::Signal(sid(0)), Expr::lit(9, 8)).width_in(&w),
+            4,
+            "shift keeps the left operand width"
+        );
+        let cat = Expr::Concat(vec![Expr::Signal(sid(0)), Expr::lit(0, 2)]);
+        assert_eq!(cat.width_in(&w), 6);
+        assert_eq!(Expr::Signal(sid(0)).slice(2, 1).width_in(&w), 2);
+        assert_eq!(Expr::Signal(sid(0)).index(3).width_in(&w), 1);
+    }
+
+    #[test]
+    fn concat_orders_msb_first() {
+        let e = Expr::Concat(vec![Expr::lit(0b10, 2), Expr::lit(0b011, 3)]);
+        assert_eq!(e.eval(&|_| Bv::zero_bit()), Bv::new(0b10011, 5));
+    }
+
+    #[test]
+    fn signal_collection_dedups() {
+        let a = Expr::Signal(sid(2));
+        let e = a.clone().and(a.clone()).or(Expr::Signal(sid(0)));
+        assert_eq!(e.signals(), vec![sid(0), sid(2)]);
+    }
+
+    #[test]
+    fn map_signals_substitutes() {
+        let e = Expr::Signal(sid(0)).and(Expr::Signal(sid(1)));
+        let m = e.map_signals(&|s| {
+            if s == sid(0) {
+                Expr::one()
+            } else {
+                Expr::Signal(s)
+            }
+        });
+        assert_eq!(m, Expr::one().and(Expr::Signal(sid(1))));
+    }
+}

@@ -1,0 +1,63 @@
+//! # gm-rtl — RTL intermediate representation and front end
+//!
+//! The substrate layer of the GoldMine coverage-closure reproduction:
+//! a behavioral register-transfer-level IR with
+//!
+//! * fixed-width two-valued values ([`Bv`]),
+//! * expressions ([`Expr`]) and behavioral statements ([`Stmt`]) grouped
+//!   into combinational/sequential [`Process`]es inside a [`Module`],
+//! * a [`ModuleBuilder`] for programmatic construction,
+//! * a parser for a synthesizable Verilog subset ([`parse_verilog`]),
+//! * elaboration ([`elaborate`]) validating single drivers, absence of
+//!   combinational loops and latches, and computing evaluation order,
+//! * cone-of-influence analysis ([`cone_of`]) — the paper's static
+//!   analyzer that restricts mining to each output's relevant variables.
+//!
+//! # Examples
+//!
+//! Parse, elaborate and inspect the paper's two-port arbiter:
+//!
+//! ```
+//! let src = "
+//! module arbiter2(input clk, input rst, input req0, input req1,
+//!                 output reg gnt0, output reg gnt1);
+//!   always @(posedge clk)
+//!     if (rst) begin
+//!       gnt0 <= 0;
+//!       gnt1 <= 0;
+//!     end else begin
+//!       gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+//!       gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+//!     end
+//! endmodule";
+//! let module = gm_rtl::parse_verilog(src)?;
+//! let elab = gm_rtl::elaborate(&module)?;
+//! let gnt0 = module.require("gnt0")?;
+//! let cone = gm_rtl::cone_of(&module, &elab, gnt0);
+//! assert_eq!(cone.inputs.len(), 2); // req0, req1 (clk/rst excluded)
+//! # Ok::<(), gm_rtl::RtlError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod bv;
+mod cone;
+mod elab;
+mod error;
+mod expr;
+mod module;
+mod parse;
+mod print;
+mod stmt;
+
+pub use bv::{Bv, MAX_WIDTH};
+pub use cone::{cone_of, output_cones, Cone};
+pub use elab::{elaborate, Elab};
+pub use error::{Result, RtlError};
+pub use expr::{BinaryOp, Expr, UnaryOp};
+pub use module::{
+    CaseBuilder, Module, ModuleBuilder, Signal, SignalId, SignalKind, StmtBuilder,
+};
+pub use parse::{parse_verilog, parse_verilog_all};
+pub use print::to_verilog;
+pub use stmt::{CaseArm, Process, ProcessKind, Stmt, StmtId, StmtKind};

@@ -1,0 +1,692 @@
+//! Modules, signals and the module builder.
+
+use crate::bv::Bv;
+use crate::error::{Result, RtlError};
+use crate::expr::Expr;
+use crate::stmt::{CaseArm, Process, ProcessKind, Stmt, StmtId, StmtKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier for a signal within one [`Module`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(u32);
+
+impl SignalId {
+    /// The raw index into the module's signal table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a signal id from a raw index.
+    ///
+    /// Only meaningful against the module that produced the index.
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        SignalId(raw)
+    }
+}
+
+/// Port direction / net class of a signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SignalKind {
+    /// Primary input port.
+    Input,
+    /// Primary output port.
+    Output,
+    /// Internal net declared `wire` (driven combinationally).
+    Wire,
+    /// Internal net declared `reg` (may be driven sequentially).
+    Reg,
+}
+
+/// A named signal of a module.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Signal {
+    pub(crate) name: String,
+    pub(crate) width: u32,
+    pub(crate) kind: SignalKind,
+    pub(crate) init: Bv,
+}
+
+impl Signal {
+    /// The signal's source name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Port direction / net class.
+    pub fn kind(&self) -> SignalKind {
+        self.kind
+    }
+
+    /// Power-on / reset value (meaningful for state elements).
+    pub fn init(&self) -> Bv {
+        self.init
+    }
+
+    /// Whether this signal is a primary input.
+    pub fn is_input(&self) -> bool {
+        self.kind == SignalKind::Input
+    }
+
+    /// Whether this signal is a primary output.
+    pub fn is_output(&self) -> bool {
+        self.kind == SignalKind::Output
+    }
+}
+
+/// A behavioral RTL module: signals plus combinational and sequential
+/// processes over them.
+///
+/// Modules are immutable once built; construct them with [`ModuleBuilder`]
+/// or by parsing Verilog-subset source with [`crate::parse_verilog`].
+/// Structural and semantic validation (single drivers, no combinational
+/// loops, no latches) happens in [`crate::elaborate`].
+#[derive(Clone, Debug)]
+pub struct Module {
+    pub(crate) name: String,
+    pub(crate) signals: Vec<Signal>,
+    pub(crate) processes: Vec<Process>,
+    pub(crate) by_name: HashMap<String, SignalId>,
+    pub(crate) clock: Option<SignalId>,
+    pub(crate) reset: Option<SignalId>,
+    pub(crate) fsm_regs: Vec<SignalId>,
+    pub(crate) stmt_count: u32,
+}
+
+impl Module {
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All signals, indexable by [`SignalId::index`].
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// The signal record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this module.
+    pub fn signal(&self, id: SignalId) -> &Signal {
+        &self.signals[id.index()]
+    }
+
+    /// Width of signal `id`, in bits.
+    pub fn signal_width(&self, id: SignalId) -> u32 {
+        self.signals[id.index()].width
+    }
+
+    /// Looks up a signal by name.
+    pub fn find(&self, name: &str) -> Option<SignalId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up a signal by name, erroring with [`RtlError::UnknownSignal`].
+    pub fn require(&self, name: &str) -> Result<SignalId> {
+        self.find(name).ok_or_else(|| RtlError::UnknownSignal {
+            name: name.to_string(),
+        })
+    }
+
+    /// All behavioral processes in declaration order.
+    pub fn processes(&self) -> &[Process] {
+        &self.processes
+    }
+
+    /// Iterator over the ids of all signals.
+    pub fn signal_ids(&self) -> impl Iterator<Item = SignalId> + '_ {
+        (0..self.signals.len() as u32).map(SignalId)
+    }
+
+    /// Ids of all primary inputs (including clock and reset).
+    pub fn inputs(&self) -> Vec<SignalId> {
+        self.signal_ids()
+            .filter(|s| self.signal(*s).is_input())
+            .collect()
+    }
+
+    /// Ids of primary inputs excluding the designated clock and reset:
+    /// the inputs that carry data and participate in mining.
+    pub fn data_inputs(&self) -> Vec<SignalId> {
+        self.signal_ids()
+            .filter(|s| {
+                self.signal(*s).is_input() && Some(*s) != self.clock && Some(*s) != self.reset
+            })
+            .collect()
+    }
+
+    /// Ids of all primary outputs.
+    pub fn outputs(&self) -> Vec<SignalId> {
+        self.signal_ids()
+            .filter(|s| self.signal(*s).is_output())
+            .collect()
+    }
+
+    /// The designated clock input, if any.
+    pub fn clock(&self) -> Option<SignalId> {
+        self.clock
+    }
+
+    /// The designated reset input, if any.
+    pub fn reset(&self) -> Option<SignalId> {
+        self.reset
+    }
+
+    /// Registers designated (by the builder or parser heuristic) as FSM
+    /// state for FSM coverage.
+    pub fn fsm_regs(&self) -> &[SignalId] {
+        &self.fsm_regs
+    }
+
+    /// Total number of statement ids allocated in this module; statement
+    /// ids are dense in `0..stmt_count`.
+    pub fn stmt_count(&self) -> u32 {
+        self.stmt_count
+    }
+
+    /// Signals assigned inside sequential processes: the state elements.
+    pub fn state_signals(&self) -> Vec<SignalId> {
+        let mut v: Vec<SignalId> = self
+            .processes
+            .iter()
+            .filter(|p| p.kind == ProcessKind::Seq)
+            .flat_map(|p| p.write_set())
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Returns a mutated copy of this module in which every *read* of
+    /// `signal` is replaced by the constant `value` — a stuck-at fault on
+    /// the signal's fanout net.
+    ///
+    /// The paper's fault-injection experiment (Table 2) checks previously
+    /// mined assertions against such mutants.
+    pub fn with_stuck_signal(&self, signal: SignalId, value: Bv) -> Module {
+        let value = value.resize(self.signal_width(signal));
+        let subst = |s: SignalId| {
+            if s == signal {
+                Expr::Const(value)
+            } else {
+                Expr::Signal(s)
+            }
+        };
+        fn map_stmt(st: &Stmt, subst: &impl Fn(SignalId) -> Expr) -> Stmt {
+            let kind = match &st.kind {
+                StmtKind::Assign { lhs, rhs } => StmtKind::Assign {
+                    lhs: *lhs,
+                    rhs: rhs.map_signals(subst),
+                },
+                StmtKind::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => StmtKind::If {
+                    cond: cond.map_signals(subst),
+                    then_body: then_body.iter().map(|s| map_stmt(s, subst)).collect(),
+                    else_body: else_body.iter().map(|s| map_stmt(s, subst)).collect(),
+                },
+                StmtKind::Case {
+                    subject,
+                    arms,
+                    default,
+                } => StmtKind::Case {
+                    subject: subject.map_signals(subst),
+                    arms: arms
+                        .iter()
+                        .map(|a| CaseArm {
+                            labels: a.labels.clone(),
+                            body: a.body.iter().map(|s| map_stmt(s, subst)).collect(),
+                        })
+                        .collect(),
+                    default: default
+                        .as_ref()
+                        .map(|d| d.iter().map(|s| map_stmt(s, subst)).collect()),
+                },
+            };
+            Stmt { id: st.id, kind }
+        }
+        let mut m = self.clone();
+        m.processes = self
+            .processes
+            .iter()
+            .map(|p| Process {
+                kind: p.kind,
+                body: p.body.iter().map(|s| map_stmt(s, &subst)).collect(),
+            })
+            .collect();
+        m
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "module {} ({} signals, {} processes)",
+            self.name,
+            self.signals.len(),
+            self.processes.len()
+        )
+    }
+}
+
+/// Incremental constructor for [`Module`]s.
+///
+/// # Examples
+///
+/// ```
+/// use gm_rtl::{ModuleBuilder, Expr, Bv};
+///
+/// let mut b = ModuleBuilder::new("toy");
+/// let clk = b.clock("clk");
+/// let rst = b.reset("rst");
+/// let a = b.input("a", 1);
+/// let q = b.output_reg("q", 1, Bv::zero_bit());
+/// b.always_seq(|p| {
+///     p.if_else(
+///         Expr::Signal(rst),
+///         |t| t.assign(q, Expr::zero()),
+///         |e| e.assign(q, Expr::Signal(a)),
+///     );
+/// });
+/// let module = b.finish();
+/// assert_eq!(module.outputs().len(), 1);
+/// # let _ = clk;
+/// ```
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    name: String,
+    signals: Vec<Signal>,
+    processes: Vec<Process>,
+    by_name: HashMap<String, SignalId>,
+    clock: Option<SignalId>,
+    reset: Option<SignalId>,
+    fsm_regs: Vec<SignalId>,
+    next_stmt: u32,
+    errors: Vec<RtlError>,
+}
+
+impl ModuleBuilder {
+    /// Starts a new module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            name: name.into(),
+            signals: Vec::new(),
+            processes: Vec::new(),
+            by_name: HashMap::new(),
+            clock: None,
+            reset: None,
+            fsm_regs: Vec::new(),
+            next_stmt: 0,
+            errors: Vec::new(),
+        }
+    }
+
+    fn add_signal(&mut self, name: &str, width: u32, kind: SignalKind, init: Bv) -> SignalId {
+        if self.by_name.contains_key(name) {
+            self.errors.push(RtlError::DuplicateSignal {
+                name: name.to_string(),
+            });
+        }
+        let id = SignalId(self.signals.len() as u32);
+        self.signals.push(Signal {
+            name: name.to_string(),
+            width,
+            kind,
+            init,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: &str, width: u32) -> SignalId {
+        self.add_signal(name, width, SignalKind::Input, Bv::zeros(width))
+    }
+
+    /// Declares the clock input and designates it as the module clock.
+    pub fn clock(&mut self, name: &str) -> SignalId {
+        let id = self.input(name, 1);
+        self.clock = Some(id);
+        id
+    }
+
+    /// Declares the reset input and designates it as the module reset.
+    pub fn reset(&mut self, name: &str) -> SignalId {
+        let id = self.input(name, 1);
+        self.reset = Some(id);
+        id
+    }
+
+    /// Declares a combinationally driven primary output.
+    pub fn output(&mut self, name: &str, width: u32) -> SignalId {
+        self.add_signal(name, width, SignalKind::Output, Bv::zeros(width))
+    }
+
+    /// Declares a registered primary output (`output reg`) with the given
+    /// reset value.
+    pub fn output_reg(&mut self, name: &str, width: u32, init: Bv) -> SignalId {
+        self.add_signal(name, width, SignalKind::Output, init.resize(width))
+    }
+
+    /// Declares an internal wire.
+    pub fn wire(&mut self, name: &str, width: u32) -> SignalId {
+        self.add_signal(name, width, SignalKind::Wire, Bv::zeros(width))
+    }
+
+    /// Declares an internal register with the given reset value.
+    pub fn reg(&mut self, name: &str, width: u32, init: Bv) -> SignalId {
+        self.add_signal(name, width, SignalKind::Reg, init.resize(width))
+    }
+
+    /// Marks a register as FSM state for FSM coverage reporting.
+    pub fn mark_fsm(&mut self, reg: SignalId) {
+        if !self.fsm_regs.contains(&reg) {
+            self.fsm_regs.push(reg);
+        }
+    }
+
+    /// Overrides the power-on / reset value of a declared signal.
+    ///
+    /// The parser uses this to propagate values assigned under the reset
+    /// branch of a sequential process into the model-checking initial state.
+    pub fn set_init(&mut self, sig: SignalId, init: Bv) {
+        let s = &mut self.signals[sig.index()];
+        s.init = init.resize(s.width);
+    }
+
+    /// Designates an already-declared input as the module clock.
+    pub fn designate_clock(&mut self, sig: SignalId) {
+        self.clock = Some(sig);
+    }
+
+    /// Designates an already-declared input as the module reset.
+    pub fn designate_reset(&mut self, sig: SignalId) {
+        self.reset = Some(sig);
+    }
+
+    /// Adds a continuous assignment `assign lhs = rhs;`.
+    pub fn assign(&mut self, lhs: SignalId, rhs: Expr) {
+        let id = self.alloc_stmt();
+        self.processes.push(Process {
+            kind: ProcessKind::Comb,
+            body: vec![Stmt {
+                id,
+                kind: StmtKind::Assign { lhs, rhs },
+            }],
+        });
+    }
+
+    /// Adds a combinational process (`always @(*)`).
+    pub fn always_comb(&mut self, f: impl FnOnce(&mut StmtBuilder<'_>)) {
+        let body = self.build_body(f);
+        self.processes.push(Process {
+            kind: ProcessKind::Comb,
+            body,
+        });
+    }
+
+    /// Adds a sequential process (`always @(posedge clk)`).
+    pub fn always_seq(&mut self, f: impl FnOnce(&mut StmtBuilder<'_>)) {
+        let body = self.build_body(f);
+        self.processes.push(Process {
+            kind: ProcessKind::Seq,
+            body,
+        });
+    }
+
+    fn build_body(&mut self, f: impl FnOnce(&mut StmtBuilder<'_>)) -> Vec<Stmt> {
+        let mut sb = StmtBuilder {
+            next_stmt: &mut self.next_stmt,
+            stmts: Vec::new(),
+        };
+        f(&mut sb);
+        sb.stmts
+    }
+
+    fn alloc_stmt(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        id
+    }
+
+    /// Finishes construction, returning the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first accumulated declaration error (duplicate signals).
+    /// Semantic validation happens later, in [`crate::elaborate`].
+    pub fn build(self) -> Result<Module> {
+        if let Some(e) = self.errors.into_iter().next() {
+            return Err(e);
+        }
+        Ok(Module {
+            name: self.name,
+            signals: self.signals,
+            processes: self.processes,
+            by_name: self.by_name,
+            clock: self.clock,
+            reset: self.reset,
+            fsm_regs: self.fsm_regs,
+            stmt_count: self.next_stmt,
+        })
+    }
+
+    /// Finishes construction, panicking on declaration errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a signal was declared twice. Intended for statically
+    /// known designs (benchmarks, tests); prefer [`ModuleBuilder::build`]
+    /// for user-provided input.
+    pub fn finish(self) -> Module {
+        self.build().expect("module construction failed")
+    }
+}
+
+/// Builder for statement lists inside a process body.
+///
+/// Obtained from [`ModuleBuilder::always_comb`]/[`ModuleBuilder::always_seq`]
+/// or from the nested-closure methods on itself.
+#[derive(Debug)]
+pub struct StmtBuilder<'a> {
+    next_stmt: &'a mut u32,
+    stmts: Vec<Stmt>,
+}
+
+impl StmtBuilder<'_> {
+    fn alloc(&mut self) -> StmtId {
+        let id = StmtId(*self.next_stmt);
+        *self.next_stmt += 1;
+        id
+    }
+
+    fn child(&mut self, f: impl FnOnce(&mut StmtBuilder<'_>)) -> Vec<Stmt> {
+        let mut sb = StmtBuilder {
+            next_stmt: self.next_stmt,
+            stmts: Vec::new(),
+        };
+        f(&mut sb);
+        sb.stmts
+    }
+
+    /// Appends an assignment `lhs = rhs`.
+    pub fn assign(&mut self, lhs: SignalId, rhs: Expr) {
+        let id = self.alloc();
+        self.stmts.push(Stmt {
+            id,
+            kind: StmtKind::Assign { lhs, rhs },
+        });
+    }
+
+    /// Appends `if (cond) { then } else { else }`.
+    pub fn if_else(
+        &mut self,
+        cond: Expr,
+        then_f: impl FnOnce(&mut StmtBuilder<'_>),
+        else_f: impl FnOnce(&mut StmtBuilder<'_>),
+    ) {
+        let id = self.alloc();
+        let then_body = self.child(then_f);
+        let else_body = self.child(else_f);
+        self.stmts.push(Stmt {
+            id,
+            kind: StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            },
+        });
+    }
+
+    /// Appends `if (cond) { then }` with an empty else branch.
+    pub fn if_(&mut self, cond: Expr, then_f: impl FnOnce(&mut StmtBuilder<'_>)) {
+        self.if_else(cond, then_f, |_| {});
+    }
+
+    /// Appends a `case (subject)` statement built through a [`CaseBuilder`].
+    pub fn case(&mut self, subject: Expr, f: impl FnOnce(&mut CaseBuilder<'_, '_>)) {
+        let id = self.alloc();
+        let mut cb = CaseBuilder {
+            sb: self,
+            arms: Vec::new(),
+            default: None,
+        };
+        f(&mut cb);
+        let (arms, default) = (cb.arms, cb.default);
+        self.stmts.push(Stmt {
+            id,
+            kind: StmtKind::Case {
+                subject,
+                arms,
+                default,
+            },
+        });
+    }
+}
+
+/// Builder for the arms of a `case` statement.
+#[derive(Debug)]
+pub struct CaseBuilder<'b, 'a> {
+    sb: &'b mut StmtBuilder<'a>,
+    arms: Vec<CaseArm>,
+    default: Option<Vec<Stmt>>,
+}
+
+impl CaseBuilder<'_, '_> {
+    /// Adds an arm selected by any of `labels`.
+    pub fn arm(&mut self, labels: &[Bv], f: impl FnOnce(&mut StmtBuilder<'_>)) {
+        let body = self.sb.child(f);
+        self.arms.push(CaseArm {
+            labels: labels.to_vec(),
+            body,
+        });
+    }
+
+    /// Sets the `default:` body.
+    pub fn default(&mut self, f: impl FnOnce(&mut StmtBuilder<'_>)) {
+        let body = self.sb.child(f);
+        self.default = Some(body);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_declares_and_finds_signals() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 4);
+        let y = b.output("y", 4);
+        b.assign(y, Expr::Signal(a).not());
+        let m = b.finish();
+        assert_eq!(m.find("a"), Some(a));
+        assert_eq!(m.find("y"), Some(y));
+        assert_eq!(m.find("nope"), None);
+        assert_eq!(m.signal(a).width(), 4);
+        assert_eq!(m.inputs(), vec![a]);
+        assert_eq!(m.outputs(), vec![y]);
+        assert_eq!(m.stmt_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_signal_is_an_error() {
+        let mut b = ModuleBuilder::new("m");
+        b.input("a", 1);
+        b.input("a", 2);
+        assert_eq!(
+            b.build().unwrap_err(),
+            RtlError::DuplicateSignal { name: "a".into() }
+        );
+    }
+
+    #[test]
+    fn data_inputs_exclude_clock_and_reset() {
+        let mut b = ModuleBuilder::new("m");
+        let _clk = b.clock("clk");
+        let _rst = b.reset("rst");
+        let d = b.input("d", 1);
+        let q = b.output_reg("q", 1, Bv::zero_bit());
+        b.always_seq(|p| p.assign(q, Expr::Signal(d)));
+        let m = b.finish();
+        assert_eq!(m.data_inputs(), vec![d]);
+        assert_eq!(m.state_signals(), vec![q]);
+    }
+
+    #[test]
+    fn nested_statement_ids_are_dense_and_unique() {
+        let mut b = ModuleBuilder::new("m");
+        let c = b.input("c", 1);
+        let s = b.input("s", 2);
+        let q = b.reg("q", 1, Bv::zero_bit());
+        b.always_seq(|p| {
+            p.if_else(
+                Expr::Signal(c),
+                |t| {
+                    t.case(Expr::Signal(s), |cb| {
+                        cb.arm(&[Bv::new(0, 2)], |a| a.assign(q, Expr::zero()));
+                        cb.arm(&[Bv::new(1, 2), Bv::new(2, 2)], |a| a.assign(q, Expr::one()));
+                        cb.default(|d| d.assign(q, Expr::Signal(c)));
+                    });
+                },
+                |e| e.assign(q, Expr::zero()),
+            );
+        });
+        let m = b.finish();
+        let mut seen = Vec::new();
+        for p in m.processes() {
+            p.for_each_stmt(&mut |s| seen.push(s.id.index()));
+        }
+        seen.sort_unstable();
+        let expect: Vec<usize> = (0..m.stmt_count() as usize).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn stuck_signal_mutation_rewrites_reads() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 1);
+        let y = b.output("y", 1);
+        b.assign(y, Expr::Signal(a).not());
+        let m = b.finish();
+        let mutant = m.with_stuck_signal(a, Bv::one_bit());
+        match &mutant.processes()[0].body[0].kind {
+            StmtKind::Assign { rhs, .. } => {
+                assert_eq!(*rhs, Expr::Const(Bv::one_bit()).not());
+            }
+            other => panic!("unexpected statement {other:?}"),
+        }
+    }
+}

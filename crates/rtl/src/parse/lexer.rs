@@ -1,0 +1,360 @@
+//! Tokenizer for the Verilog subset.
+
+use crate::error::RtlError;
+
+/// A lexical token with its source position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Token payloads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal: optional explicit width, value.
+    Number {
+        /// Declared width from a sized literal like `4'b1010`.
+        width: Option<u32>,
+        /// The numeric value.
+        value: u64,
+    },
+    /// Punctuation or operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// Punctuation and operator tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Semi,
+    Colon,
+    Comma,
+    At,
+    Question,
+    Tilde,
+    Bang,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    Plus,
+    Minus,
+    Star,
+    EqEq,
+    BangEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Shl,
+    Shr,
+    Eq,
+}
+
+/// Lexes `src` into a token stream (ending with [`TokenKind::Eof`]).
+///
+/// # Errors
+///
+/// Returns [`RtlError::Parse`] on malformed literals, unterminated block
+/// comments, or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, RtlError> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let mut out = Vec::new();
+
+    let err = |line: u32, col: u32, msg: String| RtlError::Parse { line, col, msg };
+
+    macro_rules! advance {
+        () => {{
+            if bytes[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tl, tc) = (line, col);
+        if c.is_whitespace() {
+            advance!();
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == '/' {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    advance!();
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                advance!();
+                advance!();
+                let mut closed = false;
+                while i + 1 < bytes.len() {
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        advance!();
+                        advance!();
+                        closed = true;
+                        break;
+                    }
+                    advance!();
+                }
+                if !closed {
+                    return Err(err(tl, tc, "unterminated block comment".into()));
+                }
+                continue;
+            }
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' || c == '\\' {
+            let mut s = String::new();
+            if c == '\\' {
+                // Escaped identifier: up to whitespace.
+                advance!();
+                while i < bytes.len() && !bytes[i].is_whitespace() {
+                    s.push(bytes[i]);
+                    advance!();
+                }
+            } else {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '$')
+                {
+                    s.push(bytes[i]);
+                    advance!();
+                }
+            }
+            out.push(Token {
+                kind: TokenKind::Ident(s),
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // Numbers: `123`, `4'b1010`, `'h3f`, with optional underscores.
+        if c.is_ascii_digit() || c == '\'' {
+            let mut width: Option<u32> = None;
+            if c.is_ascii_digit() {
+                let mut digits = String::new();
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == '_') {
+                    if bytes[i] != '_' {
+                        digits.push(bytes[i]);
+                    }
+                    advance!();
+                }
+                let v: u64 = digits
+                    .parse()
+                    .map_err(|_| err(tl, tc, format!("bad number `{digits}`")))?;
+                if i < bytes.len() && bytes[i] == '\'' {
+                    if v == 0 || v > 64 {
+                        return Err(err(tl, tc, format!("literal width {v} out of range 1..=64")));
+                    }
+                    width = Some(v as u32);
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Number { width: None, value: v },
+                        line: tl,
+                        col: tc,
+                    });
+                    continue;
+                }
+            }
+            // Based literal after the tick.
+            debug_assert_eq!(bytes[i], '\'');
+            advance!();
+            if i >= bytes.len() {
+                return Err(err(tl, tc, "truncated based literal".into()));
+            }
+            let base_ch = bytes[i].to_ascii_lowercase();
+            let radix = match base_ch {
+                'b' => 2,
+                'o' => 8,
+                'd' => 10,
+                'h' => 16,
+                _ => return Err(err(tl, tc, format!("unknown literal base `{base_ch}`"))),
+            };
+            advance!();
+            let mut digits = String::new();
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                if bytes[i] != '_' {
+                    digits.push(bytes[i]);
+                }
+                advance!();
+            }
+            if digits.is_empty() {
+                return Err(err(tl, tc, "based literal missing digits".into()));
+            }
+            let value = u64::from_str_radix(&digits, radix)
+                .map_err(|_| err(tl, tc, format!("bad base-{radix} literal `{digits}`")))?;
+            out.push(Token {
+                kind: TokenKind::Number { width, value },
+                line: tl,
+                col: tc,
+            });
+            continue;
+        }
+        // Operators and punctuation.
+        let two = if i + 1 < bytes.len() {
+            Some((bytes[i], bytes[i + 1]))
+        } else {
+            None
+        };
+        let (punct, len) = match (c, two) {
+            (_, Some(('&', '&'))) => (Punct::AmpAmp, 2),
+            (_, Some(('|', '|'))) => (Punct::PipePipe, 2),
+            (_, Some(('=', '='))) => (Punct::EqEq, 2),
+            (_, Some(('!', '='))) => (Punct::BangEq, 2),
+            (_, Some(('<', '='))) => (Punct::Le, 2),
+            (_, Some(('>', '='))) => (Punct::Ge, 2),
+            (_, Some(('<', '<'))) => (Punct::Shl, 2),
+            (_, Some(('>', '>'))) => (Punct::Shr, 2),
+            ('(', _) => (Punct::LParen, 1),
+            (')', _) => (Punct::RParen, 1),
+            ('[', _) => (Punct::LBracket, 1),
+            (']', _) => (Punct::RBracket, 1),
+            ('{', _) => (Punct::LBrace, 1),
+            ('}', _) => (Punct::RBrace, 1),
+            (';', _) => (Punct::Semi, 1),
+            (':', _) => (Punct::Colon, 1),
+            (',', _) => (Punct::Comma, 1),
+            ('@', _) => (Punct::At, 1),
+            ('?', _) => (Punct::Question, 1),
+            ('~', _) => (Punct::Tilde, 1),
+            ('!', _) => (Punct::Bang, 1),
+            ('&', _) => (Punct::Amp, 1),
+            ('|', _) => (Punct::Pipe, 1),
+            ('^', _) => (Punct::Caret, 1),
+            ('+', _) => (Punct::Plus, 1),
+            ('-', _) => (Punct::Minus, 1),
+            ('*', _) => (Punct::Star, 1),
+            ('<', _) => (Punct::Lt, 1),
+            ('>', _) => (Punct::Gt, 1),
+            ('=', _) => (Punct::Eq, 1),
+            _ => {
+                return Err(err(tl, tc, format!("unexpected character `{c}`")));
+            }
+        };
+        for _ in 0..len {
+            advance!();
+        }
+        out.push(Token {
+            kind: TokenKind::Punct(punct),
+            line: tl,
+            col: tc,
+        });
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_identifiers_and_numbers() {
+        let ks = kinds("module m; 4'b1010 8'hff 42 'd7");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("module".into()),
+                TokenKind::Ident("m".into()),
+                TokenKind::Punct(Punct::Semi),
+                TokenKind::Number { width: Some(4), value: 0b1010 },
+                TokenKind::Number { width: Some(8), value: 0xff },
+                TokenKind::Number { width: None, value: 42 },
+                TokenKind::Number { width: None, value: 7 },
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_greedily() {
+        let ks = kinds("<= < == = && & << <");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Punct(Punct::Le),
+                TokenKind::Punct(Punct::Lt),
+                TokenKind::Punct(Punct::EqEq),
+                TokenKind::Punct(Punct::Eq),
+                TokenKind::Punct(Punct::AmpAmp),
+                TokenKind::Punct(Punct::Amp),
+                TokenKind::Punct(Punct::Shl),
+                TokenKind::Punct(Punct::Lt),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        let ks = kinds("a // line comment\n /* block \n comment */ b");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn underscores_in_literals() {
+        let ks = kinds("16'b1010_0101_1111_0000 1_000");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Number { width: Some(16), value: 0b1010_0101_1111_0000 },
+                TokenKind::Number { width: None, value: 1000 },
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(lex("4'q0").is_err());
+        assert!(lex("\u{1F600}").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("65'h0").is_err());
+    }
+}

@@ -1,0 +1,1088 @@
+//! Parser for a synthesizable Verilog subset.
+//!
+//! The subset covers what the paper's benchmark designs need:
+//!
+//! * `module`/`endmodule` with ANSI (`module m(input a, output reg y);`)
+//!   or non-ANSI (`module m(a, y); input a; output y;`) port styles;
+//! * `input`/`output`/`wire`/`reg` declarations with `[msb:lsb]` ranges
+//!   and optional initializers;
+//! * `localparam`/`parameter` constants (usable in ranges and labels);
+//! * continuous `assign`;
+//! * `always @(posedge clk)` (sequential, non-blocking `<=`) and
+//!   `always @(*)` / `always @(a or b)` (combinational, blocking `=`);
+//! * `begin`/`end`, `if`/`else`, `case`/`endcase` with `default`;
+//! * the expression operators of [`crate::BinaryOp`]/[`crate::UnaryOp`],
+//!   ternary `?:`, concatenation `{a, b}`, constant bit/part selects.
+//!
+//! Clock and reset inputs are recognized from sensitivity lists and
+//! naming (`clk`/`clock`, `rst`/`reset`); register reset values are
+//! recovered from `if (rst) ...` branches so that model checking starts
+//! from the design's actual reset state.
+
+mod lexer;
+
+pub use lexer::{lex, Punct, Token, TokenKind};
+
+use crate::bv::Bv;
+use crate::error::{Result, RtlError};
+use crate::expr::{BinaryOp, Expr, UnaryOp};
+use crate::module::{Module, ModuleBuilder, SignalId, StmtBuilder};
+use std::collections::HashMap;
+
+/// Parses Verilog-subset source containing exactly one module.
+///
+/// # Errors
+///
+/// Returns [`RtlError::Parse`] on syntax errors and other [`RtlError`]
+/// variants on resolution problems (unknown names, width violations).
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+///     module inv(input a, output y);
+///         assign y = ~a;
+///     endmodule";
+/// let m = gm_rtl::parse_verilog(src)?;
+/// assert_eq!(m.name(), "inv");
+/// # Ok::<(), gm_rtl::RtlError>(())
+/// ```
+pub fn parse_verilog(src: &str) -> Result<Module> {
+    let mut mods = parse_verilog_all(src)?;
+    if mods.len() != 1 {
+        return Err(RtlError::Parse {
+            line: 1,
+            col: 1,
+            msg: format!("expected exactly one module, found {}", mods.len()),
+        });
+    }
+    Ok(mods.pop().unwrap())
+}
+
+/// Parses Verilog-subset source containing any number of modules.
+///
+/// # Errors
+///
+/// See [`parse_verilog`].
+pub fn parse_verilog_all(src: &str) -> Result<Vec<Module>> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    while !p.at_eof() {
+        let ast = p.parse_module()?;
+        out.push(resolve(ast)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parser-local AST
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum PExpr {
+    Num { width: Option<u32>, value: u64 },
+    Ident(String),
+    Index { base: String, idx: Box<PExpr> },
+    Slice { base: String, hi: Box<PExpr>, lo: Box<PExpr> },
+    Unary(UnaryOp, Box<PExpr>),
+    Binary(BinaryOp, Box<PExpr>, Box<PExpr>),
+    Ternary(Box<PExpr>, Box<PExpr>, Box<PExpr>),
+    Concat(Vec<PExpr>),
+}
+
+#[derive(Clone, Debug)]
+enum PStmt {
+    Block(Vec<PStmt>),
+    If {
+        cond: PExpr,
+        then_s: Box<PStmt>,
+        else_s: Option<Box<PStmt>>,
+    },
+    Case {
+        subject: PExpr,
+        arms: Vec<(Vec<PExpr>, PStmt)>,
+        default: Option<Box<PStmt>>,
+    },
+    Assign {
+        lhs: String,
+        rhs: PExpr,
+    },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum PDir {
+    Input,
+    Output,
+}
+
+#[derive(Clone, Debug)]
+struct PDecl {
+    dir: Option<PDir>,
+    is_reg: bool,
+    range: Option<(PExpr, PExpr)>,
+    names: Vec<(String, Option<PExpr>)>,
+}
+
+#[derive(Clone, Debug)]
+enum PItem {
+    Decl(PDecl),
+    Param(String, PExpr),
+    Assign(String, PExpr),
+    Always {
+        seq: bool,
+        posedges: Vec<String>,
+        body: PStmt,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct PModule {
+    name: String,
+    port_names: Vec<String>,
+    items: Vec<PItem>,
+}
+
+// ---------------------------------------------------------------------------
+// Recursive-descent parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek().kind, TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if !matches!(t.kind, TokenKind::Eof) {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, msg: impl Into<String>) -> Result<T> {
+        let t = self.peek();
+        Err(RtlError::Parse {
+            line: t.line,
+            col: t.col,
+            msg: msg.into(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.peek().kind == TokenKind::Punct(p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.error(format!("expected `{p:?}`, found {:?}", self.peek().kind))
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.error(format!("expected `{kw}`, found {:?}", self.peek().kind))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => self.error(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn parse_module(&mut self) -> Result<PModule> {
+        self.expect_keyword("module")?;
+        let name = self.expect_ident()?;
+        let mut port_names = Vec::new();
+        let mut items: Vec<PItem> = Vec::new();
+        if self.eat_punct(Punct::LParen) {
+            if !self.eat_punct(Punct::RParen) {
+                loop {
+                    if self.at_keyword("input") || self.at_keyword("output") {
+                        // ANSI port declaration.
+                        let dir = if self.eat_keyword("input") {
+                            PDir::Input
+                        } else {
+                            self.expect_keyword("output")?;
+                            PDir::Output
+                        };
+                        let is_reg = self.eat_keyword("reg");
+                        let _ = self.eat_keyword("wire");
+                        let range = self.parse_opt_range()?;
+                        let pname = self.expect_ident()?;
+                        port_names.push(pname.clone());
+                        items.push(PItem::Decl(PDecl {
+                            dir: Some(dir),
+                            is_reg,
+                            range,
+                            names: vec![(pname, None)],
+                        }));
+                    } else {
+                        let pname = self.expect_ident()?;
+                        port_names.push(pname);
+                    }
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect_punct(Punct::RParen)?;
+            }
+        }
+        self.expect_punct(Punct::Semi)?;
+        while !self.eat_keyword("endmodule") {
+            if self.at_eof() {
+                return self.error("unexpected end of input inside module");
+            }
+            items.push(self.parse_item()?);
+        }
+        Ok(PModule {
+            name,
+            port_names,
+            items,
+        })
+    }
+
+    fn parse_opt_range(&mut self) -> Result<Option<(PExpr, PExpr)>> {
+        if self.eat_punct(Punct::LBracket) {
+            let hi = self.parse_expr()?;
+            self.expect_punct(Punct::Colon)?;
+            let lo = self.parse_expr()?;
+            self.expect_punct(Punct::RBracket)?;
+            Ok(Some((hi, lo)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parse_item(&mut self) -> Result<PItem> {
+        if self.at_keyword("input") || self.at_keyword("output") || self.at_keyword("wire")
+            || self.at_keyword("reg")
+        {
+            return self.parse_decl().map(PItem::Decl);
+        }
+        if self.at_keyword("localparam") || self.at_keyword("parameter") {
+            self.bump();
+            // Optional range on parameters is accepted and ignored.
+            let _ = self.parse_opt_range()?;
+            let name = self.expect_ident()?;
+            self.expect_punct(Punct::Eq)?;
+            let value = self.parse_expr()?;
+            self.expect_punct(Punct::Semi)?;
+            return Ok(PItem::Param(name, value));
+        }
+        if self.eat_keyword("assign") {
+            let lhs = self.expect_ident()?;
+            self.expect_punct(Punct::Eq)?;
+            let rhs = self.parse_expr()?;
+            self.expect_punct(Punct::Semi)?;
+            return Ok(PItem::Assign(lhs, rhs));
+        }
+        if self.eat_keyword("always") {
+            return self.parse_always();
+        }
+        self.error(format!("unexpected token {:?}", self.peek().kind))
+    }
+
+    fn parse_decl(&mut self) -> Result<PDecl> {
+        let dir = if self.eat_keyword("input") {
+            Some(PDir::Input)
+        } else if self.eat_keyword("output") {
+            Some(PDir::Output)
+        } else {
+            None
+        };
+        let mut is_reg = self.eat_keyword("reg");
+        if !is_reg && dir.is_none() {
+            // Plain `wire` declaration.
+            self.expect_keyword("wire")?;
+        } else if dir.is_some() && !is_reg {
+            let _ = self.eat_keyword("wire");
+            is_reg = self.eat_keyword("reg") || is_reg;
+        }
+        let range = self.parse_opt_range()?;
+        let mut names = Vec::new();
+        loop {
+            let n = self.expect_ident()?;
+            let init = if self.eat_punct(Punct::Eq) {
+                Some(self.parse_expr()?)
+            } else {
+                None
+            };
+            names.push((n, init));
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        self.expect_punct(Punct::Semi)?;
+        Ok(PDecl {
+            dir,
+            is_reg,
+            range,
+            names,
+        })
+    }
+
+    fn parse_always(&mut self) -> Result<PItem> {
+        self.expect_punct(Punct::At)?;
+        let mut posedges = Vec::new();
+        let mut seq = false;
+        if self.eat_punct(Punct::Star) {
+            // `always @*`
+        } else {
+            self.expect_punct(Punct::LParen)?;
+            if self.eat_punct(Punct::Star) {
+                self.expect_punct(Punct::RParen)?;
+            } else {
+                loop {
+                    if self.eat_keyword("posedge") {
+                        seq = true;
+                        posedges.push(self.expect_ident()?);
+                    } else if self.eat_keyword("negedge") {
+                        seq = true;
+                        posedges.push(self.expect_ident()?);
+                    } else {
+                        // Level-sensitive name: combinational process.
+                        let _ = self.expect_ident()?;
+                    }
+                    if !(self.eat_keyword("or") || self.eat_punct(Punct::Comma)) {
+                        break;
+                    }
+                }
+                self.expect_punct(Punct::RParen)?;
+            }
+        }
+        let body = self.parse_stmt()?;
+        Ok(PItem::Always {
+            seq,
+            posedges,
+            body,
+        })
+    }
+
+    fn parse_stmt(&mut self) -> Result<PStmt> {
+        if self.eat_keyword("begin") {
+            let mut body = Vec::new();
+            while !self.eat_keyword("end") {
+                if self.at_eof() {
+                    return self.error("unexpected end of input inside begin/end");
+                }
+                body.push(self.parse_stmt()?);
+            }
+            return Ok(PStmt::Block(body));
+        }
+        if self.eat_keyword("if") {
+            self.expect_punct(Punct::LParen)?;
+            let cond = self.parse_expr()?;
+            self.expect_punct(Punct::RParen)?;
+            let then_s = Box::new(self.parse_stmt()?);
+            let else_s = if self.eat_keyword("else") {
+                Some(Box::new(self.parse_stmt()?))
+            } else {
+                None
+            };
+            return Ok(PStmt::If {
+                cond,
+                then_s,
+                else_s,
+            });
+        }
+        if self.eat_keyword("case") {
+            self.expect_punct(Punct::LParen)?;
+            let subject = self.parse_expr()?;
+            self.expect_punct(Punct::RParen)?;
+            let mut arms = Vec::new();
+            let mut default = None;
+            while !self.eat_keyword("endcase") {
+                if self.at_eof() {
+                    return self.error("unexpected end of input inside case");
+                }
+                if self.eat_keyword("default") {
+                    let _ = self.eat_punct(Punct::Colon);
+                    default = Some(Box::new(self.parse_stmt()?));
+                } else {
+                    let mut labels = vec![self.parse_expr()?];
+                    while self.eat_punct(Punct::Comma) {
+                        labels.push(self.parse_expr()?);
+                    }
+                    self.expect_punct(Punct::Colon)?;
+                    let body = self.parse_stmt()?;
+                    arms.push((labels, body));
+                }
+            }
+            return Ok(PStmt::Case {
+                subject,
+                arms,
+                default,
+            });
+        }
+        // Assignment: `lhs = rhs;` or `lhs <= rhs;`.
+        let lhs = self.expect_ident()?;
+        if !(self.eat_punct(Punct::Eq) || self.eat_punct(Punct::Le)) {
+            return self.error("expected `=` or `<=` in assignment");
+        }
+        let rhs = self.parse_expr()?;
+        self.expect_punct(Punct::Semi)?;
+        Ok(PStmt::Assign { lhs, rhs })
+    }
+
+    // Expression parsing, lowest precedence first.
+    fn parse_expr(&mut self) -> Result<PExpr> {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Result<PExpr> {
+        let cond = self.parse_logic_or()?;
+        if self.eat_punct(Punct::Question) {
+            let t = self.parse_ternary()?;
+            self.expect_punct(Punct::Colon)?;
+            let e = self.parse_ternary()?;
+            Ok(PExpr::Ternary(Box::new(cond), Box::new(t), Box::new(e)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn parse_binary_level(
+        &mut self,
+        ops: &[(Punct, BinaryOp)],
+        next: fn(&mut Self) -> Result<PExpr>,
+    ) -> Result<PExpr> {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (p, op) in ops {
+                if self.eat_punct(*p) {
+                    let rhs = next(self)?;
+                    lhs = PExpr::Binary(*op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn parse_logic_or(&mut self) -> Result<PExpr> {
+        self.parse_binary_level(&[(Punct::PipePipe, BinaryOp::LogicOr)], Self::parse_logic_and)
+    }
+
+    fn parse_logic_and(&mut self) -> Result<PExpr> {
+        self.parse_binary_level(&[(Punct::AmpAmp, BinaryOp::LogicAnd)], Self::parse_bit_or)
+    }
+
+    fn parse_bit_or(&mut self) -> Result<PExpr> {
+        self.parse_binary_level(&[(Punct::Pipe, BinaryOp::Or)], Self::parse_bit_xor)
+    }
+
+    fn parse_bit_xor(&mut self) -> Result<PExpr> {
+        self.parse_binary_level(&[(Punct::Caret, BinaryOp::Xor)], Self::parse_bit_and)
+    }
+
+    fn parse_bit_and(&mut self) -> Result<PExpr> {
+        self.parse_binary_level(&[(Punct::Amp, BinaryOp::And)], Self::parse_equality)
+    }
+
+    fn parse_equality(&mut self) -> Result<PExpr> {
+        self.parse_binary_level(
+            &[(Punct::EqEq, BinaryOp::Eq), (Punct::BangEq, BinaryOp::Ne)],
+            Self::parse_relational,
+        )
+    }
+
+    fn parse_relational(&mut self) -> Result<PExpr> {
+        self.parse_binary_level(
+            &[
+                (Punct::Le, BinaryOp::Le),
+                (Punct::Ge, BinaryOp::Ge),
+                (Punct::Lt, BinaryOp::Lt),
+                (Punct::Gt, BinaryOp::Gt),
+            ],
+            Self::parse_shift,
+        )
+    }
+
+    fn parse_shift(&mut self) -> Result<PExpr> {
+        self.parse_binary_level(
+            &[(Punct::Shl, BinaryOp::Shl), (Punct::Shr, BinaryOp::Shr)],
+            Self::parse_additive,
+        )
+    }
+
+    fn parse_additive(&mut self) -> Result<PExpr> {
+        self.parse_binary_level(
+            &[(Punct::Plus, BinaryOp::Add), (Punct::Minus, BinaryOp::Sub)],
+            Self::parse_multiplicative,
+        )
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<PExpr> {
+        self.parse_binary_level(&[(Punct::Star, BinaryOp::Mul)], Self::parse_unary)
+    }
+
+    fn parse_unary(&mut self) -> Result<PExpr> {
+        let op = if self.eat_punct(Punct::Tilde) {
+            Some(UnaryOp::Not)
+        } else if self.eat_punct(Punct::Bang) {
+            Some(UnaryOp::LogicNot)
+        } else if self.eat_punct(Punct::Minus) {
+            Some(UnaryOp::Neg)
+        } else if self.eat_punct(Punct::Amp) {
+            Some(UnaryOp::RedAnd)
+        } else if self.eat_punct(Punct::Pipe) {
+            Some(UnaryOp::RedOr)
+        } else if self.eat_punct(Punct::Caret) {
+            Some(UnaryOp::RedXor)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => Ok(PExpr::Unary(op, Box::new(self.parse_unary()?))),
+            None => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<PExpr> {
+        if self.eat_punct(Punct::LParen) {
+            let e = self.parse_expr()?;
+            self.expect_punct(Punct::RParen)?;
+            return Ok(e);
+        }
+        if self.eat_punct(Punct::LBrace) {
+            let mut parts = vec![self.parse_expr()?];
+            while self.eat_punct(Punct::Comma) {
+                parts.push(self.parse_expr()?);
+            }
+            self.expect_punct(Punct::RBrace)?;
+            return Ok(PExpr::Concat(parts));
+        }
+        match self.peek().kind.clone() {
+            TokenKind::Number { width, value } => {
+                self.bump();
+                Ok(PExpr::Num { width, value })
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat_punct(Punct::LBracket) {
+                    let first = self.parse_expr()?;
+                    if self.eat_punct(Punct::Colon) {
+                        let lo = self.parse_expr()?;
+                        self.expect_punct(Punct::RBracket)?;
+                        Ok(PExpr::Slice {
+                            base: name,
+                            hi: Box::new(first),
+                            lo: Box::new(lo),
+                        })
+                    } else {
+                        self.expect_punct(Punct::RBracket)?;
+                        Ok(PExpr::Index {
+                            base: name,
+                            idx: Box::new(first),
+                        })
+                    }
+                } else {
+                    Ok(PExpr::Ident(name))
+                }
+            }
+            other => self.error(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Resolution: AST -> Module
+// ---------------------------------------------------------------------------
+
+const DEFAULT_LITERAL_WIDTH: u32 = 32;
+
+struct ResolveCtx {
+    params: HashMap<String, Bv>,
+    signals: HashMap<String, SignalId>,
+    widths: HashMap<String, u32>,
+}
+
+fn resolve_err(msg: String) -> RtlError {
+    RtlError::Parse {
+        line: 0,
+        col: 0,
+        msg,
+    }
+}
+
+fn const_eval(e: &PExpr, params: &HashMap<String, Bv>) -> Result<Bv> {
+    match e {
+        PExpr::Num { width, value } => Ok(Bv::new(*value, width.unwrap_or(DEFAULT_LITERAL_WIDTH))),
+        PExpr::Ident(n) => params
+            .get(n)
+            .copied()
+            .ok_or_else(|| resolve_err(format!("`{n}` is not a constant parameter"))),
+        PExpr::Unary(UnaryOp::Not, a) => Ok(const_eval(a, params)?.not()),
+        PExpr::Unary(UnaryOp::Neg, a) => Ok(const_eval(a, params)?.neg()),
+        PExpr::Binary(op, a, b) => {
+            let x = const_eval(a, params)?;
+            let y = const_eval(b, params)?;
+            Ok(match op {
+                BinaryOp::Add => x.add(y),
+                BinaryOp::Sub => x.sub(y),
+                BinaryOp::Mul => x.mul(y),
+                BinaryOp::Shl => x.shl(y),
+                BinaryOp::Shr => x.shr(y),
+                BinaryOp::And => x.and(y),
+                BinaryOp::Or => x.or(y),
+                BinaryOp::Xor => x.xor(y),
+                _ => {
+                    return Err(resolve_err(format!(
+                        "operator `{op}` not supported in constant expressions"
+                    )))
+                }
+            })
+        }
+        _ => Err(resolve_err(
+            "unsupported constant expression form".to_string(),
+        )),
+    }
+}
+
+fn resolve_expr(e: &PExpr, ctx: &ResolveCtx) -> Result<Expr> {
+    match e {
+        PExpr::Num { width, value } => {
+            Ok(Expr::Const(Bv::new(*value, width.unwrap_or(DEFAULT_LITERAL_WIDTH))))
+        }
+        PExpr::Ident(n) => {
+            if let Some(p) = ctx.params.get(n) {
+                return Ok(Expr::Const(*p));
+            }
+            let id = ctx
+                .signals
+                .get(n)
+                .ok_or_else(|| RtlError::UnknownSignal { name: n.clone() })?;
+            Ok(Expr::Signal(*id))
+        }
+        PExpr::Index { base, idx } => {
+            let id = ctx
+                .signals
+                .get(base)
+                .ok_or_else(|| RtlError::UnknownSignal { name: base.clone() })?;
+            let bit = const_eval(idx, &ctx.params)?.bits() as u32;
+            Ok(Expr::Signal(*id).index(bit))
+        }
+        PExpr::Slice { base, hi, lo } => {
+            let id = ctx
+                .signals
+                .get(base)
+                .ok_or_else(|| RtlError::UnknownSignal { name: base.clone() })?;
+            let h = const_eval(hi, &ctx.params)?.bits() as u32;
+            let l = const_eval(lo, &ctx.params)?.bits() as u32;
+            Ok(Expr::Signal(*id).slice(h, l))
+        }
+        PExpr::Unary(op, a) => Ok(Expr::unary(*op, resolve_expr(a, ctx)?)),
+        PExpr::Binary(op, a, b) => Ok(Expr::binary(
+            *op,
+            resolve_expr(a, ctx)?,
+            resolve_expr(b, ctx)?,
+        )),
+        PExpr::Ternary(c, t, e2) => Ok(resolve_expr(c, ctx)?.mux(
+            resolve_expr(t, ctx)?,
+            resolve_expr(e2, ctx)?,
+        )),
+        PExpr::Concat(parts) => {
+            let resolved: Result<Vec<Expr>> = parts.iter().map(|p| resolve_expr(p, ctx)).collect();
+            Ok(Expr::Concat(resolved?))
+        }
+    }
+}
+
+fn lower_stmts(sb: &mut StmtBuilder<'_>, stmts: &[PStmt], ctx: &ResolveCtx) -> Result<()> {
+    for s in stmts {
+        lower_stmt(sb, s, ctx)?;
+    }
+    Ok(())
+}
+
+fn lower_stmt(sb: &mut StmtBuilder<'_>, stmt: &PStmt, ctx: &ResolveCtx) -> Result<()> {
+    match stmt {
+        PStmt::Block(body) => lower_stmts(sb, body, ctx),
+        PStmt::Assign { lhs, rhs } => {
+            let id = ctx
+                .signals
+                .get(lhs)
+                .ok_or_else(|| RtlError::UnknownSignal { name: lhs.clone() })?;
+            let rhs = resolve_expr(rhs, ctx)?;
+            sb.assign(*id, rhs);
+            Ok(())
+        }
+        PStmt::If {
+            cond,
+            then_s,
+            else_s,
+        } => {
+            let c = resolve_expr(cond, ctx)?;
+            let result = std::cell::RefCell::new(Ok(()));
+            sb.if_else(
+                c,
+                |t| {
+                    let r = lower_stmt(t, then_s, ctx);
+                    if result.borrow().is_ok() {
+                        *result.borrow_mut() = r;
+                    }
+                },
+                |e| {
+                    if let Some(es) = else_s {
+                        let r = lower_stmt(e, es, ctx);
+                        if result.borrow().is_ok() {
+                            *result.borrow_mut() = r;
+                        }
+                    }
+                },
+            );
+            result.into_inner()
+        }
+        PStmt::Case {
+            subject,
+            arms,
+            default,
+        } => {
+            let subj = resolve_expr(subject, ctx)?;
+            let subj_width = {
+                let widths = &ctx.widths;
+                let signals = &ctx.signals;
+                let lookup = |id: SignalId| {
+                    // Find width by reverse lookup; widths are kept by name.
+                    widths
+                        .iter()
+                        .find(|(n, _)| signals.get(*n) == Some(&id))
+                        .map(|(_, w)| *w)
+                        .unwrap_or(DEFAULT_LITERAL_WIDTH)
+                };
+                subj.width_in(&lookup)
+            };
+            let mut result = Ok(());
+            sb.case(subj, |cb| {
+                for (labels, body) in arms {
+                    let mut lbls = Vec::new();
+                    for l in labels {
+                        match const_eval(l, &ctx.params) {
+                            Ok(v) => {
+                                if subj_width < 64 && v.bits() >= (1u64 << subj_width) {
+                                    result = Err(RtlError::Width {
+                                        msg: format!(
+                                            "case label {} does not fit subject width {}",
+                                            v.bits(),
+                                            subj_width
+                                        ),
+                                    });
+                                }
+                                lbls.push(v.resize(subj_width));
+                            }
+                            Err(e) => result = Err(e),
+                        }
+                    }
+                    cb.arm(&lbls, |a| {
+                        if result.is_ok() {
+                            result = lower_stmt(a, body, ctx);
+                        }
+                    });
+                }
+                if let Some(d) = default {
+                    cb.default(|db| {
+                        if result.is_ok() {
+                            result = lower_stmt(db, d, ctx);
+                        }
+                    });
+                }
+            });
+            result
+        }
+    }
+}
+
+/// Collects `reg <= constant` assignments in the reset branch so register
+/// init values match the design's reset state.
+fn collect_reset_inits(
+    stmt: &PStmt,
+    reset_name: &str,
+    params: &HashMap<String, Bv>,
+    out: &mut Vec<(String, Bv)>,
+) {
+    match stmt {
+        PStmt::Block(body) => {
+            for s in body {
+                collect_reset_inits(s, reset_name, params, out);
+            }
+        }
+        PStmt::If { cond, then_s, .. } => {
+            if matches!(cond, PExpr::Ident(n) if n == reset_name) {
+                collect_const_assigns(then_s, params, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn collect_const_assigns(stmt: &PStmt, params: &HashMap<String, Bv>, out: &mut Vec<(String, Bv)>) {
+    match stmt {
+        PStmt::Block(body) => {
+            for s in body {
+                collect_const_assigns(s, params, out);
+            }
+        }
+        PStmt::Assign { lhs, rhs } => {
+            if let Ok(v) = const_eval(rhs, params) {
+                out.push((lhs.clone(), v));
+            }
+        }
+        _ => {}
+    }
+}
+
+fn is_reset_name(name: &str) -> bool {
+    matches!(name, "rst" | "reset" | "rst_n" | "resetn" | "arst")
+}
+
+fn is_clock_name(name: &str) -> bool {
+    matches!(name, "clk" | "clock" | "ck")
+}
+
+fn resolve(ast: PModule) -> Result<Module> {
+    // Pass 1: parameters (in order).
+    let mut params: HashMap<String, Bv> = HashMap::new();
+    for item in &ast.items {
+        if let PItem::Param(name, value) = item {
+            let v = const_eval(value, &params)?;
+            params.insert(name.clone(), v);
+        }
+    }
+
+    // Pass 2: merge declarations by name (handles `output y; reg y;`).
+    #[derive(Default, Clone)]
+    struct Merged {
+        dir: Option<PDir>,
+        is_reg: bool,
+        width: Option<u32>,
+        init: Option<Bv>,
+        order: usize,
+    }
+    let mut merged: HashMap<String, Merged> = HashMap::new();
+    let mut order = 0usize;
+    for item in &ast.items {
+        if let PItem::Decl(d) = item {
+            let width = match &d.range {
+                Some((hi, lo)) => {
+                    let h = const_eval(hi, &params)?.bits();
+                    let l = const_eval(lo, &params)?.bits();
+                    if l != 0 || h >= 64 {
+                        return Err(RtlError::Width {
+                            msg: format!("unsupported range [{h}:{l}] (need [N:0], N<64)"),
+                        });
+                    }
+                    Some((h - l + 1) as u32)
+                }
+                None => None,
+            };
+            for (name, init) in &d.names {
+                let e = merged.entry(name.clone()).or_insert_with(|| {
+                    order += 1;
+                    Merged {
+                        order,
+                        ..Merged::default()
+                    }
+                });
+                if let Some(dir) = d.dir {
+                    if e.dir.is_some() && e.dir != Some(dir) {
+                        return Err(RtlError::DuplicateSignal { name: name.clone() });
+                    }
+                    e.dir = Some(dir);
+                }
+                e.is_reg |= d.is_reg;
+                if let Some(w) = width {
+                    if let Some(prev) = e.width {
+                        if prev != w {
+                            return Err(RtlError::Width {
+                                msg: format!("`{name}` declared with widths {prev} and {w}"),
+                            });
+                        }
+                    }
+                    e.width = Some(w);
+                }
+                if let Some(i) = init {
+                    e.init = Some(const_eval(i, &params)?);
+                }
+            }
+        }
+    }
+
+    // Check non-ANSI port names have directions.
+    for p in &ast.port_names {
+        match merged.get(p) {
+            Some(m) if m.dir.is_some() => {}
+            _ => {
+                return Err(resolve_err(format!("port `{p}` has no direction declaration")));
+            }
+        }
+    }
+
+    // Pass 3: create signals in declaration order.
+    let mut builder = ModuleBuilder::new(ast.name.clone());
+    let mut names: Vec<(&String, &Merged)> = merged.iter().collect();
+    names.sort_by_key(|(_, m)| m.order);
+    let mut ctx = ResolveCtx {
+        params,
+        signals: HashMap::new(),
+        widths: HashMap::new(),
+    };
+    for (name, m) in &names {
+        let w = m.width.unwrap_or(1);
+        let init = m.init.map(|b| b.resize(w)).unwrap_or_else(|| Bv::zeros(w));
+        let id = match (m.dir, m.is_reg) {
+            (Some(PDir::Input), _) => builder.input(name, w),
+            (Some(PDir::Output), true) => builder.output_reg(name, w, init),
+            (Some(PDir::Output), false) => builder.output(name, w),
+            (None, true) => builder.reg(name, w, init),
+            (None, false) => builder.wire(name, w),
+        };
+        ctx.signals.insert((*name).clone(), id);
+        ctx.widths.insert((*name).clone(), w);
+    }
+
+    // Clock/reset designation: posedge signals never read in bodies are
+    // clocks; name-based reset detection.
+    let mut posedge_names: Vec<String> = Vec::new();
+    for item in &ast.items {
+        if let PItem::Always { posedges, .. } = item {
+            for p in posedges {
+                if !posedge_names.contains(p) {
+                    posedge_names.push(p.clone());
+                }
+            }
+        }
+    }
+    for (name, m) in &names {
+        if m.dir == Some(PDir::Input) {
+            if is_clock_name(name) || (posedge_names.contains(name) && !is_reset_name(name)) {
+                builder.designate_clock(ctx.signals[*name]);
+                break;
+            }
+        }
+    }
+    for (name, m) in &names {
+        if m.dir == Some(PDir::Input) && is_reset_name(name) {
+            builder.designate_reset(ctx.signals[*name]);
+            break;
+        }
+    }
+    let reset_name: Option<String> = names
+        .iter()
+        .find(|(n, m)| m.dir == Some(PDir::Input) && is_reset_name(n))
+        .map(|(n, _)| (*n).clone());
+
+    // Pass 4: processes.
+    for item in &ast.items {
+        match item {
+            PItem::Assign(lhs, rhs) => {
+                let id = *ctx
+                    .signals
+                    .get(lhs)
+                    .ok_or_else(|| RtlError::UnknownSignal { name: lhs.clone() })?;
+                let rhs = resolve_expr(rhs, &ctx)?;
+                builder.assign(id, rhs);
+            }
+            PItem::Always { seq, body, .. } => {
+                let mut result = Ok(());
+                if *seq {
+                    builder.always_seq(|sb| {
+                        result = lower_stmt(sb, body, &ctx);
+                    });
+                    // Extract reset-branch constants as register inits.
+                    if let Some(rn) = &reset_name {
+                        let mut inits = Vec::new();
+                        collect_reset_inits(body, rn, &ctx.params, &mut inits);
+                        for (name, v) in inits {
+                            if let Some(&id) = ctx.signals.get(&name) {
+                                builder.set_init(id, v);
+                            }
+                        }
+                    }
+                } else {
+                    builder.always_comb(|sb| {
+                        result = lower_stmt(sb, body, &ctx);
+                    });
+                }
+                result?;
+            }
+            PItem::Decl(_) | PItem::Param(_, _) => {}
+        }
+    }
+
+    // FSM heuristic: a reg used as a whole-signal case subject is state.
+    for item in &ast.items {
+        if let PItem::Always { body, .. } = item {
+            mark_fsm_subjects(body, &ctx, &mut builder);
+        }
+    }
+
+    builder.build()
+}
+
+fn mark_fsm_subjects(stmt: &PStmt, ctx: &ResolveCtx, builder: &mut ModuleBuilder) {
+    match stmt {
+        PStmt::Block(body) => {
+            for s in body {
+                mark_fsm_subjects(s, ctx, builder);
+            }
+        }
+        PStmt::If { then_s, else_s, .. } => {
+            mark_fsm_subjects(then_s, ctx, builder);
+            if let Some(e) = else_s {
+                mark_fsm_subjects(e, ctx, builder);
+            }
+        }
+        PStmt::Case { subject, arms, default, .. } => {
+            if let PExpr::Ident(n) = subject {
+                if let Some(&id) = ctx.signals.get(n) {
+                    builder.mark_fsm(id);
+                }
+            }
+            for (_, body) in arms {
+                mark_fsm_subjects(body, ctx, builder);
+            }
+            if let Some(d) = default {
+                mark_fsm_subjects(d, ctx, builder);
+            }
+        }
+        PStmt::Assign { .. } => {}
+    }
+}

@@ -1,0 +1,255 @@
+//! Behavioral statements and processes.
+//!
+//! A [`Process`] is either combinational (`always @(*)` / continuous
+//! `assign`, blocking semantics) or sequential (`always @(posedge clk)`,
+//! non-blocking semantics). Its body is a tree of [`Stmt`]s.
+
+use crate::bv::Bv;
+use crate::expr::Expr;
+use crate::module::SignalId;
+
+/// A stable identifier for a statement within one module.
+///
+/// Ids are assigned densely by the [`crate::ModuleBuilder`] and are used as
+/// keys for line/branch coverage points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub(crate) u32);
+
+impl StmtId {
+    /// The raw index of this statement id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a statement id from a raw index (for table reconstruction).
+    pub fn from_raw(raw: u32) -> Self {
+        StmtId(raw)
+    }
+}
+
+/// One arm of a `case` statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaseArm {
+    /// The constant labels that select this arm (`2'b00, 2'b01: ...`).
+    pub labels: Vec<Bv>,
+    /// The statements executed when a label matches.
+    pub body: Vec<Stmt>,
+}
+
+/// A behavioral statement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Stmt {
+    /// The module-unique id of this statement.
+    pub id: StmtId,
+    /// The statement payload.
+    pub kind: StmtKind,
+}
+
+/// Statement payloads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StmtKind {
+    /// An assignment `lhs = rhs` (blocking in combinational processes,
+    /// non-blocking in sequential processes).
+    Assign {
+        /// The assigned signal. Whole-signal assignment only.
+        lhs: SignalId,
+        /// The assigned value.
+        rhs: Expr,
+    },
+    /// An `if (cond) ... else ...` statement.
+    If {
+        /// Branch condition; nonzero takes the `then` body.
+        cond: Expr,
+        /// Statements of the taken branch.
+        then_body: Vec<Stmt>,
+        /// Statements of the else branch (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// A `case (subject) ... endcase` statement.
+    Case {
+        /// The discriminating expression.
+        subject: Expr,
+        /// Arms in source order; the first label match wins.
+        arms: Vec<CaseArm>,
+        /// The `default:` body, if present.
+        default: Option<Vec<Stmt>>,
+    },
+}
+
+impl Stmt {
+    /// Visits this statement and all nested statements, pre-order.
+    pub fn for_each(&self, f: &mut impl FnMut(&Stmt)) {
+        f(self);
+        match &self.kind {
+            StmtKind::Assign { .. } => {}
+            StmtKind::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                for s in then_body.iter().chain(else_body) {
+                    s.for_each(f);
+                }
+            }
+            StmtKind::Case { arms, default, .. } => {
+                for arm in arms {
+                    for s in &arm.body {
+                        s.for_each(f);
+                    }
+                }
+                if let Some(d) = default {
+                    for s in d {
+                        s.for_each(f);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Signals read by this statement (conditions and right-hand sides),
+    /// including nested statements.
+    pub fn reads(&self, out: &mut Vec<SignalId>) {
+        self.for_each(&mut |s| {
+            let expr: Option<&Expr> = match &s.kind {
+                StmtKind::Assign { rhs, .. } => Some(rhs),
+                StmtKind::If { cond, .. } => Some(cond),
+                StmtKind::Case { subject, .. } => Some(subject),
+            };
+            if let Some(e) = expr {
+                e.for_each_signal(&mut |sig| out.push(sig));
+            }
+        });
+    }
+
+    /// Signals written by this statement, including nested statements.
+    pub fn writes(&self, out: &mut Vec<SignalId>) {
+        self.for_each(&mut |s| {
+            if let StmtKind::Assign { lhs, .. } = &s.kind {
+                out.push(*lhs);
+            }
+        });
+    }
+}
+
+/// Process scheduling class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProcessKind {
+    /// Combinational: evaluated whenever inputs change (modeled as every
+    /// cycle, in topological order), with blocking assignment semantics.
+    Comb,
+    /// Sequential: evaluated at the clock edge with non-blocking semantics;
+    /// all right-hand sides see pre-edge values.
+    Seq,
+}
+
+/// A behavioral process: an `always` block or a continuous assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Process {
+    /// Scheduling class of the process.
+    pub kind: ProcessKind,
+    /// The statement list executed by the process.
+    pub body: Vec<Stmt>,
+}
+
+impl Process {
+    /// All signals read anywhere in the process body (sorted, deduped).
+    pub fn read_set(&self) -> Vec<SignalId> {
+        let mut v = Vec::new();
+        for s in &self.body {
+            s.reads(&mut v);
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// All signals written anywhere in the process body (sorted, deduped).
+    pub fn write_set(&self) -> Vec<SignalId> {
+        let mut v = Vec::new();
+        for s in &self.body {
+            s.writes(&mut v);
+        }
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Visits every statement in the body, pre-order.
+    pub fn for_each_stmt(&self, f: &mut impl FnMut(&Stmt)) {
+        for s in &self.body {
+            s.for_each(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn sid(n: u32) -> SignalId {
+        SignalId::from_raw(n)
+    }
+
+    fn assign(id: u32, lhs: u32, rhs: Expr) -> Stmt {
+        Stmt {
+            id: StmtId(id),
+            kind: StmtKind::Assign { lhs: sid(lhs), rhs },
+        }
+    }
+
+    #[test]
+    fn read_write_sets() {
+        let p = Process {
+            kind: ProcessKind::Comb,
+            body: vec![Stmt {
+                id: StmtId(0),
+                kind: StmtKind::If {
+                    cond: Expr::Signal(sid(0)),
+                    then_body: vec![assign(1, 3, Expr::Signal(sid(1)))],
+                    else_body: vec![assign(2, 3, Expr::Signal(sid(2)))],
+                },
+            }],
+        };
+        assert_eq!(p.read_set(), vec![sid(0), sid(1), sid(2)]);
+        assert_eq!(p.write_set(), vec![sid(3)]);
+    }
+
+    #[test]
+    fn case_reads_subject_and_bodies() {
+        let p = Process {
+            kind: ProcessKind::Seq,
+            body: vec![Stmt {
+                id: StmtId(0),
+                kind: StmtKind::Case {
+                    subject: Expr::Signal(sid(5)),
+                    arms: vec![CaseArm {
+                        labels: vec![Bv::new(0, 2)],
+                        body: vec![assign(1, 6, Expr::Signal(sid(7)))],
+                    }],
+                    default: Some(vec![assign(2, 6, Expr::zero())]),
+                },
+            }],
+        };
+        assert_eq!(p.read_set(), vec![sid(5), sid(7)]);
+        assert_eq!(p.write_set(), vec![sid(6)]);
+    }
+
+    #[test]
+    fn for_each_is_preorder() {
+        let p = Process {
+            kind: ProcessKind::Comb,
+            body: vec![Stmt {
+                id: StmtId(0),
+                kind: StmtKind::If {
+                    cond: Expr::one(),
+                    then_body: vec![assign(1, 0, Expr::zero())],
+                    else_body: vec![assign(2, 0, Expr::one())],
+                },
+            }],
+        };
+        let mut ids = Vec::new();
+        p.for_each_stmt(&mut |s| ids.push(s.id.0));
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,121 @@
+//! DIMACS CNF import/export, for interoperability and test corpora.
+
+use crate::lit::{Lit, Var};
+use crate::solver::Solver;
+use std::fmt::Write as _;
+
+/// A parsed DIMACS instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimacsInstance {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// Clauses as signed 1-based variable indices.
+    pub clauses: Vec<Vec<i32>>,
+}
+
+impl DimacsInstance {
+    /// Loads the instance into a fresh solver, returning the solver and
+    /// the variable table (index `i` holds DIMACS variable `i + 1`).
+    pub fn into_solver(&self) -> (Solver, Vec<Var>) {
+        let mut solver = Solver::new();
+        let vars: Vec<Var> = (0..self.num_vars).map(|_| solver.new_var()).collect();
+        for clause in &self.clauses {
+            let lits: Vec<Lit> = clause
+                .iter()
+                .map(|&x| vars[x.unsigned_abs() as usize - 1].lit(x > 0))
+                .collect();
+            solver.add_clause(&lits);
+        }
+        (solver, vars)
+    }
+}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line. Comments (`c`) and
+/// the problem line (`p cnf V C`) are handled; literals beyond the
+/// declared variable count grow the instance rather than failing.
+pub fn parse_dimacs(src: &str) -> Result<DimacsInstance, String> {
+    let mut num_vars = 0usize;
+    let mut clauses = Vec::new();
+    let mut current: Vec<i32> = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut it = rest.split_whitespace();
+            if it.next() != Some("cnf") {
+                return Err(format!("line {}: expected `p cnf`", lineno + 1));
+            }
+            num_vars = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("line {}: bad variable count", lineno + 1))?;
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let x: i32 = tok
+                .parse()
+                .map_err(|_| format!("line {}: bad literal `{tok}`", lineno + 1))?;
+            if x == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                num_vars = num_vars.max(x.unsigned_abs() as usize);
+                current.push(x);
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    Ok(DimacsInstance { num_vars, clauses })
+}
+
+/// Renders an instance as DIMACS CNF text.
+pub fn to_dimacs(instance: &DimacsInstance) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p cnf {} {}", instance.num_vars, instance.clauses.len());
+    for c in &instance.clauses {
+        for x in c {
+            let _ = write!(out, "{x} ");
+        }
+        let _ = writeln!(out, "0");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    #[test]
+    fn parse_and_solve_roundtrip() {
+        let src = "c a tiny instance\np cnf 3 3\n1 2 0\n-1 3 0\n-3 0\n";
+        let inst = parse_dimacs(src).unwrap();
+        assert_eq!(inst.num_vars, 3);
+        assert_eq!(inst.clauses.len(), 3);
+        let (mut s, vars) = inst.into_solver();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(!s.model_var(vars[2]), "x3 forced false");
+        assert!(s.model_var(vars[1]) || s.model_var(vars[0]));
+        let back = parse_dimacs(&to_dimacs(&inst)).unwrap();
+        assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn clauses_spanning_lines() {
+        let inst = parse_dimacs("p cnf 2 1\n1\n-2\n0\n").unwrap();
+        assert_eq!(inst.clauses, vec![vec![1, -2]]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_dimacs("p cnf x y\n").is_err());
+        assert!(parse_dimacs("1 two 0\n").is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # gm-sat — a CDCL SAT solver
+//!
+//! The decision-procedure substrate for the GoldMine reproduction's
+//! formal-verification engine (the paper used SMV and a commercial model
+//! checker; we build the checker from scratch on top of this solver).
+//!
+//! Features: two-watched-literal propagation, first-UIP clause learning
+//! with cheap minimization, VSIDS decision ordering with phase saving,
+//! Luby restarts, incremental solving under assumptions, a Tseitin gate
+//! encoder ([`Tseitin`]) and DIMACS import/export.
+//!
+//! # Examples
+//!
+//! ```
+//! use gm_sat::{Solver, SolveResult, Tseitin};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var().positive();
+//! let b = solver.new_var().positive();
+//! let mut enc = Tseitin::new(&mut solver);
+//! let out = enc.xor(a, b);
+//! enc.assert_lit(out);
+//! assert_eq!(solver.solve(), SolveResult::Sat);
+//! assert_ne!(solver.model_value(a), solver.model_value(b));
+//! ```
+
+#![warn(missing_docs)]
+
+mod cnf;
+mod dimacs;
+mod heap;
+mod lit;
+mod solver;
+
+pub use cnf::Tseitin;
+pub use dimacs::{parse_dimacs, to_dimacs, DimacsInstance};
+pub use lit::{Lit, Var};
+pub use solver::{SolveResult, Solver, SolverStats};

@@ -1,0 +1,709 @@
+//! The CDCL solver.
+//!
+//! A MiniSat-style conflict-driven clause-learning solver: two-watched
+//! literals, first-UIP learning with recursive-lite minimization, VSIDS
+//! decision order, phase saving and Luby restarts. Supports incremental
+//! use (adding clauses between solves) and solving under assumptions —
+//! exactly what the bounded-model-checking loop in `gm-mc` needs.
+
+use crate::heap::VarOrder;
+use crate::lit::{Lit, Var};
+
+/// Result of a satisfiability query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment exists (read it via [`Solver::model_value`]).
+    Sat,
+    /// No satisfying assignment exists (under the given assumptions).
+    Unsat,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+#[derive(Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// Solver statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learnt.
+    pub learnt: u64,
+}
+
+/// A CDCL SAT solver.
+///
+/// # Examples
+///
+/// ```
+/// use gm_sat::{Solver, SolveResult};
+///
+/// let mut s = Solver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[a.positive(), b.positive()]);
+/// s.add_clause(&[a.negative()]);
+/// assert_eq!(s.solve(), SolveResult::Sat);
+/// assert!(s.model_value(b.positive()));
+/// s.add_clause(&[b.negative()]);
+/// assert_eq!(s.solve(), SolveResult::Unsat);
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// For each literal index, the clauses watching that literal.
+    watches: Vec<Vec<u32>>,
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarOrder,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    unsat: bool,
+    stats: SolverStats,
+}
+
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const RESCALE_LIMIT: f64 = 1e100;
+const RESTART_BASE: u64 = 64;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarOrder::new(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            unsat: false,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var::from_index(self.assign.len());
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// The number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// The number of clauses (original plus learnt).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Solver statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        match self.assign[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_positive() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Adds a clause.
+    ///
+    /// Adding a clause invalidates any model from a previous solve (the
+    /// solver backtracks to level 0). Tautologies are dropped; the empty
+    /// clause marks the instance unsatisfiable.
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.backtrack(0);
+        if self.unsat {
+            return;
+        }
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "literal {l} references an unallocated variable"
+            );
+            match self.lit_value(l) {
+                LBool::True => return, // already satisfied at level 0
+                LBool::False if self.level[l.var().index()] == 0 => continue,
+                _ => {}
+            }
+            if c.contains(&!l) {
+                return; // tautology
+            }
+            if !c.contains(&l) {
+                c.push(l);
+            }
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(c[0], None) {
+                    self.unsat = true;
+                } else if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let ci = self.clauses.len() as u32;
+                self.watches[c[0].index()].push(ci);
+                self.watches[c[1].index()].push(ci);
+                self.clauses.push(Clause { lits: c });
+            }
+        }
+    }
+
+    /// Enqueues `lit` as true; returns false on immediate conflict.
+    fn enqueue(&mut self, lit: Lit, reason: Option<u32>) -> bool {
+        match self.lit_value(lit) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                let v = lit.var().index();
+                self.assign[v] = if lit.is_positive() {
+                    LBool::True
+                } else {
+                    LBool::False
+                };
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            let watchers = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut kept = Vec::with_capacity(watchers.len());
+            let mut conflict = None;
+            let mut wi = 0;
+            while wi < watchers.len() {
+                let ci = watchers[wi];
+                wi += 1;
+                // Normalize: the false literal sits at position 1.
+                if self.clauses[ci as usize].lits[0] == false_lit {
+                    self.clauses[ci as usize].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci as usize].lits[1], false_lit);
+                let first = self.clauses[ci as usize].lits[0];
+                if self.lit_value(first) == LBool::True {
+                    kept.push(ci);
+                    continue;
+                }
+                // Look for a non-false replacement watch.
+                let mut moved = false;
+                let len = self.clauses[ci as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[ci as usize].lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        self.clauses[ci as usize].lits.swap(1, k);
+                        self.watches[lk.index()].push(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting under the current trail.
+                kept.push(ci);
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: retain the rest of the watch list.
+                    kept.extend_from_slice(&watchers[wi..]);
+                    conflict = Some(ci);
+                    break;
+                }
+                let ok = self.enqueue(first, Some(ci));
+                debug_assert!(ok);
+            }
+            self.watches[false_lit.index()] = kept;
+            if conflict.is_some() {
+                self.qhead = self.trail.len();
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bumped(v, &self.activity);
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::from_index(0)]; // slot 0 = UIP
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut confl = confl;
+        let current = self.decision_level();
+
+        loop {
+            let clause = &self.clauses[confl as usize];
+            let start = usize::from(p.is_some());
+            let qs: Vec<Lit> = clause.lits[start..].to_vec();
+            for q in qs {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select the next trail literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !pl;
+                break;
+            }
+            confl = self.reason[pl.var().index()].expect("resolved literal has a reason");
+            p = Some(pl);
+        }
+
+        // Cheap clause minimization: drop literals whose entire reason is
+        // already in the learnt clause (or fixed at level 0).
+        let mut minimized = vec![learnt[0]];
+        'lits: for i in 1..learnt.len() {
+            let q = learnt[i];
+            if let Some(r) = self.reason[q.var().index()] {
+                for &rl in &self.clauses[r as usize].lits {
+                    if rl.var() == q.var() {
+                        continue;
+                    }
+                    if !self.seen[rl.var().index()] && self.level[rl.var().index()] > 0 {
+                        minimized.push(q);
+                        continue 'lits;
+                    }
+                }
+                // Redundant: implied by the other learnt literals.
+            } else {
+                minimized.push(q);
+            }
+        }
+        for l in &minimized[1..] {
+            debug_assert!(self.seen[l.var().index()]);
+        }
+        for i in 1..learnt.len() {
+            self.seen[learnt[i].var().index()] = false;
+        }
+        let mut learnt = minimized;
+
+        // Compute backtrack level: the highest level below the current one.
+        let blevel = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()]
+        };
+        (learnt, blevel)
+    }
+
+    /// Undoes decisions above `target` level.
+    fn backtrack(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let bound = self.trail_lim[target as usize];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().unwrap();
+            let v = l.var();
+            self.phase[v.index()] = self.assign[v.index()] == LBool::True;
+            self.assign[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail_lim.truncate(target as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        self.stats.learnt += 1;
+        if learnt.len() == 1 {
+            let ok = self.enqueue(learnt[0], None);
+            debug_assert!(ok);
+            return;
+        }
+        let ci = self.clauses.len() as u32;
+        self.watches[learnt[0].index()].push(ci);
+        self.watches[learnt[1].index()].push(ci);
+        let assert_lit = learnt[0];
+        self.clauses.push(Clause { lits: learnt });
+        let ok = self.enqueue(assert_lit, Some(ci));
+        debug_assert!(ok);
+    }
+
+    fn pick_branch(&mut self) -> Option<Lit> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assign[v.index()] == LBool::Undef {
+                return Some(v.lit(self.phase[v.index()]));
+            }
+        }
+        None
+    }
+
+    /// Solves the instance with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves under `assumptions` (literals forced true for this call).
+    ///
+    /// `Unsat` means the clauses are unsatisfiable *together with* the
+    /// assumptions; the clause database remains usable afterwards.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SolveResult::Unsat;
+        }
+        let mut conflicts_until_restart = RESTART_BASE * luby(self.stats.restarts + 1);
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, blevel) = self.analyze(confl);
+                self.backtrack(blevel);
+                self.record_learnt(learnt);
+                self.var_inc *= VAR_DECAY;
+                if conflicts_until_restart > 0 {
+                    conflicts_until_restart -= 1;
+                }
+            } else {
+                if conflicts_until_restart == 0 {
+                    self.stats.restarts += 1;
+                    conflicts_until_restart = RESTART_BASE * luby(self.stats.restarts + 1);
+                    self.backtrack(0);
+                    continue;
+                }
+                // Extend with assumptions first.
+                let dl = self.decision_level() as usize;
+                let next = if dl < assumptions.len() {
+                    let p = assumptions[dl];
+                    if p.var().index() >= self.num_vars() {
+                        panic!("assumption {p} references an unallocated variable");
+                    }
+                    match self.lit_value(p) {
+                        LBool::True => {
+                            self.trail_lim.push(self.trail.len());
+                            continue;
+                        }
+                        LBool::False => {
+                            self.backtrack(0);
+                            return SolveResult::Unsat;
+                        }
+                        LBool::Undef => Some(p),
+                    }
+                } else {
+                    self.pick_branch()
+                };
+                match next {
+                    None => return SolveResult::Sat,
+                    Some(p) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(p, None);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The model value of a literal after a `Sat` answer.
+    ///
+    /// Unconstrained variables read as their saved phase (deterministic).
+    pub fn model_value(&self, lit: Lit) -> bool {
+        match self.lit_value(lit) {
+            LBool::True => true,
+            LBool::False => false,
+            LBool::Undef => {
+                // Unassigned after SAT: any value satisfies; use phase.
+                self.phase[lit.var().index()] == lit.is_positive()
+            }
+        }
+    }
+
+    /// The model value of a variable after a `Sat` answer.
+    pub fn model_var(&self, var: Var) -> bool {
+        self.model_value(var.positive())
+    }
+
+    /// Verifies that the current assignment satisfies every clause
+    /// (diagnostic; used by tests).
+    pub fn model_satisfies_all(&self) -> bool {
+        self.clauses
+            .iter()
+            .all(|c| c.lits.iter().any(|&l| self.model_value(l)))
+    }
+}
+
+/// The Luby restart sequence: 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+fn luby(mut i: u64) -> u64 {
+    loop {
+        // Find k with 2^k - 1 >= i.
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &mut Solver, vars: &mut Vec<Var>, x: i32) -> Lit {
+        let idx = x.unsigned_abs() as usize - 1;
+        while vars.len() <= idx {
+            vars.push(s.new_var());
+        }
+        vars[idx].lit(x > 0)
+    }
+
+    fn add(s: &mut Solver, vars: &mut Vec<Var>, clause: &[i32]) {
+        let c: Vec<Lit> = clause.iter().map(|&x| lit(s, vars, x)).collect();
+        s.add_clause(&c);
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let seq: Vec<u64> = (1..=15).map(luby).collect();
+        assert_eq!(seq, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn trivial_sat_unsat() {
+        let mut s = Solver::new();
+        let mut v = Vec::new();
+        add(&mut s, &mut v, &[1, 2]);
+        add(&mut s, &mut v, &[-1]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_value(v[1].positive()));
+        assert!(s.model_satisfies_all());
+        add(&mut s, &mut v, &[-2]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause(&[]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn chain_propagation() {
+        // x1 & (x_i -> x_{i+1}) chain forces everything true.
+        let mut s = Solver::new();
+        let mut v = Vec::new();
+        add(&mut s, &mut v, &[1]);
+        for i in 1..50 {
+            add(&mut s, &mut v, &[-i, i + 1]);
+        }
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for var in &v {
+            assert!(s.model_var(*var));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_4_into_3_is_unsat() {
+        // p(i,j): pigeon i in hole j. Each pigeon somewhere; no two share.
+        let mut s = Solver::new();
+        let n = 4;
+        let m = 3;
+        let mut p = vec![vec![Var::from_index(0); m]; n];
+        for row in p.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for i in 0..n {
+            let c: Vec<Lit> = (0..m).map(|j| p[i][j].positive()).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[p[i1][j].negative(), p[i2][j].negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_are_temporary() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), b.positive()]);
+        assert_eq!(
+            s.solve_with_assumptions(&[a.negative(), b.negative()]),
+            SolveResult::Unsat
+        );
+        // Same instance without assumptions is still satisfiable.
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(
+            s.solve_with_assumptions(&[a.negative()]),
+            SolveResult::Sat
+        );
+        assert!(s.model_value(b.positive()));
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+        // At-least-one.
+        let c: Vec<Lit> = vars.iter().map(|v| v.positive()).collect();
+        s.add_clause(&c);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        // Incrementally forbid each variable; stays SAT until all gone.
+        for (i, v) in vars.iter().enumerate() {
+            s.add_clause(&[v.negative()]);
+            let expect = if i + 1 < vars.len() {
+                SolveResult::Sat
+            } else {
+                SolveResult::Unsat
+            };
+            assert_eq!(s.solve(), expect, "after forbidding {} vars", i + 1);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive(), a.positive(), b.positive()]);
+        s.add_clause(&[a.positive(), a.negative()]); // tautology: dropped
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn xor_chain_forces_unique_solution() {
+        // (a xor b) & (b xor c) & a  => b = !a, c = !b.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let xor = |s: &mut Solver, x: Var, y: Var| {
+            s.add_clause(&[x.positive(), y.positive()]);
+            s.add_clause(&[x.negative(), y.negative()]);
+        };
+        xor(&mut s, a, b);
+        xor(&mut s, b, c);
+        s.add_clause(&[a.positive()]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.model_var(a));
+        assert!(!s.model_var(b));
+        assert!(s.model_var(c));
+    }
+}

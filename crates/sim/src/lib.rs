@@ -1,0 +1,28 @@
+//! # gm-sim — cycle-accurate behavioral RTL simulation
+//!
+//! The dynamic half of GoldMine's *data generator*: a deterministic
+//! two-valued interpreter for `gm-rtl` modules with
+//!
+//! * observer hooks for coverage collection ([`SimObserver`]),
+//! * per-cycle trace capture ([`Trace`]) with VCD export,
+//! * random and directed stimulus sources ([`RandomStimulus`],
+//!   [`DirectedStimulus`]),
+//! * reset-rooted multi-segment test suites ([`TestSuite`]) — the shape
+//!   of the validation stimulus the refinement loop accumulates.
+//!
+//! Clocking model: one implicit clock; every [`Simulator::step`] is a
+//! full cycle (settle combinational logic, sample, latch registers).
+//! Sequential processes use non-blocking semantics, combinational
+//! processes blocking semantics in elaboration's topological order.
+
+#![warn(missing_docs)]
+
+mod sim;
+mod stim;
+mod suite;
+mod trace;
+
+pub use sim::{BranchOutcome, ExprRole, MultiObserver, NopObserver, SimObserver, Simulator};
+pub use stim::{collect_vectors, DirectedStimulus, InputVector, RandomStimulus, Stimulus};
+pub use suite::{run_segment, Segment, TestSuite};
+pub use trace::Trace;

@@ -1,0 +1,182 @@
+//! Test suites: ordered collections of stimulus segments.
+//!
+//! The paper's refinement loop accumulates a *test suite*: the original
+//! seed patterns plus one directed segment per counterexample. Each
+//! segment starts from the design's reset state (counterexample traces
+//! are reset-rooted), so segments are replayed independently.
+
+use crate::sim::{SimObserver, Simulator};
+use crate::stim::InputVector;
+use crate::trace::Trace;
+use gm_rtl::{Bv, Module, Result};
+
+/// A named stimulus segment, run from reset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Segment {
+    /// Where the segment came from (seed test, counterexample id, ...).
+    pub label: String,
+    /// One input vector per cycle.
+    pub vectors: Vec<InputVector>,
+}
+
+/// An ordered collection of segments forming the validation stimulus.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TestSuite {
+    segments: Vec<Segment>,
+}
+
+impl TestSuite {
+    /// Creates an empty suite.
+    pub fn new() -> Self {
+        TestSuite::default()
+    }
+
+    /// Appends a segment.
+    pub fn push(&mut self, label: impl Into<String>, vectors: Vec<InputVector>) {
+        self.segments.push(Segment {
+            label: label.into(),
+            vectors,
+        });
+    }
+
+    /// The segments in insertion order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether the suite has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total stimulus cycles across all segments (excluding reset cycles).
+    pub fn total_cycles(&self) -> usize {
+        self.segments.iter().map(|s| s.vectors.len()).sum()
+    }
+
+    /// Runs every segment from reset on `module`, reporting events to
+    /// `obs` and returning one trace per segment.
+    ///
+    /// The reset protocol: if the module designates a reset input, each
+    /// segment begins with one cycle of `reset = 1` (observed for
+    /// coverage, *not* recorded in the trace) followed by the segment's
+    /// vectors with `reset = 0`. Traces therefore start in the reset
+    /// state, which is what the miner assumes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration errors.
+    pub fn run(&self, module: &Module, obs: &mut dyn SimObserver) -> Result<Vec<Trace>> {
+        let mut traces = Vec::with_capacity(self.segments.len());
+        for seg in &self.segments {
+            traces.push(run_segment(module, &seg.vectors, obs)?);
+        }
+        Ok(traces)
+    }
+}
+
+/// Runs one reset-rooted stimulus segment on a fresh simulator,
+/// returning its trace. This is the replay primitive for counterexample
+/// traces (the paper's `Ctx_simulation()`); [`TestSuite::run`] uses it
+/// for every segment.
+///
+/// # Errors
+///
+/// Propagates elaboration errors.
+pub fn run_segment(
+    module: &Module,
+    vectors: &[InputVector],
+    obs: &mut dyn SimObserver,
+) -> Result<Trace> {
+    let mut sim = Simulator::new(module)?;
+    apply_reset(&mut sim, module, obs);
+    Ok(sim.run_vectors(vectors, obs))
+}
+
+/// Drives the reset protocol on a fresh simulator: registers are already
+/// at their init values; if a reset input exists, pulse it for one
+/// observed cycle and deassert it.
+pub(crate) fn apply_reset(sim: &mut Simulator<'_>, module: &Module, obs: &mut dyn SimObserver) {
+    if let Some(rst) = module.reset() {
+        for d in module.data_inputs() {
+            sim.set_input(d, Bv::zeros(module.signal_width(d)));
+        }
+        sim.set_input(rst, Bv::one_bit());
+        sim.step_observed(obs);
+        sim.set_input(rst, Bv::zero_bit());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NopObserver;
+    use crate::stim::{collect_vectors, DirectedStimulus, RandomStimulus};
+    use gm_rtl::parse_verilog;
+
+    const COUNTER: &str = "
+    module counter(input clk, input rst, input en, output reg [2:0] q);
+      always @(posedge clk)
+        if (rst) q <= 0;
+        else if (en) q <= q + 3'd1;
+        else q <= q;
+    endmodule";
+
+    #[test]
+    fn segments_run_from_reset() {
+        let m = parse_verilog(COUNTER).unwrap();
+        let en = m.require("en").unwrap();
+        let q = m.require("q").unwrap();
+        let mut suite = TestSuite::new();
+        let seg: Vec<InputVector> = (0..3).map(|_| vec![(en, Bv::one_bit())]).collect();
+        suite.push("seed", seg.clone());
+        suite.push("cex-1", seg);
+        let traces = suite.run(&m, &mut NopObserver).unwrap();
+        assert_eq!(traces.len(), 2);
+        for t in &traces {
+            assert_eq!(t.len(), 3);
+            // Row 0 is the reset state (q=0 during the first data cycle).
+            assert_eq!(t.value(0, q), Bv::new(0, 3));
+            assert_eq!(t.value(1, q), Bv::new(1, 3));
+            assert_eq!(t.value(2, q), Bv::new(2, 3));
+        }
+    }
+
+    #[test]
+    fn suite_accumulates_counts() {
+        let m = parse_verilog(COUNTER).unwrap();
+        let mut suite = TestSuite::new();
+        let mut r = RandomStimulus::new(&m, 3, 10);
+        suite.push("seed", collect_vectors(&mut r));
+        let mut d = DirectedStimulus::from_named(&m, &[&[("en", 1)]]).unwrap();
+        suite.push("cex", collect_vectors(&mut d));
+        assert_eq!(suite.len(), 2);
+        assert_eq!(suite.total_cycles(), 11);
+        assert_eq!(suite.segments()[1].label, "cex");
+    }
+
+    #[test]
+    fn traces_reflect_directed_content() {
+        let m = parse_verilog(COUNTER).unwrap();
+        let q = m.require("q").unwrap();
+        let mut suite = TestSuite::new();
+        let vectors = DirectedStimulus::from_named(
+            &m,
+            &[&[("en", 1)], &[("en", 0)], &[("en", 1)], &[("en", 1)]],
+        )
+        .unwrap()
+        .vectors()
+        .to_vec();
+        suite.push("directed", vectors);
+        let traces = suite.run(&m, &mut NopObserver).unwrap();
+        let t = &traces[0];
+        assert_eq!(t.value(1, q), Bv::new(1, 3), "after one enabled cycle");
+        assert_eq!(t.value(2, q), Bv::new(1, 3), "hold while disabled");
+        assert_eq!(t.value(3, q), Bv::new(2, 3));
+    }
+}

@@ -1,0 +1,73 @@
+//! Random vs GoldMine-generated stimulus on an ITC'99-style block
+//! (one row of the paper's Figure 16).
+//!
+//! Runs a long random test and the engine's counterexample-derived
+//! suite through the same coverage instrumentation and prints both rows.
+//!
+//! Run with: `cargo run --release --example coverage_compare [design] [cycles]`
+
+use gm_coverage::CoverageSuite;
+use goldmine::{Engine, EngineConfig, SeedStimulus};
+use gm_sim::{collect_vectors, RandomStimulus, TestSuite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "b01".to_string());
+    let cycles: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let design = gm_designs::by_name(&name)
+        .ok_or_else(|| format!("unknown design `{name}` (see gm_designs::catalog())"))?;
+    let module = design.module();
+
+    // Row 1: pure random simulation.
+    let mut random_suite = TestSuite::new();
+    random_suite.push(
+        "random",
+        collect_vectors(&mut RandomStimulus::new(&module, 7, cycles)),
+    );
+    let mut cov = CoverageSuite::new(&module);
+    random_suite.run(&module, &mut cov)?;
+    let random_report = cov.report();
+
+    // Row 2: the GoldMine refinement suite (random seed + cex segments).
+    let config = EngineConfig {
+        window: design.window,
+        stimulus: SeedStimulus::Random { cycles: 64 },
+        record_coverage: false,
+        max_iterations: 32,
+        ..EngineConfig::default()
+    };
+    let outcome = Engine::new(&module, config)?.run()?;
+    let mut cov = CoverageSuite::new(&module);
+    outcome.suite.run(&module, &mut cov)?;
+    let gm_report = cov.report();
+
+    println!("design {name}: random {cycles} cycles vs GoldMine suite ({} cycles, {} iterations, converged={})",
+        outcome.suite.total_cycles(), outcome.iteration_count(), outcome.converged);
+    println!();
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "stimulus", "line", "cond", "toggle", "fsm", "branch"
+    );
+    for (label, r) in [("random", random_report), ("goldmine", gm_report)] {
+        println!(
+            "{:<10} {:>7.1}% {:>7.1}% {:>7.1}% {:>8} {:>7.1}%",
+            label,
+            r.line.percent(),
+            r.condition.percent(),
+            r.toggle.percent(),
+            r.fsm
+                .map(|f| format!("{:.1}%", f.percent()))
+                .unwrap_or_else(|| "n/a".into()),
+            r.branch.percent()
+        );
+    }
+    println!();
+    println!(
+        "goldmine proved {} assertions; e.g.:",
+        outcome.assertions.len()
+    );
+    for a in outcome.assertions.iter().take(5) {
+        println!("  {}", a.to_ltl(&module));
+    }
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! Workspace-level integration: the full pipeline across the whole
+//! design catalog.
+
+use goldmine::{Engine, EngineConfig, SeedStimulus, TargetSelection, UnknownPolicy};
+use gm_mc::Backend;
+use gm_rtl::SignalId;
+
+fn one_bit_targets(m: &gm_rtl::Module) -> Vec<(SignalId, u32)> {
+    m.outputs()
+        .into_iter()
+        .filter(|&s| m.signal_width(s) == 1)
+        .map(|s| (s, 0))
+        .collect()
+}
+
+#[test]
+fn every_catalog_design_runs_through_the_loop() {
+    for d in gm_designs::catalog() {
+        let module = d.module();
+        // The two big lite blocks exceed explicit limits; bound their
+        // runs hard (full-scale runs live in the release-mode
+        // experiment binaries).
+        let (backend, max_iterations, targets) = match d.name {
+            "b17_lite" | "b18_lite" => (
+                Backend::KInduction { max_k: 1 },
+                1,
+                vec![one_bit_targets(&module)[0]],
+            ),
+            _ => (Backend::Auto, 24, one_bit_targets(&module)),
+        };
+        let config = EngineConfig {
+            window: d.window,
+            stimulus: SeedStimulus::Random { cycles: 48 },
+            targets: TargetSelection::Bits(targets),
+            backend,
+            max_iterations,
+            unknown: UnknownPolicy::AssumeTrue,
+            record_coverage: false,
+            ..EngineConfig::default()
+        };
+        let outcome = Engine::new(&module, config)
+            .unwrap_or_else(|e| panic!("{}: {e}", d.name))
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", d.name));
+        // Monotonic input-space coverage on every design (the paper's
+        // forward-progress claim).
+        let series: Vec<f64> = outcome
+            .iterations
+            .iter()
+            .map(|r| r.input_space_coverage)
+            .collect();
+        for w in series.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "{}: regression in {series:?}", d.name);
+        }
+        // No target may get stuck on a mining contradiction.
+        for t in &outcome.targets {
+            assert!(
+                t.stuck.is_none(),
+                "{}: target {}[{}] stuck: {:?}",
+                d.name,
+                module.signal(t.signal).name(),
+                t.bit,
+                t.stuck
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_backends_converge_on_the_small_designs() {
+    for name in ["cex_small", "arbiter2", "b01", "b02", "b09", "b12_lite", "fetch_stage"] {
+        let d = gm_designs::by_name(name).unwrap();
+        let module = d.module();
+        let config = EngineConfig {
+            window: d.window,
+            stimulus: SeedStimulus::Random { cycles: 64 },
+            targets: TargetSelection::Bits(one_bit_targets(&module)),
+            record_coverage: false,
+            max_iterations: 64,
+            ..EngineConfig::default()
+        };
+        let outcome = Engine::new(&module, config).unwrap().run().unwrap();
+        assert!(outcome.converged, "{name} failed to converge");
+        assert_eq!(outcome.unknown_assumed, 0, "{name} needed unknown-assume");
+        assert!(
+            (outcome.final_input_space_coverage() - 1.0).abs() < 1e-9,
+            "{name}: coverage closure incomplete"
+        );
+    }
+}
+
+#[test]
+fn suite_traces_export_vcd() {
+    let module = gm_designs::arbiter2();
+    let outcome = Engine::new(&module, EngineConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    let traces = outcome
+        .suite
+        .run(&module, &mut gm_sim::NopObserver)
+        .unwrap();
+    let vcd = traces[0].to_vcd_string();
+    assert!(vcd.contains("$var wire 1"));
+    assert!(vcd.contains("gnt0"));
+    assert!(vcd.contains("$enddefinitions"));
+}
+
+#[test]
+fn assertions_render_in_both_notations() {
+    let module = gm_designs::arbiter2();
+    let outcome = Engine::new(&module, EngineConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
+    for a in &outcome.assertions {
+        let ltl = a.to_ltl(&module);
+        let sva = a.to_sva(&module);
+        assert!(ltl.contains("=>"), "{ltl}");
+        assert!(sva.starts_with("@(posedge clk)"), "{sva}");
+        assert!(sva.contains("|->"), "{sva}");
+    }
+}
