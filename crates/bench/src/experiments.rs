@@ -2,12 +2,15 @@
 
 use crate::workloads;
 use gm_coverage::{CoverageReport, CoverageSuite};
-use goldmine::{
-    fault_campaign, Engine, EngineConfig, FaultKind, SeedStimulus, TargetSelection,
-};
 use gm_mc::Backend;
 use gm_rtl::Module;
 use gm_sim::{collect_vectors, RandomStimulus, TestSuite};
+use goldmine::{fault_campaign, Engine, EngineConfig, FaultKind, SeedStimulus, TargetSelection};
+
+/// A named design constructor, as the experiment tables enumerate them.
+type NamedDesign = (&'static str, fn() -> Module);
+/// A named design constructor plus the mining target signal.
+type TargetedDesign = (&'static str, &'static str, fn() -> Module);
 
 /// Measures full coverage of a suite on a module.
 fn measure(module: &Module, suite: &TestSuite) -> CoverageReport {
@@ -113,7 +116,7 @@ pub struct Fig13Series {
 /// E2 — Figure 13: design-space coverage by iteration across the
 /// benchmark set, random seeds.
 pub fn fig13(seed_cycles: u64) -> Vec<Fig13Series> {
-    let cases: [(&'static str, fn() -> Module); 5] = [
+    let cases: [NamedDesign; 5] = [
         ("cex_small", gm_designs::cex_small as fn() -> Module),
         ("arbiter2", gm_designs::arbiter2),
         ("arbiter4", gm_designs::arbiter4),
@@ -207,7 +210,7 @@ pub struct Fig14Series {
 /// paper's §7.1 directed-test group does; random seeds of any size start
 /// the metric near 100%).
 pub fn fig14(_seed_cycles: u64) -> Vec<Fig14Series> {
-    let cases: [(&'static str, fn() -> Module); 3] = [
+    let cases: [NamedDesign; 3] = [
         ("cex_small", gm_designs::cex_small as fn() -> Module),
         ("arbiter2", gm_designs::arbiter2),
         ("arbiter4", gm_designs::arbiter4),
@@ -288,7 +291,7 @@ pub struct Table1Row {
 
 /// E4 — Table 1: the zero-initial-patterns limit study.
 pub fn table1() -> Vec<Table1Row> {
-    let cases: [(&'static str, &'static str, fn() -> Module); 3] = [
+    let cases: [TargetedDesign; 3] = [
         ("arbiter2", "gnt0", gm_designs::arbiter2 as fn() -> Module),
         ("arbiter4", "gnt0", gm_designs::arbiter4),
         ("fetch_stage", "valid", gm_designs::fetch_stage),
@@ -461,13 +464,17 @@ pub fn table2() -> (usize, Vec<Table2Row>) {
         .expect("fetch elaborates")
         .run()
         .expect("run succeeds");
-    let signals = ["stall_in", "branch_pc", "branch_mispredict", "icache_rdvl_i"];
+    let signals = [
+        "stall_in",
+        "branch_pc",
+        "branch_mispredict",
+        "icache_rdvl_i",
+    ];
     let ids: Vec<_> = signals
         .iter()
         .map(|n| module.require(n).expect("paper signal exists"))
         .collect();
-    let reports = fault_campaign(&module, &outcome.assertions, &ids)
-        .expect("mutants elaborate");
+    let reports = fault_campaign(&module, &outcome.assertions, &ids).expect("mutants elaborate");
     let rows = reports
         .chunks(2)
         .map(|pair| Table2Row {
@@ -491,10 +498,7 @@ pub fn print_table2(total: usize, rows: &[Table2Row]) {
     println!("(paper: every fault detected; counts 1..269)");
     println!("{:<20} {:>12} {:>12}", "signal", "stuck-at-0", "stuck-at-1");
     for r in rows {
-        println!(
-            "{:<20} {:>12} {:>12}",
-            r.signal, r.stuck_at_0, r.stuck_at_1
-        );
+        println!("{:<20} {:>12} {:>12}", r.signal, r.stuck_at_0, r.stuck_at_1);
     }
 }
 
@@ -621,7 +625,7 @@ pub struct Table3Row {
 /// E8 — Table 3: directed tests vs GoldMine tests on the Rigel-like
 /// pipeline stages.
 pub fn table3(directed_cycles: usize) -> Vec<Table3Row> {
-    let cases: [(&'static str, fn() -> Module); 3] = [
+    let cases: [NamedDesign; 3] = [
         ("wb_stage", gm_designs::wb_stage as fn() -> Module),
         ("fetch_stage", gm_designs::fetch_stage),
         ("decode_stage", gm_designs::decode_stage),

@@ -81,7 +81,9 @@ pub fn fetch_directed(module: &Module, cycles: usize) -> Vec<InputVector> {
 /// with "typical" operands, never the illegal encodings.
 pub fn decode_directed(module: &Module, cycles: usize) -> Vec<InputVector> {
     let instr = module.require("instr").expect("decode has instr");
-    let valid = module.require("instr_valid").expect("decode has instr_valid");
+    let valid = module
+        .require("instr_valid")
+        .expect("decode has instr_valid");
     let mut out = Vec::with_capacity(cycles);
     for t in 0..cycles {
         let opcode = (t % 7) as u64; // skips opcode 7 (illegal)
@@ -89,10 +91,7 @@ pub fn decode_directed(module: &Module, cycles: usize) -> Vec<InputVector> {
         let rs = ((t / 5) % 8) as u64;
         let imm = (t % 8) as u64;
         let word = (opcode << 9) | (rd << 6) | (rs << 3) | imm;
-        out.push(vec![
-            (instr, Bv::new(word, 12)),
-            (valid, Bv::one_bit()),
-        ]);
+        out.push(vec![(instr, Bv::new(word, 12)), (valid, Bv::one_bit())]);
     }
     out
 }

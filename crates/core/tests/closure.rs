@@ -1,11 +1,11 @@
 //! End-to-end tests of the refinement loop on the paper's examples.
 
-use goldmine::{
-    assertion_property, fault_campaign, Engine, EngineConfig, SeedStimulus, TargetSelection,
-};
 use gm_mc::{CheckResult, Checker};
 use gm_rtl::parse_verilog;
 use gm_sim::DirectedStimulus;
+use goldmine::{
+    assertion_property, fault_campaign, Engine, EngineConfig, SeedStimulus, TargetSelection,
+};
 
 const ARBITER2: &str = "
 module arbiter2(input clk, input rst, input req0, input req1,
@@ -35,14 +35,22 @@ fn arbiter_converges_and_assertions_are_sound() {
     };
     let outcome = Engine::new(&m, config).unwrap().run().unwrap();
     assert!(outcome.converged, "targets: {:?}", outcome.targets);
-    assert!(outcome.unknown_assumed == 0, "explicit engine is exact here");
+    assert!(
+        outcome.unknown_assumed == 0,
+        "explicit engine is exact here"
+    );
     assert!(!outcome.assertions.is_empty());
 
     // Every reported assertion must independently re-verify.
     let mut checker = Checker::new(&m).unwrap();
     for a in &outcome.assertions {
         let res = checker.check(&assertion_property(a)).unwrap();
-        assert_eq!(res, CheckResult::Proved, "unsound assertion {}", a.to_ltl(&m));
+        assert_eq!(
+            res,
+            CheckResult::Proved,
+            "unsound assertion {}",
+            a.to_ltl(&m)
+        );
     }
 
     // At convergence the paper's input-space coverage is exactly 100%.
@@ -63,17 +71,17 @@ fn input_space_coverage_is_monotonic() {
     // The paper's core claim: every iteration increases coverage; no
     // plateaus (§5).
     let m = parse_verilog(ARBITER2).unwrap();
-    let outcome = Engine::new(&m, EngineConfig::default()).unwrap().run().unwrap();
+    let outcome = Engine::new(&m, EngineConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
     let series: Vec<f64> = outcome
         .iterations
         .iter()
         .map(|r| r.input_space_coverage)
         .collect();
     for w in series.windows(2) {
-        assert!(
-            w[1] >= w[0] - 1e-12,
-            "coverage decreased: {series:?}"
-        );
+        assert!(w[1] >= w[0] - 1e-12, "coverage decreased: {series:?}");
     }
     assert!(outcome.converged);
 }
@@ -100,7 +108,7 @@ fn zero_seed_mode_matches_table1_shape() {
     assert_eq!(series[0], 0.0, "iteration 0 has no proved assertions");
     assert!((series.last().unwrap() - 1.0).abs() < 1e-9);
     // The suite was built entirely from counterexamples.
-    assert!(outcome.suite.len() > 0);
+    assert!(!outcome.suite.is_empty());
     assert!(outcome
         .suite
         .segments()
@@ -151,7 +159,8 @@ fn directed_seed_reproduces_paper_walkthrough() {
     let ltl: Vec<String> = outcome.assertions.iter().map(|a| a.to_ltl(&m)).collect();
     // A2 family: two idle request cycles keep the grant low.
     assert!(
-        ltl.iter().any(|s| s.contains("!req0") && s.contains("!gnt0")),
+        ltl.iter()
+            .any(|s| s.contains("!req0") && s.contains("!gnt0")),
         "expected an idle-implies-no-grant assertion, got {ltl:#?}"
     );
     // Some assertion must reference the extended state feature gnt0@0.
@@ -183,7 +192,10 @@ fn coverage_report_improves_with_iterations() {
 #[test]
 fn fault_campaign_detects_stuck_grants() {
     let m = parse_verilog(ARBITER2).unwrap();
-    let outcome = Engine::new(&m, EngineConfig::default()).unwrap().run().unwrap();
+    let outcome = Engine::new(&m, EngineConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(outcome.converged);
     let gnt0 = m.require("gnt0").unwrap();
     let req0 = m.require("req0").unwrap();
@@ -205,7 +217,10 @@ fn generated_suite_detects_faults_by_simulation() {
     // §7.4's closing remark: the generated vector suite itself is an
     // effective regression vehicle, without any assertion checking.
     let m = parse_verilog(ARBITER2).unwrap();
-    let outcome = Engine::new(&m, EngineConfig::default()).unwrap().run().unwrap();
+    let outcome = Engine::new(&m, EngineConfig::default())
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(outcome.converged);
     let req0 = m.require("req0").unwrap();
     let gnt0 = m.require("gnt0").unwrap();

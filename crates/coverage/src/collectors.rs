@@ -236,9 +236,7 @@ impl ToggleCoverage {
         let covered = self
             .watched
             .iter()
-            .map(|pt| {
-                usize::from(self.rises.contains(pt)) + usize::from(self.falls.contains(pt))
-            })
+            .map(|pt| usize::from(self.rises.contains(pt)) + usize::from(self.falls.contains(pt)))
             .sum();
         Ratio::new(covered, self.watched.len() * 2)
     }

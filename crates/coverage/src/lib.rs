@@ -29,7 +29,6 @@ pub use collectors::{
     LineCoverage, ToggleCoverage,
 };
 pub use points::{
-    boolean_nodes, branch_points, count_boolean_nodes, declared_fsm_states,
-    observe_boolean_nodes,
+    boolean_nodes, branch_points, count_boolean_nodes, declared_fsm_states, observe_boolean_nodes,
 };
 pub use ratio::{CoverageReport, Ratio};

@@ -21,7 +21,11 @@ pub fn branch_points(module: &Module) -> Vec<(StmtId, BranchOutcome)> {
                 out.push((s.id, BranchOutcome::Then));
                 out.push((s.id, BranchOutcome::Else));
             }
-            StmtKind::Case { subject, arms, default } => {
+            StmtKind::Case {
+                subject,
+                arms,
+                default,
+            } => {
                 for (i, _) in arms.iter().enumerate() {
                     out.push((s.id, BranchOutcome::Arm(i as u32)));
                 }
@@ -179,7 +183,9 @@ mod tests {
         .unwrap();
         let pts = branch_points(&m);
         assert_eq!(pts.len(), 2);
-        assert!(pts.iter().all(|(_, o)| !matches!(o, BranchOutcome::Default)));
+        assert!(pts
+            .iter()
+            .all(|(_, o)| !matches!(o, BranchOutcome::Default)));
     }
 
     #[test]

@@ -35,7 +35,13 @@ impl Ratio {
 
 impl fmt::Display for Ratio {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.2}% ({}/{})", self.percent(), self.covered, self.total)
+        write!(
+            f,
+            "{:.2}% ({}/{})",
+            self.percent(),
+            self.covered,
+            self.total
+        )
     }
 }
 
@@ -85,8 +91,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(format!("{}", Ratio::new(1, 3)), "33.33% (1/3)");
-        let mut r = CoverageReport::default();
-        r.fsm = Some(Ratio::new(2, 4));
+        let r = CoverageReport {
+            fsm: Some(Ratio::new(2, 4)),
+            ..CoverageReport::default()
+        };
         assert!(format!("{r}").contains("fsm 50.00%"));
     }
 }

@@ -41,12 +41,12 @@ pub fn arbiter2_builder() -> Module {
                 // gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1)
                 e.assign(
                     gnt1,
-                    Expr::Signal(gnt0).and(Expr::Signal(req1)).or(Expr::Signal(
-                        gnt0,
-                    )
-                    .not()
-                    .and(Expr::Signal(req0).not())
-                    .and(Expr::Signal(req1))),
+                    Expr::Signal(gnt0)
+                        .and(Expr::Signal(req1))
+                        .or(Expr::Signal(gnt0)
+                            .not()
+                            .and(Expr::Signal(req0).not())
+                            .and(Expr::Signal(req1))),
                 );
             },
         );

@@ -24,6 +24,18 @@ impl AigLit {
         AigLit(node << 1 | u32::from(complement))
     }
 
+    /// Reconstructs a literal from its AIGER code (`2 * node +
+    /// complement`), the inverse of the encoding used by
+    /// [`crate::aiger::to_aiger`].
+    pub fn from_code(code: u32) -> Self {
+        AigLit(code)
+    }
+
+    /// The AIGER code of this literal (`2 * node + complement`).
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
     /// The index of the underlying node.
     pub fn node(self) -> usize {
         (self.0 >> 1) as usize
@@ -291,6 +303,33 @@ impl Aig {
     /// The initial latch state.
     pub fn initial_state(&self) -> Vec<bool> {
         self.latches.iter().map(|l| l.init).collect()
+    }
+
+    /// Rebuilds a graph from explicit tables (used by the AIGER
+    /// importer). The strash is reconstructed from the AND nodes so the
+    /// graph keeps hash-consing new construction.
+    pub(crate) fn from_parts(nodes: Vec<AigNode>, inputs: Vec<u32>, latches: Vec<Latch>) -> Self {
+        let mut strash = HashMap::new();
+        for (idx, node) in nodes.iter().enumerate() {
+            if let AigNode::And(a, b) = node {
+                strash.insert((*a, *b), idx as u32);
+            }
+        }
+        Aig {
+            nodes,
+            inputs,
+            latches,
+            strash,
+        }
+    }
+
+    /// Structural equality: identical node tables, input order, and
+    /// latch definitions. Stricter than semantic equivalence — two
+    /// graphs computing the same functions with different node layouts
+    /// compare unequal — which is exactly what a lossless round trip
+    /// must preserve.
+    pub fn structurally_equal(&self, other: &Aig) -> bool {
+        self.nodes == other.nodes && self.inputs == other.inputs && self.latches == other.latches
     }
 }
 

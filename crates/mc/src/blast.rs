@@ -9,8 +9,7 @@
 
 use crate::aig::{Aig, AigLit};
 use gm_rtl::{
-    BinaryOp, Bv, Elab, Expr, Module, Result, RtlError, SignalId, Stmt, StmtKind,
-    UnaryOp,
+    BinaryOp, Bv, Elab, Expr, Module, Result, RtlError, SignalId, Stmt, StmtKind, UnaryOp,
 };
 
 /// A bit-blasted module.
@@ -342,7 +341,7 @@ fn shift_vec(aig: &mut Aig, a: &[AigLit], amount: &[AigLit], left: bool) -> Vec<
     for (k, &abit) in amount.iter().enumerate().take(stages) {
         let sh = 1usize << k;
         let mut shifted = vec![AigLit::FALSE; w];
-        for i in 0..w {
+        for (i, slot) in shifted.iter_mut().enumerate() {
             let src = if left {
                 i.checked_sub(sh)
             } else {
@@ -350,7 +349,7 @@ fn shift_vec(aig: &mut Aig, a: &[AigLit], amount: &[AigLit], left: bool) -> Vec<
                 (j < w).then_some(j)
             };
             if let Some(j) = src {
-                shifted[i] = cur[j];
+                *slot = cur[j];
             }
         }
         cur = (0..w).map(|i| aig.mux(abit, shifted[i], cur[i])).collect();
@@ -536,16 +535,13 @@ fn merge_env(
     c: AigLit,
     a: &[Option<Vec<AigLit>>],
     b: &[Option<Vec<AigLit>>],
-    out: &mut Vec<Option<Vec<AigLit>>>,
+    out: &mut [Option<Vec<AigLit>>],
 ) {
-    for i in 0..out.len() {
-        out[i] = match (&a[i], &b[i]) {
-            (Some(av), Some(bv)) => Some(
-                av.iter()
-                    .zip(bv)
-                    .map(|(&x, &y)| aig.mux(c, x, y))
-                    .collect(),
-            ),
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = match (&a[i], &b[i]) {
+            (Some(av), Some(bv)) => {
+                Some(av.iter().zip(bv).map(|(&x, &y)| aig.mux(c, x, y)).collect())
+            }
             (Some(av), None) => Some(av.clone()),
             (None, Some(bv)) => Some(bv.clone()),
             (None, None) => None,

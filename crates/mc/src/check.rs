@@ -13,10 +13,11 @@ use crate::prop::{CheckResult, WindowProperty};
 use gm_rtl::{elaborate, Module};
 
 /// Which engine decides a property.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub enum Backend {
     /// Explicit-state when the design fits the limits, otherwise BMC
     /// followed by k-induction. The default.
+    #[default]
     Auto,
     /// Explicit-state reachability only (errors if over limits).
     Explicit,
@@ -30,12 +31,6 @@ pub enum Backend {
         /// Maximum induction depth.
         max_k: u32,
     },
-}
-
-impl Default for Backend {
-    fn default() -> Self {
-        Backend::Auto
-    }
 }
 
 /// A reusable model checker for one module.

@@ -101,13 +101,13 @@ impl ReachableStates {
                 let inputs = unpack(u, input_bits);
                 let vals = aig.eval(&inputs, &latches);
                 let next = pack(&aig.next_state(&vals));
-                if !index.contains_key(&next) {
+                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(next) {
                     if states.len() >= limits.max_states {
                         return Err(McError::StateSpaceExceeded {
                             limit: limits.max_states,
                         });
                     }
-                    index.insert(next, states.len());
+                    e.insert(states.len());
                     states.push(next);
                     parent.push(Some((head, u)));
                 }
@@ -168,8 +168,7 @@ pub fn explicit_check(
         });
     }
     // Group atoms by offset for incremental checking during the window walk.
-    let mut ant_by_offset: Vec<Vec<&crate::prop::BitAtom>> =
-        vec![Vec::new(); depth as usize + 1];
+    let mut ant_by_offset: Vec<Vec<&crate::prop::BitAtom>> = vec![Vec::new(); depth as usize + 1];
     for a in &prop.antecedent {
         ant_by_offset[a.offset as usize].push(a);
     }
@@ -178,8 +177,9 @@ pub fn explicit_check(
     for (si, &packed) in reach.states.iter().enumerate() {
         let start_latches = unpack(packed, reach.state_bits);
         // Depth-first walk over input sequences with antecedent pruning.
-        let mut stack: Vec<(u32, Vec<bool>, Vec<u64>, Option<bool>)> = Vec::new();
         // (next_offset, latches_at_offset, inputs_so_far, consequent_value)
+        type WindowFrame = (u32, Vec<bool>, Vec<u64>, Option<bool>);
+        let mut stack: Vec<WindowFrame> = Vec::new();
         stack.push((0, start_latches.clone(), Vec::new(), None));
         while let Some((offset, latches, words, cons_seen)) = stack.pop() {
             if offset > depth {
@@ -203,9 +203,9 @@ pub fn explicit_check(
                 let inputs = unpack(u, reach.input_bits);
                 let vals = aig.eval(&inputs, &latches);
                 // Antecedent atoms at this offset must hold.
-                let ant_ok = ant_by_offset[offset as usize].iter().all(|a| {
-                    aig.lit_value(&vals, blasted.signal_bit(a.signal, a.bit)) == a.value
-                });
+                let ant_ok = ant_by_offset[offset as usize]
+                    .iter()
+                    .all(|a| aig.lit_value(&vals, blasted.signal_bit(a.signal, a.bit)) == a.value);
                 if !ant_ok {
                     continue;
                 }

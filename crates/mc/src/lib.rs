@@ -33,7 +33,7 @@ mod explicit;
 mod prop;
 
 pub use aig::{Aig, AigLit, AigNode, Latch};
-pub use aiger::{blasted_to_aiger, to_aiger};
+pub use aiger::{blasted_to_aiger, parse_aiger, to_aiger, ParsedAiger};
 pub use blast::{blast, Blasted};
 pub use bmc::{bmc, k_induction, Unroller};
 pub use check::{Backend, Checker};

@@ -61,10 +61,7 @@ impl WindowProperty {
 
     /// Formats the property with signal names for diagnostics.
     pub fn display<'a>(&'a self, module: &'a Module) -> DisplayProperty<'a> {
-        DisplayProperty {
-            prop: self,
-            module,
-        }
+        DisplayProperty { prop: self, module }
     }
 }
 

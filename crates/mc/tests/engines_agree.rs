@@ -6,8 +6,10 @@
 //! consistent story, and every counterexample must replay to a real
 //! violation on the behavioral simulator.
 
-use gm_mc::{blast, bmc, explicit_check, k_induction, BitAtom, CheckResult, ExplicitLimits,
-    ReachableStates, WindowProperty};
+use gm_mc::{
+    blast, bmc, explicit_check, k_induction, BitAtom, CheckResult, ExplicitLimits, ReachableStates,
+    WindowProperty,
+};
 use gm_rtl::{elaborate, Bv, Expr, Module, ModuleBuilder, SignalId};
 use gm_sim::{NopObserver, Simulator};
 use proptest::prelude::*;
@@ -21,7 +23,7 @@ fn random_seq_module(recipe: &[u8]) -> Module {
     let i1 = b.input("i1", 1);
     // The declared init must match the reset-branch assignment below
     // (the model checker starts from init; replays pulse the reset).
-    let init0 = recipe.first().map_or(false, |&x| x & 1 == 1);
+    let init0 = recipe.first().is_some_and(|&x| x & 1 == 1);
     let q0 = b.output_reg("q0", 1, Bv::from_bool(init0));
     let q1 = b.output_reg("q1", 1, Bv::zero_bit());
     let sigs = [i0, i1, q0, q1];

@@ -67,7 +67,11 @@ impl Assertion {
         if !self.value {
             cons.push('!');
         }
-        cons.push_str(&Self::atom_name(module, self.target.signal, self.target.bit));
+        cons.push_str(&Self::atom_name(
+            module,
+            self.target.signal,
+            self.target.bit,
+        ));
         format!("{ant} => {cons}")
     }
 
@@ -224,10 +228,7 @@ mod tests {
     /// The paper's A2: !req0 & X req0 => X X gnt0.
     fn a3(m: &gm_rtl::Module) -> Assertion {
         Assertion {
-            literals: vec![
-                (feat(m, "req0", 0), false),
-                (feat(m, "req0", 1), true),
-            ],
+            literals: vec![(feat(m, "req0", 0), false), (feat(m, "req0", 1), true)],
             target: Target {
                 signal: m.require("gnt0").unwrap(),
                 bit: 0,

@@ -189,11 +189,7 @@ mod tests {
         // a + b[0..1] at offset 0.
         assert_eq!(spec.initial_active, 3);
         assert_eq!(spec.feature_name(&m, 0), "a@0");
-        let b1 = spec
-            .features
-            .iter()
-            .position(|f| f.bit == 1)
-            .unwrap();
+        let b1 = spec.features.iter().position(|f| f.bit == 1).unwrap();
         assert_eq!(spec.feature_name(&m, b1), "b[1]@0");
     }
 }

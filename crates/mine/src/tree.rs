@@ -217,7 +217,11 @@ impl DecisionTree {
 
     /// The maximum leaf depth.
     pub fn max_depth(&self) -> usize {
-        self.leaves().into_iter().map(|l| self.depth(l)).max().unwrap_or(0)
+        self.leaves()
+            .into_iter()
+            .map(|l| self.depth(l))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Classifies a feature vector, returning the leaf it reaches.
@@ -298,8 +302,7 @@ impl DecisionTree {
         if self.nodes[node].is_pure() {
             return Ok(());
         }
-        let path_features: Vec<usize> =
-            self.path(node).into_iter().map(|(f, _)| f).collect();
+        let path_features: Vec<usize> = self.path(node).into_iter().map(|(f, _)| f).collect();
         let best = match self.best_split(data, node, &path_features) {
             Some(f) => f,
             None => {
@@ -483,10 +486,7 @@ mod tests {
         // z = a & b: the a=1 leaf must re-split on b, and the a=0 side
         // must keep its node identity (Definition 6).
         let sp = spec(2, 0);
-        let mut ds = dataset_from(&[
-            (&[false, true], false),
-            (&[true, true], true),
-        ]);
+        let mut ds = dataset_from(&[(&[false, true], false), (&[true, true], true)]);
         let mut tree = DecisionTree::new(&sp);
         tree.fit(&ds).unwrap();
         let leaves_before = tree.leaves();
@@ -521,10 +521,7 @@ mod tests {
         // targets, the tree must extend the search (the paper's
         // gnt0(t-1) moment).
         let sp = spec(2, 1);
-        let ds = dataset_from(&[
-            (&[true, false, false], false),
-            (&[true, false, true], true),
-        ]);
+        let ds = dataset_from(&[(&[true, false, false], false), (&[true, false, true], true)]);
         let mut tree = DecisionTree::new(&sp);
         tree.fit(&ds).unwrap();
         assert_eq!(tree.leaves().len(), 2);

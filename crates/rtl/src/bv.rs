@@ -34,7 +34,7 @@ pub struct Bv {
 
 #[inline]
 fn mask(width: u32) -> u64 {
-    debug_assert!(width >= 1 && width <= MAX_WIDTH);
+    debug_assert!((1..=MAX_WIDTH).contains(&width));
     if width == 64 {
         u64::MAX
     } else {
@@ -52,7 +52,7 @@ impl Bv {
     #[inline]
     pub fn new(bits: u64, width: u32) -> Self {
         assert!(
-            width >= 1 && width <= MAX_WIDTH,
+            (1..=MAX_WIDTH).contains(&width),
             "bit-vector width {width} out of range 1..=64"
         );
         Bv {
@@ -283,7 +283,11 @@ impl Bv {
     #[inline]
     pub fn slice(self, hi: u32, lo: u32) -> Self {
         assert!(hi >= lo, "slice [{hi}:{lo}] reversed");
-        assert!(hi < self.width, "slice [{hi}:{lo}] exceeds width {}", self.width);
+        assert!(
+            hi < self.width,
+            "slice [{hi}:{lo}] exceeds width {}",
+            self.width
+        );
         Bv::new(self.bits >> lo, hi - lo + 1)
     }
 
@@ -321,7 +325,13 @@ impl fmt::Display for Bv {
 
 impl fmt::Binary for Bv {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}'b{:0w$b}", self.width, self.bits, w = self.width as usize)
+        write!(
+            f,
+            "{}'b{:0w$b}",
+            self.width,
+            self.bits,
+            w = self.width as usize
+        )
     }
 }
 

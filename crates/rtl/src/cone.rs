@@ -73,9 +73,7 @@ pub fn cone_of(module: &Module, elab: &Elab, target: SignalId) -> Cone {
         .iter()
         .copied()
         .filter(|s| {
-            module.signal(*s).is_input()
-                && Some(*s) != module.clock()
-                && Some(*s) != module.reset()
+            module.signal(*s).is_input() && Some(*s) != module.clock() && Some(*s) != module.reset()
         })
         .collect();
     let state = signals

@@ -321,8 +321,8 @@ fn must_assign(
                 }
                 branch_sets.push(set);
             }
-            let full_cover = default.is_some()
-                || (subject_width < 64 && label_count >= (1u64 << subject_width));
+            let full_cover =
+                default.is_some() || (subject_width < 64 && label_count >= (1u64 << subject_width));
             if let Some(d) = default {
                 let mut set = assigned.clone();
                 for s in d {
@@ -344,11 +344,7 @@ fn must_assign(
     }
 }
 
-fn topo_sort_comb(
-    module: &Module,
-    comb: &[usize],
-    driver: &[Option<usize>],
-) -> Result<Vec<usize>> {
+fn topo_sort_comb(module: &Module, comb: &[usize], driver: &[Option<usize>]) -> Result<Vec<usize>> {
     // Edge P -> Q when Q reads a signal written by comb process P.
     let pos: std::collections::HashMap<usize, usize> =
         comb.iter().enumerate().map(|(k, p)| (*p, k)).collect();

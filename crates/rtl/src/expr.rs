@@ -230,7 +230,9 @@ impl Expr {
             }
             Expr::Mux {
                 then_val, else_val, ..
-            } => then_val.width_in(sig_width).max(else_val.width_in(sig_width)),
+            } => then_val
+                .width_in(sig_width)
+                .max(else_val.width_in(sig_width)),
             Expr::Index { .. } => 1,
             Expr::Slice { hi, lo, .. } => hi - lo + 1,
             Expr::Concat(parts) => parts.iter().map(|p| p.width_in(sig_width)).sum(),

@@ -55,9 +55,7 @@ pub use cone::{cone_of, output_cones, Cone};
 pub use elab::{elaborate, Elab};
 pub use error::{Result, RtlError};
 pub use expr::{BinaryOp, Expr, UnaryOp};
-pub use module::{
-    CaseBuilder, Module, ModuleBuilder, Signal, SignalId, SignalKind, StmtBuilder,
-};
+pub use module::{CaseBuilder, Module, ModuleBuilder, Signal, SignalId, SignalKind, StmtBuilder};
 pub use parse::{parse_verilog, parse_verilog_all};
 pub use print::to_verilog;
 pub use stmt::{CaseArm, Process, ProcessKind, Stmt, StmtId, StmtKind};

@@ -657,7 +657,9 @@ mod tests {
                 |t| {
                     t.case(Expr::Signal(s), |cb| {
                         cb.arm(&[Bv::new(0, 2)], |a| a.assign(q, Expr::zero()));
-                        cb.arm(&[Bv::new(1, 2), Bv::new(2, 2)], |a| a.assign(q, Expr::one()));
+                        cb.arm(&[Bv::new(1, 2), Bv::new(2, 2)], |a| {
+                            a.assign(q, Expr::one())
+                        });
                         cb.default(|d| d.assign(q, Expr::Signal(c)));
                     });
                 },

@@ -168,12 +168,19 @@ pub fn lex(src: &str) -> Result<Vec<Token>, RtlError> {
                     .map_err(|_| err(tl, tc, format!("bad number `{digits}`")))?;
                 if i < bytes.len() && bytes[i] == '\'' {
                     if v == 0 || v > 64 {
-                        return Err(err(tl, tc, format!("literal width {v} out of range 1..=64")));
+                        return Err(err(
+                            tl,
+                            tc,
+                            format!("literal width {v} out of range 1..=64"),
+                        ));
                     }
                     width = Some(v as u32);
                 } else {
                     out.push(Token {
-                        kind: TokenKind::Number { width: None, value: v },
+                        kind: TokenKind::Number {
+                            width: None,
+                            value: v,
+                        },
                         line: tl,
                         col: tc,
                     });
@@ -289,10 +296,22 @@ mod tests {
                 TokenKind::Ident("module".into()),
                 TokenKind::Ident("m".into()),
                 TokenKind::Punct(Punct::Semi),
-                TokenKind::Number { width: Some(4), value: 0b1010 },
-                TokenKind::Number { width: Some(8), value: 0xff },
-                TokenKind::Number { width: None, value: 42 },
-                TokenKind::Number { width: None, value: 7 },
+                TokenKind::Number {
+                    width: Some(4),
+                    value: 0b1010
+                },
+                TokenKind::Number {
+                    width: Some(8),
+                    value: 0xff
+                },
+                TokenKind::Number {
+                    width: None,
+                    value: 42
+                },
+                TokenKind::Number {
+                    width: None,
+                    value: 7
+                },
                 TokenKind::Eof,
             ]
         );
@@ -336,8 +355,14 @@ mod tests {
         assert_eq!(
             ks,
             vec![
-                TokenKind::Number { width: Some(16), value: 0b1010_0101_1111_0000 },
-                TokenKind::Number { width: None, value: 1000 },
+                TokenKind::Number {
+                    width: Some(16),
+                    value: 0b1010_0101_1111_0000
+                },
+                TokenKind::Number {
+                    width: None,
+                    value: 1000
+                },
                 TokenKind::Eof
             ]
         );

@@ -81,10 +81,20 @@ pub fn parse_verilog_all(src: &str) -> Result<Vec<Module>> {
 
 #[derive(Clone, Debug)]
 enum PExpr {
-    Num { width: Option<u32>, value: u64 },
+    Num {
+        width: Option<u32>,
+        value: u64,
+    },
     Ident(String),
-    Index { base: String, idx: Box<PExpr> },
-    Slice { base: String, hi: Box<PExpr>, lo: Box<PExpr> },
+    Index {
+        base: String,
+        idx: Box<PExpr>,
+    },
+    Slice {
+        base: String,
+        hi: Box<PExpr>,
+        lo: Box<PExpr>,
+    },
     Unary(UnaryOp, Box<PExpr>),
     Binary(BinaryOp, Box<PExpr>, Box<PExpr>),
     Ternary(Box<PExpr>, Box<PExpr>, Box<PExpr>),
@@ -232,38 +242,36 @@ impl Parser {
         let name = self.expect_ident()?;
         let mut port_names = Vec::new();
         let mut items: Vec<PItem> = Vec::new();
-        if self.eat_punct(Punct::LParen) {
-            if !self.eat_punct(Punct::RParen) {
-                loop {
-                    if self.at_keyword("input") || self.at_keyword("output") {
-                        // ANSI port declaration.
-                        let dir = if self.eat_keyword("input") {
-                            PDir::Input
-                        } else {
-                            self.expect_keyword("output")?;
-                            PDir::Output
-                        };
-                        let is_reg = self.eat_keyword("reg");
-                        let _ = self.eat_keyword("wire");
-                        let range = self.parse_opt_range()?;
-                        let pname = self.expect_ident()?;
-                        port_names.push(pname.clone());
-                        items.push(PItem::Decl(PDecl {
-                            dir: Some(dir),
-                            is_reg,
-                            range,
-                            names: vec![(pname, None)],
-                        }));
+        if self.eat_punct(Punct::LParen) && !self.eat_punct(Punct::RParen) {
+            loop {
+                if self.at_keyword("input") || self.at_keyword("output") {
+                    // ANSI port declaration.
+                    let dir = if self.eat_keyword("input") {
+                        PDir::Input
                     } else {
-                        let pname = self.expect_ident()?;
-                        port_names.push(pname);
-                    }
-                    if !self.eat_punct(Punct::Comma) {
-                        break;
-                    }
+                        self.expect_keyword("output")?;
+                        PDir::Output
+                    };
+                    let is_reg = self.eat_keyword("reg");
+                    let _ = self.eat_keyword("wire");
+                    let range = self.parse_opt_range()?;
+                    let pname = self.expect_ident()?;
+                    port_names.push(pname.clone());
+                    items.push(PItem::Decl(PDecl {
+                        dir: Some(dir),
+                        is_reg,
+                        range,
+                        names: vec![(pname, None)],
+                    }));
+                } else {
+                    let pname = self.expect_ident()?;
+                    port_names.push(pname);
                 }
-                self.expect_punct(Punct::RParen)?;
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
             }
+            self.expect_punct(Punct::RParen)?;
         }
         self.expect_punct(Punct::Semi)?;
         while !self.eat_keyword("endmodule") {
@@ -292,7 +300,9 @@ impl Parser {
     }
 
     fn parse_item(&mut self) -> Result<PItem> {
-        if self.at_keyword("input") || self.at_keyword("output") || self.at_keyword("wire")
+        if self.at_keyword("input")
+            || self.at_keyword("output")
+            || self.at_keyword("wire")
             || self.at_keyword("reg")
         {
             return self.parse_decl().map(PItem::Decl);
@@ -371,10 +381,7 @@ impl Parser {
                 self.expect_punct(Punct::RParen)?;
             } else {
                 loop {
-                    if self.eat_keyword("posedge") {
-                        seq = true;
-                        posedges.push(self.expect_ident()?);
-                    } else if self.eat_keyword("negedge") {
+                    if self.eat_keyword("posedge") || self.eat_keyword("negedge") {
                         seq = true;
                         posedges.push(self.expect_ident()?);
                     } else {
@@ -498,7 +505,10 @@ impl Parser {
     }
 
     fn parse_logic_or(&mut self) -> Result<PExpr> {
-        self.parse_binary_level(&[(Punct::PipePipe, BinaryOp::LogicOr)], Self::parse_logic_and)
+        self.parse_binary_level(
+            &[(Punct::PipePipe, BinaryOp::LogicOr)],
+            Self::parse_logic_and,
+        )
     }
 
     fn parse_logic_and(&mut self) -> Result<PExpr> {
@@ -679,9 +689,10 @@ fn const_eval(e: &PExpr, params: &HashMap<String, Bv>) -> Result<Bv> {
 
 fn resolve_expr(e: &PExpr, ctx: &ResolveCtx) -> Result<Expr> {
     match e {
-        PExpr::Num { width, value } => {
-            Ok(Expr::Const(Bv::new(*value, width.unwrap_or(DEFAULT_LITERAL_WIDTH))))
-        }
+        PExpr::Num { width, value } => Ok(Expr::Const(Bv::new(
+            *value,
+            width.unwrap_or(DEFAULT_LITERAL_WIDTH),
+        ))),
         PExpr::Ident(n) => {
             if let Some(p) = ctx.params.get(n) {
                 return Ok(Expr::Const(*p));
@@ -715,10 +726,9 @@ fn resolve_expr(e: &PExpr, ctx: &ResolveCtx) -> Result<Expr> {
             resolve_expr(a, ctx)?,
             resolve_expr(b, ctx)?,
         )),
-        PExpr::Ternary(c, t, e2) => Ok(resolve_expr(c, ctx)?.mux(
-            resolve_expr(t, ctx)?,
-            resolve_expr(e2, ctx)?,
-        )),
+        PExpr::Ternary(c, t, e2) => {
+            Ok(resolve_expr(c, ctx)?.mux(resolve_expr(t, ctx)?, resolve_expr(e2, ctx)?))
+        }
         PExpr::Concat(parts) => {
             let resolved: Result<Vec<Expr>> = parts.iter().map(|p| resolve_expr(p, ctx)).collect();
             Ok(Expr::Concat(resolved?))
@@ -950,7 +960,9 @@ fn resolve(ast: PModule) -> Result<Module> {
         match merged.get(p) {
             Some(m) if m.dir.is_some() => {}
             _ => {
-                return Err(resolve_err(format!("port `{p}` has no direction declaration")));
+                return Err(resolve_err(format!(
+                    "port `{p}` has no direction declaration"
+                )));
             }
         }
     }
@@ -991,11 +1003,11 @@ fn resolve(ast: PModule) -> Result<Module> {
         }
     }
     for (name, m) in &names {
-        if m.dir == Some(PDir::Input) {
-            if is_clock_name(name) || (posedge_names.contains(name) && !is_reset_name(name)) {
-                builder.designate_clock(ctx.signals[*name]);
-                break;
-            }
+        if m.dir == Some(PDir::Input)
+            && (is_clock_name(name) || (posedge_names.contains(name) && !is_reset_name(name)))
+        {
+            builder.designate_clock(ctx.signals[*name]);
+            break;
         }
     }
     for (name, m) in &names {
@@ -1070,7 +1082,12 @@ fn mark_fsm_subjects(stmt: &PStmt, ctx: &ResolveCtx, builder: &mut ModuleBuilder
                 mark_fsm_subjects(e, ctx, builder);
             }
         }
-        PStmt::Case { subject, arms, default, .. } => {
+        PStmt::Case {
+            subject,
+            arms,
+            default,
+            ..
+        } => {
             if let PExpr::Ident(n) = subject {
                 if let Some(&id) = ctx.signals.get(n) {
                     builder.mark_fsm(id);

@@ -162,7 +162,7 @@ fn print_stmt(module: &Module, stmt: &Stmt, seq: bool, level: usize, out: &mut S
                     .iter()
                     .map(|l| format!("{}'d{}", l.width(), l.bits()))
                     .collect();
-                let _ = write!(out, "{}: begin\n", labels.join(", "));
+                let _ = writeln!(out, "{}: begin", labels.join(", "));
                 for s in &arm.body {
                     print_stmt(module, s, seq, level + 2, out);
                 }
@@ -273,7 +273,7 @@ pub fn to_verilog(module: &Module) -> String {
                     .clock()
                     .map(|c| module.signal(c).name().to_string())
                     .unwrap_or_else(|| "clk".to_string());
-                let _ = write!(out, "always @(posedge {clk}) begin\n");
+                let _ = writeln!(out, "always @(posedge {clk}) begin");
                 for s in &p.body {
                     print_stmt(module, s, true, 2, &mut out);
                 }
@@ -351,6 +351,10 @@ mod tests {
         crate::elaborate(&again).unwrap();
         assert_eq!(again.state_signals().len(), 2);
         let q = again.require("q").unwrap();
-        assert_eq!(again.signal(q).init(), crate::Bv::new(2, 2), "init survives");
+        assert_eq!(
+            again.signal(q).init(),
+            crate::Bv::new(2, 2),
+            "init survives"
+        );
     }
 }

@@ -1,8 +1,6 @@
 //! Integration tests: parsing realistic Verilog-subset sources end to end.
 
-use gm_rtl::{
-    cone_of, elaborate, parse_verilog, parse_verilog_all, Bv, RtlError, SignalKind,
-};
+use gm_rtl::{cone_of, elaborate, parse_verilog, parse_verilog_all, Bv, RtlError, SignalKind};
 
 const ARBITER2: &str = "
 // The paper's two-port round-robin arbiter with priority on port 0.
@@ -31,11 +29,7 @@ fn parses_paper_arbiter() {
     let gnt0 = m.require("gnt0").unwrap();
     assert!(elab.is_state(gnt0));
     let cone = cone_of(&m, &elab, gnt0);
-    let names: Vec<&str> = cone
-        .inputs
-        .iter()
-        .map(|s| m.signal(*s).name())
-        .collect();
+    let names: Vec<&str> = cone.inputs.iter().map(|s| m.signal(*s).name()).collect();
     assert_eq!(names, vec!["req0", "req1"]);
     // gnt0's next-state reads gnt0 itself: it is in its own cone state.
     assert!(cone.state.contains(&gnt0));
@@ -180,9 +174,13 @@ fn syntax_errors_carry_positions() {
 
 #[test]
 fn unknown_signal_in_body_is_reported() {
-    let err = parse_verilog("module m(input a, output y); assign y = nope; endmodule")
-        .unwrap_err();
-    assert_eq!(err, RtlError::UnknownSignal { name: "nope".into() });
+    let err = parse_verilog("module m(input a, output y); assign y = nope; endmodule").unwrap_err();
+    assert_eq!(
+        err,
+        RtlError::UnknownSignal {
+            name: "nope".into()
+        }
+    );
 }
 
 #[test]

@@ -157,7 +157,10 @@ mod tests {
     use crate::solver::SolveResult;
 
     /// Exhaustively checks a 2-input gate builder against a reference fn.
-    fn check_gate(build: impl Fn(&mut Tseitin<'_>, Lit, Lit) -> Lit, reference: fn(bool, bool) -> bool) {
+    fn check_gate(
+        build: impl Fn(&mut Tseitin<'_>, Lit, Lit) -> Lit,
+        reference: fn(bool, bool) -> bool,
+    ) {
         for va in [false, true] {
             for vb in [false, true] {
                 let mut s = Solver::new();
@@ -167,10 +170,7 @@ mod tests {
                 let out = build(&mut t, a, b);
                 let expect = reference(va, vb);
                 let assumptions = [a.var().lit(va), b.var().lit(vb)];
-                assert_eq!(
-                    s.solve_with_assumptions(&assumptions),
-                    SolveResult::Sat
-                );
+                assert_eq!(s.solve_with_assumptions(&assumptions), SolveResult::Sat);
                 assert_eq!(s.model_value(out), expect, "inputs {va},{vb}");
                 // The opposite output value must be unsat.
                 let mut with_out = assumptions.to_vec();

@@ -78,7 +78,12 @@ pub fn parse_dimacs(src: &str) -> Result<DimacsInstance, String> {
 /// Renders an instance as DIMACS CNF text.
 pub fn to_dimacs(instance: &DimacsInstance) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "p cnf {} {}", instance.num_vars, instance.clauses.len());
+    let _ = writeln!(
+        out,
+        "p cnf {} {}",
+        instance.num_vars,
+        instance.clauses.len()
+    );
     for c in &instance.clauses {
         for x in c {
             let _ = write!(out, "{x} ");

@@ -28,9 +28,7 @@ impl VarOrder {
 
     /// Whether `v` is currently queued.
     pub fn contains(&self, v: Var) -> bool {
-        self.pos
-            .get(v.index())
-            .map_or(false, |&p| p != ABSENT)
+        self.pos.get(v.index()).is_some_and(|&p| p != ABSENT)
     }
 
     /// Inserts `v` if absent.

@@ -200,9 +200,7 @@ impl Solver {
         match c.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(c[0], None) {
-                    self.unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(c[0], None) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
@@ -352,8 +350,7 @@ impl Solver {
         // Cheap clause minimization: drop literals whose entire reason is
         // already in the learnt clause (or fixed at level 0).
         let mut minimized = vec![learnt[0]];
-        'lits: for i in 1..learnt.len() {
-            let q = learnt[i];
+        'lits: for &q in &learnt[1..] {
             if let Some(r) = self.reason[q.var().index()] {
                 for &rl in &self.clauses[r as usize].lits {
                     if rl.var() == q.var() {
@@ -372,8 +369,8 @@ impl Solver {
         for l in &minimized[1..] {
             debug_assert!(self.seen[l.var().index()]);
         }
-        for i in 1..learnt.len() {
-            self.seen[learnt[i].var().index()] = false;
+        for l in &learnt[1..] {
+            self.seen[l.var().index()] = false;
         }
         let mut learnt = minimized;
 
@@ -466,9 +463,7 @@ impl Solver {
                 self.backtrack(blevel);
                 self.record_learnt(learnt);
                 self.var_inc *= VAR_DECAY;
-                if conflicts_until_restart > 0 {
-                    conflicts_until_restart -= 1;
-                }
+                conflicts_until_restart = conflicts_until_restart.saturating_sub(1);
             } else {
                 if conflicts_until_restart == 0 {
                     self.stats.restarts += 1;
@@ -623,10 +618,11 @@ mod tests {
                 *slot = s.new_var();
             }
         }
-        for i in 0..n {
-            let c: Vec<Lit> = (0..m).map(|j| p[i][j].positive()).collect();
+        for row in &p {
+            let c: Vec<Lit> = row.iter().map(|v| v.positive()).collect();
             s.add_clause(&c);
         }
+        #[allow(clippy::needless_range_loop)] // j spans two rows at once
         for j in 0..m {
             for i1 in 0..n {
                 for i2 in (i1 + 1)..n {
@@ -650,10 +646,7 @@ mod tests {
         );
         // Same instance without assumptions is still satisfiable.
         assert_eq!(s.solve(), SolveResult::Sat);
-        assert_eq!(
-            s.solve_with_assumptions(&[a.negative()]),
-            SolveResult::Sat
-        );
+        assert_eq!(s.solve_with_assumptions(&[a.negative()]), SolveResult::Sat);
         assert!(s.model_value(b.positive()));
     }
 

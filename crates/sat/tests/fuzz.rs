@@ -122,6 +122,7 @@ fn pigeonhole_scaling_stays_unsat() {
             let c: Vec<_> = row.iter().map(|v| v.positive()).collect();
             s.add_clause(&c);
         }
+        #[allow(clippy::needless_range_loop)] // j spans two rows at once
         for j in 0..n {
             for i1 in 0..=n {
                 for i2 in (i1 + 1)..=n {

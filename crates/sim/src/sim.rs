@@ -1,9 +1,7 @@
 //! The cycle-accurate behavioral simulator.
 
 use crate::trace::Trace;
-use gm_rtl::{
-    elaborate, Bv, Elab, Expr, Module, Result, SignalId, Stmt, StmtId, StmtKind,
-};
+use gm_rtl::{elaborate, Bv, Elab, Expr, Module, Result, SignalId, Stmt, StmtId, StmtKind};
 
 /// Which branch of a control statement was taken.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -439,11 +437,20 @@ mod tests {
         sim.set_input(rst, Bv::one_bit());
         sim.step();
         sim.set_input(rst, Bv::zero_bit());
-        assert_eq!((sim.value(a), sim.value(b)), (Bv::one_bit(), Bv::zero_bit()));
+        assert_eq!(
+            (sim.value(a), sim.value(b)),
+            (Bv::one_bit(), Bv::zero_bit())
+        );
         sim.step();
-        assert_eq!((sim.value(a), sim.value(b)), (Bv::zero_bit(), Bv::one_bit()));
+        assert_eq!(
+            (sim.value(a), sim.value(b)),
+            (Bv::zero_bit(), Bv::one_bit())
+        );
         sim.step();
-        assert_eq!((sim.value(a), sim.value(b)), (Bv::one_bit(), Bv::zero_bit()));
+        assert_eq!(
+            (sim.value(a), sim.value(b)),
+            (Bv::one_bit(), Bv::zero_bit())
+        );
     }
 
     #[test]

@@ -96,10 +96,7 @@ impl DirectedStimulus {
     /// # Errors
     ///
     /// Returns [`gm_rtl::RtlError::UnknownSignal`] for unresolved names.
-    pub fn from_named(
-        module: &Module,
-        cycles: &[&[(&str, u64)]],
-    ) -> gm_rtl::Result<Self> {
+    pub fn from_named(module: &Module, cycles: &[&[(&str, u64)]]) -> gm_rtl::Result<Self> {
         let mut vectors = Vec::with_capacity(cycles.len());
         for cyc in cycles {
             let mut v = Vec::with_capacity(cyc.len());

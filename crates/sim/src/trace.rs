@@ -22,7 +22,11 @@ impl Trace {
     /// Creates an empty trace shaped for `module`'s signal table.
     pub fn for_module(module: &Module) -> Self {
         Trace {
-            names: module.signals().iter().map(|s| s.name().to_string()).collect(),
+            names: module
+                .signals()
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect(),
             widths: module.signals().iter().map(|s| s.width()).collect(),
             rows: Vec::new(),
         }
@@ -125,7 +129,8 @@ impl Trace {
     /// Renders the VCD document to a `String`.
     pub fn to_vcd_string(&self) -> String {
         let mut buf = Vec::new();
-        self.write_vcd(&mut buf).expect("writing to Vec cannot fail");
+        self.write_vcd(&mut buf)
+            .expect("writing to Vec cannot fail");
         String::from_utf8(buf).expect("VCD output is ASCII")
     }
 }
@@ -154,7 +159,10 @@ mod tests {
         let a = b.input("a", 1);
         let w = b.input("wide", 4);
         let y = b.output("y", 1);
-        b.assign(y, gm_rtl::Expr::Signal(a).and(gm_rtl::Expr::Signal(w).index(0)));
+        b.assign(
+            y,
+            gm_rtl::Expr::Signal(a).and(gm_rtl::Expr::Signal(w).index(0)),
+        );
         b.finish()
     }
 
@@ -196,7 +204,10 @@ mod tests {
         assert!(vcd.contains("b1010"));
         // Unchanged signals are not re-dumped at #1.
         let after_t1 = vcd.split("#1\n").nth(1).unwrap();
-        assert!(!after_t1.contains("1!"), "signal `a` unchanged at #1: {vcd}");
+        assert!(
+            !after_t1.contains("1!"),
+            "signal `a` unchanged at #1: {vcd}"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --example arbiter_closure`
 
-use goldmine::{Engine, EngineConfig, SeedStimulus, TargetSelection};
 use gm_sim::DirectedStimulus;
+use goldmine::{Engine, EngineConfig, SeedStimulus, TargetSelection};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = gm_designs::arbiter2();

@@ -7,8 +7,8 @@
 //! Run with: `cargo run --release --example coverage_compare [design] [cycles]`
 
 use gm_coverage::CoverageSuite;
-use goldmine::{Engine, EngineConfig, SeedStimulus};
 use gm_sim::{collect_vectors, RandomStimulus, TestSuite};
+use goldmine::{Engine, EngineConfig, SeedStimulus};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args = std::env::args().skip(1);

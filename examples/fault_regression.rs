@@ -32,7 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // The paper's Table 2 signals.
-    let signals = ["stall_in", "branch_pc", "branch_mispredict", "icache_rdvl_i"];
+    let signals = [
+        "stall_in",
+        "branch_pc",
+        "branch_mispredict",
+        "icache_rdvl_i",
+    ];
     let sig_ids: Vec<_> = signals
         .iter()
         .map(|n| module.require(n))

@@ -8,9 +8,9 @@
 //! covered by exactly one assertion whose implied value matches the
 //! design.
 
-use goldmine::{Engine, EngineConfig, SeedStimulus};
 use gm_rtl::{Bv, Expr, Module, ModuleBuilder, SignalId};
 use gm_sim::Simulator;
+use goldmine::{Engine, EngineConfig, SeedStimulus};
 use proptest::prelude::*;
 
 /// Builds a random boolean expression over `inputs` from a recipe of

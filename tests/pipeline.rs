@@ -1,9 +1,9 @@
 //! Workspace-level integration: the full pipeline across the whole
 //! design catalog.
 
-use goldmine::{Engine, EngineConfig, SeedStimulus, TargetSelection, UnknownPolicy};
 use gm_mc::Backend;
 use gm_rtl::SignalId;
+use goldmine::{Engine, EngineConfig, SeedStimulus, TargetSelection, UnknownPolicy};
 
 fn one_bit_targets(m: &gm_rtl::Module) -> Vec<(SignalId, u32)> {
     m.outputs()
@@ -68,7 +68,15 @@ fn every_catalog_design_runs_through_the_loop() {
 
 #[test]
 fn exact_backends_converge_on_the_small_designs() {
-    for name in ["cex_small", "arbiter2", "b01", "b02", "b09", "b12_lite", "fetch_stage"] {
+    for name in [
+        "cex_small",
+        "arbiter2",
+        "b01",
+        "b02",
+        "b09",
+        "b12_lite",
+        "fetch_stage",
+    ] {
         let d = gm_designs::by_name(name).unwrap();
         let module = d.module();
         let config = EngineConfig {

@@ -1,0 +1,139 @@
+//! Offline shim for the `rand` crate (see `vendor/README.md`).
+//!
+//! Provides the minimal surface this workspace uses: a seedable small
+//! RNG (`rngs::SmallRng`) and the `Rng`/`SeedableRng` traits with
+//! `gen::<u64>()` / `seed_from_u64`. The generator is SplitMix64 —
+//! statistically solid for stimulus generation and fully deterministic
+//! per seed, which the reproducibility tests depend on.
+
+/// Types that can be sampled uniformly from an RNG's raw output.
+pub trait Standard: Sized {
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+
+impl Standard for u16 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw >> 63 == 1
+    }
+}
+
+/// Core RNG trait: everything is derived from `next_u64`.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a value of type `T` uniformly.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Samples uniformly from `[0, bound)` using rejection-free
+    /// multiply-shift reduction (bias is negligible for 64-bit raws).
+    fn gen_range_u64(&mut self, bound: u64) -> u64
+    where
+        Self: Sized,
+    {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// RNGs constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64: the recommended seeder/small generator from
+    /// Steele, Lea & Flood (OOPSLA 2014). One 64-bit word of state.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn bits_look_balanced() {
+        let mut r = SmallRng::seed_from_u64(1);
+        let ones: u32 = (0..1000).map(|_| r.next_u64().count_ones()).sum();
+        // 64,000 bits; expect ~32,000 ones. Allow a generous band.
+        assert!((30_000..34_000).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn gen_types() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let _: u64 = r.gen();
+        let _: u32 = r.gen();
+        let _: u8 = r.gen();
+        let _: bool = r.gen();
+        for bound in [1u64, 2, 3, 100] {
+            for _ in 0..100 {
+                assert!(r.gen_range_u64(bound) < bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Offline shim for `serde` (see `vendor/README.md`).
+//!
+//! Marker traits plus re-exported no-op derives — enough for the
+//! workspace's `#[derive(Serialize, Deserialize)]` annotations to
+//! compile while no code actually serializes.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait DeserializeMarker {}

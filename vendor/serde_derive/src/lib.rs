@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive` (see `vendor/README.md`).
+//!
+//! The workspace only *annotates* types with the serde derives — nothing
+//! serializes yet — so the derive macros expand to nothing. When real
+//! serialization lands (and network access exists), swap in crates.io
+//! serde and these annotations become functional unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
