@@ -114,6 +114,50 @@ fn bench_model_checking(c: &mut Criterion) {
     });
 }
 
+/// Tentpole comparison: per-query unrollings (the pre-session dispatch,
+/// one fresh `Unroller` per property) vs one persistent batched session
+/// on the largest catalog design, plus the memoized re-batch that the
+/// refinement loop sees on repeated candidates.
+fn bench_batched_checking(c: &mut Criterion) {
+    let module = gm_designs::b18_lite();
+    let elab = elaborate(&module).unwrap();
+    let blasted = blast(&module, &elab).unwrap();
+    let go = module.require("go").unwrap();
+    let done = module.require("done").unwrap();
+    let fault = module.require("fault").unwrap();
+    let bus = module.require("bus").unwrap();
+    let props: Vec<WindowProperty> = (0..4)
+        .map(|i| WindowProperty {
+            antecedent: vec![
+                BitAtom::new(go, 0, 0, i % 2 == 0),
+                BitAtom::new(done, 0, 0, false),
+            ],
+            consequent: BitAtom::new(if i < 2 { fault } else { bus }, u32::from(i == 3), 1, false),
+        })
+        .collect();
+    let backend = gm_mc::Backend::KInduction { max_k: 2 };
+    c.bench_function("mc/b18_lite_per_query_unrollings", |b| {
+        b.iter(|| {
+            props
+                .iter()
+                .map(|p| k_induction(&module, &blasted, p, 2))
+                .collect::<Vec<_>>()
+        });
+    });
+    c.bench_function("mc/b18_lite_batched_session", |b| {
+        b.iter_batched(
+            || Checker::new(&module).unwrap().with_backend(backend),
+            |mut ch| ch.check_batch(&props).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    c.bench_function("mc/b18_lite_rebatch_memoized", |b| {
+        let mut ch = Checker::new(&module).unwrap().with_backend(backend);
+        ch.check_batch(&props).unwrap();
+        b.iter(|| ch.check_batch(&props).unwrap());
+    });
+}
+
 fn bench_mining(c: &mut Criterion) {
     let module = gm_designs::arbiter4();
     let elab = elaborate(&module).unwrap();
@@ -234,6 +278,7 @@ criterion_group!(
         bench_parse_blast,
         bench_sat,
         bench_model_checking,
+        bench_batched_checking,
         bench_mining,
         bench_full_loop,
         bench_ablation_incremental,

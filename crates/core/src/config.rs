@@ -62,8 +62,11 @@ pub struct EngineConfig {
     /// Target outputs.
     pub targets: TargetSelection,
     /// Batch all candidate checks per iteration (the §7 optimization the
-    /// paper describes) instead of feeding each counterexample back
-    /// immediately.
+    /// paper describes): the deduped cross-target worklist is dispatched
+    /// through [`gm_mc::Checker::check_batch`] against one shared
+    /// verification session, and counterexamples are absorbed in bulk.
+    /// When `false`, candidates are checked one at a time and each
+    /// counterexample feeds back immediately.
     pub batched: bool,
     /// Record per-iteration coverage of the accumulated suite (costs one
     /// suite re-simulation per iteration).

@@ -7,26 +7,35 @@
 //! 2. **Static analyzer** — compute each target output's logic cone and
 //!    build its feature space;
 //! 3. **A-Miner** — fit one incremental decision tree per output bit;
-//! 4. **Formal verification** — model-check every 100%-confidence
-//!    candidate; proved leaves freeze, refuted ones yield counterexample
-//!    traces;
+//! 4. **Formal verification** — collect every 100%-confidence candidate
+//!    across all targets into one worklist, dedupe identical properties
+//!    (distinct target bits often mine the same implication), and
+//!    dispatch the whole batch through the checker's persistent
+//!    verification session ([`gm_mc::Checker::check_batch`]): one shared
+//!    unrolling per iteration, memoized repeats free. Proved leaves
+//!    freeze, refuted ones yield counterexample traces;
 //! 5. **Ctx_simulation** — replay each counterexample from reset, append
-//!    it to the test suite, extend every target's dataset, and re-split
-//!    only the refuted leaves;
+//!    it to the test suite, extend every target's dataset in bulk, and
+//!    re-split only the refuted leaves;
 //! 6. repeat until every leaf is proved (*coverage closure*) or the
 //!    iteration budget runs out.
+//!
+//! Each [`IterationReport`] carries the verification session's stats
+//! delta ([`gm_mc::SessionStats`]): queries by engine, memo hits,
+//! solver conflicts/propagations, and unrolling frames reused.
 
 use crate::config::{EngineConfig, SeedStimulus, TargetSelection, UnknownPolicy};
 use crate::error::EngineError;
 use crate::report::{ClosureOutcome, IterationReport, TargetSummary};
 use gm_coverage::CoverageSuite;
-use gm_mc::{BitAtom, CheckResult, Checker, WindowProperty};
+use gm_mc::{BitAtom, CheckResult, Checker, SessionStats, WindowProperty};
 use gm_mine::{
     assertion_at, input_space_coverage, proved_assertions, Assertion, Dataset, DecisionTree,
     LeafStatus, MiningSpec,
 };
-use gm_rtl::{cone_of, elaborate, Elab, Module, SignalId};
+use gm_rtl::{cone_of, elaborate, Module, SignalId};
 use gm_sim::{collect_vectors, run_segment, NopObserver, RandomStimulus, TestSuite, Trace};
+use std::collections::HashMap;
 
 /// Converts a mined assertion into the model checker's property form.
 pub fn assertion_property(a: &Assertion) -> WindowProperty {
@@ -77,13 +86,13 @@ struct TargetState {
 /// ```
 pub struct Engine<'m> {
     module: &'m Module,
-    #[allow(dead_code)]
-    elab: Elab,
     config: EngineConfig,
     checker: Checker<'m>,
     targets: Vec<TargetState>,
     suite: TestSuite,
     unknown_assumed: usize,
+    /// Session stats already attributed to earlier iteration reports.
+    reported_stats: SessionStats,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -99,15 +108,16 @@ impl std::fmt::Debug for Engine<'_> {
 }
 
 impl<'m> Engine<'m> {
-    /// Prepares an engine: elaborates the module, bit-blasts it for the
-    /// checker, and builds the mining spec for every target bit.
+    /// Prepares an engine: elaborates the module once (shared between
+    /// mining and the checker's bit-blaster), and builds the mining spec
+    /// for every target bit.
     ///
     /// # Errors
     ///
     /// Propagates elaboration and blasting failures.
     pub fn new(module: &'m Module, config: EngineConfig) -> Result<Self, EngineError> {
         let elab = elaborate(module)?;
-        let checker = Checker::new(module)?.with_backend(config.backend);
+        let checker = Checker::from_elab(module, &elab)?.with_backend(config.backend);
         let target_bits: Vec<(SignalId, u32)> = match &config.targets {
             TargetSelection::AllOutputs => module
                 .outputs()
@@ -138,12 +148,12 @@ impl<'m> Engine<'m> {
             .collect();
         Ok(Engine {
             module,
-            elab,
             config,
             checker,
             targets,
             suite: TestSuite::new(),
             unknown_assumed: 0,
+            reported_stats: SessionStats::default(),
         })
     }
 
@@ -235,11 +245,10 @@ impl<'m> Engine<'m> {
             .all(|t| t.stuck.is_none() && t.tree.converged())
     }
 
-    /// One verification pass over all open candidates; returns the number
-    /// of refuted candidates.
-    fn iteration_pass(&mut self, iteration: u32) -> Result<usize, EngineError> {
-        // Collect (target index, leaf) pairs up front; the tree may morph
-        // under us as counterexample rows arrive.
+    /// Collects the full cross-target worklist of pure open leaves.
+    /// Trees are stable while the worklist is pending in batched mode
+    /// (counterexample absorption is deferred past the dispatch).
+    fn open_candidates(&self) -> Vec<(usize, usize)> {
         let mut worklist: Vec<(usize, usize)> = Vec::new();
         for (ti, t) in self.targets.iter().enumerate() {
             if t.stuck.is_some() {
@@ -251,26 +260,95 @@ impl<'m> Engine<'m> {
                 }
             }
         }
+        worklist
+    }
+
+    /// One verification pass over all open candidates; returns the number
+    /// of refuted candidates.
+    ///
+    /// Batched mode (the default): the whole worklist becomes one
+    /// deduped property batch dispatched through the checker's shared
+    /// verification session, and every counterexample trace is absorbed
+    /// in bulk afterwards. Unbatched mode checks candidates one at a
+    /// time and feeds each counterexample back immediately.
+    fn iteration_pass(&mut self, iteration: u32) -> Result<usize, EngineError> {
+        if !self.config.batched {
+            return self.iteration_pass_sequential(iteration);
+        }
+        let worklist = self.open_candidates();
+        // Dedupe identical properties across targets: distinct target
+        // bits often mine the same implication, which must cost one
+        // query, not one per leaf.
+        let mut unique: Vec<WindowProperty> = Vec::new();
+        let mut index_of: HashMap<WindowProperty, usize> = HashMap::new();
+        let mut prop_leaves: Vec<Vec<(usize, usize)>> = Vec::new();
+        for &(ti, leaf) in &worklist {
+            let t = &self.targets[ti];
+            let prop = assertion_property(&assertion_at(&t.tree, &t.spec, leaf));
+            let idx = *index_of.entry(prop.clone()).or_insert_with(|| {
+                unique.push(prop);
+                prop_leaves.push(Vec::new());
+                unique.len() - 1
+            });
+            prop_leaves[idx].push((ti, leaf));
+        }
+        // One batched dispatch for the whole iteration.
+        let results = self.checker.check_batch(&unique)?;
         let mut refuted = 0usize;
         let mut pending_traces: Vec<Trace> = Vec::new();
         let mut cex_count = 0usize;
+        for (idx, res) in results.into_iter().enumerate() {
+            match res {
+                CheckResult::Proved => {
+                    for &(ti, leaf) in &prop_leaves[idx] {
+                        self.targets[ti].tree.set_proved(leaf);
+                    }
+                }
+                CheckResult::Violated(cex) => {
+                    refuted += prop_leaves[idx].len();
+                    cex_count += 1;
+                    let label = format!("cex-{iteration}-{cex_count}");
+                    self.suite.push(label, cex.inputs.clone());
+                    pending_traces.push(run_segment(self.module, &cex.inputs, &mut NopObserver)?);
+                }
+                CheckResult::Unknown { .. } => match self.config.unknown {
+                    UnknownPolicy::AssumeTrue => {
+                        for &(ti, leaf) in &prop_leaves[idx] {
+                            self.unknown_assumed += 1;
+                            self.targets[ti].tree.set_proved(leaf);
+                        }
+                    }
+                    UnknownPolicy::LeaveOpen => {}
+                },
+            }
+        }
+        // Absorb all counterexample traces in bulk.
+        for trace in &pending_traces {
+            self.absorb_trace(trace);
+        }
+        Ok(refuted)
+    }
+
+    /// The unbatched pass: each candidate is checked and its
+    /// counterexample absorbed immediately, so later candidates see the
+    /// refined trees. Leaves are re-validated because the tree may morph
+    /// under us as counterexample rows arrive.
+    fn iteration_pass_sequential(&mut self, iteration: u32) -> Result<usize, EngineError> {
+        let worklist = self.open_candidates();
+        let mut refuted = 0usize;
+        let mut cex_count = 0usize;
         for (ti, leaf) in worklist {
-            let (assertion, valid) = {
+            let assertion = {
                 let t = &self.targets[ti];
                 if t.stuck.is_some()
                     || !t.tree.is_leaf(leaf)
                     || t.tree.leaf_status(leaf) != LeafStatus::Open
                     || !t.tree.is_pure(leaf)
                 {
-                    (None, false)
-                } else {
-                    (Some(assertion_at(&t.tree, &t.spec, leaf)), true)
+                    continue;
                 }
+                assertion_at(&t.tree, &t.spec, leaf)
             };
-            if !valid {
-                continue;
-            }
-            let assertion = assertion.expect("validated leaf has an assertion");
             let prop = assertion_property(&assertion);
             match self.checker.check(&prop)? {
                 CheckResult::Proved => {
@@ -282,11 +360,7 @@ impl<'m> Engine<'m> {
                     let label = format!("cex-{iteration}-{cex_count}");
                     self.suite.push(label, cex.inputs.clone());
                     let trace = run_segment(self.module, &cex.inputs, &mut NopObserver)?;
-                    if self.config.batched {
-                        pending_traces.push(trace);
-                    } else {
-                        self.absorb_trace(&trace);
-                    }
+                    self.absorb_trace(&trace);
                 }
                 CheckResult::Unknown { .. } => match self.config.unknown {
                     UnknownPolicy::AssumeTrue => {
@@ -296,9 +370,6 @@ impl<'m> Engine<'m> {
                     UnknownPolicy::LeaveOpen => {}
                 },
             }
-        }
-        for trace in &pending_traces {
-            self.absorb_trace(trace);
         }
         Ok(refuted)
     }
@@ -348,6 +419,11 @@ impl<'m> Engine<'m> {
         } else {
             None
         };
+        // Attribute the session work done since the last report to this
+        // iteration.
+        let cumulative = self.checker.session_stats();
+        let verification = cumulative - self.reported_stats;
+        self.reported_stats = cumulative;
         Ok(IterationReport {
             iteration,
             candidates,
@@ -356,6 +432,7 @@ impl<'m> Engine<'m> {
             input_space_coverage: input_space,
             coverage,
             suite_cycles: self.suite.total_cycles(),
+            verification,
         })
     }
 }

@@ -8,7 +8,7 @@
 
 use crate::engine::assertion_property;
 use crate::error::EngineError;
-use gm_mc::{CheckResult, Checker};
+use gm_mc::{CheckResult, Checker, WindowProperty};
 use gm_mine::Assertion;
 use gm_rtl::{Bv, Module, SignalId};
 
@@ -81,13 +81,16 @@ pub fn check_fault(
     let width = module.signal_width(signal);
     let mutant = module.with_stuck_signal(signal, fault.stuck_value(width));
     let mut checker = Checker::new(&mutant)?;
-    let mut detecting = Vec::new();
-    for (i, a) in assertions.iter().enumerate() {
-        let prop = assertion_property(a);
-        if let CheckResult::Violated(_) = checker.check(&prop)? {
-            detecting.push(i);
-        }
-    }
+    // One batch against the mutant: the whole suite shares a single
+    // unrolling session instead of one per assertion.
+    let props: Vec<WindowProperty> = assertions.iter().map(assertion_property).collect();
+    let detecting = checker
+        .check_batch(&props)?
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r, CheckResult::Violated(_)))
+        .map(|(i, _)| i)
+        .collect();
     Ok(FaultReport {
         signal,
         fault,

@@ -1,6 +1,7 @@
 //! Run reports: per-iteration progress and final outcomes.
 
 use gm_coverage::CoverageReport;
+use gm_mc::SessionStats;
 use gm_mine::{Assertion, MineError};
 use gm_rtl::SignalId;
 use gm_sim::TestSuite;
@@ -28,6 +29,10 @@ pub struct IterationReport {
     pub coverage: Option<CoverageReport>,
     /// Total stimulus cycles in the accumulated suite.
     pub suite_cycles: usize,
+    /// Verification-session work done during this iteration: queries by
+    /// engine, memo hits, solver conflicts/propagations, unrolling
+    /// frames encoded vs reused.
+    pub verification: SessionStats,
 }
 
 /// Final state of one mining target.
@@ -85,5 +90,13 @@ impl ClosureOutcome {
     /// The number of counterexample iterations performed.
     pub fn iteration_count(&self) -> u32 {
         self.iterations.last().map(|r| r.iteration).unwrap_or(0)
+    }
+
+    /// Total verification-session work across the whole run (the sum of
+    /// each iteration's [`IterationReport::verification`] delta).
+    pub fn verification_total(&self) -> SessionStats {
+        self.iterations
+            .iter()
+            .fold(SessionStats::default(), |acc, r| acc + r.verification)
     }
 }

@@ -240,6 +240,57 @@ fn generated_suite_detects_faults_by_simulation() {
 }
 
 #[test]
+fn iteration_reports_carry_session_stats() {
+    // Acceptance: a multi-iteration closure run attributes non-zero
+    // verification-session work to its iteration reports.
+    let m = parse_verilog(ARBITER2).unwrap();
+    let config = EngineConfig {
+        stimulus: SeedStimulus::None,
+        record_coverage: false,
+        ..EngineConfig::default()
+    };
+    let outcome = Engine::new(&m, config).unwrap().run().unwrap();
+    assert!(outcome.converged);
+    assert!(outcome.iteration_count() >= 2, "multi-iteration run");
+    let total = outcome.verification_total();
+    assert!(
+        total.engine_queries() > 0,
+        "no queries attributed: {total:?}"
+    );
+    // arbiter2 fits the explicit engine, so Auto decides everything there.
+    assert!(total.explicit_queries > 0);
+    // At least one post-seed iteration did verification work.
+    assert!(outcome
+        .iterations
+        .iter()
+        .skip(1)
+        .any(|r| r.verification.engine_queries() > 0));
+}
+
+#[test]
+fn sat_backend_session_reuses_unrollings_across_iterations() {
+    // Force the SAT engines: the whole run must share at most one
+    // reset-rooted and one free-init unrolling, reusing frames.
+    let m = parse_verilog(ARBITER2).unwrap();
+    let gnt0 = m.require("gnt0").unwrap();
+    let config = EngineConfig {
+        backend: gm_mc::Backend::KInduction { max_k: 8 },
+        targets: TargetSelection::Bits(vec![(gnt0, 0)]),
+        record_coverage: false,
+        ..EngineConfig::default()
+    };
+    let outcome = Engine::new(&m, config).unwrap().run().unwrap();
+    let total = outcome.verification_total();
+    assert!(total.sat_queries > 0);
+    assert!(total.solver.propagations > 0);
+    assert!(
+        total.unrollers_built <= 2,
+        "session rebuilt unrollings: {total:?}"
+    );
+    assert!(total.frames_reused > 0, "no frame reuse: {total:?}");
+}
+
+#[test]
 fn unbatched_mode_also_converges() {
     let m = parse_verilog(ARBITER2).unwrap();
     let config = EngineConfig {

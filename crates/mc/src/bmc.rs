@@ -13,23 +13,37 @@ use crate::blast::Blasted;
 use crate::prop::{assemble_input_vector, BitAtom, CexTrace, CheckResult, WindowProperty};
 use gm_rtl::Module;
 use gm_sat::{Lit, SolveResult, Solver};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Lays AIG time frames into a SAT solver.
+///
+/// The unroller is the persistent half of an incremental verification
+/// session: frames, gate clauses and the solver's learnt clauses all
+/// survive across property queries. Each query is posed as an
+/// *activation literal* (see [`Unroller::violation_lit`]) passed to
+/// [`Solver::solve_with_assumptions`], so nothing is ever asserted
+/// permanently and the same unrolling serves every property of a batch.
+/// A structural AND cache keeps re-encoding the same property (or
+/// overlapping properties) nearly free: the cached activation literal is
+/// returned instead of fresh clauses.
 #[derive(Debug)]
-pub struct Unroller<'b> {
-    blasted: &'b Blasted,
+pub struct Unroller {
+    blasted: Arc<Blasted>,
     solver: Solver,
     true_lit: Lit,
     /// frames[f][node] = SAT literal of that AIG node at frame f.
     frames: Vec<Vec<Lit>>,
     free_init: bool,
+    /// Structural hash-cons of encoded AND gates: (a, b) -> out.
+    and_cache: HashMap<(Lit, Lit), Lit>,
 }
 
-impl<'b> Unroller<'b> {
+impl Unroller {
     /// Creates an unroller. `free_init` leaves frame-0 latches
     /// unconstrained (for induction steps) instead of pinning them to the
     /// reset state.
-    pub fn new(blasted: &'b Blasted, free_init: bool) -> Self {
+    pub fn new(blasted: Arc<Blasted>, free_init: bool) -> Self {
         let mut solver = Solver::new();
         let t = solver.new_var().positive();
         solver.add_clause(&[t]);
@@ -39,12 +53,26 @@ impl<'b> Unroller<'b> {
             true_lit: t,
             frames: Vec::new(),
             free_init,
+            and_cache: HashMap::new(),
         }
+    }
+
+    /// Creates an unroller over a borrowed design, paying one O(design)
+    /// clone into the shared handle. Convenience for the one-shot
+    /// [`bmc`] / [`k_induction`] entry points — session users should
+    /// share one `Arc` via [`Unroller::new`] instead.
+    pub fn from_ref(blasted: &Blasted, free_init: bool) -> Self {
+        Unroller::new(Arc::new(blasted.clone()), free_init)
     }
 
     /// The underlying solver.
     pub fn solver(&mut self) -> &mut Solver {
         &mut self.solver
+    }
+
+    /// The number of time frames encoded so far.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
     }
 
     fn encode_and(&mut self, a: Lit, b: Lit) -> Lit {
@@ -58,10 +86,19 @@ impl<'b> Unroller<'b> {
         if b == t || a == b {
             return a;
         }
+        let key = if a.index() <= b.index() {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        if let Some(&out) = self.and_cache.get(&key) {
+            return out;
+        }
         let out = self.solver.new_var().positive();
         self.solver.add_clause(&[!out, a]);
         self.solver.add_clause(&[!out, b]);
         self.solver.add_clause(&[out, !a, !b]);
+        self.and_cache.insert(key, out);
         out
     }
 
@@ -69,9 +106,10 @@ impl<'b> Unroller<'b> {
     pub fn ensure_frame(&mut self, frame: usize) {
         while self.frames.len() <= frame {
             let f = self.frames.len();
-            let nodes = self.blasted.aig.nodes().to_vec();
+            let blasted = self.blasted.clone();
+            let nodes = blasted.aig.nodes();
             let mut lits: Vec<Lit> = Vec::with_capacity(nodes.len());
-            for node in &nodes {
+            for node in nodes {
                 let lit = match node {
                     AigNode::ConstFalse => !self.true_lit,
                     AigNode::Input { .. } => self.solver.new_var().positive(),
@@ -152,7 +190,7 @@ impl<'b> Unroller<'b> {
         let mut inputs = Vec::with_capacity(last + 1);
         for f in 0..=last {
             let frame = &self.frames[f];
-            let vec = assemble_input_vector(module, self.blasted, |i| {
+            let vec = assemble_input_vector(module, &self.blasted, |i| {
                 let node = self.blasted.aig.input_node(i);
                 self.solver.model_value(frame[node])
             });
@@ -168,6 +206,11 @@ impl<'b> Unroller<'b> {
 /// Returns `Violated` with a trace covering the full window, or
 /// `Unknown { bound }` if no violation exists within the bound (BMC alone
 /// cannot prove properties).
+///
+/// One-shot convenience: builds a fresh unrolling per call. Batch
+/// workloads should use [`crate::CheckSession`] (or
+/// [`crate::Checker::check_batch`]), which keeps the unrolling and the
+/// solver's learnt clauses alive across properties.
 pub fn bmc(
     module: &Module,
     blasted: &Blasted,
@@ -175,7 +218,7 @@ pub fn bmc(
     max_start: u32,
 ) -> CheckResult {
     let depth = prop.depth() as usize;
-    let mut unroller = Unroller::new(blasted, false);
+    let mut unroller = Unroller::from_ref(blasted, false);
     for start in 0..=max_start as usize {
         unroller.ensure_frame(start + depth);
         let v = unroller.violation_lit(start, prop);
@@ -201,8 +244,10 @@ pub fn k_induction(
     max_k: u32,
 ) -> CheckResult {
     let depth = prop.depth() as usize;
+    // Clone the design into one shared handle for every unroller below.
+    let shared = Arc::new(blasted.clone());
     // Base cases, shared incrementally.
-    let mut base = Unroller::new(blasted, false);
+    let mut base = Unroller::new(shared.clone(), false);
     for k in 0..=max_k as usize {
         // Base: violation in window starting at k from reset?
         base.ensure_frame(k + depth);
@@ -212,7 +257,7 @@ pub fn k_induction(
             return CheckResult::Violated(cex);
         }
         // Step: from a free state, k windows hold but window k fails?
-        let mut step = Unroller::new(blasted, true);
+        let mut step = Unroller::new(shared.clone(), true);
         step.ensure_frame(k + depth);
         let mut assumptions = Vec::new();
         for j in 0..k {

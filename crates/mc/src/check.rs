@@ -2,15 +2,20 @@
 //!
 //! The GoldMine refinement loop checks hundreds of candidate assertions
 //! against the same design, so the [`Checker`] bit-blasts once, lazily
-//! computes the reachable state set once, and dispatches each query to
-//! the configured backend.
+//! computes the reachable state set once, keeps a persistent
+//! [`CheckSession`] (shared unrollings, retained learnt clauses) for
+//! the SAT engines, and memoizes every decided property so repeated
+//! candidates across refinement iterations are free. Whole batches go
+//! through [`Checker::check_batch`].
 
 use crate::blast::{blast, Blasted};
-use crate::bmc::{bmc, k_induction};
 use crate::error::McError;
 use crate::explicit::{explicit_check, ExplicitLimits, ReachableStates};
 use crate::prop::{CheckResult, WindowProperty};
-use gm_rtl::{elaborate, Module};
+use crate::session::{CheckSession, SessionStats};
+use gm_rtl::{elaborate, Elab, Module};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which engine decides a property.
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
@@ -52,18 +57,24 @@ pub enum Backend {
 ///     consequent: BitAtom::new(q, 0, 1, true),
 /// };
 /// assert_eq!(checker.check(&prop)?, CheckResult::Proved);
+/// // Batches reuse the same session; repeats hit the memo.
+/// let batch = checker.check_batch(&[prop.clone(), prop])?;
+/// assert!(batch.iter().all(|r| r.is_proved()));
+/// assert!(checker.session_stats().memo_hits >= 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
 pub struct Checker<'m> {
     module: &'m Module,
-    blasted: Blasted,
+    blasted: Arc<Blasted>,
     backend: Backend,
     limits: ExplicitLimits,
     bmc_bound: u32,
     kind_max_k: u32,
     reach: Option<ReachableStates>,
     reach_failed: bool,
+    session: CheckSession,
+    memo: HashMap<WindowProperty, CheckResult>,
 }
 
 impl<'m> Checker<'m> {
@@ -74,9 +85,20 @@ impl<'m> Checker<'m> {
     /// Propagates elaboration/blasting failures.
     pub fn new(module: &'m Module) -> Result<Self, McError> {
         let elab = elaborate(module)?;
-        let blasted = blast(module, &elab)?;
+        Checker::from_elab(module, &elab)
+    }
+
+    /// Bit-blasts an already-elaborated module — callers that hold an
+    /// [`Elab`] (like the refinement engine) avoid elaborating twice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates blasting failures.
+    pub fn from_elab(module: &'m Module, elab: &Elab) -> Result<Self, McError> {
+        let blasted = Arc::new(blast(module, elab)?);
         Ok(Checker {
             module,
+            session: CheckSession::new(blasted.clone()),
             blasted,
             backend: Backend::Auto,
             limits: ExplicitLimits::default(),
@@ -84,30 +106,57 @@ impl<'m> Checker<'m> {
             kind_max_k: 16,
             reach: None,
             reach_failed: false,
+            memo: HashMap::new(),
         })
     }
 
-    /// Overrides the backend.
+    /// Overrides the backend. Clears the property memo (verdicts and
+    /// `Unknown` bounds depend on the engine configuration).
     pub fn with_backend(mut self, backend: Backend) -> Self {
         self.backend = backend;
+        self.memo.clear();
         self
     }
 
-    /// Overrides the explicit-engine limits.
+    /// Overrides the explicit-engine limits. Clears the memo and any
+    /// reachable set computed under the old limits.
     pub fn with_limits(mut self, limits: ExplicitLimits) -> Self {
         self.limits = limits;
+        self.memo.clear();
+        self.reach = None;
+        self.reach_failed = false;
         self
     }
 
     /// Sets the BMC bound used by the `Auto` fallback.
     pub fn with_bmc_bound(mut self, bound: u32) -> Self {
         self.bmc_bound = bound;
+        self.memo.clear();
+        self
+    }
+
+    /// Sets the maximum induction depth used by the `Auto` fallback.
+    pub fn with_kind_depth(mut self, max_k: u32) -> Self {
+        self.kind_max_k = max_k;
+        self.memo.clear();
         self
     }
 
     /// The bit-blasted design.
     pub fn blasted(&self) -> &Blasted {
         &self.blasted
+    }
+
+    /// Cumulative statistics of the checker's verification session:
+    /// queries by engine, memo hits, solver conflict/propagation work
+    /// and frame reuse.
+    pub fn session_stats(&self) -> SessionStats {
+        self.session.stats()
+    }
+
+    /// The number of distinct properties decided and memoized so far.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
     }
 
     /// The number of reachable states, if explicit exploration ran.
@@ -127,45 +176,88 @@ impl<'m> Checker<'m> {
 
     /// Decides `prop` with the configured backend.
     ///
+    /// Results are memoized: checking the same property again (in any
+    /// later call or batch) is a lookup, not a solver query.
+    ///
     /// # Errors
     ///
     /// Fails if a forced backend exceeds its limits; `Auto` degrades to
     /// the SAT engines instead of failing.
     pub fn check(&mut self, prop: &WindowProperty) -> Result<CheckResult, McError> {
+        if let Some(res) = self.memo.get(prop) {
+            self.session.note_memo_hit();
+            return Ok(res.clone());
+        }
+        let res = self.check_uncached(prop)?;
+        self.memo.insert(prop.clone(), res.clone());
+        Ok(res)
+    }
+
+    /// Decides a whole batch of properties against the shared session.
+    ///
+    /// Within one batch (and across batches) each distinct property is
+    /// decided exactly once — duplicates are served from the memo — and
+    /// at most one unrolling per (backend, bound) configuration is
+    /// built. Under `Auto`, properties the explicit engine can handle
+    /// are decided against the one shared reachable set; the rest share
+    /// the session's BMC / k-induction unrollings.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Checker::check`], failing on the first
+    /// property a forced backend cannot handle.
+    pub fn check_batch(&mut self, props: &[WindowProperty]) -> Result<Vec<CheckResult>, McError> {
+        let mut out = Vec::with_capacity(props.len());
+        for prop in props {
+            out.push(self.check(prop)?);
+        }
+        Ok(out)
+    }
+
+    fn check_uncached(&mut self, prop: &WindowProperty) -> Result<CheckResult, McError> {
         match self.backend {
             Backend::Explicit => {
                 self.ensure_reach();
                 match &self.reach {
-                    Some(r) => explicit_check(self.module, &self.blasted, r, prop, &self.limits),
+                    Some(r) => {
+                        let res =
+                            explicit_check(self.module, &self.blasted, r, prop, &self.limits)?;
+                        self.session.note_explicit_query();
+                        Ok(res)
+                    }
                     None => Err(McError::StateSpaceExceeded {
                         limit: self.limits.max_states,
                     }),
                 }
             }
-            Backend::Bmc { bound } => Ok(bmc(self.module, &self.blasted, prop, bound)),
+            Backend::Bmc { bound } => {
+                self.session.note_sat_decision();
+                Ok(self.session.bmc(self.module, prop, bound))
+            }
             Backend::KInduction { max_k } => {
-                Ok(k_induction(self.module, &self.blasted, prop, max_k))
+                self.session.note_sat_decision();
+                Ok(self.session.k_induction(self.module, prop, max_k))
             }
             Backend::Auto => {
                 self.ensure_reach();
                 if let Some(r) = &self.reach {
                     match explicit_check(self.module, &self.blasted, r, prop, &self.limits) {
-                        Ok(res) => return Ok(res),
+                        Ok(res) => {
+                            self.session.note_explicit_query();
+                            return Ok(res);
+                        }
                         Err(_) => { /* window too wide: fall through to SAT */ }
                     }
                 }
-                // SAT path: BMC to refute, k-induction to prove.
+                // SAT path: BMC to refute, k-induction to prove — both on
+                // the session's shared unrollings. One property decision.
+                self.session.note_sat_decision();
                 if let CheckResult::Violated(cex) =
-                    bmc(self.module, &self.blasted, prop, self.bmc_bound)
+                    self.session.bmc(self.module, prop, self.bmc_bound)
                 {
                     return Ok(CheckResult::Violated(cex));
                 }
-                Ok(k_induction(
-                    self.module,
-                    &self.blasted,
-                    prop,
-                    self.kind_max_k,
-                ))
+                Ok(self.session.k_induction(self.module, prop, self.kind_max_k))
             }
         }
     }
@@ -247,5 +339,58 @@ mod tests {
             .unwrap()
             .with_backend(Backend::Bmc { bound: 8 });
         assert_eq!(c.check(&mutex).unwrap(), CheckResult::Unknown { bound: 8 });
+    }
+
+    #[test]
+    fn from_elab_matches_new() {
+        let m = parse_verilog(ARBITER2).unwrap();
+        let elab = gm_rtl::elaborate(&m).unwrap();
+        let gnt0 = m.require("gnt0").unwrap();
+        let gnt1 = m.require("gnt1").unwrap();
+        let mutex = WindowProperty {
+            antecedent: vec![BitAtom::new(gnt0, 0, 0, true)],
+            consequent: BitAtom::new(gnt1, 0, 0, false),
+        };
+        let mut from_elab = Checker::from_elab(&m, &elab).unwrap();
+        let mut fresh = Checker::new(&m).unwrap();
+        assert_eq!(
+            from_elab.check(&mutex).unwrap(),
+            fresh.check(&mutex).unwrap()
+        );
+    }
+
+    #[test]
+    fn check_batch_memoizes_duplicates_and_repeats() {
+        let m = parse_verilog(ARBITER2).unwrap();
+        let req0 = m.require("req0").unwrap();
+        let gnt0 = m.require("gnt0").unwrap();
+        let spurious = WindowProperty {
+            antecedent: vec![BitAtom::new(req0, 0, 0, false)],
+            consequent: BitAtom::new(gnt0, 0, 1, true),
+        };
+        let a2 = WindowProperty {
+            antecedent: vec![
+                BitAtom::new(req0, 0, 0, false),
+                BitAtom::new(req0, 0, 1, false),
+            ],
+            consequent: BitAtom::new(gnt0, 0, 2, false),
+        };
+        // The batch contains a duplicate: only two distinct decisions.
+        let batch = vec![spurious.clone(), a2.clone(), spurious.clone()];
+        let mut c = Checker::new(&m).unwrap();
+        let first = c.check_batch(&batch).unwrap();
+        assert!(matches!(first[0], CheckResult::Violated(_)));
+        assert_eq!(first[1], CheckResult::Proved);
+        assert_eq!(first[0], first[2]);
+        assert_eq!(c.memo_len(), 2);
+        let hits_after_first = c.session_stats().memo_hits;
+        assert!(hits_after_first >= 1, "in-batch duplicate served by memo");
+        // The identical batch again: all results from the memo.
+        let second = c.check_batch(&batch).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            c.session_stats().memo_hits - hits_after_first,
+            batch.len() as u64
+        );
     }
 }

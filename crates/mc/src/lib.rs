@@ -16,10 +16,30 @@
 //! * **k-induction** ([`k_induction`]) — SAT-based proof, may answer
 //!   `Unknown`.
 //!
-//! [`Checker`] bit-blasts once and dispatches queries, caching the
-//! reachable set across the hundreds of assertion checks a refinement
-//! run makes. Model-checking semantics: reset pinned deasserted, initial
-//! state = declared register init values (see DESIGN.md).
+//! ## Sessions and batching
+//!
+//! The refinement loop is query-heavy: hundreds of candidate assertions
+//! per iteration against one fixed design. The crate is organized
+//! around that shape:
+//!
+//! * [`Unroller`] lays time frames into one incremental SAT solver and
+//!   hands out *activation literals* for property windows, so a query
+//!   is an assumption, never a permanent assertion;
+//! * [`CheckSession`] owns at most two unrollings (reset-rooted for BMC
+//!   and induction bases, free-init for induction steps) and reuses
+//!   them — frames, gate encodings and learnt clauses — across every
+//!   property it decides, reporting the work in [`SessionStats`];
+//! * [`Checker`] bit-blasts once, lazily computes the reachable state
+//!   set once, routes queries to the configured backend through its
+//!   persistent session, memoizes every decided property, and accepts
+//!   whole worklists via [`Checker::check_batch`] — repeated candidates
+//!   across refinement iterations cost a hash lookup.
+//!
+//! The free [`bmc`] / [`k_induction`] functions remain as one-shot
+//! conveniences (each builds a private unrolling).
+//!
+//! Model-checking semantics: reset pinned deasserted, initial state =
+//! declared register init values (see DESIGN.md).
 
 #![warn(missing_docs)]
 
@@ -31,6 +51,7 @@ mod check;
 mod error;
 mod explicit;
 mod prop;
+mod session;
 
 pub use aig::{Aig, AigLit, AigNode, Latch};
 pub use aiger::{blasted_to_aiger, parse_aiger, to_aiger, ParsedAiger};
@@ -40,3 +61,4 @@ pub use check::{Backend, Checker};
 pub use error::McError;
 pub use explicit::{explicit_check, ExplicitLimits, ReachableStates};
 pub use prop::{BitAtom, CexTrace, CheckResult, WindowProperty};
+pub use session::{CheckSession, SessionStats};

@@ -39,7 +39,10 @@ impl BitAtom {
 }
 
 /// A windowed safety property: `G (/\ antecedent -> consequent)`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Hashable so batch checkers can dedupe and memoize property results
+/// (distinct mining targets often produce the same implication).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct WindowProperty {
     /// Antecedent atoms (conjoined). Empty means `true`.
     pub antecedent: Vec<BitAtom>,

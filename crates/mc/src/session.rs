@@ -1,0 +1,319 @@
+//! Persistent, batched verification sessions.
+//!
+//! The refinement loop checks hundreds of candidate assertions against
+//! the *same* blasted design every iteration. A [`CheckSession`] owns
+//! the two unrollings those checks need — one reset-rooted (BMC and
+//! induction base cases) and one free-init (induction steps) — and
+//! poses every property as an activation-literal query against them, so
+//! the per-iteration cost drops from O(candidates × unroll) to one
+//! shared unrolling per session. The solver's learnt clauses carry over
+//! between queries, and [`SessionStats`] exposes where the time went.
+
+use crate::blast::Blasted;
+use crate::bmc::Unroller;
+use crate::prop::{CheckResult, WindowProperty};
+use gm_rtl::Module;
+use gm_sat::{SolveResult, SolverStats};
+use std::sync::Arc;
+
+/// Counters describing the work a verification session has done.
+///
+/// Cumulative; subtract snapshots (the [`std::ops::Sub`] impl
+/// saturates) to attribute work to one batch or one engine iteration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Individual SAT solver calls (one per BMC window start / induction
+    /// step); a single property decision may cost several.
+    pub sat_queries: u64,
+    /// Property checks decided by the SAT engines (BMC / k-induction).
+    pub sat_decided: u64,
+    /// Property checks decided by explicit-state reachability.
+    pub explicit_queries: u64,
+    /// Property results served from the checker's memo without any
+    /// engine work.
+    pub memo_hits: u64,
+    /// Aggregated solver work across all SAT queries.
+    pub solver: SolverStats,
+    /// Time frames newly encoded into an unrolling.
+    pub frames_encoded: u64,
+    /// Frames a query needed that were already encoded — the re-blasting
+    /// the session avoided.
+    pub frames_reused: u64,
+    /// Unrollers constructed (at most one reset-rooted plus one
+    /// free-init per session).
+    pub unrollers_built: u64,
+}
+
+impl std::ops::Sub for SessionStats {
+    type Output = SessionStats;
+
+    fn sub(self, rhs: SessionStats) -> SessionStats {
+        SessionStats {
+            sat_queries: self.sat_queries.saturating_sub(rhs.sat_queries),
+            sat_decided: self.sat_decided.saturating_sub(rhs.sat_decided),
+            explicit_queries: self.explicit_queries.saturating_sub(rhs.explicit_queries),
+            memo_hits: self.memo_hits.saturating_sub(rhs.memo_hits),
+            solver: self.solver - rhs.solver,
+            frames_encoded: self.frames_encoded.saturating_sub(rhs.frames_encoded),
+            frames_reused: self.frames_reused.saturating_sub(rhs.frames_reused),
+            unrollers_built: self.unrollers_built.saturating_sub(rhs.unrollers_built),
+        }
+    }
+}
+
+impl std::ops::Add for SessionStats {
+    type Output = SessionStats;
+
+    fn add(self, rhs: SessionStats) -> SessionStats {
+        SessionStats {
+            sat_queries: self.sat_queries + rhs.sat_queries,
+            sat_decided: self.sat_decided + rhs.sat_decided,
+            explicit_queries: self.explicit_queries + rhs.explicit_queries,
+            memo_hits: self.memo_hits + rhs.memo_hits,
+            solver: self.solver + rhs.solver,
+            frames_encoded: self.frames_encoded + rhs.frames_encoded,
+            frames_reused: self.frames_reused + rhs.frames_reused,
+            unrollers_built: self.unrollers_built + rhs.unrollers_built,
+        }
+    }
+}
+
+impl std::ops::AddAssign for SessionStats {
+    fn add_assign(&mut self, rhs: SessionStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl SessionStats {
+    /// Total property decisions made by an engine (memo hits excluded),
+    /// in comparable units: one per property, whether it was decided by
+    /// explicit-state reachability or by the SAT engines.
+    pub fn engine_queries(&self) -> u64 {
+        self.sat_decided + self.explicit_queries
+    }
+}
+
+/// A persistent SAT-engine session over one blasted design.
+///
+/// Owns at most one reset-rooted [`Unroller`] (shared by BMC and every
+/// k-induction base case) and one free-init unroller (shared by every
+/// induction step), both built lazily on first use and reused for the
+/// session's lifetime. All queries go through
+/// [`gm_sat::Solver::solve_with_assumptions`], so the clause database
+/// only ever grows with gate definitions and learnt clauses — no query
+/// can contaminate a later one.
+#[derive(Debug)]
+pub struct CheckSession {
+    blasted: Arc<Blasted>,
+    base: Option<Unroller>,
+    step: Option<Unroller>,
+    stats: SessionStats,
+}
+
+impl CheckSession {
+    /// Creates an empty session over a shared blasted design.
+    pub fn new(blasted: Arc<Blasted>) -> Self {
+        CheckSession {
+            blasted,
+            base: None,
+            step: None,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The design this session unrolls.
+    pub fn blasted(&self) -> &Blasted {
+        &self.blasted
+    }
+
+    /// Cumulative statistics for the session.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    pub(crate) fn note_memo_hit(&mut self) {
+        self.stats.memo_hits += 1;
+    }
+
+    pub(crate) fn note_explicit_query(&mut self) {
+        self.stats.explicit_queries += 1;
+    }
+
+    pub(crate) fn note_sat_decision(&mut self) {
+        self.stats.sat_decided += 1;
+    }
+
+    /// Lazily builds one of the two unrollers, counting construction.
+    fn unroller<'s>(
+        slot: &'s mut Option<Unroller>,
+        blasted: &Arc<Blasted>,
+        free_init: bool,
+        stats: &mut SessionStats,
+    ) -> &'s mut Unroller {
+        if slot.is_none() {
+            *slot = Some(Unroller::new(blasted.clone(), free_init));
+            stats.unrollers_built += 1;
+        }
+        slot.as_mut().expect("unroller just ensured")
+    }
+
+    /// Extends `unroller` to cover frames `0..=last`, attributing newly
+    /// encoded frames vs reused ones to the session stats.
+    fn extend_frames(unroller: &mut Unroller, last: usize, stats: &mut SessionStats) {
+        let have = unroller.frame_count();
+        let need = last + 1;
+        unroller.ensure_frame(last);
+        stats.frames_reused += need.min(have) as u64;
+        stats.frames_encoded += need.saturating_sub(have) as u64;
+    }
+
+    /// One assumption-based query, folding the solver's per-call cost
+    /// into the session stats.
+    fn solve(
+        unroller: &mut Unroller,
+        assumptions: &[gm_sat::Lit],
+        stats: &mut SessionStats,
+    ) -> SolveResult {
+        stats.sat_queries += 1;
+        let res = unroller.solver().solve_with_assumptions(assumptions);
+        stats.solver += unroller.solver().last_call_stats();
+        res
+    }
+
+    /// Asks the reset-rooted unrolling whether the window starting at
+    /// `start` can violate `prop`; returns the trace if so.
+    fn base_violation(
+        &mut self,
+        module: &Module,
+        prop: &WindowProperty,
+        start: usize,
+    ) -> Option<crate::prop::CexTrace> {
+        let depth = prop.depth() as usize;
+        let base = Self::unroller(&mut self.base, &self.blasted, false, &mut self.stats);
+        Self::extend_frames(base, start + depth, &mut self.stats);
+        let v = base.violation_lit(start, prop);
+        if Self::solve(base, &[v], &mut self.stats) == SolveResult::Sat {
+            Some(base.extract_cex(module, start + depth))
+        } else {
+            None
+        }
+    }
+
+    /// Bounded model checking against the shared reset-rooted unrolling:
+    /// window starts range over `0..=max_start`.
+    ///
+    /// Same verdict as the one-shot [`crate::bmc`], but frames, gate
+    /// encodings and learnt clauses persist for the next property.
+    pub fn bmc(&mut self, module: &Module, prop: &WindowProperty, max_start: u32) -> CheckResult {
+        for start in 0..=max_start as usize {
+            if let Some(cex) = self.base_violation(module, prop, start) {
+                return CheckResult::Violated(cex);
+            }
+        }
+        CheckResult::Unknown { bound: max_start }
+    }
+
+    /// k-induction against the shared unrollings: base cases on the
+    /// reset-rooted one, step cases on the free-init one.
+    ///
+    /// Same verdict as the one-shot [`crate::k_induction`].
+    pub fn k_induction(
+        &mut self,
+        module: &Module,
+        prop: &WindowProperty,
+        max_k: u32,
+    ) -> CheckResult {
+        let depth = prop.depth() as usize;
+        for k in 0..=max_k as usize {
+            // Base: violation in the window starting at k from reset?
+            if let Some(cex) = self.base_violation(module, prop, k) {
+                return CheckResult::Violated(cex);
+            }
+            // Step: from a free state, k windows hold but window k fails?
+            let step = Self::unroller(&mut self.step, &self.blasted, true, &mut self.stats);
+            Self::extend_frames(step, k + depth, &mut self.stats);
+            let mut assumptions = Vec::with_capacity(k + 1);
+            for j in 0..k {
+                assumptions.push(step.holds_lit(j, prop));
+            }
+            assumptions.push(step.violation_lit(k, prop));
+            if Self::solve(step, &assumptions, &mut self.stats) == SolveResult::Unsat {
+                return CheckResult::Proved;
+            }
+        }
+        CheckResult::Unknown { bound: max_k }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blast::blast;
+    use crate::bmc::{bmc, k_induction};
+    use crate::prop::BitAtom;
+    use gm_rtl::{elaborate, parse_verilog};
+
+    const DFF: &str = "
+    module dff(input clk, input rst, input d, output reg q);
+      always @(posedge clk)
+        if (rst) q <= 0;
+        else q <= d;
+    endmodule";
+
+    fn setup(src: &str) -> (gm_rtl::Module, Arc<Blasted>) {
+        let m = parse_verilog(src).unwrap();
+        let e = elaborate(&m).unwrap();
+        let b = blast(&m, &e).unwrap();
+        (m, Arc::new(b))
+    }
+
+    #[test]
+    fn session_agrees_with_one_shot_engines_and_reuses_frames() {
+        let (m, b) = setup(DFF);
+        let d = m.require("d").unwrap();
+        let q = m.require("q").unwrap();
+        let proved = WindowProperty {
+            antecedent: vec![BitAtom::new(d, 0, 0, true)],
+            consequent: BitAtom::new(q, 0, 1, true),
+        };
+        let violated = WindowProperty {
+            antecedent: vec![BitAtom::new(d, 0, 0, true)],
+            consequent: BitAtom::new(q, 0, 1, false),
+        };
+        let mut session = CheckSession::new(b.clone());
+        for prop in [&proved, &violated] {
+            assert_eq!(
+                session.k_induction(&m, prop, 4),
+                k_induction(&m, &b, prop, 4)
+            );
+            assert_eq!(session.bmc(&m, prop, 4), bmc(&m, &b, prop, 4));
+        }
+        let stats = session.stats();
+        assert!(stats.sat_queries > 0);
+        assert_eq!(stats.unrollers_built, 2, "one base + one step unroller");
+        assert!(
+            stats.frames_reused > stats.frames_encoded,
+            "the second property should ride the first one's unrolling: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn repeated_query_encodes_no_new_frames() {
+        let (m, b) = setup(DFF);
+        let d = m.require("d").unwrap();
+        let q = m.require("q").unwrap();
+        let prop = WindowProperty {
+            antecedent: vec![BitAtom::new(d, 0, 0, true)],
+            consequent: BitAtom::new(q, 0, 1, true),
+        };
+        let mut session = CheckSession::new(b);
+        let first = session.k_induction(&m, &prop, 4);
+        let after_first = session.stats();
+        let second = session.k_induction(&m, &prop, 4);
+        let delta = session.stats() - after_first;
+        assert_eq!(first, second);
+        assert_eq!(delta.frames_encoded, 0, "everything already unrolled");
+        assert_eq!(delta.unrollers_built, 0);
+        assert!(delta.frames_reused > 0);
+    }
+}

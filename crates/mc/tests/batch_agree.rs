@@ -1,0 +1,216 @@
+//! Cross-validation of batched vs sequential checking.
+//!
+//! `Checker::check_batch` must agree with per-property `check` on every
+//! catalog design, for every backend, while the memo makes repeated
+//! batches free. The properties are generated deterministically per
+//! design (a fixed LCG), mixing proved, violated and unknown verdicts.
+
+use gm_mc::{Backend, CexTrace, CheckResult, Checker, ExplicitLimits, WindowProperty};
+use gm_mc::{BitAtom, McError};
+use gm_rtl::{Bv, Module, SignalId};
+use gm_sim::{NopObserver, Simulator};
+
+/// A tiny deterministic generator (so the suite needs no RNG dep).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn random_atom(rng: &mut Lcg, module: &Module, pool: &[SignalId], max_offset: u64) -> BitAtom {
+    let sig = pool[rng.below(pool.len() as u64) as usize];
+    let bit = rng.below(u64::from(module.signal_width(sig))) as u32;
+    let offset = rng.below(max_offset + 1) as u32;
+    BitAtom::new(sig, bit, offset, rng.below(2) == 1)
+}
+
+/// Deterministic property mix for one design: antecedents over inputs
+/// and outputs at offsets 0..=1, consequents over outputs at 1..=2.
+fn properties_for(module: &Module, count: usize) -> Vec<WindowProperty> {
+    let inputs = module.data_inputs();
+    let outputs = module.outputs();
+    let mut pool = inputs;
+    pool.extend(outputs.iter().copied());
+    let mut rng = Lcg(0x5EED_0000 + module.name().len() as u64);
+    (0..count)
+        .map(|_| {
+            let n_ant = rng.below(3) as usize;
+            let antecedent = (0..n_ant)
+                .map(|_| random_atom(&mut rng, module, &pool, 1))
+                .collect();
+            let out = outputs[rng.below(outputs.len() as u64) as usize];
+            let bit = rng.below(u64::from(module.signal_width(out))) as u32;
+            let offset = 1 + rng.below(2) as u32;
+            WindowProperty {
+                antecedent,
+                consequent: BitAtom::new(out, bit, offset, rng.below(2) == 1),
+            }
+        })
+        .collect()
+}
+
+const BACKENDS: [Backend; 4] = [
+    Backend::Auto,
+    Backend::Explicit,
+    Backend::Bmc { bound: 4 },
+    Backend::KInduction { max_k: 3 },
+];
+
+fn backend_name(b: Backend) -> &'static str {
+    match b {
+        Backend::Auto => "auto",
+        Backend::Explicit => "explicit",
+        Backend::Bmc { .. } => "bmc",
+        Backend::KInduction { .. } => "k-induction",
+    }
+}
+
+/// A checker with explicit limits and SAT fallback bounds small enough
+/// for the big catalog designs: b17/b18-style blocks technically fit
+/// the default explicit budgets but take minutes to enumerate, so the
+/// sweep forces them onto the bounded SAT session instead (the defaults
+/// target refinement runs, not a 12-design sweep).
+fn checker(module: &Module, backend: Backend) -> Checker<'_> {
+    let limits = ExplicitLimits {
+        max_state_bits: 10,
+        max_input_bits: 8,
+        max_states: 4096,
+        ..ExplicitLimits::default()
+    };
+    Checker::new(module)
+        .unwrap()
+        .with_backend(backend)
+        .with_limits(limits)
+        .with_bmc_bound(4)
+        .with_kind_depth(3)
+}
+
+/// Replays a counterexample from reset and confirms the violation.
+fn cex_violates(module: &Module, prop: &WindowProperty, cex: &CexTrace) -> bool {
+    let mut sim = Simulator::new(module).unwrap();
+    if let Some(rst) = module.reset() {
+        sim.set_input(rst, Bv::one_bit());
+        sim.step();
+        sim.set_input(rst, Bv::zero_bit());
+    }
+    let trace = sim.run_vectors(&cex.inputs, &mut NopObserver);
+    let depth = prop.depth() as usize;
+    if trace.len() < depth + 1 {
+        return false;
+    }
+    let base = trace.len() - 1 - depth;
+    let atom_holds = |a: &BitAtom| trace.bit(base + a.offset as usize, a.signal, a.bit) == a.value;
+    prop.antecedent.iter().all(atom_holds) && !atom_holds(&prop.consequent)
+}
+
+#[test]
+fn check_batch_agrees_with_sequential_check_on_all_catalog_designs() {
+    for design in gm_designs::catalog() {
+        let module = design.module();
+        let elab = gm_rtl::elaborate(&module).unwrap();
+        let blasted = gm_mc::blast(&module, &elab).unwrap();
+        let props = properties_for(&module, 5);
+        for backend in BACKENDS {
+            // Independent sequential reference: the one-shot engines for
+            // the SAT backends (private unrolling per property, no
+            // session code involved), a fresh checker per property for
+            // Auto/Explicit (fresh session each, so nothing persists
+            // across properties). A reference that merely looped the
+            // batch checker's own `check` would be tautological.
+            let sequential: Result<Vec<CheckResult>, McError> = props
+                .iter()
+                .map(|p| match backend {
+                    Backend::Bmc { bound } => Ok(gm_mc::bmc(&module, &blasted, p, bound)),
+                    Backend::KInduction { max_k } => {
+                        Ok(gm_mc::k_induction(&module, &blasted, p, max_k))
+                    }
+                    Backend::Auto | Backend::Explicit => checker(&module, backend).check(p),
+                })
+                .collect();
+            let sequential = match sequential {
+                Ok(r) => r,
+                Err(_) => {
+                    // Forced explicit on a design/window over its limits:
+                    // nothing to cross-validate for this backend.
+                    assert!(
+                        matches!(backend, Backend::Explicit),
+                        "only the forced explicit backend may refuse {}",
+                        design.name
+                    );
+                    continue;
+                }
+            };
+            let mut batch = checker(&module, backend);
+            let batched = batch.check_batch(&props).unwrap();
+            // Verdicts must agree; concrete counterexample traces may
+            // differ between solver states, so each is validated by
+            // replay instead of compared bit-for-bit.
+            for (i, (s, b)) in sequential.iter().zip(&batched).enumerate() {
+                let ctx = |side: &str| {
+                    format!(
+                        "{} with {} on {}, property {i}",
+                        side,
+                        backend_name(backend),
+                        design.name
+                    )
+                };
+                match (s, b) {
+                    (CheckResult::Proved, CheckResult::Proved) => {}
+                    (CheckResult::Unknown { bound: sb }, CheckResult::Unknown { bound: bb }) => {
+                        assert_eq!(sb, bb, "{}", ctx("bounds"));
+                    }
+                    (CheckResult::Violated(sc), CheckResult::Violated(bc)) => {
+                        assert!(
+                            cex_violates(&module, &props[i], sc),
+                            "{}",
+                            ctx("sequential cex")
+                        );
+                        assert!(
+                            cex_violates(&module, &props[i], bc),
+                            "{}",
+                            ctx("batched cex")
+                        );
+                    }
+                    (s, b) => panic!("verdicts disagree ({}): {s:?} vs {b:?}", ctx("")),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_batches_are_deterministic_and_fully_memoized() {
+    for design in gm_designs::catalog() {
+        let module = design.module();
+        let props = properties_for(&module, 5);
+        let mut c = checker(&module, Backend::Auto);
+        let first = c.check_batch(&props).unwrap();
+        let hits_after_first = c.session_stats().memo_hits;
+        let queries_after_first = c.session_stats().engine_queries();
+        let second = c.check_batch(&props).unwrap();
+        assert_eq!(first, second, "nondeterministic batch on {}", design.name);
+        let stats = c.session_stats();
+        assert_eq!(
+            stats.memo_hits - hits_after_first,
+            props.len() as u64,
+            "second batch not fully memoized on {}",
+            design.name
+        );
+        assert_eq!(
+            stats.engine_queries(),
+            queries_after_first,
+            "second batch did engine work on {}",
+            design.name
+        );
+    }
+}

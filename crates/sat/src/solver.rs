@@ -31,6 +31,11 @@ struct Clause {
 }
 
 /// Solver statistics.
+///
+/// Cumulative over the solver's lifetime; subtract two snapshots (the
+/// [`std::ops::Sub`] impl saturates) to get the cost of the calls in
+/// between, or read [`Solver::last_call_stats`] for the most recent
+/// solve alone.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolverStats {
     /// Conflicts encountered.
@@ -43,6 +48,40 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Clauses learnt.
     pub learnt: u64,
+}
+
+impl std::ops::Sub for SolverStats {
+    type Output = SolverStats;
+
+    fn sub(self, rhs: SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts.saturating_sub(rhs.conflicts),
+            decisions: self.decisions.saturating_sub(rhs.decisions),
+            propagations: self.propagations.saturating_sub(rhs.propagations),
+            restarts: self.restarts.saturating_sub(rhs.restarts),
+            learnt: self.learnt.saturating_sub(rhs.learnt),
+        }
+    }
+}
+
+impl std::ops::Add for SolverStats {
+    type Output = SolverStats;
+
+    fn add(self, rhs: SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts + rhs.conflicts,
+            decisions: self.decisions + rhs.decisions,
+            propagations: self.propagations + rhs.propagations,
+            restarts: self.restarts + rhs.restarts,
+            learnt: self.learnt + rhs.learnt,
+        }
+    }
+}
+
+impl std::ops::AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        *self = *self + rhs;
+    }
 }
 
 /// A CDCL SAT solver.
@@ -80,6 +119,7 @@ pub struct Solver {
     seen: Vec<bool>,
     unsat: bool,
     stats: SolverStats,
+    last_call: SolverStats,
 }
 
 const VAR_DECAY: f64 = 1.0 / 0.95;
@@ -111,6 +151,7 @@ impl Solver {
             seen: Vec::new(),
             unsat: false,
             stats: SolverStats::default(),
+            last_call: SolverStats::default(),
         }
     }
 
@@ -139,9 +180,16 @@ impl Solver {
         self.clauses.len()
     }
 
-    /// Solver statistics so far.
+    /// Solver statistics so far (cumulative over the solver's lifetime).
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// The stats delta of the most recent [`Solver::solve`] /
+    /// [`Solver::solve_with_assumptions`] call alone — the per-query
+    /// cost an incremental caller wants to attribute to one property.
+    pub fn last_call_stats(&self) -> SolverStats {
+        self.last_call
     }
 
     #[inline]
@@ -441,8 +489,17 @@ impl Solver {
     /// Solves under `assumptions` (literals forced true for this call).
     ///
     /// `Unsat` means the clauses are unsatisfiable *together with* the
-    /// assumptions; the clause database remains usable afterwards.
+    /// assumptions; the clause database — including every clause learnt
+    /// during this call — remains usable afterwards, which is what makes
+    /// back-to-back property queries against one unrolling cheap.
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let before = self.stats;
+        let res = self.solve_inner(assumptions);
+        self.last_call = self.stats - before;
+        res
+    }
+
+    fn solve_inner(&mut self, assumptions: &[Lit]) -> SolveResult {
         if self.unsat {
             return SolveResult::Unsat;
         }
@@ -668,6 +725,27 @@ mod tests {
             };
             assert_eq!(s.solve(), expect, "after forbidding {} vars", i + 1);
         }
+    }
+
+    #[test]
+    fn last_call_stats_are_per_call_deltas() {
+        let mut s = Solver::new();
+        let mut v = Vec::new();
+        // A small UNSAT core reachable only through conflicts.
+        add(&mut s, &mut v, &[1, 2]);
+        add(&mut s, &mut v, &[1, -2]);
+        add(&mut s, &mut v, &[-1, 2]);
+        add(&mut s, &mut v, &[-1, -2]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let first = s.last_call_stats();
+        assert_eq!(first, s.stats());
+        assert!(first.conflicts > 0 || first.propagations > 0);
+        // A second (immediately unsat) call costs nothing extra, and the
+        // delta reflects only that call.
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let second = s.last_call_stats();
+        assert_eq!(second, SolverStats::default());
+        assert_eq!(s.stats(), first + second);
     }
 
     #[test]

@@ -19,10 +19,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let outcome = Engine::new(&module, config)?.run()?;
 
+    let verif = outcome.verification_total();
     println!("design      : {}", module.name());
     println!("converged   : {}", outcome.converged);
     println!("iterations  : {}", outcome.iteration_count());
     println!("suite cycles: {}", outcome.suite.total_cycles());
+    println!(
+        "verification: {} queries ({} explicit, {} SAT), {} memo hits",
+        verif.engine_queries(),
+        verif.explicit_queries,
+        verif.sat_decided,
+        verif.memo_hits
+    );
     println!();
     println!("proved assertions (LTL):");
     for a in &outcome.assertions {
