@@ -158,6 +158,77 @@ fn bench_batched_checking(c: &mut Criterion) {
     });
 }
 
+/// Shard-scaling kernel: the same deduped worklist on the largest
+/// catalog design, dispatched through 1 / 2 / 4 / 8 shard sessions.
+/// On a single-core host the sharded numbers mostly price the scoped
+/// thread pool; on multi-core CI they show the scaling headroom of
+/// `Engine::iteration_pass`'s dispatch.
+fn bench_shard_scaling(c: &mut Criterion) {
+    let module = gm_designs::b18_lite();
+    let go = module.require("go").unwrap();
+    let done = module.require("done").unwrap();
+    let fault = module.require("fault").unwrap();
+    let bus = module.require("bus").unwrap();
+    let props: Vec<WindowProperty> = (0..16u32)
+        .map(|i| WindowProperty {
+            antecedent: vec![
+                BitAtom::new(go, 0, 0, i % 2 == 0),
+                BitAtom::new(done, 0, 0, i % 3 == 0),
+            ],
+            consequent: if i % 4 < 2 {
+                BitAtom::new(fault, 0, 1, i % 5 == 0)
+            } else {
+                BitAtom::new(bus, i % 2, 1, i % 5 == 0)
+            },
+        })
+        .collect();
+    let backend = gm_mc::Backend::KInduction { max_k: 2 };
+    for shards in [1usize, 2, 4, 8] {
+        c.bench_function(&format!("mc/b18_lite_sharded_batch_{shards}"), |b| {
+            b.iter_batched(
+                || Checker::new(&module).unwrap().with_backend(backend),
+                |mut ch| ch.check_batch_sharded(&props, shards).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+/// Campaign kernel: the whole small-design catalog closed concurrently
+/// vs one design at a time.
+fn bench_campaign(c: &mut Criterion) {
+    let names = ["cex_small", "arbiter2", "b01", "b02", "b09"];
+    let jobs: Vec<_> = names
+        .iter()
+        .map(|n| {
+            let d = gm_designs::by_name(n).unwrap();
+            let module = d.module();
+            let config = EngineConfig {
+                window: d.window,
+                record_coverage: false,
+                ..EngineConfig::default()
+            };
+            (n.to_string(), module, config)
+        })
+        .collect();
+    for workers in [1usize, 4] {
+        c.bench_function(
+            &format!("engine/campaign_5_designs_{workers}_workers"),
+            |b| {
+                b.iter(|| {
+                    let mut campaign = goldmine::Campaign::new().with_workers(workers);
+                    for (n, m, cfg) in &jobs {
+                        campaign.push(n.clone(), m.clone(), cfg.clone());
+                    }
+                    let summary = campaign.run();
+                    assert!(summary.all_ok());
+                    summary.converged_count()
+                });
+            },
+        );
+    }
+}
+
 fn bench_mining(c: &mut Criterion) {
     let module = gm_designs::arbiter4();
     let elab = elaborate(&module).unwrap();
@@ -279,6 +350,8 @@ criterion_group!(
         bench_sat,
         bench_model_checking,
         bench_batched_checking,
+        bench_shard_scaling,
+        bench_campaign,
         bench_mining,
         bench_full_loop,
         bench_ablation_incremental,

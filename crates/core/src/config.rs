@@ -32,6 +32,43 @@ pub enum UnknownPolicy {
     LeaveOpen,
 }
 
+/// How the engine splits each iteration's verification worklist across
+/// concurrent sessions.
+///
+/// Sharding never changes results: the engine's determinism contract
+/// (see [`crate::Engine`]) guarantees a bit-identical
+/// [`crate::ClosureOutcome`] — suite labels, iteration reports,
+/// assertion order, counterexample traces — for every policy; only the
+/// [`gm_mc::SessionStats`] work counters reflect how the work was
+/// distributed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// One persistent session, dispatched on the engine thread (PR 2
+    /// behavior). The default.
+    #[default]
+    Off,
+    /// A fixed number of shard sessions (clamped to at least 1).
+    Fixed(usize),
+    /// One shard session per available core
+    /// ([`std::thread::available_parallelism`]).
+    PerCore,
+}
+
+impl ShardPolicy {
+    /// The number of shard sessions this policy resolves to on the
+    /// current host. `Off` resolves to 1 (but dispatches without the
+    /// worker pool).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            ShardPolicy::Off => 1,
+            ShardPolicy::Fixed(n) => (*n).max(1),
+            ShardPolicy::PerCore => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        }
+    }
+}
+
 /// Which output bits to mine.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum TargetSelection {
@@ -68,6 +105,16 @@ pub struct EngineConfig {
     /// When `false`, candidates are checked one at a time and each
     /// counterexample feeds back immediately.
     pub batched: bool,
+    /// How the deduped per-iteration worklist is split across concurrent
+    /// verification sessions (requires `batched`; ignored otherwise).
+    /// Results are identical for every policy — see [`ShardPolicy`].
+    pub shards: ShardPolicy,
+    /// Race the explicit and SAT backends per property and take the
+    /// first conclusive answer. Applies to every `Auto`-backend decision
+    /// the engine dispatches — sharded, batched, and unbatched alike —
+    /// whenever the design's reachable set is available; see
+    /// [`gm_mc::Checker::with_racing`] for the determinism contract.
+    pub racing: bool,
     /// Record per-iteration coverage of the accumulated suite (costs one
     /// suite re-simulation per iteration).
     pub record_coverage: bool,
@@ -84,6 +131,8 @@ impl Default for EngineConfig {
             unknown: UnknownPolicy::AssumeTrue,
             targets: TargetSelection::AllOutputs,
             batched: true,
+            shards: ShardPolicy::Off,
+            racing: false,
             record_coverage: true,
         }
     }

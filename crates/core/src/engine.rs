@@ -23,8 +23,36 @@
 //! Each [`IterationReport`] carries the verification session's stats
 //! delta ([`gm_mc::SessionStats`]): queries by engine, memo hits,
 //! solver conflicts/propagations, and unrolling frames reused.
+//!
+//! ## Sharded verification and the determinism contract
+//!
+//! The batched verification step is embarrassingly parallel across the
+//! deduped worklist, and [`crate::ShardPolicy`] splits it across a pool
+//! of persistent shard sessions (one scoped worker thread each, all
+//! over the same bit-blasted design — blasting happens once per run).
+//! The shard lifecycle: sessions are created lazily on the first
+//! sharded batch, move into their workers for each iteration's
+//! dispatch, and return — with their unrollings and learnt clauses —
+//! when the workers join, so shard k sees the same incremental-session
+//! benefits across iterations that the single session does.
+//!
+//! **Determinism contract:** the [`ClosureOutcome`] — suite segment
+//! labels and vectors, iteration reports, assertion order, per-target
+//! summaries — is bit-identical for every shard policy and across
+//! repeated runs with the same seed and config. This is engineered, not
+//! hoped for: verdicts are solver-state-independent, counterexample
+//! traces are canonically re-extracted by `gm_mc` (never taken from a
+//! shard-history-dependent solver model), the worklist partition is a
+//! deterministic round-robin, and shard results are merged back in
+//! worklist order before any tree is touched. The only fields that may
+//! differ between shard policies are the [`gm_mc::SessionStats`] work
+//! counters inside [`IterationReport::verification`] (frame/solver work
+//! moves between sessions); those stay deterministic for a fixed policy
+//! — except under `racing`, where the explicit-vs-SAT attribution
+//! counters record whichever engine actually won each race and so may
+//! vary between runs (the outcome artifacts still never do).
 
-use crate::config::{EngineConfig, SeedStimulus, TargetSelection, UnknownPolicy};
+use crate::config::{EngineConfig, SeedStimulus, ShardPolicy, TargetSelection, UnknownPolicy};
 use crate::error::EngineError;
 use crate::report::{ClosureOutcome, IterationReport, TargetSummary};
 use gm_coverage::CoverageSuite;
@@ -87,7 +115,7 @@ struct TargetState {
 pub struct Engine<'m> {
     module: &'m Module,
     config: EngineConfig,
-    checker: Checker<'m>,
+    checker: Checker,
     targets: Vec<TargetState>,
     suite: TestSuite,
     unknown_assumed: usize,
@@ -117,7 +145,9 @@ impl<'m> Engine<'m> {
     /// Propagates elaboration and blasting failures.
     pub fn new(module: &'m Module, config: EngineConfig) -> Result<Self, EngineError> {
         let elab = elaborate(module)?;
-        let checker = Checker::from_elab(module, &elab)?.with_backend(config.backend);
+        let checker = Checker::from_elab(module, &elab)?
+            .with_backend(config.backend)
+            .with_racing(config.racing);
         let target_bits: Vec<(SignalId, u32)> = match &config.targets {
             TargetSelection::AllOutputs => module
                 .outputs()
@@ -292,8 +322,15 @@ impl<'m> Engine<'m> {
             });
             prop_leaves[idx].push((ti, leaf));
         }
-        // One batched dispatch for the whole iteration.
-        let results = self.checker.check_batch(&unique)?;
+        // One batched dispatch for the whole iteration, split across the
+        // configured shard sessions (identical results either way — see
+        // the module docs' determinism contract).
+        let results = match self.config.shards {
+            ShardPolicy::Off => self.checker.check_batch(&unique)?,
+            policy => self
+                .checker
+                .check_batch_sharded(&unique, policy.shard_count())?,
+        };
         let mut refuted = 0usize;
         let mut pending_traces: Vec<Trace> = Vec::new();
         let mut cex_count = 0usize;

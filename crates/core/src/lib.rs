@@ -31,13 +31,15 @@
 
 #![warn(missing_docs)]
 
+mod campaign;
 mod config;
 mod engine;
 mod error;
 mod mutation;
 mod report;
 
-pub use config::{EngineConfig, SeedStimulus, TargetSelection, UnknownPolicy};
+pub use campaign::{Campaign, CampaignJob, CampaignRun, CampaignSummary};
+pub use config::{EngineConfig, SeedStimulus, ShardPolicy, TargetSelection, UnknownPolicy};
 pub use engine::{assertion_property, Engine};
 pub use error::EngineError;
 pub use mutation::{check_fault, fault_campaign, suite_detects_fault, FaultKind, FaultReport};

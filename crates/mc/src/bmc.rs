@@ -217,9 +217,22 @@ pub fn bmc(
     prop: &WindowProperty,
     max_start: u32,
 ) -> CheckResult {
+    bmc_shared(module, Arc::new(blasted.clone()), prop, max_start)
+}
+
+/// The BMC scan on a shared design handle: the common core of the
+/// one-shot [`bmc`] entry point, canonical counterexample extraction,
+/// and the racing dispatch's SAT side.
+pub(crate) fn bmc_shared(
+    module: &Module,
+    blasted: Arc<Blasted>,
+    prop: &WindowProperty,
+    max_start: u32,
+) -> CheckResult {
     let depth = prop.depth() as usize;
-    let mut unroller = Unroller::from_ref(blasted, false);
-    for start in 0..=max_start as usize {
+    let last_start = last_scan_start(&blasted, max_start);
+    let mut unroller = Unroller::new(blasted, false);
+    for start in 0..=last_start {
         unroller.ensure_frame(start + depth);
         let v = unroller.violation_lit(start, prop);
         if unroller.solver().solve_with_assumptions(&[v]) == SolveResult::Sat {
@@ -228,6 +241,50 @@ pub fn bmc(
         }
     }
     CheckResult::Unknown { bound: max_start }
+}
+
+/// The last window start a BMC scan must try. A latch-free design is
+/// start-invariant — the window at start `s` is an isomorphic formula
+/// for every `s` — so one query at reset decides the whole scan. Shared
+/// by the one-shot scan and [`crate::CheckSession::bmc`], so the
+/// session verdict and the canonical re-extraction can never disagree
+/// about where a violation lives. (Callers still report the *requested*
+/// bound in `Unknown` results.)
+pub(crate) fn last_scan_start(blasted: &Blasted, max_start: u32) -> usize {
+    if blasted.aig.latch_count() == 0 {
+        0
+    } else {
+        max_start as usize
+    }
+}
+
+/// Re-derives the *canonical* counterexample of a property known to be
+/// violated within `limit` window starts.
+///
+/// The trace is extracted from a fresh, private unrolling whose solver
+/// state depends only on `(blasted, prop)` — never on which other
+/// properties a shared session decided before this one. This is the
+/// determinism keystone of the sharded dispatch layer: a session's model
+/// for a violated query varies with its learnt-clause history (and hence
+/// with the shard partition), so [`crate::Checker`] discards the
+/// session's model and re-extracts canonically. The scan stops at the
+/// first violating start, so the work (and the trace) is independent of
+/// `limit` as long as `limit` covers the violation; it matches the trace
+/// the one-shot [`bmc`] / [`k_induction`] engines produce.
+///
+/// Returns `None` when no violation exists within `limit` (the caller
+/// then falls back to whatever deterministic trace it already holds,
+/// e.g. an explicit-state one).
+pub(crate) fn canonical_cex(
+    module: &Module,
+    blasted: &Arc<Blasted>,
+    prop: &WindowProperty,
+    limit: u32,
+) -> Option<CexTrace> {
+    match bmc_shared(module, blasted.clone(), prop, limit) {
+        CheckResult::Violated(cex) => Some(cex),
+        _ => None,
+    }
 }
 
 /// k-induction: tries to prove the property outright.
@@ -243,9 +300,20 @@ pub fn k_induction(
     prop: &WindowProperty,
     max_k: u32,
 ) -> CheckResult {
-    let depth = prop.depth() as usize;
     // Clone the design into one shared handle for every unroller below.
-    let shared = Arc::new(blasted.clone());
+    k_induction_shared(module, Arc::new(blasted.clone()), prop, max_k)
+}
+
+/// [`k_induction`] on an already-shared design handle — used by the
+/// racing dispatch, which fires one-shot SAT engines from worker
+/// threads and must not clone the design per query.
+pub(crate) fn k_induction_shared(
+    module: &Module,
+    shared: Arc<Blasted>,
+    prop: &WindowProperty,
+    max_k: u32,
+) -> CheckResult {
+    let depth = prop.depth() as usize;
     // Base cases, shared incrementally.
     let mut base = Unroller::new(shared.clone(), false);
     for k in 0..=max_k as usize {

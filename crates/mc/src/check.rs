@@ -6,15 +6,31 @@
 //! [`CheckSession`] (shared unrollings, retained learnt clauses) for
 //! the SAT engines, and memoizes every decided property so repeated
 //! candidates across refinement iterations are free. Whole batches go
-//! through [`Checker::check_batch`].
+//! through [`Checker::check_batch`]; multi-core hosts can split a batch
+//! across a pool of persistent shard sessions with
+//! [`Checker::check_batch_sharded`], optionally racing the explicit and
+//! SAT backends per property ([`Checker::with_racing`]).
+//!
+//! ## Determinism contract
+//!
+//! Every code path — single checks, batches, sharded batches with any
+//! shard count — returns the same [`CheckResult`] for the same property
+//! under the same configuration, *including* the counterexample trace:
+//! verdicts are solver-state-independent, and violated SAT verdicts are
+//! re-extracted on a fresh canonical unrolling whose model depends only
+//! on the design and the property (never on session history or shard
+//! partition). Racing keeps the same verdicts and traces; only its
+//! work-attribution stats depend on which engine answered first.
 
 use crate::blast::{blast, Blasted};
+use crate::bmc::{bmc_shared, canonical_cex, k_induction_shared};
 use crate::error::McError;
 use crate::explicit::{explicit_check, ExplicitLimits, ReachableStates};
 use crate::prop::{CheckResult, WindowProperty};
 use crate::session::{CheckSession, SessionStats};
 use gm_rtl::{elaborate, Elab, Module};
 use std::collections::HashMap;
+use std::sync::mpsc;
 use std::sync::Arc;
 
 /// Which engine decides a property.
@@ -38,7 +54,23 @@ pub enum Backend {
     },
 }
 
+/// The engine configuration a worker needs to decide one property:
+/// everything from the [`Checker`] except the sessions and the memo.
+#[derive(Clone, Copy, Debug)]
+struct DecideParams {
+    backend: Backend,
+    limits: ExplicitLimits,
+    bmc_bound: u32,
+    kind_max_k: u32,
+    racing: bool,
+}
+
 /// A reusable model checker for one module.
+///
+/// The checker owns its module (an `Arc` clone of the one it was built
+/// from), so it is `Send` and free of borrow lifetimes — sharded
+/// batches move sessions into worker threads, and racing dispatch hands
+/// `Arc` handles to detached engine threads.
 ///
 /// # Examples
 ///
@@ -58,32 +90,38 @@ pub enum Backend {
 /// };
 /// assert_eq!(checker.check(&prop)?, CheckResult::Proved);
 /// // Batches reuse the same session; repeats hit the memo.
-/// let batch = checker.check_batch(&[prop.clone(), prop])?;
+/// let batch = checker.check_batch(&[prop.clone(), prop.clone()])?;
 /// assert!(batch.iter().all(|r| r.is_proved()));
 /// assert!(checker.session_stats().memo_hits >= 2);
+/// // Sharded batches agree bit-for-bit with the single session.
+/// assert_eq!(checker.check_batch_sharded(&[prop], 4)?, batch[..1]);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
-pub struct Checker<'m> {
-    module: &'m Module,
+pub struct Checker {
+    module: Arc<Module>,
     blasted: Arc<Blasted>,
     backend: Backend,
     limits: ExplicitLimits,
     bmc_bound: u32,
     kind_max_k: u32,
-    reach: Option<ReachableStates>,
+    racing: bool,
+    reach: Option<Arc<ReachableStates>>,
     reach_failed: bool,
     session: CheckSession,
+    /// Persistent per-shard sessions, grown on demand by
+    /// [`Checker::check_batch_sharded`] and reused across batches.
+    shard_sessions: Vec<CheckSession>,
     memo: HashMap<WindowProperty, CheckResult>,
 }
 
-impl<'m> Checker<'m> {
+impl Checker {
     /// Elaborates and bit-blasts `module` with the default backend.
     ///
     /// # Errors
     ///
     /// Propagates elaboration/blasting failures.
-    pub fn new(module: &'m Module) -> Result<Self, McError> {
+    pub fn new(module: &Module) -> Result<Self, McError> {
         let elab = elaborate(module)?;
         Checker::from_elab(module, &elab)
     }
@@ -94,18 +132,20 @@ impl<'m> Checker<'m> {
     /// # Errors
     ///
     /// Propagates blasting failures.
-    pub fn from_elab(module: &'m Module, elab: &Elab) -> Result<Self, McError> {
+    pub fn from_elab(module: &Module, elab: &Elab) -> Result<Self, McError> {
         let blasted = Arc::new(blast(module, elab)?);
         Ok(Checker {
-            module,
+            module: Arc::new(module.clone()),
             session: CheckSession::new(blasted.clone()),
             blasted,
             backend: Backend::Auto,
             limits: ExplicitLimits::default(),
             bmc_bound: 32,
             kind_max_k: 16,
+            racing: false,
             reach: None,
             reach_failed: false,
+            shard_sessions: Vec::new(),
             memo: HashMap::new(),
         })
     }
@@ -142,16 +182,45 @@ impl<'m> Checker<'m> {
         self
     }
 
+    /// Enables racing mode for `Auto`-backend decisions (single checks
+    /// and every shard of a sharded batch alike): the explicit and SAT
+    /// engines of a property run concurrently and the first *conclusive*
+    /// (`Proved` / `Violated`) answer wins; `Unknown` and over-limit
+    /// errors wait for the other engine. Requires the reachable set —
+    /// designs over the explicit limits fall back to the plain SAT
+    /// session path. For a fixed racing setting, results are fully
+    /// deterministic: verdicts never depend on which engine answered
+    /// first, and violated verdicts carry the canonical SAT trace when
+    /// the violation is within the SAT bounds (the deterministic
+    /// explicit trace otherwise). Racing *verdicts* always agree with
+    /// the non-racing checker, but a violated property's trace may be
+    /// the canonical SAT one where plain `Auto` would report the
+    /// explicit one — so this clears the memo, like every other setting
+    /// that can change results. Only the per-engine attribution in
+    /// [`SessionStats`] records the actual race winner.
+    pub fn with_racing(mut self, racing: bool) -> Self {
+        self.racing = racing;
+        self.memo.clear();
+        self
+    }
+
     /// The bit-blasted design.
     pub fn blasted(&self) -> &Blasted {
         &self.blasted
     }
 
-    /// Cumulative statistics of the checker's verification session:
-    /// queries by engine, memo hits, solver conflict/propagation work
-    /// and frame reuse.
+    /// Cumulative statistics across the checker's verification sessions
+    /// (the main session plus every shard session): queries by engine,
+    /// memo hits, solver conflict/propagation work and frame reuse.
     pub fn session_stats(&self) -> SessionStats {
-        self.session.stats()
+        self.shard_sessions
+            .iter()
+            .fold(self.session.stats(), |acc, s| acc + s.stats())
+    }
+
+    /// The number of persistent shard sessions built so far.
+    pub fn shard_session_count(&self) -> usize {
+        self.shard_sessions.len()
     }
 
     /// The number of distinct properties decided and memoized so far.
@@ -168,9 +237,19 @@ impl<'m> Checker<'m> {
     fn ensure_reach(&mut self) {
         if self.reach.is_none() && !self.reach_failed {
             match ReachableStates::explore(&self.blasted, &self.limits) {
-                Ok(r) => self.reach = Some(r),
+                Ok(r) => self.reach = Some(Arc::new(r)),
                 Err(_) => self.reach_failed = true,
             }
+        }
+    }
+
+    fn params(&self) -> DecideParams {
+        DecideParams {
+            backend: self.backend,
+            limits: self.limits,
+            bmc_bound: self.bmc_bound,
+            kind_max_k: self.kind_max_k,
+            racing: self.racing,
         }
     }
 
@@ -188,9 +267,32 @@ impl<'m> Checker<'m> {
             self.session.note_memo_hit();
             return Ok(res.clone());
         }
-        let res = self.check_uncached(prop)?;
+        self.ensure_reach_for_backend();
+        let params = self.params();
+        let mut pending_loser = None;
+        let res = decide_one(
+            &self.module,
+            &self.blasted,
+            self.reach.as_ref(),
+            &params,
+            &mut self.session,
+            &mut pending_loser,
+            prop,
+        );
+        // Single checks have no next race to overlap with: reap the
+        // losing engine before returning.
+        if let Some(h) = pending_loser {
+            let _ = h.join();
+        }
+        let res = res?;
         self.memo.insert(prop.clone(), res.clone());
         Ok(res)
+    }
+
+    fn ensure_reach_for_backend(&mut self) {
+        if matches!(self.backend, Backend::Auto | Backend::Explicit) {
+            self.ensure_reach();
+        }
     }
 
     /// Decides a whole batch of properties against the shared session.
@@ -214,53 +316,419 @@ impl<'m> Checker<'m> {
         Ok(out)
     }
 
-    fn check_uncached(&mut self, prop: &WindowProperty) -> Result<CheckResult, McError> {
-        match self.backend {
-            Backend::Explicit => {
-                self.ensure_reach();
-                match &self.reach {
-                    Some(r) => {
-                        let res =
-                            explicit_check(self.module, &self.blasted, r, prop, &self.limits)?;
-                        self.session.note_explicit_query();
-                        Ok(res)
-                    }
-                    None => Err(McError::StateSpaceExceeded {
-                        limit: self.limits.max_states,
-                    }),
-                }
+    /// Decides a batch across `shards` persistent worker sessions, one
+    /// scoped thread per shard.
+    ///
+    /// The batch is deduped, memo-served, and the remaining unique
+    /// properties are dealt round-robin to the shard sessions (all built
+    /// over the same `Arc<Blasted>` — blasting still happens once per
+    /// checker). Workers decide their shard concurrently; results are
+    /// merged back in worklist order, so the returned vector — verdicts
+    /// *and* counterexample traces — is identical to
+    /// [`Checker::check_batch`] for every shard count, as is the memo
+    /// state left behind. Shard sessions persist across calls, keeping
+    /// their unrollings and learnt clauses like the single session does.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Checker::check_batch`]: the error reported is
+    /// the one the sequential walk would have hit first, and properties
+    /// before it are memoized.
+    pub fn check_batch_sharded(
+        &mut self,
+        props: &[WindowProperty],
+        shards: usize,
+    ) -> Result<Vec<CheckResult>, McError> {
+        let shards = shards.max(1);
+        // Memo pass + dedupe, preserving first-occurrence order. Memo
+        // hits are recorded by position and counted only after the first
+        // error position (if any) is known, so the stats match what the
+        // sequential walk — which stops at the error — would count.
+        let mut out: Vec<Option<CheckResult>> = vec![None; props.len()];
+        let mut memo_hit_positions: Vec<usize> = Vec::new();
+        let mut unique: Vec<&WindowProperty> = Vec::new();
+        let mut index_of: HashMap<&WindowProperty, usize> = HashMap::new();
+        // For each unique property: every batch position it fills.
+        let mut positions: Vec<Vec<usize>> = Vec::new();
+        for (i, prop) in props.iter().enumerate() {
+            if let Some(res) = self.memo.get(prop) {
+                memo_hit_positions.push(i);
+                out[i] = Some(res.clone());
+                continue;
             }
-            Backend::Bmc { bound } => {
-                self.session.note_sat_decision();
-                Ok(self.session.bmc(self.module, prop, bound))
-            }
-            Backend::KInduction { max_k } => {
-                self.session.note_sat_decision();
-                Ok(self.session.k_induction(self.module, prop, max_k))
-            }
-            Backend::Auto => {
-                self.ensure_reach();
-                if let Some(r) = &self.reach {
-                    match explicit_check(self.module, &self.blasted, r, prop, &self.limits) {
-                        Ok(res) => {
-                            self.session.note_explicit_query();
-                            return Ok(res);
-                        }
-                        Err(_) => { /* window too wide: fall through to SAT */ }
-                    }
+            match index_of.get(prop) {
+                Some(&ui) => positions[ui].push(i),
+                None => {
+                    index_of.insert(prop, unique.len());
+                    unique.push(prop);
+                    positions.push(vec![i]);
                 }
-                // SAT path: BMC to refute, k-induction to prove — both on
-                // the session's shared unrollings. One property decision.
-                self.session.note_sat_decision();
-                if let CheckResult::Violated(cex) =
-                    self.session.bmc(self.module, prop, self.bmc_bound)
-                {
-                    return Ok(CheckResult::Violated(cex));
-                }
-                Ok(self.session.k_induction(self.module, prop, self.kind_max_k))
             }
         }
+        // The position the sequential walk would stop at (its first
+        // error), known only after the workers report back.
+        let mut stop_pos = usize::MAX;
+        if !unique.is_empty() {
+            self.ensure_reach_for_backend();
+            while self.shard_sessions.len() < shards {
+                self.shard_sessions
+                    .push(CheckSession::new(self.blasted.clone()));
+            }
+            let params = self.params();
+            let module = self.module.clone();
+            let blasted = self.blasted.clone();
+            let reach = self.reach.clone();
+            // Deal unique properties round-robin onto the shards, move
+            // each *active* shard's session into a scoped worker, and
+            // take the session back when the worker joins. Sessions that
+            // would receive no items — shard indices past the worklist
+            // length, or pool entries beyond `shards` left over from a
+            // wider earlier batch — skip the worker round-trip entirely
+            // (they rejoin the pool after the active ones, a
+            // deterministic order).
+            let active = shards.min(unique.len());
+            let mut idle: Vec<CheckSession> = self.shard_sessions.drain(..).collect();
+            let mut work: Vec<(CheckSession, Vec<(usize, &WindowProperty)>)> =
+                idle.drain(..active).map(|s| (s, Vec::new())).collect();
+            for (ui, &prop) in unique.iter().enumerate() {
+                work[ui % shards].1.push((ui, prop));
+            }
+            let mut decided: Vec<Option<Result<CheckResult, McError>>> = vec![None; unique.len()];
+            let shard_results: Vec<ShardYield> = std::thread::scope(|scope| {
+                let handles: Vec<_> = work
+                    .into_iter()
+                    .map(|(mut session, items)| {
+                        let module = &module;
+                        let blasted = &blasted;
+                        let reach = reach.as_ref();
+                        let params = &params;
+                        scope.spawn(move || {
+                            let mut pending_loser = None;
+                            let results = items
+                                .into_iter()
+                                .map(|(ui, prop)| {
+                                    (
+                                        ui,
+                                        decide_one(
+                                            module,
+                                            blasted,
+                                            reach,
+                                            params,
+                                            &mut session,
+                                            &mut pending_loser,
+                                            prop,
+                                        ),
+                                    )
+                                })
+                                .collect();
+                            // Reap the last race's losing engine before
+                            // handing the session back.
+                            if let Some(h) = pending_loser {
+                                let _ = h.join();
+                            }
+                            (session, results)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            });
+            for (session, items) in shard_results {
+                self.shard_sessions.push(session);
+                for (ui, res) in items {
+                    decided[ui] = Some(res);
+                }
+            }
+            self.shard_sessions.append(&mut idle);
+            if let Some(ei) = decided.iter().position(|r| matches!(r, Some(Err(_)))) {
+                stop_pos = positions[ei][0];
+            }
+            // Merge in worklist order: memoize up to the first error (the
+            // sequential walk would have stopped there), then fail.
+            let mut first_err = None;
+            for (ui, res) in decided.into_iter().enumerate() {
+                match res.expect("every unique property decided") {
+                    Ok(res) => {
+                        self.memo.insert(unique[ui].clone(), res.clone());
+                        for (extra, &i) in positions[ui].iter().enumerate() {
+                            if extra > 0 && i < stop_pos {
+                                // The sequential walk serves in-batch
+                                // duplicates from the memo (up to its
+                                // first error).
+                                self.session.note_memo_hit();
+                            }
+                            out[i] = Some(res.clone());
+                        }
+                    }
+                    Err(e) => {
+                        first_err = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                for &i in &memo_hit_positions {
+                    if i < stop_pos {
+                        self.session.note_memo_hit();
+                    }
+                }
+                return Err(e);
+            }
+        }
+        for &i in &memo_hit_positions {
+            if i < stop_pos {
+                self.session.note_memo_hit();
+            }
+        }
+        Ok(out
+            .into_iter()
+            .map(|r| r.expect("every batch position filled"))
+            .collect())
     }
+}
+
+/// Decides one property against one session — the single source of
+/// truth shared by [`Checker::check`] and every shard worker.
+fn decide_one(
+    module: &Arc<Module>,
+    blasted: &Arc<Blasted>,
+    reach: Option<&Arc<ReachableStates>>,
+    params: &DecideParams,
+    session: &mut CheckSession,
+    pending_loser: &mut Option<LoserHandle>,
+    prop: &WindowProperty,
+) -> Result<CheckResult, McError> {
+    match params.backend {
+        Backend::Explicit => match reach {
+            Some(r) => {
+                let res = explicit_check(module, blasted, r, prop, &params.limits)?;
+                session.note_explicit_query();
+                Ok(res)
+            }
+            None => Err(McError::StateSpaceExceeded {
+                limit: params.limits.max_states,
+            }),
+        },
+        Backend::Bmc { bound } => {
+            session.note_sat_decision();
+            let res = session.bmc(module, prop, bound);
+            Ok(canonicalize(module, blasted, session, prop, bound, res))
+        }
+        Backend::KInduction { max_k } => {
+            session.note_sat_decision();
+            let res = session.k_induction(module, prop, max_k);
+            Ok(canonicalize(module, blasted, session, prop, max_k, res))
+        }
+        Backend::Auto => {
+            if params.racing {
+                if let Some(r) = reach {
+                    let (res, loser) =
+                        decide_racing(module, blasted, r, params, session, pending_loser, prop);
+                    *pending_loser = loser;
+                    return Ok(res);
+                }
+            }
+            if let Some(r) = reach {
+                if let Ok(res) = explicit_check(module, blasted, r, prop, &params.limits) {
+                    session.note_explicit_query();
+                    return Ok(res);
+                }
+                // Window too wide for the explicit walk: fall through to
+                // the SAT engines.
+            }
+            // SAT path: BMC to refute, k-induction to prove — both on
+            // the session's shared unrollings. One property decision.
+            session.note_sat_decision();
+            let limit = params.bmc_bound.max(params.kind_max_k);
+            if let CheckResult::Violated(cex) = session.bmc(module, prop, params.bmc_bound) {
+                let res = CheckResult::Violated(cex);
+                return Ok(canonicalize(module, blasted, session, prop, limit, res));
+            }
+            let res = session.k_induction(module, prop, params.kind_max_k);
+            Ok(canonicalize(module, blasted, session, prop, limit, res))
+        }
+    }
+}
+
+/// Replaces a session-extracted counterexample with the canonical one
+/// (see [`crate::session`]'s determinism contract). Verdicts pass
+/// through untouched.
+fn canonicalize(
+    module: &Module,
+    blasted: &Arc<Blasted>,
+    session: &mut CheckSession,
+    prop: &WindowProperty,
+    limit: u32,
+    res: CheckResult,
+) -> CheckResult {
+    match res {
+        CheckResult::Violated(session_cex) => {
+            session.note_cex_canonicalized();
+            match canonical_cex(module, blasted, prop, limit) {
+                Some(cex) => CheckResult::Violated(cex),
+                // Unreachable for a sound session verdict; keep the
+                // session trace rather than panicking in release.
+                None => CheckResult::Violated(session_cex),
+            }
+        }
+        other => other,
+    }
+}
+
+/// What one shard worker hands back when it joins: its session (with
+/// accumulated stats) and the decided results, tagged by worklist index.
+type ShardYield = (CheckSession, Vec<(usize, Result<CheckResult, McError>)>);
+
+/// One message from a racing engine thread.
+struct RaceAnswer {
+    from_explicit: bool,
+    result: Result<CheckResult, McError>,
+}
+
+impl RaceAnswer {
+    fn conclusive(&self) -> bool {
+        matches!(
+            self.result,
+            Ok(CheckResult::Proved) | Ok(CheckResult::Violated(_))
+        )
+    }
+}
+
+/// A still-running losing engine thread from an earlier race. Each
+/// caller keeps at most one pending loser and joins it before the next
+/// race (and at the end of its batch), so orphan engine threads are
+/// bounded at one per shard worker instead of accumulating.
+type LoserHandle = std::thread::JoinHandle<()>;
+
+/// Races the explicit and SAT engines for one property and takes the
+/// first conclusive answer.
+///
+/// Both engines run on their own threads over `Arc` handles (the SAT
+/// side uses the canonical one-shot engines, so its traces need no
+/// re-extraction). When the winner returns early, the loser's handle is
+/// handed back to the caller, which joins it before starting the next
+/// race; the join happens *after* the next race's threads are spawned,
+/// so a slow loser overlaps with the next property's race instead of
+/// stalling it, and orphan engine threads stay bounded at one per
+/// caller. Determinism:
+/// whenever both engines are conclusive they agree on the verdict
+/// (explicit is exact, the SAT engines are sound), and a violated
+/// verdict always carries the canonical SAT trace when the violation is
+/// within the SAT bounds — otherwise the deterministic explicit trace —
+/// so the *result* never depends on which thread won. The one-shot SAT
+/// side needs no re-extraction: a fresh BMC scan and a fresh
+/// k-induction base case issue the *identical* query sequence to
+/// identical fresh solvers (ensure-frame, violation literal, solve, per
+/// start from 0), so whichever of the two finds the violation, its
+/// model is bit-for-bit the [`canonical_cex`] trace. Only the stats
+/// attribution (explicit vs SAT decision) records the actual winner.
+fn decide_racing(
+    module: &Arc<Module>,
+    blasted: &Arc<Blasted>,
+    reach: &Arc<ReachableStates>,
+    params: &DecideParams,
+    session: &mut CheckSession,
+    previous_loser: &mut Option<LoserHandle>,
+    prop: &WindowProperty,
+) -> (CheckResult, Option<LoserHandle>) {
+    let (tx, rx) = mpsc::channel::<RaceAnswer>();
+    let explicit_handle = {
+        let (module, blasted, reach, prop, limits, tx) = (
+            module.clone(),
+            blasted.clone(),
+            reach.clone(),
+            prop.clone(),
+            params.limits,
+            tx.clone(),
+        );
+        std::thread::spawn(move || {
+            let result = explicit_check(&module, &blasted, &reach, &prop, &limits);
+            let _ = tx.send(RaceAnswer {
+                from_explicit: true,
+                result,
+            });
+        })
+    };
+    let sat_handle = {
+        let (module, blasted, prop) = (module.clone(), blasted.clone(), prop.clone());
+        let (bmc_bound, kind_max_k) = (params.bmc_bound, params.kind_max_k);
+        std::thread::spawn(move || {
+            let result = match bmc_shared(&module, blasted.clone(), &prop, bmc_bound) {
+                CheckResult::Violated(cex) => CheckResult::Violated(cex),
+                _ => k_induction_shared(&module, blasted, &prop, kind_max_k),
+            };
+            let _ = tx.send(RaceAnswer {
+                from_explicit: false,
+                result: Ok(result),
+            });
+        })
+    };
+    // Both engines of this race are now running: reap the previous
+    // property's loser while they work, keeping orphans bounded at one
+    // without serializing behind a slow loser.
+    if let Some(h) = previous_loser.take() {
+        let _ = h.join();
+    }
+    let first = rx.recv().expect("racing engines always answer");
+    // A violated explicit verdict still needs the canonical SAT trace
+    // when the violation is within the SAT bounds, so that case waits
+    // for the SAT engine like the unconclusive path does.
+    let early_win = first.conclusive()
+        && !(first.from_explicit && matches!(first.result, Ok(CheckResult::Violated(_))));
+    let (answer, loser) = if early_win {
+        // Reap the winner's (already finished) thread; hand the loser
+        // back for the caller to join before its next race.
+        let (winner_handle, loser_handle) = if first.from_explicit {
+            (explicit_handle, sat_handle)
+        } else {
+            (sat_handle, explicit_handle)
+        };
+        let _ = winner_handle.join();
+        (first, Some(loser_handle))
+    } else {
+        let held = first;
+        let other = rx.recv().expect("racing engines always answer");
+        let _ = explicit_handle.join();
+        let _ = sat_handle.join();
+        // Prefer a conclusive answer; for violated verdicts prefer the
+        // SAT side's canonical trace (deterministic regardless of
+        // arrival order — the preference depends only on the two
+        // results, and by this point both are in hand).
+        let answer = match (&held.result, &other.result) {
+            (Ok(CheckResult::Violated(_)), Ok(CheckResult::Violated(_))) => {
+                if held.from_explicit {
+                    other
+                } else {
+                    held
+                }
+            }
+            _ => {
+                if other.conclusive() {
+                    other
+                } else if held.conclusive() {
+                    held
+                } else if held.from_explicit {
+                    // Neither conclusive: report the SAT engines'
+                    // bounded-unknown, never the explicit error.
+                    other
+                } else {
+                    held
+                }
+            }
+        };
+        (answer, None)
+    };
+    if answer.from_explicit {
+        session.note_explicit_query();
+    } else {
+        session.note_sat_decision();
+    }
+    (
+        answer.result.unwrap_or(CheckResult::Unknown { bound: 0 }),
+        loser,
+    )
 }
 
 #[cfg(test)]
@@ -392,5 +860,79 @@ mod tests {
             c.session_stats().memo_hits - hits_after_first,
             batch.len() as u64
         );
+    }
+
+    #[test]
+    fn sharded_batch_matches_sequential_including_memo_and_stats() {
+        let m = parse_verilog(ARBITER2).unwrap();
+        let req0 = m.require("req0").unwrap();
+        let gnt0 = m.require("gnt0").unwrap();
+        let spurious = WindowProperty {
+            antecedent: vec![BitAtom::new(req0, 0, 0, false)],
+            consequent: BitAtom::new(gnt0, 0, 1, true),
+        };
+        let a2 = WindowProperty {
+            antecedent: vec![
+                BitAtom::new(req0, 0, 0, false),
+                BitAtom::new(req0, 0, 1, false),
+            ],
+            consequent: BitAtom::new(gnt0, 0, 2, false),
+        };
+        let batch = vec![spurious.clone(), a2.clone(), spurious.clone(), a2];
+        let mut plain = Checker::new(&m).unwrap();
+        let sequential = plain.check_batch(&batch).unwrap();
+        for shards in [1, 2, 3, 8] {
+            let mut sharded = Checker::new(&m).unwrap();
+            let res = sharded.check_batch_sharded(&batch, shards).unwrap();
+            assert_eq!(res, sequential, "{shards} shards diverged");
+            assert_eq!(sharded.memo_len(), plain.memo_len());
+            assert_eq!(
+                sharded.session_stats().memo_hits,
+                plain.session_stats().memo_hits,
+                "{shards} shards count duplicates differently"
+            );
+            assert_eq!(
+                sharded.session_stats().engine_queries(),
+                plain.session_stats().engine_queries(),
+            );
+            assert_eq!(sharded.shard_session_count(), shards);
+            // A repeated sharded batch is fully memo-served.
+            let again = sharded.check_batch_sharded(&batch, shards).unwrap();
+            assert_eq!(again, sequential);
+        }
+    }
+
+    #[test]
+    fn racing_matches_plain_auto_verdicts() {
+        let m = parse_verilog(ARBITER2).unwrap();
+        let req0 = m.require("req0").unwrap();
+        let gnt0 = m.require("gnt0").unwrap();
+        let gnt1 = m.require("gnt1").unwrap();
+        let props = vec![
+            // Violated: !req0@0 |-> gnt0@1 (the paper's A0).
+            WindowProperty {
+                antecedent: vec![BitAtom::new(req0, 0, 0, false)],
+                consequent: BitAtom::new(gnt0, 0, 1, true),
+            },
+            // Proved: mutual exclusion.
+            WindowProperty {
+                antecedent: vec![BitAtom::new(gnt0, 0, 0, true)],
+                consequent: BitAtom::new(gnt1, 0, 0, false),
+            },
+        ];
+        let mut plain = Checker::new(&m).unwrap();
+        let expected = plain.check_batch(&props).unwrap();
+        let mut racing = Checker::new(&m).unwrap().with_racing(true);
+        let got = racing.check_batch_sharded(&props, 2).unwrap();
+        for (e, g) in expected.iter().zip(&got) {
+            match (e, g) {
+                (CheckResult::Proved, CheckResult::Proved) => {}
+                (CheckResult::Violated(_), CheckResult::Violated(_)) => {}
+                other => panic!("racing diverged: {other:?}"),
+            }
+        }
+        // Racing twice returns identical results (determinism contract).
+        let mut again = Checker::new(&m).unwrap().with_racing(true);
+        assert_eq!(got, again.check_batch_sharded(&props, 2).unwrap());
     }
 }

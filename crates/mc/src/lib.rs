@@ -33,7 +33,16 @@
 //!   set once, routes queries to the configured backend through its
 //!   persistent session, memoizes every decided property, and accepts
 //!   whole worklists via [`Checker::check_batch`] — repeated candidates
-//!   across refinement iterations cost a hash lookup.
+//!   across refinement iterations cost a hash lookup;
+//! * [`Checker::check_batch_sharded`] splits a worklist across a pool
+//!   of persistent `Send` shard sessions (one scoped worker thread
+//!   each, all over one `Arc`-shared blasted design) with a
+//!   deterministic merge: results — counterexample traces included —
+//!   are bit-identical to the single-session batch for every shard
+//!   count, because violated verdicts carry *canonical* traces
+//!   re-extracted independently of session history. A racing mode
+//!   ([`Checker::with_racing`]) runs the explicit and SAT engines of a
+//!   property concurrently and takes the first conclusive answer.
 //!
 //! The free [`bmc`] / [`k_induction`] functions remain as one-shot
 //! conveniences (each builds a private unrolling).

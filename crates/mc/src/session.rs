@@ -8,6 +8,31 @@
 //! the per-iteration cost drops from O(candidates × unroll) to one
 //! shared unrolling per session. The solver's learnt clauses carry over
 //! between queries, and [`SessionStats`] exposes where the time went.
+//!
+//! ## Shard lifecycle
+//!
+//! Sessions are plain owned data over an `Arc<Blasted>`, so they are
+//! `Send`: the sharded dispatch layer
+//! ([`crate::Checker::check_batch_sharded`]) keeps a pool of them — one
+//! per shard — moves each into a scoped worker thread for the duration
+//! of a batch, and takes them back (with their unrollings, learnt
+//! clauses and stats) when the workers join. A shard session therefore
+//! persists across engine iterations exactly like the single session
+//! does, and blasting still happens once: every session shares the same
+//! `Arc<Blasted>`.
+//!
+//! ## Determinism contract
+//!
+//! A session's *verdicts* (`Proved` / `Violated` / `Unknown`) depend
+//! only on the design, the property and the query bounds — SAT / UNSAT
+//! answers are independent of learnt-clause history. A session's
+//! *models* (counterexample traces) are not: they vary with the queries
+//! the session decided earlier. The [`crate::Checker`] therefore never
+//! publishes a session model; violated SAT verdicts are re-extracted on
+//! a fresh canonical unrolling (counted in
+//! [`SessionStats::cex_canonicalized`]), which makes every result — and
+//! every downstream closure-outcome artifact — identical regardless of
+//! shard count or batch order.
 
 use crate::blast::Blasted;
 use crate::bmc::Unroller;
@@ -40,8 +65,14 @@ pub struct SessionStats {
     /// the session avoided.
     pub frames_reused: u64,
     /// Unrollers constructed (at most one reset-rooted plus one
-    /// free-init per session).
+    /// free-init per session). Scratch unrollers used for canonical
+    /// counterexample extraction are counted in
+    /// [`SessionStats::cex_canonicalized`] instead.
     pub unrollers_built: u64,
+    /// Violated SAT verdicts whose counterexample was re-extracted on a
+    /// fresh canonical unrolling (the determinism contract: traces must
+    /// not depend on session history or shard partition).
+    pub cex_canonicalized: u64,
 }
 
 impl std::ops::Sub for SessionStats {
@@ -57,6 +88,7 @@ impl std::ops::Sub for SessionStats {
             frames_encoded: self.frames_encoded.saturating_sub(rhs.frames_encoded),
             frames_reused: self.frames_reused.saturating_sub(rhs.frames_reused),
             unrollers_built: self.unrollers_built.saturating_sub(rhs.unrollers_built),
+            cex_canonicalized: self.cex_canonicalized.saturating_sub(rhs.cex_canonicalized),
         }
     }
 }
@@ -74,6 +106,7 @@ impl std::ops::Add for SessionStats {
             frames_encoded: self.frames_encoded + rhs.frames_encoded,
             frames_reused: self.frames_reused + rhs.frames_reused,
             unrollers_built: self.unrollers_built + rhs.unrollers_built,
+            cex_canonicalized: self.cex_canonicalized + rhs.cex_canonicalized,
         }
     }
 }
@@ -143,6 +176,10 @@ impl CheckSession {
         self.stats.sat_decided += 1;
     }
 
+    pub(crate) fn note_cex_canonicalized(&mut self) {
+        self.stats.cex_canonicalized += 1;
+    }
+
     /// Lazily builds one of the two unrollers, counting construction.
     fn unroller<'s>(
         slot: &'s mut Option<Unroller>,
@@ -204,8 +241,12 @@ impl CheckSession {
     ///
     /// Same verdict as the one-shot [`crate::bmc`], but frames, gate
     /// encodings and learnt clauses persist for the next property.
+    /// Latch-free designs are start-invariant, so their scan collapses
+    /// to the single window at reset (the reported `Unknown` bound stays
+    /// the requested one).
     pub fn bmc(&mut self, module: &Module, prop: &WindowProperty, max_start: u32) -> CheckResult {
-        for start in 0..=max_start as usize {
+        let last_start = crate::bmc::last_scan_start(&self.blasted, max_start);
+        for start in 0..=last_start {
             if let Some(cex) = self.base_violation(module, prop, start) {
                 return CheckResult::Violated(cex);
             }

@@ -80,7 +80,7 @@ fn backend_name(b: Backend) -> &'static str {
 /// the default explicit budgets but take minutes to enumerate, so the
 /// sweep forces them onto the bounded SAT session instead (the defaults
 /// target refinement runs, not a 12-design sweep).
-fn checker(module: &Module, backend: Backend) -> Checker<'_> {
+fn checker(module: &Module, backend: Backend) -> Checker {
     let limits = ExplicitLimits {
         max_state_bits: 10,
         max_input_bits: 8,

@@ -1,0 +1,232 @@
+//! Differential suite for the sharded dispatch layer: sharded ≡ batched
+//! ≡ sequential on every catalog design, for shard counts {1, 2, 4, 7}.
+//!
+//! Thanks to canonical counterexample extraction the comparison is
+//! *exact* — `assert_eq!` on whole `CheckResult` vectors, traces
+//! included — not merely verdict agreement. A proptest closes the loop:
+//! random worklists (duplicates and all) dispatched under arbitrary
+//! shard counts merge to results identical to the single-session batch,
+//! leaving identical memo state behind.
+
+use gm_mc::{Backend, BitAtom, CexTrace, CheckResult, Checker, ExplicitLimits, WindowProperty};
+use gm_rtl::{Bv, Module, SignalId};
+use gm_sim::{NopObserver, Simulator};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+/// A tiny deterministic generator (so the suite needs no RNG dep).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn random_atom(rng: &mut Lcg, module: &Module, pool: &[SignalId], max_offset: u64) -> BitAtom {
+    let sig = pool[rng.below(pool.len() as u64) as usize];
+    let bit = rng.below(u64::from(module.signal_width(sig))) as u32;
+    let offset = rng.below(max_offset + 1) as u32;
+    BitAtom::new(sig, bit, offset, rng.below(2) == 1)
+}
+
+/// Deterministic property mix for one design: antecedents over inputs
+/// and outputs at offsets 0..=1, consequents over outputs at 1..=2.
+fn properties_for(module: &Module, seed: u64, count: usize) -> Vec<WindowProperty> {
+    let inputs = module.data_inputs();
+    let outputs = module.outputs();
+    let mut pool = inputs;
+    pool.extend(outputs.iter().copied());
+    let mut rng = Lcg(seed + module.name().len() as u64);
+    (0..count)
+        .map(|_| {
+            let n_ant = rng.below(3) as usize;
+            let antecedent = (0..n_ant)
+                .map(|_| random_atom(&mut rng, module, &pool, 1))
+                .collect();
+            let out = outputs[rng.below(outputs.len() as u64) as usize];
+            let bit = rng.below(u64::from(module.signal_width(out))) as u32;
+            let offset = 1 + rng.below(2) as u32;
+            WindowProperty {
+                antecedent,
+                consequent: BitAtom::new(out, bit, offset, rng.below(2) == 1),
+            }
+        })
+        .collect()
+}
+
+/// Small explicit limits and SAT bounds so the 12-design sweep stays
+/// fast (matches the batch_agree suite's rationale).
+fn checker(module: &Module, backend: Backend) -> Checker {
+    let limits = ExplicitLimits {
+        max_state_bits: 10,
+        max_input_bits: 8,
+        max_states: 4096,
+        ..ExplicitLimits::default()
+    };
+    Checker::new(module)
+        .unwrap()
+        .with_backend(backend)
+        .with_limits(limits)
+        .with_bmc_bound(4)
+        .with_kind_depth(3)
+}
+
+/// Replays a counterexample from reset and confirms the violation.
+fn cex_violates(module: &Module, prop: &WindowProperty, cex: &CexTrace) -> bool {
+    let mut sim = Simulator::new(module).unwrap();
+    if let Some(rst) = module.reset() {
+        sim.set_input(rst, Bv::one_bit());
+        sim.step();
+        sim.set_input(rst, Bv::zero_bit());
+    }
+    let trace = sim.run_vectors(&cex.inputs, &mut NopObserver);
+    let depth = prop.depth() as usize;
+    if trace.len() < depth + 1 {
+        return false;
+    }
+    let base = trace.len() - 1 - depth;
+    let atom_holds = |a: &BitAtom| trace.bit(base + a.offset as usize, a.signal, a.bit) == a.value;
+    prop.antecedent.iter().all(atom_holds) && !atom_holds(&prop.consequent)
+}
+
+#[test]
+fn sharded_equals_batched_equals_sequential_on_all_catalog_designs() {
+    for design in gm_designs::catalog() {
+        let module = design.module();
+        let props = properties_for(&module, 0x5EED_0000, 6);
+        for backend in [
+            Backend::Auto,
+            Backend::Bmc { bound: 4 },
+            Backend::KInduction { max_k: 3 },
+        ] {
+            // Sequential reference: a fresh checker deciding one
+            // property per call, in order.
+            let mut seq_checker = checker(&module, backend);
+            let sequential: Vec<CheckResult> = props
+                .iter()
+                .map(|p| seq_checker.check(p).unwrap())
+                .collect();
+            // Single-session batch.
+            let mut batch_checker = checker(&module, backend);
+            let batched = batch_checker.check_batch(&props).unwrap();
+            assert_eq!(
+                sequential, batched,
+                "batch != sequential on {} ({backend:?})",
+                design.name
+            );
+            // Sharded batches, every shard count.
+            for shards in SHARD_COUNTS {
+                let mut sharded_checker = checker(&module, backend);
+                let sharded = sharded_checker.check_batch_sharded(&props, shards).unwrap();
+                assert_eq!(
+                    batched, sharded,
+                    "sharded({shards}) != batched on {} ({backend:?})",
+                    design.name
+                );
+                // Identical proved sets and memo state, not just results.
+                assert_eq!(sharded_checker.memo_len(), batch_checker.memo_len());
+                assert_eq!(
+                    sharded_checker.session_stats().engine_queries(),
+                    batch_checker.session_stats().engine_queries(),
+                    "shard({shards}) did different engine work on {}",
+                    design.name
+                );
+            }
+            // Violated results carry real, replayable traces.
+            for (p, r) in props.iter().zip(&batched) {
+                if let CheckResult::Violated(cex) = r {
+                    assert!(
+                        cex_violates(&module, p, cex),
+                        "bogus canonical cex on {} ({backend:?})",
+                        design.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn racing_shards_agree_with_plain_auto_verdicts_on_all_catalog_designs() {
+    for design in gm_designs::catalog() {
+        let module = design.module();
+        let props = properties_for(&module, 0x7ACE_0000, 4);
+        let mut plain = checker(&module, Backend::Auto);
+        let expected = plain.check_batch(&props).unwrap();
+        let mut racing = checker(&module, Backend::Auto).with_racing(true);
+        let got = racing.check_batch_sharded(&props, 2).unwrap();
+        for (i, (e, g)) in expected.iter().zip(&got).enumerate() {
+            match (e, g) {
+                (CheckResult::Proved, CheckResult::Proved) => {}
+                (CheckResult::Unknown { .. }, CheckResult::Unknown { .. }) => {}
+                // Racing may prefer the SAT side's canonical trace where
+                // plain Auto reports the explicit one; both must replay.
+                (CheckResult::Violated(_), CheckResult::Violated(cex)) => {
+                    assert!(
+                        cex_violates(&module, &props[i], cex),
+                        "bogus racing cex on {} prop {i}",
+                        design.name
+                    );
+                }
+                // Plain Auto consults the same explicit engine racing
+                // does, so both modes are equally conclusive: any verdict
+                // divergence is a bug.
+                (e, g) => panic!(
+                    "racing diverged on {} prop {i}: plain {e:?} vs racing {g:?}",
+                    design.name
+                ),
+            }
+        }
+        // Racing twice yields byte-identical results.
+        let mut again = checker(&module, Backend::Auto).with_racing(true);
+        assert_eq!(got, again.check_batch_sharded(&props, 2).unwrap());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary worklists (duplicates included) under arbitrary shard
+    /// counts merge to the single-session batch results and memo state.
+    #[test]
+    fn arbitrary_partitions_merge_to_identical_results(
+        seed in any::<u32>(),
+        len in 1usize..14,
+        shards in 1usize..9,
+    ) {
+        let module = gm_designs::arbiter2();
+        // Duplicates on purpose: draw from a small pool of 5 base
+        // properties so most worklists repeat entries.
+        let pool = properties_for(&module, u64::from(seed), 5);
+        let mut rng = Lcg(u64::from(seed) ^ 0xD15B_A7C4);
+        let props: Vec<WindowProperty> = (0..len)
+            .map(|_| pool[rng.below(pool.len() as u64) as usize].clone())
+            .collect();
+        let mut plain = checker(&module, Backend::Auto);
+        let batched = plain.check_batch(&props).unwrap();
+        let mut sharded_checker = checker(&module, Backend::Auto);
+        let sharded = sharded_checker.check_batch_sharded(&props, shards).unwrap();
+        prop_assert_eq!(&batched, &sharded);
+        prop_assert_eq!(plain.memo_len(), sharded_checker.memo_len());
+        prop_assert_eq!(
+            plain.session_stats().memo_hits,
+            sharded_checker.session_stats().memo_hits
+        );
+        // Re-dispatching the same worklist with a different shard count
+        // on the *same* checker is fully memo-served and identical.
+        let again = sharded_checker
+            .check_batch_sharded(&props, (shards % 8) + 1)
+            .unwrap();
+        prop_assert_eq!(&batched, &again);
+    }
+}

@@ -1,0 +1,55 @@
+//! Close coverage on the whole benchmark catalog concurrently: a
+//! [`goldmine::Campaign`] runs one closure engine per design on a
+//! per-core worker pool, while each engine shards its own verification
+//! worklist ([`goldmine::ShardPolicy::PerCore`]) — the two levels of
+//! parallelism this reproduction layers on the paper's Figure 3 loop.
+//!
+//! Run with: `cargo run --release --example campaign_closure`
+
+use gm_mc::Backend;
+use gm_rtl::SignalId;
+use goldmine::{Campaign, EngineConfig, SeedStimulus, ShardPolicy, TargetSelection, UnknownPolicy};
+
+fn one_bit_targets(m: &gm_rtl::Module) -> Vec<(SignalId, u32)> {
+    m.outputs()
+        .into_iter()
+        .filter(|&s| m.signal_width(s) == 1)
+        .map(|s| (s, 0))
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut campaign = Campaign::new();
+    for d in gm_designs::catalog() {
+        let module = d.module();
+        // Bound the two big lite blocks like the integration suite does.
+        let (backend, max_iterations, targets) = match d.name {
+            "b17_lite" | "b18_lite" => (
+                Backend::KInduction { max_k: 1 },
+                2,
+                vec![one_bit_targets(&module)[0]],
+            ),
+            _ => (Backend::Auto, 32, one_bit_targets(&module)),
+        };
+        let config = EngineConfig {
+            window: d.window,
+            stimulus: SeedStimulus::Random { cycles: 48 },
+            targets: TargetSelection::Bits(targets),
+            backend,
+            max_iterations,
+            unknown: UnknownPolicy::AssumeTrue,
+            shards: ShardPolicy::PerCore,
+            record_coverage: false,
+            ..EngineConfig::default()
+        };
+        campaign.push(d.name, module, config);
+    }
+    let jobs = campaign.len();
+    let workers = std::thread::available_parallelism().map(|n| n.get())?;
+    println!("closing {jobs} designs on {workers} workers, per-core shard sessions\n");
+    let t0 = std::time::Instant::now();
+    let summary = campaign.run();
+    print!("{}", summary.report());
+    println!("wall time: {:.2?}", t0.elapsed());
+    Ok(())
+}

@@ -1,9 +1,15 @@
 //! Workspace-level integration: the full pipeline across the whole
-//! design catalog.
+//! design catalog, driven concurrently by the [`Campaign`] runner.
+//!
+//! The CI matrix re-runs this suite with `GM_TEST_SHARDS=<n>` (and a
+//! serial test scheduler) to force every engine onto a fixed shard
+//! count — scheduler-order bugs in the shard dispatch surface here.
 
 use gm_mc::Backend;
 use gm_rtl::SignalId;
-use goldmine::{Engine, EngineConfig, SeedStimulus, TargetSelection, UnknownPolicy};
+use goldmine::{
+    Campaign, Engine, EngineConfig, SeedStimulus, ShardPolicy, TargetSelection, UnknownPolicy,
+};
 
 fn one_bit_targets(m: &gm_rtl::Module) -> Vec<(SignalId, u32)> {
     m.outputs()
@@ -13,9 +19,20 @@ fn one_bit_targets(m: &gm_rtl::Module) -> Vec<(SignalId, u32)> {
         .collect()
 }
 
+/// The shard policy under test: `GM_TEST_SHARDS=<n>` forces
+/// `Fixed(n)` (the CI matrix leg), otherwise the default `Off`.
+fn shard_policy_under_test() -> ShardPolicy {
+    match std::env::var("GM_TEST_SHARDS") {
+        Ok(v) => ShardPolicy::Fixed(v.parse().expect("GM_TEST_SHARDS must be a number")),
+        Err(_) => ShardPolicy::Off,
+    }
+}
+
 #[test]
 fn every_catalog_design_runs_through_the_loop() {
-    for d in gm_designs::catalog() {
+    let catalog = gm_designs::catalog();
+    let mut campaign = Campaign::new();
+    for d in &catalog {
         let module = d.module();
         // The two big lite blocks exceed explicit limits; bound their
         // runs hard (full-scale runs live in the release-mode
@@ -35,13 +52,21 @@ fn every_catalog_design_runs_through_the_loop() {
             backend,
             max_iterations,
             unknown: UnknownPolicy::AssumeTrue,
+            shards: shard_policy_under_test(),
             record_coverage: false,
             ..EngineConfig::default()
         };
-        let outcome = Engine::new(&module, config)
-            .unwrap_or_else(|e| panic!("{}: {e}", d.name))
-            .run()
-            .unwrap_or_else(|e| panic!("{}: {e}", d.name));
+        campaign.push(d.name, module, config);
+    }
+    let summary = campaign.run();
+    // The campaign must visit every design, in catalog order.
+    assert_eq!(summary.runs.len(), catalog.len());
+    for (d, run) in catalog.iter().zip(&summary.runs) {
+        assert_eq!(d.name, run.name, "campaign skipped or reordered a design");
+    }
+    assert!(summary.all_ok(), "{}", summary.report());
+    for run in &summary.runs {
+        let outcome = run.outcome.as_ref().unwrap();
         // Monotonic input-space coverage on every design (the paper's
         // forward-progress claim).
         let series: Vec<f64> = outcome
@@ -50,15 +75,19 @@ fn every_catalog_design_runs_through_the_loop() {
             .map(|r| r.input_space_coverage)
             .collect();
         for w in series.windows(2) {
-            assert!(w[1] >= w[0] - 1e-12, "{}: regression in {series:?}", d.name);
+            assert!(
+                w[1] >= w[0] - 1e-12,
+                "{}: regression in {series:?}",
+                run.name
+            );
         }
         // No target may get stuck on a mining contradiction.
         for t in &outcome.targets {
             assert!(
                 t.stuck.is_none(),
-                "{}: target {}[{}] stuck: {:?}",
-                d.name,
-                module.signal(t.signal).name(),
+                "{}: target {:?}[{}] stuck: {:?}",
+                run.name,
+                t.signal,
                 t.bit,
                 t.stuck
             );
@@ -68,7 +97,7 @@ fn every_catalog_design_runs_through_the_loop() {
 
 #[test]
 fn exact_backends_converge_on_the_small_designs() {
-    for name in [
+    let names = [
         "cex_small",
         "arbiter2",
         "b01",
@@ -76,23 +105,37 @@ fn exact_backends_converge_on_the_small_designs() {
         "b09",
         "b12_lite",
         "fetch_stage",
-    ] {
+    ];
+    let mut campaign = Campaign::new();
+    for name in names {
         let d = gm_designs::by_name(name).unwrap();
         let module = d.module();
         let config = EngineConfig {
             window: d.window,
             stimulus: SeedStimulus::Random { cycles: 64 },
             targets: TargetSelection::Bits(one_bit_targets(&module)),
+            shards: shard_policy_under_test(),
             record_coverage: false,
             max_iterations: 64,
             ..EngineConfig::default()
         };
-        let outcome = Engine::new(&module, config).unwrap().run().unwrap();
-        assert!(outcome.converged, "{name} failed to converge");
-        assert_eq!(outcome.unknown_assumed, 0, "{name} needed unknown-assume");
+        campaign.push(name, module, config);
+    }
+    let summary = campaign.run();
+    assert_eq!(summary.runs.len(), names.len());
+    assert!(summary.all_ok(), "{}", summary.report());
+    for run in &summary.runs {
+        let outcome = run.outcome.as_ref().unwrap();
+        assert!(outcome.converged, "{} failed to converge", run.name);
+        assert_eq!(
+            outcome.unknown_assumed, 0,
+            "{} needed unknown-assume",
+            run.name
+        );
         assert!(
             (outcome.final_input_space_coverage() - 1.0).abs() < 1e-9,
-            "{name}: coverage closure incomplete"
+            "{}: coverage closure incomplete",
+            run.name
         );
     }
 }
