@@ -229,6 +229,124 @@ fn bench_campaign(c: &mut Criterion) {
     }
 }
 
+/// Tentpole comparison: the closure-service scheduler on a *skewed*
+/// multi-design workload. The static round-robin deal lands every
+/// expensive design on worker 0 (the adversarial case the ROADMAP's
+/// "skewed worklists leave shards idle" item describes); work-stealing
+/// lets the idle peers take them. Same jobs, same results — the gap is
+/// pure idle time. Two variants:
+///
+/// * `skewed_12_jobs` — real closure jobs (CPU-bound): the gap shows on
+///   multi-core hosts; a single-core host timeslices the heavies either
+///   way, so there the numbers mostly price the pool (the same caveat
+///   as the shard-scaling kernels above).
+/// * `skewed_latency_jobs` — latency-bound jobs (each "heavy" job waits
+///   on a simulated external checker): round-robin leaves the peers
+///   idle while worker 0 waits out every heavy job in sequence, so
+///   work-stealing wins even on one core.
+fn bench_serve_scheduler(c: &mut Criterion) {
+    use gm_serve::SchedPolicy;
+    let heavy = gm_designs::by_name("arbiter4").unwrap();
+    let light = gm_designs::by_name("cex_small").unwrap();
+    let workers = 4usize;
+    // 12 jobs; indices 0, 4, 8 (worker 0's static share) are the heavy
+    // ones.
+    let jobs: Vec<goldmine::CampaignJob> = (0..12)
+        .map(|i| {
+            let d = if usize::is_multiple_of(i, workers) {
+                &heavy
+            } else {
+                &light
+            };
+            let module = d.module();
+            let config = EngineConfig {
+                window: d.window,
+                stimulus: goldmine::SeedStimulus::Random { cycles: 32 },
+                record_coverage: false,
+                ..EngineConfig::default()
+            };
+            goldmine::CampaignJob {
+                name: format!("{}-{i}", d.name),
+                module,
+                config,
+            }
+        })
+        .collect();
+    for policy in [SchedPolicy::RoundRobin, SchedPolicy::WorkStealing] {
+        c.bench_function(&format!("serve/skewed_12_jobs_4_workers_{policy:?}"), |b| {
+            b.iter(|| {
+                let summary = gm_serve::run_campaign(jobs.clone(), workers, policy);
+                assert!(summary.all_ok());
+                summary.converged_count()
+            });
+        });
+    }
+    // Latency-bound variant: every 4th job waits 20 ms on a simulated
+    // external checker, and the static deal puts all of them on worker
+    // 0 (60 ms of serialized waiting); stealing overlaps the waits.
+    for policy in [SchedPolicy::RoundRobin, SchedPolicy::WorkStealing] {
+        c.bench_function(&format!("serve/skewed_latency_jobs_{policy:?}"), |b| {
+            b.iter(|| {
+                let results = gm_serve::run_jobs((0..12u64).collect(), workers, policy, |i| {
+                    if (i as usize).is_multiple_of(workers) {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    i
+                });
+                results.len()
+            });
+        });
+    }
+}
+
+/// Server throughput: repeated submissions of a small design mix
+/// through the persistent service — the steady-state request path
+/// (content-addressed cache hits, parked warm checkers, work-stealing
+/// dispatch) rather than a fresh engine per design.
+fn bench_serve_throughput(c: &mut Criterion) {
+    use gm_serve::{ClosureService, ServeConfig};
+    let designs: Vec<_> = ["cex_small", "b01", "b02"]
+        .iter()
+        .map(|n| gm_designs::by_name(n).unwrap())
+        .collect();
+    let config_for = |d: &gm_designs::DesignInfo| EngineConfig {
+        window: d.window,
+        stimulus: goldmine::SeedStimulus::Random { cycles: 32 },
+        record_coverage: false,
+        ..EngineConfig::default()
+    };
+    let service = ClosureService::new(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    // Warm the cache once so the kernel measures the steady state.
+    for d in &designs {
+        let (id, _) = service
+            .submit_module(d.name, d.module(), config_for(d))
+            .unwrap();
+        service.wait(id);
+    }
+    c.bench_function("serve/throughput_9_warm_jobs_4_workers", |b| {
+        b.iter(|| {
+            let ids: Vec<u64> = (0..9)
+                .map(|i| {
+                    let d = &designs[i % designs.len()];
+                    service
+                        .submit_module(d.name, d.module(), config_for(d))
+                        .unwrap()
+                        .0
+                })
+                .collect();
+            for id in ids {
+                service.wait(id);
+            }
+        });
+    });
+    let stats = service.stats();
+    assert!(stats.cache_hits > stats.cache_misses);
+    service.shutdown();
+}
+
 fn bench_mining(c: &mut Criterion) {
     let module = gm_designs::arbiter4();
     let elab = elaborate(&module).unwrap();
@@ -352,6 +470,8 @@ criterion_group!(
         bench_batched_checking,
         bench_shard_scaling,
         bench_campaign,
+        bench_serve_scheduler,
+        bench_serve_throughput,
         bench_mining,
         bench_full_loop,
         bench_ablation_incremental,

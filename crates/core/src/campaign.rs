@@ -90,12 +90,26 @@ impl Campaign {
         self.jobs.len()
     }
 
+    /// Consumes the campaign, yielding its jobs in submission order —
+    /// for alternative executors (like `gm_serve`'s work-stealing
+    /// scheduler) that run the same jobs under their own pool.
+    pub fn into_jobs(self) -> Vec<CampaignJob> {
+        self.jobs
+    }
+
     /// Whether the campaign has no jobs.
     pub fn is_empty(&self) -> bool {
         self.jobs.is_empty()
     }
 
     /// Runs every job to completion and returns the merged summary.
+    ///
+    /// This built-in executor keeps `goldmine` dependency-free; the
+    /// closure service's scheduler (`gm_serve::run_campaign`, fed by
+    /// [`Campaign::into_jobs`]) runs the same jobs on its persistent
+    /// work-stealing pool with a policy knob and steal counters — the
+    /// two produce identical summaries by the engine's determinism
+    /// contract.
     ///
     /// Workers pull jobs from a shared cursor (so a slow design does not
     /// serialize the rest behind it) and deposit results by job index:

@@ -69,6 +69,31 @@ impl ShardPolicy {
     }
 }
 
+/// How a sharded verification worklist is *dealt* onto the shard
+/// sessions (only meaningful when [`EngineConfig::shards`] enables a
+/// pool).
+///
+/// Both policies produce the identical [`crate::ClosureOutcome`]
+/// artifacts — verdicts, counterexample traces, suite, assertion order
+/// — because property decisions are partition-independent (see
+/// [`crate::Engine`]'s determinism contract). They differ in *work
+/// placement*: `RoundRobin` is a static deal whose per-session
+/// [`gm_mc::SessionStats`] are reproducible run to run but can leave
+/// shards idle behind a skewed worklist; `Stealing` is work-conserving
+/// (idle shards pull the next undecided property from a shared cursor),
+/// at the price of run-to-run variation in *where* the frame/solver
+/// work counters land — exactly the trade [`EngineConfig::racing`]
+/// already makes for its attribution counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum StealPolicy {
+    /// Static round-robin deal (the PR 3 behavior). The default.
+    #[default]
+    RoundRobin,
+    /// Work-conserving shared-cursor dispatch
+    /// ([`gm_mc::Checker::check_batch_stealing`]).
+    Stealing,
+}
+
 /// Which output bits to mine.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum TargetSelection {
@@ -109,6 +134,10 @@ pub struct EngineConfig {
     /// verification sessions (requires `batched`; ignored otherwise).
     /// Results are identical for every policy — see [`ShardPolicy`].
     pub shards: ShardPolicy,
+    /// How the worklist is dealt onto the shard sessions (requires a
+    /// shard pool; ignored under `ShardPolicy::Off`). Results are
+    /// identical for both policies — see [`StealPolicy`].
+    pub steal: StealPolicy,
     /// Race the explicit and SAT backends per property and take the
     /// first conclusive answer. Applies to every `Auto`-backend decision
     /// the engine dispatches — sharded, batched, and unbatched alike —
@@ -132,6 +161,7 @@ impl Default for EngineConfig {
             targets: TargetSelection::AllOutputs,
             batched: true,
             shards: ShardPolicy::Off,
+            steal: StealPolicy::RoundRobin,
             racing: false,
             record_coverage: true,
         }

@@ -52,7 +52,9 @@
 //! counters record whichever engine actually won each race and so may
 //! vary between runs (the outcome artifacts still never do).
 
-use crate::config::{EngineConfig, SeedStimulus, ShardPolicy, TargetSelection, UnknownPolicy};
+use crate::config::{
+    EngineConfig, SeedStimulus, ShardPolicy, StealPolicy, TargetSelection, UnknownPolicy,
+};
 use crate::error::EngineError;
 use crate::report::{ClosureOutcome, IterationReport, TargetSummary};
 use gm_coverage::CoverageSuite;
@@ -145,7 +147,35 @@ impl<'m> Engine<'m> {
     /// Propagates elaboration and blasting failures.
     pub fn new(module: &'m Module, config: EngineConfig) -> Result<Self, EngineError> {
         let elab = elaborate(module)?;
-        let checker = Checker::from_elab(module, &elab)?
+        let checker = Checker::from_elab(module, &elab)?;
+        Engine::with_artifacts(module, &elab, checker, config)
+    }
+
+    /// Prepares an engine from pre-built design artifacts: an
+    /// elaboration and a checker that already owns the bit-blasted
+    /// design (and possibly a warm reachable set / explicit-engine
+    /// cache). This is the constructor a long-lived service uses to
+    /// amortize elaboration, blasting and reachability across repeated
+    /// closure requests for the same design — everything a recycled
+    /// checker keeps is stats-invisible, so the run's
+    /// [`ClosureOutcome`] is byte-identical to one built by
+    /// [`Engine::new`] (see [`Checker::reset_for_reuse`]).
+    ///
+    /// The engine re-applies `config`'s backend/racing settings to the
+    /// checker and starts its per-iteration stats attribution from the
+    /// checker's current counters, so carried-over sessions never leak
+    /// old work into the first iteration report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mining-spec construction failures.
+    pub fn with_artifacts(
+        module: &'m Module,
+        elab: &gm_rtl::Elab,
+        checker: Checker,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let checker = checker
             .with_backend(config.backend)
             .with_racing(config.racing);
         let target_bits: Vec<(SignalId, u32)> = match &config.targets {
@@ -163,8 +193,8 @@ impl<'m> Engine<'m> {
         let targets = target_bits
             .into_iter()
             .map(|(signal, bit)| {
-                let cone = cone_of(module, &elab, signal);
-                let spec = MiningSpec::for_output(module, &elab, &cone, bit, config.window);
+                let cone = cone_of(module, elab, signal);
+                let spec = MiningSpec::for_output(module, elab, &cone, bit, config.window);
                 let tree = DecisionTree::new(&spec);
                 TargetState {
                     signal,
@@ -176,6 +206,9 @@ impl<'m> Engine<'m> {
                 }
             })
             .collect();
+        // Attribute only work done *during this run* to its iteration
+        // reports: a warm checker may arrive with non-zero counters.
+        let reported_stats = checker.session_stats();
         Ok(Engine {
             module,
             config,
@@ -183,7 +216,7 @@ impl<'m> Engine<'m> {
             targets,
             suite: TestSuite::new(),
             unknown_assumed: 0,
-            reported_stats: SessionStats::default(),
+            reported_stats,
         })
     }
 
@@ -199,7 +232,45 @@ impl<'m> Engine<'m> {
     /// Propagates simulation and model-checking failures. Mining
     /// failures (contradictory windows) are per-target and reported in
     /// the outcome's [`TargetSummary::stuck`] instead.
-    pub fn run(mut self) -> Result<ClosureOutcome, EngineError> {
+    pub fn run(self) -> Result<ClosureOutcome, EngineError> {
+        self.run_observed(|_| true)
+    }
+
+    /// Runs the loop, invoking `on_iteration` after every recorded
+    /// [`IterationReport`] (including the iteration-0 seed snapshot).
+    /// Returning `false` stops the run cooperatively at that iteration
+    /// boundary — the closure-service cancel path — yielding a valid
+    /// (if unconverged) outcome of the work done so far. Observers that
+    /// always return `true` leave the outcome exactly as [`Engine::run`]
+    /// produces it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Engine::run`].
+    pub fn run_observed(
+        mut self,
+        on_iteration: impl FnMut(&IterationReport) -> bool,
+    ) -> Result<ClosureOutcome, EngineError> {
+        self.run_inner(on_iteration)
+    }
+
+    /// Like [`Engine::run_observed`], but also hands the checker back —
+    /// with its design artifacts (bit-blasted AIG, reachable set,
+    /// explicit-engine caches) and session state intact — so a design
+    /// cache can park it for the next request of the same design. The
+    /// checker is returned on the error path too.
+    pub fn run_reclaim(
+        mut self,
+        on_iteration: impl FnMut(&IterationReport) -> bool,
+    ) -> (Result<ClosureOutcome, EngineError>, Checker) {
+        let outcome = self.run_inner(on_iteration);
+        (outcome, self.checker)
+    }
+
+    fn run_inner(
+        &mut self,
+        mut on_iteration: impl FnMut(&IterationReport) -> bool,
+    ) -> Result<ClosureOutcome, EngineError> {
         // Phase 1: seed data.
         let seed_vectors = match &self.config.stimulus {
             SeedStimulus::Random { cycles } => {
@@ -224,13 +295,15 @@ impl<'m> Engine<'m> {
         }
 
         let mut history = vec![self.snapshot_report(0, 0)?];
+        let mut go = on_iteration(&history[0]);
 
         // Phase 2: counterexample iterations.
         let mut iteration = 0;
-        while iteration < self.config.max_iterations {
+        while go && iteration < self.config.max_iterations {
             iteration += 1;
             let refuted = self.iteration_pass(iteration)?;
             history.push(self.snapshot_report(iteration, refuted)?);
+            go = on_iteration(history.last().expect("just pushed"));
             if self.all_converged() {
                 break;
             }
@@ -263,7 +336,7 @@ impl<'m> Engine<'m> {
             converged: self.all_converged(),
             iterations: history,
             assertions,
-            suite: self.suite,
+            suite: std::mem::replace(&mut self.suite, TestSuite::new()),
             targets,
             unknown_assumed: self.unknown_assumed,
         })
@@ -325,11 +398,14 @@ impl<'m> Engine<'m> {
         // One batched dispatch for the whole iteration, split across the
         // configured shard sessions (identical results either way — see
         // the module docs' determinism contract).
-        let results = match self.config.shards {
-            ShardPolicy::Off => self.checker.check_batch(&unique)?,
-            policy => self
+        let results = match (self.config.shards, self.config.steal) {
+            (ShardPolicy::Off, _) => self.checker.check_batch(&unique)?,
+            (policy, StealPolicy::RoundRobin) => self
                 .checker
                 .check_batch_sharded(&unique, policy.shard_count())?,
+            (policy, StealPolicy::Stealing) => self
+                .checker
+                .check_batch_stealing(&unique, policy.shard_count())?,
         };
         let mut refuted = 0usize;
         let mut pending_traces: Vec<Trace> = Vec::new();

@@ -39,7 +39,9 @@ mod mutation;
 mod report;
 
 pub use campaign::{Campaign, CampaignJob, CampaignRun, CampaignSummary};
-pub use config::{EngineConfig, SeedStimulus, ShardPolicy, TargetSelection, UnknownPolicy};
+pub use config::{
+    EngineConfig, SeedStimulus, ShardPolicy, StealPolicy, TargetSelection, UnknownPolicy,
+};
 pub use engine::{assertion_property, Engine};
 pub use error::EngineError;
 pub use mutation::{check_fault, fault_campaign, suite_detects_fault, FaultKind, FaultReport};

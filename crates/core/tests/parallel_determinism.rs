@@ -233,3 +233,47 @@ fn soak_b18_lite_100_iterations_per_core_no_drift() {
         "soak rounds re-did engine work"
     );
 }
+
+/// The work-stealing shard dispatch ([`goldmine::StealPolicy::Stealing`])
+/// produces the identical closure artifacts as the static round-robin
+/// deal: everything except the per-iteration verification work counters
+/// (which legitimately depend on which session claimed which property,
+/// like racing's attribution counters) must match byte-for-byte, and it
+/// must do so across repeated runs.
+#[test]
+fn stealing_dispatch_is_artifact_identical_to_round_robin() {
+    let module = gm_designs::b09();
+    let config = EngineConfig {
+        window: 1,
+        stimulus: SeedStimulus::Random { cycles: 48 },
+        targets: TargetSelection::Bits(one_bit_targets(&module)),
+        unknown: UnknownPolicy::AssumeTrue,
+        shards: ShardPolicy::Fixed(3),
+        record_coverage: false,
+        ..EngineConfig::default()
+    };
+    let round_robin = Engine::new(&module, config.clone()).unwrap().run().unwrap();
+    let baseline = work_normalized_fingerprint(&round_robin);
+    for run in 0..2 {
+        let stealing = Engine::new(
+            &module,
+            EngineConfig {
+                steal: goldmine::StealPolicy::Stealing,
+                ..config.clone()
+            },
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(
+            work_normalized_fingerprint(&stealing),
+            baseline,
+            "stealing run {run} changed the closure artifacts"
+        );
+        assert_eq!(
+            stealing.verification_total().engine_queries(),
+            round_robin.verification_total().engine_queries(),
+            "stealing run {run} changed the total engine work"
+        );
+    }
+}

@@ -75,6 +75,18 @@ impl Unroller {
         self.frames.len()
     }
 
+    /// Approximate resident size of the unrolling: solver variables and
+    /// clauses, frame literal tables, and the structural AND cache.
+    /// Used by long-lived services for cache accounting — an estimate,
+    /// not an allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        let frame_lits: usize = self.frames.iter().map(Vec::len).sum();
+        self.solver.num_vars() * 16
+            + self.solver.num_clauses() * 24
+            + frame_lits * std::mem::size_of::<Lit>()
+            + self.and_cache.len() * 3 * std::mem::size_of::<Lit>()
+    }
+
     fn encode_and(&mut self, a: Lit, b: Lit) -> Lit {
         let t = self.true_lit;
         if a == !t || b == !t || a == !b {

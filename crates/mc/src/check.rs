@@ -30,6 +30,7 @@ use crate::prop::{CheckResult, WindowProperty};
 use crate::session::{CheckSession, SessionStats};
 use gm_rtl::{elaborate, Elab, Module};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -63,6 +64,63 @@ struct DecideParams {
     bmc_bound: u32,
     kind_max_k: u32,
     racing: bool,
+}
+
+/// How a pooled batch deals its worklist onto the shard sessions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PoolDispatch {
+    /// Static round-robin: shard `k` gets worklist items `k`, `k + n`,
+    /// … — deterministic work attribution, but a skewed worklist can
+    /// leave shards idle.
+    RoundRobin,
+    /// Work-conserving: every shard pulls the next undecided property
+    /// from a shared cursor, so no shard idles while work remains.
+    /// Results are still deterministic (verdicts and canonical traces
+    /// are partition-independent); only the per-session work counters
+    /// in [`SessionStats`] depend on the actual claim order.
+    Stealing,
+}
+
+/// One memoized property decision, stamped for LRU eviction.
+#[derive(Debug)]
+struct MemoEntry {
+    result: CheckResult,
+    stamp: u64,
+}
+
+/// Size and churn counters for the property memo (see
+/// [`Checker::memo_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Distinct properties currently memoized.
+    pub entries: usize,
+    /// Approximate resident bytes of the memo (atoms plus retained
+    /// counterexample traces — an estimate, not an allocator figure).
+    pub approx_bytes: usize,
+    /// Decisions inserted over the checker's lifetime.
+    pub insertions: u64,
+    /// Entries evicted by the LRU bound (0 when unbounded).
+    pub evictions: u64,
+}
+
+/// Approximate resident size of a memoized property key.
+fn memo_prop_bytes(prop: &WindowProperty) -> usize {
+    48 + prop.antecedent.len() * std::mem::size_of::<crate::prop::BitAtom>()
+}
+
+/// Approximate resident size of a memoized decision.
+fn memo_result_bytes(result: &CheckResult) -> usize {
+    match result {
+        CheckResult::Violated(cex) => {
+            48 + cex.inputs.iter().map(|v| 24 + v.len() * 40).sum::<usize>()
+        }
+        _ => 16,
+    }
+}
+
+/// Approximate resident size of one memo entry.
+fn memo_entry_bytes(prop: &WindowProperty, result: &CheckResult) -> usize {
+    memo_prop_bytes(prop) + memo_result_bytes(result)
 }
 
 /// A reusable model checker for one module.
@@ -112,7 +170,14 @@ pub struct Checker {
     /// Persistent per-shard sessions, grown on demand by
     /// [`Checker::check_batch_sharded`] and reused across batches.
     shard_sessions: Vec<CheckSession>,
-    memo: HashMap<WindowProperty, CheckResult>,
+    memo: HashMap<WindowProperty, MemoEntry>,
+    /// LRU bound on the memo (entries); `None` = unbounded.
+    memo_capacity: Option<usize>,
+    memo_stamp: u64,
+    memo_insertions: u64,
+    memo_evictions: u64,
+    /// Incrementally maintained byte estimate (see [`MemoStats`]).
+    memo_bytes: usize,
 }
 
 impl Checker {
@@ -147,39 +212,165 @@ impl Checker {
             reach_failed: false,
             shard_sessions: Vec::new(),
             memo: HashMap::new(),
+            memo_capacity: None,
+            memo_stamp: 0,
+            memo_insertions: 0,
+            memo_evictions: 0,
+            memo_bytes: 0,
         })
     }
 
-    /// Overrides the backend. Clears the property memo (verdicts and
-    /// `Unknown` bounds depend on the engine configuration).
+    /// Overrides the backend. Clears the property memo when the backend
+    /// actually changes (verdicts and `Unknown` bounds depend on the
+    /// engine configuration); re-applying the current backend keeps the
+    /// memo warm.
     pub fn with_backend(mut self, backend: Backend) -> Self {
-        self.backend = backend;
-        self.memo.clear();
+        if self.backend != backend {
+            self.backend = backend;
+            self.memo_clear();
+        }
         self
     }
 
-    /// Overrides the explicit-engine limits. Clears the memo and any
-    /// reachable set computed under the old limits.
+    /// Overrides the explicit-engine limits. When they change, clears
+    /// the memo and any reachable set computed under the old limits.
     pub fn with_limits(mut self, limits: ExplicitLimits) -> Self {
-        self.limits = limits;
-        self.memo.clear();
-        self.reach = None;
-        self.reach_failed = false;
+        if self.limits != limits {
+            self.limits = limits;
+            self.memo_clear();
+            self.reach = None;
+            self.reach_failed = false;
+        }
         self
     }
 
     /// Sets the BMC bound used by the `Auto` fallback.
     pub fn with_bmc_bound(mut self, bound: u32) -> Self {
-        self.bmc_bound = bound;
-        self.memo.clear();
+        if self.bmc_bound != bound {
+            self.bmc_bound = bound;
+            self.memo_clear();
+        }
         self
     }
 
     /// Sets the maximum induction depth used by the `Auto` fallback.
     pub fn with_kind_depth(mut self, max_k: u32) -> Self {
-        self.kind_max_k = max_k;
-        self.memo.clear();
+        if self.kind_max_k != max_k {
+            self.kind_max_k = max_k;
+            self.memo_clear();
+        }
         self
+    }
+
+    /// Bounds the property memo to at most `entries` decisions,
+    /// evicting least-recently-used ones past the bound — the knob that
+    /// keeps very long sessions (a persistent closure service) from
+    /// growing without bound. Applies immediately and to every later
+    /// insertion; eviction only forgets — a re-checked evicted property
+    /// is re-decided identically, so results never change.
+    pub fn with_memo_capacity(mut self, entries: usize) -> Self {
+        self.memo_capacity = Some(entries.max(1));
+        self.evict_over_capacity();
+        self
+    }
+
+    /// Size and churn counters for the property memo. O(1): the byte
+    /// estimate is maintained incrementally at insert/evict time, so
+    /// monitoring polls never walk the memo.
+    pub fn memo_stats(&self) -> MemoStats {
+        MemoStats {
+            entries: self.memo.len(),
+            approx_bytes: self.memo_bytes,
+            insertions: self.memo_insertions,
+            evictions: self.memo_evictions,
+        }
+    }
+
+    /// Approximate resident size of the checker's persistent state: the
+    /// memo plus every session's unrollings. Cache-accounting input for
+    /// long-lived services.
+    pub fn approx_bytes(&self) -> usize {
+        self.memo_stats().approx_bytes
+            + self.session.approx_bytes()
+            + self
+                .shard_sessions
+                .iter()
+                .map(CheckSession::approx_bytes)
+                .sum::<usize>()
+    }
+
+    /// Resets the per-run verification state — sessions, memo, stats —
+    /// while keeping the expensive design artifacts (bit-blasted AIG,
+    /// reachable set, explicit-engine caches) warm. A checker recycled
+    /// through this produces *byte-identical* run artifacts to a fresh
+    /// [`Checker::new`], because everything it keeps is
+    /// stats-invisible; a design cache that parks checkers between
+    /// closure requests calls this before reuse.
+    pub fn reset_for_reuse(&mut self) {
+        self.session = CheckSession::new(self.blasted.clone());
+        self.shard_sessions.clear();
+        self.memo_clear();
+        self.memo_stamp = 0;
+        self.memo_insertions = 0;
+        self.memo_evictions = 0;
+    }
+
+    /// Serves `prop` from the memo, refreshing its LRU stamp.
+    fn memo_get(&mut self, prop: &WindowProperty) -> Option<CheckResult> {
+        self.memo_stamp += 1;
+        let stamp = self.memo_stamp;
+        self.memo.get_mut(prop).map(|e| {
+            e.stamp = stamp;
+            e.result.clone()
+        })
+    }
+
+    fn memo_clear(&mut self) {
+        self.memo.clear();
+        self.memo_bytes = 0;
+    }
+
+    /// Memoizes a decision, evicting the least-recently-used entry when
+    /// over capacity.
+    fn memo_insert(&mut self, prop: WindowProperty, result: CheckResult) {
+        self.memo_stamp += 1;
+        self.memo_insertions += 1;
+        let prop_bytes = memo_prop_bytes(&prop);
+        self.memo_bytes += prop_bytes + memo_result_bytes(&result);
+        if let Some(old) = self.memo.insert(
+            prop,
+            MemoEntry {
+                result,
+                stamp: self.memo_stamp,
+            },
+        ) {
+            // Same-key replacement (not reachable from the batch paths,
+            // which dedupe first): keep the byte estimate consistent.
+            self.memo_bytes = self
+                .memo_bytes
+                .saturating_sub(prop_bytes + memo_result_bytes(&old.result));
+        }
+        self.evict_over_capacity();
+    }
+
+    fn evict_over_capacity(&mut self) {
+        let Some(cap) = self.memo_capacity else {
+            return;
+        };
+        while self.memo.len() > cap {
+            let oldest = self
+                .memo
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(p, _)| p.clone())
+                .expect("memo over capacity is non-empty");
+            if let Some(entry) = self.memo.remove(&oldest) {
+                self.memo_bytes = self
+                    .memo_bytes
+                    .saturating_sub(memo_entry_bytes(&oldest, &entry.result));
+            }
+            self.memo_evictions += 1;
+        }
     }
 
     /// Enables racing mode for `Auto`-backend decisions (single checks
@@ -199,8 +390,10 @@ impl Checker {
     /// that can change results. Only the per-engine attribution in
     /// [`SessionStats`] records the actual race winner.
     pub fn with_racing(mut self, racing: bool) -> Self {
-        self.racing = racing;
-        self.memo.clear();
+        if self.racing != racing {
+            self.racing = racing;
+            self.memo_clear();
+        }
         self
     }
 
@@ -263,9 +456,9 @@ impl Checker {
     /// Fails if a forced backend exceeds its limits; `Auto` degrades to
     /// the SAT engines instead of failing.
     pub fn check(&mut self, prop: &WindowProperty) -> Result<CheckResult, McError> {
-        if let Some(res) = self.memo.get(prop) {
+        if let Some(res) = self.memo_get(prop) {
             self.session.note_memo_hit();
-            return Ok(res.clone());
+            return Ok(res);
         }
         self.ensure_reach_for_backend();
         let params = self.params();
@@ -285,7 +478,7 @@ impl Checker {
             let _ = h.join();
         }
         let res = res?;
-        self.memo.insert(prop.clone(), res.clone());
+        self.memo_insert(prop.clone(), res.clone());
         Ok(res)
     }
 
@@ -339,6 +532,41 @@ impl Checker {
         props: &[WindowProperty],
         shards: usize,
     ) -> Result<Vec<CheckResult>, McError> {
+        self.check_batch_pooled(props, shards, PoolDispatch::RoundRobin)
+    }
+
+    /// Decides a batch across `shards` persistent worker sessions with a
+    /// *work-conserving* dispatch: instead of the static round-robin
+    /// deal, every shard pulls the next undecided property from a shared
+    /// cursor, so a skewed worklist (a few expensive properties bunched
+    /// together) never leaves shards idle.
+    ///
+    /// Results — verdicts, canonical counterexample traces, memo state,
+    /// total engine-query counts — are identical to
+    /// [`Checker::check_batch`] and [`Checker::check_batch_sharded`];
+    /// the determinism contract is unchanged because every decision is
+    /// partition-independent. The only observable difference is *where*
+    /// the work landed: per-session [`SessionStats`] (frames encoded vs
+    /// reused, solver work) depend on the claim order and may vary
+    /// between runs, like the racing mode's attribution counters.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Checker::check_batch_sharded`].
+    pub fn check_batch_stealing(
+        &mut self,
+        props: &[WindowProperty],
+        shards: usize,
+    ) -> Result<Vec<CheckResult>, McError> {
+        self.check_batch_pooled(props, shards, PoolDispatch::Stealing)
+    }
+
+    fn check_batch_pooled(
+        &mut self,
+        props: &[WindowProperty],
+        shards: usize,
+        dispatch: PoolDispatch,
+    ) -> Result<Vec<CheckResult>, McError> {
         let shards = shards.max(1);
         // Memo pass + dedupe, preserving first-occurrence order. Memo
         // hits are recorded by position and counted only after the first
@@ -351,9 +579,9 @@ impl Checker {
         // For each unique property: every batch position it fills.
         let mut positions: Vec<Vec<usize>> = Vec::new();
         for (i, prop) in props.iter().enumerate() {
-            if let Some(res) = self.memo.get(prop) {
+            if let Some(res) = self.memo_get(prop) {
                 memo_hit_positions.push(i);
-                out[i] = Some(res.clone());
+                out[i] = Some(res);
                 continue;
             }
             match index_of.get(prop) {
@@ -390,9 +618,15 @@ impl Checker {
             let mut idle: Vec<CheckSession> = self.shard_sessions.drain(..).collect();
             let mut work: Vec<(CheckSession, Vec<(usize, &WindowProperty)>)> =
                 idle.drain(..active).map(|s| (s, Vec::new())).collect();
-            for (ui, &prop) in unique.iter().enumerate() {
-                work[ui % shards].1.push((ui, prop));
+            if dispatch == PoolDispatch::RoundRobin {
+                for (ui, &prop) in unique.iter().enumerate() {
+                    work[ui % shards].1.push((ui, prop));
+                }
             }
+            // Under `Stealing` the pre-dealt lists stay empty and every
+            // worker claims from this shared cursor instead.
+            let cursor = AtomicUsize::new(0);
+            let unique_ref = &unique;
             let mut decided: Vec<Option<Result<CheckResult, McError>>> = vec![None; unique.len()];
             let shard_results: Vec<ShardYield> = std::thread::scope(|scope| {
                 let handles: Vec<_> = work
@@ -402,9 +636,10 @@ impl Checker {
                         let blasted = &blasted;
                         let reach = reach.as_ref();
                         let params = &params;
+                        let cursor = &cursor;
                         scope.spawn(move || {
                             let mut pending_loser = None;
-                            let results = items
+                            let mut results: Vec<(usize, Result<CheckResult, McError>)> = items
                                 .into_iter()
                                 .map(|(ui, prop)| {
                                     (
@@ -421,6 +656,26 @@ impl Checker {
                                     )
                                 })
                                 .collect();
+                            if dispatch == PoolDispatch::Stealing {
+                                loop {
+                                    let ui = cursor.fetch_add(1, Ordering::Relaxed);
+                                    let Some(&prop) = unique_ref.get(ui) else {
+                                        break;
+                                    };
+                                    results.push((
+                                        ui,
+                                        decide_one(
+                                            module,
+                                            blasted,
+                                            reach,
+                                            params,
+                                            &mut session,
+                                            &mut pending_loser,
+                                            prop,
+                                        ),
+                                    ));
+                                }
+                            }
                             // Reap the last race's losing engine before
                             // handing the session back.
                             if let Some(h) = pending_loser {
@@ -451,7 +706,7 @@ impl Checker {
             for (ui, res) in decided.into_iter().enumerate() {
                 match res.expect("every unique property decided") {
                     Ok(res) => {
-                        self.memo.insert(unique[ui].clone(), res.clone());
+                        self.memo_insert(unique[ui].clone(), res.clone());
                         for (extra, &i) in positions[ui].iter().enumerate() {
                             if extra > 0 && i < stop_pos {
                                 // The sequential walk serves in-batch
@@ -900,6 +1155,123 @@ mod tests {
             let again = sharded.check_batch_sharded(&batch, shards).unwrap();
             assert_eq!(again, sequential);
         }
+    }
+
+    #[test]
+    fn stealing_batch_matches_sequential_results_and_memo() {
+        let m = parse_verilog(ARBITER2).unwrap();
+        let req0 = m.require("req0").unwrap();
+        let req1 = m.require("req1").unwrap();
+        let gnt0 = m.require("gnt0").unwrap();
+        let gnt1 = m.require("gnt1").unwrap();
+        let batch: Vec<WindowProperty> = (0..6)
+            .map(|i| WindowProperty {
+                antecedent: vec![
+                    BitAtom::new(req0, 0, 0, i % 2 == 0),
+                    BitAtom::new(req1, 0, 1, i % 3 == 0),
+                ],
+                consequent: BitAtom::new(if i < 3 { gnt0 } else { gnt1 }, 0, 2, i % 2 == 1),
+            })
+            .collect();
+        let mut plain = Checker::new(&m).unwrap();
+        let sequential = plain.check_batch(&batch).unwrap();
+        for shards in [1, 2, 4] {
+            let mut stealing = Checker::new(&m).unwrap();
+            let res = stealing.check_batch_stealing(&batch, shards).unwrap();
+            assert_eq!(res, sequential, "{shards} stealing shards diverged");
+            assert_eq!(stealing.memo_len(), plain.memo_len());
+            assert_eq!(
+                stealing.session_stats().engine_queries(),
+                plain.session_stats().engine_queries(),
+                "stealing must not change the total work"
+            );
+            // A repeated stealing batch is fully memo-served.
+            assert_eq!(stealing.check_batch_stealing(&batch, shards).unwrap(), res);
+        }
+    }
+
+    #[test]
+    fn memo_capacity_bounds_entries_and_counts_evictions() {
+        let m = parse_verilog(ARBITER2).unwrap();
+        let req0 = m.require("req0").unwrap();
+        let gnt0 = m.require("gnt0").unwrap();
+        let props: Vec<WindowProperty> = (0..5)
+            .map(|i| WindowProperty {
+                antecedent: vec![BitAtom::new(req0, 0, 0, i % 2 == 0)],
+                consequent: BitAtom::new(gnt0, 0, i % 3, i < 2),
+            })
+            .collect();
+        let mut bounded = Checker::new(&m).unwrap().with_memo_capacity(2);
+        let mut unbounded = Checker::new(&m).unwrap();
+        for p in &props {
+            // Eviction only forgets: every decision matches the
+            // unbounded checker's.
+            assert_eq!(bounded.check(p).unwrap(), unbounded.check(p).unwrap());
+        }
+        let stats = bounded.memo_stats();
+        assert!(stats.entries <= 2, "{stats:?}");
+        assert_eq!(stats.insertions, props.len() as u64);
+        assert_eq!(stats.evictions, (props.len() - 2) as u64);
+        assert!(stats.approx_bytes > 0);
+        assert_eq!(unbounded.memo_stats().evictions, 0);
+        // Re-checking an evicted property re-decides it identically.
+        assert_eq!(
+            bounded.check(&props[0]).unwrap(),
+            unbounded.check(&props[0]).unwrap()
+        );
+        assert!(bounded.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn reset_for_reuse_replays_byte_identically() {
+        let m = parse_verilog(ARBITER2).unwrap();
+        let req0 = m.require("req0").unwrap();
+        let gnt0 = m.require("gnt0").unwrap();
+        let props = vec![
+            WindowProperty {
+                antecedent: vec![BitAtom::new(req0, 0, 0, false)],
+                consequent: BitAtom::new(gnt0, 0, 1, true),
+            },
+            WindowProperty {
+                antecedent: vec![
+                    BitAtom::new(req0, 0, 0, false),
+                    BitAtom::new(req0, 0, 1, false),
+                ],
+                consequent: BitAtom::new(gnt0, 0, 2, false),
+            },
+        ];
+        let mut fresh = Checker::new(&m).unwrap();
+        let expected = fresh.check_batch(&props).unwrap();
+        let fresh_stats = fresh.session_stats();
+        let mut recycled = Checker::new(&m).unwrap();
+        recycled.check_batch(&props).unwrap();
+        recycled.reset_for_reuse();
+        assert_eq!(recycled.session_stats(), SessionStats::default());
+        assert_eq!(recycled.memo_len(), 0);
+        assert_eq!(recycled.check_batch(&props).unwrap(), expected);
+        assert_eq!(
+            recycled.session_stats(),
+            fresh_stats,
+            "a recycled checker must replay with fresh-checker stats"
+        );
+    }
+
+    #[test]
+    fn reapplying_the_same_setting_keeps_the_memo_warm() {
+        let m = parse_verilog(ARBITER2).unwrap();
+        let gnt0 = m.require("gnt0").unwrap();
+        let gnt1 = m.require("gnt1").unwrap();
+        let prop = WindowProperty {
+            antecedent: vec![BitAtom::new(gnt0, 0, 0, true)],
+            consequent: BitAtom::new(gnt1, 0, 0, false),
+        };
+        let mut c = Checker::new(&m).unwrap();
+        c.check(&prop).unwrap();
+        assert_eq!(c.memo_len(), 1);
+        c = c.with_backend(Backend::Auto).with_racing(false);
+        assert_eq!(c.memo_len(), 1, "unchanged settings keep the memo");
+        c = c.with_backend(Backend::KInduction { max_k: 4 });
+        assert_eq!(c.memo_len(), 0, "a real change clears it");
     }
 
     #[test]

@@ -7,13 +7,39 @@
 //! `Unknown` and never reports violations from unreachable states.
 //! The reachable set is computed once per design and shared across all
 //! assertion checks of a refinement run.
+//!
+//! ## The successor/observation cache
+//!
+//! A refinement run checks hundreds of properties against the same
+//! reachable set, and the window walk of every check used to re-evaluate
+//! the whole AIG for each `(state, input)` pair it visited — the
+//! dominant cost on input-heavy designs like `fetch_stage`. The
+//! [`ReachableStates`] therefore memoizes, per design:
+//!
+//! * a **successor table** `(state index, input word) → next state
+//!   index` (every successor of a reachable state is reachable, so the
+//!   walk never leaves the index space), built lazily on the first
+//!   check; and
+//! * one **observation bitset** per property literal (`AigLit`), giving
+//!   the literal's value at every `(state, input)` pair. Literals repeat
+//!   heavily across properties (mining features are fixed per design),
+//!   so most checks find every bitset already filled.
+//!
+//! With both in hand a check is pure table lookups — no AIG evaluation
+//! at all. The cache is budget-gated (designs whose `(state, input)`
+//! space is too large fall back to direct evaluation) and shared across
+//! threads behind the same `Arc` the checker already uses. Cached and
+//! uncached walks visit windows in the identical order, so verdicts
+//! *and* counterexample traces are bit-identical either way.
 
-use crate::aig::Aig;
+use crate::aig::{Aig, AigLit};
 use crate::blast::Blasted;
 use crate::error::McError;
 use crate::prop::{assemble_input_vector, CexTrace, CheckResult, WindowProperty};
 use gm_rtl::Module;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Budgets for explicit exploration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -41,16 +67,83 @@ impl Default for ExplicitLimits {
 }
 
 /// The reachable state space of a blasted design, with BFS predecessors
-/// for counterexample reconstruction.
-#[derive(Clone, Debug)]
+/// for counterexample reconstruction and a lazily built
+/// successor/observation cache (see the module docs).
+#[derive(Debug)]
 pub struct ReachableStates {
     /// Packed latch states, in BFS discovery order (index 0 = reset).
     pub states: Vec<u64>,
     /// For each state (by discovery index): the predecessor state index
     /// and the input word that reached it. `None` for the reset state.
     pub parent: Vec<Option<(usize, u64)>>,
+    /// Packed state word → discovery index (kept from exploration so
+    /// the successor table can be built without re-hashing from
+    /// scratch). Emptied when the design is over the cache budget —
+    /// the table can never be built there, and the map would otherwise
+    /// be tens of MB of dead weight on near-limit designs.
+    index: HashMap<u64, usize>,
     input_bits: u32,
     state_bits: u32,
+    cache: SuccCache,
+}
+
+impl Clone for ReachableStates {
+    /// Clones the state set; the successor/observation cache starts
+    /// empty in the clone (it is rebuilt on demand and never affects
+    /// results).
+    fn clone(&self) -> Self {
+        ReachableStates {
+            states: self.states.clone(),
+            parent: self.parent.clone(),
+            index: self.index.clone(),
+            input_bits: self.input_bits,
+            state_bits: self.state_bits,
+            cache: SuccCache::default(),
+        }
+    }
+}
+
+/// Counters describing the explicit engine's per-design cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExplicitCacheStats {
+    /// Whether the design fits the cache budget at all.
+    pub enabled: bool,
+    /// `(state, input)` pairs covered by the successor table (0 until
+    /// the first cached check builds it).
+    pub entries: usize,
+    /// Distinct property literals with a filled observation bitset.
+    pub obs_literals: usize,
+    /// Full-design evaluation passes performed (one to build the
+    /// successor table, plus one per batch of new literals) — the work
+    /// the cache *did* pay.
+    pub eval_passes: u64,
+    /// `(state, input)` pair visits served from the tables — each one an
+    /// AIG evaluation the cache avoided.
+    pub cached_visits: u64,
+}
+
+/// Largest `(state, input)` pair count the cache will materialize
+/// (successor table = 4 bytes per pair, observation bitsets 1 bit per
+/// pair per literal — 16 MiB + 512 KiB/literal at the cap).
+const MAX_CACHE_PAIRS: u64 = 1 << 22;
+
+/// The lazily built per-design memo: `(state, input) → next state` plus
+/// per-literal observation bitsets. Interior-mutable and `Sync` so the
+/// shard workers and racing threads that share a `ReachableStates`
+/// behind an `Arc` all benefit from (and contribute to) one cache.
+#[derive(Debug, Default)]
+struct SuccCache {
+    /// Flat `state_index * combos + input_word → next state index`.
+    successors: OnceLock<Vec<u32>>,
+    /// Observation bitsets over the same flat index, one per literal.
+    obs: Mutex<HashMap<AigLit, Arc<Vec<u64>>>>,
+    eval_passes: AtomicU64,
+    cached_visits: AtomicU64,
+}
+
+#[inline]
+fn bitset_get(bits: &[u64], i: usize) -> bool {
+    bits[i >> 6] >> (i & 63) & 1 == 1
 }
 
 fn unpack(word: u64, bits: u32) -> Vec<bool> {
@@ -114,12 +207,106 @@ impl ReachableStates {
             }
             head += 1;
         }
-        Ok(ReachableStates {
+        let mut reach = ReachableStates {
             states,
             parent,
+            index,
             input_bits,
             state_bits,
+            cache: SuccCache::default(),
+        };
+        if !reach.cache_enabled() {
+            // The successor table can never be built: drop the index
+            // map rather than carrying it for the checker's lifetime.
+            reach.index = HashMap::new();
+        }
+        Ok(reach)
+    }
+
+    /// Whether the design fits the successor/observation cache budget.
+    fn cache_enabled(&self) -> bool {
+        (self.states.len() as u64).saturating_mul(1u64 << self.input_bits) <= MAX_CACHE_PAIRS
+    }
+
+    /// Cache counters (see [`ExplicitCacheStats`]).
+    pub fn cache_stats(&self) -> ExplicitCacheStats {
+        ExplicitCacheStats {
+            enabled: self.cache_enabled(),
+            entries: self.cache.successors.get().map_or(0, Vec::len),
+            obs_literals: self.cache.obs.lock().expect("obs cache poisoned").len(),
+            eval_passes: self.cache.eval_passes.load(Ordering::Relaxed),
+            cached_visits: self.cache.cached_visits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The lazily built successor table: one full-design evaluation pass
+    /// on first use, lookups forever after.
+    fn successors(&self, aig: &Aig) -> &[u32] {
+        self.cache.successors.get_or_init(|| {
+            self.cache.eval_passes.fetch_add(1, Ordering::Relaxed);
+            let combos = 1u64 << self.input_bits;
+            let mut table = Vec::with_capacity(self.states.len() * combos as usize);
+            for &packed in &self.states {
+                let latches = unpack(packed, self.state_bits);
+                for u in 0..combos {
+                    let inputs = unpack(u, self.input_bits);
+                    let vals = aig.eval(&inputs, &latches);
+                    let next = pack(&aig.next_state(&vals));
+                    let ni = self.index[&next];
+                    table.push(ni as u32);
+                }
+            }
+            table
         })
+    }
+
+    /// Observation bitsets for `lits`, in order. Literals not yet cached
+    /// are filled by one shared evaluation pass over every
+    /// `(state, input)` pair — across a refinement run most calls find
+    /// everything already present and do no evaluation at all.
+    ///
+    /// The mutex is *not* held across the evaluation pass: concurrent
+    /// checks whose literals are already cached proceed unblocked, at
+    /// the price of bounded duplicate work when two threads race to
+    /// fill the same cold literal (last insert wins; the bitsets are
+    /// identical either way).
+    fn observations(&self, aig: &Aig, lits: &[AigLit]) -> Vec<Arc<Vec<u64>>> {
+        let mut missing: Vec<AigLit> = Vec::new();
+        {
+            let map = self.cache.obs.lock().expect("obs cache poisoned");
+            for &l in lits {
+                if !map.contains_key(&l) && !missing.contains(&l) {
+                    missing.push(l);
+                }
+            }
+        }
+        if !missing.is_empty() {
+            self.cache.eval_passes.fetch_add(1, Ordering::Relaxed);
+            let combos = 1u64 << self.input_bits;
+            let pairs = self.states.len() * combos as usize;
+            let words = pairs.div_ceil(64);
+            let mut fresh: Vec<Vec<u64>> = vec![vec![0u64; words]; missing.len()];
+            let mut flat = 0usize;
+            for &packed in &self.states {
+                let latches = unpack(packed, self.state_bits);
+                for u in 0..combos {
+                    let inputs = unpack(u, self.input_bits);
+                    let vals = aig.eval(&inputs, &latches);
+                    for (bi, &lit) in missing.iter().enumerate() {
+                        if aig.lit_value(&vals, lit) {
+                            fresh[bi][flat >> 6] |= 1u64 << (flat & 63);
+                        }
+                    }
+                    flat += 1;
+                }
+            }
+            let mut map = self.cache.obs.lock().expect("obs cache poisoned");
+            for (lit, bits) in missing.into_iter().zip(fresh) {
+                map.insert(lit, Arc::new(bits));
+            }
+        }
+        let map = self.cache.obs.lock().expect("obs cache poisoned");
+        lits.iter().map(|l| map[l].clone()).collect()
     }
 
     /// The number of reachable states.
@@ -148,6 +335,12 @@ impl ReachableStates {
 
 /// Checks `prop` against every reachable window of the design.
 ///
+/// Runs on the design's successor/observation cache when the
+/// `(state, input)` space fits the budget (see the module docs) and by
+/// direct AIG evaluation otherwise; both walks visit windows in the
+/// identical order, so the verdict and any counterexample trace are the
+/// same either way.
+///
 /// # Errors
 ///
 /// Fails when `(depth + 1) * input_bits` exceeds the window budget.
@@ -158,7 +351,6 @@ pub fn explicit_check(
     prop: &WindowProperty,
     limits: &ExplicitLimits,
 ) -> Result<CheckResult, McError> {
-    let aig = &blasted.aig;
     let depth = prop.depth();
     let window_bits = (depth + 1) * reach.input_bits;
     if window_bits > limits.max_window_bits.min(63) {
@@ -167,6 +359,109 @@ pub fn explicit_check(
             limit: limits.max_window_bits.min(63),
         });
     }
+    if reach.cache_enabled() {
+        explicit_check_cached(module, blasted, reach, prop)
+    } else {
+        explicit_check_direct(module, blasted, reach, prop)
+    }
+}
+
+/// The cached walk: states are discovery indices, every transition is a
+/// successor-table lookup, every atom a bitset probe.
+fn explicit_check_cached(
+    module: &Module,
+    blasted: &Blasted,
+    reach: &ReachableStates,
+    prop: &WindowProperty,
+) -> Result<CheckResult, McError> {
+    let aig = &blasted.aig;
+    let depth = prop.depth();
+    let combos = 1u64 << reach.input_bits;
+    let succ = reach.successors(aig);
+    // Resolve every atom to its observation bitset, consequent last.
+    let mut lits: Vec<AigLit> = prop
+        .antecedent
+        .iter()
+        .map(|a| blasted.signal_bit(a.signal, a.bit))
+        .collect();
+    lits.push(blasted.signal_bit(prop.consequent.signal, prop.consequent.bit));
+    let obs = reach.observations(aig, &lits);
+    let (cons_obs, ant_obs) = obs.split_last().expect("consequent bitset present");
+    // Group antecedent atoms by offset for the window walk.
+    type ObsAtom<'a> = (&'a Arc<Vec<u64>>, bool);
+    let mut ant_by_offset: Vec<Vec<ObsAtom>> = vec![Vec::new(); depth as usize + 1];
+    for (a, bits) in prop.antecedent.iter().zip(ant_obs) {
+        ant_by_offset[a.offset as usize].push((bits, a.value));
+    }
+    let mut visits = 0u64;
+
+    for si in 0..reach.states.len() {
+        // Depth-first walk over input sequences with antecedent pruning —
+        // the same traversal order as the direct walk below.
+        // (next_offset, state_index, inputs_so_far, consequent_value)
+        type WindowFrame = (u32, usize, Vec<u64>, Option<bool>);
+        let mut stack: Vec<WindowFrame> = Vec::new();
+        stack.push((0, si, Vec::new(), None));
+        while let Some((offset, state, words, cons_seen)) = stack.pop() {
+            if offset > depth {
+                // All antecedent atoms held; check the consequent.
+                let cons_val = cons_seen.expect("consequent evaluated in-window");
+                if cons_val != prop.consequent.value {
+                    reach
+                        .cache
+                        .cached_visits
+                        .fetch_add(visits, Ordering::Relaxed);
+                    let mut inputs = Vec::new();
+                    for w in reach.path_to(si) {
+                        let bits = unpack(w, reach.input_bits);
+                        inputs.push(assemble_input_vector(module, blasted, |i| bits[i]));
+                    }
+                    for w in &words {
+                        let bits = unpack(*w, reach.input_bits);
+                        inputs.push(assemble_input_vector(module, blasted, |i| bits[i]));
+                    }
+                    return Ok(CheckResult::Violated(CexTrace { inputs }));
+                }
+                continue;
+            }
+            let base = state * combos as usize;
+            for u in 0..combos {
+                let flat = base + u as usize;
+                visits += 1;
+                // Antecedent atoms at this offset must hold.
+                let ant_ok = ant_by_offset[offset as usize]
+                    .iter()
+                    .all(|(bits, value)| bitset_get(bits, flat) == *value);
+                if !ant_ok {
+                    continue;
+                }
+                let mut cons = cons_seen;
+                if prop.consequent.offset == offset {
+                    cons = Some(bitset_get(cons_obs, flat));
+                }
+                let mut w = words.clone();
+                w.push(u);
+                stack.push((offset + 1, succ[flat] as usize, w, cons));
+            }
+        }
+    }
+    reach
+        .cache
+        .cached_visits
+        .fetch_add(visits, Ordering::Relaxed);
+    Ok(CheckResult::Proved)
+}
+
+/// The direct walk for designs over the cache budget: every visited
+/// `(state, input)` pair evaluates the AIG.
+fn explicit_check_direct(
+    module: &Module,
+    blasted: &Blasted,
+    reach: &ReachableStates,
+    prop: &WindowProperty,
+) -> Result<CheckResult, McError> {
+    let aig = &blasted.aig;
+    let depth = prop.depth();
     // Group atoms by offset for incremental checking during the window walk.
     let mut ant_by_offset: Vec<Vec<&crate::prop::BitAtom>> = vec![Vec::new(); depth as usize + 1];
     for a in &prop.antecedent {
@@ -324,6 +619,71 @@ mod tests {
         };
         let res = explicit_check(&m, &b, &r, &prop, &ExplicitLimits::default()).unwrap();
         assert_eq!(res, CheckResult::Proved);
+    }
+
+    #[test]
+    fn cached_walk_matches_direct_walk_exactly() {
+        // Cross-validate the successor/observation cache against direct
+        // AIG evaluation on proved and violated properties alike —
+        // verdicts and traces must be bit-identical.
+        let (m, b, r) = setup(ARBITER2);
+        assert!(r.cache_enabled());
+        let req0 = m.require("req0").unwrap();
+        let req1 = m.require("req1").unwrap();
+        let gnt0 = m.require("gnt0").unwrap();
+        let gnt1 = m.require("gnt1").unwrap();
+        let props = vec![
+            WindowProperty {
+                antecedent: vec![BitAtom::new(req0, 0, 0, false)],
+                consequent: BitAtom::new(gnt0, 0, 1, true),
+            },
+            WindowProperty {
+                antecedent: vec![BitAtom::new(gnt0, 0, 0, true)],
+                consequent: BitAtom::new(gnt1, 0, 0, false),
+            },
+            WindowProperty {
+                antecedent: vec![
+                    BitAtom::new(req0, 0, 0, true),
+                    BitAtom::new(req1, 0, 1, false),
+                ],
+                consequent: BitAtom::new(gnt0, 0, 2, true),
+            },
+        ];
+        for p in &props {
+            let cached = explicit_check_cached(&m, &b, &r, p).unwrap();
+            let direct = explicit_check_direct(&m, &b, &r, p).unwrap();
+            assert_eq!(cached, direct, "cache diverged on {}", p.display(&m));
+        }
+        let stats = r.cache_stats();
+        assert!(stats.entries > 0, "successor table built");
+        assert!(stats.obs_literals >= 4, "one bitset per distinct literal");
+        assert!(stats.cached_visits > 0, "walk ran on the tables: {stats:?}");
+        // Re-checking does no new evaluation passes: everything is warm.
+        let passes = r.cache_stats().eval_passes;
+        for p in &props {
+            let _ = explicit_check_cached(&m, &b, &r, p).unwrap();
+        }
+        assert_eq!(r.cache_stats().eval_passes, passes);
+    }
+
+    #[test]
+    fn clone_resets_the_cache_but_keeps_the_states() {
+        let (m, b, r) = setup(ARBITER2);
+        let gnt0 = m.require("gnt0").unwrap();
+        let gnt1 = m.require("gnt1").unwrap();
+        let prop = WindowProperty {
+            antecedent: vec![BitAtom::new(gnt0, 0, 0, true)],
+            consequent: BitAtom::new(gnt1, 0, 0, false),
+        };
+        explicit_check(&m, &b, &r, &prop, &ExplicitLimits::default()).unwrap();
+        assert!(r.cache_stats().entries > 0);
+        let fresh = r.clone();
+        assert_eq!(fresh.states, r.states);
+        assert_eq!(fresh.cache_stats().entries, 0, "clone starts cold");
+        assert_eq!(
+            explicit_check(&m, &b, &fresh, &prop, &ExplicitLimits::default()).unwrap(),
+            CheckResult::Proved
+        );
     }
 
     #[test]

@@ -66,8 +66,8 @@ pub use aig::{Aig, AigLit, AigNode, Latch};
 pub use aiger::{blasted_to_aiger, parse_aiger, to_aiger, ParsedAiger};
 pub use blast::{blast, Blasted};
 pub use bmc::{bmc, k_induction, Unroller};
-pub use check::{Backend, Checker};
+pub use check::{Backend, Checker, MemoStats};
 pub use error::McError;
-pub use explicit::{explicit_check, ExplicitLimits, ReachableStates};
+pub use explicit::{explicit_check, ExplicitCacheStats, ExplicitLimits, ReachableStates};
 pub use prop::{BitAtom, CexTrace, CheckResult, WindowProperty};
 pub use session::{CheckSession, SessionStats};

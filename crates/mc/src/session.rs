@@ -164,6 +164,14 @@ impl CheckSession {
         self.stats
     }
 
+    /// Approximate resident size of the session's unrollings (see
+    /// [`Unroller::approx_bytes`]) — the number a long-lived service
+    /// weighs when deciding which warm design state to evict.
+    pub fn approx_bytes(&self) -> usize {
+        self.base.as_ref().map_or(0, Unroller::approx_bytes)
+            + self.step.as_ref().map_or(0, Unroller::approx_bytes)
+    }
+
     pub(crate) fn note_memo_hit(&mut self) {
         self.stats.memo_hits += 1;
     }

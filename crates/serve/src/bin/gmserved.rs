@@ -1,0 +1,82 @@
+//! `gmserved` — the closure-service daemon.
+//!
+//! ```text
+//! gmserved <socket-path> [--workers N] [--cache N] [--round-robin] [--warm-memo]
+//! ```
+//!
+//! Binds a Unix-domain socket (replacing a stale file), serves closure
+//! requests until a client sends `shutdown`, drains accepted work, and
+//! exits 0. Drive it with `gm_serve::ServeClient` or the
+//! `serve_closure` example.
+
+use gm_serve::{bind_unix, serve_unix, ClosureService, SchedPolicy, ServeConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gmserved <socket-path> [--workers N] [--cache N] [--round-robin] [--warm-memo]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next().map(PathBuf::from) else {
+        return usage();
+    };
+    let mut config = ServeConfig::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.workers = n,
+                None => return usage(),
+            },
+            "--cache" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.cache_capacity = n,
+                None => return usage(),
+            },
+            "--round-robin" => config.policy = SchedPolicy::RoundRobin,
+            "--warm-memo" => config.warm_memo = true,
+            _ => return usage(),
+        }
+    }
+    let listener = match bind_unix(&path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("gmserved: cannot bind {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = Arc::new(ClosureService::new(config.clone()));
+    println!(
+        "gmserved: listening on {} ({} workers, {:?}, cache {})",
+        path.display(),
+        service.stats().workers,
+        config.policy,
+        config.cache_capacity,
+    );
+    let result = serve_unix(service.clone(), listener);
+    let _ = std::fs::remove_file(&path);
+    match result {
+        Ok(()) => {
+            let stats = service.stats();
+            println!(
+                "gmserved: clean shutdown — {} submitted, {} completed, {} failed, {} cancelled, cache {}/{} hits, {} steals",
+                stats.submitted,
+                stats.completed,
+                stats.failed,
+                stats.cancelled,
+                stats.cache_hits,
+                stats.cache_hits + stats.cache_misses,
+                stats.steals,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("gmserved: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

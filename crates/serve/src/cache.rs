@@ -1,0 +1,324 @@
+//! The content-addressed design cache.
+//!
+//! Submissions are keyed by a content hash of the *parsed* module (the
+//! canonical Verilog re-print, so formatting differences in the
+//! submitted source collapse to one key). A cache entry holds the
+//! expensive per-design artifacts — the parsed [`Module`], its
+//! elaboration, and parked [`Checker`]s whose bit-blasted AIG,
+//! reachable state set and explicit-engine successor caches stay warm
+//! between requests — under a bounded LRU with hit/miss/eviction
+//! counters.
+//!
+//! Reuse is outcome-preserving by construction: a parked checker is
+//! [`Checker::reset_for_reuse`]d (fresh sessions, empty memo, zeroed
+//! stats) unless the service opts into `warm_memo`, so a cached run's
+//! [`goldmine::ClosureOutcome`] is byte-identical to a cold one's.
+
+use gm_mc::Checker;
+use gm_rtl::{Elab, Module};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache counters (also folded into
+/// [`crate::protocol::ServeStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident.
+    pub entries: usize,
+    /// The LRU bound.
+    pub capacity: usize,
+    /// Submissions that found their design cached.
+    pub hits: u64,
+    /// Submissions that had to build artifacts.
+    pub misses: u64,
+    /// Entries evicted by the bound.
+    pub evictions: u64,
+    /// Approximate resident bytes (sources, parked checker memos and
+    /// sessions — an estimate).
+    pub approx_bytes: usize,
+}
+
+/// The shared artifacts of one cached design.
+#[derive(Debug)]
+pub struct CachedDesign {
+    /// The parsed module.
+    pub module: Arc<Module>,
+    /// Its elaboration (mining specs and blasting both consume it).
+    pub elab: Arc<Elab>,
+    /// Checkers parked by finished jobs, ready for the next request of
+    /// this design. Bounded by [`MAX_PARKED_PER_DESIGN`]: a burst of
+    /// queued same-design jobs can otherwise build (and park) one
+    /// checker per job, not per concurrent worker.
+    parked: Vec<Checker>,
+    /// The canonical source — the collision guard: a hit must match it
+    /// exactly, so a 64-bit key collision can never hand out the wrong
+    /// design's artifacts.
+    canonical: String,
+    stamp: u64,
+}
+
+/// What [`DesignCache::checkout`] hands the caller.
+#[derive(Debug)]
+pub struct Checkout {
+    /// The parsed module.
+    pub module: Arc<Module>,
+    /// Its elaboration.
+    pub elab: Arc<Elab>,
+    /// A parked warm checker, when one is available (`None` on cold
+    /// entries, or when every parked checker is out with a concurrently
+    /// running job — the caller builds a fresh one from the
+    /// elaboration).
+    pub checker: Option<Checker>,
+    /// Whether the design was already cached.
+    pub hit: bool,
+}
+
+/// Most warm checkers retained per design — enough to feed every
+/// worker of a typical pool; excess checkers from bursty same-design
+/// queues are dropped at park time.
+const MAX_PARKED_PER_DESIGN: usize = 8;
+
+/// The canonical form a design is addressed by: its re-printed
+/// Verilog, so formatting differences in submitted source collapse.
+pub fn canonical_form(module: &Module) -> String {
+    gm_rtl::to_verilog(module)
+}
+
+/// FNV-1a 64-bit over a canonical form: the content address. The hash
+/// only routes lookups — [`DesignCache::checkout`] compares the full
+/// canonical text on every hit, so collisions cost a rebuild, never a
+/// wrong design.
+pub fn key_of(canonical: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+/// [`key_of`] ∘ [`canonical_form`] — convenience for one-off callers
+/// (hot paths compute the canonical form once and reuse it).
+pub fn content_key(module: &Module) -> String {
+    key_of(&canonical_form(module))
+}
+
+/// A bounded-LRU map from content key to design artifacts.
+#[derive(Debug)]
+pub struct DesignCache {
+    map: HashMap<String, CachedDesign>,
+    capacity: usize,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl DesignCache {
+    /// An empty cache bounded to `capacity` designs (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        DesignCache {
+            map: HashMap::new(),
+            capacity: capacity.max(1),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Whether `key` is resident *and* its canonical form matches (no
+    /// counter or stamp effects — used to decide whether artifacts must
+    /// be built before taking a lock).
+    pub fn matches(&self, key: &str, canonical: &str) -> bool {
+        self.map.get(key).is_some_and(|e| e.canonical == canonical)
+    }
+
+    /// Looks `key` up, counting a hit or miss and refreshing the LRU
+    /// stamp. A hit requires the resident entry's canonical form to
+    /// equal `canonical` byte-for-byte — a hash collision (resident
+    /// entry with a *different* canonical form) is handled as a miss
+    /// that replaces the entry, so artifacts never cross designs. On a
+    /// miss, `build` supplies the artifacts (the evicting insert
+    /// happens before returning).
+    pub fn checkout<E>(
+        &mut self,
+        key: &str,
+        canonical: &str,
+        build: impl FnOnce() -> Result<(Arc<Module>, Arc<Elab>), E>,
+    ) -> Result<Checkout, E> {
+        self.stamp += 1;
+        match self.map.get_mut(key) {
+            Some(entry) if entry.canonical == canonical => {
+                self.hits += 1;
+                entry.stamp = self.stamp;
+                return Ok(Checkout {
+                    module: entry.module.clone(),
+                    elab: entry.elab.clone(),
+                    checker: entry.parked.pop(),
+                    hit: true,
+                });
+            }
+            Some(_) => {
+                // 64-bit collision: drop the resident design rather
+                // than ever serving the wrong artifacts.
+                self.map.remove(key);
+                self.evictions += 1;
+            }
+            None => {}
+        }
+        self.misses += 1;
+        let (module, elab) = build()?;
+        let entry = CachedDesign {
+            module: module.clone(),
+            elab: elab.clone(),
+            parked: Vec::new(),
+            canonical: canonical.to_string(),
+            stamp: self.stamp,
+        };
+        self.map.insert(key.to_string(), entry);
+        while self.map.len() > self.capacity {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+                .expect("cache over capacity is non-empty");
+            self.map.remove(&oldest);
+            self.evictions += 1;
+        }
+        Ok(Checkout {
+            module,
+            elab,
+            checker: None,
+            hit: false,
+        })
+    }
+
+    /// Parks a finished job's checker back into its entry. The entry
+    /// must still hold the *same design* (`canonical` is compared, not
+    /// just the key — a collision replacement while the job ran must
+    /// not receive another design's checker); otherwise the checker is
+    /// dropped. Eviction only forgets warm state, never correctness.
+    pub fn park(&mut self, key: &str, canonical: &str, checker: Checker) {
+        if let Some(entry) = self.map.get_mut(key) {
+            if entry.canonical == canonical && entry.parked.len() < MAX_PARKED_PER_DESIGN {
+                entry.parked.push(checker);
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.map.len(),
+            capacity: self.capacity,
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            approx_bytes: self
+                .map
+                .values()
+                .map(|e| {
+                    e.canonical.len() + e.parked.iter().map(Checker::approx_bytes).sum::<usize>()
+                })
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_rtl::parse_verilog;
+
+    fn build(src: &str) -> (Arc<Module>, Arc<Elab>) {
+        let m = parse_verilog(src).unwrap();
+        let e = gm_rtl::elaborate(&m).unwrap();
+        (Arc::new(m), Arc::new(e))
+    }
+
+    const A: &str = "module a(input x, output y); assign y = x; endmodule";
+    const B: &str = "module b(input x, output y); assign y = ~x; endmodule";
+    const C: &str = "module c(input x, output y); assign y = x; endmodule";
+
+    #[test]
+    fn content_key_ignores_formatting_but_not_structure() {
+        let m1 = parse_verilog(A).unwrap();
+        let m2 =
+            parse_verilog("module a(input x,\n         output y);\n  assign y = x;\nendmodule")
+                .unwrap();
+        assert_eq!(content_key(&m1), content_key(&m2));
+        assert_ne!(content_key(&m1), content_key(&parse_verilog(B).unwrap()));
+        // Same body, different module name: different design.
+        assert_ne!(content_key(&m1), content_key(&parse_verilog(C).unwrap()));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let mut cache = DesignCache::new(2);
+        let (ka, kb, kc) = ("a", "b", "c");
+        let ok = |src: &'static str| move || Ok::<_, ()>(build(src));
+        cache.checkout(ka, A, ok(A)).unwrap();
+        cache.checkout(kb, B, ok(B)).unwrap();
+        // Touch A so B is the LRU victim when C arrives.
+        assert!(cache.checkout(ka, A, ok(A)).unwrap().hit);
+        cache.checkout(kc, C, ok(C)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        // A (recently touched) survived…
+        assert!(cache.checkout(ka, A, ok(A)).unwrap().hit);
+        // …and B was evicted: checking it out again is a miss.
+        let back = cache.checkout(kb, B, ok(B)).unwrap();
+        assert!(!back.hit);
+        assert!(back.checker.is_none());
+    }
+
+    #[test]
+    fn a_key_collision_never_serves_the_wrong_design() {
+        // Force a "collision" by reusing one key for two different
+        // canonical forms: the second checkout must NOT hit.
+        let mut cache = DesignCache::new(4);
+        let ok = |src: &'static str| move || Ok::<_, ()>(build(src));
+        cache.checkout("k", A, ok(A)).unwrap();
+        let other = cache.checkout("k", B, ok(B)).unwrap();
+        assert!(!other.hit, "colliding canonical forms are a miss");
+        assert_eq!(other.module.name(), "b");
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1, "the resident collider was dropped");
+        assert!(!cache.matches("k", A));
+        assert!(cache.matches("k", B));
+        // A checker from the replaced design must not attach to the
+        // new resident under the shared key.
+        let a = parse_verilog(A).unwrap();
+        cache.park("k", A, Checker::new(&a).unwrap());
+        let again = cache.checkout("k", B, ok(B)).unwrap();
+        assert!(again.hit);
+        assert!(
+            again.checker.is_none(),
+            "the stale design's checker must be dropped, not served"
+        );
+    }
+
+    #[test]
+    fn parked_checkers_come_back_and_dropped_ones_are_harmless() {
+        let mut cache = DesignCache::new(1);
+        let ok = |src: &'static str| move || Ok::<_, ()>(build(src));
+        let cold = cache.checkout("a", A, ok(A)).unwrap();
+        assert!(
+            cold.checker.is_none(),
+            "cold entries have no parked checker"
+        );
+        cache.park("a", A, Checker::new(&cold.module).unwrap());
+        let warm = cache.checkout("a", A, ok(A)).unwrap();
+        assert!(warm.hit && warm.checker.is_some());
+        assert!(cache.stats().approx_bytes > 0);
+        // Evict "a" while its checker is out; parking it back is a no-op.
+        cache.checkout("b", B, ok(B)).unwrap();
+        cache.park("a", A, warm.checker.unwrap());
+        assert_eq!(cache.stats().entries, 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! # gm-serve — the persistent closure service
+//!
+//! The batch pipeline's production shape: a long-lived verification
+//! backend that accepts closure requests for many designs, reuses warm
+//! design state across them, and streams per-iteration results back.
+//! Four layers:
+//!
+//! * [`protocol`] — serde-annotated [`Request`]/[`Response`] wire types
+//!   over length-prefixed JSON frames ([`protocol::write_frame`] /
+//!   [`protocol::read_frame`]) that work identically in-process and
+//!   across a Unix-domain socket;
+//! * [`scheduler`] — a work-stealing deque pool (each worker owns a
+//!   local queue, idle workers steal from peers) replacing the static
+//!   round-robin deal, with [`run_jobs`] for batch workloads and
+//!   [`run_campaign`] as a drop-in [`goldmine::Campaign`] executor;
+//! * [`cache`] — a content-addressed [`DesignCache`]: submissions
+//!   hash the parsed module, repeated designs reuse the elaboration,
+//!   bit-blasted AIG, reachable set and explicit-engine caches, under
+//!   a bounded LRU with hit/miss/eviction counters;
+//! * [`service`] — the [`ClosureService`] job table tying them
+//!   together, plus the Unix-socket transport ([`serve_unix`],
+//!   [`ServeClient`]) and the `gmserved` daemon binary.
+//!
+//! Serving never changes results: a served job's
+//! [`goldmine::ClosureOutcome`] is byte-identical to a standalone
+//! [`goldmine::Engine`] run under every scheduling policy and cache
+//! state (enforced by `tests/serve_agree.rs` across the whole design
+//! catalog).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use gm_serve::{ClosureService, ServeConfig};
+//! use goldmine::{EngineConfig, SeedStimulus};
+//!
+//! let service = ClosureService::new(ServeConfig { workers: 2, ..ServeConfig::default() });
+//! let module = gm_rtl::parse_verilog(
+//!     "module m(input a, output y); assign y = ~a; endmodule")?;
+//! let config = EngineConfig {
+//!     window: 0,
+//!     stimulus: SeedStimulus::Random { cycles: 8 },
+//!     record_coverage: false,
+//!     ..EngineConfig::default()
+//! };
+//! let (job, _) = service.submit_module("inverter", module, config)?;
+//! service.wait(job);
+//! assert!(service.summary(job).unwrap().converged);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Or over a socket: start `gmserved /tmp/gm.sock`, then drive it with
+//! [`ServeClient`] (see `examples/serve_closure.rs`).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod json;
+pub mod net;
+pub mod protocol;
+pub mod scheduler;
+pub mod service;
+
+pub use cache::{content_key, CacheStats, DesignCache};
+pub use net::{bind_unix, serve_unix, ServeClient};
+pub use protocol::{
+    ClosureSummary, JobState, ProgressEvent, Request, Response, ServeStats, WireBackend,
+    WireConfig, WireTargets,
+};
+pub use scheduler::{run_campaign, run_jobs, run_jobs_stats, SchedPolicy, SchedStats};
+pub use service::{ClosureService, JobStatus, ServeConfig, ServeError};

@@ -1,0 +1,337 @@
+//! Unix-domain-socket transport: the `gmserved` accept loop and the
+//! [`ServeClient`] helper.
+//!
+//! One thread per connection; each connection is a sequence of
+//! length-prefixed request/response frames (see [`crate::protocol`]).
+//! A `Shutdown` request is acknowledged on its own connection, then the
+//! accept loop stops, the service drains its queues, and
+//! [`serve_unix`] returns — the clean-shutdown path the CI smoke test
+//! asserts.
+
+use crate::protocol::{read_frame, write_frame, Request, Response};
+use crate::service::ClosureService;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Binds a Unix listener at `path`, replacing a stale socket file.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn bind_unix(path: &Path) -> io::Result<UnixListener> {
+    if path.exists() {
+        std::fs::remove_file(path)?;
+    }
+    UnixListener::bind(path)
+}
+
+/// Serves `service` on `listener` until a client sends
+/// `Request::Shutdown`. Returns after the service has drained and every
+/// connection thread has been joined.
+///
+/// # Errors
+///
+/// Propagates accept-loop I/O failures (per-connection errors only end
+/// that connection).
+pub fn serve_unix(service: Arc<ClosureService>, listener: UnixListener) -> io::Result<()> {
+    let closing = Arc::new(AtomicBool::new(false));
+    listener.set_nonblocking(true)?;
+    let mut conn_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut fatal = None;
+    while !closing.load(Ordering::Acquire) {
+        // Reap finished connections as we go — a long-lived daemon
+        // must not accumulate one dead JoinHandle per past client.
+        conn_threads.retain(|t| !t.is_finished());
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let service = service.clone();
+                let closing = closing.clone();
+                conn_threads.push(std::thread::spawn(move || {
+                    let _ = handle_connection(&service, stream, &closing);
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                // A fatal accept failure still runs the full teardown
+                // (unblock + join connections, drain the service) —
+                // embedders must not be left with orphaned threads.
+                closing.store(true, Ordering::Release);
+                fatal = Some(e);
+            }
+        }
+    }
+    // Drain the service FIRST: a submission that raced the close may
+    // sit in a queue no worker will run, and a connection thread may be
+    // blocked in Wait on it — shutdown() cancels those and notifies, so
+    // the connection joins below can complete.
+    service.shutdown();
+    for t in conn_threads {
+        let _ = t.join();
+    }
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+fn handle_connection(
+    service: &ClosureService,
+    mut stream: UnixStream,
+    closing: &AtomicBool,
+) -> io::Result<()> {
+    // Reads poll with a short timeout so an *idle* open connection
+    // notices a server shutdown instead of pinning the accept loop's
+    // join forever.
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    while let Some(frame) = read_frame_interruptible(&mut stream, closing)? {
+        let response = match Request::from_json(&frame) {
+            Ok(request) => {
+                let response = service.handle_request(&request);
+                if matches!(request, Request::Shutdown) {
+                    closing.store(true, Ordering::Release);
+                }
+                response
+            }
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        };
+        write_frame(&mut stream, &response.to_json())?;
+        if matches!(response, Response::ShuttingDown) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// [`read_frame`], but interruptible by the shutdown flag: between
+/// frames (and only there) a set `closing` ends the connection cleanly.
+/// Mid-frame timeouts keep the partial progress and keep waiting, so
+/// the stream never desynchronizes.
+fn read_frame_interruptible(
+    stream: &mut UnixStream,
+    closing: &AtomicBool,
+) -> io::Result<Option<crate::json::Json>> {
+    use crate::protocol::MAX_FRAME_BYTES;
+    let mut len_bytes = [0u8; 4];
+    if !read_full_interruptible(stream, &mut len_bytes, closing, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES} byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    if !read_full_interruptible(stream, &mut payload, closing, false)? {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed mid-frame",
+        ));
+    }
+    let text =
+        String::from_utf8(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    crate::json::parse(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Fills `buf`, tolerating read timeouts. Returns `Ok(false)` for a
+/// clean end — EOF, or shutdown observed — before the first byte when
+/// `at_boundary`; partial progress always keeps waiting for the rest
+/// (a shutdown mid-frame aborts with an error instead of desyncing).
+fn read_full_interruptible(
+    stream: &mut UnixStream,
+    buf: &mut [u8],
+    closing: &AtomicBool,
+    at_boundary: bool,
+) -> io::Result<bool> {
+    use std::io::Read;
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if at_boundary && filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if closing.load(Ordering::Acquire) {
+                    if at_boundary && filled == 0 {
+                        return Ok(false);
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "server shutting down mid-frame",
+                    ));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// A blocking client over one Unix-socket connection.
+///
+/// Thin sugar over the wire protocol: every method sends one request
+/// frame and decodes one response frame, turning protocol-level
+/// `Error` responses into `io::Error`s.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: UnixStream,
+}
+
+impl ServeClient {
+    /// Connects to a `gmserved` socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(path: &Path) -> io::Result<Self> {
+        Ok(ServeClient {
+            stream: UnixStream::connect(path)?,
+        })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a server-closed connection.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &request.to_json())?;
+        let frame = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        Response::from_json(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    fn expect<T>(
+        &mut self,
+        request: &Request,
+        decode: impl FnOnce(Response) -> Option<T>,
+    ) -> io::Result<T> {
+        match self.request(request)? {
+            Response::Error { message } => Err(io::Error::other(message)),
+            other => decode(other)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unexpected response")),
+        }
+    }
+
+    /// Submits a design; returns `(job id, design was cached)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server-side submission errors.
+    pub fn submit(
+        &mut self,
+        name: &str,
+        source: &str,
+        config: &crate::protocol::WireConfig,
+    ) -> io::Result<(u64, bool)> {
+        self.expect(
+            &Request::Submit {
+                name: name.to_string(),
+                source: source.to_string(),
+                config: config.clone(),
+            },
+            |r| match r {
+                Response::Submitted { job, cached } => Some((job, cached)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Polls a job's status.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; unknown jobs are server errors.
+    pub fn status(&mut self, job: u64) -> io::Result<Response> {
+        self.request(&Request::Status { job })
+    }
+
+    /// Fetches progress events from `from` on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn progress(
+        &mut self,
+        job: u64,
+        from: u64,
+    ) -> io::Result<(Vec<crate::protocol::ProgressEvent>, bool)> {
+        self.expect(&Request::Progress { job, from }, |r| match r {
+            Response::Progress {
+                events, terminal, ..
+            } => Some((events, terminal)),
+            _ => None,
+        })
+    }
+
+    /// Blocks until the job finishes; returns its summary.
+    ///
+    /// # Errors
+    ///
+    /// Failed or cancelled jobs surface as errors carrying the server's
+    /// message.
+    pub fn wait(&mut self, job: u64) -> io::Result<crate::protocol::ClosureSummary> {
+        self.expect(&Request::Wait { job }, |r| match r {
+            Response::Done { summary, .. } => Some(summary),
+            _ => None,
+        })
+    }
+
+    /// Requests cancellation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn cancel(&mut self, job: u64) -> io::Result<Response> {
+        self.request(&Request::Cancel { job })
+    }
+
+    /// Fetches aggregate service counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn stats(&mut self) -> io::Result<crate::protocol::ServeStats> {
+        self.expect(&Request::Stats, |r| match r {
+            Response::Stats(stats) => Some(stats),
+            _ => None,
+        })
+    }
+
+    /// Asks the server to shut down; returns once acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.expect(&Request::Shutdown, |r| match r {
+            Response::ShuttingDown => Some(()),
+            _ => None,
+        })
+    }
+}

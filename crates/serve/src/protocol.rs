@@ -1,0 +1,1041 @@
+//! The closure-service wire protocol.
+//!
+//! Serde-serializable [`Request`] / [`Response`] types carried as JSON
+//! over a length-prefixed framing that works identically in-process
+//! (any `Read`/`Write` pair) and across a Unix-domain socket: each
+//! frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. (The derives are wired through the offline
+//! `serde` shim today; the hand-rolled [`crate::json`] codec produces
+//! the actual bytes — see `vendor/README.md`.)
+//!
+//! Designs travel as Verilog source text and are parsed server-side;
+//! the [`WireConfig`] mirrors [`EngineConfig`] with signal *names*
+//! instead of module-local ids, so a config resolves against whatever
+//! module the server parsed. [`ClosureSummary::outcome_debug`] carries
+//! the full `Debug` render of the [`goldmine::ClosureOutcome`], which
+//! is how the differential suite proves a served result byte-identical
+//! to a standalone engine run across the socket.
+
+use crate::json::{self, Json};
+use gm_mc::Backend;
+use gm_rtl::Module;
+use goldmine::{
+    EngineConfig, SeedStimulus, ShardPolicy, StealPolicy, TargetSelection, UnknownPolicy,
+};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Largest accepted frame payload (a design source plus a full outcome
+/// debug render fits comfortably).
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// A protocol-level failure: malformed frames, unknown message tags,
+/// unresolvable signal names.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, ProtocolError> {
+    v.get(key)
+        .ok_or_else(|| ProtocolError(format!("missing field '{key}'")))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, ProtocolError> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| ProtocolError(format!("field '{key}' must be an unsigned integer")))
+}
+
+fn u32_field(v: &Json, key: &str) -> Result<u32, ProtocolError> {
+    u32::try_from(u64_field(v, key)?)
+        .map_err(|_| ProtocolError(format!("field '{key}' exceeds 32 bits")))
+}
+
+fn narrow_u32(value: u64, what: &str) -> Result<u32, ProtocolError> {
+    u32::try_from(value).map_err(|_| ProtocolError(format!("{what} exceeds 32 bits")))
+}
+
+fn str_field<'a>(v: &'a Json, key: &str) -> Result<&'a str, ProtocolError> {
+    field(v, key)?
+        .as_str()
+        .ok_or_else(|| ProtocolError(format!("field '{key}' must be a string")))
+}
+
+fn bool_field(v: &Json, key: &str) -> Result<bool, ProtocolError> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| ProtocolError(format!("field '{key}' must be a boolean")))
+}
+
+/// Mining-target selection by signal *name* (wire form of
+/// [`TargetSelection`]).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireTargets {
+    /// Every bit of every primary output.
+    AllOutputs,
+    /// Specific `(signal name, bit)` pairs.
+    Bits(Vec<(String, u32)>),
+}
+
+/// The wire form of [`EngineConfig`]: everything a closure request
+/// configures, with signal names in place of module-local ids.
+///
+/// Directed seed stimulus is not representable on the wire (it embeds
+/// module-local vectors); requests use random or empty seeds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WireConfig {
+    /// Mining window length.
+    pub window: u32,
+    /// RNG seed for random stimulus.
+    pub seed: u64,
+    /// Random seed cycles; `None` = the zero-pattern limit study.
+    pub random_cycles: Option<u64>,
+    /// Iteration budget.
+    pub max_iterations: u32,
+    /// Backend: `"auto"`, `"explicit"`, `("bmc", bound)`,
+    /// `("kind", max_k)`.
+    pub backend: WireBackend,
+    /// Whether `Unknown` verdicts are assumed true.
+    pub unknown_assume: bool,
+    /// Target selection.
+    pub targets: WireTargets,
+    /// Batch candidate checks per iteration.
+    pub batched: bool,
+    /// Shard sessions: 0 = off, `n` = fixed, `None` = per-core.
+    pub shards: Option<u32>,
+    /// Work-conserving shard dispatch (see [`StealPolicy`]).
+    pub steal: bool,
+    /// Race explicit vs SAT backends.
+    pub racing: bool,
+    /// Record per-iteration coverage.
+    pub record_coverage: bool,
+}
+
+/// Wire form of [`Backend`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireBackend {
+    /// Explicit when in limits, SAT otherwise.
+    Auto,
+    /// Explicit-state only.
+    Explicit,
+    /// BMC with the given bound.
+    Bmc(u32),
+    /// k-induction with the given depth.
+    KInduction(u32),
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig::from_engine(&EngineConfig::default()).expect("default config is wire-safe")
+    }
+}
+
+impl WireConfig {
+    /// Converts an [`EngineConfig`] into wire form. Target signal ids
+    /// are *not* resolvable without a module, so this only accepts
+    /// [`TargetSelection::AllOutputs`]; use [`WireConfig::with_bit_targets`]
+    /// for named bit targets.
+    ///
+    /// # Errors
+    ///
+    /// Fails on directed stimulus or id-based target selections.
+    pub fn from_engine(config: &EngineConfig) -> Result<Self, ProtocolError> {
+        let random_cycles = match &config.stimulus {
+            SeedStimulus::Random { cycles } => Some(*cycles),
+            SeedStimulus::None => None,
+            SeedStimulus::Directed(_) => {
+                return Err(ProtocolError(
+                    "directed stimulus is not representable on the wire".into(),
+                ))
+            }
+        };
+        let targets = match &config.targets {
+            TargetSelection::AllOutputs => WireTargets::AllOutputs,
+            _ => {
+                return Err(ProtocolError(
+                    "id-based targets need a module; use with_bit_targets".into(),
+                ))
+            }
+        };
+        Ok(WireConfig {
+            window: config.window,
+            seed: config.seed,
+            random_cycles,
+            max_iterations: config.max_iterations,
+            backend: match config.backend {
+                Backend::Auto => WireBackend::Auto,
+                Backend::Explicit => WireBackend::Explicit,
+                Backend::Bmc { bound } => WireBackend::Bmc(bound),
+                Backend::KInduction { max_k } => WireBackend::KInduction(max_k),
+            },
+            unknown_assume: config.unknown == UnknownPolicy::AssumeTrue,
+            targets,
+            batched: config.batched,
+            shards: match config.shards {
+                ShardPolicy::Off => Some(0),
+                ShardPolicy::Fixed(n) => Some(n as u32),
+                ShardPolicy::PerCore => None,
+            },
+            steal: config.steal == StealPolicy::Stealing,
+            racing: config.racing,
+            record_coverage: config.record_coverage,
+        })
+    }
+
+    /// Replaces the target selection with named `(signal, bit)` pairs.
+    pub fn with_bit_targets(mut self, bits: Vec<(String, u32)>) -> Self {
+        self.targets = WireTargets::Bits(bits);
+        self
+    }
+
+    /// Resolves the wire config against a parsed module, producing the
+    /// exact [`EngineConfig`] a standalone engine would run with.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a named target signal does not exist in `module`.
+    pub fn to_engine(&self, module: &Module) -> Result<EngineConfig, ProtocolError> {
+        let targets = match &self.targets {
+            WireTargets::AllOutputs => TargetSelection::AllOutputs,
+            WireTargets::Bits(bits) => TargetSelection::Bits(
+                bits.iter()
+                    .map(|(name, bit)| {
+                        module
+                            .require(name)
+                            .map(|sig| (sig, *bit))
+                            .map_err(|_| ProtocolError(format!("unknown target signal '{name}'")))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+        };
+        Ok(EngineConfig {
+            window: self.window,
+            seed: self.seed,
+            stimulus: match self.random_cycles {
+                Some(cycles) => SeedStimulus::Random { cycles },
+                None => SeedStimulus::None,
+            },
+            max_iterations: self.max_iterations,
+            backend: match self.backend {
+                WireBackend::Auto => Backend::Auto,
+                WireBackend::Explicit => Backend::Explicit,
+                WireBackend::Bmc(bound) => Backend::Bmc { bound },
+                WireBackend::KInduction(max_k) => Backend::KInduction { max_k },
+            },
+            unknown: if self.unknown_assume {
+                UnknownPolicy::AssumeTrue
+            } else {
+                UnknownPolicy::LeaveOpen
+            },
+            targets,
+            batched: self.batched,
+            shards: match self.shards {
+                Some(0) => ShardPolicy::Off,
+                Some(n) => ShardPolicy::Fixed(n as usize),
+                None => ShardPolicy::PerCore,
+            },
+            steal: if self.steal {
+                StealPolicy::Stealing
+            } else {
+                StealPolicy::RoundRobin
+            },
+            racing: self.racing,
+            record_coverage: self.record_coverage,
+        })
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("window", Json::UInt(self.window.into())),
+            ("seed", Json::UInt(self.seed)),
+            (
+                "random_cycles",
+                self.random_cycles.map_or(Json::Null, Json::UInt),
+            ),
+            ("max_iterations", Json::UInt(self.max_iterations.into())),
+            (
+                "backend",
+                match self.backend {
+                    WireBackend::Auto => Json::Str("auto".into()),
+                    WireBackend::Explicit => Json::Str("explicit".into()),
+                    WireBackend::Bmc(b) => {
+                        Json::Arr(vec![Json::Str("bmc".into()), Json::UInt(b.into())])
+                    }
+                    WireBackend::KInduction(k) => {
+                        Json::Arr(vec![Json::Str("kind".into()), Json::UInt(k.into())])
+                    }
+                },
+            ),
+            ("unknown_assume", Json::Bool(self.unknown_assume)),
+            (
+                "targets",
+                match &self.targets {
+                    WireTargets::AllOutputs => Json::Str("all_outputs".into()),
+                    WireTargets::Bits(bits) => Json::Arr(
+                        bits.iter()
+                            .map(|(name, bit)| {
+                                Json::Arr(vec![Json::Str(name.clone()), Json::UInt((*bit).into())])
+                            })
+                            .collect(),
+                    ),
+                },
+            ),
+            ("batched", Json::Bool(self.batched)),
+            (
+                "shards",
+                self.shards.map_or(Json::Null, |n| Json::UInt(n.into())),
+            ),
+            ("steal", Json::Bool(self.steal)),
+            ("racing", Json::Bool(self.racing)),
+            ("record_coverage", Json::Bool(self.record_coverage)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ProtocolError> {
+        let backend = match field(v, "backend")? {
+            Json::Str(s) if s == "auto" => WireBackend::Auto,
+            Json::Str(s) if s == "explicit" => WireBackend::Explicit,
+            Json::Arr(items) => match (items.first().and_then(Json::as_str), items.get(1)) {
+                (Some("bmc"), Some(b)) => WireBackend::Bmc(narrow_u32(
+                    b.as_u64()
+                        .ok_or_else(|| ProtocolError("bmc bound must be an integer".into()))?,
+                    "bmc bound",
+                )?),
+                (Some("kind"), Some(k)) => WireBackend::KInduction(narrow_u32(
+                    k.as_u64()
+                        .ok_or_else(|| ProtocolError("kind depth must be an integer".into()))?,
+                    "kind depth",
+                )?),
+                _ => return Err(ProtocolError("unknown backend".into())),
+            },
+            _ => return Err(ProtocolError("unknown backend".into())),
+        };
+        let targets = match field(v, "targets")? {
+            Json::Str(s) if s == "all_outputs" => WireTargets::AllOutputs,
+            Json::Arr(items) => WireTargets::Bits(
+                items
+                    .iter()
+                    .map(|pair| {
+                        let items = pair
+                            .as_arr()
+                            .ok_or_else(|| ProtocolError("target must be [name, bit]".into()))?;
+                        match (
+                            items.first().and_then(Json::as_str),
+                            items.get(1).and_then(Json::as_u64),
+                        ) {
+                            (Some(name), Some(bit)) => {
+                                Ok((name.to_string(), narrow_u32(bit, "target bit")?))
+                            }
+                            _ => Err(ProtocolError("target must be [name, bit]".into())),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            _ => return Err(ProtocolError("unknown target selection".into())),
+        };
+        Ok(WireConfig {
+            window: u32_field(v, "window")?,
+            seed: u64_field(v, "seed")?,
+            random_cycles: match field(v, "random_cycles")? {
+                Json::Null => None,
+                other => Some(other.as_u64().ok_or_else(|| {
+                    ProtocolError("random_cycles must be an integer or null".into())
+                })?),
+            },
+            max_iterations: u32_field(v, "max_iterations")?,
+            backend,
+            unknown_assume: bool_field(v, "unknown_assume")?,
+            targets,
+            batched: bool_field(v, "batched")?,
+            shards: match field(v, "shards")? {
+                Json::Null => None,
+                other => Some(narrow_u32(
+                    other
+                        .as_u64()
+                        .ok_or_else(|| ProtocolError("shards must be an integer or null".into()))?,
+                    "shards",
+                )?),
+            },
+            steal: bool_field(v, "steal")?,
+            racing: bool_field(v, "racing")?,
+            record_coverage: bool_field(v, "record_coverage")?,
+        })
+    }
+}
+
+/// One per-iteration progress event streamed back to clients.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ProgressEvent {
+    /// Iteration number (0 = seed snapshot).
+    pub iteration: u32,
+    /// Open candidates at the start of the iteration.
+    pub candidates: u64,
+    /// Total proved assertions so far.
+    pub proved_total: u64,
+    /// Candidates refuted this iteration.
+    pub refuted: u64,
+    /// Input-space coverage of the proved assertions.
+    pub input_space_coverage: f64,
+    /// Total stimulus cycles accumulated.
+    pub suite_cycles: u64,
+}
+
+impl ProgressEvent {
+    /// Builds an event from an engine iteration report.
+    pub fn from_report(r: &goldmine::IterationReport) -> Self {
+        ProgressEvent {
+            iteration: r.iteration,
+            candidates: r.candidates as u64,
+            proved_total: r.proved_total as u64,
+            refuted: r.refuted as u64,
+            input_space_coverage: r.input_space_coverage,
+            suite_cycles: r.suite_cycles as u64,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("iteration", Json::UInt(self.iteration.into())),
+            ("candidates", Json::UInt(self.candidates)),
+            ("proved_total", Json::UInt(self.proved_total)),
+            ("refuted", Json::UInt(self.refuted)),
+            (
+                "input_space_coverage",
+                Json::Float(self.input_space_coverage),
+            ),
+            ("suite_cycles", Json::UInt(self.suite_cycles)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ProtocolError> {
+        Ok(ProgressEvent {
+            iteration: u32_field(v, "iteration")?,
+            candidates: u64_field(v, "candidates")?,
+            proved_total: u64_field(v, "proved_total")?,
+            refuted: u64_field(v, "refuted")?,
+            input_space_coverage: field(v, "input_space_coverage")?
+                .as_f64()
+                .ok_or_else(|| ProtocolError("input_space_coverage must be a number".into()))?,
+            suite_cycles: u64_field(v, "suite_cycles")?,
+        })
+    }
+}
+
+/// The final result of a served closure job.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClosureSummary {
+    /// Whether every target converged.
+    pub converged: bool,
+    /// Counterexample iterations performed.
+    pub iterations: u32,
+    /// Proved assertions, rendered as LTL.
+    pub assertions: Vec<String>,
+    /// Total stimulus cycles in the closing suite.
+    pub suite_cycles: u64,
+    /// Candidates assumed true on `Unknown` verdicts.
+    pub unknown_assumed: u64,
+    /// The full `Debug` render of the
+    /// [`goldmine::ClosureOutcome`] — byte-identical to a standalone
+    /// engine run's, which is how the differential suite audits the
+    /// service across the socket.
+    pub outcome_debug: String,
+}
+
+impl ClosureSummary {
+    /// Builds the wire summary from an engine outcome.
+    pub fn from_outcome(outcome: &goldmine::ClosureOutcome, module: &Module) -> Self {
+        ClosureSummary {
+            converged: outcome.converged,
+            iterations: outcome.iteration_count(),
+            assertions: outcome
+                .assertions
+                .iter()
+                .map(|a| a.to_ltl(module))
+                .collect(),
+            suite_cycles: outcome.suite.total_cycles() as u64,
+            unknown_assumed: outcome.unknown_assumed as u64,
+            outcome_debug: format!("{outcome:?}"),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("converged", Json::Bool(self.converged)),
+            ("iterations", Json::UInt(self.iterations.into())),
+            (
+                "assertions",
+                Json::Arr(
+                    self.assertions
+                        .iter()
+                        .map(|a| Json::Str(a.clone()))
+                        .collect(),
+                ),
+            ),
+            ("suite_cycles", Json::UInt(self.suite_cycles)),
+            ("unknown_assumed", Json::UInt(self.unknown_assumed)),
+            ("outcome_debug", Json::Str(self.outcome_debug.clone())),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ProtocolError> {
+        Ok(ClosureSummary {
+            converged: bool_field(v, "converged")?,
+            iterations: u32_field(v, "iterations")?,
+            assertions: field(v, "assertions")?
+                .as_arr()
+                .ok_or_else(|| ProtocolError("assertions must be an array".into()))?
+                .iter()
+                .map(|a| {
+                    a.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| ProtocolError("assertion must be a string".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            suite_cycles: u64_field(v, "suite_cycles")?,
+            unknown_assumed: u64_field(v, "unknown_assumed")?,
+            outcome_debug: str_field(v, "outcome_debug")?.to_string(),
+        })
+    }
+}
+
+/// The lifecycle state of a served job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting in a worker queue.
+    Queued,
+    /// A worker is running the closure loop.
+    Running,
+    /// Finished; a summary is available.
+    Done,
+    /// The engine failed; the status carries the error.
+    Failed,
+    /// Cancelled before or during the run.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire tag.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<Self, ProtocolError> {
+        Ok(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            other => return Err(ProtocolError(format!("unknown job state '{other}'"))),
+        })
+    }
+}
+
+/// Aggregate service counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeStats {
+    /// Jobs accepted.
+    pub submitted: u64,
+    /// Jobs finished successfully.
+    pub completed: u64,
+    /// Jobs that failed with an engine error.
+    pub failed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Worker-pool size.
+    pub workers: u64,
+    /// Jobs a worker claimed from a peer's queue.
+    pub steals: u64,
+    /// Design-cache entries currently resident.
+    pub cache_entries: u64,
+    /// Submissions whose design was already cached.
+    pub cache_hits: u64,
+    /// Submissions that had to build design artifacts.
+    pub cache_misses: u64,
+    /// Cache entries evicted by the LRU bound.
+    pub cache_evictions: u64,
+    /// Approximate resident bytes of the cached design artifacts.
+    pub cache_bytes: u64,
+}
+
+impl ServeStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("submitted", Json::UInt(self.submitted)),
+            ("completed", Json::UInt(self.completed)),
+            ("failed", Json::UInt(self.failed)),
+            ("cancelled", Json::UInt(self.cancelled)),
+            ("workers", Json::UInt(self.workers)),
+            ("steals", Json::UInt(self.steals)),
+            ("cache_entries", Json::UInt(self.cache_entries)),
+            ("cache_hits", Json::UInt(self.cache_hits)),
+            ("cache_misses", Json::UInt(self.cache_misses)),
+            ("cache_evictions", Json::UInt(self.cache_evictions)),
+            ("cache_bytes", Json::UInt(self.cache_bytes)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ProtocolError> {
+        Ok(ServeStats {
+            submitted: u64_field(v, "submitted")?,
+            completed: u64_field(v, "completed")?,
+            failed: u64_field(v, "failed")?,
+            cancelled: u64_field(v, "cancelled")?,
+            workers: u64_field(v, "workers")?,
+            steals: u64_field(v, "steals")?,
+            cache_entries: u64_field(v, "cache_entries")?,
+            cache_hits: u64_field(v, "cache_hits")?,
+            cache_misses: u64_field(v, "cache_misses")?,
+            cache_evictions: u64_field(v, "cache_evictions")?,
+            cache_bytes: u64_field(v, "cache_bytes")?,
+        })
+    }
+}
+
+/// A client-to-server message.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a design (Verilog source) for closure.
+    Submit {
+        /// A label for reports.
+        name: String,
+        /// The Verilog source; parsed server-side and content-hashed
+        /// into the design cache.
+        source: String,
+        /// The run configuration.
+        config: WireConfig,
+    },
+    /// Poll a job's lifecycle state.
+    Status {
+        /// The job id.
+        job: u64,
+    },
+    /// Fetch per-iteration progress events from index `from` on.
+    Progress {
+        /// The job id.
+        job: u64,
+        /// First event index wanted (enables incremental streaming).
+        from: u64,
+    },
+    /// Block until the job finishes and return its summary.
+    Wait {
+        /// The job id.
+        job: u64,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// The job id.
+        job: u64,
+    },
+    /// Fetch aggregate service counters.
+    Stats,
+    /// Ask the server to shut down cleanly.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes to the wire JSON.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Submit {
+                name,
+                source,
+                config,
+            } => Json::obj(vec![
+                ("type", Json::Str("submit".into())),
+                ("name", Json::Str(name.clone())),
+                ("source", Json::Str(source.clone())),
+                ("config", config.to_json()),
+            ]),
+            Request::Status { job } => Json::obj(vec![
+                ("type", Json::Str("status".into())),
+                ("job", Json::UInt(*job)),
+            ]),
+            Request::Progress { job, from } => Json::obj(vec![
+                ("type", Json::Str("progress".into())),
+                ("job", Json::UInt(*job)),
+                ("from", Json::UInt(*from)),
+            ]),
+            Request::Wait { job } => Json::obj(vec![
+                ("type", Json::Str("wait".into())),
+                ("job", Json::UInt(*job)),
+            ]),
+            Request::Cancel { job } => Json::obj(vec![
+                ("type", Json::Str("cancel".into())),
+                ("job", Json::UInt(*job)),
+            ]),
+            Request::Stats => Json::obj(vec![("type", Json::Str("stats".into()))]),
+            Request::Shutdown => Json::obj(vec![("type", Json::Str("shutdown".into()))]),
+        }
+    }
+
+    /// Deserializes from the wire JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown tags or missing fields.
+    pub fn from_json(v: &Json) -> Result<Self, ProtocolError> {
+        match str_field(v, "type")? {
+            "submit" => Ok(Request::Submit {
+                name: str_field(v, "name")?.to_string(),
+                source: str_field(v, "source")?.to_string(),
+                config: WireConfig::from_json(field(v, "config")?)?,
+            }),
+            "status" => Ok(Request::Status {
+                job: u64_field(v, "job")?,
+            }),
+            "progress" => Ok(Request::Progress {
+                job: u64_field(v, "job")?,
+                from: u64_field(v, "from")?,
+            }),
+            "wait" => Ok(Request::Wait {
+                job: u64_field(v, "job")?,
+            }),
+            "cancel" => Ok(Request::Cancel {
+                job: u64_field(v, "job")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtocolError(format!("unknown request type '{other}'"))),
+        }
+    }
+}
+
+/// A server-to-client message.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A submission was accepted.
+    Submitted {
+        /// The assigned job id.
+        job: u64,
+        /// Whether the design's artifacts were already cached.
+        cached: bool,
+    },
+    /// A status poll answer.
+    Status {
+        /// The job id.
+        job: u64,
+        /// Lifecycle state.
+        state: JobState,
+        /// Job label.
+        name: String,
+        /// Progress events recorded so far.
+        progress_len: u64,
+        /// The engine error, for failed jobs.
+        error: Option<String>,
+    },
+    /// A progress slice.
+    Progress {
+        /// The job id.
+        job: u64,
+        /// Index of the first event in `events`.
+        from: u64,
+        /// The events.
+        events: Vec<ProgressEvent>,
+        /// Whether the job has reached a terminal state (no more events
+        /// will follow).
+        terminal: bool,
+    },
+    /// A finished job's summary (answer to `Wait`, or to `Status` once
+    /// done if the client asks again — `Wait` is the blocking form).
+    Done {
+        /// The job id.
+        job: u64,
+        /// The result.
+        summary: ClosureSummary,
+    },
+    /// Aggregate counters.
+    Stats(ServeStats),
+    /// The server acknowledges a shutdown request.
+    ShuttingDown,
+    /// Any failure: unknown job, parse error, engine error, cancelled
+    /// wait.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Serializes to the wire JSON.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Response::Submitted { job, cached } => Json::obj(vec![
+                ("type", Json::Str("submitted".into())),
+                ("job", Json::UInt(*job)),
+                ("cached", Json::Bool(*cached)),
+            ]),
+            Response::Status {
+                job,
+                state,
+                name,
+                progress_len,
+                error,
+            } => Json::obj(vec![
+                ("type", Json::Str("status".into())),
+                ("job", Json::UInt(*job)),
+                ("state", Json::Str(state.as_str().into())),
+                ("name", Json::Str(name.clone())),
+                ("progress_len", Json::UInt(*progress_len)),
+                ("error", error.clone().map_or(Json::Null, Json::Str)),
+            ]),
+            Response::Progress {
+                job,
+                from,
+                events,
+                terminal,
+            } => Json::obj(vec![
+                ("type", Json::Str("progress".into())),
+                ("job", Json::UInt(*job)),
+                ("from", Json::UInt(*from)),
+                (
+                    "events",
+                    Json::Arr(events.iter().map(ProgressEvent::to_json).collect()),
+                ),
+                ("terminal", Json::Bool(*terminal)),
+            ]),
+            Response::Done { job, summary } => Json::obj(vec![
+                ("type", Json::Str("done".into())),
+                ("job", Json::UInt(*job)),
+                ("summary", summary.to_json()),
+            ]),
+            Response::Stats(stats) => Json::obj(vec![
+                ("type", Json::Str("stats".into())),
+                ("stats", stats.to_json()),
+            ]),
+            Response::ShuttingDown => Json::obj(vec![("type", Json::Str("shutting_down".into()))]),
+            Response::Error { message } => Json::obj(vec![
+                ("type", Json::Str("error".into())),
+                ("message", Json::Str(message.clone())),
+            ]),
+        }
+    }
+
+    /// Deserializes from the wire JSON.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown tags or missing fields.
+    pub fn from_json(v: &Json) -> Result<Self, ProtocolError> {
+        match str_field(v, "type")? {
+            "submitted" => Ok(Response::Submitted {
+                job: u64_field(v, "job")?,
+                cached: bool_field(v, "cached")?,
+            }),
+            "status" => Ok(Response::Status {
+                job: u64_field(v, "job")?,
+                state: JobState::from_str(str_field(v, "state")?)?,
+                name: str_field(v, "name")?.to_string(),
+                progress_len: u64_field(v, "progress_len")?,
+                error: match field(v, "error")? {
+                    Json::Null => None,
+                    other => Some(
+                        other
+                            .as_str()
+                            .ok_or_else(|| ProtocolError("error must be a string".into()))?
+                            .to_string(),
+                    ),
+                },
+            }),
+            "progress" => Ok(Response::Progress {
+                job: u64_field(v, "job")?,
+                from: u64_field(v, "from")?,
+                events: field(v, "events")?
+                    .as_arr()
+                    .ok_or_else(|| ProtocolError("events must be an array".into()))?
+                    .iter()
+                    .map(ProgressEvent::from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+                terminal: bool_field(v, "terminal")?,
+            }),
+            "done" => Ok(Response::Done {
+                job: u64_field(v, "job")?,
+                summary: ClosureSummary::from_json(field(v, "summary")?)?,
+            }),
+            "stats" => Ok(Response::Stats(ServeStats::from_json(field(v, "stats")?)?)),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            "error" => Ok(Response::Error {
+                message: str_field(v, "message")?.to_string(),
+            }),
+            other => Err(ProtocolError(format!("unknown response type '{other}'"))),
+        }
+    }
+}
+
+/// Writes one length-prefixed frame: 4 bytes big-endian payload length,
+/// then the JSON bytes.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_frame(w: &mut impl Write, payload: &Json) -> std::io::Result<()> {
+    let bytes = payload.to_string().into_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "frame too large"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&bytes)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `None` on a clean EOF at a
+/// frame boundary.
+///
+/// # Errors
+///
+/// Fails on truncated frames, oversized lengths, invalid UTF-8 or
+/// malformed JSON.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Json>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES} byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    json::parse(&text)
+        .map(Some)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_request(req: Request) {
+        let json = req.to_json();
+        assert_eq!(Request::from_json(&json).unwrap(), req);
+        // And through the framing.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &json).unwrap();
+        let back = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(Request::from_json(&back).unwrap(), req);
+    }
+
+    #[test]
+    fn requests_round_trip_through_frames() {
+        round_trip_request(Request::Submit {
+            name: "arbiter2".into(),
+            source: "module m(input a, output y);\n  assign y = a;\nendmodule".into(),
+            config: WireConfig::default().with_bit_targets(vec![("gnt0".into(), 0)]),
+        });
+        round_trip_request(Request::Status { job: 7 });
+        round_trip_request(Request::Progress { job: 7, from: 3 });
+        round_trip_request(Request::Wait { job: u64::MAX });
+        round_trip_request(Request::Cancel { job: 0 });
+        round_trip_request(Request::Stats);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Submitted {
+                job: 3,
+                cached: true,
+            },
+            Response::Status {
+                job: 3,
+                state: JobState::Running,
+                name: "b09".into(),
+                progress_len: 4,
+                error: None,
+            },
+            Response::Progress {
+                job: 3,
+                from: 1,
+                events: vec![ProgressEvent {
+                    iteration: 1,
+                    candidates: 12,
+                    proved_total: 5,
+                    refuted: 2,
+                    input_space_coverage: 0.625,
+                    suite_cycles: 96,
+                }],
+                terminal: false,
+            },
+            Response::Done {
+                job: 3,
+                summary: ClosureSummary {
+                    converged: true,
+                    iterations: 4,
+                    assertions: vec!["req0 => X gnt0".into()],
+                    suite_cycles: 128,
+                    unknown_assumed: 0,
+                    outcome_debug: "ClosureOutcome { .. }".into(),
+                },
+            },
+            Response::Stats(ServeStats {
+                submitted: 9,
+                workers: 4,
+                steals: 2,
+                cache_hits: 5,
+                ..ServeStats::default()
+            }),
+            Response::ShuttingDown,
+            Response::Error {
+                message: "unknown job 99".into(),
+            },
+        ] {
+            assert_eq!(Response::from_json(&resp.to_json()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn wire_config_resolves_to_the_standalone_engine_config() {
+        let m = gm_rtl::parse_verilog(
+            "module m(input clk, input rst, input d, output reg q);
+               always @(posedge clk) if (rst) q <= 0; else q <= d;
+             endmodule",
+        )
+        .unwrap();
+        let wire = WireConfig::default().with_bit_targets(vec![("q".into(), 0)]);
+        let engine = wire.to_engine(&m).unwrap();
+        let q = m.require("q").unwrap();
+        assert_eq!(engine.targets, TargetSelection::Bits(vec![(q, 0)]));
+        assert_eq!(engine.seed, EngineConfig::default().seed);
+        // Unknown signal names are rejected, not silently dropped.
+        let bad = WireConfig::default().with_bit_targets(vec![("nope".into(), 0)]);
+        assert!(bad.to_engine(&m).is_err());
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::UInt(1)).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+        let huge = (MAX_FRAME_BYTES + 1).to_be_bytes().to_vec();
+        assert!(read_frame(&mut huge.as_slice()).is_err());
+        // Clean EOF at a boundary is not an error.
+        assert_eq!(read_frame(&mut [].as_slice()).unwrap(), None);
+    }
+}

@@ -1,0 +1,929 @@
+//! The persistent closure service.
+//!
+//! A [`ClosureService`] owns a pool of long-lived workers running the
+//! [`crate::scheduler`] queue discipline, a job table, and the
+//! content-addressed [`DesignCache`]. Requests arrive through the typed
+//! API ([`ClosureService::submit_module`] & co., used in-process) or
+//! through [`ClosureService::handle_request`] (the wire dispatcher the
+//! Unix-socket server calls); both paths share all state, so a design
+//! submitted over the socket warms the cache for in-process callers and
+//! vice versa.
+//!
+//! ## Determinism
+//!
+//! A served job's [`ClosureOutcome`] is byte-identical to a standalone
+//! [`Engine`] run of the same module and config, regardless of worker
+//! count, scheduling policy, cache state, or what else the service is
+//! doing: jobs never share mutable state, artifact reuse is
+//! stats-invisible ([`gm_mc::Checker::reset_for_reuse`]), and the
+//! engine's own determinism contract covers everything inside the run.
+//! The differential suite (`tests/serve_agree.rs`) enforces this across
+//! the whole design catalog. The one opt-out is
+//! [`ServeConfig::warm_memo`], which carries verification memos across
+//! runs of the same design — verdicts and artifacts stay identical, but
+//! the work counters in the outcome's iteration reports then reflect
+//! the memo hits.
+
+use crate::cache::DesignCache;
+use crate::protocol::{
+    ClosureSummary, JobState, ProgressEvent, Request, Response, ServeStats, WireConfig,
+};
+use crate::scheduler::{SchedPolicy, StealQueues};
+use gm_mc::Checker;
+use gm_rtl::{Elab, Module};
+use goldmine::{ClosureOutcome, Engine, EngineConfig, EngineError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Service construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker-pool size; 0 = one per available core.
+    pub workers: usize,
+    /// Design-cache capacity (distinct designs kept warm).
+    pub cache_capacity: usize,
+    /// Queue discipline (work-stealing by default).
+    pub policy: SchedPolicy,
+    /// Keep verification memos warm across runs of the same design.
+    /// Off by default: warm memos change the work counters embedded in
+    /// the outcome's iteration reports (verdicts and artifacts stay
+    /// identical), so the default preserves byte-identity with
+    /// standalone runs.
+    pub warm_memo: bool,
+    /// How many *finished* job records (progress, summary, any
+    /// untaken outcome) the table retains; the oldest finished records
+    /// are dropped past the bound, so a long-lived daemon's memory
+    /// stays bounded. Queued/running jobs are never dropped. A client
+    /// polling a dropped job sees "unknown job".
+    pub retain_jobs: usize,
+    /// Property-memo bound applied to checkers parked under
+    /// `warm_memo` ([`gm_mc::Checker::with_memo_capacity`]) — the
+    /// eviction knob that keeps a daemon's warm memos from growing
+    /// without bound across requests. Irrelevant when `warm_memo` is
+    /// off (memos are cleared by the reset).
+    pub warm_memo_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            cache_capacity: 8,
+            policy: SchedPolicy::WorkStealing,
+            warm_memo: false,
+            retain_jobs: 1024,
+            warm_memo_capacity: 4096,
+        }
+    }
+}
+
+/// A service-level submission failure (parse, elaboration, config
+/// resolution).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError(pub String);
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serve: {}", self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A status snapshot of one job.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Job label.
+    pub name: String,
+    /// Progress events recorded so far.
+    pub progress_len: usize,
+    /// The engine error, for failed jobs.
+    pub error: Option<String>,
+    /// Whether the design's artifacts were cached at submission.
+    pub cached: bool,
+}
+
+struct JobRecord {
+    name: String,
+    key: String,
+    /// The design's canonical form — required to park the checker back
+    /// safely (see [`DesignCache::park`]).
+    canonical: Arc<str>,
+    config: EngineConfig,
+    module: Arc<Module>,
+    elab: Arc<Elab>,
+    /// A warm checker checked out of the cache at submission (absent on
+    /// cold entries or when every parked checker is busy).
+    checker: Option<Checker>,
+    state: JobState,
+    progress: Vec<ProgressEvent>,
+    outcome: Option<Result<ClosureOutcome, EngineError>>,
+    error: Option<String>,
+    cancel: Arc<AtomicBool>,
+    cached: bool,
+}
+
+struct State {
+    jobs: HashMap<u64, JobRecord>,
+    /// Finished job ids in completion order — the FIFO behind
+    /// [`ServeConfig::retain_jobs`].
+    finished: std::collections::VecDeque<u64>,
+    cache: DesignCache,
+    next_id: u64,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+}
+
+impl State {
+    /// Records that `id` reached a terminal state, evicting the oldest
+    /// finished records past the retention bound.
+    fn retire(&mut self, id: u64, retain: usize) {
+        self.finished.push_back(id);
+        while self.finished.len() > retain.max(1) {
+            let oldest = self.finished.pop_front().expect("non-empty");
+            self.jobs.remove(&oldest);
+        }
+    }
+
+    /// Retires a still-queued job as cancelled: parks its checked-out
+    /// warm checker back into the cache, counts the cancellation, and
+    /// applies retention. No-op for jobs past `Queued`. Used by both
+    /// the worker claim path and the shutdown queue drain — callers
+    /// notify `done_cv` afterwards.
+    fn cancel_queued(&mut self, id: u64, retain: usize) {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        if job.state != JobState::Queued {
+            return;
+        }
+        job.state = JobState::Cancelled;
+        let checker = job.checker.take();
+        let key = job.key.clone();
+        let canonical = job.canonical.clone();
+        self.cancelled += 1;
+        if let Some(checker) = checker {
+            self.cache.park(&key, &canonical, checker);
+        }
+        self.retire(id, retain);
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    queues: StealQueues<u64>,
+    state: Mutex<State>,
+    /// Notified (with the state mutex) whenever a job reaches a
+    /// terminal state.
+    done_cv: Condvar,
+    open: AtomicBool,
+}
+
+/// The persistent closure service (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use gm_serve::{ClosureService, ServeConfig};
+/// use goldmine::{EngineConfig, SeedStimulus};
+///
+/// let service = ClosureService::new(ServeConfig { workers: 2, ..ServeConfig::default() });
+/// let module = gm_rtl::parse_verilog(
+///     "module m(input a, input b, output y); assign y = a & b; endmodule")?;
+/// let config = EngineConfig {
+///     window: 0,
+///     stimulus: SeedStimulus::Random { cycles: 8 },
+///     record_coverage: false,
+///     ..EngineConfig::default()
+/// };
+/// let (job, cached) = service.submit_module("andgate", module, config)?;
+/// assert!(!cached, "first submission is a cache miss");
+/// service.wait(job);
+/// let outcome = service.take_outcome(job).unwrap()?;
+/// assert!(outcome.converged);
+/// service.shutdown();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ClosureService {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ClosureService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ClosureService({} workers, {:?})",
+            self.shared.queues.worker_count(),
+            self.shared.config.policy
+        )
+    }
+}
+
+fn terminal(state: JobState) -> bool {
+    matches!(
+        state,
+        JobState::Done | JobState::Failed | JobState::Cancelled
+    )
+}
+
+impl ClosureService {
+    /// Starts the service: spawns the worker pool and returns the
+    /// handle. Workers idle until submissions arrive.
+    pub fn new(config: ServeConfig) -> Self {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            queues: StealQueues::new(workers, config.policy),
+            state: Mutex::new(State {
+                jobs: HashMap::new(),
+                finished: std::collections::VecDeque::new(),
+                cache: DesignCache::new(config.cache_capacity),
+                next_id: 1,
+                submitted: 0,
+                completed: 0,
+                failed: 0,
+                cancelled: 0,
+            }),
+            done_cv: Condvar::new(),
+            open: AtomicBool::new(true),
+            config,
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("gmserve-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        ClosureService {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    fn state(&self) -> MutexGuard<'_, State> {
+        self.shared.state.lock().expect("service state poisoned")
+    }
+
+    /// Submits Verilog source with a wire config (the socket path).
+    ///
+    /// # Errors
+    ///
+    /// Fails on parse, elaboration or target-resolution errors, or
+    /// after shutdown.
+    pub fn submit_source(
+        &self,
+        name: &str,
+        source: &str,
+        wire: &WireConfig,
+    ) -> Result<(u64, bool), ServeError> {
+        let module =
+            gm_rtl::parse_verilog(source).map_err(|e| ServeError(format!("parse error: {e}")))?;
+        let config = wire
+            .to_engine(&module)
+            .map_err(|e| ServeError(e.to_string()))?;
+        self.submit_module(name, module, config)
+    }
+
+    /// Submits a parsed module with a resolved engine config (the
+    /// in-process path). Returns the job id and whether the design's
+    /// artifacts were already cached.
+    ///
+    /// # Errors
+    ///
+    /// Fails on elaboration errors, or after shutdown.
+    pub fn submit_module(
+        &self,
+        name: &str,
+        module: Module,
+        config: EngineConfig,
+    ) -> Result<(u64, bool), ServeError> {
+        let canonical = crate::cache::canonical_form(&module);
+        let key = crate::cache::key_of(&canonical);
+        // Elaboration is the expensive part of a cold submission; do it
+        // *outside* the state lock so a big design never stalls status
+        // polls, progress streams or running jobs' iteration callbacks.
+        // The loop handles the races: another submitter may insert the
+        // design while we build (our build is discarded), or evict it
+        // between our peek and our checkout (we build and retry).
+        let mut module = Some(module);
+        let mut prebuilt: Option<(Arc<Module>, Arc<Elab>)> = None;
+        loop {
+            let mut st = self.state();
+            if !self.shared.open.load(Ordering::Acquire) {
+                return Err(ServeError("service is shut down".into()));
+            }
+            if !st.cache.matches(&key, &canonical) && prebuilt.is_none() {
+                drop(st);
+                let module = module.take().expect("module consumed at most once");
+                let elab = gm_rtl::elaborate(&module)
+                    .map_err(|e| ServeError(format!("elaboration error: {e}")))?;
+                prebuilt = Some((Arc::new(module), Arc::new(elab)));
+                continue;
+            }
+            let checkout = st.cache.checkout(&key, &canonical, || {
+                Ok::<_, ServeError>(prebuilt.take().expect("artifacts prebuilt on miss"))
+            })?;
+            let (module, elab, checker, cached) = (
+                checkout.module,
+                checkout.elab,
+                checkout.checker,
+                checkout.hit,
+            );
+            let id = st.next_id;
+            st.next_id += 1;
+            st.submitted += 1;
+            st.jobs.insert(
+                id,
+                JobRecord {
+                    name: name.to_string(),
+                    key,
+                    canonical: Arc::from(canonical.as_str()),
+                    config,
+                    module,
+                    elab,
+                    checker,
+                    state: JobState::Queued,
+                    progress: Vec::new(),
+                    outcome: None,
+                    error: None,
+                    cancel: Arc::new(AtomicBool::new(false)),
+                    cached,
+                },
+            );
+            // Deal to the owning worker's local queue (still under the
+            // state lock: `shutdown`'s post-join drain takes the same
+            // lock, so a submission racing shutdown either saw `open`
+            // false above or its id is visible to the drain); idle
+            // peers steal.
+            let worker = (id - 1) as usize % self.shared.queues.worker_count();
+            self.shared.queues.push(worker, id);
+            return Ok((id, cached));
+        }
+    }
+
+    /// A job's current status.
+    pub fn status(&self, job: u64) -> Option<JobStatus> {
+        let st = self.state();
+        st.jobs.get(&job).map(|j| JobStatus {
+            state: j.state,
+            name: j.name.clone(),
+            progress_len: j.progress.len(),
+            error: j.error.clone(),
+            cached: j.cached,
+        })
+    }
+
+    /// Progress events from index `from` on, plus whether the job is
+    /// terminal (polling `progress` with the last seen index streams
+    /// per-iteration updates).
+    pub fn progress(&self, job: u64, from: usize) -> Option<(Vec<ProgressEvent>, bool)> {
+        let st = self.state();
+        st.jobs.get(&job).map(|j| {
+            let events = j.progress.get(from..).unwrap_or(&[]).to_vec();
+            (events, terminal(j.state))
+        })
+    }
+
+    /// Requests cancellation. Queued jobs are dropped before they run;
+    /// running jobs stop cooperatively at the next iteration boundary.
+    /// Returns whether the job existed and was still cancellable.
+    pub fn cancel(&self, job: u64) -> bool {
+        let mut st = self.state();
+        let Some(record) = st.jobs.get_mut(&job) else {
+            return false;
+        };
+        if terminal(record.state) {
+            return false;
+        }
+        record.cancel.store(true, Ordering::Release);
+        if record.state == JobState::Queued {
+            // The worker will observe the flag and retire the job; wake
+            // anyone already waiting.
+            self.shared.queues.notify_all();
+        }
+        true
+    }
+
+    /// Blocks until `job` reaches a terminal state; returns it (`None`
+    /// for unknown jobs).
+    pub fn wait(&self, job: u64) -> Option<JobState> {
+        let mut st = self.state();
+        loop {
+            match st.jobs.get(&job) {
+                None => return None,
+                Some(j) if terminal(j.state) => return Some(j.state),
+                Some(_) => {
+                    st = self
+                        .shared
+                        .done_cv
+                        .wait(st)
+                        .expect("service state poisoned");
+                }
+            }
+        }
+    }
+
+    /// A finished job's wire summary (`None` until it is `Done`, or
+    /// after [`ClosureService::take_outcome`] — cancelled jobs' partial
+    /// outcomes stay accessible through `take_outcome` only). Rendered
+    /// on demand — the table stores one copy of the outcome, not a
+    /// duplicate multi-KB debug string per retained job.
+    pub fn summary(&self, job: u64) -> Option<ClosureSummary> {
+        let st = self.state();
+        st.jobs
+            .get(&job)
+            .and_then(|j| match (&j.state, &j.outcome) {
+                (JobState::Done, Some(Ok(outcome))) => {
+                    Some(ClosureSummary::from_outcome(outcome, &j.module))
+                }
+                _ => None,
+            })
+    }
+
+    /// Removes and returns a finished job's full outcome — the
+    /// in-process form the differential tests compare against
+    /// standalone engine runs.
+    pub fn take_outcome(&self, job: u64) -> Option<Result<ClosureOutcome, EngineError>> {
+        let mut st = self.state();
+        st.jobs.get_mut(&job).and_then(|j| j.outcome.take())
+    }
+
+    /// Aggregate service counters.
+    pub fn stats(&self) -> ServeStats {
+        let st = self.state();
+        let cache = st.cache.stats();
+        ServeStats {
+            submitted: st.submitted,
+            completed: st.completed,
+            failed: st.failed,
+            cancelled: st.cancelled,
+            workers: self.shared.queues.worker_count() as u64,
+            steals: self.shared.queues.steals(),
+            cache_entries: cache.entries as u64,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_bytes: cache.approx_bytes as u64,
+        }
+    }
+
+    /// Dispatches one wire request — the single entry point the socket
+    /// server (and any in-process framing user) calls.
+    pub fn handle_request(&self, request: &Request) -> Response {
+        match request {
+            Request::Submit {
+                name,
+                source,
+                config,
+            } => match self.submit_source(name, source, config) {
+                Ok((job, cached)) => Response::Submitted { job, cached },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
+            Request::Status { job } => match self.status(*job) {
+                Some(s) => Response::Status {
+                    job: *job,
+                    state: s.state,
+                    name: s.name,
+                    progress_len: s.progress_len as u64,
+                    error: s.error,
+                },
+                None => Response::Error {
+                    message: format!("unknown job {job}"),
+                },
+            },
+            Request::Progress { job, from } => match self.progress(*job, *from as usize) {
+                Some((events, terminal)) => Response::Progress {
+                    job: *job,
+                    from: *from,
+                    events,
+                    terminal,
+                },
+                None => Response::Error {
+                    message: format!("unknown job {job}"),
+                },
+            },
+            Request::Wait { job } => match self.wait(*job) {
+                Some(JobState::Done) => match self.summary(*job) {
+                    Some(summary) => Response::Done { job: *job, summary },
+                    // The record can be retired (the `retain_jobs`
+                    // bound) between wait() and summary().
+                    None => Response::Error {
+                        message: format!("job {job} finished but its record was retired"),
+                    },
+                },
+                Some(state) => {
+                    let error = self.status(*job).and_then(|s| s.error);
+                    Response::Error {
+                        message: match error {
+                            Some(e) => format!("job {job} {}: {e}", state.as_str()),
+                            None => format!("job {job} {}", state.as_str()),
+                        },
+                    }
+                }
+                None => Response::Error {
+                    message: format!("unknown job {job}"),
+                },
+            },
+            Request::Cancel { job } => {
+                if self.cancel(*job) {
+                    self.status(*job)
+                        .map(|s| Response::Status {
+                            job: *job,
+                            state: s.state,
+                            name: s.name,
+                            progress_len: s.progress_len as u64,
+                            error: s.error,
+                        })
+                        .unwrap_or(Response::Error {
+                            message: format!("unknown job {job}"),
+                        })
+                } else {
+                    Response::Error {
+                        message: format!("job {job} is unknown or already finished"),
+                    }
+                }
+            }
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Shutdown => {
+                // Begin the shutdown here so the wire path is
+                // transport-agnostic: submissions are refused and the
+                // workers start draining immediately. The *blocking*
+                // half (joining workers) stays with whoever owns the
+                // service — the socket loop or Drop calls
+                // [`ClosureService::shutdown`] after this response.
+                self.begin_shutdown();
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    /// Non-blocking first half of [`ClosureService::shutdown`]: stop
+    /// accepting submissions and let the workers drain. Idempotent.
+    pub fn begin_shutdown(&self) {
+        self.shared.open.store(false, Ordering::Release);
+        self.shared.queues.notify_all();
+    }
+
+    /// Stops accepting submissions, drains every queued job, and joins
+    /// the workers. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .expect("service handles poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // A submission that raced the close can have pushed after the
+        // workers exited; retire anything left in the queues as
+        // cancelled so no waiter blocks on a job nobody will run.
+        let mut st = self.state();
+        for w in 0..self.shared.queues.worker_count() {
+            while let Some(id) = self.shared.queues.pop(w) {
+                st.cancel_queued(id, self.shared.config.retain_jobs);
+            }
+        }
+        drop(st);
+        self.shared.done_cv.notify_all();
+    }
+}
+
+impl Drop for ClosureService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, w: usize) {
+    loop {
+        match shared.queues.pop(w) {
+            Some(id) => run_job(shared, id),
+            None => {
+                if !shared.open.load(Ordering::Acquire) {
+                    break;
+                }
+                shared.queues.park(|| !shared.open.load(Ordering::Acquire));
+            }
+        }
+    }
+}
+
+/// Executes one job end to end on the claiming worker.
+fn run_job(shared: &Arc<Shared>, id: u64) {
+    // Claim: move the job's artifacts out of the record.
+    let claim = {
+        let mut st = shared.state.lock().expect("service state poisoned");
+        let Some(job) = st.jobs.get_mut(&id) else {
+            return;
+        };
+        if job.state != JobState::Queued {
+            return;
+        }
+        if job.cancel.load(Ordering::Acquire) {
+            st.cancel_queued(id, shared.config.retain_jobs);
+            shared.done_cv.notify_all();
+            return;
+        }
+        job.state = JobState::Running;
+        (
+            job.module.clone(),
+            job.elab.clone(),
+            job.checker.take(),
+            job.config.clone(),
+            job.cancel.clone(),
+            job.key.clone(),
+            job.canonical.clone(),
+        )
+    };
+    let (module, elab, checker, config, cancel, key, canonical) = claim;
+
+    // Build (or reuse) the checker and run the engine outside the lock.
+    let checker_result = match checker {
+        Some(c) => Ok(c),
+        None => Checker::from_elab(&module, &elab),
+    };
+    // Whether the *run itself* observed the cancel and stopped early —
+    // a cancel that lands after the final iteration has discarded
+    // nothing, so the completed result stays `Done`.
+    let mut observed_cancel = false;
+    let (outcome, reclaimed) = match checker_result {
+        Err(e) => (Err(EngineError::from(e)), None),
+        Ok(checker) => match Engine::with_artifacts(&module, &elab, checker, config) {
+            // `with_artifacts` is infallible today (its `Result` covers
+            // future fallible mining-spec construction); if it ever
+            // gains real failure modes it should hand the checker back
+            // on error so this arm can re-park it instead of dropping
+            // the design's warm state.
+            Err(e) => (Err(e), None),
+            Ok(engine) => {
+                let shared_for_progress = shared.clone();
+                let observed_cancel = &mut observed_cancel;
+                let (outcome, checker) = engine.run_reclaim(|report| {
+                    let mut st = shared_for_progress
+                        .state
+                        .lock()
+                        .expect("service state poisoned");
+                    if let Some(job) = st.jobs.get_mut(&id) {
+                        job.progress.push(ProgressEvent::from_report(report));
+                    }
+                    if cancel.load(Ordering::Acquire) {
+                        *observed_cancel = true;
+                    }
+                    !*observed_cancel
+                });
+                (outcome, Some(checker))
+            }
+        },
+    };
+
+    // Retire: record the result, park the warm checker.
+    let mut st = shared.state.lock().expect("service state poisoned");
+    if let Some(mut checker) = reclaimed {
+        if shared.config.warm_memo {
+            // Warm memos persist across requests — bound them so a
+            // long-lived daemon's parked checkers cannot grow forever.
+            checker = checker.with_memo_capacity(shared.config.warm_memo_capacity);
+        } else {
+            checker.reset_for_reuse();
+        }
+        st.cache.park(&key, &canonical, checker);
+    }
+    let was_cancelled = observed_cancel;
+    match outcome {
+        Ok(outcome) => {
+            if was_cancelled {
+                st.cancelled += 1;
+            } else {
+                st.completed += 1;
+            }
+            let job = st.jobs.get_mut(&id).expect("running job in table");
+            job.outcome = Some(Ok(outcome));
+            job.state = if was_cancelled {
+                JobState::Cancelled
+            } else {
+                JobState::Done
+            };
+        }
+        Err(e) => {
+            st.failed += 1;
+            let job = st.jobs.get_mut(&id).expect("running job in table");
+            job.error = Some(e.to_string());
+            job.outcome = Some(Err(e));
+            job.state = JobState::Failed;
+        }
+    }
+    st.retire(id, shared.config.retain_jobs);
+    shared.done_cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goldmine::SeedStimulus;
+
+    fn tiny_config() -> EngineConfig {
+        EngineConfig {
+            window: 0,
+            stimulus: SeedStimulus::Random { cycles: 8 },
+            record_coverage: false,
+            ..EngineConfig::default()
+        }
+    }
+
+    fn parse(src: &str) -> Module {
+        gm_rtl::parse_verilog(src).unwrap()
+    }
+
+    #[test]
+    fn serves_a_job_and_reuses_the_design_cache() {
+        let service = ClosureService::new(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let src = "module m(input a, input b, output y); assign y = a ^ b; endmodule";
+        let (first, cached) = service
+            .submit_module("m", parse(src), tiny_config())
+            .unwrap();
+        assert!(!cached);
+        assert_eq!(service.wait(first), Some(JobState::Done));
+        let first_outcome = service.take_outcome(first).unwrap().unwrap();
+        assert!(first_outcome.converged);
+
+        // Same design again: a cache hit, with an identical outcome.
+        let (second, cached) = service
+            .submit_module("m-again", parse(src), tiny_config())
+            .unwrap();
+        assert!(cached);
+        service.wait(second);
+        let second_outcome = service.take_outcome(second).unwrap().unwrap();
+        assert_eq!(
+            format!("{first_outcome:?}"),
+            format!("{second_outcome:?}"),
+            "warm artifacts must not change the outcome"
+        );
+        let stats = service.stats();
+        assert_eq!((stats.cache_hits, stats.cache_misses), (1, 1));
+        assert_eq!(stats.completed, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn progress_streams_and_summary_matches_outcome() {
+        let service = ClosureService::new(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let module = gm_designs::arbiter2();
+        let gnt0 = module.require("gnt0").unwrap();
+        let config = EngineConfig {
+            targets: goldmine::TargetSelection::Bits(vec![(gnt0, 0)]),
+            record_coverage: false,
+            ..EngineConfig::default()
+        };
+        let (job, _) = service.submit_module("arbiter2", module, config).unwrap();
+        service.wait(job);
+        let (events, terminal) = service.progress(job, 0).unwrap();
+        assert!(terminal);
+        assert!(!events.is_empty(), "iteration 0 snapshot always streams");
+        assert_eq!(events[0].iteration, 0);
+        let summary = service.summary(job).unwrap();
+        assert!(summary.converged);
+        let outcome = service.take_outcome(job).unwrap().unwrap();
+        assert_eq!(summary.outcome_debug, format!("{outcome:?}"));
+        assert_eq!(events.len(), outcome.iterations.len());
+    }
+
+    #[test]
+    fn queued_jobs_cancel_before_running() {
+        // One worker, first job slow enough that a queued second job
+        // can be cancelled before a worker claims it.
+        let service = ClosureService::new(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let module = gm_designs::arbiter4();
+        let (slow, _) = service
+            .submit_module("slow", module, EngineConfig::default())
+            .unwrap();
+        let (victim, _) = service
+            .submit_module(
+                "victim",
+                parse("module v(input a, output y); assign y = a; endmodule"),
+                tiny_config(),
+            )
+            .unwrap();
+        assert!(service.cancel(victim));
+        assert_eq!(service.wait(victim), Some(JobState::Cancelled));
+        assert_eq!(service.wait(slow), Some(JobState::Done));
+        assert!(!service.cancel(victim), "terminal jobs are not cancellable");
+        assert_eq!(service.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn finished_jobs_are_retained_up_to_the_bound() {
+        let service = ClosureService::new(ServeConfig {
+            workers: 1,
+            retain_jobs: 2,
+            ..ServeConfig::default()
+        });
+        let src = "module r(input a, output y); assign y = a; endmodule";
+        let ids: Vec<u64> = (0..4)
+            .map(|i| {
+                let (id, _) = service
+                    .submit_module(&format!("r{i}"), parse(src), tiny_config())
+                    .unwrap();
+                service.wait(id);
+                id
+            })
+            .collect();
+        // The two oldest finished records were dropped; the newest two
+        // remain queryable.
+        assert!(service.status(ids[0]).is_none());
+        assert!(service.status(ids[1]).is_none());
+        assert!(service.take_outcome(ids[2]).is_some());
+        assert_eq!(service.status(ids[3]).unwrap().state, JobState::Done);
+        assert_eq!(service.stats().completed, 4, "counters outlive records");
+        service.shutdown();
+    }
+
+    #[test]
+    fn failed_jobs_report_the_engine_error() {
+        let service = ClosureService::new(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        // Force a failure: explicit backend on a design over the input
+        // limits.
+        let module = parse(
+            "module wide(input clk, input [15:0] d, output reg [15:0] q);
+               always @(posedge clk) q <= d;
+             endmodule",
+        );
+        let config = EngineConfig {
+            backend: gm_mc::Backend::Explicit,
+            ..tiny_config()
+        };
+        let (job, _) = service.submit_module("wide", module, config).unwrap();
+        assert_eq!(service.wait(job), Some(JobState::Failed));
+        let status = service.status(job).unwrap();
+        assert!(status.error.is_some(), "{status:?}");
+        assert!(service.summary(job).is_none());
+        assert!(service.take_outcome(job).unwrap().is_err());
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let service = ClosureService::new(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let ids: Vec<u64> = (0..6)
+            .map(|i| {
+                service
+                    .submit_module(
+                        &format!("job{i}"),
+                        parse("module d(input a, input b, output y); assign y = a | b; endmodule"),
+                        tiny_config(),
+                    )
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        service.shutdown();
+        for id in ids {
+            assert_eq!(
+                service.status(id).unwrap().state,
+                JobState::Done,
+                "shutdown must finish accepted work"
+            );
+        }
+        assert!(
+            service
+                .submit_module(
+                    "late",
+                    parse("module z(input a, output y); assign y = a; endmodule"),
+                    tiny_config()
+                )
+                .is_err(),
+            "submissions after shutdown are rejected"
+        );
+    }
+}

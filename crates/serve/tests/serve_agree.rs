@@ -1,0 +1,307 @@
+//! Differential suite: everything the service returns must be
+//! *byte-identical* to a standalone [`Engine`] run of the same module
+//! and config — across the whole design catalog, under both scheduler
+//! policies, through concurrent clients, across cache eviction and
+//! rebuild, and over the Unix-socket wire.
+
+use gm_rtl::{Module, SignalId};
+use gm_serve::{ClosureService, JobState, SchedPolicy, ServeClient, ServeConfig, WireConfig};
+use goldmine::{Engine, EngineConfig, SeedStimulus, TargetSelection, UnknownPolicy};
+use std::sync::Arc;
+
+fn one_bit_targets(m: &Module) -> Vec<(SignalId, u32)> {
+    m.outputs()
+        .into_iter()
+        .filter(|&s| m.signal_width(s) == 1)
+        .map(|s| (s, 0))
+        .collect()
+}
+
+/// A bounded config per catalog design (the differential property does
+/// not need the full pipeline budgets; the two big lite blocks are
+/// bounded exactly like `tests/pipeline.rs` bounds them).
+fn catalog_jobs() -> Vec<(String, Module, EngineConfig)> {
+    gm_designs::catalog()
+        .into_iter()
+        .map(|d| {
+            let module = d.module();
+            let (backend, max_iterations, targets) = match d.name {
+                "b17_lite" | "b18_lite" => (
+                    gm_mc::Backend::KInduction { max_k: 1 },
+                    1,
+                    vec![one_bit_targets(&module)[0]],
+                ),
+                _ => {
+                    let mut t = one_bit_targets(&module);
+                    t.truncate(2);
+                    (gm_mc::Backend::Auto, 10, t)
+                }
+            };
+            let config = EngineConfig {
+                window: d.window,
+                stimulus: SeedStimulus::Random { cycles: 32 },
+                targets: TargetSelection::Bits(targets),
+                backend,
+                max_iterations,
+                unknown: UnknownPolicy::AssumeTrue,
+                record_coverage: false,
+                ..EngineConfig::default()
+            };
+            (d.name.to_string(), module, config)
+        })
+        .collect()
+}
+
+fn standalone_debug(module: &Module, config: &EngineConfig) -> String {
+    let outcome = Engine::new(module, config.clone()).unwrap().run().unwrap();
+    format!("{outcome:?}")
+}
+
+#[test]
+fn served_outcomes_match_standalone_across_the_catalog_under_both_policies() {
+    let jobs = catalog_jobs();
+    let expected: Vec<String> = jobs
+        .iter()
+        .map(|(_, m, c)| standalone_debug(m, c))
+        .collect();
+    for policy in [SchedPolicy::RoundRobin, SchedPolicy::WorkStealing] {
+        let service = ClosureService::new(ServeConfig {
+            workers: 3,
+            cache_capacity: 16,
+            policy,
+            ..ServeConfig::default()
+        });
+        let ids: Vec<u64> = jobs
+            .iter()
+            .map(|(name, module, config)| {
+                service
+                    .submit_module(name, module.clone(), config.clone())
+                    .unwrap()
+                    .0
+            })
+            .collect();
+        for ((id, expect), (name, ..)) in ids.into_iter().zip(&expected).zip(&jobs) {
+            assert_eq!(
+                service.wait(id),
+                Some(JobState::Done),
+                "{name} under {policy:?}"
+            );
+            let outcome = service.take_outcome(id).unwrap().unwrap();
+            assert_eq!(
+                format!("{outcome:?}"),
+                *expect,
+                "{name}: served outcome diverged from standalone under {policy:?}"
+            );
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed, jobs.len() as u64);
+        if policy == SchedPolicy::RoundRobin {
+            assert_eq!(stats.steals, 0, "round-robin must never steal");
+        }
+        service.shutdown();
+    }
+}
+
+#[test]
+fn concurrent_multi_client_submissions_agree_with_standalone() {
+    let names = ["arbiter2", "b01", "b02", "b09"];
+    let jobs: Vec<(String, Module, EngineConfig)> = catalog_jobs()
+        .into_iter()
+        .filter(|(name, ..)| names.contains(&name.as_str()))
+        .collect();
+    let expected: Vec<String> = jobs
+        .iter()
+        .map(|(_, m, c)| standalone_debug(m, c))
+        .collect();
+    let service = Arc::new(ClosureService::new(ServeConfig {
+        workers: 3,
+        ..ServeConfig::default()
+    }));
+    // Four clients, each submitting the full set concurrently: the same
+    // design runs in parallel with itself, exercising the parked-checker
+    // pool and the cache hit path under contention.
+    std::thread::scope(|scope| {
+        for client in 0..4 {
+            let service = service.clone();
+            let jobs = &jobs;
+            let expected = &expected;
+            scope.spawn(move || {
+                for ((name, module, config), expect) in jobs.iter().zip(expected) {
+                    let (id, _) = service
+                        .submit_module(
+                            &format!("{name}-client{client}"),
+                            module.clone(),
+                            config.clone(),
+                        )
+                        .unwrap();
+                    assert_eq!(service.wait(id), Some(JobState::Done));
+                    let outcome = service.take_outcome(id).unwrap().unwrap();
+                    assert_eq!(
+                        format!("{outcome:?}"),
+                        *expect,
+                        "client {client}: {name} diverged"
+                    );
+                }
+            });
+        }
+    });
+    let stats = service.stats();
+    assert_eq!(stats.completed, 16);
+    assert_eq!(stats.cache_misses, 4, "one miss per distinct design");
+    assert_eq!(stats.cache_hits, 12, "every repeat submission hits");
+    service.shutdown();
+}
+
+#[test]
+fn cache_eviction_and_rebuild_never_change_outcomes() {
+    let names = ["cex_small", "arbiter2", "b01"];
+    let jobs: Vec<(String, Module, EngineConfig)> = catalog_jobs()
+        .into_iter()
+        .filter(|(name, ..)| names.contains(&name.as_str()))
+        .collect();
+    let expected: Vec<String> = jobs
+        .iter()
+        .map(|(_, m, c)| standalone_debug(m, c))
+        .collect();
+    // Capacity 2 with 3 designs cycled twice: every design gets evicted
+    // and rebuilt at least once along the way.
+    let service = ClosureService::new(ServeConfig {
+        workers: 1,
+        cache_capacity: 2,
+        ..ServeConfig::default()
+    });
+    for round in 0..2 {
+        for ((name, module, config), expect) in jobs.iter().zip(&expected) {
+            let (id, _) = service
+                .submit_module(name, module.clone(), config.clone())
+                .unwrap();
+            assert_eq!(service.wait(id), Some(JobState::Done));
+            let outcome = service.take_outcome(id).unwrap().unwrap();
+            assert_eq!(
+                format!("{outcome:?}"),
+                *expect,
+                "round {round}: {name} diverged after eviction churn"
+            );
+        }
+    }
+    let stats = service.stats();
+    assert!(
+        stats.cache_evictions > 0,
+        "the churn must actually evict: {stats:?}"
+    );
+    assert_eq!(stats.completed, 6);
+    service.shutdown();
+}
+
+#[test]
+fn warm_memo_mode_keeps_verdicts_and_artifacts_identical() {
+    // warm_memo changes only the work counters inside the iteration
+    // reports; the convergence verdicts, proved assertions and suite
+    // must still match a standalone run exactly.
+    let (name, module, config) = catalog_jobs()
+        .into_iter()
+        .find(|(name, ..)| name == "arbiter2")
+        .unwrap();
+    let standalone = Engine::new(&module, config.clone()).unwrap().run().unwrap();
+    let service = ClosureService::new(ServeConfig {
+        workers: 1,
+        warm_memo: true,
+        ..ServeConfig::default()
+    });
+    for round in 0..2 {
+        let (id, _) = service
+            .submit_module(&name, module.clone(), config.clone())
+            .unwrap();
+        service.wait(id);
+        let outcome = service.take_outcome(id).unwrap().unwrap();
+        assert_eq!(outcome.converged, standalone.converged, "round {round}");
+        assert_eq!(
+            format!("{:?}", outcome.assertions),
+            format!("{:?}", standalone.assertions),
+            "round {round}"
+        );
+        assert_eq!(
+            format!("{:?}", outcome.suite),
+            format!("{:?}", standalone.suite),
+            "round {round}"
+        );
+        assert_eq!(outcome.iteration_count(), standalone.iteration_count());
+    }
+    service.shutdown();
+}
+
+#[test]
+fn shutdown_returns_even_with_an_idle_connection_open() {
+    let path = std::env::temp_dir().join(format!("gm-serve-idle-{}.sock", std::process::id()));
+    let listener = gm_serve::bind_unix(&path).unwrap();
+    let service = Arc::new(ClosureService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }));
+    let server = {
+        let service = service.clone();
+        std::thread::spawn(move || gm_serve::serve_unix(service, listener))
+    };
+    // An idle client that never sends a frame and never hangs up…
+    let idle = ServeClient::connect(&path).unwrap();
+    // …must not pin the accept loop's connection join after a shutdown
+    // request from someone else.
+    let mut closer = ServeClient::connect(&path).unwrap();
+    closer.shutdown().unwrap();
+    drop(closer);
+    server.join().unwrap().unwrap();
+    drop(idle);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn socket_round_trip_is_byte_identical_and_shuts_down_cleanly() {
+    let path = std::env::temp_dir().join(format!("gm-serve-agree-{}.sock", std::process::id()));
+    let listener = gm_serve::bind_unix(&path).unwrap();
+    let service = Arc::new(ClosureService::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    }));
+    let server = {
+        let service = service.clone();
+        std::thread::spawn(move || gm_serve::serve_unix(service, listener))
+    };
+
+    let module = gm_designs::arbiter2();
+    let wire = WireConfig {
+        random_cycles: Some(32),
+        max_iterations: 10,
+        record_coverage: false,
+        ..WireConfig::default()
+    }
+    .with_bit_targets(vec![("gnt0".into(), 0), ("gnt1".into(), 0)]);
+    let config = wire.to_engine(&module).unwrap();
+    let expect = standalone_debug(&module, &config);
+
+    let mut client = ServeClient::connect(&path).unwrap();
+    let (job, cached) = client
+        .submit("arbiter2", gm_designs::sources::ARBITER2, &wire)
+        .unwrap();
+    assert!(!cached);
+    let summary = client.wait(job).unwrap();
+    assert_eq!(
+        summary.outcome_debug, expect,
+        "the wire summary must carry the standalone outcome byte-for-byte"
+    );
+    assert!(summary.converged);
+    let (events, terminal) = client.progress(job, 0).unwrap();
+    assert!(terminal);
+    assert_eq!(events.len(), summary.iterations as usize + 1);
+    let stats = client.stats().unwrap();
+    assert_eq!((stats.submitted, stats.completed), (1, 1));
+    // A second client sees the same server state.
+    let mut second = ServeClient::connect(&path).unwrap();
+    assert_eq!(second.stats().unwrap().completed, 1);
+    second.shutdown().unwrap();
+    // The accept loop joins every connection thread before returning,
+    // so both clients must hang up first.
+    drop(client);
+    drop(second);
+    server.join().unwrap().unwrap();
+    assert!(!path.exists() || std::fs::remove_file(&path).is_ok());
+}

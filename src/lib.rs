@@ -14,6 +14,9 @@
 //! * [`gm_mine`] — decision-tree assertion mining
 //! * [`goldmine`] — the counterexample-guided refinement engine
 //! * [`gm_designs`] — benchmark designs used by the paper's experiments
+//! * [`gm_serve`] — the persistent closure service (wire protocol,
+//!   work-stealing scheduler, content-addressed design cache,
+//!   `gmserved` daemon)
 
 pub use gm_coverage;
 pub use gm_designs;
@@ -21,5 +24,6 @@ pub use gm_mc;
 pub use gm_mine;
 pub use gm_rtl;
 pub use gm_sat;
+pub use gm_serve;
 pub use gm_sim;
 pub use goldmine;

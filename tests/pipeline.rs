@@ -1,5 +1,9 @@
 //! Workspace-level integration: the full pipeline across the whole
-//! design catalog, driven concurrently by the [`Campaign`] runner.
+//! design catalog, driven concurrently through `gm_serve`'s
+//! work-stealing scheduler (the [`Campaign`] jobs, the service's
+//! executor — so the sweep also exercises the scheduler end to end; the
+//! summary and every outcome are identical to the plain campaign
+//! runner's by the engine's determinism contract).
 //!
 //! The CI matrix re-runs this suite with `GM_TEST_SHARDS=<n>` (and a
 //! serial test scheduler) to force every engine onto a fixed shard
@@ -7,9 +11,18 @@
 
 use gm_mc::Backend;
 use gm_rtl::SignalId;
+use gm_serve::SchedPolicy;
 use goldmine::{
-    Campaign, Engine, EngineConfig, SeedStimulus, ShardPolicy, TargetSelection, UnknownPolicy,
+    Campaign, CampaignSummary, Engine, EngineConfig, SeedStimulus, ShardPolicy, TargetSelection,
+    UnknownPolicy,
 };
+
+/// Runs a campaign's jobs through the work-stealing pool (one worker
+/// per core, like `Campaign::run`).
+fn run_stealing(campaign: Campaign) -> CampaignSummary {
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    gm_serve::run_campaign(campaign.into_jobs(), workers, SchedPolicy::WorkStealing)
+}
 
 fn one_bit_targets(m: &gm_rtl::Module) -> Vec<(SignalId, u32)> {
     m.outputs()
@@ -58,7 +71,7 @@ fn every_catalog_design_runs_through_the_loop() {
         };
         campaign.push(d.name, module, config);
     }
-    let summary = campaign.run();
+    let summary = run_stealing(campaign);
     // The campaign must visit every design, in catalog order.
     assert_eq!(summary.runs.len(), catalog.len());
     for (d, run) in catalog.iter().zip(&summary.runs) {
@@ -121,7 +134,7 @@ fn exact_backends_converge_on_the_small_designs() {
         };
         campaign.push(name, module, config);
     }
-    let summary = campaign.run();
+    let summary = run_stealing(campaign);
     assert_eq!(summary.runs.len(), names.len());
     assert!(summary.all_ok(), "{}", summary.report());
     for run in &summary.runs {
