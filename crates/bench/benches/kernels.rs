@@ -9,7 +9,10 @@ use gm_mc::{
 use gm_mine::{Dataset, DecisionTree, MiningSpec};
 use gm_rtl::{cone_of, elaborate, parse_verilog};
 use gm_sat::{Solver, Var};
-use gm_sim::{collect_vectors, NopObserver, RandomStimulus, Simulator, TestSuite};
+use gm_sim::{
+    collect_vectors, CompiledModule, NopBatchObserver, NopObserver, RandomStimulus, Simulator,
+    TestSuite,
+};
 use goldmine::{Engine, EngineConfig, TargetSelection};
 
 fn bench_simulation(c: &mut Criterion) {
@@ -30,6 +33,49 @@ fn bench_simulation(c: &mut Criterion) {
             suite.run(&module, &mut cov).unwrap();
             cov.report()
         });
+    });
+}
+
+/// The compiled-backend kernels behind `BENCH_sim.json`: the same
+/// stimulus suite (64 ragged random segments) through the interpreter,
+/// the compiled scalar tape, and the 64-lane bit-parallel tape — with
+/// coverage attached, which is how the closure loop simulates.
+fn bench_sim_backends(c: &mut Criterion) {
+    let module = gm_designs::b12_lite();
+    let compiled = CompiledModule::compile(&module).unwrap();
+    let mut suite = TestSuite::new();
+    for seed in 0..64u64 {
+        suite.push(
+            format!("s{seed}"),
+            collect_vectors(&mut RandomStimulus::new(&module, seed, 64)),
+        );
+    }
+    c.bench_function("sim/backend_interpreter_64x64_coverage", |b| {
+        b.iter(|| {
+            let mut cov = gm_coverage::CoverageSuite::new(&module);
+            suite.run(&module, &mut cov).unwrap();
+            cov.report()
+        });
+    });
+    c.bench_function("sim/backend_compiled_scalar_64x64_coverage", |b| {
+        b.iter(|| {
+            let mut cov = gm_coverage::CoverageSuite::new(&module);
+            for seg in suite.segments() {
+                compiled.run_segment(&module, &seg.vectors, &mut cov);
+            }
+            cov.report()
+        });
+    });
+    c.bench_function("sim/backend_compiled_batch_64x64_coverage", |b| {
+        b.iter(|| {
+            let mut cov = gm_coverage::CoverageSuite::new(&module);
+            suite.observe_compiled(&module, &compiled, &mut cov);
+            cov.report()
+        });
+    });
+    // Trace extraction included (the mining data-generation shape).
+    c.bench_function("sim/backend_compiled_batch_64x64_traces", |b| {
+        b.iter(|| suite.run_compiled(&module, &compiled, &mut NopBatchObserver));
     });
 }
 
@@ -464,6 +510,7 @@ criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(10);
     targets = bench_simulation,
+        bench_sim_backends,
         bench_parse_blast,
         bench_sat,
         bench_model_checking,

@@ -1,0 +1,123 @@
+//! CI bench smoke for the simulation backends: runs the sim kernels
+//! once per backend on catalog designs and emits a `BENCH_sim.json`
+//! throughput record (vectors/second, where one vector is one stimulus
+//! cycle of one segment) for the performance trajectory.
+//!
+//! Usage: `bench_sim [OUTPUT_PATH]` (default `BENCH_sim.json`).
+
+use gm_coverage::CoverageSuite;
+use gm_rtl::Module;
+use gm_sim::{collect_vectors, CompiledModule, RandomStimulus, TestSuite};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEGMENTS: u64 = 64;
+const CYCLES: u64 = 128;
+
+struct Record {
+    name: &'static str,
+    interpreter_vps: f64,
+    compiled_scalar_vps: f64,
+    compiled_batch_vps: f64,
+}
+
+/// Times `f` (one warm-up call plus `reps` timed calls) and returns
+/// vectors/second.
+fn vps(total_vectors: u64, reps: u32, mut f: impl FnMut()) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let per_run = start.elapsed().as_secs_f64() / f64::from(reps);
+    total_vectors as f64 / per_run
+}
+
+fn measure(name: &'static str, module: &Module) -> Record {
+    let compiled = CompiledModule::compile(module).expect("catalog designs compile");
+    let mut suite = TestSuite::new();
+    for seed in 0..SEGMENTS {
+        suite.push(
+            format!("s{seed}"),
+            collect_vectors(&mut RandomStimulus::new(module, seed, CYCLES)),
+        );
+    }
+    let total = SEGMENTS * CYCLES;
+    let interpreter_vps = vps(total, 1, || {
+        let mut cov = CoverageSuite::new(module);
+        suite.run(module, &mut cov).unwrap();
+        std::hint::black_box(cov.report());
+    });
+    let compiled_scalar_vps = vps(total, 3, || {
+        let mut cov = CoverageSuite::new(module);
+        for seg in suite.segments() {
+            compiled.run_segment(module, &seg.vectors, &mut cov);
+        }
+        std::hint::black_box(cov.report());
+    });
+    let compiled_batch_vps = vps(total, 10, || {
+        let mut cov = CoverageSuite::new(module);
+        suite.observe_compiled(module, &compiled, &mut cov);
+        std::hint::black_box(cov.report());
+    });
+    Record {
+        name,
+        interpreter_vps,
+        compiled_scalar_vps,
+        compiled_batch_vps,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let designs: Vec<(&'static str, Module)> = vec![
+        ("arbiter4", gm_designs::arbiter4()),
+        ("b12_lite", gm_designs::b12_lite()),
+        ("b18_lite", gm_designs::b18_lite()),
+    ];
+    let records: Vec<Record> = designs
+        .iter()
+        .map(|(name, module)| measure(name, module))
+        .collect();
+
+    // Hand-rolled JSON: the vendored serde shim is a no-op.
+    let mut json = String::from("{\n  \"bench\": \"sim_backends\",\n");
+    let _ = writeln!(
+        json,
+        "  \"workload\": {{\"segments\": {SEGMENTS}, \"cycles_per_segment\": {CYCLES}, \"coverage\": true}},"
+    );
+    json.push_str("  \"designs\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let speedup_batch = r.compiled_batch_vps / r.interpreter_vps;
+        let speedup_scalar = r.compiled_scalar_vps / r.interpreter_vps;
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"interpreter_vps\": {:.0}, \"compiled_scalar_vps\": {:.0}, \"compiled_batch_vps\": {:.0}, \"scalar_speedup\": {:.2}, \"batch_speedup\": {:.2}}}",
+            r.name,
+            r.interpreter_vps,
+            r.compiled_scalar_vps,
+            r.compiled_batch_vps,
+            speedup_scalar,
+            speedup_batch
+        );
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
+    print!("{json}");
+
+    let best = records
+        .iter()
+        .map(|r| r.compiled_batch_vps / r.interpreter_vps)
+        .fold(f64::MIN, f64::max);
+    eprintln!("best 64-lane speedup over interpreter: {best:.1}x");
+    // The acceptance bar for the compiled backend: >= 10x vectors/sec
+    // on at least one catalog design.
+    assert!(
+        best >= 10.0,
+        "64-lane compiled backend regressed below 10x the interpreter ({best:.1}x)"
+    );
+}

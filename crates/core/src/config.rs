@@ -2,7 +2,7 @@
 
 use gm_mc::Backend;
 use gm_rtl::SignalId;
-use gm_sim::InputVector;
+use gm_sim::{InputVector, SimBackend};
 
 /// How the initial test data is produced (the paper's data generator).
 #[derive(Clone, Debug, PartialEq)]
@@ -147,6 +147,13 @@ pub struct EngineConfig {
     /// Record per-iteration coverage of the accumulated suite (costs one
     /// suite re-simulation per iteration).
     pub record_coverage: bool,
+    /// Which simulation engine runs the data-generation and coverage
+    /// passes (seed traces, counterexample replay, suite coverage).
+    /// Every backend produces a byte-identical [`crate::ClosureOutcome`]
+    /// — the compiled tape is proven trace- and coverage-identical to
+    /// the interpreter by `sim/compiled_agree`. The default is the
+    /// 64-lane compiled backend.
+    pub sim_backend: SimBackend,
 }
 
 impl Default for EngineConfig {
@@ -164,6 +171,7 @@ impl Default for EngineConfig {
             steal: StealPolicy::RoundRobin,
             racing: false,
             record_coverage: true,
+            sim_backend: SimBackend::default(),
         }
     }
 }

@@ -64,7 +64,10 @@ use gm_mine::{
     LeafStatus, MiningSpec,
 };
 use gm_rtl::{cone_of, elaborate, Module, SignalId};
-use gm_sim::{collect_vectors, run_segment, NopObserver, RandomStimulus, TestSuite, Trace};
+use gm_sim::{
+    collect_vectors, run_segment, CompiledModule, InputVector, NopBatchObserver, NopObserver,
+    RandomStimulus, SimBackend, TestSuite, Trace,
+};
 use std::collections::HashMap;
 
 /// Converts a mined assertion into the model checker's property form.
@@ -123,6 +126,11 @@ pub struct Engine<'m> {
     unknown_assumed: usize,
     /// Session stats already attributed to earlier iteration reports.
     reported_stats: SessionStats,
+    /// The lowered instruction tape for the compiled simulation
+    /// backends (`None` when the interpreter is configured). Trace- and
+    /// coverage-identical to the interpreter, so the choice never shows
+    /// in the outcome.
+    compiled: Option<CompiledModule>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -209,6 +217,11 @@ impl<'m> Engine<'m> {
         // Attribute only work done *during this run* to its iteration
         // reports: a warm checker may arrive with non-zero counters.
         let reported_stats = checker.session_stats();
+        let compiled = if config.sim_backend == SimBackend::Interpreter {
+            None
+        } else {
+            Some(CompiledModule::with_elab(module, elab))
+        };
         Ok(Engine {
             module,
             config,
@@ -217,7 +230,17 @@ impl<'m> Engine<'m> {
             suite: TestSuite::new(),
             unknown_assumed: 0,
             reported_stats,
+            compiled,
         })
+    }
+
+    /// Simulates one reset-rooted segment through the configured
+    /// simulation backend. Trace-identical across backends.
+    fn simulate_segment(&self, vectors: &[InputVector]) -> Result<Trace, EngineError> {
+        match &self.compiled {
+            None => Ok(run_segment(self.module, vectors, &mut NopObserver)?),
+            Some(c) => Ok(c.run_segment(self.module, vectors, &mut NopBatchObserver)),
+        }
     }
 
     /// The accumulated test suite (useful mid-run from examples).
@@ -282,7 +305,7 @@ impl<'m> Engine<'m> {
         };
         if !seed_vectors.is_empty() {
             self.suite.push("seed", seed_vectors.clone());
-            let trace = run_segment(self.module, &seed_vectors, &mut NopObserver)?;
+            let trace = self.simulate_segment(&seed_vectors)?;
             for t in &mut self.targets {
                 let rows = t.dataset.add_trace(&t.spec, &trace);
                 debug_assert!(!rows.is_empty() || trace.len() < t.spec.span() as usize);
@@ -422,7 +445,7 @@ impl<'m> Engine<'m> {
                     cex_count += 1;
                     let label = format!("cex-{iteration}-{cex_count}");
                     self.suite.push(label, cex.inputs.clone());
-                    pending_traces.push(run_segment(self.module, &cex.inputs, &mut NopObserver)?);
+                    pending_traces.push(self.simulate_segment(&cex.inputs)?);
                 }
                 CheckResult::Unknown { .. } => match self.config.unknown {
                     UnknownPolicy::AssumeTrue => {
@@ -472,7 +495,7 @@ impl<'m> Engine<'m> {
                     cex_count += 1;
                     let label = format!("cex-{iteration}-{cex_count}");
                     self.suite.push(label, cex.inputs.clone());
-                    let trace = run_segment(self.module, &cex.inputs, &mut NopObserver)?;
+                    let trace = self.simulate_segment(&cex.inputs)?;
                     self.absorb_trace(&trace);
                 }
                 CheckResult::Unknown { .. } => match self.config.unknown {
@@ -527,7 +550,18 @@ impl<'m> Engine<'m> {
         };
         let coverage = if self.config.record_coverage {
             let mut cov = CoverageSuite::new(self.module);
-            self.suite.run(self.module, &mut cov)?;
+            match (&self.compiled, self.config.sim_backend) {
+                (None, _) => {
+                    self.suite.run(self.module, &mut cov)?;
+                }
+                (Some(c), SimBackend::CompiledScalar) => {
+                    for seg in self.suite.segments() {
+                        c.run_segment(self.module, &seg.vectors, &mut cov);
+                    }
+                }
+                // 64 segments per pass; no traces are materialized.
+                (Some(c), _) => self.suite.observe_compiled(self.module, c, &mut cov),
+            }
             Some(cov.report())
         } else {
             None

@@ -291,6 +291,37 @@ fn sat_backend_session_reuses_unrollings_across_iterations() {
 }
 
 #[test]
+fn closure_outcomes_byte_identical_across_sim_backends() {
+    // The simulation backend feeds every layer of the loop (seed
+    // traces, counterexample replay, per-iteration coverage), so this
+    // is the outcome-level face of the `sim/compiled_agree` contract:
+    // the full ClosureOutcome debug render — suite vectors, iteration
+    // reports including coverage, assertions, target summaries — must
+    // not depend on the engine.
+    for src in [ARBITER2, CEX_SMALL] {
+        let m = parse_verilog(src).unwrap();
+        let outcomes: Vec<String> = [
+            goldmine::SimBackend::Interpreter,
+            goldmine::SimBackend::CompiledScalar,
+            goldmine::SimBackend::CompiledBatch,
+        ]
+        .into_iter()
+        .map(|sim_backend| {
+            let config = EngineConfig {
+                window: if src == CEX_SMALL { 0 } else { 1 },
+                record_coverage: true,
+                sim_backend,
+                ..EngineConfig::default()
+            };
+            format!("{:?}", Engine::new(&m, config).unwrap().run().unwrap())
+        })
+        .collect();
+        assert_eq!(outcomes[0], outcomes[1], "scalar tape diverged");
+        assert_eq!(outcomes[0], outcomes[2], "64-lane tape diverged");
+    }
+}
+
+#[test]
 fn unbatched_mode_also_converges() {
     let m = parse_verilog(ARBITER2).unwrap();
     let config = EngineConfig {

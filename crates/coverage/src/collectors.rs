@@ -9,7 +9,7 @@ use crate::points::{
 };
 use crate::ratio::{CoverageReport, Ratio};
 use gm_rtl::{Bv, Expr, Module, SignalId, StmtId};
-use gm_sim::{BranchOutcome, ExprRole, SimObserver};
+use gm_sim::{BatchObserver, BranchOutcome, ExprRole, LaneSnapshot, SimObserver};
 use std::collections::{HashMap, HashSet};
 
 /// Statement (line) coverage: every statement executed at least once.
@@ -45,6 +45,14 @@ impl LineCoverage {
 impl SimObserver for LineCoverage {
     fn on_stmt(&mut self, stmt: StmtId) {
         self.executed.insert(stmt);
+    }
+}
+
+impl BatchObserver for LineCoverage {
+    fn on_stmt(&mut self, stmt: StmtId, lanes: u64) {
+        if lanes != 0 {
+            self.executed.insert(stmt);
+        }
     }
 }
 
@@ -87,6 +95,14 @@ impl BranchCoverage {
 impl SimObserver for BranchCoverage {
     fn on_branch(&mut self, stmt: StmtId, outcome: BranchOutcome) {
         self.hit.insert((stmt, outcome));
+    }
+}
+
+impl BatchObserver for BranchCoverage {
+    fn on_branch(&mut self, stmt: StmtId, outcome: BranchOutcome, lanes: u64) {
+        if lanes != 0 {
+            self.hit.insert((stmt, outcome));
+        }
     }
 }
 
@@ -135,6 +151,24 @@ impl BoolNodeCoverage {
             }
         });
     }
+
+    /// Lane-parallel observation of one boolean node: `values` carries
+    /// the node's value per lane, `lanes` the lanes that executed the
+    /// statement. The node index is the same pre-order enumeration
+    /// [`crate::points::boolean_nodes`] produces, so the polarity sets
+    /// end up identical to the interpreter path's.
+    fn observe_lanes(&mut self, stmt: StmtId, node: u32, values: u64, lanes: u64) {
+        if lanes == 0 {
+            return;
+        }
+        let p = self.seen.entry((stmt, node as usize)).or_default();
+        if values & lanes != 0 {
+            p.seen_true = true;
+        }
+        if !values & lanes != 0 {
+            p.seen_false = true;
+        }
+    }
 }
 
 /// Condition coverage over `if` predicates.
@@ -166,6 +200,14 @@ impl SimObserver for ConditionCoverage<'_> {
     fn on_expr(&mut self, stmt: StmtId, role: ExprRole, expr: &Expr, values: &[Bv]) {
         if role == ExprRole::Condition {
             self.inner.observe(self.module, stmt, expr, values);
+        }
+    }
+}
+
+impl BatchObserver for ConditionCoverage<'_> {
+    fn on_bool_node(&mut self, stmt: StmtId, role: ExprRole, node: u32, values: u64, lanes: u64) {
+        if role == ExprRole::Condition {
+            self.inner.observe_lanes(stmt, node, values, lanes);
         }
     }
 }
@@ -204,6 +246,14 @@ impl SimObserver for ExpressionCoverage<'_> {
     }
 }
 
+impl BatchObserver for ExpressionCoverage<'_> {
+    fn on_bool_node(&mut self, stmt: StmtId, role: ExprRole, node: u32, values: u64, lanes: u64) {
+        if role == ExprRole::AssignRhs {
+            self.inner.observe_lanes(stmt, node, values, lanes);
+        }
+    }
+}
+
 /// Toggle coverage: each bit of each signal (clock excluded) must rise
 /// and fall across settled cycle snapshots.
 #[derive(Debug)]
@@ -212,6 +262,8 @@ pub struct ToggleCoverage {
     rises: HashSet<(SignalId, u32)>,
     falls: HashSet<(SignalId, u32)>,
     prev: Option<Vec<Bv>>,
+    /// Previous-cycle lane words per watched bit (batch path only).
+    prev_words: Option<Vec<u64>>,
 }
 
 impl ToggleCoverage {
@@ -227,6 +279,7 @@ impl ToggleCoverage {
             rises: HashSet::new(),
             falls: HashSet::new(),
             prev: None,
+            prev_words: None,
         }
     }
 
@@ -262,6 +315,30 @@ impl SimObserver for ToggleCoverage {
     }
 }
 
+impl BatchObserver for ToggleCoverage {
+    fn on_cycle_end(&mut self, cycle: u64, lanes: u64, snap: &LaneSnapshot<'_>) {
+        if cycle == 0 {
+            self.prev_words = None;
+        }
+        let cur: Vec<u64> = self
+            .watched
+            .iter()
+            .map(|&(sig, bit)| snap.bit_word(sig, bit))
+            .collect();
+        if let Some(prev) = &self.prev_words {
+            for (i, &pt) in self.watched.iter().enumerate() {
+                if !prev[i] & cur[i] & lanes != 0 {
+                    self.rises.insert(pt);
+                }
+                if prev[i] & !cur[i] & lanes != 0 {
+                    self.falls.insert(pt);
+                }
+            }
+        }
+        self.prev_words = Some(cur);
+    }
+}
+
 /// FSM coverage: fraction of declared states visited, per FSM register.
 #[derive(Debug)]
 pub struct FsmCoverage {
@@ -269,6 +346,8 @@ pub struct FsmCoverage {
     visited: HashMap<SignalId, HashSet<Bv>>,
     transitions: HashMap<SignalId, HashSet<(Bv, Bv)>>,
     prev: Option<Vec<Bv>>,
+    /// Previous-cycle per-lane values per FSM register (batch path).
+    prev_lanes: Option<Vec<Vec<Bv>>>,
 }
 
 impl FsmCoverage {
@@ -284,6 +363,7 @@ impl FsmCoverage {
             visited: HashMap::new(),
             transitions: HashMap::new(),
             prev: None,
+            prev_lanes: None,
         }
     }
 
@@ -327,6 +407,36 @@ impl SimObserver for FsmCoverage {
             }
         }
         self.prev = Some(values.to_vec());
+    }
+}
+
+impl BatchObserver for FsmCoverage {
+    fn on_cycle_end(&mut self, cycle: u64, lanes: u64, snap: &LaneSnapshot<'_>) {
+        if cycle == 0 {
+            self.prev_lanes = None;
+        }
+        if self.regs.is_empty() {
+            return;
+        }
+        let mut cur_all = Vec::with_capacity(self.regs.len());
+        for (ri, (reg, _)) in self.regs.iter().enumerate() {
+            let cur: Vec<Bv> = (0..snap.lane_count())
+                .map(|k| snap.value(*reg, k))
+                .collect();
+            for (k, &v) in cur.iter().enumerate() {
+                if lanes >> k & 1 == 1 {
+                    self.visited.entry(*reg).or_default().insert(v);
+                    if let Some(prev) = &self.prev_lanes {
+                        let old = prev[ri][k];
+                        if old != v {
+                            self.transitions.entry(*reg).or_default().insert((old, v));
+                        }
+                    }
+                }
+            }
+            cur_all.push(cur);
+        }
+        self.prev_lanes = Some(cur_all);
     }
 }
 
@@ -409,18 +519,39 @@ impl<'m> CoverageSuite<'m> {
 
 impl SimObserver for CoverageSuite<'_> {
     fn on_stmt(&mut self, stmt: StmtId) {
-        self.line.on_stmt(stmt);
+        SimObserver::on_stmt(&mut self.line, stmt);
     }
     fn on_branch(&mut self, stmt: StmtId, outcome: BranchOutcome) {
-        self.branch.on_branch(stmt, outcome);
+        SimObserver::on_branch(&mut self.branch, stmt, outcome);
     }
     fn on_expr(&mut self, stmt: StmtId, role: ExprRole, expr: &Expr, values: &[Bv]) {
         self.condition.on_expr(stmt, role, expr, values);
         self.expression.on_expr(stmt, role, expr, values);
     }
     fn on_cycle_end(&mut self, cycle: u64, values: &[Bv]) {
-        self.toggle.on_cycle_end(cycle, values);
-        self.fsm.on_cycle_end(cycle, values);
+        SimObserver::on_cycle_end(&mut self.toggle, cycle, values);
+        SimObserver::on_cycle_end(&mut self.fsm, cycle, values);
+    }
+}
+
+/// The lane-parallel face of the suite: attach it to the compiled
+/// backend's executors and the resulting ratios and uncovered sets are
+/// identical to an interpreter run over the same stimulus.
+impl BatchObserver for CoverageSuite<'_> {
+    fn on_stmt(&mut self, stmt: StmtId, lanes: u64) {
+        BatchObserver::on_stmt(&mut self.line, stmt, lanes);
+    }
+    fn on_branch(&mut self, stmt: StmtId, outcome: BranchOutcome, lanes: u64) {
+        BatchObserver::on_branch(&mut self.branch, stmt, outcome, lanes);
+    }
+    fn on_bool_node(&mut self, stmt: StmtId, role: ExprRole, node: u32, values: u64, lanes: u64) {
+        self.condition.on_bool_node(stmt, role, node, values, lanes);
+        self.expression
+            .on_bool_node(stmt, role, node, values, lanes);
+    }
+    fn on_cycle_end(&mut self, cycle: u64, lanes: u64, snap: &LaneSnapshot<'_>) {
+        BatchObserver::on_cycle_end(&mut self.toggle, cycle, lanes, snap);
+        BatchObserver::on_cycle_end(&mut self.fsm, cycle, lanes, snap);
     }
 }
 

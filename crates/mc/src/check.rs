@@ -28,6 +28,7 @@ use crate::error::McError;
 use crate::explicit::{explicit_check, ExplicitLimits, ReachableStates};
 use crate::prop::{CheckResult, WindowProperty};
 use crate::session::{CheckSession, SessionStats};
+use gm_cache::BoundedLru;
 use gm_rtl::{elaborate, Elab, Module};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -79,13 +80,6 @@ enum PoolDispatch {
     /// are partition-independent); only the per-session work counters
     /// in [`SessionStats`] depend on the actual claim order.
     Stealing,
-}
-
-/// One memoized property decision, stamped for LRU eviction.
-#[derive(Debug)]
-struct MemoEntry {
-    result: CheckResult,
-    stamp: u64,
 }
 
 /// Size and churn counters for the property memo (see
@@ -170,10 +164,10 @@ pub struct Checker {
     /// Persistent per-shard sessions, grown on demand by
     /// [`Checker::check_batch_sharded`] and reused across batches.
     shard_sessions: Vec<CheckSession>,
-    memo: HashMap<WindowProperty, MemoEntry>,
-    /// LRU bound on the memo (entries); `None` = unbounded.
-    memo_capacity: Option<usize>,
-    memo_stamp: u64,
+    /// The property memo: O(1) lookup, insert and LRU eviction (the
+    /// shared [`gm_cache::BoundedLru`]); unbounded until
+    /// [`Checker::with_memo_capacity`] sets a bound.
+    memo: BoundedLru<WindowProperty, CheckResult>,
     memo_insertions: u64,
     memo_evictions: u64,
     /// Incrementally maintained byte estimate (see [`MemoStats`]).
@@ -211,9 +205,7 @@ impl Checker {
             reach: None,
             reach_failed: false,
             shard_sessions: Vec::new(),
-            memo: HashMap::new(),
-            memo_capacity: None,
-            memo_stamp: 0,
+            memo: BoundedLru::unbounded(),
             memo_insertions: 0,
             memo_evictions: 0,
             memo_bytes: 0,
@@ -269,7 +261,7 @@ impl Checker {
     /// insertion; eviction only forgets — a re-checked evicted property
     /// is re-decided identically, so results never change.
     pub fn with_memo_capacity(mut self, entries: usize) -> Self {
-        self.memo_capacity = Some(entries.max(1));
+        self.memo.set_capacity(Some(entries.max(1)));
         self.evict_over_capacity();
         self
     }
@@ -310,19 +302,13 @@ impl Checker {
         self.session = CheckSession::new(self.blasted.clone());
         self.shard_sessions.clear();
         self.memo_clear();
-        self.memo_stamp = 0;
         self.memo_insertions = 0;
         self.memo_evictions = 0;
     }
 
-    /// Serves `prop` from the memo, refreshing its LRU stamp.
+    /// Serves `prop` from the memo, refreshing its LRU position.
     fn memo_get(&mut self, prop: &WindowProperty) -> Option<CheckResult> {
-        self.memo_stamp += 1;
-        let stamp = self.memo_stamp;
-        self.memo.get_mut(prop).map(|e| {
-            e.stamp = stamp;
-            e.result.clone()
-        })
+        self.memo.get(prop).cloned()
     }
 
     fn memo_clear(&mut self) {
@@ -330,45 +316,27 @@ impl Checker {
         self.memo_bytes = 0;
     }
 
-    /// Memoizes a decision, evicting the least-recently-used entry when
-    /// over capacity.
+    /// Memoizes a decision; O(1) including the eviction of
+    /// least-recently-used entries past the bound.
     fn memo_insert(&mut self, prop: WindowProperty, result: CheckResult) {
-        self.memo_stamp += 1;
         self.memo_insertions += 1;
         let prop_bytes = memo_prop_bytes(&prop);
         self.memo_bytes += prop_bytes + memo_result_bytes(&result);
-        if let Some(old) = self.memo.insert(
-            prop,
-            MemoEntry {
-                result,
-                stamp: self.memo_stamp,
-            },
-        ) {
+        if let Some(old) = self.memo.insert(prop, result) {
             // Same-key replacement (not reachable from the batch paths,
             // which dedupe first): keep the byte estimate consistent.
             self.memo_bytes = self
                 .memo_bytes
-                .saturating_sub(prop_bytes + memo_result_bytes(&old.result));
+                .saturating_sub(prop_bytes + memo_result_bytes(&old));
         }
         self.evict_over_capacity();
     }
 
     fn evict_over_capacity(&mut self) {
-        let Some(cap) = self.memo_capacity else {
-            return;
-        };
-        while self.memo.len() > cap {
-            let oldest = self
-                .memo
-                .iter()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(p, _)| p.clone())
-                .expect("memo over capacity is non-empty");
-            if let Some(entry) = self.memo.remove(&oldest) {
-                self.memo_bytes = self
-                    .memo_bytes
-                    .saturating_sub(memo_entry_bytes(&oldest, &entry.result));
-            }
+        while let Some((prop, result)) = self.memo.pop_over_capacity() {
+            self.memo_bytes = self
+                .memo_bytes
+                .saturating_sub(memo_entry_bytes(&prop, &result));
             self.memo_evictions += 1;
         }
     }

@@ -1,7 +1,8 @@
 //! Mining datasets: windowed rows extracted from simulation traces.
 
 use crate::features::MiningSpec;
-use gm_sim::Trace;
+use gm_rtl::Module;
+use gm_sim::{CompiledModule, NopBatchObserver, NopObserver, SimBackend, TestSuite, Trace};
 
 /// One training example: feature values (aligned with
 /// [`MiningSpec::features`]) and the target value.
@@ -94,6 +95,40 @@ impl Dataset {
         }
         all
     }
+
+    /// Simulates every segment of `suite` on `module` through the
+    /// chosen simulation backend and adds the resulting traces — the
+    /// dataset-extraction path of the paper's data generator. The
+    /// compiled backends produce traces bit-identical to the
+    /// interpreter, so the extracted rows never depend on the backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration errors from simulation.
+    pub fn add_suite(
+        &mut self,
+        spec: &MiningSpec,
+        module: &Module,
+        suite: &TestSuite,
+        backend: SimBackend,
+    ) -> gm_rtl::Result<Vec<usize>> {
+        let traces = match backend {
+            SimBackend::Interpreter => suite.run(module, &mut NopObserver)?,
+            SimBackend::CompiledScalar => {
+                let compiled = CompiledModule::compile(module)?;
+                suite
+                    .segments()
+                    .iter()
+                    .map(|seg| compiled.run_segment(module, &seg.vectors, &mut NopBatchObserver))
+                    .collect()
+            }
+            SimBackend::CompiledBatch => {
+                let compiled = CompiledModule::compile(module)?;
+                suite.run_compiled(module, &compiled, &mut NopBatchObserver)
+            }
+        };
+        Ok(self.add_traces(spec, &traces))
+    }
 }
 
 #[cfg(test)]
@@ -142,6 +177,41 @@ mod tests {
         for row in ds.rows() {
             assert_eq!(row.target, row.features[d_idx]);
         }
+    }
+
+    #[test]
+    fn add_suite_rows_identical_across_backends() {
+        let m = parse_verilog(
+            "module m(input clk, input rst, input d, output reg q);
+               always @(posedge clk)
+                 if (rst) q <= 0; else q <= d;
+             endmodule",
+        )
+        .unwrap();
+        let e = elaborate(&m).unwrap();
+        let q = m.require("q").unwrap();
+        let cone = cone_of(&m, &e, q);
+        let spec = crate::features::MiningSpec::for_output(&m, &e, &cone, 0, 0);
+        let mut suite = TestSuite::new();
+        for seed in 0..3u64 {
+            suite.push(
+                format!("s{seed}"),
+                gm_sim::collect_vectors(&mut gm_sim::RandomStimulus::new(&m, seed, 12)),
+            );
+        }
+        let mut by_backend = Vec::new();
+        for backend in [
+            SimBackend::Interpreter,
+            SimBackend::CompiledScalar,
+            SimBackend::CompiledBatch,
+        ] {
+            let mut ds = Dataset::new();
+            let added = ds.add_suite(&spec, &m, &suite, backend).unwrap();
+            assert_eq!(added.len(), ds.len());
+            by_backend.push(ds.rows().to_vec());
+        }
+        assert_eq!(by_backend[0], by_backend[1]);
+        assert_eq!(by_backend[0], by_backend[2]);
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //! stats) unless the service opts into `warm_memo`, so a cached run's
 //! [`goldmine::ClosureOutcome`] is byte-identical to a cold one's.
 
+use gm_cache::BoundedLru;
 use gm_mc::Checker;
 use gm_rtl::{Elab, Module};
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Cache counters (also folded into
@@ -54,7 +54,6 @@ pub struct CachedDesign {
     /// exactly, so a 64-bit key collision can never hand out the wrong
     /// design's artifacts.
     canonical: String,
-    stamp: u64,
 }
 
 /// What [`DesignCache::checkout`] hands the caller.
@@ -103,12 +102,13 @@ pub fn content_key(module: &Module) -> String {
     key_of(&canonical_form(module))
 }
 
-/// A bounded-LRU map from content key to design artifacts.
+/// A bounded-LRU map from content key to design artifacts. Lookup,
+/// insert and eviction are O(1) via the shared
+/// [`gm_cache::BoundedLru`]; the hit/miss/eviction counters and byte
+/// accounting live here.
 #[derive(Debug)]
 pub struct DesignCache {
-    map: HashMap<String, CachedDesign>,
-    capacity: usize,
-    stamp: u64,
+    map: BoundedLru<String, CachedDesign>,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -118,9 +118,7 @@ impl DesignCache {
     /// An empty cache bounded to `capacity` designs (at least 1).
     pub fn new(capacity: usize) -> Self {
         DesignCache {
-            map: HashMap::new(),
-            capacity: capacity.max(1),
-            stamp: 0,
+            map: BoundedLru::with_capacity(capacity),
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -131,7 +129,7 @@ impl DesignCache {
     /// counter or stamp effects — used to decide whether artifacts must
     /// be built before taking a lock).
     pub fn matches(&self, key: &str, canonical: &str) -> bool {
-        self.map.get(key).is_some_and(|e| e.canonical == canonical)
+        self.map.peek(key).is_some_and(|e| e.canonical == canonical)
     }
 
     /// Looks `key` up, counting a hit or miss and refreshing the LRU
@@ -147,11 +145,10 @@ impl DesignCache {
         canonical: &str,
         build: impl FnOnce() -> Result<(Arc<Module>, Arc<Elab>), E>,
     ) -> Result<Checkout, E> {
-        self.stamp += 1;
-        match self.map.get_mut(key) {
-            Some(entry) if entry.canonical == canonical => {
+        let mut collision = false;
+        if let Some(entry) = self.map.get_mut(key) {
+            if entry.canonical == canonical {
                 self.hits += 1;
-                entry.stamp = self.stamp;
                 return Ok(Checkout {
                     module: entry.module.clone(),
                     elab: entry.elab.clone(),
@@ -159,13 +156,13 @@ impl DesignCache {
                     hit: true,
                 });
             }
-            Some(_) => {
-                // 64-bit collision: drop the resident design rather
-                // than ever serving the wrong artifacts.
-                self.map.remove(key);
-                self.evictions += 1;
-            }
-            None => {}
+            collision = true;
+        }
+        if collision {
+            // 64-bit collision: drop the resident design rather than
+            // ever serving the wrong artifacts.
+            self.map.remove(key);
+            self.evictions += 1;
         }
         self.misses += 1;
         let (module, elab) = build()?;
@@ -174,17 +171,9 @@ impl DesignCache {
             elab: elab.clone(),
             parked: Vec::new(),
             canonical: canonical.to_string(),
-            stamp: self.stamp,
         };
         self.map.insert(key.to_string(), entry);
-        while self.map.len() > self.capacity {
-            let oldest = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| k.clone())
-                .expect("cache over capacity is non-empty");
-            self.map.remove(&oldest);
+        while self.map.pop_over_capacity().is_some() {
             self.evictions += 1;
         }
         Ok(Checkout {
@@ -201,7 +190,9 @@ impl DesignCache {
     /// not receive another design's checker); otherwise the checker is
     /// dropped. Eviction only forgets warm state, never correctness.
     pub fn park(&mut self, key: &str, canonical: &str, checker: Checker) {
-        if let Some(entry) = self.map.get_mut(key) {
+        // `peek_mut`: parking warms the entry but is not a use — only
+        // checkouts refresh recency, as the stamp version behaved.
+        if let Some(entry) = self.map.peek_mut(key) {
             if entry.canonical == canonical && entry.parked.len() < MAX_PARKED_PER_DESIGN {
                 entry.parked.push(checker);
             }
@@ -212,7 +203,7 @@ impl DesignCache {
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             entries: self.map.len(),
-            capacity: self.capacity,
+            capacity: self.map.capacity().unwrap_or(usize::MAX),
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,

@@ -248,6 +248,10 @@ impl WireConfig {
             },
             racing: self.racing,
             record_coverage: self.record_coverage,
+            // The simulation backend is not a wire knob: every backend
+            // yields a byte-identical outcome (sim/compiled_agree), so
+            // served and standalone runs both take the default.
+            sim_backend: goldmine::SimBackend::default(),
         })
     }
 

@@ -6,8 +6,10 @@
 
 use gm_rtl::{Module, SignalId};
 use gm_serve::{ClosureService, JobState, SchedPolicy, ServeClient, ServeConfig, WireConfig};
-use goldmine::{Engine, EngineConfig, SeedStimulus, TargetSelection, UnknownPolicy};
-use std::sync::Arc;
+use goldmine::{
+    ClosureOutcome, Engine, EngineConfig, SeedStimulus, TargetSelection, UnknownPolicy,
+};
+use std::sync::{Arc, OnceLock};
 
 fn one_bit_targets(m: &Module) -> Vec<(SignalId, u32)> {
     m.outputs()
@@ -26,7 +28,11 @@ fn catalog_jobs() -> Vec<(String, Module, EngineConfig)> {
         .map(|d| {
             let module = d.module();
             let (backend, max_iterations, targets) = match d.name {
-                "b17_lite" | "b18_lite" => (
+                // fetch_stage's full Auto-backend closure costs ~6 s
+                // alone — the differential property only needs the
+                // served run to mirror the standalone run, so it gets
+                // the same hard bound as the big lite blocks.
+                "b17_lite" | "b18_lite" | "fetch_stage" => (
                     gm_mc::Backend::KInduction { max_k: 1 },
                     1,
                     vec![one_bit_targets(&module)[0]],
@@ -52,19 +58,53 @@ fn catalog_jobs() -> Vec<(String, Module, EngineConfig)> {
         .collect()
 }
 
-fn standalone_debug(module: &Module, config: &EngineConfig) -> String {
-    let outcome = Engine::new(module, config.clone()).unwrap().run().unwrap();
-    format!("{outcome:?}")
+/// One catalog job plus its standalone baseline outcome.
+struct Baseline {
+    name: String,
+    module: Module,
+    config: EngineConfig,
+    outcome: ClosureOutcome,
+}
+
+/// The shared fixture: every test in this binary compares served
+/// outcomes against the same standalone `Engine` baselines, so they are
+/// computed once per process instead of once per test (the catalog
+/// sweep dominated this suite's wall time).
+fn baselines() -> &'static [Baseline] {
+    static BASELINES: OnceLock<Vec<Baseline>> = OnceLock::new();
+    BASELINES.get_or_init(|| {
+        catalog_jobs()
+            .into_iter()
+            .map(|(name, module, config)| {
+                let outcome = Engine::new(&module, config.clone()).unwrap().run().unwrap();
+                Baseline {
+                    name,
+                    module,
+                    config,
+                    outcome,
+                }
+            })
+            .collect()
+    })
+}
+
+fn baselines_for(names: &[&str]) -> Vec<&'static Baseline> {
+    let all = baselines();
+    names
+        .iter()
+        .map(|n| {
+            all.iter()
+                .find(|b| b.name == *n)
+                .expect("fixture covers the whole catalog")
+        })
+        .collect()
 }
 
 #[test]
 fn served_outcomes_match_standalone_across_the_catalog_under_both_policies() {
-    let jobs = catalog_jobs();
-    let expected: Vec<String> = jobs
-        .iter()
-        .map(|(_, m, c)| standalone_debug(m, c))
-        .collect();
     for policy in [SchedPolicy::RoundRobin, SchedPolicy::WorkStealing] {
+        let jobs: Vec<&Baseline> = baselines().iter().collect();
+        let expected: Vec<String> = jobs.iter().map(|b| format!("{:?}", b.outcome)).collect();
         let service = ClosureService::new(ServeConfig {
             workers: 3,
             cache_capacity: 16,
@@ -73,24 +113,26 @@ fn served_outcomes_match_standalone_across_the_catalog_under_both_policies() {
         });
         let ids: Vec<u64> = jobs
             .iter()
-            .map(|(name, module, config)| {
+            .map(|b| {
                 service
-                    .submit_module(name, module.clone(), config.clone())
+                    .submit_module(&b.name, b.module.clone(), b.config.clone())
                     .unwrap()
                     .0
             })
             .collect();
-        for ((id, expect), (name, ..)) in ids.into_iter().zip(&expected).zip(&jobs) {
+        for ((id, expect), b) in ids.into_iter().zip(&expected).zip(&jobs) {
             assert_eq!(
                 service.wait(id),
                 Some(JobState::Done),
-                "{name} under {policy:?}"
+                "{} under {policy:?}",
+                b.name
             );
             let outcome = service.take_outcome(id).unwrap().unwrap();
             assert_eq!(
                 format!("{outcome:?}"),
                 *expect,
-                "{name}: served outcome diverged from standalone under {policy:?}"
+                "{}: served outcome diverged from standalone under {policy:?}",
+                b.name
             );
         }
         let stats = service.stats();
@@ -104,15 +146,8 @@ fn served_outcomes_match_standalone_across_the_catalog_under_both_policies() {
 
 #[test]
 fn concurrent_multi_client_submissions_agree_with_standalone() {
-    let names = ["arbiter2", "b01", "b02", "b09"];
-    let jobs: Vec<(String, Module, EngineConfig)> = catalog_jobs()
-        .into_iter()
-        .filter(|(name, ..)| names.contains(&name.as_str()))
-        .collect();
-    let expected: Vec<String> = jobs
-        .iter()
-        .map(|(_, m, c)| standalone_debug(m, c))
-        .collect();
+    let jobs = baselines_for(&["arbiter2", "b01", "b02", "b09"]);
+    let expected: Vec<String> = jobs.iter().map(|b| format!("{:?}", b.outcome)).collect();
     let service = Arc::new(ClosureService::new(ServeConfig {
         workers: 3,
         ..ServeConfig::default()
@@ -126,12 +161,12 @@ fn concurrent_multi_client_submissions_agree_with_standalone() {
             let jobs = &jobs;
             let expected = &expected;
             scope.spawn(move || {
-                for ((name, module, config), expect) in jobs.iter().zip(expected) {
+                for (b, expect) in jobs.iter().zip(expected) {
                     let (id, _) = service
                         .submit_module(
-                            &format!("{name}-client{client}"),
-                            module.clone(),
-                            config.clone(),
+                            &format!("{}-client{client}", b.name),
+                            b.module.clone(),
+                            b.config.clone(),
                         )
                         .unwrap();
                     assert_eq!(service.wait(id), Some(JobState::Done));
@@ -139,7 +174,8 @@ fn concurrent_multi_client_submissions_agree_with_standalone() {
                     assert_eq!(
                         format!("{outcome:?}"),
                         *expect,
-                        "client {client}: {name} diverged"
+                        "client {client}: {} diverged",
+                        b.name
                     );
                 }
             });
@@ -154,15 +190,8 @@ fn concurrent_multi_client_submissions_agree_with_standalone() {
 
 #[test]
 fn cache_eviction_and_rebuild_never_change_outcomes() {
-    let names = ["cex_small", "arbiter2", "b01"];
-    let jobs: Vec<(String, Module, EngineConfig)> = catalog_jobs()
-        .into_iter()
-        .filter(|(name, ..)| names.contains(&name.as_str()))
-        .collect();
-    let expected: Vec<String> = jobs
-        .iter()
-        .map(|(_, m, c)| standalone_debug(m, c))
-        .collect();
+    let jobs = baselines_for(&["cex_small", "arbiter2", "b01"]);
+    let expected: Vec<String> = jobs.iter().map(|b| format!("{:?}", b.outcome)).collect();
     // Capacity 2 with 3 designs cycled twice: every design gets evicted
     // and rebuilt at least once along the way.
     let service = ClosureService::new(ServeConfig {
@@ -171,16 +200,17 @@ fn cache_eviction_and_rebuild_never_change_outcomes() {
         ..ServeConfig::default()
     });
     for round in 0..2 {
-        for ((name, module, config), expect) in jobs.iter().zip(&expected) {
+        for (b, expect) in jobs.iter().zip(&expected) {
             let (id, _) = service
-                .submit_module(name, module.clone(), config.clone())
+                .submit_module(&b.name, b.module.clone(), b.config.clone())
                 .unwrap();
             assert_eq!(service.wait(id), Some(JobState::Done));
             let outcome = service.take_outcome(id).unwrap().unwrap();
             assert_eq!(
                 format!("{outcome:?}"),
                 *expect,
-                "round {round}: {name} diverged after eviction churn"
+                "round {round}: {} diverged after eviction churn",
+                b.name
             );
         }
     }
@@ -198,11 +228,8 @@ fn warm_memo_mode_keeps_verdicts_and_artifacts_identical() {
     // warm_memo changes only the work counters inside the iteration
     // reports; the convergence verdicts, proved assertions and suite
     // must still match a standalone run exactly.
-    let (name, module, config) = catalog_jobs()
-        .into_iter()
-        .find(|(name, ..)| name == "arbiter2")
-        .unwrap();
-    let standalone = Engine::new(&module, config.clone()).unwrap().run().unwrap();
+    let b = baselines_for(&["arbiter2"])[0];
+    let standalone = &b.outcome;
     let service = ClosureService::new(ServeConfig {
         workers: 1,
         warm_memo: true,
@@ -210,7 +237,7 @@ fn warm_memo_mode_keeps_verdicts_and_artifacts_identical() {
     });
     for round in 0..2 {
         let (id, _) = service
-            .submit_module(&name, module.clone(), config.clone())
+            .submit_module(&b.name, b.module.clone(), b.config.clone())
             .unwrap();
         service.wait(id);
         let outcome = service.take_outcome(id).unwrap().unwrap();
@@ -276,7 +303,11 @@ fn socket_round_trip_is_byte_identical_and_shuts_down_cleanly() {
     }
     .with_bit_targets(vec![("gnt0".into(), 0), ("gnt1".into(), 0)]);
     let config = wire.to_engine(&module).unwrap();
-    let expect = standalone_debug(&module, &config);
+    // The wire config resolves to exactly the catalog job's engine
+    // config, so the shared fixture baseline applies here too.
+    let b = baselines_for(&["arbiter2"])[0];
+    assert_eq!(config, b.config, "wire round-trip matches the fixture");
+    let expect = format!("{:?}", b.outcome);
 
     let mut client = ServeClient::connect(&path).unwrap();
     let (job, cached) = client

@@ -1,0 +1,1694 @@
+//! The compiled bit-parallel simulation backend.
+//!
+//! The tree-walking [`crate::Simulator`] re-traverses the statement AST
+//! for every cycle of every stimulus vector. This module lowers an
+//! elaborated module **once** into a flat, topologically ordered
+//! instruction tape — SSA-style bytecode over a dense `u64` register
+//! file — and executes that tape instead. No AST is touched on the hot
+//! path and no [`Bv`] values are materialized between instructions.
+//!
+//! # Tape format
+//!
+//! A [`CompiledModule`] holds two tapes: the *settle* tape (every
+//! combinational process, flattened in elaboration's topological order)
+//! and the *edge* tape (every sequential process, writing into
+//! next-state shadow registers that are committed at the clock edge, so
+//! non-blocking semantics fall out of the register file layout).
+//! Registers are written once per tape execution (SSA): the first
+//! `signal_count` registers mirror the module's signal table, state
+//! signals get one extra shadow register, constants are pre-broadcast
+//! at executor construction, and every subexpression gets a fresh
+//! temporary.
+//!
+//! Control flow is lowered to *predication*: each statement executes
+//! under a 1-bit mask register, `if`/`case` refine the mask per branch
+//! (first-match-wins for `case` arms), and assignments merge into their
+//! destination under the mask. This makes the tape straight-line — the
+//! prerequisite for running many stimulus vectors per pass.
+//!
+//! # Lane encoding (64-way bit parallelism)
+//!
+//! The same tape runs in two modes:
+//!
+//! * [`ScalarSim`] — one register = one `u64` value, one stimulus
+//!   vector per pass. Word-level arithmetic, fastest for single
+//!   segments (counterexample replay).
+//! * [`BatchSim`] — one register of width *w* = *w* words, where **bit
+//!   `k` of every word carries stimulus vector (lane) `k`**. Bitwise
+//!   ops are lane-parallel for free; arithmetic ripples carries across
+//!   the bit-sliced words; predication masks become per-lane words. One
+//!   tape execution simulates up to 64 independent reset-rooted
+//!   segments simultaneously.
+//!
+//! Observation happens through [`BatchObserver`]: statement/branch
+//! events carry a per-lane hit word, boolean-node probes (compiled in
+//! for every width-1 non-constant subexpression of watched expressions,
+//! in the same pre-order the coverage collectors enumerate) carry the
+//! node's per-lane value, and cycle boundaries expose a
+//! [`LaneSnapshot`] for toggle/FSM/trace consumers. The scalar executor
+//! reports through the same trait with a single active lane, so one
+//! collector implementation serves both modes.
+//!
+//! # When the interpreter is still used
+//!
+//! The interpreter remains the reference semantics and the differential
+//! oracle: `sim/compiled_agree` proves trace- and coverage-identity on
+//! the whole design catalog plus randomized modules. Callers pick an
+//! engine via [`SimBackend`]; the interpreter is also what observer
+//! code using the borrowing [`crate::SimObserver`] API keeps running
+//! on.
+
+use crate::sim::{BranchOutcome, ExprRole};
+use crate::stim::InputVector;
+use crate::suite::Segment;
+use crate::trace::Trace;
+use gm_rtl::{
+    elaborate, BinaryOp, Bv, Elab, Expr, Module, Result, SignalId, Stmt, StmtId, StmtKind, UnaryOp,
+};
+use std::collections::HashMap;
+
+/// Which simulation engine executes stimulus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum SimBackend {
+    /// The tree-walking interpreter ([`crate::Simulator`]): the
+    /// reference semantics and the differential oracle.
+    Interpreter,
+    /// The compiled instruction tape, one stimulus vector per pass.
+    CompiledScalar,
+    /// The compiled tape in 64-lane bit-parallel mode: bit `k` of every
+    /// tape word carries stimulus vector `k`, so one tape execution
+    /// simulates up to 64 segments. The default.
+    #[default]
+    CompiledBatch,
+}
+
+/// Observation hooks for compiled simulation, lane-parallel.
+///
+/// `lanes` words carry one stimulus vector per bit; the scalar executor
+/// reports with `lanes == 1` (lane 0 only). Events with an empty lane
+/// set are not delivered, mirroring the interpreter (statements in
+/// untaken branches produce no events).
+pub trait BatchObserver {
+    /// A statement executed in the given lanes.
+    fn on_stmt(&mut self, _stmt: StmtId, _lanes: u64) {}
+    /// A control statement resolved to `outcome` in the given lanes.
+    fn on_branch(&mut self, _stmt: StmtId, _outcome: BranchOutcome, _lanes: u64) {}
+    /// Boolean node `node` (pre-order index among the width-1
+    /// non-constant subexpressions of the watched expression, the same
+    /// enumeration coverage uses) evaluated to `values` (per lane) in
+    /// the given lanes.
+    fn on_bool_node(
+        &mut self,
+        _stmt: StmtId,
+        _role: ExprRole,
+        _node: u32,
+        _values: u64,
+        _lanes: u64,
+    ) {
+    }
+    /// A cycle finished settling in the given lanes; `snap` is the
+    /// settled pre-edge snapshot of every signal.
+    fn on_cycle_end(&mut self, _cycle: u64, _lanes: u64, _snap: &LaneSnapshot<'_>) {}
+}
+
+/// A [`BatchObserver`] that ignores every event.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NopBatchObserver;
+
+impl BatchObserver for NopBatchObserver {}
+
+/// Register index into a compiled tape's register file.
+type Reg = u32;
+
+/// One tape instruction. Operand semantics mirror [`Bv`]: operands are
+/// zero-extended to the destination width, arithmetic wraps, predicates
+/// produce one bit.
+#[derive(Clone, Copy, Debug)]
+enum Inst {
+    And {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Or {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Xor {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Not {
+        d: Reg,
+        a: Reg,
+    },
+    Neg {
+        d: Reg,
+        a: Reg,
+    },
+    Add {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Sub {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Mul {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Eq {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Ne {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Lt {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Le {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    Shl {
+        d: Reg,
+        a: Reg,
+        amt: Reg,
+    },
+    Shr {
+        d: Reg,
+        a: Reg,
+        amt: Reg,
+    },
+    ShlC {
+        d: Reg,
+        a: Reg,
+        amt: u32,
+    },
+    ShrC {
+        d: Reg,
+        a: Reg,
+        amt: u32,
+    },
+    RedAnd {
+        d: Reg,
+        a: Reg,
+    },
+    RedOr {
+        d: Reg,
+        a: Reg,
+    },
+    RedXor {
+        d: Reg,
+        a: Reg,
+    },
+    LogicNot {
+        d: Reg,
+        a: Reg,
+    },
+    Truth {
+        d: Reg,
+        a: Reg,
+    },
+    Mux {
+        d: Reg,
+        c: Reg,
+        t: Reg,
+        e: Reg,
+    },
+    Index {
+        d: Reg,
+        a: Reg,
+        bit: u32,
+    },
+    Slice {
+        d: Reg,
+        a: Reg,
+        lo: u32,
+    },
+    Concat {
+        d: Reg,
+        hi: Reg,
+        lo: Reg,
+    },
+    Resize {
+        d: Reg,
+        a: Reg,
+    },
+    /// `d = a & !b` over 1-bit mask registers.
+    AndNot {
+        d: Reg,
+        a: Reg,
+        b: Reg,
+    },
+    /// Masked merge: `d = mask ? src : d` (per lane).
+    Store {
+        d: Reg,
+        src: Reg,
+        mask: Reg,
+    },
+    ObsStmt {
+        stmt: StmtId,
+        mask: Reg,
+    },
+    ObsBranch {
+        stmt: StmtId,
+        outcome: BranchOutcome,
+        mask: Reg,
+    },
+    ObsBool {
+        probe: u32,
+        val: Reg,
+        mask: Reg,
+    },
+}
+
+/// An elaborated module lowered to instruction tapes, shareable across
+/// any number of executors.
+#[derive(Clone, Debug)]
+pub struct CompiledModule {
+    /// Combinational settle tape (processes in topological order).
+    comb: Vec<Inst>,
+    /// Sequential edge tape (writes next-state shadows).
+    seq: Vec<Inst>,
+    /// Width of each register.
+    widths: Vec<u32>,
+    /// Per-register word offset for the 64-lane arena.
+    base: Vec<u32>,
+    /// Total bit-sliced words in the 64-lane arena.
+    words_total: usize,
+    /// Number of signals (registers `0..n` mirror the signal table).
+    n_signals: usize,
+    /// Power-on value per signal.
+    sig_init: Vec<u64>,
+    /// `(current, shadow)` register pairs for state signals.
+    state_pairs: Vec<(Reg, Reg)>,
+    /// Constant registers and their values, preloaded per executor.
+    const_inits: Vec<(Reg, u64)>,
+    /// Probe table: `ObsBool` indices resolve to `(stmt, role, node)`.
+    probes: Vec<(StmtId, ExprRole, u32)>,
+    /// The designated reset input, for the suite reset protocol.
+    reset: Option<SignalId>,
+    /// Data inputs (cleared during the reset pulse).
+    data_inputs: Vec<SignalId>,
+}
+
+impl CompiledModule {
+    /// Elaborates `module` and lowers it to tapes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration errors (see [`gm_rtl::elaborate`]).
+    pub fn compile(module: &Module) -> Result<Self> {
+        let elab = elaborate(module)?;
+        Ok(Self::with_elab(module, &elab))
+    }
+
+    /// Lowers an already elaborated module to tapes.
+    pub fn with_elab(module: &Module, elab: &Elab) -> Self {
+        Compiler::lower(module, elab)
+    }
+
+    /// Total instruction count across both tapes.
+    pub fn tape_len(&self) -> usize {
+        self.comb.len() + self.seq.len()
+    }
+
+    /// The number of registers in the tape's register file.
+    pub fn register_count(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// The number of compiled boolean-node probes.
+    pub fn probe_count(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Runs one reset-rooted stimulus segment on a fresh scalar
+    /// executor, mirroring [`crate::run_segment`]'s reset protocol and
+    /// trace shape exactly.
+    pub fn run_segment(
+        &self,
+        module: &Module,
+        vectors: &[InputVector],
+        obs: &mut dyn BatchObserver,
+    ) -> Trace {
+        let mut sim = ScalarSim::new(self);
+        sim.apply_reset(obs);
+        let mut trace = Trace::for_module(module);
+        for vec in vectors {
+            sim.set_inputs(vec);
+            sim.settle_observed(obs);
+            let snap = sim.snapshot();
+            obs.on_cycle_end(sim.cycle(), 1, &snap);
+            trace.push_row_raw(snap.row(0));
+            sim.clock_edge(obs);
+        }
+        trace
+    }
+
+    /// Runs `segments` through the 64-lane executor, `collect_traces`
+    /// deciding whether per-lane traces are materialized (coverage-only
+    /// callers skip the transpose). Segments are dealt onto lanes in
+    /// chunks of 64; each chunk starts from reset, so lane `k` replays
+    /// segment `chunk*64 + k` exactly as a scalar run would.
+    pub(crate) fn run_segments_batched(
+        &self,
+        module: &Module,
+        segments: &[Segment],
+        obs: &mut dyn BatchObserver,
+        collect_traces: bool,
+    ) -> Vec<Trace> {
+        let mut traces: Vec<Trace> = if collect_traces {
+            segments.iter().map(|_| Trace::for_module(module)).collect()
+        } else {
+            Vec::new()
+        };
+        for (chunk_idx, chunk) in segments.chunks(64).enumerate() {
+            let mut sim = BatchSim::new(self);
+            let full: u64 = if chunk.len() == 64 {
+                u64::MAX
+            } else {
+                (1u64 << chunk.len()) - 1
+            };
+            sim.apply_reset(full, obs);
+            let max_len = chunk.iter().map(|s| s.vectors.len()).max().unwrap_or(0);
+            for t in 0..max_len {
+                let mut active = 0u64;
+                for (k, seg) in chunk.iter().enumerate() {
+                    if t < seg.vectors.len() {
+                        active |= 1u64 << k;
+                        for (sig, v) in &seg.vectors[t] {
+                            sim.set_input_lane(k as u32, *sig, *v);
+                        }
+                    }
+                }
+                sim.settle(active, Some(obs));
+                let snap = sim.snapshot();
+                obs.on_cycle_end(sim.cycle(), active, &snap);
+                if collect_traces {
+                    for k in 0..chunk.len() {
+                        if active >> k & 1 == 1 {
+                            traces[chunk_idx * 64 + k].push_row_raw(snap.row(k as u32));
+                        }
+                    }
+                }
+                sim.clock_edge(active, Some(obs));
+            }
+        }
+        traces
+    }
+}
+
+/// Pre-order probe assignment context for one watched expression.
+#[derive(Clone, Copy)]
+struct ProbeCtx {
+    stmt: StmtId,
+    role: ExprRole,
+    mask: Reg,
+    next: u32,
+}
+
+/// Lowers statements and expressions into tape instructions.
+struct Compiler<'m> {
+    module: &'m Module,
+    widths: Vec<u32>,
+    consts: HashMap<(u64, u32), Reg>,
+    const_inits: Vec<(Reg, u64)>,
+    probes: Vec<(StmtId, ExprRole, u32)>,
+    tape: Vec<Inst>,
+    next_of: Vec<Option<Reg>>,
+    in_seq: bool,
+}
+
+impl<'m> Compiler<'m> {
+    fn lower(module: &'m Module, elab: &Elab) -> CompiledModule {
+        let n = module.signals().len();
+        let mut c = Compiler {
+            module,
+            widths: module.signals().iter().map(|s| s.width()).collect(),
+            consts: HashMap::new(),
+            const_inits: Vec::new(),
+            probes: Vec::new(),
+            tape: Vec::new(),
+            next_of: vec![None; n],
+            in_seq: false,
+        };
+        let mut state_pairs = Vec::new();
+        for sig in elab.state_signals() {
+            let shadow = c.reg(module.signal_width(sig));
+            c.next_of[sig.index()] = Some(shadow);
+            state_pairs.push((sig.index() as Reg, shadow));
+        }
+        let ones = c.const_reg(1, 1);
+        for &pi in elab.comb_order() {
+            for st in &module.processes()[pi].body {
+                c.compile_stmt(st, ones);
+            }
+        }
+        let comb = std::mem::take(&mut c.tape);
+        c.in_seq = true;
+        for &pi in elab.seq_processes() {
+            for st in &module.processes()[pi].body {
+                c.compile_stmt(st, ones);
+            }
+        }
+        let seq = std::mem::take(&mut c.tape);
+
+        let mut base = Vec::with_capacity(c.widths.len());
+        let mut off = 0u32;
+        for &w in &c.widths {
+            base.push(off);
+            off += w;
+        }
+        CompiledModule {
+            comb,
+            seq,
+            base,
+            words_total: off as usize,
+            n_signals: n,
+            sig_init: module.signals().iter().map(|s| s.init().bits()).collect(),
+            state_pairs,
+            const_inits: c.const_inits,
+            probes: c.probes,
+            reset: module.reset(),
+            data_inputs: module.data_inputs(),
+            widths: c.widths,
+        }
+    }
+
+    fn reg(&mut self, width: u32) -> Reg {
+        self.widths.push(width);
+        (self.widths.len() - 1) as Reg
+    }
+
+    fn const_reg(&mut self, bits: u64, width: u32) -> Reg {
+        let bits = Bv::new(bits, width).bits();
+        if let Some(&r) = self.consts.get(&(bits, width)) {
+            return r;
+        }
+        let r = self.reg(width);
+        self.consts.insert((bits, width), r);
+        self.const_inits.push((r, bits));
+        r
+    }
+
+    fn width_of(&self, e: &Expr) -> u32 {
+        e.width_in(&|s: SignalId| self.module.signal_width(s))
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        self.tape.push(inst);
+    }
+
+    /// 1-bit truthiness of a register (the register itself when already
+    /// one bit wide).
+    fn truthy(&mut self, r: Reg) -> Reg {
+        if self.widths[r as usize] == 1 {
+            r
+        } else {
+            let d = self.reg(1);
+            self.emit(Inst::Truth { d, a: r });
+            d
+        }
+    }
+
+    fn and1(&mut self, a: Reg, b: Reg) -> Reg {
+        let d = self.reg(1);
+        self.emit(Inst::And { d, a, b });
+        d
+    }
+
+    fn or1(&mut self, a: Reg, b: Reg) -> Reg {
+        let d = self.reg(1);
+        self.emit(Inst::Or { d, a, b });
+        d
+    }
+
+    fn andnot1(&mut self, a: Reg, b: Reg) -> Reg {
+        let d = self.reg(1);
+        self.emit(Inst::AndNot { d, a, b });
+        d
+    }
+
+    fn resize_to(&mut self, r: Reg, w: u32) -> Reg {
+        if self.widths[r as usize] == w {
+            r
+        } else {
+            let d = self.reg(w);
+            self.emit(Inst::Resize { d, a: r });
+            d
+        }
+    }
+
+    fn compile_watched(&mut self, e: &Expr, stmt: StmtId, role: ExprRole, mask: Reg) -> Reg {
+        let mut probe = Some(ProbeCtx {
+            stmt,
+            role,
+            mask,
+            next: 0,
+        });
+        self.compile_expr(e, &mut probe)
+    }
+
+    /// Compiles an expression, emitting an `ObsBool` probe for every
+    /// width-1 non-constant node. Probe indices are assigned pre-order
+    /// (node before children, children in syntactic order) — exactly
+    /// the enumeration the coverage collectors use.
+    fn compile_expr(&mut self, e: &Expr, probe: &mut Option<ProbeCtx>) -> Reg {
+        let w = self.width_of(e);
+        let probe_idx = match probe {
+            Some(p) if w == 1 && !matches!(e, Expr::Const(_)) => {
+                let i = p.next;
+                p.next += 1;
+                Some(i)
+            }
+            _ => None,
+        };
+        let r = match e {
+            Expr::Const(b) => self.const_reg(b.bits(), b.width()),
+            Expr::Signal(s) => s.index() as Reg,
+            Expr::Unary(op, a) => {
+                let ra = self.compile_expr(a, probe);
+                let d = self.reg(w);
+                let inst = match op {
+                    UnaryOp::Not => Inst::Not { d, a: ra },
+                    UnaryOp::Neg => Inst::Neg { d, a: ra },
+                    UnaryOp::RedAnd => Inst::RedAnd { d, a: ra },
+                    UnaryOp::RedOr => Inst::RedOr { d, a: ra },
+                    UnaryOp::RedXor => Inst::RedXor { d, a: ra },
+                    UnaryOp::LogicNot => Inst::LogicNot { d, a: ra },
+                };
+                self.emit(inst);
+                d
+            }
+            Expr::Binary(op, a, b) => {
+                let ra = self.compile_expr(a, probe);
+                let rb = self.compile_expr(b, probe);
+                match op {
+                    BinaryOp::Shl | BinaryOp::Shr => self.compile_shift(*op, ra, rb, b, w),
+                    BinaryOp::LogicAnd | BinaryOp::LogicOr => {
+                        let ta = self.truthy(ra);
+                        let tb = self.truthy(rb);
+                        let d = self.reg(1);
+                        self.emit(if *op == BinaryOp::LogicAnd {
+                            Inst::And { d, a: ta, b: tb }
+                        } else {
+                            Inst::Or { d, a: ta, b: tb }
+                        });
+                        d
+                    }
+                    _ => {
+                        let d = self.reg(w);
+                        let inst = match op {
+                            BinaryOp::And => Inst::And { d, a: ra, b: rb },
+                            BinaryOp::Or => Inst::Or { d, a: ra, b: rb },
+                            BinaryOp::Xor => Inst::Xor { d, a: ra, b: rb },
+                            BinaryOp::Add => Inst::Add { d, a: ra, b: rb },
+                            BinaryOp::Sub => Inst::Sub { d, a: ra, b: rb },
+                            BinaryOp::Mul => Inst::Mul { d, a: ra, b: rb },
+                            BinaryOp::Eq => Inst::Eq { d, a: ra, b: rb },
+                            BinaryOp::Ne => Inst::Ne { d, a: ra, b: rb },
+                            BinaryOp::Lt => Inst::Lt { d, a: ra, b: rb },
+                            BinaryOp::Le => Inst::Le { d, a: ra, b: rb },
+                            // `a > b` is `b < a`, mirroring Bv::eval.
+                            BinaryOp::Gt => Inst::Lt { d, a: rb, b: ra },
+                            BinaryOp::Ge => Inst::Le { d, a: rb, b: ra },
+                            _ => unreachable!("shift/logic ops handled above"),
+                        };
+                        self.emit(inst);
+                        d
+                    }
+                }
+            }
+            Expr::Mux {
+                cond,
+                then_val,
+                else_val,
+            } => {
+                let rc = self.compile_expr(cond, probe);
+                let rt = self.compile_expr(then_val, probe);
+                let re = self.compile_expr(else_val, probe);
+                let tc = self.truthy(rc);
+                let d = self.reg(w);
+                self.emit(Inst::Mux {
+                    d,
+                    c: tc,
+                    t: rt,
+                    e: re,
+                });
+                d
+            }
+            Expr::Index { base, bit } => {
+                let ra = self.compile_expr(base, probe);
+                let d = self.reg(1);
+                self.emit(Inst::Index {
+                    d,
+                    a: ra,
+                    bit: *bit,
+                });
+                d
+            }
+            Expr::Slice { base, hi: _, lo } => {
+                let ra = self.compile_expr(base, probe);
+                let d = self.reg(w);
+                self.emit(Inst::Slice { d, a: ra, lo: *lo });
+                d
+            }
+            Expr::Concat(parts) => {
+                let regs: Vec<Reg> = parts.iter().map(|p| self.compile_expr(p, probe)).collect();
+                let mut acc = regs[0];
+                for &lo in &regs[1..] {
+                    let wd = self.widths[acc as usize] + self.widths[lo as usize];
+                    let d = self.reg(wd);
+                    self.emit(Inst::Concat { d, hi: acc, lo });
+                    acc = d;
+                }
+                acc
+            }
+        };
+        if let Some(i) = probe_idx {
+            let p = probe.as_ref().expect("probe context present");
+            let pid = self.probes.len() as u32;
+            self.probes.push((p.stmt, p.role, i));
+            self.emit(Inst::ObsBool {
+                probe: pid,
+                val: r,
+                mask: p.mask,
+            });
+        }
+        r
+    }
+
+    /// Shifts keep the left operand's width; constant amounts at or
+    /// beyond the width fold to zero, in-range constants specialize to
+    /// fixed word moves, and variable amounts go through the barrel
+    /// instruction.
+    fn compile_shift(&mut self, op: BinaryOp, ra: Reg, rb: Reg, b: &Expr, w: u32) -> Reg {
+        if let Expr::Const(c) = b {
+            if c.bits() >= u64::from(w) {
+                return self.const_reg(0, w);
+            }
+            let amt = c.bits() as u32;
+            if amt == 0 {
+                return ra;
+            }
+            let d = self.reg(w);
+            self.emit(if op == BinaryOp::Shl {
+                Inst::ShlC { d, a: ra, amt }
+            } else {
+                Inst::ShrC { d, a: ra, amt }
+            });
+            return d;
+        }
+        let d = self.reg(w);
+        self.emit(if op == BinaryOp::Shl {
+            Inst::Shl { d, a: ra, amt: rb }
+        } else {
+            Inst::Shr { d, a: ra, amt: rb }
+        });
+        d
+    }
+
+    fn compile_stmt(&mut self, stmt: &Stmt, mask: Reg) {
+        self.emit(Inst::ObsStmt {
+            stmt: stmt.id,
+            mask,
+        });
+        match &stmt.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                let r = self.compile_watched(rhs, stmt.id, ExprRole::AssignRhs, mask);
+                let w = self.module.signal_width(*lhs);
+                let src = self.resize_to(r, w);
+                let d = if self.in_seq {
+                    self.next_of[lhs.index()].expect("sequential writes target state signals")
+                } else {
+                    lhs.index() as Reg
+                };
+                self.emit(Inst::Store { d, src, mask });
+            }
+            StmtKind::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let rc = self.compile_watched(cond, stmt.id, ExprRole::Condition, mask);
+                let taken = self.truthy(rc);
+                let then_mask = self.and1(mask, taken);
+                let else_mask = self.andnot1(mask, taken);
+                self.emit(Inst::ObsBranch {
+                    stmt: stmt.id,
+                    outcome: BranchOutcome::Then,
+                    mask: then_mask,
+                });
+                self.emit(Inst::ObsBranch {
+                    stmt: stmt.id,
+                    outcome: BranchOutcome::Else,
+                    mask: else_mask,
+                });
+                for s in then_body {
+                    self.compile_stmt(s, then_mask);
+                }
+                for s in else_body {
+                    self.compile_stmt(s, else_mask);
+                }
+            }
+            StmtKind::Case {
+                subject,
+                arms,
+                default,
+            } => {
+                let rs = self.compile_watched(subject, stmt.id, ExprRole::CaseSubject, mask);
+                // First matching arm wins: arm i takes lanes where one
+                // of its labels matches and no earlier arm matched.
+                let mut matched: Option<Reg> = None;
+                for (i, arm) in arms.iter().enumerate() {
+                    let mut hit: Option<Reg> = None;
+                    for label in &arm.labels {
+                        let lc = self.const_reg(label.bits(), label.width());
+                        let d = self.reg(1);
+                        self.emit(Inst::Eq { d, a: rs, b: lc });
+                        hit = Some(match hit {
+                            None => d,
+                            Some(h) => self.or1(h, d),
+                        });
+                    }
+                    let hit = match hit {
+                        Some(h) => h,
+                        None => self.const_reg(0, 1),
+                    };
+                    let take = match matched {
+                        None => self.and1(mask, hit),
+                        Some(m) => {
+                            let fresh = self.andnot1(hit, m);
+                            self.and1(mask, fresh)
+                        }
+                    };
+                    matched = Some(match matched {
+                        None => hit,
+                        Some(m) => self.or1(m, hit),
+                    });
+                    self.emit(Inst::ObsBranch {
+                        stmt: stmt.id,
+                        outcome: BranchOutcome::Arm(i as u32),
+                        mask: take,
+                    });
+                    for s in &arm.body {
+                        self.compile_stmt(s, take);
+                    }
+                }
+                let def_mask = match matched {
+                    None => mask,
+                    Some(m) => self.andnot1(mask, m),
+                };
+                self.emit(Inst::ObsBranch {
+                    stmt: stmt.id,
+                    outcome: BranchOutcome::Default,
+                    mask: def_mask,
+                });
+                if let Some(d) = default {
+                    for s in d {
+                        self.compile_stmt(s, def_mask);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn vmask(width: u32) -> u64 {
+    if width == 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    }
+}
+
+/// A settled pre-edge snapshot of every signal, readable per bit-lane
+/// word or per lane value. Produced by both executors so observers are
+/// mode-agnostic.
+#[derive(Debug)]
+pub struct LaneSnapshot<'a> {
+    widths: &'a [u32],
+    mode: SnapMode<'a>,
+}
+
+#[derive(Debug)]
+enum SnapMode<'a> {
+    /// One value word per signal; lane 0 is the only lane.
+    Scalar { values: &'a [u64] },
+    /// Bit-sliced arena: `words[base[sig] + bit]` is the lane word of
+    /// one signal bit.
+    Batch { words: &'a [u64], base: &'a [u32] },
+}
+
+impl LaneSnapshot<'_> {
+    /// The number of signals in the snapshot.
+    pub fn signal_count(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// How many lanes this snapshot carries: 1 for the scalar executor,
+    /// 64 for the batch executor (inactive lanes included — mask with
+    /// the `lanes` word delivered alongside the snapshot).
+    pub fn lane_count(&self) -> u32 {
+        match &self.mode {
+            SnapMode::Scalar { .. } => 1,
+            SnapMode::Batch { .. } => 64,
+        }
+    }
+
+    /// The width of a signal.
+    pub fn width(&self, sig: SignalId) -> u32 {
+        self.widths[sig.index()]
+    }
+
+    /// The per-lane word of one bit of `sig`: bit `k` of the result is
+    /// lane `k`'s value of `sig[bit]`.
+    #[inline]
+    pub fn bit_word(&self, sig: SignalId, bit: u32) -> u64 {
+        match &self.mode {
+            SnapMode::Scalar { values } => (values[sig.index()] >> bit) & 1,
+            SnapMode::Batch { words, base } => words[(base[sig.index()] + bit) as usize],
+        }
+    }
+
+    /// The value of `sig` in lane `lane`.
+    pub fn value(&self, sig: SignalId, lane: u32) -> Bv {
+        let w = self.widths[sig.index()];
+        match &self.mode {
+            SnapMode::Scalar { values } => {
+                debug_assert_eq!(lane, 0, "scalar snapshots have one lane");
+                Bv::new(values[sig.index()], w)
+            }
+            SnapMode::Batch { words, base } => {
+                let b = base[sig.index()] as usize;
+                let mut bits = 0u64;
+                for i in 0..w as usize {
+                    bits |= ((words[b + i] >> lane) & 1) << i;
+                }
+                Bv::new(bits, w)
+            }
+        }
+    }
+
+    /// Raw trace row (one `u64` of bits per signal) for `lane`.
+    pub(crate) fn row(&self, lane: u32) -> Vec<u64> {
+        match &self.mode {
+            SnapMode::Scalar { values } => values.to_vec(),
+            SnapMode::Batch { .. } => (0..self.widths.len())
+                .map(|i| self.value(SignalId::from_raw(i as u32), lane).bits())
+                .collect(),
+        }
+    }
+}
+
+/// Scalar executor for a [`CompiledModule`]: one stimulus vector per
+/// pass, one `u64` value per register. The drop-in replacement for
+/// [`crate::Simulator`] on single-segment paths (counterexample
+/// replay), reporting through [`BatchObserver`] with a single lane.
+#[derive(Debug)]
+pub struct ScalarSim<'c> {
+    c: &'c CompiledModule,
+    regs: Vec<u64>,
+    cycle: u64,
+}
+
+impl<'c> ScalarSim<'c> {
+    /// Creates an executor at the reset state.
+    pub fn new(c: &'c CompiledModule) -> Self {
+        let mut regs = vec![0u64; c.widths.len()];
+        for &(r, bits) in &c.const_inits {
+            regs[r as usize] = bits;
+        }
+        regs[..c.n_signals].copy_from_slice(&c.sig_init);
+        ScalarSim { c, regs, cycle: 0 }
+    }
+
+    /// The number of completed cycles.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The current value of a signal.
+    pub fn value(&self, sig: SignalId) -> Bv {
+        Bv::new(self.regs[sig.index()], self.c.widths[sig.index()])
+    }
+
+    /// Drives an input (values are truncated/extended to the width).
+    pub fn set_input(&mut self, sig: SignalId, value: Bv) {
+        self.regs[sig.index()] = value.resize(self.c.widths[sig.index()]).bits();
+    }
+
+    /// Drives several inputs at once.
+    pub fn set_inputs(&mut self, inputs: &[(SignalId, Bv)]) {
+        for (s, v) in inputs {
+            self.set_input(*s, *v);
+        }
+    }
+
+    /// Returns registers to their declared init values, clears inputs
+    /// and resets the cycle counter.
+    pub fn reset_to_initial(&mut self) {
+        self.regs[..self.c.n_signals].copy_from_slice(&self.c.sig_init);
+        self.cycle = 0;
+    }
+
+    /// The settled snapshot view.
+    pub fn snapshot(&self) -> LaneSnapshot<'_> {
+        LaneSnapshot {
+            widths: &self.c.widths[..self.c.n_signals],
+            mode: SnapMode::Scalar {
+                values: &self.regs[..self.c.n_signals],
+            },
+        }
+    }
+
+    /// Settles combinational logic without advancing the clock.
+    pub fn settle(&mut self) {
+        exec_scalar(self.c, &mut self.regs, &self.c.comb, &mut None);
+    }
+
+    /// Settles combinational logic, reporting events to `obs`.
+    pub fn settle_observed(&mut self, obs: &mut dyn BatchObserver) {
+        let mut o: Option<&mut dyn BatchObserver> = Some(obs);
+        exec_scalar(self.c, &mut self.regs, &self.c.comb, &mut o);
+    }
+
+    /// Fires the sequential processes and commits next state.
+    pub fn clock_edge(&mut self, obs: &mut dyn BatchObserver) {
+        for &(cur, next) in &self.c.state_pairs {
+            self.regs[next as usize] = self.regs[cur as usize];
+        }
+        let mut o: Option<&mut dyn BatchObserver> = Some(obs);
+        exec_scalar(self.c, &mut self.regs, &self.c.seq, &mut o);
+        for &(cur, next) in &self.c.state_pairs {
+            self.regs[cur as usize] = self.regs[next as usize];
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs one full clock cycle: settle, sample, clock edge.
+    pub fn step(&mut self) {
+        self.step_observed(&mut NopBatchObserver);
+    }
+
+    /// Runs one full clock cycle, reporting events to `obs`.
+    pub fn step_observed(&mut self, obs: &mut dyn BatchObserver) {
+        self.settle_observed(obs);
+        obs.on_cycle_end(self.cycle, 1, &self.snapshot());
+        self.clock_edge(obs);
+    }
+
+    /// Drives the suite reset protocol: zero the data inputs, pulse the
+    /// designated reset for one observed cycle, deassert it. A no-op
+    /// for modules without a reset input.
+    pub fn apply_reset(&mut self, obs: &mut dyn BatchObserver) {
+        if let Some(rst) = self.c.reset {
+            for &d in &self.c.data_inputs {
+                self.regs[d.index()] = 0;
+            }
+            self.set_input(rst, Bv::one_bit());
+            self.step_observed(obs);
+            self.set_input(rst, Bv::zero_bit());
+        }
+    }
+}
+
+/// 64-lane executor for a [`CompiledModule`]: bit `k` of every word
+/// carries stimulus vector `k`, so one tape execution advances up to 64
+/// independent simulations by one cycle.
+#[derive(Debug)]
+pub struct BatchSim<'c> {
+    c: &'c CompiledModule,
+    words: Vec<u64>,
+    cycle: u64,
+}
+
+impl<'c> BatchSim<'c> {
+    /// Creates an executor with every lane at the reset state.
+    pub fn new(c: &'c CompiledModule) -> Self {
+        let mut words = vec![0u64; c.words_total];
+        for &(r, bits) in &c.const_inits {
+            broadcast(&mut words, c.base[r as usize], c.widths[r as usize], bits);
+        }
+        for i in 0..c.n_signals {
+            broadcast(&mut words, c.base[i], c.widths[i], c.sig_init[i]);
+        }
+        BatchSim { c, words, cycle: 0 }
+    }
+
+    /// The number of completed cycles (shared by every lane).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Drives an input in one lane.
+    pub fn set_input_lane(&mut self, lane: u32, sig: SignalId, value: Bv) {
+        let w = self.c.widths[sig.index()];
+        let bits = value.resize(w).bits();
+        let b = self.c.base[sig.index()] as usize;
+        for i in 0..w as usize {
+            let word = &mut self.words[b + i];
+            *word = (*word & !(1u64 << lane)) | (((bits >> i) & 1) << lane);
+        }
+    }
+
+    /// Drives an input identically in every lane.
+    pub fn set_input_all(&mut self, sig: SignalId, value: Bv) {
+        let w = self.c.widths[sig.index()];
+        let bits = value.resize(w).bits();
+        broadcast(&mut self.words, self.c.base[sig.index()], w, bits);
+    }
+
+    /// The value of `sig` in lane `lane`.
+    pub fn lane_value(&self, sig: SignalId, lane: u32) -> Bv {
+        self.snapshot().value(sig, lane)
+    }
+
+    /// The settled snapshot view.
+    pub fn snapshot(&self) -> LaneSnapshot<'_> {
+        LaneSnapshot {
+            widths: &self.c.widths[..self.c.n_signals],
+            mode: SnapMode::Batch {
+                words: &self.words,
+                base: &self.c.base[..self.c.n_signals],
+            },
+        }
+    }
+
+    /// Settles combinational logic in every lane; observations are
+    /// restricted to `active` lanes.
+    pub fn settle(&mut self, active: u64, obs: Option<&mut dyn BatchObserver>) {
+        let mut o = obs;
+        exec_batch(self.c, &mut self.words, &self.c.comb, active, &mut o);
+    }
+
+    /// Fires the sequential processes and commits next state in every
+    /// lane; observations are restricted to `active` lanes.
+    pub fn clock_edge(&mut self, active: u64, obs: Option<&mut dyn BatchObserver>) {
+        for &(cur, next) in &self.c.state_pairs {
+            let (cb, nb) = (
+                self.c.base[cur as usize] as usize,
+                self.c.base[next as usize] as usize,
+            );
+            for i in 0..self.c.widths[cur as usize] as usize {
+                self.words[nb + i] = self.words[cb + i];
+            }
+        }
+        let mut o = obs;
+        exec_batch(self.c, &mut self.words, &self.c.seq, active, &mut o);
+        for &(cur, next) in &self.c.state_pairs {
+            let (cb, nb) = (
+                self.c.base[cur as usize] as usize,
+                self.c.base[next as usize] as usize,
+            );
+            for i in 0..self.c.widths[cur as usize] as usize {
+                self.words[cb + i] = self.words[nb + i];
+            }
+        }
+        self.cycle += 1;
+    }
+
+    /// Runs one full clock cycle, reporting events to `obs`.
+    pub fn step_observed(&mut self, active: u64, obs: &mut dyn BatchObserver) {
+        self.settle(active, Some(obs));
+        obs.on_cycle_end(self.cycle, active, &self.snapshot());
+        self.clock_edge(active, Some(obs));
+    }
+
+    /// Drives the suite reset protocol in every active lane (see
+    /// [`ScalarSim::apply_reset`]).
+    pub fn apply_reset(&mut self, active: u64, obs: &mut dyn BatchObserver) {
+        let c = self.c;
+        if let Some(rst) = c.reset {
+            for &d in &c.data_inputs {
+                broadcast(&mut self.words, c.base[d.index()], c.widths[d.index()], 0);
+            }
+            self.set_input_all(rst, Bv::one_bit());
+            self.step_observed(active, obs);
+            self.set_input_all(rst, Bv::zero_bit());
+        }
+    }
+}
+
+/// Writes `bits` into every lane of a bit-sliced register.
+#[inline]
+fn broadcast(words: &mut [u64], base: u32, width: u32, bits: u64) {
+    for i in 0..width as usize {
+        words[base as usize + i] = if (bits >> i) & 1 == 1 { u64::MAX } else { 0 };
+    }
+}
+
+/// Executes one tape in scalar mode.
+fn exec_scalar(
+    c: &CompiledModule,
+    regs: &mut [u64],
+    tape: &[Inst],
+    obs: &mut Option<&mut dyn BatchObserver>,
+) {
+    let wd = |r: Reg| c.widths[r as usize];
+    for inst in tape {
+        match *inst {
+            Inst::And { d, a, b } => regs[d as usize] = regs[a as usize] & regs[b as usize],
+            Inst::Or { d, a, b } => regs[d as usize] = regs[a as usize] | regs[b as usize],
+            Inst::Xor { d, a, b } => regs[d as usize] = regs[a as usize] ^ regs[b as usize],
+            Inst::Not { d, a } => regs[d as usize] = !regs[a as usize] & vmask(wd(d)),
+            Inst::Neg { d, a } => regs[d as usize] = regs[a as usize].wrapping_neg() & vmask(wd(d)),
+            Inst::Add { d, a, b } => {
+                regs[d as usize] = regs[a as usize].wrapping_add(regs[b as usize]) & vmask(wd(d));
+            }
+            Inst::Sub { d, a, b } => {
+                regs[d as usize] = regs[a as usize].wrapping_sub(regs[b as usize]) & vmask(wd(d));
+            }
+            Inst::Mul { d, a, b } => {
+                regs[d as usize] = regs[a as usize].wrapping_mul(regs[b as usize]) & vmask(wd(d));
+            }
+            Inst::Eq { d, a, b } => {
+                regs[d as usize] = u64::from(regs[a as usize] == regs[b as usize]);
+            }
+            Inst::Ne { d, a, b } => {
+                regs[d as usize] = u64::from(regs[a as usize] != regs[b as usize]);
+            }
+            Inst::Lt { d, a, b } => {
+                regs[d as usize] = u64::from(regs[a as usize] < regs[b as usize]);
+            }
+            Inst::Le { d, a, b } => {
+                regs[d as usize] = u64::from(regs[a as usize] <= regs[b as usize]);
+            }
+            Inst::Shl { d, a, amt } => {
+                let w = wd(d);
+                let sh = regs[amt as usize];
+                regs[d as usize] = if sh >= u64::from(w) {
+                    0
+                } else {
+                    (regs[a as usize] << sh) & vmask(w)
+                };
+            }
+            Inst::Shr { d, a, amt } => {
+                let sh = regs[amt as usize];
+                regs[d as usize] = if sh >= u64::from(wd(d)) {
+                    0
+                } else {
+                    regs[a as usize] >> sh
+                };
+            }
+            Inst::ShlC { d, a, amt } => {
+                regs[d as usize] = (regs[a as usize] << amt) & vmask(wd(d));
+            }
+            Inst::ShrC { d, a, amt } => regs[d as usize] = regs[a as usize] >> amt,
+            Inst::RedAnd { d, a } => {
+                regs[d as usize] = u64::from(regs[a as usize] == vmask(wd(a)));
+            }
+            Inst::RedOr { d, a } | Inst::Truth { d, a } => {
+                regs[d as usize] = u64::from(regs[a as usize] != 0);
+            }
+            Inst::RedXor { d, a } => {
+                regs[d as usize] = u64::from(regs[a as usize].count_ones() % 2 == 1);
+            }
+            Inst::LogicNot { d, a } => regs[d as usize] = u64::from(regs[a as usize] == 0),
+            Inst::Mux { d, c: cnd, t, e } => {
+                regs[d as usize] = if regs[cnd as usize] != 0 {
+                    regs[t as usize]
+                } else {
+                    regs[e as usize]
+                };
+            }
+            Inst::Index { d, a, bit } => regs[d as usize] = (regs[a as usize] >> bit) & 1,
+            Inst::Slice { d, a, lo } => {
+                regs[d as usize] = (regs[a as usize] >> lo) & vmask(wd(d));
+            }
+            Inst::Concat { d, hi, lo } => {
+                regs[d as usize] = (regs[hi as usize] << wd(lo)) | regs[lo as usize];
+            }
+            Inst::Resize { d, a } => regs[d as usize] = regs[a as usize] & vmask(wd(d)),
+            Inst::AndNot { d, a, b } => {
+                regs[d as usize] = regs[a as usize] & !regs[b as usize] & 1;
+            }
+            Inst::Store { d, src, mask } => {
+                if regs[mask as usize] != 0 {
+                    regs[d as usize] = regs[src as usize];
+                }
+            }
+            Inst::ObsStmt { stmt, mask } => {
+                if let Some(o) = obs.as_deref_mut() {
+                    let lanes = regs[mask as usize] & 1;
+                    if lanes != 0 {
+                        o.on_stmt(stmt, lanes);
+                    }
+                }
+            }
+            Inst::ObsBranch {
+                stmt,
+                outcome,
+                mask,
+            } => {
+                if let Some(o) = obs.as_deref_mut() {
+                    let lanes = regs[mask as usize] & 1;
+                    if lanes != 0 {
+                        o.on_branch(stmt, outcome, lanes);
+                    }
+                }
+            }
+            Inst::ObsBool { probe, val, mask } => {
+                if let Some(o) = obs.as_deref_mut() {
+                    let lanes = regs[mask as usize] & 1;
+                    if lanes != 0 {
+                        let (stmt, role, node) = c.probes[probe as usize];
+                        o.on_bool_node(stmt, role, node, regs[val as usize] & 1, lanes);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Executes one tape in 64-lane bit-parallel mode. Every lane computes
+/// on every instruction; observation events are masked to `active`.
+fn exec_batch(
+    c: &CompiledModule,
+    words: &mut [u64],
+    tape: &[Inst],
+    active: u64,
+    obs: &mut Option<&mut dyn BatchObserver>,
+) {
+    let base = &c.base;
+    let widths = &c.widths;
+    // Reads zero-extend: bits beyond a register's width read as zero.
+    macro_rules! gw {
+        ($r:expr, $i:expr) => {{
+            let r = $r as usize;
+            if ($i as u32) < widths[r] {
+                words[base[r] as usize + $i as usize]
+            } else {
+                0u64
+            }
+        }};
+    }
+    macro_rules! di {
+        ($d:expr, $i:expr) => {
+            base[$d as usize] as usize + $i as usize
+        };
+    }
+    for inst in tape {
+        match *inst {
+            Inst::And { d, a, b } => {
+                for i in 0..widths[d as usize] {
+                    words[di!(d, i)] = gw!(a, i) & gw!(b, i);
+                }
+            }
+            Inst::Or { d, a, b } => {
+                for i in 0..widths[d as usize] {
+                    words[di!(d, i)] = gw!(a, i) | gw!(b, i);
+                }
+            }
+            Inst::Xor { d, a, b } => {
+                for i in 0..widths[d as usize] {
+                    words[di!(d, i)] = gw!(a, i) ^ gw!(b, i);
+                }
+            }
+            Inst::Not { d, a } => {
+                for i in 0..widths[d as usize] {
+                    words[di!(d, i)] = !gw!(a, i);
+                }
+            }
+            Inst::Neg { d, a } => {
+                // ~a + 1 via a carry ripple seeded with all-ones.
+                let mut carry = u64::MAX;
+                for i in 0..widths[d as usize] {
+                    let x = !gw!(a, i);
+                    words[di!(d, i)] = x ^ carry;
+                    carry &= x;
+                }
+            }
+            Inst::Add { d, a, b } => {
+                let mut carry = 0u64;
+                for i in 0..widths[d as usize] {
+                    let x = gw!(a, i);
+                    let y = gw!(b, i);
+                    words[di!(d, i)] = x ^ y ^ carry;
+                    carry = (x & y) | (carry & (x ^ y));
+                }
+            }
+            Inst::Sub { d, a, b } => {
+                let mut borrow = 0u64;
+                for i in 0..widths[d as usize] {
+                    let x = gw!(a, i);
+                    let y = gw!(b, i);
+                    words[di!(d, i)] = x ^ y ^ borrow;
+                    borrow = (!x & y) | (!(x ^ y) & borrow);
+                }
+            }
+            Inst::Mul { d, a, b } => {
+                let w = widths[d as usize];
+                let mut acc = [0u64; 64];
+                for j in 0..w.min(widths[b as usize]) {
+                    let m = gw!(b, j);
+                    if m == 0 {
+                        continue;
+                    }
+                    let mut carry = 0u64;
+                    for i in j..w {
+                        let x = acc[i as usize];
+                        let y = gw!(a, i - j) & m;
+                        acc[i as usize] = x ^ y ^ carry;
+                        carry = (x & y) | (carry & (x ^ y));
+                    }
+                }
+                for i in 0..w {
+                    words[di!(d, i)] = acc[i as usize];
+                }
+            }
+            Inst::Eq { d, a, b } => {
+                let wm = widths[a as usize].max(widths[b as usize]);
+                let mut eq = u64::MAX;
+                for i in 0..wm {
+                    eq &= !(gw!(a, i) ^ gw!(b, i));
+                }
+                words[di!(d, 0)] = eq;
+            }
+            Inst::Ne { d, a, b } => {
+                let wm = widths[a as usize].max(widths[b as usize]);
+                let mut eq = u64::MAX;
+                for i in 0..wm {
+                    eq &= !(gw!(a, i) ^ gw!(b, i));
+                }
+                words[di!(d, 0)] = !eq;
+            }
+            Inst::Lt { d, a, b } => {
+                let wm = widths[a as usize].max(widths[b as usize]);
+                let mut lt = 0u64;
+                for i in 0..wm {
+                    let x = gw!(a, i);
+                    let y = gw!(b, i);
+                    lt = (!x & y) | (!(x ^ y) & lt);
+                }
+                words[di!(d, 0)] = lt;
+            }
+            Inst::Le { d, a, b } => {
+                let wm = widths[a as usize].max(widths[b as usize]);
+                let mut lt = 0u64;
+                let mut eq = u64::MAX;
+                for i in 0..wm {
+                    let x = gw!(a, i);
+                    let y = gw!(b, i);
+                    lt = (!x & y) | (!(x ^ y) & lt);
+                    eq &= !(x ^ y);
+                }
+                words[di!(d, 0)] = lt | eq;
+            }
+            Inst::Shl { d, a, amt } => {
+                let w = widths[d as usize];
+                let mut cur = [0u64; 64];
+                for i in 0..w {
+                    cur[i as usize] = gw!(a, i);
+                }
+                barrel(&mut cur, w, c, words, amt, true);
+                for i in 0..w {
+                    words[di!(d, i)] = cur[i as usize];
+                }
+            }
+            Inst::Shr { d, a, amt } => {
+                let w = widths[d as usize];
+                let mut cur = [0u64; 64];
+                for i in 0..w {
+                    cur[i as usize] = gw!(a, i);
+                }
+                barrel(&mut cur, w, c, words, amt, false);
+                for i in 0..w {
+                    words[di!(d, i)] = cur[i as usize];
+                }
+            }
+            Inst::ShlC { d, a, amt } => {
+                let w = widths[d as usize];
+                for i in (0..w).rev() {
+                    words[di!(d, i)] = if i >= amt { gw!(a, i - amt) } else { 0 };
+                }
+            }
+            Inst::ShrC { d, a, amt } => {
+                let w = widths[d as usize];
+                for i in 0..w {
+                    words[di!(d, i)] = gw!(a, i + amt);
+                }
+            }
+            Inst::RedAnd { d, a } => {
+                let mut r = u64::MAX;
+                for i in 0..widths[a as usize] {
+                    r &= gw!(a, i);
+                }
+                words[di!(d, 0)] = r;
+            }
+            Inst::RedOr { d, a } | Inst::Truth { d, a } => {
+                let mut r = 0u64;
+                for i in 0..widths[a as usize] {
+                    r |= gw!(a, i);
+                }
+                words[di!(d, 0)] = r;
+            }
+            Inst::RedXor { d, a } => {
+                let mut r = 0u64;
+                for i in 0..widths[a as usize] {
+                    r ^= gw!(a, i);
+                }
+                words[di!(d, 0)] = r;
+            }
+            Inst::LogicNot { d, a } => {
+                let mut r = 0u64;
+                for i in 0..widths[a as usize] {
+                    r |= gw!(a, i);
+                }
+                words[di!(d, 0)] = !r;
+            }
+            Inst::Mux { d, c: cnd, t, e } => {
+                let m = gw!(cnd, 0);
+                for i in 0..widths[d as usize] {
+                    words[di!(d, i)] = (m & gw!(t, i)) | (!m & gw!(e, i));
+                }
+            }
+            Inst::Index { d, a, bit } => words[di!(d, 0)] = gw!(a, bit),
+            Inst::Slice { d, a, lo } => {
+                for i in 0..widths[d as usize] {
+                    words[di!(d, i)] = gw!(a, lo + i);
+                }
+            }
+            Inst::Concat { d, hi, lo } => {
+                let wl = widths[lo as usize];
+                for i in 0..wl {
+                    words[di!(d, i)] = gw!(lo, i);
+                }
+                for i in 0..widths[hi as usize] {
+                    words[di!(d, wl + i)] = gw!(hi, i);
+                }
+            }
+            Inst::Resize { d, a } => {
+                for i in 0..widths[d as usize] {
+                    words[di!(d, i)] = gw!(a, i);
+                }
+            }
+            Inst::AndNot { d, a, b } => {
+                words[di!(d, 0)] = gw!(a, 0) & !gw!(b, 0);
+            }
+            Inst::Store { d, src, mask } => {
+                let m = gw!(mask, 0);
+                for i in 0..widths[d as usize] {
+                    let idx = di!(d, i);
+                    words[idx] = (m & gw!(src, i)) | (!m & words[idx]);
+                }
+            }
+            Inst::ObsStmt { stmt, mask } => {
+                if let Some(o) = obs.as_deref_mut() {
+                    let lanes = gw!(mask, 0) & active;
+                    if lanes != 0 {
+                        o.on_stmt(stmt, lanes);
+                    }
+                }
+            }
+            Inst::ObsBranch {
+                stmt,
+                outcome,
+                mask,
+            } => {
+                if let Some(o) = obs.as_deref_mut() {
+                    let lanes = gw!(mask, 0) & active;
+                    if lanes != 0 {
+                        o.on_branch(stmt, outcome, lanes);
+                    }
+                }
+            }
+            Inst::ObsBool { probe, val, mask } => {
+                if let Some(o) = obs.as_deref_mut() {
+                    let lanes = gw!(mask, 0) & active;
+                    if lanes != 0 {
+                        let (stmt, role, node) = c.probes[probe as usize];
+                        o.on_bool_node(stmt, role, node, gw!(val, 0), lanes);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lane-parallel barrel shifter: conditionally shifts `cur` (width `w`)
+/// by each power of two under the per-lane words of the `amt` register.
+/// Amount bits whose power reaches the width force the affected lanes
+/// to zero, so amounts at or beyond the width produce zero — matching
+/// [`Bv::shl`]/[`Bv::shr`].
+fn barrel(cur: &mut [u64; 64], w: u32, c: &CompiledModule, words: &[u64], amt: Reg, left: bool) {
+    let wa = c.widths[amt as usize];
+    let ab = c.base[amt as usize] as usize;
+    for j in 0..wa {
+        let m = words[ab + j as usize];
+        if m == 0 {
+            continue;
+        }
+        if j >= 6 || (1u32 << j) >= w {
+            for word in cur.iter_mut().take(w as usize) {
+                *word &= !m;
+            }
+        } else {
+            let k = 1usize << j;
+            if left {
+                for i in (0..w as usize).rev() {
+                    let shifted = if i >= k { cur[i - k] } else { 0 };
+                    cur[i] = (m & shifted) | (!m & cur[i]);
+                }
+            } else {
+                for i in 0..w as usize {
+                    let shifted = if i + k < w as usize { cur[i + k] } else { 0 };
+                    cur[i] = (m & shifted) | (!m & cur[i]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use crate::stim::{collect_vectors, RandomStimulus};
+    use crate::NopObserver;
+    use gm_rtl::parse_verilog;
+
+    const ARBITER2: &str = "
+    module arbiter2(input clk, input rst, input req0, input req1,
+                    output reg gnt0, output reg gnt1);
+      always @(posedge clk)
+        if (rst) begin
+          gnt0 <= 0; gnt1 <= 0;
+        end else begin
+          gnt0 <= (~gnt0 & req0) | (gnt0 & req0 & ~req1);
+          gnt1 <= (gnt0 & req1) | (~gnt0 & ~req0 & req1);
+        end
+    endmodule";
+
+    const ALU: &str = "
+    module alu(input clk, input rst, input [2:0] op, input [7:0] a, input [7:0] b,
+               output reg [7:0] y);
+      always @(posedge clk)
+        if (rst) y <= 0;
+        else case (op)
+          3'd0: y <= a + b;
+          3'd1: y <= a - b;
+          3'd2: y <= a * b;
+          3'd3: y <= a << b[2:0];
+          3'd4: y <= a >> b[2:0];
+          3'd5: y <= {a[3:0], b[3:0]};
+          default: y <= (a < b) ? a : ~b;
+        endcase
+    endmodule";
+
+    fn interp_trace(src: &str, seed: u64, cycles: u64) -> Trace {
+        let m = parse_verilog(src).unwrap();
+        let vectors = collect_vectors(&mut RandomStimulus::new(&m, seed, cycles));
+        crate::suite::run_segment(&m, &vectors, &mut NopObserver).unwrap()
+    }
+
+    fn compiled_trace(src: &str, seed: u64, cycles: u64) -> Trace {
+        let m = parse_verilog(src).unwrap();
+        let vectors = collect_vectors(&mut RandomStimulus::new(&m, seed, cycles));
+        let c = CompiledModule::compile(&m).unwrap();
+        c.run_segment(&m, &vectors, &mut NopBatchObserver)
+    }
+
+    #[test]
+    fn scalar_matches_interpreter_on_arbiter() {
+        for seed in 0..4 {
+            assert_eq!(
+                interp_trace(ARBITER2, seed, 40),
+                compiled_trace(ARBITER2, seed, 40)
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_matches_interpreter_on_arithmetic() {
+        for seed in 0..4 {
+            assert_eq!(interp_trace(ALU, seed, 60), compiled_trace(ALU, seed, 60));
+        }
+    }
+
+    #[test]
+    fn batch_lanes_replay_independent_segments() {
+        let m = parse_verilog(ALU).unwrap();
+        let c = CompiledModule::compile(&m).unwrap();
+        let segments: Vec<Segment> = (0..70)
+            .map(|seed| Segment {
+                label: format!("s{seed}"),
+                vectors: collect_vectors(&mut RandomStimulus::new(
+                    &m,
+                    seed,
+                    5 + (seed % 13), // ragged lengths across lane boundaries
+                )),
+            })
+            .collect();
+        let batched = c.run_segments_batched(&m, &segments, &mut NopBatchObserver, true);
+        for (seg, got) in segments.iter().zip(&batched) {
+            let want = crate::suite::run_segment(&m, &seg.vectors, &mut NopObserver).unwrap();
+            assert_eq!(*got, want, "{}", seg.label);
+        }
+    }
+
+    #[test]
+    fn scalar_step_matches_simulator_step() {
+        let m = parse_verilog(ARBITER2).unwrap();
+        let c = CompiledModule::compile(&m).unwrap();
+        let mut interp = Simulator::new(&m).unwrap();
+        let mut comp = ScalarSim::new(&c);
+        let req0 = m.require("req0").unwrap();
+        let req1 = m.require("req1").unwrap();
+        for t in 0..16u64 {
+            let (v0, v1) = (Bv::from_bool(t % 2 == 0), Bv::from_bool(t % 3 == 0));
+            interp.set_inputs(&[(req0, v0), (req1, v1)]);
+            comp.set_inputs(&[(req0, v0), (req1, v1)]);
+            interp.step();
+            comp.step();
+            for sig in m.signal_ids() {
+                assert_eq!(interp.value(sig), comp.value(sig), "cycle {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_module_reports_shape() {
+        let m = parse_verilog(ARBITER2).unwrap();
+        let c = CompiledModule::compile(&m).unwrap();
+        assert!(c.tape_len() > 0);
+        assert!(c.register_count() > m.signals().len());
+        assert!(c.probe_count() > 0, "rhs boolean nodes are probed");
+    }
+}

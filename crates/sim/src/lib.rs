@@ -14,14 +14,27 @@
 //! full cycle (settle combinational logic, sample, latch registers).
 //! Sequential processes use non-blocking semantics, combinational
 //! processes blocking semantics in elaboration's topological order.
+//!
+//! Two engines share those semantics: the tree-walking interpreter
+//! ([`Simulator`], the reference) and the compiled backend
+//! ([`CompiledModule`]), which lowers the design once into a flat
+//! instruction tape and executes it either one vector at a time
+//! ([`ScalarSim`]) or 64 stimulus vectors per pass ([`BatchSim`], bit
+//! `k` of every word = vector `k`). Callers select one via
+//! [`SimBackend`]; `sim/compiled_agree` proves them trace- and
+//! coverage-identical.
 
 #![warn(missing_docs)]
 
+mod compile;
 mod sim;
 mod stim;
 mod suite;
 mod trace;
 
+pub use compile::{
+    BatchObserver, BatchSim, CompiledModule, LaneSnapshot, NopBatchObserver, ScalarSim, SimBackend,
+};
 pub use sim::{BranchOutcome, ExprRole, MultiObserver, NopObserver, SimObserver, Simulator};
 pub use stim::{collect_vectors, DirectedStimulus, InputVector, RandomStimulus, Stimulus};
 pub use suite::{run_segment, Segment, TestSuite};

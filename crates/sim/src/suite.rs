@@ -78,6 +78,31 @@ impl TestSuite {
         }
         Ok(traces)
     }
+
+    /// Runs every segment through the compiled 64-lane executor (lane
+    /// `k` of each pass replays segment `chunk*64 + k` from reset),
+    /// returning one trace per segment — trace- and coverage-identical
+    /// to [`TestSuite::run`] with the interpreter.
+    pub fn run_compiled(
+        &self,
+        module: &Module,
+        compiled: &crate::CompiledModule,
+        obs: &mut dyn crate::BatchObserver,
+    ) -> Vec<Trace> {
+        compiled.run_segments_batched(module, &self.segments, obs, true)
+    }
+
+    /// Like [`TestSuite::run_compiled`] but skips trace materialization
+    /// — the fast path for coverage measurement, where the per-lane
+    /// transpose would dominate.
+    pub fn observe_compiled(
+        &self,
+        module: &Module,
+        compiled: &crate::CompiledModule,
+        obs: &mut dyn crate::BatchObserver,
+    ) {
+        compiled.run_segments_batched(module, &self.segments, obs, false);
+    }
 }
 
 /// Runs one reset-rooted stimulus segment on a fresh simulator,

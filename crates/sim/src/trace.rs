@@ -42,6 +42,13 @@ impl Trace {
         self.rows.push(values.iter().map(|v| v.bits()).collect());
     }
 
+    /// Appends a pre-extracted raw row (one `u64` of bits per signal).
+    /// The compiled executors use this to skip `Bv` materialization.
+    pub(crate) fn push_row_raw(&mut self, row: Vec<u64>) {
+        debug_assert_eq!(row.len(), self.names.len(), "snapshot arity mismatch");
+        self.rows.push(row);
+    }
+
     /// The number of recorded cycles.
     pub fn len(&self) -> usize {
         self.rows.len()

@@ -1,0 +1,448 @@
+//! `sim/compiled_agree` — the differential contract of the compiled
+//! bit-parallel backend: for every design and every stimulus, the
+//! compiled tape (scalar and 64-lane) must be **trace-identical** and
+//! **coverage-identical** (ratios *and* uncovered point sets) to the
+//! tree-walking interpreter. The whole design catalog is swept, lane
+//! boundaries are crossed with ragged many-segment suites, and a
+//! proptest drives randomly generated modules (case/default overlap,
+//! non-blocking swaps, double writes, every operator) under random
+//! vector suites.
+
+use gm_coverage::{CoverageReport, CoverageSuite};
+use gm_rtl::{BinaryOp, Bv, Expr, Module, ModuleBuilder, SignalId, StmtId, UnaryOp};
+use gm_sim::{collect_vectors, BranchOutcome, CompiledModule, RandomStimulus, TestSuite, Trace};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+/// Everything a backend run produces that must agree.
+#[derive(Debug, PartialEq)]
+struct RunResult {
+    traces: Vec<Trace>,
+    report: CoverageReport,
+    line_uncovered: Vec<StmtId>,
+    branch_uncovered: Vec<(StmtId, BranchOutcome)>,
+}
+
+fn result_of(cov: &CoverageSuite<'_>, traces: Vec<Trace>) -> RunResult {
+    RunResult {
+        traces,
+        report: cov.report(),
+        line_uncovered: cov.line().uncovered(),
+        branch_uncovered: cov.branch().uncovered(),
+    }
+}
+
+fn run_interpreter(module: &Module, suite: &TestSuite) -> RunResult {
+    let mut cov = CoverageSuite::new(module);
+    let traces = suite.run(module, &mut cov).expect("interpreter run");
+    result_of(&cov, traces)
+}
+
+fn run_compiled_scalar(module: &Module, suite: &TestSuite) -> RunResult {
+    let compiled = CompiledModule::compile(module).expect("compiles");
+    let mut cov = CoverageSuite::new(module);
+    let traces = suite
+        .segments()
+        .iter()
+        .map(|seg| compiled.run_segment(module, &seg.vectors, &mut cov))
+        .collect();
+    result_of(&cov, traces)
+}
+
+fn run_compiled_batch(module: &Module, suite: &TestSuite) -> RunResult {
+    let compiled = CompiledModule::compile(module).expect("compiles");
+    let mut cov = CoverageSuite::new(module);
+    let traces = suite.run_compiled(module, &compiled, &mut cov);
+    result_of(&cov, traces)
+}
+
+/// Asserts all three backends agree on `suite`, returning the
+/// interpreter result for further checks.
+fn assert_backends_agree(module: &Module, suite: &TestSuite, label: &str) -> RunResult {
+    let interp = run_interpreter(module, suite);
+    let scalar = run_compiled_scalar(module, suite);
+    assert_eq!(interp, scalar, "{label}: compiled-scalar diverged");
+    let batch = run_compiled_batch(module, suite);
+    assert_eq!(interp, batch, "{label}: compiled-64-lane diverged");
+    interp
+}
+
+fn random_suite(module: &Module, base_seed: u64, lengths: &[u64]) -> TestSuite {
+    let mut suite = TestSuite::new();
+    for (i, &len) in lengths.iter().enumerate() {
+        suite.push(
+            format!("seg{i}"),
+            collect_vectors(&mut RandomStimulus::new(module, base_seed + i as u64, len)),
+        );
+    }
+    suite
+}
+
+#[test]
+fn whole_catalog_is_trace_and_coverage_identical() {
+    for design in gm_designs::catalog() {
+        let module = design.module();
+        // Ragged lengths, including an empty segment (reset pulse only).
+        let suite = random_suite(
+            &module,
+            0xC0FFEE ^ design.window as u64,
+            &[48, 17, 5, 0, 31],
+        );
+        let got = assert_backends_agree(&module, &suite, design.name);
+        assert_eq!(got.traces.len(), suite.len());
+    }
+}
+
+#[test]
+fn many_segments_cross_lane_boundaries() {
+    let module = gm_designs::arbiter4();
+    // 137 segments: three chunks, the last partially filled, lengths
+    // ragged so lanes go inactive at different cycles.
+    let lengths: Vec<u64> = (0..137).map(|i| (i * 7) % 23).collect();
+    let suite = random_suite(&module, 7, &lengths);
+    assert_backends_agree(&module, &suite, "arbiter4 x137");
+}
+
+#[test]
+fn case_first_match_and_default_fallthrough_agree() {
+    // Overlapping labels (the first arm must win in every lane),
+    // multi-label arms, an implicit hold via default, and a partial
+    // case without default (sequential hold semantics).
+    let src = "
+    module casey(input clk, input rst, input [2:0] s, input d,
+                 output reg [1:0] y, output reg z);
+      always @(posedge clk)
+        if (rst) begin y <= 0; z <= 0; end
+        else begin
+          case (s)
+            3'd0: y <= 1;
+            3'd1, 3'd2: y <= 2;
+            3'd1: y <= 3;
+            default: y <= y + 2'd1;
+          endcase
+          case (s[1:0])
+            2'd0: z <= d;
+            2'd3: z <= ~d;
+          endcase
+        end
+    endmodule";
+    let module = gm_rtl::parse_verilog(src).unwrap();
+    let suite = random_suite(&module, 11, &[70, 70, 3]);
+    assert_backends_agree(&module, &suite, "casey");
+}
+
+#[test]
+fn nonblocking_swap_and_double_write_agree() {
+    // The classic register swap plus a double non-blocking write where
+    // the last statement must win — both depend on exact edge
+    // semantics.
+    let src = "
+    module nb(input clk, input rst, input c, output reg a, output reg b,
+              output reg [3:0] r);
+      always @(posedge clk)
+        if (rst) begin a <= 1; b <= 0; r <= 0; end
+        else begin
+          a <= b; b <= a;
+          r <= r + 4'd1;
+          if (c) r <= 4'd9;
+        end
+    endmodule";
+    let module = gm_rtl::parse_verilog(src).unwrap();
+    let suite = random_suite(&module, 3, &[64, 9]);
+    assert_backends_agree(&module, &suite, "nb");
+}
+
+#[test]
+fn wide_arithmetic_shifts_and_concats_agree() {
+    let src = "
+    module wide(input clk, input rst, input [63:0] a, input [63:0] b,
+                input [5:0] k, output reg [63:0] acc, output y);
+      wire [63:0] m;
+      assign m = (a * b) + (a << k) - (b >> k);
+      assign y = (a < b) && !(a[63] ^ b[0]) || &k;
+      always @(posedge clk)
+        if (rst) acc <= 64'd0;
+        else acc <= {m[31:0], acc[63:32]} ^ (-a);
+    endmodule";
+    let module = gm_rtl::parse_verilog(src).unwrap();
+    let suite = random_suite(&module, 5, &[80, 33, 1]);
+    assert_backends_agree(&module, &suite, "wide");
+}
+
+// ---------------------------------------------------------------------------
+// Random-module differential proptest
+// ---------------------------------------------------------------------------
+
+/// Widths drawn for random signals: mixes the trivial, byte-ish,
+/// non-power-of-two and full-word cases.
+const WIDTHS: &[u32] = &[1, 2, 3, 4, 7, 8, 13, 16, 31, 32, 33, 64];
+
+struct Gen<'r> {
+    rng: &'r mut TestRng,
+    /// Signals readable at this point, with widths.
+    avail: Vec<(SignalId, u32)>,
+}
+
+impl Gen<'_> {
+    fn below(&mut self, n: u64) -> u64 {
+        self.rng.below(n as u128) as u64
+    }
+
+    fn width_of(&self, e: &Expr) -> u32 {
+        let avail = self.avail.clone();
+        e.width_in(&move |s: SignalId| {
+            avail
+                .iter()
+                .find(|(id, _)| *id == s)
+                .map(|(_, w)| *w)
+                .expect("generated exprs only read declared signals")
+        })
+    }
+
+    /// A random expression tree of bounded depth over the available
+    /// signals, exercising every operator.
+    fn expr(&mut self, depth: u32) -> Expr {
+        if depth == 0 || self.below(6) == 0 {
+            return if self.below(4) == 0 {
+                let w = WIDTHS[self.below(WIDTHS.len() as u64) as usize];
+                Expr::lit(self.rng.next_u64(), w)
+            } else {
+                let i = self.below(self.avail.len() as u64) as usize;
+                Expr::Signal(self.avail[i].0)
+            };
+        }
+        match self.below(12) {
+            0 => {
+                let ops = [
+                    UnaryOp::Not,
+                    UnaryOp::Neg,
+                    UnaryOp::RedAnd,
+                    UnaryOp::RedOr,
+                    UnaryOp::RedXor,
+                    UnaryOp::LogicNot,
+                ];
+                let op = ops[self.below(ops.len() as u64) as usize];
+                Expr::unary(op, self.expr(depth - 1))
+            }
+            1..=6 => {
+                let ops = [
+                    BinaryOp::And,
+                    BinaryOp::Or,
+                    BinaryOp::Xor,
+                    BinaryOp::Add,
+                    BinaryOp::Sub,
+                    BinaryOp::Mul,
+                    BinaryOp::Eq,
+                    BinaryOp::Ne,
+                    BinaryOp::Lt,
+                    BinaryOp::Le,
+                    BinaryOp::Gt,
+                    BinaryOp::Ge,
+                    BinaryOp::Shl,
+                    BinaryOp::Shr,
+                    BinaryOp::LogicAnd,
+                    BinaryOp::LogicOr,
+                ];
+                let op = ops[self.below(ops.len() as u64) as usize];
+                let a = self.expr(depth - 1);
+                let b = if matches!(op, BinaryOp::Shl | BinaryOp::Shr) && self.below(2) == 0 {
+                    // Constant shift amounts, in and out of range.
+                    Expr::lit(self.below(80), 7)
+                } else {
+                    self.expr(depth - 1)
+                };
+                Expr::binary(op, a, b)
+            }
+            7 => Expr::Mux {
+                cond: Box::new(self.expr(depth - 1)),
+                then_val: Box::new(self.expr(depth - 1)),
+                else_val: Box::new(self.expr(depth - 1)),
+            },
+            8 => {
+                let base = self.expr(depth - 1);
+                let w = self.width_of(&base);
+                let bit = self.below(u64::from(w)) as u32;
+                base.index(bit)
+            }
+            9 => {
+                let base = self.expr(depth - 1);
+                let w = self.width_of(&base);
+                let lo = self.below(u64::from(w)) as u32;
+                let hi = lo + self.below(u64::from(w - lo)) as u32;
+                base.slice(hi, lo)
+            }
+            10 => {
+                // Concatenation bounded to 64 bits total.
+                let a = self.expr(depth - 1);
+                let wa = self.width_of(&a);
+                if wa >= 63 {
+                    a
+                } else {
+                    let room = 64 - wa;
+                    let wb = 1 + self.below(u64::from(room.min(16))) as u32;
+                    Expr::Concat(vec![a, Expr::lit(self.rng.next_u64(), wb)])
+                }
+            }
+            _ => {
+                let i = self.below(self.avail.len() as u64) as usize;
+                Expr::Signal(self.avail[i].0)
+            }
+        }
+    }
+}
+
+/// Builds a random but always-legal module: layered continuous assigns
+/// (no comb loops by construction), one sequential process mixing
+/// `if`/`case` (overlapping labels, optional `default`), a non-blocking
+/// swap pair and a double-write register.
+fn random_module(seed: u64) -> Module {
+    let mut rng = TestRng::new(seed);
+    let mut b = ModuleBuilder::new("fuzz");
+    let _clk = b.clock("clk");
+    let rst = b.reset("rst");
+    let n_inputs = 2 + (rng.below(3) as usize);
+    let mut avail: Vec<(SignalId, u32)> = Vec::new();
+    for i in 0..n_inputs {
+        let w = WIDTHS[rng.below(WIDTHS.len() as u128) as usize];
+        avail.push((b.input(&format!("in{i}"), w), w));
+    }
+
+    // Combinational layer: each wire reads only earlier signals.
+    let n_wires = 2 + (rng.below(3) as usize);
+    for i in 0..n_wires {
+        let expr = {
+            let mut g = Gen {
+                rng: &mut rng,
+                avail: avail.clone(),
+            };
+            g.expr(3)
+        };
+        let w = {
+            let g = Gen {
+                rng: &mut rng,
+                avail: avail.clone(),
+            };
+            g.width_of(&expr)
+        };
+        let wire = b.wire(&format!("w{i}"), w);
+        b.assign(wire, expr);
+        avail.push((wire, w));
+    }
+
+    // State registers.
+    let wa = WIDTHS[rng.below(WIDTHS.len() as u128) as usize];
+    let ra = b.reg("ra", wa, Bv::new(rng.next_u64(), wa));
+    let rb = b.reg("rb", wa, Bv::new(rng.next_u64(), wa));
+    let wc = WIDTHS[rng.below(WIDTHS.len() as u128) as usize];
+    let rc = b.reg("rc", wc, Bv::zeros(wc));
+    let state_avail = {
+        let mut v = avail.clone();
+        v.extend([(ra, wa), (rb, wa), (rc, wc)]);
+        v
+    };
+
+    let cond = {
+        let mut g = Gen {
+            rng: &mut rng,
+            avail: state_avail.clone(),
+        };
+        g.expr(2)
+    };
+    let (subj, subj_w) = {
+        let mut g = Gen {
+            rng: &mut rng,
+            avail: state_avail.clone(),
+        };
+        let e = g.expr(2);
+        let w = g.width_of(&e);
+        (e, w)
+    };
+    let n_arms = 1 + rng.below(3) as usize;
+    let with_default = rng.below(2) == 0;
+    let arm_labels: Vec<Vec<Bv>> = (0..n_arms)
+        .map(|_| {
+            (0..1 + rng.below(2))
+                .map(|_| {
+                    // Draw labels from a small pool so arms overlap and
+                    // some labels repeat across arms (first match wins).
+                    let v = rng.below(4) as u64;
+                    Bv::new(v, subj_w.clamp(1, 3))
+                })
+                .collect()
+        })
+        .collect();
+    let mut exprs = {
+        let mut g = Gen {
+            rng: &mut rng,
+            avail: state_avail.clone(),
+        };
+        let mut out = Vec::new();
+        for _ in 0..(2 * n_arms + 8) {
+            out.push(g.expr(2));
+        }
+        out
+    };
+    let mut next_expr = move || exprs.pop().expect("pre-generated pool is large enough");
+
+    b.always_seq(|p| {
+        p.if_else(
+            Expr::Signal(rst),
+            |t| {
+                t.assign(ra, Expr::lit(1, 1));
+                t.assign(rb, Expr::zero());
+                t.assign(rc, Expr::zero());
+            },
+            |e| {
+                // Non-blocking swap.
+                e.assign(ra, Expr::Signal(rb));
+                e.assign(rb, Expr::Signal(ra));
+                // Double write under a branch: the later one must win.
+                e.assign(rc, next_expr());
+                e.if_(cond, |t| t.assign(rc, next_expr()));
+                e.case(subj, |cb| {
+                    for labels in &arm_labels {
+                        cb.arm(labels, |a| a.assign(rc, next_expr()));
+                    }
+                    if with_default {
+                        cb.default(|d| d.assign(rc, next_expr()));
+                    }
+                });
+            },
+        );
+    });
+
+    // Output over everything (kept total so elaboration always passes).
+    let y = b.output("y", 1);
+    let reduce = state_avail
+        .iter()
+        .map(|&(s, _)| Expr::unary(UnaryOp::RedXor, Expr::Signal(s)))
+        .reduce(|a, b| a.xor(b))
+        .expect("at least one signal");
+    b.assign(y, reduce);
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random modules x random vector suites: the three backends agree
+    /// on traces, coverage ratios and uncovered point sets.
+    #[test]
+    fn random_modules_and_vectors_agree(
+        seed in any::<u64>(),
+        nseg in 1usize..6,
+        len in 1u64..18,
+    ) {
+        let module = random_module(seed);
+        // Elaboration must accept the generated module; if it does not,
+        // the generator (not the backends) is broken.
+        gm_rtl::elaborate(&module).expect("generated modules are legal");
+        let lengths: Vec<u64> = (0..nseg as u64).map(|i| (len + 3 * i) % 19).collect();
+        let suite = random_suite(&module, seed ^ 0x9E37, &lengths);
+        let interp = run_interpreter(&module, &suite);
+        let scalar = run_compiled_scalar(&module, &suite);
+        prop_assert_eq!(&interp, &scalar, "scalar diverged (seed {})", seed);
+        let batch = run_compiled_batch(&module, &suite);
+        prop_assert_eq!(&interp, &batch, "batch diverged (seed {})", seed);
+    }
+}
