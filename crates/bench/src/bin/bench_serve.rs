@@ -1,0 +1,203 @@
+//! CI load smoke for the `gmserved` closure service: ramps a stepped
+//! request rate against a live socket (or a self-hosted in-process
+//! service when no socket is given), records per-step p50/p95/p99
+//! latency and the saturation throughput for a cache-friendly and a
+//! cache-hostile mix, scrapes the metrics endpoint once, and writes
+//! `BENCH_serve.json` next to `BENCH_sim.json`.
+//!
+//! ```text
+//! bench_serve [--socket PATH] [--out PATH] [--initial-rps N]
+//!             [--increment-rps N] [--target-rps N] [--step-seconds N]
+//!             [--connections N] [--shutdown]
+//! ```
+//!
+//! `--shutdown` sends a clean shutdown to the daemon after the run
+//! (always done for the self-hosted service).
+
+use gm_bench::load::{cache_friendly_mix, cache_hostile_mix, run_ramp, MixReport, RampConfig};
+use gm_serve::{bind_unix, serve_unix, ClosureService, ServeClient, ServeConfig};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+struct Args {
+    socket: Option<PathBuf>,
+    out: PathBuf,
+    ramp: RampConfig,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        socket: None,
+        out: PathBuf::from("BENCH_serve.json"),
+        ramp: RampConfig::default(),
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--socket" => parsed.socket = Some(PathBuf::from(value("--socket")?)),
+            "--out" => parsed.out = PathBuf::from(value("--out")?),
+            "--initial-rps" => parsed.ramp.initial_rps = num(&value("--initial-rps")?)?,
+            "--increment-rps" => parsed.ramp.increment_rps = num(&value("--increment-rps")?)?,
+            "--target-rps" => parsed.ramp.target_rps = num(&value("--target-rps")?)?,
+            "--step-seconds" => parsed.ramp.step_seconds = num(&value("--step-seconds")?)?,
+            "--connections" => parsed.ramp.connections = num(&value("--connections")?)?,
+            "--shutdown" => parsed.shutdown = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number '{s}'"))
+}
+
+fn mix_json(report: &MixReport) -> String {
+    let mut json = String::new();
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"{}\", \"saturation_rps\": {:.2}, \"steps\": [",
+        report.mix, report.saturation_rps
+    );
+    for (i, s) in report.steps.iter().enumerate() {
+        let _ = write!(
+            json,
+            "      {{\"offered_rps\": {}, \"achieved_rps\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"sent\": {}, \"completed\": {}, \"errors\": {}}}",
+            s.offered_rps, s.achieved_rps, s.p50_ms, s.p95_ms, s.p99_ms, s.sent, s.completed, s.errors
+        );
+        json.push_str(if i + 1 < report.steps.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    json.push_str("    ]}");
+    json
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_serve: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // Self-host an in-process service when no daemon socket was given,
+    // so `bench_serve` runs standalone in CI and on a laptop.
+    let (socket, hosted) = match &args.socket {
+        Some(path) => (path.clone(), None),
+        None => {
+            let path =
+                std::env::temp_dir().join(format!("gm_bench_serve_{}.sock", std::process::id()));
+            let listener = bind_unix(&path).expect("bind self-hosted socket");
+            let service = Arc::new(ClosureService::new(ServeConfig::default()));
+            let thread = std::thread::spawn(move || serve_unix(service, listener));
+            (path, Some(thread))
+        }
+    };
+
+    let mixes = [
+        cache_friendly_mix(),
+        cache_hostile_mix(args.ramp.total_requests() as usize),
+    ];
+    let reports: Vec<MixReport> = mixes
+        .iter()
+        .map(|mix| {
+            eprintln!("bench_serve: ramping mix '{}'", mix.name);
+            run_ramp(&socket, mix, &args.ramp).expect("load run failed")
+        })
+        .collect();
+
+    // One scrape of the metrics endpoint proves the exposition format
+    // end to end and records the cache behaviour the mixes induced.
+    let mut client = ServeClient::connect(&socket).expect("connect for metrics scrape");
+    let metrics = client.metrics().expect("metrics scrape");
+    let stats = client.stats().expect("stats");
+    if args.shutdown || hosted.is_some() {
+        client.shutdown().expect("shutdown");
+    }
+    if let Some(thread) = hosted {
+        thread.join().expect("server thread").expect("serve_unix");
+        let _ = std::fs::remove_file(&socket);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"serve_load\",\n");
+    let _ = writeln!(
+        json,
+        "  \"ramp\": {{\"initial_rps\": {}, \"increment_rps\": {}, \"target_rps\": {}, \"step_seconds\": {}, \"connections\": {}}},",
+        args.ramp.initial_rps,
+        args.ramp.increment_rps,
+        args.ramp.target_rps,
+        args.ramp.step_seconds,
+        args.ramp.connections
+    );
+    let _ = writeln!(
+        json,
+        "  \"serve_stats\": {{\"submitted\": {}, \"completed\": {}, \"failed\": {}, \"cancelled\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \"cache_evictions\": {}, \"cache_bytes\": {}, \"compiled_reused\": {}}},",
+        stats.submitted,
+        stats.completed,
+        stats.failed,
+        stats.cancelled,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_evictions,
+        stats.cache_bytes,
+        stats.compiled_reused
+    );
+    json.push_str("  \"mixes\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str(&mix_json(r));
+        json.push_str(if i + 1 < reports.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
+    print!("{json}");
+    eprintln!("--- metrics scrape (first lines) ---");
+    for line in metrics.lines().take(9) {
+        eprintln!("{line}");
+    }
+
+    // Acceptance: both mixes ran, every step's percentiles are
+    // ordered, and the service sustained some throughput.
+    assert!(reports.len() >= 2, "need at least two mixes");
+    for r in &reports {
+        assert!(
+            r.saturation_rps > 0.0,
+            "mix '{}' sustained no throughput",
+            r.mix
+        );
+        for s in &r.steps {
+            assert!(
+                s.p50_ms <= s.p95_ms && s.p95_ms <= s.p99_ms,
+                "mix '{}' step {} has disordered percentiles",
+                r.mix,
+                s.offered_rps
+            );
+            assert!(
+                s.errors == 0,
+                "mix '{}' step {} had {} request errors",
+                r.mix,
+                s.offered_rps,
+                s.errors
+            );
+        }
+    }
+    let friendly_hits = stats.cache_hits;
+    eprintln!(
+        "saturation: {}; cache hits {} / misses {}",
+        reports
+            .iter()
+            .map(|r| format!("{} {:.1} rps", r.mix, r.saturation_rps))
+            .collect::<Vec<_>>()
+            .join(", "),
+        friendly_hits,
+        stats.cache_misses
+    );
+}

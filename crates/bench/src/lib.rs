@@ -19,6 +19,7 @@
 //! binaries and by `cargo bench`.
 
 pub mod experiments;
+pub mod load;
 pub mod workloads;
 
 pub use experiments::*;

@@ -1,0 +1,336 @@
+//! Closed-loop load generator for the `gmserved` closure service.
+//!
+//! Drives a live socket with a stepped arrival-rate ramp
+//! ([`RampConfig`]): each step schedules `rate * step_seconds`
+//! submissions at uniform arrival times and measures completion
+//! latency against the *scheduled* arrival, so queueing delay under
+//! saturation counts against the SLO instead of hiding behind a
+//! slowed-down sender. Concurrency is bounded by `connections`
+//! clients, each with its own socket.
+//!
+//! Two canned request mixes probe the design cache from both ends:
+//! [`cache_friendly_mix`] cycles a fixed set of small designs (every
+//! submission after the first round is a cache hit), while
+//! [`cache_hostile_mix`] makes every submission a structurally
+//! distinct design (every submission is a miss and an eventual
+//! eviction under a byte budget). The `bench_serve` binary runs both
+//! and writes the per-step p50/p95/p99 and the saturation throughput
+//! to `BENCH_serve.json`.
+
+use gm_serve::{ServeClient, WireConfig};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A stepped arrival-rate ramp: `initial_rps`, then `+increment_rps`
+/// per step, capped at `target_rps`, holding each rate for
+/// `step_seconds`.
+#[derive(Clone, Copy, Debug)]
+pub struct RampConfig {
+    /// First step's offered request rate (requests/second).
+    pub initial_rps: u32,
+    /// Offered-rate increase between steps.
+    pub increment_rps: u32,
+    /// Final offered rate (inclusive cap).
+    pub target_rps: u32,
+    /// Wall-clock seconds each step offers load for.
+    pub step_seconds: u64,
+    /// Concurrent client connections (the closed-loop bound).
+    pub connections: usize,
+}
+
+impl Default for RampConfig {
+    fn default() -> Self {
+        RampConfig {
+            initial_rps: 8,
+            increment_rps: 8,
+            target_rps: 32,
+            step_seconds: 5,
+            connections: 4,
+        }
+    }
+}
+
+impl RampConfig {
+    /// Offered rates in step order.
+    pub fn rates(&self) -> Vec<u32> {
+        let mut rates = Vec::new();
+        let mut rate = self.initial_rps.max(1);
+        loop {
+            rates.push(rate);
+            if rate >= self.target_rps {
+                return rates;
+            }
+            rate = (rate + self.increment_rps.max(1)).min(self.target_rps);
+        }
+    }
+
+    /// Total submissions the whole ramp offers — the pool size a
+    /// cache-hostile mix needs so no design ever repeats.
+    pub fn total_requests(&self) -> u64 {
+        self.rates()
+            .iter()
+            .map(|r| u64::from(*r) * self.step_seconds)
+            .sum()
+    }
+}
+
+/// One canned submission.
+#[derive(Clone, Debug)]
+pub struct LoadRequest {
+    /// Job label.
+    pub name: String,
+    /// Verilog source.
+    pub source: String,
+    /// Run configuration.
+    pub config: WireConfig,
+}
+
+/// A request mix: workers cycle through `requests` in arrival order.
+#[derive(Clone, Debug)]
+pub struct Mix {
+    /// Mix label, reported in `BENCH_serve.json`.
+    pub name: &'static str,
+    /// The request pool; request `k` uses entry `k % len`.
+    pub requests: Vec<LoadRequest>,
+}
+
+/// Latency and throughput for one ramp step.
+#[derive(Clone, Copy, Debug)]
+pub struct StepReport {
+    /// The step's offered rate.
+    pub offered_rps: u32,
+    /// Completions per wall-clock second actually sustained.
+    pub achieved_rps: f64,
+    /// Submissions scheduled.
+    pub sent: u64,
+    /// Submissions that completed successfully.
+    pub completed: u64,
+    /// Submissions that errored (transport or engine).
+    pub errors: u64,
+    /// Median scheduled-to-completion latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+/// A whole ramp against one mix.
+#[derive(Clone, Debug)]
+pub struct MixReport {
+    /// The mix label.
+    pub mix: &'static str,
+    /// Highest achieved completion rate across the steps — the
+    /// saturation throughput once the offered rate outruns it.
+    pub saturation_rps: f64,
+    /// Per-step latency/throughput records.
+    pub steps: Vec<StepReport>,
+}
+
+/// A small, fast-converging run configuration shared by the canned
+/// mixes: combinational mining (window 0), a few random cycles, no
+/// coverage recording, no shard sessions.
+fn tiny_config() -> WireConfig {
+    WireConfig {
+        window: 0,
+        random_cycles: Some(4),
+        max_iterations: 8,
+        record_coverage: false,
+        shards: Some(0),
+        ..WireConfig::default()
+    }
+}
+
+/// A fixed pool of small designs of mixed input width, cycled across
+/// every request — after the first round each design is a cache hit.
+pub fn cache_friendly_mix() -> Mix {
+    let sources: [(&str, &str); 4] = [
+        (
+            "and2",
+            "module and2(input a, input b, output y); assign y = a & b; endmodule",
+        ),
+        (
+            "mux2",
+            "module mux2(input s, input a, input b, output y); assign y = s ? a : b; endmodule",
+        ),
+        (
+            "maj3",
+            "module maj3(input a, input b, input c, output y); \
+             assign y = (a & b) | (a & c) | (b & c); endmodule",
+        ),
+        (
+            "xor4",
+            "module xor4(input a, input b, input c, input d, output y); \
+             assign y = a ^ b ^ c ^ d; endmodule",
+        ),
+    ];
+    Mix {
+        name: "cache_friendly",
+        requests: sources
+            .iter()
+            .map(|(name, source)| LoadRequest {
+                name: (*name).to_string(),
+                source: (*source).to_string(),
+                config: tiny_config(),
+            })
+            .collect(),
+    }
+}
+
+/// `unique` structurally distinct designs (inverter chains of varying
+/// depth around an XOR, each under a unique module name) — every
+/// submission is a cache miss as long as the ramp sends at most
+/// `unique` requests.
+pub fn cache_hostile_mix(unique: usize) -> Mix {
+    let requests = (0..unique.max(1))
+        .map(|i| {
+            let mut body = String::from("a ^ b");
+            for _ in 0..=(i % 6) {
+                body = format!("~({body})");
+            }
+            let name = format!("h{i:05}");
+            let source =
+                format!("module {name}(input a, input b, output y); assign y = {body}; endmodule");
+            LoadRequest {
+                name,
+                source,
+                config: tiny_config(),
+            }
+        })
+        .collect();
+    Mix {
+        name: "cache_hostile",
+        requests,
+    }
+}
+
+/// Index into a sorted sample at quantile `q` (nearest-rank on the
+/// inclusive index range; 0.0 for an empty sample).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs one step: offers `rate` requests/second for
+/// `ramp.step_seconds`, uniformly spaced, across
+/// `ramp.connections` clients.
+fn run_step(socket: &Path, mix: &Mix, rate: u32, ramp: &RampConfig) -> io::Result<StepReport> {
+    let total = (u64::from(rate) * ramp.step_seconds).max(1);
+    let interval = Duration::from_secs_f64(1.0 / f64::from(rate.max(1)));
+    let next = AtomicU64::new(0);
+    let start = Instant::now();
+    let per_conn: Vec<(Vec<f64>, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..ramp.connections.max(1))
+            .map(|_| {
+                s.spawn(|| -> io::Result<(Vec<f64>, u64)> {
+                    let mut client = ServeClient::connect(socket)?;
+                    let mut latencies_ms = Vec::new();
+                    let mut errors = 0u64;
+                    loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= total {
+                            return Ok((latencies_ms, errors));
+                        }
+                        let scheduled = interval.mul_f64(k as f64);
+                        if let Some(wait) = scheduled.checked_sub(start.elapsed()) {
+                            std::thread::sleep(wait);
+                        }
+                        let req = &mix.requests[(k % mix.requests.len() as u64) as usize];
+                        let outcome = client
+                            .submit(&req.name, &req.source, &req.config)
+                            .and_then(|(job, _)| client.wait(job));
+                        match outcome {
+                            Ok(_) => {
+                                latencies_ms.push((start.elapsed() - scheduled).as_secs_f64() * 1e3)
+                            }
+                            Err(_) => errors += 1,
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect::<io::Result<Vec<_>>>()
+    })?;
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut latencies: Vec<f64> = per_conn
+        .iter()
+        .flat_map(|(l, _)| l.iter().copied())
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let errors: u64 = per_conn.iter().map(|(_, e)| e).sum();
+    Ok(StepReport {
+        offered_rps: rate,
+        achieved_rps: latencies.len() as f64 / elapsed.max(f64::EPSILON),
+        sent: total,
+        completed: latencies.len() as u64,
+        errors,
+        p50_ms: percentile(&latencies, 0.50),
+        p95_ms: percentile(&latencies, 0.95),
+        p99_ms: percentile(&latencies, 0.99),
+    })
+}
+
+/// Runs the whole ramp against a live socket.
+///
+/// # Errors
+///
+/// Fails on transport errors (the daemon vanished, the socket refused
+/// a connection). Per-request engine errors are counted in
+/// [`StepReport::errors`] instead.
+pub fn run_ramp(socket: &Path, mix: &Mix, ramp: &RampConfig) -> io::Result<MixReport> {
+    let mut steps = Vec::new();
+    for rate in ramp.rates() {
+        steps.push(run_step(socket, mix, rate, ramp)?);
+    }
+    let saturation_rps = steps.iter().map(|s| s.achieved_rps).fold(0.0, f64::max);
+    Ok(MixReport {
+        mix: mix.name,
+        saturation_rps,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_schedule_caps_at_the_target() {
+        let ramp = RampConfig {
+            initial_rps: 4,
+            increment_rps: 8,
+            target_rps: 17,
+            step_seconds: 2,
+            connections: 2,
+        };
+        assert_eq!(ramp.rates(), vec![4, 12, 17]);
+        assert_eq!(ramp.total_requests(), 2 * (4 + 12 + 17));
+    }
+
+    #[test]
+    fn hostile_mix_designs_are_pairwise_distinct() {
+        let mix = cache_hostile_mix(40);
+        let mut sources: Vec<&str> = mix.requests.iter().map(|r| r.source.as_str()).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        assert_eq!(sources.len(), 40);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.50), 51.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+    }
+}

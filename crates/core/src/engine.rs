@@ -58,7 +58,7 @@ use crate::config::{
 use crate::error::EngineError;
 use crate::report::{ClosureOutcome, IterationReport, TargetSummary};
 use gm_coverage::CoverageSuite;
-use gm_mc::{BitAtom, CheckResult, Checker, SessionStats, WindowProperty};
+use gm_mc::{BitAtom, CheckResult, Checker, McError, SessionStats, WindowProperty};
 use gm_mine::{
     assertion_at, input_space_coverage, proved_assertions, Assertion, Dataset, DecisionTree,
     LeafStatus, MiningSpec,
@@ -69,6 +69,8 @@ use gm_sim::{
     RandomStimulus, SimBackend, TestSuite, Trace,
 };
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Converts a mined assertion into the model checker's property form.
 pub fn assertion_property(a: &Assertion) -> WindowProperty {
@@ -129,8 +131,12 @@ pub struct Engine<'m> {
     /// The lowered instruction tape for the compiled simulation
     /// backends (`None` when the interpreter is configured). Trace- and
     /// coverage-identical to the interpreter, so the choice never shows
-    /// in the outcome.
-    compiled: Option<CompiledModule>,
+    /// in the outcome. Shared (`Arc`) so a design cache can park one
+    /// tape per canonical design and hand it to every engine instead of
+    /// recompiling (see [`Engine::with_artifacts_compiled`]).
+    compiled: Option<Arc<CompiledModule>>,
+    /// Cooperative cancel token (see [`Engine::with_cancel`]).
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -183,9 +189,33 @@ impl<'m> Engine<'m> {
         checker: Checker,
         config: EngineConfig,
     ) -> Result<Self, EngineError> {
-        let checker = checker
+        Engine::with_artifacts_compiled(module, elab, checker, None, config)
+    }
+
+    /// [`Engine::with_artifacts`] that additionally accepts a
+    /// pre-compiled instruction tape for the same design, so a design
+    /// cache that parks a [`CompiledModule`] alongside its checker can
+    /// skip the per-engine recompilation. `None` (or an interpreter
+    /// backend) falls back to the usual lazy compile; the tape is shared
+    /// by `Arc`, never cloned. Compilation is deterministic, so reusing
+    /// a tape never changes the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mining-spec construction failures.
+    pub fn with_artifacts_compiled(
+        module: &'m Module,
+        elab: &gm_rtl::Elab,
+        checker: Checker,
+        compiled: Option<Arc<CompiledModule>>,
+        config: EngineConfig,
+    ) -> Result<Self, EngineError> {
+        let mut checker = checker
             .with_backend(config.backend)
             .with_racing(config.racing);
+        // A parked checker must never carry a previous request's raised
+        // cancel token into this run.
+        checker.set_cancel(None);
         let target_bits: Vec<(SignalId, u32)> = match &config.targets {
             TargetSelection::AllOutputs => module
                 .outputs()
@@ -220,7 +250,7 @@ impl<'m> Engine<'m> {
         let compiled = if config.sim_backend == SimBackend::Interpreter {
             None
         } else {
-            Some(CompiledModule::with_elab(module, elab))
+            Some(compiled.unwrap_or_else(|| Arc::new(CompiledModule::with_elab(module, elab))))
         };
         Ok(Engine {
             module,
@@ -231,7 +261,23 @@ impl<'m> Engine<'m> {
             unknown_assumed: 0,
             reported_stats,
             compiled,
+            cancel: None,
         })
+    }
+
+    /// Installs a cooperative cancel token for the run. Unlike the
+    /// iteration-boundary stop of [`Engine::run_observed`]'s observer, a
+    /// raised token takes effect *mid-iteration*: it is polled between
+    /// SAT queries inside the checker's unrolling loops and once per
+    /// simulated cycle of the coverage passes. The run then ends with a
+    /// valid outcome of the work completed so far, marked
+    /// [`ClosureOutcome::interrupted`] — an in-flight verification batch
+    /// or coverage pass is discarded whole, never half-applied, so
+    /// proved assertions stay sound and the suite still replays.
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.checker.set_cancel(Some(cancel.clone()));
+        self.cancel = Some(cancel);
+        self
     }
 
     /// Simulates one reset-rooted segment through the configured
@@ -317,15 +363,45 @@ impl<'m> Engine<'m> {
             }
         }
 
-        let mut history = vec![self.snapshot_report(0, 0)?];
-        let mut go = on_iteration(&history[0]);
+        // A raised cancel token surfaces as `McError::Cancelled` from
+        // the checker or the coverage pass. The interrupted pass's
+        // results are discarded whole — a failed batch never touches the
+        // trees (see `iteration_pass`), and a failed snapshot pushes no
+        // report — so the outcome stays valid, just truncated.
+        let mut interrupted = false;
+        let mut history: Vec<IterationReport> = Vec::new();
+        let mut go = match self.snapshot_report(0, 0) {
+            Ok(report) => {
+                history.push(report);
+                on_iteration(&history[0])
+            }
+            Err(EngineError::Mc(McError::Cancelled)) => {
+                interrupted = true;
+                false
+            }
+            Err(e) => return Err(e),
+        };
 
         // Phase 2: counterexample iterations.
         let mut iteration = 0;
         while go && iteration < self.config.max_iterations {
             iteration += 1;
-            let refuted = self.iteration_pass(iteration)?;
-            history.push(self.snapshot_report(iteration, refuted)?);
+            let refuted = match self.iteration_pass(iteration) {
+                Ok(refuted) => refuted,
+                Err(EngineError::Mc(McError::Cancelled)) => {
+                    interrupted = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            match self.snapshot_report(iteration, refuted) {
+                Ok(report) => history.push(report),
+                Err(EngineError::Mc(McError::Cancelled)) => {
+                    interrupted = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
             go = on_iteration(history.last().expect("just pushed"));
             if self.all_converged() {
                 break;
@@ -362,6 +438,7 @@ impl<'m> Engine<'m> {
             suite: std::mem::replace(&mut self.suite, TestSuite::new()),
             targets,
             unknown_assumed: self.unknown_assumed,
+            interrupted,
         })
     }
 
@@ -549,18 +626,38 @@ impl<'m> Engine<'m> {
             isc_sum / self.targets.len() as f64
         };
         let coverage = if self.config.record_coverage {
+            let cancel = self.cancel.as_deref();
+            let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Acquire));
             let mut cov = CoverageSuite::new(self.module);
             match (&self.compiled, self.config.sim_backend) {
                 (None, _) => {
-                    self.suite.run(self.module, &mut cov)?;
+                    // Per-segment walk (identical to `TestSuite::run`)
+                    // so the cancel token is polled between segments.
+                    for seg in self.suite.segments() {
+                        if cancelled() {
+                            return Err(McError::Cancelled.into());
+                        }
+                        run_segment(self.module, &seg.vectors, &mut cov)?;
+                    }
                 }
                 (Some(c), SimBackend::CompiledScalar) => {
                     for seg in self.suite.segments() {
+                        if cancelled() {
+                            return Err(McError::Cancelled.into());
+                        }
                         c.run_segment(self.module, &seg.vectors, &mut cov);
                     }
                 }
-                // 64 segments per pass; no traces are materialized.
-                (Some(c), _) => self.suite.observe_compiled(self.module, c, &mut cov),
+                // 64 segments per pass; no traces are materialized. The
+                // token is polled once per simulated cycle inside.
+                (Some(c), _) => {
+                    if !self
+                        .suite
+                        .observe_compiled_cancellable(self.module, c, &mut cov, cancel)
+                    {
+                        return Err(McError::Cancelled.into());
+                    }
+                }
             }
             Some(cov.report())
         } else {

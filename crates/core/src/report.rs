@@ -71,6 +71,13 @@ pub struct ClosureOutcome {
     pub targets: Vec<TargetSummary>,
     /// Candidates assumed true under [`crate::UnknownPolicy::AssumeTrue`].
     pub unknown_assumed: usize,
+    /// Whether a cooperative cancel token cut the run short
+    /// *mid-iteration* (see [`crate::Engine::with_cancel`]). The outcome
+    /// is still valid — proved assertions are sound, the suite replays —
+    /// it just reflects only the work completed before the cancel
+    /// landed. Iteration-boundary stops via `run_observed`'s observer
+    /// leave this `false`.
+    pub interrupted: bool,
 }
 
 impl ClosureOutcome {

@@ -27,11 +27,11 @@ use crate::bmc::{bmc_shared, canonical_cex, k_induction_shared};
 use crate::error::McError;
 use crate::explicit::{explicit_check, ExplicitLimits, ReachableStates};
 use crate::prop::{CheckResult, WindowProperty};
-use crate::session::{CheckSession, SessionStats};
+use crate::session::{cancel_requested, CheckSession, SessionStats};
 use gm_cache::BoundedLru;
 use gm_rtl::{elaborate, Elab, Module};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -58,13 +58,17 @@ pub enum Backend {
 
 /// The engine configuration a worker needs to decide one property:
 /// everything from the [`Checker`] except the sessions and the memo.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 struct DecideParams {
     backend: Backend,
     limits: ExplicitLimits,
     bmc_bound: u32,
     kind_max_k: u32,
     racing: bool,
+    /// Cooperative cancel token, polled between SAT queries inside the
+    /// unrolling loops. A raised token turns the decision into
+    /// [`McError::Cancelled`]; cancelled decisions are never memoized.
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 /// How a pooled batch deals its worklist onto the shard sessions.
@@ -172,6 +176,8 @@ pub struct Checker {
     memo_evictions: u64,
     /// Incrementally maintained byte estimate (see [`MemoStats`]).
     memo_bytes: usize,
+    /// Cooperative cancel token (see [`Checker::set_cancel`]).
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl Checker {
@@ -209,6 +215,7 @@ impl Checker {
             memo_insertions: 0,
             memo_evictions: 0,
             memo_bytes: 0,
+            cancel: None,
         })
     }
 
@@ -304,6 +311,27 @@ impl Checker {
         self.memo_clear();
         self.memo_insertions = 0;
         self.memo_evictions = 0;
+        self.cancel = None;
+    }
+
+    /// Installs (or with `None` clears) a cooperative cancel token.
+    ///
+    /// While the token is raised, every in-flight and future decision —
+    /// single checks, batch items, every shard worker — returns
+    /// [`McError::Cancelled`] at its next poll point: decision entry,
+    /// and between SAT queries inside the BMC / k-induction unrolling
+    /// loops. Cancelled decisions are never memoized, so re-checking
+    /// after clearing the token decides the property normally. A parked
+    /// checker keeps no stale token: [`Checker::reset_for_reuse`]
+    /// clears it.
+    pub fn set_cancel(&mut self, cancel: Option<Arc<AtomicBool>>) {
+        self.cancel = cancel;
+    }
+
+    /// Builder form of [`Checker::set_cancel`].
+    pub fn with_cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
     }
 
     /// Serves `prop` from the memo, refreshing its LRU position.
@@ -411,6 +439,7 @@ impl Checker {
             bmc_bound: self.bmc_bound,
             kind_max_k: self.kind_max_k,
             racing: self.racing,
+            cancel: self.cancel.clone(),
         }
     }
 
@@ -723,6 +752,10 @@ fn decide_one(
     pending_loser: &mut Option<LoserHandle>,
     prop: &WindowProperty,
 ) -> Result<CheckResult, McError> {
+    let cancel = params.cancel.as_deref();
+    if cancel_requested(cancel) {
+        return Err(McError::Cancelled);
+    }
     match params.backend {
         Backend::Explicit => match reach {
             Some(r) => {
@@ -736,16 +769,19 @@ fn decide_one(
         },
         Backend::Bmc { bound } => {
             session.note_sat_decision();
-            let res = session.bmc(module, prop, bound);
+            let res = session.bmc_cancellable(module, prop, bound, cancel)?;
             Ok(canonicalize(module, blasted, session, prop, bound, res))
         }
         Backend::KInduction { max_k } => {
             session.note_sat_decision();
-            let res = session.k_induction(module, prop, max_k);
+            let res = session.k_induction_cancellable(module, prop, max_k, cancel)?;
             Ok(canonicalize(module, blasted, session, prop, max_k, res))
         }
         Backend::Auto => {
             if params.racing {
+                // Racing spawns one-shot engine threads that cannot be
+                // interrupted mid-run; the entry check above is the
+                // cancel point for racing decisions.
                 if let Some(r) = reach {
                     let (res, loser) =
                         decide_racing(module, blasted, r, params, session, pending_loser, prop);
@@ -765,11 +801,13 @@ fn decide_one(
             // the session's shared unrollings. One property decision.
             session.note_sat_decision();
             let limit = params.bmc_bound.max(params.kind_max_k);
-            if let CheckResult::Violated(cex) = session.bmc(module, prop, params.bmc_bound) {
+            if let CheckResult::Violated(cex) =
+                session.bmc_cancellable(module, prop, params.bmc_bound, cancel)?
+            {
                 let res = CheckResult::Violated(cex);
                 return Ok(canonicalize(module, blasted, session, prop, limit, res));
             }
-            let res = session.k_induction(module, prop, params.kind_max_k);
+            let res = session.k_induction_cancellable(module, prop, params.kind_max_k, cancel)?;
             Ok(canonicalize(module, blasted, session, prop, limit, res))
         }
     }

@@ -35,6 +35,10 @@ pub enum McError {
         /// The configured limit.
         limit: u32,
     },
+    /// A cooperative cancel token stopped the check before a verdict.
+    /// Cancelled decisions are never memoized — re-checking the
+    /// property after the cancel decides it normally.
+    Cancelled,
 }
 
 impl fmt::Display for McError {
@@ -53,6 +57,7 @@ impl fmt::Display for McError {
             McError::WindowTooWide { bits, limit } => {
                 write!(f, "window enumeration of {bits} bits exceeds {limit}")
             }
+            McError::Cancelled => write!(f, "check cancelled"),
         }
     }
 }

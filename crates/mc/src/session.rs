@@ -36,10 +36,17 @@
 
 use crate::blast::Blasted;
 use crate::bmc::Unroller;
+use crate::error::McError;
 use crate::prop::{CheckResult, WindowProperty};
 use gm_rtl::Module;
 use gm_sat::{SolveResult, SolverStats};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// True when a cooperative cancel token has been raised.
+pub(crate) fn cancel_requested(cancel: Option<&AtomicBool>) -> bool {
+    cancel.is_some_and(|c| c.load(Ordering::Acquire))
+}
 
 /// Counters describing the work a verification session has done.
 ///
@@ -253,13 +260,31 @@ impl CheckSession {
     /// to the single window at reset (the reported `Unknown` bound stays
     /// the requested one).
     pub fn bmc(&mut self, module: &Module, prop: &WindowProperty, max_start: u32) -> CheckResult {
+        self.bmc_cancellable(module, prop, max_start, None)
+            .expect("bmc without a cancel token is infallible")
+    }
+
+    /// [`CheckSession::bmc`] with a cooperative cancel token polled
+    /// between SAT queries (once per window start of the unrolling
+    /// scan). Returns [`McError::Cancelled`] as soon as the token is
+    /// raised; no partial verdict is published.
+    pub fn bmc_cancellable(
+        &mut self,
+        module: &Module,
+        prop: &WindowProperty,
+        max_start: u32,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<CheckResult, McError> {
         let last_start = crate::bmc::last_scan_start(&self.blasted, max_start);
         for start in 0..=last_start {
+            if cancel_requested(cancel) {
+                return Err(McError::Cancelled);
+            }
             if let Some(cex) = self.base_violation(module, prop, start) {
-                return CheckResult::Violated(cex);
+                return Ok(CheckResult::Violated(cex));
             }
         }
-        CheckResult::Unknown { bound: max_start }
+        Ok(CheckResult::Unknown { bound: max_start })
     }
 
     /// k-induction against the shared unrollings: base cases on the
@@ -272,11 +297,29 @@ impl CheckSession {
         prop: &WindowProperty,
         max_k: u32,
     ) -> CheckResult {
+        self.k_induction_cancellable(module, prop, max_k, None)
+            .expect("k-induction without a cancel token is infallible")
+    }
+
+    /// [`CheckSession::k_induction`] with a cooperative cancel token
+    /// polled between SAT queries (once per induction depth `k`).
+    /// Returns [`McError::Cancelled`] as soon as the token is raised;
+    /// no partial verdict is published.
+    pub fn k_induction_cancellable(
+        &mut self,
+        module: &Module,
+        prop: &WindowProperty,
+        max_k: u32,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<CheckResult, McError> {
         let depth = prop.depth() as usize;
         for k in 0..=max_k as usize {
+            if cancel_requested(cancel) {
+                return Err(McError::Cancelled);
+            }
             // Base: violation in the window starting at k from reset?
             if let Some(cex) = self.base_violation(module, prop, k) {
-                return CheckResult::Violated(cex);
+                return Ok(CheckResult::Violated(cex));
             }
             // Step: from a free state, k windows hold but window k fails?
             let step = Self::unroller(&mut self.step, &self.blasted, true, &mut self.stats);
@@ -287,10 +330,10 @@ impl CheckSession {
             }
             assumptions.push(step.violation_lit(k, prop));
             if Self::solve(step, &assumptions, &mut self.stats) == SolveResult::Unsat {
-                return CheckResult::Proved;
+                return Ok(CheckResult::Proved);
             }
         }
-        CheckResult::Unknown { bound: max_k }
+        Ok(CheckResult::Unknown { bound: max_k })
     }
 }
 

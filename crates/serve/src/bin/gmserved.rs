@@ -1,7 +1,8 @@
 //! `gmserved` — the closure-service daemon.
 //!
 //! ```text
-//! gmserved <socket-path> [--workers N] [--cache N] [--round-robin] [--warm-memo]
+//! gmserved <socket-path> [--workers N] [--cache N] [--cache-bytes N]
+//!          [--round-robin] [--warm-memo]
 //! ```
 //!
 //! Binds a Unix-domain socket (replacing a stale file), serves closure
@@ -16,7 +17,8 @@ use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: gmserved <socket-path> [--workers N] [--cache N] [--round-robin] [--warm-memo]"
+        "usage: gmserved <socket-path> [--workers N] [--cache N] [--cache-bytes N] \
+         [--round-robin] [--warm-memo]"
     );
     ExitCode::FAILURE
 }
@@ -35,6 +37,10 @@ fn main() -> ExitCode {
             },
             "--cache" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.cache_capacity = n,
+                None => return usage(),
+            },
+            "--cache-bytes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.cache_max_bytes = n,
                 None => return usage(),
             },
             "--round-robin" => config.policy = SchedPolicy::RoundRobin,

@@ -17,6 +17,7 @@
 use gm_cache::BoundedLru;
 use gm_mc::Checker;
 use gm_rtl::{Elab, Module};
+use goldmine::CompiledModule;
 use std::sync::Arc;
 
 /// Cache counters (also folded into
@@ -31,11 +32,26 @@ pub struct CacheStats {
     pub hits: u64,
     /// Submissions that had to build artifacts.
     pub misses: u64,
-    /// Entries evicted by the bound.
+    /// Entries evicted for any reason (the sum of the per-reason
+    /// counters below).
     pub evictions: u64,
+    /// Entries evicted by the entry-count bound.
+    pub evictions_capacity: u64,
+    /// Entries evicted LRU-first to get back under the byte budget.
+    pub evictions_bytes: u64,
+    /// Resident entries dropped because a 64-bit key collision would
+    /// otherwise serve the wrong design.
+    pub evictions_collision: u64,
     /// Approximate resident bytes (sources, parked checker memos and
-    /// sessions — an estimate).
+    /// sessions, parked compiled tapes — an estimate).
     pub approx_bytes: usize,
+    /// The byte budget (0 = unbounded).
+    pub max_bytes: usize,
+    /// Compiled instruction tapes built and parked into entries.
+    pub compiled_built: u64,
+    /// Checkouts that handed out a parked compiled tape instead of
+    /// recompiling.
+    pub compiled_reused: u64,
 }
 
 /// The shared artifacts of one cached design.
@@ -50,10 +66,23 @@ pub struct CachedDesign {
     /// queued same-design jobs can otherwise build (and park) one
     /// checker per job, not per concurrent worker.
     parked: Vec<Checker>,
+    /// The compiled instruction tape for this design, parked by the
+    /// first job that built one. Compiled tapes are immutable and all
+    /// run methods take `&self`, so one `Arc` feeds any number of
+    /// concurrent engines (unlike checkers, which are checked out
+    /// exclusively).
+    compiled: Option<Arc<CompiledModule>>,
     /// The canonical source — the collision guard: a hit must match it
     /// exactly, so a 64-bit key collision can never hand out the wrong
     /// design's artifacts.
     canonical: String,
+}
+
+/// Approximate resident size of one cache entry.
+fn entry_bytes(e: &CachedDesign) -> usize {
+    e.canonical.len()
+        + e.parked.iter().map(Checker::approx_bytes).sum::<usize>()
+        + e.compiled.as_ref().map_or(0, |c| c.approx_bytes())
 }
 
 /// What [`DesignCache::checkout`] hands the caller.
@@ -68,6 +97,9 @@ pub struct Checkout {
     /// running job — the caller builds a fresh one from the
     /// elaboration).
     pub checker: Option<Checker>,
+    /// The parked compiled tape, when the entry holds one (an `Arc`
+    /// clone — the entry keeps its copy for concurrent and later jobs).
+    pub compiled: Option<Arc<CompiledModule>>,
     /// Whether the design was already cached.
     pub hit: bool,
 }
@@ -109,19 +141,73 @@ pub fn content_key(module: &Module) -> String {
 #[derive(Debug)]
 pub struct DesignCache {
     map: BoundedLru<String, CachedDesign>,
+    /// Byte budget over every entry's [`entry_bytes`] (0 = unbounded).
+    max_bytes: usize,
     hits: u64,
     misses: u64,
-    evictions: u64,
+    evictions_capacity: u64,
+    evictions_bytes: u64,
+    evictions_collision: u64,
+    compiled_built: u64,
+    compiled_reused: u64,
 }
 
 impl DesignCache {
-    /// An empty cache bounded to `capacity` designs (at least 1).
+    /// An empty cache bounded to `capacity` designs (at least 1), with
+    /// no byte budget.
     pub fn new(capacity: usize) -> Self {
+        DesignCache::with_max_bytes(capacity, 0)
+    }
+
+    /// An empty cache bounded to `capacity` designs *and* (when
+    /// `max_bytes > 0`) to approximately `max_bytes` resident bytes,
+    /// evicting LRU-first until back under budget. The entry most
+    /// recently checked out is never evicted for bytes — when it alone
+    /// exceeds the budget its warm extras (parked checkers, compiled
+    /// tape) are shed instead, so an oversized design degrades to
+    /// cold-cache behavior rather than thrashing.
+    pub fn with_max_bytes(capacity: usize, max_bytes: usize) -> Self {
         DesignCache {
             map: BoundedLru::with_capacity(capacity),
+            max_bytes,
             hits: 0,
             misses: 0,
-            evictions: 0,
+            evictions_capacity: 0,
+            evictions_bytes: 0,
+            evictions_collision: 0,
+            compiled_built: 0,
+            compiled_reused: 0,
+        }
+    }
+
+    /// Approximate resident bytes across all entries.
+    fn resident_bytes(&self) -> usize {
+        self.map.values().map(entry_bytes).sum()
+    }
+
+    /// Evicts LRU-first until the byte budget holds again. Called after
+    /// every operation that can grow an entry (insert, park). When only
+    /// one entry remains over budget, its parked checkers (oldest
+    /// first) and compiled tape are shed instead of the entry itself.
+    fn enforce_byte_budget(&mut self) {
+        if self.max_bytes == 0 {
+            return;
+        }
+        while self.map.len() > 1 && self.resident_bytes() > self.max_bytes {
+            self.map.pop_lru();
+            self.evictions_bytes += 1;
+        }
+        if self.resident_bytes() > self.max_bytes {
+            if let Some((key, mut entry)) = self.map.pop_lru() {
+                let base = self.resident_bytes();
+                while !entry.parked.is_empty() && base + entry_bytes(&entry) > self.max_bytes {
+                    entry.parked.remove(0);
+                }
+                if base + entry_bytes(&entry) > self.max_bytes {
+                    entry.compiled = None;
+                }
+                self.map.insert(key, entry);
+            }
         }
     }
 
@@ -149,10 +235,15 @@ impl DesignCache {
         if let Some(entry) = self.map.get_mut(key) {
             if entry.canonical == canonical {
                 self.hits += 1;
+                let compiled = entry.compiled.clone();
+                if compiled.is_some() {
+                    self.compiled_reused += 1;
+                }
                 return Ok(Checkout {
                     module: entry.module.clone(),
                     elab: entry.elab.clone(),
                     checker: entry.parked.pop(),
+                    compiled,
                     hit: true,
                 });
             }
@@ -162,7 +253,7 @@ impl DesignCache {
             // 64-bit collision: drop the resident design rather than
             // ever serving the wrong artifacts.
             self.map.remove(key);
-            self.evictions += 1;
+            self.evictions_collision += 1;
         }
         self.misses += 1;
         let (module, elab) = build()?;
@@ -170,16 +261,19 @@ impl DesignCache {
             module: module.clone(),
             elab: elab.clone(),
             parked: Vec::new(),
+            compiled: None,
             canonical: canonical.to_string(),
         };
         self.map.insert(key.to_string(), entry);
         while self.map.pop_over_capacity().is_some() {
-            self.evictions += 1;
+            self.evictions_capacity += 1;
         }
+        self.enforce_byte_budget();
         Ok(Checkout {
             module,
             elab,
             checker: None,
+            compiled: None,
             hit: false,
         })
     }
@@ -197,6 +291,22 @@ impl DesignCache {
                 entry.parked.push(checker);
             }
         }
+        self.enforce_byte_budget();
+    }
+
+    /// Parks the compiled instruction tape a job built for this design,
+    /// counting the build. Subject to the same collision guard as
+    /// [`DesignCache::park`]; an entry that already holds a tape keeps
+    /// its existing one (compilation is deterministic — they are
+    /// equivalent).
+    pub fn park_compiled(&mut self, key: &str, canonical: &str, compiled: Arc<CompiledModule>) {
+        self.compiled_built += 1;
+        if let Some(entry) = self.map.peek_mut(key) {
+            if entry.canonical == canonical && entry.compiled.is_none() {
+                entry.compiled = Some(compiled);
+            }
+        }
+        self.enforce_byte_budget();
     }
 
     /// Current counters.
@@ -206,14 +316,14 @@ impl DesignCache {
             capacity: self.map.capacity().unwrap_or(usize::MAX),
             hits: self.hits,
             misses: self.misses,
-            evictions: self.evictions,
-            approx_bytes: self
-                .map
-                .values()
-                .map(|e| {
-                    e.canonical.len() + e.parked.iter().map(Checker::approx_bytes).sum::<usize>()
-                })
-                .sum(),
+            evictions: self.evictions_capacity + self.evictions_bytes + self.evictions_collision,
+            evictions_capacity: self.evictions_capacity,
+            evictions_bytes: self.evictions_bytes,
+            evictions_collision: self.evictions_collision,
+            approx_bytes: self.resident_bytes(),
+            max_bytes: self.max_bytes,
+            compiled_built: self.compiled_built,
+            compiled_reused: self.compiled_reused,
         }
     }
 }

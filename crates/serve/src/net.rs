@@ -323,6 +323,19 @@ impl ServeClient {
         })
     }
 
+    /// Fetches the counters rendered in the Prometheus text exposition
+    /// format — the scrape endpoint for monitoring agents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        self.expect(&Request::Metrics, |r| match r {
+            Response::Metrics { text } => Some(text),
+            _ => None,
+        })
+    }
+
     /// Asks the server to shut down; returns once acknowledged.
     ///
     /// # Errors

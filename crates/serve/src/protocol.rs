@@ -549,10 +549,19 @@ impl JobState {
 }
 
 /// Aggregate service counters.
+///
+/// Snapshots are internally consistent — every field is read under one
+/// acquisition of the service's state lock, so
+/// `submitted == queued + running + completed + failed + cancelled`
+/// holds in every snapshot.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ServeStats {
     /// Jobs accepted.
     pub submitted: u64,
+    /// Jobs waiting in a worker queue right now (gauge).
+    pub queued: u64,
+    /// Jobs a worker is running right now (gauge).
+    pub running: u64,
     /// Jobs finished successfully.
     pub completed: u64,
     /// Jobs that failed with an engine error.
@@ -569,16 +578,46 @@ pub struct ServeStats {
     pub cache_hits: u64,
     /// Submissions that had to build design artifacts.
     pub cache_misses: u64,
-    /// Cache entries evicted by the LRU bound.
+    /// Cache entries evicted for any reason (the sum of the per-reason
+    /// counters below).
     pub cache_evictions: u64,
+    /// Cache entries evicted by the entry-count bound.
+    pub cache_evictions_capacity: u64,
+    /// Cache entries evicted LRU-first by the byte budget.
+    pub cache_evictions_bytes: u64,
+    /// Cache entries dropped on a content-key collision.
+    pub cache_evictions_collision: u64,
     /// Approximate resident bytes of the cached design artifacts.
     pub cache_bytes: u64,
+    /// The cache byte budget (0 = unbounded).
+    pub cache_max_bytes: u64,
+    /// Compiled instruction tapes built and parked into cache entries.
+    pub compiled_built: u64,
+    /// Submissions that reused a parked compiled tape instead of
+    /// recompiling.
+    pub compiled_reused: u64,
+    /// SAT solver calls across every retired job's verification work.
+    pub verify_sat_queries: u64,
+    /// Property checks decided by the SAT engines.
+    pub verify_sat_decided: u64,
+    /// Property checks decided by explicit-state reachability.
+    pub verify_explicit_queries: u64,
+    /// Property results served from checker memos.
+    pub verify_memo_hits: u64,
+    /// Time frames newly encoded into unrollings.
+    pub verify_frames_encoded: u64,
+    /// Frames reused from warm unrollings.
+    pub verify_frames_reused: u64,
+    /// Counterexamples re-extracted on canonical unrollings.
+    pub verify_cex_canonicalized: u64,
 }
 
 impl ServeStats {
     fn to_json(&self) -> Json {
         Json::obj(vec![
             ("submitted", Json::UInt(self.submitted)),
+            ("queued", Json::UInt(self.queued)),
+            ("running", Json::UInt(self.running)),
             ("completed", Json::UInt(self.completed)),
             ("failed", Json::UInt(self.failed)),
             ("cancelled", Json::UInt(self.cancelled)),
@@ -588,13 +627,49 @@ impl ServeStats {
             ("cache_hits", Json::UInt(self.cache_hits)),
             ("cache_misses", Json::UInt(self.cache_misses)),
             ("cache_evictions", Json::UInt(self.cache_evictions)),
+            (
+                "cache_evictions_capacity",
+                Json::UInt(self.cache_evictions_capacity),
+            ),
+            (
+                "cache_evictions_bytes",
+                Json::UInt(self.cache_evictions_bytes),
+            ),
+            (
+                "cache_evictions_collision",
+                Json::UInt(self.cache_evictions_collision),
+            ),
             ("cache_bytes", Json::UInt(self.cache_bytes)),
+            ("cache_max_bytes", Json::UInt(self.cache_max_bytes)),
+            ("compiled_built", Json::UInt(self.compiled_built)),
+            ("compiled_reused", Json::UInt(self.compiled_reused)),
+            ("verify_sat_queries", Json::UInt(self.verify_sat_queries)),
+            ("verify_sat_decided", Json::UInt(self.verify_sat_decided)),
+            (
+                "verify_explicit_queries",
+                Json::UInt(self.verify_explicit_queries),
+            ),
+            ("verify_memo_hits", Json::UInt(self.verify_memo_hits)),
+            (
+                "verify_frames_encoded",
+                Json::UInt(self.verify_frames_encoded),
+            ),
+            (
+                "verify_frames_reused",
+                Json::UInt(self.verify_frames_reused),
+            ),
+            (
+                "verify_cex_canonicalized",
+                Json::UInt(self.verify_cex_canonicalized),
+            ),
         ])
     }
 
     fn from_json(v: &Json) -> Result<Self, ProtocolError> {
         Ok(ServeStats {
             submitted: u64_field(v, "submitted")?,
+            queued: u64_field(v, "queued")?,
+            running: u64_field(v, "running")?,
             completed: u64_field(v, "completed")?,
             failed: u64_field(v, "failed")?,
             cancelled: u64_field(v, "cancelled")?,
@@ -604,8 +679,188 @@ impl ServeStats {
             cache_hits: u64_field(v, "cache_hits")?,
             cache_misses: u64_field(v, "cache_misses")?,
             cache_evictions: u64_field(v, "cache_evictions")?,
+            cache_evictions_capacity: u64_field(v, "cache_evictions_capacity")?,
+            cache_evictions_bytes: u64_field(v, "cache_evictions_bytes")?,
+            cache_evictions_collision: u64_field(v, "cache_evictions_collision")?,
             cache_bytes: u64_field(v, "cache_bytes")?,
+            cache_max_bytes: u64_field(v, "cache_max_bytes")?,
+            compiled_built: u64_field(v, "compiled_built")?,
+            compiled_reused: u64_field(v, "compiled_reused")?,
+            verify_sat_queries: u64_field(v, "verify_sat_queries")?,
+            verify_sat_decided: u64_field(v, "verify_sat_decided")?,
+            verify_explicit_queries: u64_field(v, "verify_explicit_queries")?,
+            verify_memo_hits: u64_field(v, "verify_memo_hits")?,
+            verify_frames_encoded: u64_field(v, "verify_frames_encoded")?,
+            verify_frames_reused: u64_field(v, "verify_frames_reused")?,
+            verify_cex_canonicalized: u64_field(v, "verify_cex_canonicalized")?,
         })
+    }
+
+    /// Renders the counters in the Prometheus text exposition format —
+    /// the scrapeable answer to [`Request::Metrics`]. Counters get
+    /// `# TYPE … counter`, point-in-time values (`queued`, `running`,
+    /// `cache_entries`, `cache_bytes`, configuration bounds) get
+    /// `gauge`.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut metric = |name: &str, kind: &str, help: &str, value: u64| {
+            let _ = writeln!(out, "# HELP gmserve_{name} {help}");
+            let _ = writeln!(out, "# TYPE gmserve_{name} {kind}");
+            let _ = writeln!(out, "gmserve_{name} {value}");
+        };
+        metric(
+            "jobs_submitted_total",
+            "counter",
+            "Jobs accepted.",
+            self.submitted,
+        );
+        metric(
+            "jobs_queued",
+            "gauge",
+            "Jobs waiting in a worker queue.",
+            self.queued,
+        );
+        metric(
+            "jobs_running",
+            "gauge",
+            "Jobs currently running.",
+            self.running,
+        );
+        metric(
+            "jobs_completed_total",
+            "counter",
+            "Jobs finished successfully.",
+            self.completed,
+        );
+        metric(
+            "jobs_failed_total",
+            "counter",
+            "Jobs failed with an engine error.",
+            self.failed,
+        );
+        metric(
+            "jobs_cancelled_total",
+            "counter",
+            "Jobs cancelled.",
+            self.cancelled,
+        );
+        metric("workers", "gauge", "Worker-pool size.", self.workers);
+        metric(
+            "steals_total",
+            "counter",
+            "Jobs claimed from a peer's queue.",
+            self.steals,
+        );
+        metric(
+            "cache_entries",
+            "gauge",
+            "Design-cache entries resident.",
+            self.cache_entries,
+        );
+        metric(
+            "cache_hits_total",
+            "counter",
+            "Submissions served from the design cache.",
+            self.cache_hits,
+        );
+        metric(
+            "cache_misses_total",
+            "counter",
+            "Submissions that built design artifacts.",
+            self.cache_misses,
+        );
+        metric(
+            "cache_evictions_total",
+            "counter",
+            "Cache entries evicted, any reason.",
+            self.cache_evictions,
+        );
+        metric(
+            "cache_evictions_capacity_total",
+            "counter",
+            "Cache entries evicted by the entry-count bound.",
+            self.cache_evictions_capacity,
+        );
+        metric(
+            "cache_evictions_bytes_total",
+            "counter",
+            "Cache entries evicted by the byte budget.",
+            self.cache_evictions_bytes,
+        );
+        metric(
+            "cache_evictions_collision_total",
+            "counter",
+            "Cache entries dropped on a key collision.",
+            self.cache_evictions_collision,
+        );
+        metric(
+            "cache_bytes",
+            "gauge",
+            "Approximate resident bytes of cached artifacts.",
+            self.cache_bytes,
+        );
+        metric(
+            "cache_max_bytes",
+            "gauge",
+            "Cache byte budget (0 = unbounded).",
+            self.cache_max_bytes,
+        );
+        metric(
+            "compiled_built_total",
+            "counter",
+            "Compiled tapes built and parked.",
+            self.compiled_built,
+        );
+        metric(
+            "compiled_reused_total",
+            "counter",
+            "Submissions that reused a parked compiled tape.",
+            self.compiled_reused,
+        );
+        metric(
+            "verify_sat_queries_total",
+            "counter",
+            "SAT solver calls across retired jobs.",
+            self.verify_sat_queries,
+        );
+        metric(
+            "verify_sat_decided_total",
+            "counter",
+            "Property checks decided by the SAT engines.",
+            self.verify_sat_decided,
+        );
+        metric(
+            "verify_explicit_queries_total",
+            "counter",
+            "Property checks decided by explicit-state reachability.",
+            self.verify_explicit_queries,
+        );
+        metric(
+            "verify_memo_hits_total",
+            "counter",
+            "Property results served from checker memos.",
+            self.verify_memo_hits,
+        );
+        metric(
+            "verify_frames_encoded_total",
+            "counter",
+            "Time frames newly encoded into unrollings.",
+            self.verify_frames_encoded,
+        );
+        metric(
+            "verify_frames_reused_total",
+            "counter",
+            "Frames reused from warm unrollings.",
+            self.verify_frames_reused,
+        );
+        metric(
+            "verify_cex_canonicalized_total",
+            "counter",
+            "Counterexamples re-extracted canonically.",
+            self.verify_cex_canonicalized,
+        );
+        out
     }
 }
 
@@ -646,6 +901,9 @@ pub enum Request {
     },
     /// Fetch aggregate service counters.
     Stats,
+    /// Fetch the counters rendered in the Prometheus text exposition
+    /// format (the scrapeable form of [`Request::Stats`]).
+    Metrics,
     /// Ask the server to shut down cleanly.
     Shutdown,
 }
@@ -682,6 +940,7 @@ impl Request {
                 ("job", Json::UInt(*job)),
             ]),
             Request::Stats => Json::obj(vec![("type", Json::Str("stats".into()))]),
+            Request::Metrics => Json::obj(vec![("type", Json::Str("metrics".into()))]),
             Request::Shutdown => Json::obj(vec![("type", Json::Str("shutdown".into()))]),
         }
     }
@@ -712,6 +971,7 @@ impl Request {
                 job: u64_field(v, "job")?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtocolError(format!("unknown request type '{other}'"))),
         }
@@ -763,6 +1023,11 @@ pub enum Response {
     },
     /// Aggregate counters.
     Stats(ServeStats),
+    /// The counters in the Prometheus text exposition format.
+    Metrics {
+        /// The rendered metrics page.
+        text: String,
+    },
     /// The server acknowledges a shutdown request.
     ShuttingDown,
     /// Any failure: unknown job, parse error, engine error, cancelled
@@ -820,6 +1085,10 @@ impl Response {
                 ("type", Json::Str("stats".into())),
                 ("stats", stats.to_json()),
             ]),
+            Response::Metrics { text } => Json::obj(vec![
+                ("type", Json::Str("metrics".into())),
+                ("text", Json::Str(text.clone())),
+            ]),
             Response::ShuttingDown => Json::obj(vec![("type", Json::Str("shutting_down".into()))]),
             Response::Error { message } => Json::obj(vec![
                 ("type", Json::Str("error".into())),
@@ -870,6 +1139,9 @@ impl Response {
                 summary: ClosureSummary::from_json(field(v, "summary")?)?,
             }),
             "stats" => Ok(Response::Stats(ServeStats::from_json(field(v, "stats")?)?)),
+            "metrics" => Ok(Response::Metrics {
+                text: str_field(v, "text")?.to_string(),
+            }),
             "shutting_down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error {
                 message: str_field(v, "message")?.to_string(),
@@ -956,6 +1228,7 @@ mod tests {
         round_trip_request(Request::Wait { job: u64::MAX });
         round_trip_request(Request::Cancel { job: 0 });
         round_trip_request(Request::Stats);
+        round_trip_request(Request::Metrics);
         round_trip_request(Request::Shutdown);
     }
 
@@ -999,17 +1272,54 @@ mod tests {
             },
             Response::Stats(ServeStats {
                 submitted: 9,
+                queued: 1,
+                running: 2,
                 workers: 4,
                 steals: 2,
                 cache_hits: 5,
+                cache_evictions_bytes: 3,
+                compiled_reused: 4,
+                verify_sat_queries: 17,
                 ..ServeStats::default()
             }),
+            Response::Metrics {
+                text: ServeStats::default().to_prometheus(),
+            },
             Response::ShuttingDown,
             Response::Error {
                 message: "unknown job 99".into(),
             },
         ] {
             assert_eq!(Response::from_json(&resp.to_json()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn prometheus_rendering_exposes_every_counter_with_a_type_line() {
+        let stats = ServeStats {
+            submitted: 7,
+            queued: 1,
+            running: 2,
+            completed: 3,
+            cancelled: 1,
+            cache_bytes: 4096,
+            ..ServeStats::default()
+        };
+        let text = stats.to_prometheus();
+        assert!(text.contains("# TYPE gmserve_jobs_submitted_total counter"));
+        assert!(text.contains("gmserve_jobs_submitted_total 7"));
+        assert!(text.contains("# TYPE gmserve_jobs_queued gauge"));
+        assert!(text.contains("gmserve_jobs_queued 1"));
+        assert!(text.contains("gmserve_jobs_running 2"));
+        assert!(text.contains("gmserve_cache_bytes 4096"));
+        // Every sample line names a gmserve_ metric and parses as
+        // `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().unwrap();
+            assert!(name.starts_with("gmserve_"), "bad metric line: {line}");
+            parts.next().unwrap().parse::<u64>().unwrap();
+            assert_eq!(parts.next(), None);
         }
     }
 

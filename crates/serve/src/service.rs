@@ -29,9 +29,9 @@ use crate::protocol::{
     ClosureSummary, JobState, ProgressEvent, Request, Response, ServeStats, WireConfig,
 };
 use crate::scheduler::{SchedPolicy, StealQueues};
-use gm_mc::Checker;
+use gm_mc::{Checker, SessionStats};
 use gm_rtl::{Elab, Module};
-use goldmine::{ClosureOutcome, Engine, EngineConfig, EngineError};
+use goldmine::{ClosureOutcome, CompiledModule, Engine, EngineConfig, EngineError, SimBackend};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -44,6 +44,12 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Design-cache capacity (distinct designs kept warm).
     pub cache_capacity: usize,
+    /// Design-cache byte budget (0 = unbounded). When resident warm
+    /// state exceeds it, entries are evicted LRU-first until back under
+    /// budget — so a handful of huge designs can no longer hold ~all
+    /// memory while tiny warm designs are evicted by the entry count.
+    /// See [`DesignCache::with_max_bytes`].
+    pub cache_max_bytes: usize,
     /// Queue discipline (work-stealing by default).
     pub policy: SchedPolicy,
     /// Keep verification memos warm across runs of the same design.
@@ -71,6 +77,7 @@ impl Default for ServeConfig {
         ServeConfig {
             workers: 0,
             cache_capacity: 8,
+            cache_max_bytes: 0,
             policy: SchedPolicy::WorkStealing,
             warm_memo: false,
             retain_jobs: 1024,
@@ -119,6 +126,9 @@ struct JobRecord {
     /// A warm checker checked out of the cache at submission (absent on
     /// cold entries or when every parked checker is busy).
     checker: Option<Checker>,
+    /// The design's parked compiled tape, when the cache held one at
+    /// submission (an `Arc` clone — shared, unlike the checker).
+    compiled: Option<Arc<CompiledModule>>,
     state: JobState,
     progress: Vec<ProgressEvent>,
     outcome: Option<Result<ClosureOutcome, EngineError>>,
@@ -138,6 +148,10 @@ struct State {
     completed: u64,
     failed: u64,
     cancelled: u64,
+    /// Verification work aggregated from every retired job's outcome
+    /// (the per-job [`SessionStats`] totals) — the service-level view a
+    /// metrics scrape exposes.
+    verify: SessionStats,
 }
 
 impl State {
@@ -247,12 +261,13 @@ impl ClosureService {
             state: Mutex::new(State {
                 jobs: HashMap::new(),
                 finished: std::collections::VecDeque::new(),
-                cache: DesignCache::new(config.cache_capacity),
+                cache: DesignCache::with_max_bytes(config.cache_capacity, config.cache_max_bytes),
                 next_id: 1,
                 submitted: 0,
                 completed: 0,
                 failed: 0,
                 cancelled: 0,
+                verify: SessionStats::default(),
             }),
             done_cv: Condvar::new(),
             open: AtomicBool::new(true),
@@ -336,10 +351,11 @@ impl ClosureService {
             let checkout = st.cache.checkout(&key, &canonical, || {
                 Ok::<_, ServeError>(prebuilt.take().expect("artifacts prebuilt on miss"))
             })?;
-            let (module, elab, checker, cached) = (
+            let (module, elab, checker, compiled, cached) = (
                 checkout.module,
                 checkout.elab,
                 checkout.checker,
+                checkout.compiled,
                 checkout.hit,
             );
             let id = st.next_id;
@@ -355,6 +371,7 @@ impl ClosureService {
                     module,
                     elab,
                     checker,
+                    compiled,
                     state: JobState::Queued,
                     progress: Vec::new(),
                     outcome: None,
@@ -398,8 +415,13 @@ impl ClosureService {
     }
 
     /// Requests cancellation. Queued jobs are dropped before they run;
-    /// running jobs stop cooperatively at the next iteration boundary.
-    /// Returns whether the job existed and was still cancellable.
+    /// running jobs stop cooperatively *mid-iteration* — the token is
+    /// polled between the checker's SAT queries and once per simulated
+    /// cycle of the coverage passes (see [`Engine::with_cancel`]), so a
+    /// stuck job frees its worker without waiting for the iteration
+    /// boundary. The partial outcome stays valid and is retrievable via
+    /// [`ClosureService::take_outcome`]. Returns whether the job
+    /// existed and was still cancellable.
     pub fn cancel(&self, job: u64) -> bool {
         let mut st = self.state();
         let Some(record) = st.jobs.get_mut(&job) else {
@@ -461,12 +483,28 @@ impl ClosureService {
         st.jobs.get_mut(&job).and_then(|j| j.outcome.take())
     }
 
-    /// Aggregate service counters.
+    /// Aggregate service counters. Internally consistent: every field
+    /// is read under one acquisition of the state lock, and all job
+    /// state transitions update their counters under the same lock, so
+    /// `submitted == queued + running + completed + failed + cancelled`
+    /// holds in every snapshot.
     pub fn stats(&self) -> ServeStats {
         let st = self.state();
         let cache = st.cache.stats();
+        let queued = st
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Queued)
+            .count() as u64;
+        let running = st
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .count() as u64;
         ServeStats {
             submitted: st.submitted,
+            queued,
+            running,
             completed: st.completed,
             failed: st.failed,
             cancelled: st.cancelled,
@@ -476,7 +514,20 @@ impl ClosureService {
             cache_hits: cache.hits,
             cache_misses: cache.misses,
             cache_evictions: cache.evictions,
+            cache_evictions_capacity: cache.evictions_capacity,
+            cache_evictions_bytes: cache.evictions_bytes,
+            cache_evictions_collision: cache.evictions_collision,
             cache_bytes: cache.approx_bytes as u64,
+            cache_max_bytes: cache.max_bytes as u64,
+            compiled_built: cache.compiled_built,
+            compiled_reused: cache.compiled_reused,
+            verify_sat_queries: st.verify.sat_queries,
+            verify_sat_decided: st.verify.sat_decided,
+            verify_explicit_queries: st.verify.explicit_queries,
+            verify_memo_hits: st.verify.memo_hits,
+            verify_frames_encoded: st.verify.frames_encoded,
+            verify_frames_reused: st.verify.frames_reused,
+            verify_cex_canonicalized: st.verify.cex_canonicalized,
         }
     }
 
@@ -559,6 +610,9 @@ impl ClosureService {
                 }
             }
             Request::Stats => Response::Stats(self.stats()),
+            Request::Metrics => Response::Metrics {
+                text: self.stats().to_prometheus(),
+            },
             Request::Shutdown => {
                 // Begin the shutdown here so the wire path is
                 // transport-agnostic: submissions are refused and the
@@ -647,54 +701,75 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             job.module.clone(),
             job.elab.clone(),
             job.checker.take(),
+            job.compiled.take(),
             job.config.clone(),
             job.cancel.clone(),
             job.key.clone(),
             job.canonical.clone(),
         )
     };
-    let (module, elab, checker, config, cancel, key, canonical) = claim;
+    let (module, elab, checker, compiled, config, cancel, key, canonical) = claim;
 
     // Build (or reuse) the checker and run the engine outside the lock.
     let checker_result = match checker {
         Some(c) => Ok(c),
         None => Checker::from_elab(&module, &elab),
     };
+    // Reuse the design's parked compiled tape, or build (and later
+    // park) one — per canonical design, not per engine. Compilation is
+    // deterministic, so reuse never changes the outcome.
+    let mut built_compiled: Option<Arc<CompiledModule>> = None;
+    let compiled = if config.sim_backend == SimBackend::Interpreter {
+        None
+    } else {
+        Some(compiled.unwrap_or_else(|| {
+            let c = Arc::new(CompiledModule::with_elab(&module, &elab));
+            built_compiled = Some(c.clone());
+            c
+        }))
+    };
     // Whether the *run itself* observed the cancel and stopped early —
     // a cancel that lands after the final iteration has discarded
-    // nothing, so the completed result stays `Done`.
+    // nothing, so the completed result stays `Done`. The iteration
+    // observer catches boundary cancels; the engine's own token
+    // (`with_cancel`) catches them mid-iteration, surfacing as
+    // `ClosureOutcome::interrupted`.
     let mut observed_cancel = false;
     let (outcome, reclaimed) = match checker_result {
         Err(e) => (Err(EngineError::from(e)), None),
-        Ok(checker) => match Engine::with_artifacts(&module, &elab, checker, config) {
-            // `with_artifacts` is infallible today (its `Result` covers
-            // future fallible mining-spec construction); if it ever
-            // gains real failure modes it should hand the checker back
-            // on error so this arm can re-park it instead of dropping
-            // the design's warm state.
-            Err(e) => (Err(e), None),
-            Ok(engine) => {
-                let shared_for_progress = shared.clone();
-                let observed_cancel = &mut observed_cancel;
-                let (outcome, checker) = engine.run_reclaim(|report| {
-                    let mut st = shared_for_progress
-                        .state
-                        .lock()
-                        .expect("service state poisoned");
-                    if let Some(job) = st.jobs.get_mut(&id) {
-                        job.progress.push(ProgressEvent::from_report(report));
-                    }
-                    if cancel.load(Ordering::Acquire) {
-                        *observed_cancel = true;
-                    }
-                    !*observed_cancel
-                });
-                (outcome, Some(checker))
+        Ok(checker) => {
+            match Engine::with_artifacts_compiled(&module, &elab, checker, compiled, config) {
+                // `with_artifacts_compiled` is infallible today (its
+                // `Result` covers future fallible mining-spec
+                // construction); if it ever gains real failure modes it
+                // should hand the checker back on error so this arm can
+                // re-park it instead of dropping the design's warm state.
+                Err(e) => (Err(e), None),
+                Ok(engine) => {
+                    let shared_for_progress = shared.clone();
+                    let observed_cancel = &mut observed_cancel;
+                    let job_cancel = cancel.clone();
+                    let (outcome, checker) =
+                        engine.with_cancel(cancel.clone()).run_reclaim(|report| {
+                            let mut st = shared_for_progress
+                                .state
+                                .lock()
+                                .expect("service state poisoned");
+                            if let Some(job) = st.jobs.get_mut(&id) {
+                                job.progress.push(ProgressEvent::from_report(report));
+                            }
+                            if job_cancel.load(Ordering::Acquire) {
+                                *observed_cancel = true;
+                            }
+                            !*observed_cancel
+                        });
+                    (outcome, Some(checker))
+                }
             }
-        },
+        }
     };
 
-    // Retire: record the result, park the warm checker.
+    // Retire: record the result, park the warm artifacts.
     let mut st = shared.state.lock().expect("service state poisoned");
     if let Some(mut checker) = reclaimed {
         if shared.config.warm_memo {
@@ -706,7 +781,13 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
         }
         st.cache.park(&key, &canonical, checker);
     }
-    let was_cancelled = observed_cancel;
+    if let Some(c) = built_compiled {
+        st.cache.park_compiled(&key, &canonical, c);
+    }
+    if let Ok(o) = &outcome {
+        st.verify += o.verification_total();
+    }
+    let was_cancelled = observed_cancel || matches!(&outcome, Ok(o) if o.interrupted);
     match outcome {
         Ok(outcome) => {
             if was_cancelled {

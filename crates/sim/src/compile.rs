@@ -337,6 +337,20 @@ impl CompiledModule {
         self.probes.len()
     }
 
+    /// Approximate resident size of the compiled tapes and tables — the
+    /// accounting input for a design cache that parks compiled modules
+    /// alongside checkers (an estimate, not an allocator figure).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.tape_len() * std::mem::size_of::<Inst>()
+            + (self.widths.len() + self.base.len()) * std::mem::size_of::<u32>()
+            + self.sig_init.len() * std::mem::size_of::<u64>()
+            + self.state_pairs.len() * std::mem::size_of::<(Reg, Reg)>()
+            + self.const_inits.len() * std::mem::size_of::<(Reg, u64)>()
+            + self.probes.len() * std::mem::size_of::<(StmtId, ExprRole, u32)>()
+            + self.data_inputs.len() * std::mem::size_of::<SignalId>()
+    }
+
     /// Runs one reset-rooted stimulus segment on a fresh scalar
     /// executor, mirroring [`crate::run_segment`]'s reset protocol and
     /// trace shape exactly.
@@ -365,13 +379,21 @@ impl CompiledModule {
     /// callers skip the transpose). Segments are dealt onto lanes in
     /// chunks of 64; each chunk starts from reset, so lane `k` replays
     /// segment `chunk*64 + k` exactly as a scalar run would.
+    ///
+    /// The cooperative `cancel` token is polled once per simulated cycle
+    /// of every chunk; a raised token returns `None` — no partial traces
+    /// or coverage for the pass are published (observer callbacks up to
+    /// the cancel point have already fired, which is why cancelled
+    /// passes must be discarded by the caller).
     pub(crate) fn run_segments_batched(
         &self,
         module: &Module,
         segments: &[Segment],
         obs: &mut dyn BatchObserver,
         collect_traces: bool,
-    ) -> Vec<Trace> {
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> Option<Vec<Trace>> {
+        let cancelled = || cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Acquire));
         let mut traces: Vec<Trace> = if collect_traces {
             segments.iter().map(|_| Trace::for_module(module)).collect()
         } else {
@@ -387,6 +409,9 @@ impl CompiledModule {
             sim.apply_reset(full, obs);
             let max_len = chunk.iter().map(|s| s.vectors.len()).max().unwrap_or(0);
             for t in 0..max_len {
+                if cancelled() {
+                    return None;
+                }
                 let mut active = 0u64;
                 for (k, seg) in chunk.iter().enumerate() {
                     if t < seg.vectors.len() {
@@ -409,7 +434,7 @@ impl CompiledModule {
                 sim.clock_edge(active, Some(obs));
             }
         }
-        traces
+        Some(traces)
     }
 }
 
@@ -1656,7 +1681,9 @@ mod tests {
                 )),
             })
             .collect();
-        let batched = c.run_segments_batched(&m, &segments, &mut NopBatchObserver, true);
+        let batched = c
+            .run_segments_batched(&m, &segments, &mut NopBatchObserver, true, None)
+            .expect("no cancel token");
         for (seg, got) in segments.iter().zip(&batched) {
             let want = crate::suite::run_segment(&m, &seg.vectors, &mut NopObserver).unwrap();
             assert_eq!(*got, want, "{}", seg.label);

@@ -89,7 +89,9 @@ impl TestSuite {
         compiled: &crate::CompiledModule,
         obs: &mut dyn crate::BatchObserver,
     ) -> Vec<Trace> {
-        compiled.run_segments_batched(module, &self.segments, obs, true)
+        compiled
+            .run_segments_batched(module, &self.segments, obs, true, None)
+            .expect("no cancel token")
     }
 
     /// Like [`TestSuite::run_compiled`] but skips trace materialization
@@ -101,7 +103,23 @@ impl TestSuite {
         compiled: &crate::CompiledModule,
         obs: &mut dyn crate::BatchObserver,
     ) {
-        compiled.run_segments_batched(module, &self.segments, obs, false);
+        compiled.run_segments_batched(module, &self.segments, obs, false, None);
+    }
+
+    /// [`TestSuite::observe_compiled`] with a cooperative cancel token
+    /// polled once per simulated cycle. Returns `false` when the token
+    /// cut the pass short — the observer has then seen a *partial*
+    /// pass, so the caller must discard whatever it accumulated.
+    pub fn observe_compiled_cancellable(
+        &self,
+        module: &Module,
+        compiled: &crate::CompiledModule,
+        obs: &mut dyn crate::BatchObserver,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+    ) -> bool {
+        compiled
+            .run_segments_batched(module, &self.segments, obs, false, cancel)
+            .is_some()
     }
 }
 
