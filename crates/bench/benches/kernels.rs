@@ -10,8 +10,8 @@ use gm_mine::{Dataset, DecisionTree, MiningSpec};
 use gm_rtl::{cone_of, elaborate, parse_verilog};
 use gm_sat::{Solver, Var};
 use gm_sim::{
-    collect_vectors, CompiledModule, NopBatchObserver, NopObserver, RandomStimulus, Simulator,
-    TestSuite,
+    collect_vectors, CompileOptions, CompiledModule, NopBatchObserver, NopObserver, RandomStimulus,
+    Simulator, TestSuite,
 };
 use goldmine::{Engine, EngineConfig, TargetSelection};
 
@@ -37,27 +37,28 @@ fn bench_simulation(c: &mut Criterion) {
 }
 
 /// The compiled-backend kernels behind `BENCH_sim.json`: the same
-/// stimulus suite (64 ragged random segments) through the interpreter,
-/// the compiled scalar tape, and the 64-lane bit-parallel tape — with
-/// coverage attached, which is how the closure loop simulates.
+/// stimulus suite (ragged random segments, enough to fill the widest
+/// 512-lane block) through the interpreter, the compiled scalar tape,
+/// and the bit-parallel tape at every lane-block width — with coverage
+/// attached, which is how the closure loop simulates.
 fn bench_sim_backends(c: &mut Criterion) {
     let module = gm_designs::b12_lite();
     let compiled = CompiledModule::compile(&module).unwrap();
     let mut suite = TestSuite::new();
-    for seed in 0..64u64 {
+    for seed in 0..512u64 {
         suite.push(
             format!("s{seed}"),
             collect_vectors(&mut RandomStimulus::new(&module, seed, 64)),
         );
     }
-    c.bench_function("sim/backend_interpreter_64x64_coverage", |b| {
+    c.bench_function("sim/backend_interpreter_512x64_coverage", |b| {
         b.iter(|| {
             let mut cov = gm_coverage::CoverageSuite::new(&module);
             suite.run(&module, &mut cov).unwrap();
             cov.report()
         });
     });
-    c.bench_function("sim/backend_compiled_scalar_64x64_coverage", |b| {
+    c.bench_function("sim/backend_compiled_scalar_512x64_coverage", |b| {
         b.iter(|| {
             let mut cov = gm_coverage::CoverageSuite::new(&module);
             for seg in suite.segments() {
@@ -66,17 +67,58 @@ fn bench_sim_backends(c: &mut Criterion) {
             cov.report()
         });
     });
-    c.bench_function("sim/backend_compiled_batch_64x64_coverage", |b| {
-        b.iter(|| {
-            let mut cov = gm_coverage::CoverageSuite::new(&module);
-            suite.observe_compiled(&module, &compiled, &mut cov);
-            cov.report()
-        });
-    });
+    for block in [1usize, 2, 4, 8] {
+        c.bench_function(
+            &format!("sim/backend_compiled_batch_w{block}_coverage"),
+            |b| {
+                b.iter(|| {
+                    let mut cov = gm_coverage::CoverageSuite::new(&module);
+                    suite.observe_compiled(&module, &compiled, &mut cov, block);
+                    cov.report()
+                });
+            },
+        );
+    }
     // Trace extraction included (the mining data-generation shape).
-    c.bench_function("sim/backend_compiled_batch_64x64_traces", |b| {
-        b.iter(|| suite.run_compiled(&module, &compiled, &mut NopBatchObserver));
+    c.bench_function("sim/backend_compiled_batch_512x64_traces", |b| {
+        b.iter(|| suite.run_compiled(&module, &compiled, &mut NopBatchObserver, 1));
     });
+}
+
+/// Coverage-attached vs bare throughput per lane-block width — the
+/// direct measure of the fused-probe and probe-free-tape wins. The
+/// "cov" kernels run the probed tape under a full `CoverageSuite`; the
+/// "bare" kernels run the probe-free tape under a nop observer (the
+/// cex-replay / seed-trace shape, paying nothing for observation).
+fn bench_observer_overhead(c: &mut Criterion) {
+    let module = gm_designs::b12_lite();
+    let probed = CompiledModule::compile(&module).unwrap();
+    let bare = CompiledModule::compile_with(&module, CompileOptions { probes: false }).unwrap();
+    let mut suite = TestSuite::new();
+    for seed in 0..512u64 {
+        suite.push(
+            format!("s{seed}"),
+            collect_vectors(&mut RandomStimulus::new(&module, seed, 64)),
+        );
+    }
+    for block in [1usize, 2, 4, 8] {
+        c.bench_function(
+            &format!("sim/backend_observer_overhead_w{block}_cov"),
+            |b| {
+                b.iter(|| {
+                    let mut cov = gm_coverage::CoverageSuite::new(&module);
+                    suite.observe_compiled(&module, &probed, &mut cov, block);
+                    cov.report()
+                });
+            },
+        );
+        c.bench_function(
+            &format!("sim/backend_observer_overhead_w{block}_bare"),
+            |b| {
+                b.iter(|| suite.observe_compiled(&module, &bare, &mut NopBatchObserver, block));
+            },
+        );
+    }
 }
 
 fn bench_parse_blast(c: &mut Criterion) {
@@ -511,6 +553,7 @@ criterion_group!(
     config = Criterion::default().sample_size(10);
     targets = bench_simulation,
         bench_sim_backends,
+        bench_observer_overhead,
         bench_parse_blast,
         bench_sat,
         bench_model_checking,

@@ -3,22 +3,81 @@
 //! throughput record (vectors/second, where one vector is one stimulus
 //! cycle of one segment) for the performance trajectory.
 //!
+//! Per design it measures the interpreter, the compiled scalar
+//! executor, and the compiled batch executor at every supported
+//! lane-block width (W ∈ {1, 2, 4, 8} → 64–512 lanes per pass), each
+//! W both coverage-attached (probed tape + `CoverageSuite`) and bare
+//! (probe-free tape + `NopBatchObserver`) — the fused-probe win and
+//! the wide-lane win are both visible run-over-run.
+//!
+//! The binary asserts ratcheted per-design floors (see `FLOORS`), so a
+//! wide-design regression can't hide behind a small-design win.
+//!
 //! Usage: `bench_sim [OUTPUT_PATH]` (default `BENCH_sim.json`).
 
 use gm_coverage::CoverageSuite;
 use gm_rtl::Module;
-use gm_sim::{collect_vectors, CompiledModule, RandomStimulus, TestSuite};
+use gm_sim::{
+    collect_vectors, CompileOptions, CompiledModule, NopBatchObserver, RandomStimulus, TestSuite,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const SEGMENTS: u64 = 64;
+/// Enough segments to fill all 512 lanes of the widest block.
+const SEGMENTS: u64 = 512;
 const CYCLES: u64 = 128;
+const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+
+/// Ratcheted coverage-attached floors: (design, min batch-over-
+/// interpreter speedup at the best W, min worst-W-over-W=1 ratio).
+/// Measured on the CI-class single-core runner and set a safety margin
+/// below the observed numbers; raise them when the numbers move up.
+///
+/// History: the pre-wide-lane floor was a single >= 10x on any design.
+/// PR 7 (fused probes + cheap-hash observers + lane blocks) measured
+/// ~44-56x on arbiter4 and ~13-20x on b12_lite, i.e. ~3.7x the
+/// absolute coverage-attached vectors/sec of the PR 5 64-lane backend
+/// on b12_lite, so the per-design ratchets sit below those with room
+/// for runner noise (the ratio is extra-noisy on b12_lite because the
+/// cheap-hash work sped the interpreter denominator up too). The
+/// worst-width ratio catches a wide-executor
+/// regression: every lane block must stay within striking distance of
+/// the 64-lane backend (the best W is design-dependent, and on tiny
+/// designs W=1 often wins — the wide win is amortized dispatch, which
+/// grows with design size).
+const FLOORS: [(&str, f64, f64); 2] = [("arbiter4", 35.0, 0.5), ("b12_lite", 11.0, 0.5)];
+
+struct WidthRecord {
+    w: usize,
+    cov_vps: f64,
+    bare_vps: f64,
+}
 
 struct Record {
     name: &'static str,
     interpreter_vps: f64,
     compiled_scalar_vps: f64,
-    compiled_batch_vps: f64,
+    widths: Vec<WidthRecord>,
+}
+
+impl Record {
+    fn best_cov(&self) -> &WidthRecord {
+        self.widths
+            .iter()
+            .max_by(|a, b| a.cov_vps.total_cmp(&b.cov_vps))
+            .expect("widths measured")
+    }
+
+    fn w1_cov_vps(&self) -> f64 {
+        self.widths.iter().find(|r| r.w == 1).expect("W=1").cov_vps
+    }
+
+    fn worst_cov(&self) -> &WidthRecord {
+        self.widths
+            .iter()
+            .min_by(|a, b| a.cov_vps.total_cmp(&b.cov_vps))
+            .expect("widths measured")
+    }
 }
 
 /// Times `f` (one warm-up call plus `reps` timed calls) and returns
@@ -34,7 +93,9 @@ fn vps(total_vectors: u64, reps: u32, mut f: impl FnMut()) -> f64 {
 }
 
 fn measure(name: &'static str, module: &Module) -> Record {
-    let compiled = CompiledModule::compile(module).expect("catalog designs compile");
+    let probed = CompiledModule::compile(module).expect("catalog designs compile");
+    let bare = CompiledModule::compile_with(module, CompileOptions { probes: false })
+        .expect("catalog designs compile");
     let mut suite = TestSuite::new();
     for seed in 0..SEGMENTS {
         suite.push(
@@ -48,23 +109,36 @@ fn measure(name: &'static str, module: &Module) -> Record {
         suite.run(module, &mut cov).unwrap();
         std::hint::black_box(cov.report());
     });
-    let compiled_scalar_vps = vps(total, 3, || {
+    let compiled_scalar_vps = vps(total, 1, || {
         let mut cov = CoverageSuite::new(module);
         for seg in suite.segments() {
-            compiled.run_segment(module, &seg.vectors, &mut cov);
+            probed.run_segment(module, &seg.vectors, &mut cov);
         }
         std::hint::black_box(cov.report());
     });
-    let compiled_batch_vps = vps(total, 10, || {
-        let mut cov = CoverageSuite::new(module);
-        suite.observe_compiled(module, &compiled, &mut cov);
-        std::hint::black_box(cov.report());
-    });
+    let widths = WIDTHS
+        .iter()
+        .map(|&w| {
+            let cov_vps = vps(total, 5, || {
+                let mut cov = CoverageSuite::new(module);
+                suite.observe_compiled(module, &probed, &mut cov, w);
+                std::hint::black_box(cov.report());
+            });
+            let bare_vps = vps(total, 5, || {
+                suite.observe_compiled(module, &bare, &mut NopBatchObserver, w);
+            });
+            WidthRecord {
+                w,
+                cov_vps,
+                bare_vps,
+            }
+        })
+        .collect();
     Record {
         name,
         interpreter_vps,
         compiled_scalar_vps,
-        compiled_batch_vps,
+        widths,
     }
 }
 
@@ -86,21 +160,33 @@ fn main() {
     let mut json = String::from("{\n  \"bench\": \"sim_backends\",\n");
     let _ = writeln!(
         json,
-        "  \"workload\": {{\"segments\": {SEGMENTS}, \"cycles_per_segment\": {CYCLES}, \"coverage\": true}},"
+        "  \"workload\": {{\"segments\": {SEGMENTS}, \"cycles_per_segment\": {CYCLES}, \"lane_blocks\": [1, 2, 4, 8]}},"
     );
     json.push_str("  \"designs\": [\n");
     for (i, r) in records.iter().enumerate() {
-        let speedup_batch = r.compiled_batch_vps / r.interpreter_vps;
-        let speedup_scalar = r.compiled_scalar_vps / r.interpreter_vps;
+        let best = r.best_cov();
         let _ = write!(
             json,
-            "    {{\"name\": \"{}\", \"interpreter_vps\": {:.0}, \"compiled_scalar_vps\": {:.0}, \"compiled_batch_vps\": {:.0}, \"scalar_speedup\": {:.2}, \"batch_speedup\": {:.2}}}",
-            r.name,
-            r.interpreter_vps,
-            r.compiled_scalar_vps,
-            r.compiled_batch_vps,
-            speedup_scalar,
-            speedup_batch
+            "    {{\"name\": \"{}\", \"interpreter_vps\": {:.0}, \"compiled_scalar_vps\": {:.0}, \"batch\": [",
+            r.name, r.interpreter_vps, r.compiled_scalar_vps,
+        );
+        for (j, wr) in r.widths.iter().enumerate() {
+            let _ = write!(
+                json,
+                "{{\"lane_block\": {}, \"cov_vps\": {:.0}, \"bare_vps\": {:.0}}}{}",
+                wr.w,
+                wr.cov_vps,
+                wr.bare_vps,
+                if j + 1 < r.widths.len() { ", " } else { "" }
+            );
+        }
+        let _ = write!(
+            json,
+            "], \"best_lane_block\": {}, \"best_cov_speedup\": {:.2}, \"wide_over_w1\": {:.2}, \"worst_over_w1\": {:.2}}}",
+            best.w,
+            best.cov_vps / r.interpreter_vps,
+            best.cov_vps / r.w1_cov_vps(),
+            r.worst_cov().cov_vps / r.w1_cov_vps(),
         );
         json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -109,15 +195,37 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_sim.json");
     print!("{json}");
 
-    let best = records
-        .iter()
-        .map(|r| r.compiled_batch_vps / r.interpreter_vps)
-        .fold(f64::MIN, f64::max);
-    eprintln!("best 64-lane speedup over interpreter: {best:.1}x");
-    // The acceptance bar for the compiled backend: >= 10x vectors/sec
-    // on at least one catalog design.
-    assert!(
-        best >= 10.0,
-        "64-lane compiled backend regressed below 10x the interpreter ({best:.1}x)"
-    );
+    for r in &records {
+        let best = r.best_cov();
+        eprintln!(
+            "{}: best W={} cov speedup {:.1}x over interpreter, {:.2}x over W=1",
+            r.name,
+            best.w,
+            best.cov_vps / r.interpreter_vps,
+            best.cov_vps / r.w1_cov_vps()
+        );
+    }
+    // Ratcheted per-design floors (coverage-attached, best W), plus
+    // the worst-width guard.
+    for (design, min_speedup, min_worst_ratio) in FLOORS {
+        let r = records
+            .iter()
+            .find(|r| r.name == design)
+            .expect("floor design measured");
+        let best = r.best_cov();
+        let speedup = best.cov_vps / r.interpreter_vps;
+        assert!(
+            speedup >= min_speedup,
+            "{design}: compiled batch regressed to {speedup:.1}x the interpreter \
+             (floor {min_speedup:.1}x)"
+        );
+        let worst = r.worst_cov();
+        let worst_ratio = worst.cov_vps / r.w1_cov_vps();
+        assert!(
+            worst_ratio >= min_worst_ratio,
+            "{design}: lane block W={} fell to {worst_ratio:.2}x the 64-lane backend \
+             (floor {min_worst_ratio:.2}x)",
+            worst.w,
+        );
+    }
 }

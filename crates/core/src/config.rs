@@ -151,8 +151,10 @@ pub struct EngineConfig {
     /// passes (seed traces, counterexample replay, suite coverage).
     /// Every backend produces a byte-identical [`crate::ClosureOutcome`]
     /// — the compiled tape is proven trace- and coverage-identical to
-    /// the interpreter by `sim/compiled_agree`. The default is the
-    /// 64-lane compiled backend.
+    /// the interpreter by `sim/compiled_agree`, for every lane-block
+    /// width. The default is the 64-lane compiled backend;
+    /// [`SimBackend::CompiledBatchWide`] widens a pass to up to 512
+    /// stimulus vectors for suite-heavy workloads.
     pub sim_backend: SimBackend,
 }
 

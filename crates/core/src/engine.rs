@@ -65,8 +65,8 @@ use gm_mine::{
 };
 use gm_rtl::{cone_of, elaborate, Module, SignalId};
 use gm_sim::{
-    collect_vectors, run_segment, CompiledModule, InputVector, NopBatchObserver, NopObserver,
-    RandomStimulus, SimBackend, TestSuite, Trace,
+    collect_vectors, run_segment, CompileOptions, CompiledModule, InputVector, NopBatchObserver,
+    NopObserver, RandomStimulus, SimBackend, TestSuite, Trace,
 };
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -247,10 +247,21 @@ impl<'m> Engine<'m> {
         // Attribute only work done *during this run* to its iteration
         // reports: a warm checker may arrive with non-zero counters.
         let reported_stats = checker.session_stats();
+        // Coverage-recording runs need the fused probes compiled in;
+        // trace-only runs take the probe-free tape and pay nothing for
+        // observation. A supplied (cached) probed tape also serves a
+        // probe-free run — probes are a superset — but never the other
+        // way around.
+        let want = CompileOptions {
+            probes: config.record_coverage,
+        };
         let compiled = if config.sim_backend == SimBackend::Interpreter {
             None
         } else {
-            Some(compiled.unwrap_or_else(|| Arc::new(CompiledModule::with_elab(module, elab))))
+            Some(match compiled {
+                Some(c) if c.has_probes() || !want.probes => c,
+                _ => Arc::new(CompiledModule::with_elab_opts(module, elab, want)),
+            })
         };
         Ok(Engine {
             module,
@@ -648,13 +659,17 @@ impl<'m> Engine<'m> {
                         c.run_segment(self.module, &seg.vectors, &mut cov);
                     }
                 }
-                // 64 segments per pass; no traces are materialized. The
-                // token is polled once per simulated cycle inside.
-                (Some(c), _) => {
-                    if !self
-                        .suite
-                        .observe_compiled_cancellable(self.module, c, &mut cov, cancel)
-                    {
+                // 64·block segments per pass; no traces are
+                // materialized. The token is polled once per simulated
+                // cycle inside.
+                (Some(c), backend) => {
+                    if !self.suite.observe_compiled_cancellable(
+                        self.module,
+                        c,
+                        &mut cov,
+                        cancel,
+                        backend.lane_block(),
+                    ) {
                         return Err(McError::Cancelled.into());
                     }
                 }

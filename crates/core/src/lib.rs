@@ -44,6 +44,6 @@ pub use config::{
 };
 pub use engine::{assertion_property, Engine};
 pub use error::EngineError;
-pub use gm_sim::{CompiledModule, SimBackend};
+pub use gm_sim::{CompileOptions, CompiledModule, SimBackend, MAX_LANE_BLOCK};
 pub use mutation::{check_fault, fault_campaign, suite_detects_fault, FaultKind, FaultReport};
 pub use report::{ClosureOutcome, IterationReport, TargetSummary};

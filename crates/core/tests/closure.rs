@@ -300,24 +300,29 @@ fn closure_outcomes_byte_identical_across_sim_backends() {
     // not depend on the engine.
     for src in [ARBITER2, CEX_SMALL] {
         let m = parse_verilog(src).unwrap();
-        let outcomes: Vec<String> = [
+        let backends = [
             goldmine::SimBackend::Interpreter,
             goldmine::SimBackend::CompiledScalar,
             goldmine::SimBackend::CompiledBatch,
-        ]
-        .into_iter()
-        .map(|sim_backend| {
-            let config = EngineConfig {
-                window: if src == CEX_SMALL { 0 } else { 1 },
-                record_coverage: true,
-                sim_backend,
-                ..EngineConfig::default()
-            };
-            format!("{:?}", Engine::new(&m, config).unwrap().run().unwrap())
-        })
-        .collect();
-        assert_eq!(outcomes[0], outcomes[1], "scalar tape diverged");
-        assert_eq!(outcomes[0], outcomes[2], "64-lane tape diverged");
+            goldmine::SimBackend::CompiledBatchWide(2),
+            goldmine::SimBackend::CompiledBatchWide(4),
+            goldmine::SimBackend::CompiledBatchWide(8),
+        ];
+        let outcomes: Vec<String> = backends
+            .into_iter()
+            .map(|sim_backend| {
+                let config = EngineConfig {
+                    window: if src == CEX_SMALL { 0 } else { 1 },
+                    record_coverage: true,
+                    sim_backend,
+                    ..EngineConfig::default()
+                };
+                format!("{:?}", Engine::new(&m, config).unwrap().run().unwrap())
+            })
+            .collect();
+        for (backend, outcome) in backends.iter().zip(&outcomes).skip(1) {
+            assert_eq!(&outcomes[0], outcome, "{backend:?} diverged");
+        }
     }
 }
 

@@ -9,22 +9,73 @@ use crate::points::{
 };
 use crate::ratio::{CoverageReport, Ratio};
 use gm_rtl::{Bv, Expr, Module, SignalId, StmtId};
-use gm_sim::{BatchObserver, BranchOutcome, ExprRole, LaneSnapshot, SimObserver};
+use gm_sim::{
+    BatchObserver, BranchOutcome, ExprRole, LaneSet, LaneSnapshot, ProbeHits, SimObserver,
+};
 use std::collections::{HashMap, HashSet};
+
+/// A tiny deterministic multiplicative hasher for the per-cycle
+/// coverage sets. The batch observers sit on the compiled executor's
+/// hot path (an insert attempt per statement/point per cycle), where
+/// SipHash rounds dominate; ids and small state values mix in a couple
+/// of arithmetic ops instead. The seed is fixed, so runs stay
+/// reproducible.
+#[derive(Clone, Copy, Debug, Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_f9ad_32db_e727);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+type FxBuild = std::hash::BuildHasherDefault<FxHasher>;
+type FxSet<T> = HashSet<T, FxBuild>;
+type FxMap<K, V> = HashMap<K, V, FxBuild>;
 
 /// Statement (line) coverage: every statement executed at least once.
 #[derive(Debug)]
 pub struct LineCoverage {
-    executed: HashSet<StmtId>,
+    executed: FxSet<StmtId>,
+    /// Dense first-hit guard by statement index: the common case (the
+    /// statement already executed) costs one indexed load per event
+    /// instead of a set insert.
+    hit: Vec<bool>,
     total: usize,
 }
 
 impl LineCoverage {
     /// Instruments `module`.
     pub fn new(module: &Module) -> Self {
+        let total = module.stmt_count() as usize;
         LineCoverage {
-            executed: HashSet::new(),
-            total: module.stmt_count() as usize,
+            executed: FxSet::default(),
+            hit: vec![false; total],
+            total,
         }
     }
 
@@ -42,16 +93,26 @@ impl LineCoverage {
     }
 }
 
+impl LineCoverage {
+    #[inline]
+    fn mark(&mut self, stmt: StmtId) {
+        if !self.hit[stmt.index()] {
+            self.hit[stmt.index()] = true;
+            self.executed.insert(stmt);
+        }
+    }
+}
+
 impl SimObserver for LineCoverage {
     fn on_stmt(&mut self, stmt: StmtId) {
-        self.executed.insert(stmt);
+        self.mark(stmt);
     }
 }
 
 impl BatchObserver for LineCoverage {
-    fn on_stmt(&mut self, stmt: StmtId, lanes: u64) {
-        if lanes != 0 {
-            self.executed.insert(stmt);
+    fn on_stmt(&mut self, stmt: StmtId, lanes: &LaneSet<'_>) {
+        if lanes.any() {
+            self.mark(stmt);
         }
     }
 }
@@ -60,7 +121,7 @@ impl BatchObserver for LineCoverage {
 #[derive(Debug)]
 pub struct BranchCoverage {
     universe: Vec<(StmtId, BranchOutcome)>,
-    hit: HashSet<(StmtId, BranchOutcome)>,
+    hit: FxSet<(StmtId, BranchOutcome)>,
 }
 
 impl BranchCoverage {
@@ -68,7 +129,7 @@ impl BranchCoverage {
     pub fn new(module: &Module) -> Self {
         BranchCoverage {
             universe: branch_points(module),
-            hit: HashSet::new(),
+            hit: FxSet::default(),
         }
     }
 
@@ -99,8 +160,8 @@ impl SimObserver for BranchCoverage {
 }
 
 impl BatchObserver for BranchCoverage {
-    fn on_branch(&mut self, stmt: StmtId, outcome: BranchOutcome, lanes: u64) {
-        if lanes != 0 {
+    fn on_branch(&mut self, stmt: StmtId, outcome: BranchOutcome, lanes: &LaneSet<'_>) {
+        if lanes.any() {
             self.hit.insert((stmt, outcome));
         }
     }
@@ -124,14 +185,14 @@ impl Polarity {
 /// be observed at both 0 and 1.
 #[derive(Debug)]
 struct BoolNodeCoverage {
-    seen: HashMap<(StmtId, usize), Polarity>,
+    seen: FxMap<(StmtId, usize), Polarity>,
     total: usize,
 }
 
 impl BoolNodeCoverage {
     fn new(module: &Module, watch_conditions: bool) -> Self {
         BoolNodeCoverage {
-            seen: HashMap::new(),
+            seen: FxMap::default(),
             total: count_boolean_nodes(module, watch_conditions),
         }
     }
@@ -168,6 +229,15 @@ impl BoolNodeCoverage {
         if !values & lanes != 0 {
             p.seen_false = true;
         }
+    }
+
+    /// Applies one drained fused-probe hit: the node was seen at the
+    /// given polarities in some active lane. Polarity is monotone, so
+    /// applying a cumulative drain repeatedly is idempotent.
+    fn apply_hit(&mut self, stmt: StmtId, node: u32, any_true: bool, any_false: bool) {
+        let p = self.seen.entry((stmt, node as usize)).or_default();
+        p.seen_true |= any_true;
+        p.seen_false |= any_false;
     }
 }
 
@@ -209,6 +279,13 @@ impl BatchObserver for ConditionCoverage<'_> {
         if role == ExprRole::Condition {
             self.inner.observe_lanes(stmt, node, values, lanes);
         }
+    }
+    fn drain_probes(&mut self, hits: &ProbeHits<'_>) {
+        hits.for_each(|stmt, role, node, t, f| {
+            if role == ExprRole::Condition {
+                self.inner.apply_hit(stmt, node, t, f);
+            }
+        });
     }
 }
 
@@ -252,6 +329,13 @@ impl BatchObserver for ExpressionCoverage<'_> {
             self.inner.observe_lanes(stmt, node, values, lanes);
         }
     }
+    fn drain_probes(&mut self, hits: &ProbeHits<'_>) {
+        hits.for_each(|stmt, role, node, t, f| {
+            if role == ExprRole::AssignRhs {
+                self.inner.apply_hit(stmt, node, t, f);
+            }
+        });
+    }
 }
 
 /// Toggle coverage: each bit of each signal (clock excluded) must rise
@@ -259,27 +343,37 @@ impl BatchObserver for ExpressionCoverage<'_> {
 #[derive(Debug)]
 pub struct ToggleCoverage {
     watched: Vec<(SignalId, u32)>,
-    rises: HashSet<(SignalId, u32)>,
-    falls: HashSet<(SignalId, u32)>,
+    rises: FxSet<(SignalId, u32)>,
+    falls: FxSet<(SignalId, u32)>,
     prev: Option<Vec<Bv>>,
     /// Previous-cycle lane words per watched bit (batch path only).
     prev_words: Option<Vec<u64>>,
+    /// Reused current-cycle scratch (batch path only).
+    cur_words: Vec<u64>,
+    /// Dense first-hit guards by watched index (batch path only): a
+    /// settled bit costs one compare per cycle, not a set insert.
+    rise_hit: Vec<bool>,
+    fall_hit: Vec<bool>,
 }
 
 impl ToggleCoverage {
     /// Instruments `module`.
     pub fn new(module: &Module) -> Self {
-        let watched = module
+        let watched: Vec<(SignalId, u32)> = module
             .signal_ids()
             .filter(|s| Some(*s) != module.clock())
             .flat_map(|s| (0..module.signal_width(s)).map(move |b| (s, b)))
             .collect();
+        let points = watched.len();
         ToggleCoverage {
             watched,
-            rises: HashSet::new(),
-            falls: HashSet::new(),
+            rises: FxSet::default(),
+            falls: FxSet::default(),
             prev: None,
             prev_words: None,
+            cur_words: Vec::new(),
+            rise_hit: vec![false; points],
+            fall_hit: vec![false; points],
         }
     }
 
@@ -316,26 +410,48 @@ impl SimObserver for ToggleCoverage {
 }
 
 impl BatchObserver for ToggleCoverage {
-    fn on_cycle_end(&mut self, cycle: u64, lanes: u64, snap: &LaneSnapshot<'_>) {
+    fn on_cycle_end(&mut self, cycle: u64, lanes: &LaneSet<'_>, snap: &LaneSnapshot<'_>) {
         if cycle == 0 {
             self.prev_words = None;
         }
-        let cur: Vec<u64> = self
-            .watched
-            .iter()
-            .map(|&(sig, bit)| snap.bit_word(sig, bit))
-            .collect();
+        // One word per block word per watched bit, watched-major, into
+        // the reused scratch (no per-cycle allocation).
+        let block = snap.block();
+        self.cur_words.clear();
+        for &(sig, bit) in &self.watched {
+            for j in 0..block {
+                self.cur_words.push(snap.bit_word(sig, bit, j));
+            }
+        }
         if let Some(prev) = &self.prev_words {
             for (i, &pt) in self.watched.iter().enumerate() {
-                if !prev[i] & cur[i] & lanes != 0 {
-                    self.rises.insert(pt);
+                if self.rise_hit[i] && self.fall_hit[i] {
+                    continue;
                 }
-                if prev[i] & !cur[i] & lanes != 0 {
-                    self.falls.insert(pt);
+                for j in 0..block {
+                    let idx = i * block + j;
+                    let (p, c) = (prev[idx], self.cur_words[idx]);
+                    if p == c {
+                        continue;
+                    }
+                    let l = lanes.word(j);
+                    if !self.rise_hit[i] && !p & c & l != 0 {
+                        self.rise_hit[i] = true;
+                        self.rises.insert(pt);
+                    }
+                    if !self.fall_hit[i] && p & !c & l != 0 {
+                        self.fall_hit[i] = true;
+                        self.falls.insert(pt);
+                    }
                 }
             }
         }
-        self.prev_words = Some(cur);
+        // Current words become the previous cycle's, reusing both
+        // buffers.
+        match &mut self.prev_words {
+            Some(prev) => std::mem::swap(prev, &mut self.cur_words),
+            None => self.prev_words = Some(std::mem::take(&mut self.cur_words)),
+        }
     }
 }
 
@@ -343,27 +459,38 @@ impl BatchObserver for ToggleCoverage {
 #[derive(Debug)]
 pub struct FsmCoverage {
     regs: Vec<(SignalId, Vec<Bv>)>,
-    visited: HashMap<SignalId, HashSet<Bv>>,
-    transitions: HashMap<SignalId, HashSet<(Bv, Bv)>>,
+    visited: FxMap<SignalId, FxSet<Bv>>,
+    transitions: FxMap<SignalId, FxSet<(Bv, Bv)>>,
     prev: Option<Vec<Bv>>,
-    /// Previous-cycle per-lane values per FSM register (batch path).
-    prev_lanes: Option<Vec<Vec<Bv>>>,
+    /// Previous-cycle state bits per register, bit-major
+    /// (`bit * block + j`), reused across cycles (batch path).
+    prev_bits: Vec<Vec<u64>>,
+    /// Whether `prev_bits` holds the previous cycle of this run.
+    have_prev: bool,
+    /// The previous cycle's active-lane words (batch path).
+    prev_active: Vec<u64>,
+    /// Reused current-cycle scratch (batch path).
+    cur_bits: Vec<u64>,
 }
 
 impl FsmCoverage {
     /// Instruments the FSM registers declared by `module`.
     pub fn new(module: &Module) -> Self {
-        let regs = module
+        let regs: Vec<(SignalId, Vec<Bv>)> = module
             .fsm_regs()
             .iter()
             .map(|&r| (r, declared_fsm_states(module, r)))
             .collect();
+        let count = regs.len();
         FsmCoverage {
             regs,
-            visited: HashMap::new(),
-            transitions: HashMap::new(),
+            visited: FxMap::default(),
+            transitions: FxMap::default(),
             prev: None,
-            prev_lanes: None,
+            prev_bits: vec![Vec::new(); count],
+            have_prev: false,
+            prev_active: Vec::new(),
+            cur_bits: Vec::new(),
         }
     }
 
@@ -411,32 +538,85 @@ impl SimObserver for FsmCoverage {
 }
 
 impl BatchObserver for FsmCoverage {
-    fn on_cycle_end(&mut self, cycle: u64, lanes: u64, snap: &LaneSnapshot<'_>) {
+    fn on_cycle_end(&mut self, cycle: u64, lanes: &LaneSet<'_>, snap: &LaneSnapshot<'_>) {
         if cycle == 0 {
-            self.prev_lanes = None;
+            self.have_prev = false;
         }
         if self.regs.is_empty() {
             return;
         }
-        let mut cur_all = Vec::with_capacity(self.regs.len());
-        for (ri, (reg, _)) in self.regs.iter().enumerate() {
-            let cur: Vec<Bv> = (0..snap.lane_count())
-                .map(|k| snap.value(*reg, k))
-                .collect();
-            for (k, &v) in cur.iter().enumerate() {
-                if lanes >> k & 1 == 1 {
-                    self.visited.entry(*reg).or_default().insert(v);
-                    if let Some(prev) = &self.prev_lanes {
-                        let old = prev[ri][k];
-                        if old != v {
-                            self.transitions.entry(*reg).or_default().insert((old, v));
+        // A lane's state only needs recording when it *changes* (an
+        // unchanged active lane recorded the same value last cycle —
+        // lane activity is monotone within a run) or when the lane is
+        // newly observed (first cycle, or newly active). Change shows
+        // up as a word-level XOR across the state's bit slices, so the
+        // common all-lanes-idle cycle costs a few word ops per
+        // register instead of a per-lane value gather + set insert.
+        let block = snap.block();
+        let FsmCoverage {
+            regs,
+            visited,
+            transitions,
+            prev_bits,
+            have_prev,
+            prev_active,
+            cur_bits,
+            ..
+        } = self;
+        for (ri, (reg, _)) in regs.iter().enumerate() {
+            let w = snap.width(*reg) as usize;
+            cur_bits.clear();
+            for i in 0..w {
+                for j in 0..block {
+                    cur_bits.push(snap.bit_word(*reg, i as u32, j));
+                }
+            }
+            let prev = &prev_bits[ri];
+            for j in 0..block {
+                let active = lanes.word(j);
+                if active == 0 {
+                    continue;
+                }
+                // Lanes to record, and the subset with a valid
+                // previous value (transition candidates).
+                let (mut record, seen_before) = if *have_prev {
+                    let mut changed = 0u64;
+                    for i in 0..w {
+                        changed |= prev[i * block + j] ^ cur_bits[i * block + j];
+                    }
+                    let newly = active & !prev_active.get(j).copied().unwrap_or(0);
+                    ((changed & active) | newly, active & !newly)
+                } else {
+                    (active, 0)
+                };
+                while record != 0 {
+                    let k = record.trailing_zeros();
+                    record &= record - 1;
+                    let mut v = 0u64;
+                    for i in 0..w {
+                        v |= ((cur_bits[i * block + j] >> k) & 1) << i;
+                    }
+                    let v = Bv::new(v, w as u32);
+                    visited.entry(*reg).or_default().insert(v);
+                    if seen_before >> k & 1 != 0 {
+                        let mut o = 0u64;
+                        for i in 0..w {
+                            o |= ((prev[i * block + j] >> k) & 1) << i;
+                        }
+                        let o = Bv::new(o, w as u32);
+                        if o != v {
+                            transitions.entry(*reg).or_default().insert((o, v));
                         }
                     }
                 }
             }
-            cur_all.push(cur);
+            // Current bits become the previous cycle's, reusing both
+            // buffers.
+            std::mem::swap(&mut prev_bits[ri], cur_bits);
         }
-        self.prev_lanes = Some(cur_all);
+        prev_active.clear();
+        prev_active.extend((0..block).map(|j| lanes.word(j)));
+        self.have_prev = true;
     }
 }
 
@@ -538,10 +718,10 @@ impl SimObserver for CoverageSuite<'_> {
 /// backend's executors and the resulting ratios and uncovered sets are
 /// identical to an interpreter run over the same stimulus.
 impl BatchObserver for CoverageSuite<'_> {
-    fn on_stmt(&mut self, stmt: StmtId, lanes: u64) {
+    fn on_stmt(&mut self, stmt: StmtId, lanes: &LaneSet<'_>) {
         BatchObserver::on_stmt(&mut self.line, stmt, lanes);
     }
-    fn on_branch(&mut self, stmt: StmtId, outcome: BranchOutcome, lanes: u64) {
+    fn on_branch(&mut self, stmt: StmtId, outcome: BranchOutcome, lanes: &LaneSet<'_>) {
         BatchObserver::on_branch(&mut self.branch, stmt, outcome, lanes);
     }
     fn on_bool_node(&mut self, stmt: StmtId, role: ExprRole, node: u32, values: u64, lanes: u64) {
@@ -549,7 +729,11 @@ impl BatchObserver for CoverageSuite<'_> {
         self.expression
             .on_bool_node(stmt, role, node, values, lanes);
     }
-    fn on_cycle_end(&mut self, cycle: u64, lanes: u64, snap: &LaneSnapshot<'_>) {
+    fn drain_probes(&mut self, hits: &ProbeHits<'_>) {
+        self.condition.drain_probes(hits);
+        self.expression.drain_probes(hits);
+    }
+    fn on_cycle_end(&mut self, cycle: u64, lanes: &LaneSet<'_>, snap: &LaneSnapshot<'_>) {
         BatchObserver::on_cycle_end(&mut self.toggle, cycle, lanes, snap);
         BatchObserver::on_cycle_end(&mut self.fsm, cycle, lanes, snap);
     }

@@ -2,7 +2,9 @@
 
 use crate::features::MiningSpec;
 use gm_rtl::Module;
-use gm_sim::{CompiledModule, NopBatchObserver, NopObserver, SimBackend, TestSuite, Trace};
+use gm_sim::{
+    CompileOptions, CompiledModule, NopBatchObserver, NopObserver, SimBackend, TestSuite, Trace,
+};
 
 /// One training example: feature values (aligned with
 /// [`MiningSpec::features`]) and the target value.
@@ -115,16 +117,26 @@ impl Dataset {
         let traces = match backend {
             SimBackend::Interpreter => suite.run(module, &mut NopObserver)?,
             SimBackend::CompiledScalar => {
-                let compiled = CompiledModule::compile(module)?;
+                // No coverage is attached here, so compile the tape
+                // probe-free: feature extraction pays nothing for
+                // observation.
+                let compiled =
+                    CompiledModule::compile_with(module, CompileOptions { probes: false })?;
                 suite
                     .segments()
                     .iter()
                     .map(|seg| compiled.run_segment(module, &seg.vectors, &mut NopBatchObserver))
                     .collect()
             }
-            SimBackend::CompiledBatch => {
-                let compiled = CompiledModule::compile(module)?;
-                suite.run_compiled(module, &compiled, &mut NopBatchObserver)
+            SimBackend::CompiledBatch | SimBackend::CompiledBatchWide(_) => {
+                let compiled =
+                    CompiledModule::compile_with(module, CompileOptions { probes: false })?;
+                suite.run_compiled(
+                    module,
+                    &compiled,
+                    &mut NopBatchObserver,
+                    backend.lane_block(),
+                )
             }
         };
         Ok(self.add_traces(spec, &traces))

@@ -20,7 +20,8 @@ use crate::json::{self, Json};
 use gm_mc::Backend;
 use gm_rtl::Module;
 use goldmine::{
-    EngineConfig, SeedStimulus, ShardPolicy, StealPolicy, TargetSelection, UnknownPolicy,
+    EngineConfig, SeedStimulus, ShardPolicy, SimBackend, StealPolicy, TargetSelection,
+    UnknownPolicy, MAX_LANE_BLOCK,
 };
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
@@ -116,6 +117,28 @@ pub struct WireConfig {
     pub racing: bool,
     /// Record per-iteration coverage.
     pub record_coverage: bool,
+    /// Simulation backend: `"interpreter"`, `"scalar"`, `"batch"`, or
+    /// `("wide", W)`. Absent on the wire = the default (64-lane
+    /// compiled batch) — older clients keep working unchanged. Every
+    /// backend yields a byte-identical outcome (`sim/compiled_agree`);
+    /// the knob only trades throughput.
+    pub sim_backend: WireSimBackend,
+}
+
+/// Wire form of [`SimBackend`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireSimBackend {
+    /// The reference event-driven interpreter.
+    Interpreter,
+    /// The compiled tape, one lane at a time.
+    CompiledScalar,
+    /// The compiled tape, 64 lanes per pass (the default).
+    #[default]
+    CompiledBatch,
+    /// The compiled tape with a lane block of `W` words — `64 * W`
+    /// stimulus vectors per pass. `W` must be in
+    /// `1..=`[`MAX_LANE_BLOCK`].
+    CompiledBatchWide(u8),
 }
 
 /// Wire form of [`Backend`].
@@ -186,6 +209,16 @@ impl WireConfig {
             steal: config.steal == StealPolicy::Stealing,
             racing: config.racing,
             record_coverage: config.record_coverage,
+            sim_backend: match config.sim_backend {
+                SimBackend::Interpreter => WireSimBackend::Interpreter,
+                SimBackend::CompiledScalar => WireSimBackend::CompiledScalar,
+                SimBackend::CompiledBatch => WireSimBackend::CompiledBatch,
+                // Normalize to the width the executor will actually
+                // use, so the wire form always round-trips.
+                b @ SimBackend::CompiledBatchWide(_) => {
+                    WireSimBackend::CompiledBatchWide(b.lane_block() as u8)
+                }
+            },
         })
     }
 
@@ -248,10 +281,12 @@ impl WireConfig {
             },
             racing: self.racing,
             record_coverage: self.record_coverage,
-            // The simulation backend is not a wire knob: every backend
-            // yields a byte-identical outcome (sim/compiled_agree), so
-            // served and standalone runs both take the default.
-            sim_backend: goldmine::SimBackend::default(),
+            sim_backend: match self.sim_backend {
+                WireSimBackend::Interpreter => SimBackend::Interpreter,
+                WireSimBackend::CompiledScalar => SimBackend::CompiledScalar,
+                WireSimBackend::CompiledBatch => SimBackend::CompiledBatch,
+                WireSimBackend::CompiledBatchWide(w) => SimBackend::CompiledBatchWide(w),
+            },
         })
     }
 
@@ -299,6 +334,17 @@ impl WireConfig {
             ("steal", Json::Bool(self.steal)),
             ("racing", Json::Bool(self.racing)),
             ("record_coverage", Json::Bool(self.record_coverage)),
+            (
+                "sim_backend",
+                match self.sim_backend {
+                    WireSimBackend::Interpreter => Json::Str("interpreter".into()),
+                    WireSimBackend::CompiledScalar => Json::Str("scalar".into()),
+                    WireSimBackend::CompiledBatch => Json::Str("batch".into()),
+                    WireSimBackend::CompiledBatchWide(w) => {
+                        Json::Arr(vec![Json::Str("wide".into()), Json::UInt(w.into())])
+                    }
+                },
+            ),
         ])
     }
 
@@ -344,6 +390,29 @@ impl WireConfig {
             ),
             _ => return Err(ProtocolError("unknown target selection".into())),
         };
+        // Absent (or null) is the pre-wide-lane wire form: default to
+        // the 64-lane compiled batch, as those clients always ran.
+        let sim_backend = match v.get("sim_backend") {
+            None | Some(Json::Null) => WireSimBackend::CompiledBatch,
+            Some(Json::Str(s)) if s == "interpreter" => WireSimBackend::Interpreter,
+            Some(Json::Str(s)) if s == "scalar" => WireSimBackend::CompiledScalar,
+            Some(Json::Str(s)) if s == "batch" => WireSimBackend::CompiledBatch,
+            Some(Json::Arr(items)) => match (
+                items.first().and_then(Json::as_str),
+                items.get(1).and_then(Json::as_u64),
+            ) {
+                (Some("wide"), Some(w)) if (1..=MAX_LANE_BLOCK as u64).contains(&w) => {
+                    WireSimBackend::CompiledBatchWide(w as u8)
+                }
+                (Some("wide"), Some(w)) => {
+                    return Err(ProtocolError(format!(
+                        "wide lane block must be 1..={MAX_LANE_BLOCK}, got {w}"
+                    )))
+                }
+                _ => return Err(ProtocolError("unknown sim backend".into())),
+            },
+            _ => return Err(ProtocolError("unknown sim backend".into())),
+        };
         Ok(WireConfig {
             window: u32_field(v, "window")?,
             seed: u64_field(v, "seed")?,
@@ -370,6 +439,7 @@ impl WireConfig {
             steal: bool_field(v, "steal")?,
             racing: bool_field(v, "racing")?,
             record_coverage: bool_field(v, "record_coverage")?,
+            sim_backend,
         })
     }
 }
@@ -1223,6 +1293,21 @@ mod tests {
             source: "module m(input a, output y);\n  assign y = a;\nendmodule".into(),
             config: WireConfig::default().with_bit_targets(vec![("gnt0".into(), 0)]),
         });
+        for sim_backend in [
+            WireSimBackend::Interpreter,
+            WireSimBackend::CompiledScalar,
+            WireSimBackend::CompiledBatch,
+            WireSimBackend::CompiledBatchWide(4),
+        ] {
+            round_trip_request(Request::Submit {
+                name: "arbiter2".into(),
+                source: "module m(input a, output y); assign y = a; endmodule".into(),
+                config: WireConfig {
+                    sim_backend,
+                    ..WireConfig::default()
+                },
+            });
+        }
         round_trip_request(Request::Status { job: 7 });
         round_trip_request(Request::Progress { job: 7, from: 3 });
         round_trip_request(Request::Wait { job: u64::MAX });
@@ -1339,6 +1424,38 @@ mod tests {
         // Unknown signal names are rejected, not silently dropped.
         let bad = WireConfig::default().with_bit_targets(vec![("nope".into(), 0)]);
         assert!(bad.to_engine(&m).is_err());
+    }
+
+    #[test]
+    fn sim_backend_absent_from_the_wire_defaults_to_batch() {
+        // Pre-wide-lane clients never sent the field; their frames must
+        // keep resolving to the backend they always ran (the default
+        // 64-lane batch), not error out.
+        let mut json = WireConfig::default().to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| k != "sim_backend");
+        }
+        let back = WireConfig::from_json(&json).unwrap();
+        assert_eq!(back.sim_backend, WireSimBackend::CompiledBatch);
+        assert_eq!(back, WireConfig::default());
+        // Out-of-range lane blocks are rejected loudly.
+        let wide = |w: u64| {
+            let mut json = WireConfig::default().to_json();
+            if let Json::Obj(fields) = &mut json {
+                for (k, v) in fields.iter_mut() {
+                    if k == "sim_backend" {
+                        *v = Json::Arr(vec![Json::Str("wide".into()), Json::UInt(w)]);
+                    }
+                }
+            }
+            WireConfig::from_json(&json)
+        };
+        assert_eq!(
+            wide(8).unwrap().sim_backend,
+            WireSimBackend::CompiledBatchWide(8)
+        );
+        assert!(wide(0).is_err());
+        assert!(wide(9).is_err());
     }
 
     #[test]

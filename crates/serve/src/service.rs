@@ -31,7 +31,9 @@ use crate::protocol::{
 use crate::scheduler::{SchedPolicy, StealQueues};
 use gm_mc::{Checker, SessionStats};
 use gm_rtl::{Elab, Module};
-use goldmine::{ClosureOutcome, CompiledModule, Engine, EngineConfig, EngineError, SimBackend};
+use goldmine::{
+    ClosureOutcome, CompileOptions, CompiledModule, Engine, EngineConfig, EngineError, SimBackend,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -348,7 +350,12 @@ impl ClosureService {
                 prebuilt = Some((Arc::new(module), Arc::new(elab)));
                 continue;
             }
-            let checkout = st.cache.checkout(&key, &canonical, || {
+            // Which parked tape this job can use: none for the
+            // interpreter; otherwise one whose probes match the job's
+            // coverage setting (a probed tape also serves probe-free).
+            let want_probes =
+                (config.sim_backend != SimBackend::Interpreter).then_some(config.record_coverage);
+            let checkout = st.cache.checkout(&key, &canonical, want_probes, || {
                 Ok::<_, ServeError>(prebuilt.take().expect("artifacts prebuilt on miss"))
             })?;
             let (module, elab, checker, compiled, cached) = (
@@ -723,7 +730,13 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
         None
     } else {
         Some(compiled.unwrap_or_else(|| {
-            let c = Arc::new(CompiledModule::with_elab(&module, &elab));
+            // Compile with the probes this job needs: a coverage run
+            // gets a probed tape, a trace-only run a leaner probe-free
+            // one. The cache slots the parked tape by these options.
+            let opts = CompileOptions {
+                probes: config.record_coverage,
+            };
+            let c = Arc::new(CompiledModule::with_elab_opts(&module, &elab, opts));
             built_compiled = Some(c.clone());
             c
         }))

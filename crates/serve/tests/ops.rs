@@ -141,14 +141,25 @@ fn byte_budget_evicts_lru_first_and_never_exceeds_budget() {
     // Room for two resident sources but never three.
     let budget = canon(A).len() + canon(B).len() + canon(C).len() - 1;
     let mut cache = DesignCache::with_max_bytes(8, budget);
-    cache.checkout("a", &canon(A), build(A)).unwrap();
-    cache.checkout("b", &canon(B), build(B)).unwrap();
+    cache
+        .checkout("a", &canon(A), Some(true), build(A))
+        .unwrap();
+    cache
+        .checkout("b", &canon(B), Some(true), build(B))
+        .unwrap();
     assert!(cache.stats().approx_bytes <= budget);
     assert_eq!(cache.stats().evictions_bytes, 0);
 
     // Touch A so B is the LRU victim when C overflows the budget.
-    assert!(cache.checkout("a", &canon(A), build(A)).unwrap().hit);
-    cache.checkout("c", &canon(C), build(C)).unwrap();
+    assert!(
+        cache
+            .checkout("a", &canon(A), Some(true), build(A))
+            .unwrap()
+            .hit
+    );
+    cache
+        .checkout("c", &canon(C), Some(true), build(C))
+        .unwrap();
     let stats = cache.stats();
     assert!(stats.approx_bytes <= budget, "budget violated after insert");
     assert_eq!(stats.evictions_bytes, 1);
@@ -157,8 +168,15 @@ fn byte_budget_evicts_lru_first_and_never_exceeds_budget() {
     assert!(cache.matches("c", &canon(C)));
 
     // Touch C so A is next out when D arrives.
-    assert!(cache.checkout("c", &canon(C), build(C)).unwrap().hit);
-    cache.checkout("d", &canon(D), build(D)).unwrap();
+    assert!(
+        cache
+            .checkout("c", &canon(C), Some(true), build(C))
+            .unwrap()
+            .hit
+    );
+    cache
+        .checkout("d", &canon(D), Some(true), build(D))
+        .unwrap();
     assert!(!cache.matches("a", &canon(A)), "victim order follows LRU");
     assert!(cache.matches("c", &canon(C)));
     assert!(cache.matches("d", &canon(D)));
@@ -183,7 +201,9 @@ fn byte_budget_evicts_lru_first_and_never_exceeds_budget() {
     assert!(parked.approx_bytes() > 0, "warm checkers account bytes");
     let sole_budget = canon(A).len() + parked.approx_bytes() - 1;
     let mut small = DesignCache::with_max_bytes(8, sole_budget);
-    small.checkout("a", &canon(A), build(A)).unwrap();
+    small
+        .checkout("a", &canon(A), Some(true), build(A))
+        .unwrap();
     small.park("a", &canon(A), parked);
     assert!(
         small.stats().approx_bytes <= sole_budget,
@@ -193,7 +213,9 @@ fn byte_budget_evicts_lru_first_and_never_exceeds_budget() {
         small.matches("a", &canon(A)),
         "the design itself stays resident"
     );
-    let warm = small.checkout("a", &canon(A), build(A)).unwrap();
+    let warm = small
+        .checkout("a", &canon(A), Some(true), build(A))
+        .unwrap();
     assert!(warm.hit && warm.checker.is_none());
 }
 

@@ -26,37 +26,47 @@
 //! destination under the mask. This makes the tape straight-line — the
 //! prerequisite for running many stimulus vectors per pass.
 //!
-//! # Lane encoding (64-way bit parallelism)
+//! # Lane encoding (bit parallelism in blocks of W words)
 //!
 //! The same tape runs in two modes:
 //!
 //! * [`ScalarSim`] — one register = one `u64` value, one stimulus
 //!   vector per pass. Word-level arithmetic, fastest for single
 //!   segments (counterexample replay).
-//! * [`BatchSim`] — one register of width *w* = *w* words, where **bit
-//!   `k` of every word carries stimulus vector (lane) `k`**. Bitwise
-//!   ops are lane-parallel for free; arithmetic ripples carries across
-//!   the bit-sliced words; predication masks become per-lane words. One
-//!   tape execution simulates up to 64 independent reset-rooted
-//!   segments simultaneously.
+//! * [`BatchSim<W>`] — one register bit = a *lane block* of `W` words
+//!   (`W` ∈ {1, 2, 4, 8}), where **bit `k` of block word `j` carries
+//!   stimulus vector (lane) `j*64 + k`**. Bitwise ops are lane-parallel
+//!   for free; arithmetic ripples carries across the bit-sliced words;
+//!   predication masks become per-lane words. One tape execution
+//!   simulates up to `64·W` independent reset-rooted segments
+//!   simultaneously, and the per-instruction inner loops unroll over
+//!   the block so tape dispatch amortizes across `W` words. Ragged
+//!   segment tails keep the active-lane-mask treatment at every
+//!   64-lane boundary of the block.
 //!
 //! Observation happens through [`BatchObserver`]: statement/branch
-//! events carry a per-lane hit word, boolean-node probes (compiled in
-//! for every width-1 non-constant subexpression of watched expressions,
-//! in the same pre-order the coverage collectors enumerate) carry the
-//! node's per-lane value, and cycle boundaries expose a
-//! [`LaneSnapshot`] for toggle/FSM/trace consumers. The scalar executor
-//! reports through the same trait with a single active lane, so one
-//! collector implementation serves both modes.
+//! events carry a per-lane-block hit set ([`LaneSet`]), and cycle
+//! boundaries expose a [`LaneSnapshot`] for toggle/FSM/trace consumers.
+//! Boolean-node probes (compiled in for every width-1 non-constant
+//! subexpression of watched expressions, in the same pre-order the
+//! coverage collectors enumerate) are *fused* into the tape: the batch
+//! executors OR-accumulate per-probe hit words inline (one true word
+//! and one false word per probe per block word, no dynamic dispatch)
+//! and collectors drain them in bulk through
+//! [`BatchObserver::drain_probes`]. The scalar executor reports probes
+//! through [`BatchObserver::on_bool_node`] with a single active lane.
+//! Callers that attach no observer at all can compile a probe-free
+//! tape ([`CompileOptions`] with `probes: false`) that executes no
+//! observation instructions whatsoever.
 //!
 //! # When the interpreter is still used
 //!
 //! The interpreter remains the reference semantics and the differential
 //! oracle: `sim/compiled_agree` proves trace- and coverage-identity on
-//! the whole design catalog plus randomized modules. Callers pick an
-//! engine via [`SimBackend`]; the interpreter is also what observer
-//! code using the borrowing [`crate::SimObserver`] API keeps running
-//! on.
+//! the whole design catalog plus randomized modules, for every
+//! supported lane-block width. Callers pick an engine via
+//! [`SimBackend`]; the interpreter is also what observer code using the
+//! borrowing [`crate::SimObserver`] API keeps running on.
 
 use crate::sim::{BranchOutcome, ExprRole};
 use crate::stim::InputVector;
@@ -66,6 +76,9 @@ use gm_rtl::{
     elaborate, BinaryOp, Bv, Elab, Expr, Module, Result, SignalId, Stmt, StmtId, StmtKind, UnaryOp,
 };
 use std::collections::HashMap;
+
+/// The widest supported lane block, in 64-lane words (512 lanes).
+pub const MAX_LANE_BLOCK: usize = 8;
 
 /// Which simulation engine executes stimulus.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -80,23 +93,168 @@ pub enum SimBackend {
     /// simulates up to 64 segments. The default.
     #[default]
     CompiledBatch,
+    /// The compiled tape over a lane block of `W` words: up to `64·W`
+    /// stimulus vectors per pass. The width is normalized to the
+    /// nearest supported block (1, 2, 4 or 8 words → 64–512 lanes);
+    /// `CompiledBatchWide(1)` is exactly [`SimBackend::CompiledBatch`].
+    CompiledBatchWide(u8),
+}
+
+impl SimBackend {
+    /// Words per lane block for the batch executors — 1, 2, 4 or 8,
+    /// rounding an unsupported requested width up to the next
+    /// supported one (capped at [`MAX_LANE_BLOCK`]). Non-batch
+    /// backends run one vector at a time and report 1.
+    pub fn lane_block(&self) -> usize {
+        match self {
+            SimBackend::CompiledBatchWide(w) => match w {
+                0 | 1 => 1,
+                2 => 2,
+                3 | 4 => 4,
+                _ => MAX_LANE_BLOCK,
+            },
+            _ => 1,
+        }
+    }
+
+    /// Stimulus vectors simulated per pass: `64·lane_block` for the
+    /// batch executors, 1 otherwise.
+    pub fn lanes(&self) -> usize {
+        match self {
+            SimBackend::Interpreter | SimBackend::CompiledScalar => 1,
+            SimBackend::CompiledBatch | SimBackend::CompiledBatchWide(_) => 64 * self.lane_block(),
+        }
+    }
+}
+
+/// What gets compiled into a tape beyond the design logic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CompileOptions {
+    /// Compile observation instructions — statement/branch events and
+    /// the fused boolean-node probes — into the tapes. With `false`
+    /// the tape carries no observation work at all (and an empty probe
+    /// table): the fast shape for trace-only callers such as
+    /// counterexample replay, seed-trace generation and mining-feature
+    /// extraction, which attach no coverage collector.
+    pub probes: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions { probes: true }
+    }
+}
+
+/// The set of lanes an observation event fired in: one `u64` per block
+/// word, bit `k` of word `j` = lane `j*64 + k`. The scalar executor
+/// reports a single word with only bit 0 meaningful.
+#[derive(Clone, Copy, Debug)]
+pub struct LaneSet<'a>(&'a [u64]);
+
+impl<'a> LaneSet<'a> {
+    /// Wraps per-word lane hit masks.
+    pub fn new(words: &'a [u64]) -> Self {
+        LaneSet(words)
+    }
+
+    /// The raw per-word hit masks (block-sized).
+    pub fn words(&self) -> &'a [u64] {
+        self.0
+    }
+
+    /// Hit mask of block word `j` (0 beyond the block).
+    #[inline]
+    pub fn word(&self, j: usize) -> u64 {
+        self.0.get(j).copied().unwrap_or(0)
+    }
+
+    /// Whether any lane is in the set.
+    pub fn any(&self) -> bool {
+        self.0.iter().any(|&w| w != 0)
+    }
+
+    /// Whether lane `lane` is in the set.
+    #[inline]
+    pub fn contains(&self, lane: u32) -> bool {
+        self.word(lane as usize / 64) >> (lane % 64) & 1 == 1
+    }
+
+    /// Total lanes addressed by the set (64 per block word).
+    pub fn lane_count(&self) -> u32 {
+        (self.0.len() * 64) as u32
+    }
+}
+
+/// A bulk view of the fused boolean-node probe hits accumulated by a
+/// batch executor: which probes saw a true value and which saw a false
+/// value in any active lane since the executor was created. Drained
+/// through [`BatchObserver::drain_probes`].
+#[derive(Debug)]
+pub struct ProbeHits<'a> {
+    probes: &'a [(StmtId, ExprRole, u32)],
+    any_true: &'a [u64],
+    any_false: &'a [u64],
+    block: usize,
+}
+
+impl ProbeHits<'_> {
+    /// The number of probes in the tape.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// Whether the tape has no probes.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Calls `f(stmt, role, node, any_true, any_false)` for every probe
+    /// that fired at least once with either polarity. `node` is the
+    /// pre-order boolean-node index within the watched expression — the
+    /// same enumeration [`BatchObserver::on_bool_node`] reports.
+    pub fn for_each(&self, mut f: impl FnMut(StmtId, ExprRole, u32, bool, bool)) {
+        for (p, &(stmt, role, node)) in self.probes.iter().enumerate() {
+            let words = p * self.block;
+            let t = self.any_true[words..words + self.block]
+                .iter()
+                .any(|&w| w != 0);
+            let fa = self.any_false[words..words + self.block]
+                .iter()
+                .any(|&w| w != 0);
+            if t || fa {
+                f(stmt, role, node, t, fa);
+            }
+        }
+    }
 }
 
 /// Observation hooks for compiled simulation, lane-parallel.
 ///
-/// `lanes` words carry one stimulus vector per bit; the scalar executor
-/// reports with `lanes == 1` (lane 0 only). Events with an empty lane
-/// set are not delivered, mirroring the interpreter (statements in
-/// untaken branches produce no events).
+/// Statement/branch/cycle events carry a [`LaneSet`] (one stimulus
+/// vector per bit of each block word); the scalar executor reports
+/// single-word sets with lane 0 only. Events with an empty lane set
+/// are not delivered, mirroring the interpreter (statements in untaken
+/// branches produce no events).
+///
+/// Boolean-node probes arrive differently per executor: the scalar
+/// executor dispatches [`BatchObserver::on_bool_node`] per probe
+/// instruction, while the batch executors accumulate fused per-probe
+/// hit words inline and deliver them in bulk through
+/// [`BatchObserver::drain_probes`] — at least once per completed pass,
+/// possibly batching many cycles into one drain. Probe polarity is
+/// monotone (a node that was ever true in an active lane stays
+/// "seen true"), so a batched drain is observationally identical to a
+/// per-cycle one, and repeated drains are idempotent.
 pub trait BatchObserver {
     /// A statement executed in the given lanes.
-    fn on_stmt(&mut self, _stmt: StmtId, _lanes: u64) {}
+    fn on_stmt(&mut self, _stmt: StmtId, _lanes: &LaneSet<'_>) {}
     /// A control statement resolved to `outcome` in the given lanes.
-    fn on_branch(&mut self, _stmt: StmtId, _outcome: BranchOutcome, _lanes: u64) {}
+    fn on_branch(&mut self, _stmt: StmtId, _outcome: BranchOutcome, _lanes: &LaneSet<'_>) {}
     /// Boolean node `node` (pre-order index among the width-1
     /// non-constant subexpressions of the watched expression, the same
     /// enumeration coverage uses) evaluated to `values` (per lane) in
-    /// the given lanes.
+    /// the given lanes. Scalar executor only; the batch executors
+    /// deliver probes through [`BatchObserver::drain_probes`].
     fn on_bool_node(
         &mut self,
         _stmt: StmtId,
@@ -106,9 +264,12 @@ pub trait BatchObserver {
         _lanes: u64,
     ) {
     }
+    /// Fused probe hits accumulated by a batch executor, drained in
+    /// bulk (see the trait docs for delivery granularity).
+    fn drain_probes(&mut self, _hits: &ProbeHits<'_>) {}
     /// A cycle finished settling in the given lanes; `snap` is the
     /// settled pre-edge snapshot of every signal.
-    fn on_cycle_end(&mut self, _cycle: u64, _lanes: u64, _snap: &LaneSnapshot<'_>) {}
+    fn on_cycle_end(&mut self, _cycle: u64, _lanes: &LaneSet<'_>, _snap: &LaneSnapshot<'_>) {}
 }
 
 /// A [`BatchObserver`] that ignores every event.
@@ -286,9 +447,11 @@ pub struct CompiledModule {
     seq: Vec<Inst>,
     /// Width of each register.
     widths: Vec<u32>,
-    /// Per-register word offset for the 64-lane arena.
+    /// Per-register bit offset for the bit-sliced arena (one lane-block
+    /// of words per bit).
     base: Vec<u32>,
-    /// Total bit-sliced words in the 64-lane arena.
+    /// Total bit rows in the bit-sliced arena (× block words = arena
+    /// size).
     words_total: usize,
     /// Number of signals (registers `0..n` mirror the signal table).
     n_signals: usize,
@@ -300,6 +463,9 @@ pub struct CompiledModule {
     const_inits: Vec<(Reg, u64)>,
     /// Probe table: `ObsBool` indices resolve to `(stmt, role, node)`.
     probes: Vec<(StmtId, ExprRole, u32)>,
+    /// What this tape was compiled with (probe-free tapes must not be
+    /// handed to coverage-observing callers).
+    options: CompileOptions,
     /// The designated reset input, for the suite reset protocol.
     reset: Option<SignalId>,
     /// Data inputs (cleared during the reset pulse).
@@ -307,19 +473,37 @@ pub struct CompiledModule {
 }
 
 impl CompiledModule {
-    /// Elaborates `module` and lowers it to tapes.
+    /// Elaborates `module` and lowers it to tapes with default options
+    /// (probes compiled in).
     ///
     /// # Errors
     ///
     /// Propagates elaboration errors (see [`gm_rtl::elaborate`]).
     pub fn compile(module: &Module) -> Result<Self> {
-        let elab = elaborate(module)?;
-        Ok(Self::with_elab(module, &elab))
+        Self::compile_with(module, CompileOptions::default())
     }
 
-    /// Lowers an already elaborated module to tapes.
+    /// Elaborates `module` and lowers it to tapes with the given
+    /// options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration errors (see [`gm_rtl::elaborate`]).
+    pub fn compile_with(module: &Module, options: CompileOptions) -> Result<Self> {
+        let elab = elaborate(module)?;
+        Ok(Self::with_elab_opts(module, &elab, options))
+    }
+
+    /// Lowers an already elaborated module to tapes with default
+    /// options.
     pub fn with_elab(module: &Module, elab: &Elab) -> Self {
-        Compiler::lower(module, elab)
+        Self::with_elab_opts(module, elab, CompileOptions::default())
+    }
+
+    /// Lowers an already elaborated module to tapes with the given
+    /// options.
+    pub fn with_elab_opts(module: &Module, elab: &Elab, options: CompileOptions) -> Self {
+        Compiler::lower(module, elab, options)
     }
 
     /// Total instruction count across both tapes.
@@ -337,9 +521,26 @@ impl CompiledModule {
         self.probes.len()
     }
 
-    /// Approximate resident size of the compiled tapes and tables — the
+    /// The options this tape was compiled with.
+    pub fn options(&self) -> CompileOptions {
+        self.options
+    }
+
+    /// Whether observation instructions (and the probe table) were
+    /// compiled in.
+    pub fn has_probes(&self) -> bool {
+        self.options.probes
+    }
+
+    /// Approximate resident size of the compiled module — the
     /// accounting input for a design cache that parks compiled modules
     /// alongside checkers (an estimate, not an allocator figure).
+    ///
+    /// Beyond the tapes and tables this includes the per-executor
+    /// arenas a parked tape feeds — the bit-sliced register file and
+    /// the fused probe-hit buffers — sized at the widest supported
+    /// lane block ([`MAX_LANE_BLOCK`]), so a byte-budgeted cache stays
+    /// honest no matter which `W` a checkout later runs at.
     pub fn approx_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
             + self.tape_len() * std::mem::size_of::<Inst>()
@@ -349,6 +550,11 @@ impl CompiledModule {
             + self.const_inits.len() * std::mem::size_of::<(Reg, u64)>()
             + self.probes.len() * std::mem::size_of::<(StmtId, ExprRole, u32)>()
             + self.data_inputs.len() * std::mem::size_of::<SignalId>()
+            // Widest-case executor arena: words_total bit rows × W words.
+            + self.words_total * MAX_LANE_BLOCK * std::mem::size_of::<u64>()
+            // Fused probe-hit buffers (true + false word per probe per
+            // block word).
+            + self.probes.len() * 2 * MAX_LANE_BLOCK * std::mem::size_of::<u64>()
     }
 
     /// Runs one reset-rooted stimulus segment on a fresh scalar
@@ -367,18 +573,21 @@ impl CompiledModule {
             sim.set_inputs(vec);
             sim.settle_observed(obs);
             let snap = sim.snapshot();
-            obs.on_cycle_end(sim.cycle(), 1, &snap);
+            obs.on_cycle_end(sim.cycle(), &LaneSet::new(&[1]), &snap);
             trace.push_row_raw(snap.row(0));
             sim.clock_edge(obs);
         }
         trace
     }
 
-    /// Runs `segments` through the 64-lane executor, `collect_traces`
+    /// Runs `segments` through a batch executor with a lane block of
+    /// `block` words (`64·block` lanes per pass), `collect_traces`
     /// deciding whether per-lane traces are materialized (coverage-only
     /// callers skip the transpose). Segments are dealt onto lanes in
-    /// chunks of 64; each chunk starts from reset, so lane `k` replays
-    /// segment `chunk*64 + k` exactly as a scalar run would.
+    /// chunks of `64·block`; each chunk starts from reset, so lane `k`
+    /// replays segment `chunk·64·block + k` exactly as a scalar run
+    /// would. `block` is normalized to the nearest supported width
+    /// (1, 2, 4, 8).
     ///
     /// The cooperative `cancel` token is polled once per simulated cycle
     /// of every chunk; a raised token returns `None` — no partial traces
@@ -392,6 +601,23 @@ impl CompiledModule {
         obs: &mut dyn BatchObserver,
         collect_traces: bool,
         cancel: Option<&std::sync::atomic::AtomicBool>,
+        block: usize,
+    ) -> Option<Vec<Trace>> {
+        match block {
+            0 | 1 => self.run_segments_blocked::<1>(module, segments, obs, collect_traces, cancel),
+            2 => self.run_segments_blocked::<2>(module, segments, obs, collect_traces, cancel),
+            3 | 4 => self.run_segments_blocked::<4>(module, segments, obs, collect_traces, cancel),
+            _ => self.run_segments_blocked::<8>(module, segments, obs, collect_traces, cancel),
+        }
+    }
+
+    fn run_segments_blocked<const W: usize>(
+        &self,
+        module: &Module,
+        segments: &[Segment],
+        obs: &mut dyn BatchObserver,
+        collect_traces: bool,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
     ) -> Option<Vec<Trace>> {
         let cancelled = || cancel.is_some_and(|c| c.load(std::sync::atomic::Ordering::Acquire));
         let mut traces: Vec<Trace> = if collect_traces {
@@ -399,42 +625,53 @@ impl CompiledModule {
         } else {
             Vec::new()
         };
-        for (chunk_idx, chunk) in segments.chunks(64).enumerate() {
-            let mut sim = BatchSim::new(self);
-            let full: u64 = if chunk.len() == 64 {
-                u64::MAX
-            } else {
-                (1u64 << chunk.len()) - 1
-            };
-            sim.apply_reset(full, obs);
+        let lanes = 64 * W;
+        for (chunk_idx, chunk) in segments.chunks(lanes).enumerate() {
+            let mut sim = BatchSim::<W>::new(self);
+            let mut full = [0u64; W];
+            for (j, word) in full.iter_mut().enumerate() {
+                *word = ones_mask(chunk.len().saturating_sub(j * 64).min(64));
+            }
+            sim.apply_reset(&full, obs);
             let max_len = chunk.iter().map(|s| s.vectors.len()).max().unwrap_or(0);
             for t in 0..max_len {
                 if cancelled() {
                     return None;
                 }
-                let mut active = 0u64;
+                let mut active = [0u64; W];
                 for (k, seg) in chunk.iter().enumerate() {
                     if t < seg.vectors.len() {
-                        active |= 1u64 << k;
+                        active[k / 64] |= 1u64 << (k % 64);
                         for (sig, v) in &seg.vectors[t] {
                             sim.set_input_lane(k as u32, *sig, *v);
                         }
                     }
                 }
-                sim.settle(active, Some(obs));
+                sim.settle(&active, Some(obs));
                 let snap = sim.snapshot();
-                obs.on_cycle_end(sim.cycle(), active, &snap);
+                obs.on_cycle_end(sim.cycle(), &LaneSet::new(&active), &snap);
                 if collect_traces {
                     for k in 0..chunk.len() {
-                        if active >> k & 1 == 1 {
-                            traces[chunk_idx * 64 + k].push_row_raw(snap.row(k as u32));
+                        if active[k / 64] >> (k % 64) & 1 == 1 {
+                            traces[chunk_idx * lanes + k].push_row_raw(snap.row(k as u32));
                         }
                     }
                 }
-                sim.clock_edge(active, Some(obs));
+                sim.clock_edge(&active, Some(obs));
             }
+            sim.drain_probes_to(obs);
         }
         Some(traces)
+    }
+}
+
+/// The low `n` bits set (`n` ≤ 64).
+#[inline]
+fn ones_mask(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
     }
 }
 
@@ -457,10 +694,11 @@ struct Compiler<'m> {
     tape: Vec<Inst>,
     next_of: Vec<Option<Reg>>,
     in_seq: bool,
+    options: CompileOptions,
 }
 
 impl<'m> Compiler<'m> {
-    fn lower(module: &'m Module, elab: &Elab) -> CompiledModule {
+    fn lower(module: &'m Module, elab: &Elab, options: CompileOptions) -> CompiledModule {
         let n = module.signals().len();
         let mut c = Compiler {
             module,
@@ -471,6 +709,7 @@ impl<'m> Compiler<'m> {
             tape: Vec::new(),
             next_of: vec![None; n],
             in_seq: false,
+            options,
         };
         let mut state_pairs = Vec::new();
         for sig in elab.state_signals() {
@@ -509,6 +748,7 @@ impl<'m> Compiler<'m> {
             state_pairs,
             const_inits: c.const_inits,
             probes: c.probes,
+            options,
             reset: module.reset(),
             data_inputs: module.data_inputs(),
             widths: c.widths,
@@ -580,12 +820,16 @@ impl<'m> Compiler<'m> {
     }
 
     fn compile_watched(&mut self, e: &Expr, stmt: StmtId, role: ExprRole, mask: Reg) -> Reg {
-        let mut probe = Some(ProbeCtx {
-            stmt,
-            role,
-            mask,
-            next: 0,
-        });
+        let mut probe = if self.options.probes {
+            Some(ProbeCtx {
+                stmt,
+                role,
+                mask,
+                next: 0,
+            })
+        } else {
+            None
+        };
         self.compile_expr(e, &mut probe)
     }
 
@@ -749,10 +993,12 @@ impl<'m> Compiler<'m> {
     }
 
     fn compile_stmt(&mut self, stmt: &Stmt, mask: Reg) {
-        self.emit(Inst::ObsStmt {
-            stmt: stmt.id,
-            mask,
-        });
+        if self.options.probes {
+            self.emit(Inst::ObsStmt {
+                stmt: stmt.id,
+                mask,
+            });
+        }
         match &stmt.kind {
             StmtKind::Assign { lhs, rhs } => {
                 let r = self.compile_watched(rhs, stmt.id, ExprRole::AssignRhs, mask);
@@ -774,16 +1020,18 @@ impl<'m> Compiler<'m> {
                 let taken = self.truthy(rc);
                 let then_mask = self.and1(mask, taken);
                 let else_mask = self.andnot1(mask, taken);
-                self.emit(Inst::ObsBranch {
-                    stmt: stmt.id,
-                    outcome: BranchOutcome::Then,
-                    mask: then_mask,
-                });
-                self.emit(Inst::ObsBranch {
-                    stmt: stmt.id,
-                    outcome: BranchOutcome::Else,
-                    mask: else_mask,
-                });
+                if self.options.probes {
+                    self.emit(Inst::ObsBranch {
+                        stmt: stmt.id,
+                        outcome: BranchOutcome::Then,
+                        mask: then_mask,
+                    });
+                    self.emit(Inst::ObsBranch {
+                        stmt: stmt.id,
+                        outcome: BranchOutcome::Else,
+                        mask: else_mask,
+                    });
+                }
                 for s in then_body {
                     self.compile_stmt(s, then_mask);
                 }
@@ -826,11 +1074,13 @@ impl<'m> Compiler<'m> {
                         None => hit,
                         Some(m) => self.or1(m, hit),
                     });
-                    self.emit(Inst::ObsBranch {
-                        stmt: stmt.id,
-                        outcome: BranchOutcome::Arm(i as u32),
-                        mask: take,
-                    });
+                    if self.options.probes {
+                        self.emit(Inst::ObsBranch {
+                            stmt: stmt.id,
+                            outcome: BranchOutcome::Arm(i as u32),
+                            mask: take,
+                        });
+                    }
                     for s in &arm.body {
                         self.compile_stmt(s, take);
                     }
@@ -839,11 +1089,13 @@ impl<'m> Compiler<'m> {
                     None => mask,
                     Some(m) => self.andnot1(mask, m),
                 };
-                self.emit(Inst::ObsBranch {
-                    stmt: stmt.id,
-                    outcome: BranchOutcome::Default,
-                    mask: def_mask,
-                });
+                if self.options.probes {
+                    self.emit(Inst::ObsBranch {
+                        stmt: stmt.id,
+                        outcome: BranchOutcome::Default,
+                        mask: def_mask,
+                    });
+                }
                 if let Some(d) = default {
                     for s in d {
                         self.compile_stmt(s, def_mask);
@@ -876,9 +1128,13 @@ pub struct LaneSnapshot<'a> {
 enum SnapMode<'a> {
     /// One value word per signal; lane 0 is the only lane.
     Scalar { values: &'a [u64] },
-    /// Bit-sliced arena: `words[base[sig] + bit]` is the lane word of
-    /// one signal bit.
-    Batch { words: &'a [u64], base: &'a [u32] },
+    /// Bit-sliced arena: `words[(base[sig] + bit) * block + j]` is
+    /// block word `j` of one signal bit.
+    Batch {
+        words: &'a [u64],
+        base: &'a [u32],
+        block: usize,
+    },
 }
 
 impl LaneSnapshot<'_> {
@@ -887,13 +1143,22 @@ impl LaneSnapshot<'_> {
         self.widths.len()
     }
 
+    /// Words per lane block: 1 for the scalar executor, the executor's
+    /// `W` for batch snapshots.
+    pub fn block(&self) -> usize {
+        match &self.mode {
+            SnapMode::Scalar { .. } => 1,
+            SnapMode::Batch { block, .. } => *block,
+        }
+    }
+
     /// How many lanes this snapshot carries: 1 for the scalar executor,
-    /// 64 for the batch executor (inactive lanes included — mask with
-    /// the `lanes` word delivered alongside the snapshot).
+    /// `64·block` for a batch executor (inactive lanes included — mask
+    /// with the [`LaneSet`] delivered alongside the snapshot).
     pub fn lane_count(&self) -> u32 {
         match &self.mode {
             SnapMode::Scalar { .. } => 1,
-            SnapMode::Batch { .. } => 64,
+            SnapMode::Batch { block, .. } => (64 * block) as u32,
         }
     }
 
@@ -902,13 +1167,19 @@ impl LaneSnapshot<'_> {
         self.widths[sig.index()]
     }
 
-    /// The per-lane word of one bit of `sig`: bit `k` of the result is
-    /// lane `k`'s value of `sig[bit]`.
+    /// Block word `word` of one bit of `sig`: bit `k` of the result is
+    /// lane `word*64 + k`'s value of `sig[bit]`. Scalar snapshots have
+    /// one block word (lane 0 in bit 0).
     #[inline]
-    pub fn bit_word(&self, sig: SignalId, bit: u32) -> u64 {
+    pub fn bit_word(&self, sig: SignalId, bit: u32, word: usize) -> u64 {
         match &self.mode {
-            SnapMode::Scalar { values } => (values[sig.index()] >> bit) & 1,
-            SnapMode::Batch { words, base } => words[(base[sig.index()] + bit) as usize],
+            SnapMode::Scalar { values } => {
+                debug_assert_eq!(word, 0, "scalar snapshots have one block word");
+                (values[sig.index()] >> bit) & 1
+            }
+            SnapMode::Batch { words, base, block } => {
+                words[(base[sig.index()] + bit) as usize * block + word]
+            }
         }
     }
 
@@ -920,11 +1191,12 @@ impl LaneSnapshot<'_> {
                 debug_assert_eq!(lane, 0, "scalar snapshots have one lane");
                 Bv::new(values[sig.index()], w)
             }
-            SnapMode::Batch { words, base } => {
+            SnapMode::Batch { words, base, block } => {
                 let b = base[sig.index()] as usize;
+                let (word, bit) = ((lane / 64) as usize, lane % 64);
                 let mut bits = 0u64;
                 for i in 0..w as usize {
-                    bits |= ((words[b + i] >> lane) & 1) << i;
+                    bits |= ((words[(b + i) * block + word] >> bit) & 1) << i;
                 }
                 Bv::new(bits, w)
             }
@@ -1035,7 +1307,7 @@ impl<'c> ScalarSim<'c> {
     /// Runs one full clock cycle, reporting events to `obs`.
     pub fn step_observed(&mut self, obs: &mut dyn BatchObserver) {
         self.settle_observed(obs);
-        obs.on_cycle_end(self.cycle, 1, &self.snapshot());
+        obs.on_cycle_end(self.cycle, &LaneSet::new(&[1]), &self.snapshot());
         self.clock_edge(obs);
     }
 
@@ -1054,27 +1326,43 @@ impl<'c> ScalarSim<'c> {
     }
 }
 
-/// 64-lane executor for a [`CompiledModule`]: bit `k` of every word
-/// carries stimulus vector `k`, so one tape execution advances up to 64
-/// independent simulations by one cycle.
+/// Bit-parallel executor for a [`CompiledModule`] over a lane block of
+/// `W` words: bit `k` of block word `j` carries stimulus vector
+/// `j*64 + k`, so one tape execution advances up to `64·W` independent
+/// simulations by one cycle. `W` must be one of 1, 2, 4, 8 (the widths
+/// [`SimBackend::lane_block`] normalizes to); [`BatchSim`] with the
+/// default `W = 1` is the PR 5 64-lane executor.
+///
+/// Fused boolean-node probe hits accumulate inside the executor (one
+/// true/false word pair per probe per block word) and are delivered
+/// through [`BatchSim::drain_probes_to`] — automatically at the end of
+/// every [`BatchSim::step_observed`].
 #[derive(Debug)]
-pub struct BatchSim<'c> {
+pub struct BatchSim<'c, const W: usize = 1> {
     c: &'c CompiledModule,
     words: Vec<u64>,
+    probe_true: Vec<u64>,
+    probe_false: Vec<u64>,
     cycle: u64,
 }
 
-impl<'c> BatchSim<'c> {
+impl<'c, const W: usize> BatchSim<'c, W> {
     /// Creates an executor with every lane at the reset state.
     pub fn new(c: &'c CompiledModule) -> Self {
-        let mut words = vec![0u64; c.words_total];
+        let mut words = vec![0u64; c.words_total * W];
         for &(r, bits) in &c.const_inits {
-            broadcast(&mut words, c.base[r as usize], c.widths[r as usize], bits);
+            broadcast::<W>(&mut words, c.base[r as usize], c.widths[r as usize], bits);
         }
         for i in 0..c.n_signals {
-            broadcast(&mut words, c.base[i], c.widths[i], c.sig_init[i]);
+            broadcast::<W>(&mut words, c.base[i], c.widths[i], c.sig_init[i]);
         }
-        BatchSim { c, words, cycle: 0 }
+        BatchSim {
+            c,
+            words,
+            probe_true: vec![0u64; c.probes.len() * W],
+            probe_false: vec![0u64; c.probes.len() * W],
+            cycle: 0,
+        }
     }
 
     /// The number of completed cycles (shared by every lane).
@@ -1082,14 +1370,20 @@ impl<'c> BatchSim<'c> {
         self.cycle
     }
 
+    /// Stimulus vectors per pass (`64·W`).
+    pub fn lane_count(&self) -> u32 {
+        (64 * W) as u32
+    }
+
     /// Drives an input in one lane.
     pub fn set_input_lane(&mut self, lane: u32, sig: SignalId, value: Bv) {
         let w = self.c.widths[sig.index()];
         let bits = value.resize(w).bits();
         let b = self.c.base[sig.index()] as usize;
+        let (word, bit) = ((lane / 64) as usize, lane % 64);
         for i in 0..w as usize {
-            let word = &mut self.words[b + i];
-            *word = (*word & !(1u64 << lane)) | (((bits >> i) & 1) << lane);
+            let slot = &mut self.words[(b + i) * W + word];
+            *slot = (*slot & !(1u64 << bit)) | (((bits >> i) & 1) << bit);
         }
     }
 
@@ -1097,7 +1391,7 @@ impl<'c> BatchSim<'c> {
     pub fn set_input_all(&mut self, sig: SignalId, value: Bv) {
         let w = self.c.widths[sig.index()];
         let bits = value.resize(w).bits();
-        broadcast(&mut self.words, self.c.base[sig.index()], w, bits);
+        broadcast::<W>(&mut self.words, self.c.base[sig.index()], w, bits);
     }
 
     /// The value of `sig` in lane `lane`.
@@ -1112,57 +1406,92 @@ impl<'c> BatchSim<'c> {
             mode: SnapMode::Batch {
                 words: &self.words,
                 base: &self.c.base[..self.c.n_signals],
+                block: W,
             },
         }
     }
 
     /// Settles combinational logic in every lane; observations are
     /// restricted to `active` lanes.
-    pub fn settle(&mut self, active: u64, obs: Option<&mut dyn BatchObserver>) {
+    pub fn settle(&mut self, active: &[u64; W], obs: Option<&mut dyn BatchObserver>) {
         let mut o = obs;
-        exec_batch(self.c, &mut self.words, &self.c.comb, active, &mut o);
+        exec_wide::<W>(
+            self.c,
+            &mut self.words,
+            &mut self.probe_true,
+            &mut self.probe_false,
+            &self.c.comb,
+            active,
+            &mut o,
+        );
     }
 
     /// Fires the sequential processes and commits next state in every
     /// lane; observations are restricted to `active` lanes.
-    pub fn clock_edge(&mut self, active: u64, obs: Option<&mut dyn BatchObserver>) {
+    pub fn clock_edge(&mut self, active: &[u64; W], obs: Option<&mut dyn BatchObserver>) {
         for &(cur, next) in &self.c.state_pairs {
             let (cb, nb) = (
                 self.c.base[cur as usize] as usize,
                 self.c.base[next as usize] as usize,
             );
-            for i in 0..self.c.widths[cur as usize] as usize {
-                self.words[nb + i] = self.words[cb + i];
+            for i in 0..self.c.widths[cur as usize] as usize * W {
+                self.words[nb * W + i] = self.words[cb * W + i];
             }
         }
         let mut o = obs;
-        exec_batch(self.c, &mut self.words, &self.c.seq, active, &mut o);
+        exec_wide::<W>(
+            self.c,
+            &mut self.words,
+            &mut self.probe_true,
+            &mut self.probe_false,
+            &self.c.seq,
+            active,
+            &mut o,
+        );
         for &(cur, next) in &self.c.state_pairs {
             let (cb, nb) = (
                 self.c.base[cur as usize] as usize,
                 self.c.base[next as usize] as usize,
             );
-            for i in 0..self.c.widths[cur as usize] as usize {
-                self.words[cb + i] = self.words[nb + i];
+            for i in 0..self.c.widths[cur as usize] as usize * W {
+                self.words[cb * W + i] = self.words[nb * W + i];
             }
         }
         self.cycle += 1;
     }
 
-    /// Runs one full clock cycle, reporting events to `obs`.
-    pub fn step_observed(&mut self, active: u64, obs: &mut dyn BatchObserver) {
+    /// Runs one full clock cycle, reporting events to `obs` (including
+    /// a probe drain after the edge).
+    pub fn step_observed(&mut self, active: &[u64; W], obs: &mut dyn BatchObserver) {
         self.settle(active, Some(obs));
-        obs.on_cycle_end(self.cycle, active, &self.snapshot());
+        obs.on_cycle_end(self.cycle, &LaneSet::new(active), &self.snapshot());
         self.clock_edge(active, Some(obs));
+        self.drain_probes_to(obs);
+    }
+
+    /// Delivers the accumulated fused probe hits to `obs`. Hits are
+    /// cumulative since executor construction and monotone, so draining
+    /// repeatedly (or once at the end of a multi-cycle run) yields the
+    /// same collector state as a per-cycle drain.
+    pub fn drain_probes_to(&self, obs: &mut dyn BatchObserver) {
+        if self.c.probes.is_empty() {
+            return;
+        }
+        obs.drain_probes(&ProbeHits {
+            probes: &self.c.probes,
+            any_true: &self.probe_true,
+            any_false: &self.probe_false,
+            block: W,
+        });
     }
 
     /// Drives the suite reset protocol in every active lane (see
     /// [`ScalarSim::apply_reset`]).
-    pub fn apply_reset(&mut self, active: u64, obs: &mut dyn BatchObserver) {
+    pub fn apply_reset(&mut self, active: &[u64; W], obs: &mut dyn BatchObserver) {
         let c = self.c;
         if let Some(rst) = c.reset {
             for &d in &c.data_inputs {
-                broadcast(&mut self.words, c.base[d.index()], c.widths[d.index()], 0);
+                broadcast::<W>(&mut self.words, c.base[d.index()], c.widths[d.index()], 0);
             }
             self.set_input_all(rst, Bv::one_bit());
             self.step_observed(active, obs);
@@ -1173,9 +1502,12 @@ impl<'c> BatchSim<'c> {
 
 /// Writes `bits` into every lane of a bit-sliced register.
 #[inline]
-fn broadcast(words: &mut [u64], base: u32, width: u32, bits: u64) {
+fn broadcast<const W: usize>(words: &mut [u64], base: u32, width: u32, bits: u64) {
     for i in 0..width as usize {
-        words[base as usize + i] = if (bits >> i) & 1 == 1 { u64::MAX } else { 0 };
+        let v = if (bits >> i) & 1 == 1 { u64::MAX } else { 0 };
+        for j in 0..W {
+            words[(base as usize + i) * W + j] = v;
+        }
     }
 }
 
@@ -1271,9 +1603,8 @@ fn exec_scalar(
             }
             Inst::ObsStmt { stmt, mask } => {
                 if let Some(o) = obs.as_deref_mut() {
-                    let lanes = regs[mask as usize] & 1;
-                    if lanes != 0 {
-                        o.on_stmt(stmt, lanes);
+                    if regs[mask as usize] & 1 != 0 {
+                        o.on_stmt(stmt, &LaneSet::new(&[1]));
                     }
                 }
             }
@@ -1283,9 +1614,8 @@ fn exec_scalar(
                 mask,
             } => {
                 if let Some(o) = obs.as_deref_mut() {
-                    let lanes = regs[mask as usize] & 1;
-                    if lanes != 0 {
-                        o.on_branch(stmt, outcome, lanes);
+                    if regs[mask as usize] & 1 != 0 {
+                        o.on_branch(stmt, outcome, &LaneSet::new(&[1]));
                     }
                 }
             }
@@ -1302,243 +1632,335 @@ fn exec_scalar(
     }
 }
 
-/// Executes one tape in 64-lane bit-parallel mode. Every lane computes
-/// on every instruction; observation events are masked to `active`.
-fn exec_batch(
+/// Executes one tape in bit-parallel mode over a lane block of `W`
+/// words. Every lane computes on every instruction; observation events
+/// are masked to `active`. Boolean-node probes are *fused*: instead of
+/// dispatching through the observer per instruction, their per-lane
+/// true/false hits OR-accumulate into `pt`/`pf` (one word per probe
+/// per block word) for a bulk drain after the run.
+fn exec_wide<const W: usize>(
     c: &CompiledModule,
     words: &mut [u64],
+    pt: &mut [u64],
+    pf: &mut [u64],
     tape: &[Inst],
-    active: u64,
+    active: &[u64; W],
     obs: &mut Option<&mut dyn BatchObserver>,
 ) {
     let base = &c.base;
     let widths = &c.widths;
+    let observing = obs.is_some();
     // Reads zero-extend: bits beyond a register's width read as zero.
     macro_rules! gw {
-        ($r:expr, $i:expr) => {{
+        ($r:expr, $i:expr, $j:expr) => {{
             let r = $r as usize;
             if ($i as u32) < widths[r] {
-                words[base[r] as usize + $i as usize]
+                words[(base[r] as usize + $i as usize) * W + $j]
             } else {
                 0u64
             }
         }};
     }
     macro_rules! di {
-        ($d:expr, $i:expr) => {
-            base[$d as usize] as usize + $i as usize
+        ($d:expr, $i:expr, $j:expr) => {
+            (base[$d as usize] as usize + $i as usize) * W + $j
         };
     }
     for inst in tape {
         match *inst {
             Inst::And { d, a, b } => {
                 for i in 0..widths[d as usize] {
-                    words[di!(d, i)] = gw!(a, i) & gw!(b, i);
+                    for j in 0..W {
+                        words[di!(d, i, j)] = gw!(a, i, j) & gw!(b, i, j);
+                    }
                 }
             }
             Inst::Or { d, a, b } => {
                 for i in 0..widths[d as usize] {
-                    words[di!(d, i)] = gw!(a, i) | gw!(b, i);
+                    for j in 0..W {
+                        words[di!(d, i, j)] = gw!(a, i, j) | gw!(b, i, j);
+                    }
                 }
             }
             Inst::Xor { d, a, b } => {
                 for i in 0..widths[d as usize] {
-                    words[di!(d, i)] = gw!(a, i) ^ gw!(b, i);
+                    for j in 0..W {
+                        words[di!(d, i, j)] = gw!(a, i, j) ^ gw!(b, i, j);
+                    }
                 }
             }
             Inst::Not { d, a } => {
                 for i in 0..widths[d as usize] {
-                    words[di!(d, i)] = !gw!(a, i);
+                    for j in 0..W {
+                        words[di!(d, i, j)] = !gw!(a, i, j);
+                    }
                 }
             }
             Inst::Neg { d, a } => {
                 // ~a + 1 via a carry ripple seeded with all-ones.
-                let mut carry = u64::MAX;
+                let mut carry = [u64::MAX; W];
                 for i in 0..widths[d as usize] {
-                    let x = !gw!(a, i);
-                    words[di!(d, i)] = x ^ carry;
-                    carry &= x;
+                    for j in 0..W {
+                        let x = !gw!(a, i, j);
+                        words[di!(d, i, j)] = x ^ carry[j];
+                        carry[j] &= x;
+                    }
                 }
             }
             Inst::Add { d, a, b } => {
-                let mut carry = 0u64;
+                let mut carry = [0u64; W];
                 for i in 0..widths[d as usize] {
-                    let x = gw!(a, i);
-                    let y = gw!(b, i);
-                    words[di!(d, i)] = x ^ y ^ carry;
-                    carry = (x & y) | (carry & (x ^ y));
+                    for j in 0..W {
+                        let x = gw!(a, i, j);
+                        let y = gw!(b, i, j);
+                        words[di!(d, i, j)] = x ^ y ^ carry[j];
+                        carry[j] = (x & y) | (carry[j] & (x ^ y));
+                    }
                 }
             }
             Inst::Sub { d, a, b } => {
-                let mut borrow = 0u64;
+                let mut borrow = [0u64; W];
                 for i in 0..widths[d as usize] {
-                    let x = gw!(a, i);
-                    let y = gw!(b, i);
-                    words[di!(d, i)] = x ^ y ^ borrow;
-                    borrow = (!x & y) | (!(x ^ y) & borrow);
+                    for j in 0..W {
+                        let x = gw!(a, i, j);
+                        let y = gw!(b, i, j);
+                        words[di!(d, i, j)] = x ^ y ^ borrow[j];
+                        borrow[j] = (!x & y) | (!(x ^ y) & borrow[j]);
+                    }
                 }
             }
             Inst::Mul { d, a, b } => {
                 let w = widths[d as usize];
-                let mut acc = [0u64; 64];
-                for j in 0..w.min(widths[b as usize]) {
-                    let m = gw!(b, j);
-                    if m == 0 {
-                        continue;
-                    }
-                    let mut carry = 0u64;
-                    for i in j..w {
-                        let x = acc[i as usize];
-                        let y = gw!(a, i - j) & m;
-                        acc[i as usize] = x ^ y ^ carry;
-                        carry = (x & y) | (carry & (x ^ y));
+                let mut acc = [[0u64; W]; 64];
+                for s in 0..w.min(widths[b as usize]) {
+                    for j in 0..W {
+                        let m = gw!(b, s, j);
+                        if m == 0 {
+                            continue;
+                        }
+                        let mut carry = 0u64;
+                        for i in s..w {
+                            let x = acc[i as usize][j];
+                            let y = gw!(a, i - s, j) & m;
+                            acc[i as usize][j] = x ^ y ^ carry;
+                            carry = (x & y) | (carry & (x ^ y));
+                        }
                     }
                 }
                 for i in 0..w {
-                    words[di!(d, i)] = acc[i as usize];
+                    for j in 0..W {
+                        words[di!(d, i, j)] = acc[i as usize][j];
+                    }
                 }
             }
             Inst::Eq { d, a, b } => {
                 let wm = widths[a as usize].max(widths[b as usize]);
-                let mut eq = u64::MAX;
+                let mut eq = [u64::MAX; W];
                 for i in 0..wm {
-                    eq &= !(gw!(a, i) ^ gw!(b, i));
+                    for j in 0..W {
+                        eq[j] &= !(gw!(a, i, j) ^ gw!(b, i, j));
+                    }
                 }
-                words[di!(d, 0)] = eq;
+                for j in 0..W {
+                    words[di!(d, 0, j)] = eq[j];
+                }
             }
             Inst::Ne { d, a, b } => {
                 let wm = widths[a as usize].max(widths[b as usize]);
-                let mut eq = u64::MAX;
+                let mut eq = [u64::MAX; W];
                 for i in 0..wm {
-                    eq &= !(gw!(a, i) ^ gw!(b, i));
+                    for j in 0..W {
+                        eq[j] &= !(gw!(a, i, j) ^ gw!(b, i, j));
+                    }
                 }
-                words[di!(d, 0)] = !eq;
+                for j in 0..W {
+                    words[di!(d, 0, j)] = !eq[j];
+                }
             }
             Inst::Lt { d, a, b } => {
                 let wm = widths[a as usize].max(widths[b as usize]);
-                let mut lt = 0u64;
+                let mut lt = [0u64; W];
                 for i in 0..wm {
-                    let x = gw!(a, i);
-                    let y = gw!(b, i);
-                    lt = (!x & y) | (!(x ^ y) & lt);
+                    for j in 0..W {
+                        let x = gw!(a, i, j);
+                        let y = gw!(b, i, j);
+                        lt[j] = (!x & y) | (!(x ^ y) & lt[j]);
+                    }
                 }
-                words[di!(d, 0)] = lt;
+                for j in 0..W {
+                    words[di!(d, 0, j)] = lt[j];
+                }
             }
             Inst::Le { d, a, b } => {
                 let wm = widths[a as usize].max(widths[b as usize]);
-                let mut lt = 0u64;
-                let mut eq = u64::MAX;
+                let mut lt = [0u64; W];
+                let mut eq = [u64::MAX; W];
                 for i in 0..wm {
-                    let x = gw!(a, i);
-                    let y = gw!(b, i);
-                    lt = (!x & y) | (!(x ^ y) & lt);
-                    eq &= !(x ^ y);
+                    for j in 0..W {
+                        let x = gw!(a, i, j);
+                        let y = gw!(b, i, j);
+                        lt[j] = (!x & y) | (!(x ^ y) & lt[j]);
+                        eq[j] &= !(x ^ y);
+                    }
                 }
-                words[di!(d, 0)] = lt | eq;
+                for j in 0..W {
+                    words[di!(d, 0, j)] = lt[j] | eq[j];
+                }
             }
             Inst::Shl { d, a, amt } => {
                 let w = widths[d as usize];
-                let mut cur = [0u64; 64];
+                let mut cur = [[0u64; W]; 64];
                 for i in 0..w {
-                    cur[i as usize] = gw!(a, i);
+                    for j in 0..W {
+                        cur[i as usize][j] = gw!(a, i, j);
+                    }
                 }
-                barrel(&mut cur, w, c, words, amt, true);
+                barrel_wide::<W>(&mut cur, w, c, words, amt, true);
                 for i in 0..w {
-                    words[di!(d, i)] = cur[i as usize];
+                    for j in 0..W {
+                        words[di!(d, i, j)] = cur[i as usize][j];
+                    }
                 }
             }
             Inst::Shr { d, a, amt } => {
                 let w = widths[d as usize];
-                let mut cur = [0u64; 64];
+                let mut cur = [[0u64; W]; 64];
                 for i in 0..w {
-                    cur[i as usize] = gw!(a, i);
+                    for j in 0..W {
+                        cur[i as usize][j] = gw!(a, i, j);
+                    }
                 }
-                barrel(&mut cur, w, c, words, amt, false);
+                barrel_wide::<W>(&mut cur, w, c, words, amt, false);
                 for i in 0..w {
-                    words[di!(d, i)] = cur[i as usize];
+                    for j in 0..W {
+                        words[di!(d, i, j)] = cur[i as usize][j];
+                    }
                 }
             }
             Inst::ShlC { d, a, amt } => {
                 let w = widths[d as usize];
                 for i in (0..w).rev() {
-                    words[di!(d, i)] = if i >= amt { gw!(a, i - amt) } else { 0 };
+                    for j in 0..W {
+                        words[di!(d, i, j)] = if i >= amt { gw!(a, i - amt, j) } else { 0 };
+                    }
                 }
             }
             Inst::ShrC { d, a, amt } => {
                 let w = widths[d as usize];
                 for i in 0..w {
-                    words[di!(d, i)] = gw!(a, i + amt);
+                    for j in 0..W {
+                        words[di!(d, i, j)] = gw!(a, i + amt, j);
+                    }
                 }
             }
             Inst::RedAnd { d, a } => {
-                let mut r = u64::MAX;
+                let mut r = [u64::MAX; W];
                 for i in 0..widths[a as usize] {
-                    r &= gw!(a, i);
+                    for j in 0..W {
+                        r[j] &= gw!(a, i, j);
+                    }
                 }
-                words[di!(d, 0)] = r;
+                for j in 0..W {
+                    words[di!(d, 0, j)] = r[j];
+                }
             }
             Inst::RedOr { d, a } | Inst::Truth { d, a } => {
-                let mut r = 0u64;
+                let mut r = [0u64; W];
                 for i in 0..widths[a as usize] {
-                    r |= gw!(a, i);
+                    for j in 0..W {
+                        r[j] |= gw!(a, i, j);
+                    }
                 }
-                words[di!(d, 0)] = r;
+                for j in 0..W {
+                    words[di!(d, 0, j)] = r[j];
+                }
             }
             Inst::RedXor { d, a } => {
-                let mut r = 0u64;
+                let mut r = [0u64; W];
                 for i in 0..widths[a as usize] {
-                    r ^= gw!(a, i);
+                    for j in 0..W {
+                        r[j] ^= gw!(a, i, j);
+                    }
                 }
-                words[di!(d, 0)] = r;
+                for j in 0..W {
+                    words[di!(d, 0, j)] = r[j];
+                }
             }
             Inst::LogicNot { d, a } => {
-                let mut r = 0u64;
+                let mut r = [0u64; W];
                 for i in 0..widths[a as usize] {
-                    r |= gw!(a, i);
+                    for j in 0..W {
+                        r[j] |= gw!(a, i, j);
+                    }
                 }
-                words[di!(d, 0)] = !r;
+                for j in 0..W {
+                    words[di!(d, 0, j)] = !r[j];
+                }
             }
             Inst::Mux { d, c: cnd, t, e } => {
-                let m = gw!(cnd, 0);
-                for i in 0..widths[d as usize] {
-                    words[di!(d, i)] = (m & gw!(t, i)) | (!m & gw!(e, i));
+                for j in 0..W {
+                    let m = gw!(cnd, 0, j);
+                    for i in 0..widths[d as usize] {
+                        words[di!(d, i, j)] = (m & gw!(t, i, j)) | (!m & gw!(e, i, j));
+                    }
                 }
             }
-            Inst::Index { d, a, bit } => words[di!(d, 0)] = gw!(a, bit),
+            Inst::Index { d, a, bit } => {
+                for j in 0..W {
+                    words[di!(d, 0, j)] = gw!(a, bit, j);
+                }
+            }
             Inst::Slice { d, a, lo } => {
                 for i in 0..widths[d as usize] {
-                    words[di!(d, i)] = gw!(a, lo + i);
+                    for j in 0..W {
+                        words[di!(d, i, j)] = gw!(a, lo + i, j);
+                    }
                 }
             }
             Inst::Concat { d, hi, lo } => {
                 let wl = widths[lo as usize];
                 for i in 0..wl {
-                    words[di!(d, i)] = gw!(lo, i);
+                    for j in 0..W {
+                        words[di!(d, i, j)] = gw!(lo, i, j);
+                    }
                 }
                 for i in 0..widths[hi as usize] {
-                    words[di!(d, wl + i)] = gw!(hi, i);
+                    for j in 0..W {
+                        words[di!(d, wl + i, j)] = gw!(hi, i, j);
+                    }
                 }
             }
             Inst::Resize { d, a } => {
                 for i in 0..widths[d as usize] {
-                    words[di!(d, i)] = gw!(a, i);
+                    for j in 0..W {
+                        words[di!(d, i, j)] = gw!(a, i, j);
+                    }
                 }
             }
             Inst::AndNot { d, a, b } => {
-                words[di!(d, 0)] = gw!(a, 0) & !gw!(b, 0);
+                for j in 0..W {
+                    words[di!(d, 0, j)] = gw!(a, 0, j) & !gw!(b, 0, j);
+                }
             }
             Inst::Store { d, src, mask } => {
-                let m = gw!(mask, 0);
-                for i in 0..widths[d as usize] {
-                    let idx = di!(d, i);
-                    words[idx] = (m & gw!(src, i)) | (!m & words[idx]);
+                for j in 0..W {
+                    let m = gw!(mask, 0, j);
+                    for i in 0..widths[d as usize] {
+                        let idx = di!(d, i, j);
+                        words[idx] = (m & gw!(src, i, j)) | (!m & words[idx]);
+                    }
                 }
             }
             Inst::ObsStmt { stmt, mask } => {
                 if let Some(o) = obs.as_deref_mut() {
-                    let lanes = gw!(mask, 0) & active;
-                    if lanes != 0 {
-                        o.on_stmt(stmt, lanes);
+                    let mut l = [0u64; W];
+                    let mut any = 0u64;
+                    for (j, slot) in l.iter_mut().enumerate() {
+                        *slot = gw!(mask, 0, j) & active[j];
+                        any |= *slot;
+                    }
+                    if any != 0 {
+                        o.on_stmt(stmt, &LaneSet::new(&l));
                     }
                 }
             }
@@ -1548,18 +1970,25 @@ fn exec_batch(
                 mask,
             } => {
                 if let Some(o) = obs.as_deref_mut() {
-                    let lanes = gw!(mask, 0) & active;
-                    if lanes != 0 {
-                        o.on_branch(stmt, outcome, lanes);
+                    let mut l = [0u64; W];
+                    let mut any = 0u64;
+                    for (j, slot) in l.iter_mut().enumerate() {
+                        *slot = gw!(mask, 0, j) & active[j];
+                        any |= *slot;
+                    }
+                    if any != 0 {
+                        o.on_branch(stmt, outcome, &LaneSet::new(&l));
                     }
                 }
             }
             Inst::ObsBool { probe, val, mask } => {
-                if let Some(o) = obs.as_deref_mut() {
-                    let lanes = gw!(mask, 0) & active;
-                    if lanes != 0 {
-                        let (stmt, role, node) = c.probes[probe as usize];
-                        o.on_bool_node(stmt, role, node, gw!(val, 0), lanes);
+                if observing {
+                    let pb = probe as usize * W;
+                    for j in 0..W {
+                        let m = gw!(mask, 0, j) & active[j];
+                        let v = gw!(val, 0, j);
+                        pt[pb + j] |= v & m;
+                        pf[pb + j] |= !v & m;
                     }
                 }
             }
@@ -1567,34 +1996,44 @@ fn exec_batch(
     }
 }
 
-/// Lane-parallel barrel shifter: conditionally shifts `cur` (width `w`)
-/// by each power of two under the per-lane words of the `amt` register.
-/// Amount bits whose power reaches the width force the affected lanes
-/// to zero, so amounts at or beyond the width produce zero — matching
+/// Lane-parallel barrel shifter over a `W`-word block: conditionally
+/// shifts `cur` (width `w`, `W` words per bit) by each power of two
+/// under the per-lane words of the `amt` register. Amount bits whose
+/// power reaches the width force the affected lanes to zero, so
+/// amounts at or beyond the width produce zero — matching
 /// [`Bv::shl`]/[`Bv::shr`].
-fn barrel(cur: &mut [u64; 64], w: u32, c: &CompiledModule, words: &[u64], amt: Reg, left: bool) {
+fn barrel_wide<const W: usize>(
+    cur: &mut [[u64; W]; 64],
+    w: u32,
+    c: &CompiledModule,
+    words: &[u64],
+    amt: Reg,
+    left: bool,
+) {
     let wa = c.widths[amt as usize];
     let ab = c.base[amt as usize] as usize;
-    for j in 0..wa {
-        let m = words[ab + j as usize];
-        if m == 0 {
-            continue;
-        }
-        if j >= 6 || (1u32 << j) >= w {
-            for word in cur.iter_mut().take(w as usize) {
-                *word &= !m;
+    for s in 0..wa {
+        for j in 0..W {
+            let m = words[(ab + s as usize) * W + j];
+            if m == 0 {
+                continue;
             }
-        } else {
-            let k = 1usize << j;
-            if left {
-                for i in (0..w as usize).rev() {
-                    let shifted = if i >= k { cur[i - k] } else { 0 };
-                    cur[i] = (m & shifted) | (!m & cur[i]);
+            if s >= 6 || (1u32 << s) >= w {
+                for row in cur.iter_mut().take(w as usize) {
+                    row[j] &= !m;
                 }
             } else {
-                for i in 0..w as usize {
-                    let shifted = if i + k < w as usize { cur[i + k] } else { 0 };
-                    cur[i] = (m & shifted) | (!m & cur[i]);
+                let k = 1usize << s;
+                if left {
+                    for i in (0..w as usize).rev() {
+                        let shifted = if i >= k { cur[i - k][j] } else { 0 };
+                        cur[i][j] = (m & shifted) | (!m & cur[i][j]);
+                    }
+                } else {
+                    for i in 0..w as usize {
+                        let shifted = if i + k < w as usize { cur[i + k][j] } else { 0 };
+                        cur[i][j] = (m & shifted) | (!m & cur[i][j]);
+                    }
                 }
             }
         }
@@ -1681,8 +2120,31 @@ mod tests {
                 )),
             })
             .collect();
+        for block in [1usize, 2, 4, 8] {
+            let batched = c
+                .run_segments_batched(&m, &segments, &mut NopBatchObserver, true, None, block)
+                .expect("no cancel token");
+            for (seg, got) in segments.iter().zip(&batched) {
+                let want = crate::suite::run_segment(&m, &seg.vectors, &mut NopObserver).unwrap();
+                assert_eq!(*got, want, "{} at block {block}", seg.label);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_lanes_straddle_block_words() {
+        // 150 segments at block 2 = one full 128-lane chunk (with a
+        // ragged tail in its second word) plus a 22-lane remainder.
+        let m = parse_verilog(ARBITER2).unwrap();
+        let c = CompiledModule::compile(&m).unwrap();
+        let segments: Vec<Segment> = (0..150)
+            .map(|seed| Segment {
+                label: format!("s{seed}"),
+                vectors: collect_vectors(&mut RandomStimulus::new(&m, seed, 1 + (seed % 9))),
+            })
+            .collect();
         let batched = c
-            .run_segments_batched(&m, &segments, &mut NopBatchObserver, true, None)
+            .run_segments_batched(&m, &segments, &mut NopBatchObserver, true, None, 2)
             .expect("no cancel token");
         for (seg, got) in segments.iter().zip(&batched) {
             let want = crate::suite::run_segment(&m, &seg.vectors, &mut NopObserver).unwrap();
@@ -1717,5 +2179,38 @@ mod tests {
         assert!(c.tape_len() > 0);
         assert!(c.register_count() > m.signals().len());
         assert!(c.probe_count() > 0, "rhs boolean nodes are probed");
+        assert!(c.has_probes());
+    }
+
+    #[test]
+    fn probe_free_tape_drops_observation_instructions() {
+        let m = parse_verilog(ALU).unwrap();
+        let probed = CompiledModule::compile(&m).unwrap();
+        let bare = CompiledModule::compile_with(&m, CompileOptions { probes: false }).unwrap();
+        assert!(!bare.has_probes());
+        assert_eq!(bare.probe_count(), 0);
+        assert!(
+            bare.tape_len() < probed.tape_len(),
+            "observation instructions elided"
+        );
+        assert!(bare.approx_bytes() < probed.approx_bytes());
+        // Traces are unaffected by the missing observation work.
+        let vectors = collect_vectors(&mut RandomStimulus::new(&m, 7, 50));
+        assert_eq!(
+            probed.run_segment(&m, &vectors, &mut NopBatchObserver),
+            bare.run_segment(&m, &vectors, &mut NopBatchObserver)
+        );
+    }
+
+    #[test]
+    fn lane_block_normalizes_widths() {
+        assert_eq!(SimBackend::CompiledBatch.lane_block(), 1);
+        assert_eq!(SimBackend::CompiledBatchWide(0).lane_block(), 1);
+        assert_eq!(SimBackend::CompiledBatchWide(2).lane_block(), 2);
+        assert_eq!(SimBackend::CompiledBatchWide(3).lane_block(), 4);
+        assert_eq!(SimBackend::CompiledBatchWide(8).lane_block(), 8);
+        assert_eq!(SimBackend::CompiledBatchWide(200).lane_block(), 8);
+        assert_eq!(SimBackend::CompiledBatchWide(4).lanes(), 256);
+        assert_eq!(SimBackend::Interpreter.lanes(), 1);
     }
 }

@@ -19,9 +19,13 @@
 //! ([`Simulator`], the reference) and the compiled backend
 //! ([`CompiledModule`]), which lowers the design once into a flat
 //! instruction tape and executes it either one vector at a time
-//! ([`ScalarSim`]) or 64 stimulus vectors per pass ([`BatchSim`], bit
-//! `k` of every word = vector `k`). Callers select one via
-//! [`SimBackend`]; `sim/compiled_agree` proves them trace- and
+//! ([`ScalarSim`]) or bit-parallel in lane blocks of 1–8 words — 64 to
+//! 512 stimulus vectors per pass ([`BatchSim`], bit `k` of block word
+//! `j` = vector `j*64 + k`) — with boolean-node coverage probes fused
+//! into the tape and drained in bulk ([`BatchObserver::drain_probes`]).
+//! Callers select an engine (and lane-block width) via [`SimBackend`],
+//! and can compile observation out entirely with [`CompileOptions`];
+//! `sim/compiled_agree` proves every backend trace- and
 //! coverage-identical.
 
 #![warn(missing_docs)]
@@ -33,7 +37,8 @@ mod suite;
 mod trace;
 
 pub use compile::{
-    BatchObserver, BatchSim, CompiledModule, LaneSnapshot, NopBatchObserver, ScalarSim, SimBackend,
+    BatchObserver, BatchSim, CompileOptions, CompiledModule, LaneSet, LaneSnapshot,
+    NopBatchObserver, ProbeHits, ScalarSim, SimBackend, MAX_LANE_BLOCK,
 };
 pub use sim::{BranchOutcome, ExprRole, MultiObserver, NopObserver, SimObserver, Simulator};
 pub use stim::{collect_vectors, DirectedStimulus, InputVector, RandomStimulus, Stimulus};

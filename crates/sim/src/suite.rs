@@ -79,18 +79,22 @@ impl TestSuite {
         Ok(traces)
     }
 
-    /// Runs every segment through the compiled 64-lane executor (lane
-    /// `k` of each pass replays segment `chunk*64 + k` from reset),
-    /// returning one trace per segment — trace- and coverage-identical
-    /// to [`TestSuite::run`] with the interpreter.
+    /// Runs every segment through the compiled bit-parallel executor
+    /// with a lane block of `block` words (lane `k` of each pass
+    /// replays segment `chunk*64*block + k` from reset), returning one
+    /// trace per segment — trace- and coverage-identical to
+    /// [`TestSuite::run`] with the interpreter. `block` is normalized
+    /// to a supported width (1, 2, 4, 8); pass
+    /// [`crate::SimBackend::lane_block`] when routing a config.
     pub fn run_compiled(
         &self,
         module: &Module,
         compiled: &crate::CompiledModule,
         obs: &mut dyn crate::BatchObserver,
+        block: usize,
     ) -> Vec<Trace> {
         compiled
-            .run_segments_batched(module, &self.segments, obs, true, None)
+            .run_segments_batched(module, &self.segments, obs, true, None, block)
             .expect("no cancel token")
     }
 
@@ -102,8 +106,9 @@ impl TestSuite {
         module: &Module,
         compiled: &crate::CompiledModule,
         obs: &mut dyn crate::BatchObserver,
+        block: usize,
     ) {
-        compiled.run_segments_batched(module, &self.segments, obs, false, None);
+        compiled.run_segments_batched(module, &self.segments, obs, false, None, block);
     }
 
     /// [`TestSuite::observe_compiled`] with a cooperative cancel token
@@ -116,9 +121,10 @@ impl TestSuite {
         compiled: &crate::CompiledModule,
         obs: &mut dyn crate::BatchObserver,
         cancel: Option<&std::sync::atomic::AtomicBool>,
+        block: usize,
     ) -> bool {
         compiled
-            .run_segments_batched(module, &self.segments, obs, false, cancel)
+            .run_segments_batched(module, &self.segments, obs, false, cancel, block)
             .is_some()
     }
 }

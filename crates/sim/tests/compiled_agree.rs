@@ -1,18 +1,27 @@
 //! `sim/compiled_agree` — the differential contract of the compiled
 //! bit-parallel backend: for every design and every stimulus, the
-//! compiled tape (scalar and 64-lane) must be **trace-identical** and
-//! **coverage-identical** (ratios *and* uncovered point sets) to the
-//! tree-walking interpreter. The whole design catalog is swept, lane
-//! boundaries are crossed with ragged many-segment suites, and a
+//! compiled tape (scalar, and batch at every lane-block width W ∈
+//! {1, 2, 4, 8} — 64 to 512 lanes per pass) must be **trace-identical**
+//! and **coverage-identical** (ratios *and* uncovered point sets) to
+//! the tree-walking interpreter. The whole design catalog is swept,
+//! lane-block boundaries are straddled with segment counts around every
+//! 64-lane multiple, the probe-free tape (`CompileOptions { probes:
+//! false }`) is checked against the interpreter's coverage run, and a
 //! proptest drives randomly generated modules (case/default overlap,
 //! non-blocking swaps, double writes, every operator) under random
-//! vector suites.
+//! vector suites at random widths.
 
 use gm_coverage::{CoverageReport, CoverageSuite};
 use gm_rtl::{BinaryOp, Bv, Expr, Module, ModuleBuilder, SignalId, StmtId, UnaryOp};
-use gm_sim::{collect_vectors, BranchOutcome, CompiledModule, RandomStimulus, TestSuite, Trace};
+use gm_sim::{
+    collect_vectors, BranchOutcome, CompileOptions, CompiledModule, NopBatchObserver,
+    RandomStimulus, TestSuite, Trace,
+};
 use proptest::prelude::*;
 use proptest::TestRng;
+
+/// Every lane-block width the batch executor supports.
+const BLOCKS: [usize; 4] = [1, 2, 4, 8];
 
 /// Everything a backend run produces that must agree.
 #[derive(Debug, PartialEq)]
@@ -49,21 +58,24 @@ fn run_compiled_scalar(module: &Module, suite: &TestSuite) -> RunResult {
     result_of(&cov, traces)
 }
 
-fn run_compiled_batch(module: &Module, suite: &TestSuite) -> RunResult {
+fn run_compiled_batch(module: &Module, suite: &TestSuite, block: usize) -> RunResult {
     let compiled = CompiledModule::compile(module).expect("compiles");
     let mut cov = CoverageSuite::new(module);
-    let traces = suite.run_compiled(module, &compiled, &mut cov);
+    let traces = suite.run_compiled(module, &compiled, &mut cov, block);
     result_of(&cov, traces)
 }
 
-/// Asserts all three backends agree on `suite`, returning the
-/// interpreter result for further checks.
+/// Asserts every backend — scalar and batch at every lane-block width —
+/// agrees on `suite`, returning the interpreter result for further
+/// checks.
 fn assert_backends_agree(module: &Module, suite: &TestSuite, label: &str) -> RunResult {
     let interp = run_interpreter(module, suite);
     let scalar = run_compiled_scalar(module, suite);
     assert_eq!(interp, scalar, "{label}: compiled-scalar diverged");
-    let batch = run_compiled_batch(module, suite);
-    assert_eq!(interp, batch, "{label}: compiled-64-lane diverged");
+    for block in BLOCKS {
+        let batch = run_compiled_batch(module, suite, block);
+        assert_eq!(interp, batch, "{label}: compiled batch W={block} diverged");
+    }
     interp
 }
 
@@ -101,6 +113,67 @@ fn many_segments_cross_lane_boundaries() {
     let lengths: Vec<u64> = (0..137).map(|i| (i * 7) % 23).collect();
     let suite = random_suite(&module, 7, &lengths);
     assert_backends_agree(&module, &suite, "arbiter4 x137");
+}
+
+#[test]
+fn segment_counts_straddle_every_block_boundary() {
+    // One under, exactly at, and one over every 64-lane multiple a
+    // wide block can ragged-fill: the chunk's last block word goes from
+    // partially filled to full to spilling a second chunk. Each count
+    // runs at every W (an N-segment suite at W=8 exercises unused tail
+    // words; at W=1 it exercises multi-chunk dealing).
+    let module = gm_designs::arbiter4();
+    for count in [63usize, 64, 65, 127, 128, 129, 255, 256, 257] {
+        let lengths: Vec<u64> = (0..count as u64).map(|i| (i * 5) % 11).collect();
+        let suite = random_suite(&module, 0x5EED ^ count as u64, &lengths);
+        assert_backends_agree(&module, &suite, &format!("arbiter4 x{count}"));
+    }
+}
+
+#[test]
+fn probe_free_tape_agrees_with_interpreter_coverage_run() {
+    // A probe-free tape executes no observation instructions: traces
+    // must still be identical at every W, and an attached coverage
+    // suite sees only the executor-level cycle events — toggle and FSM
+    // ratios match the interpreter's run exactly while the tape-level
+    // metrics (line/branch/condition/expression) record nothing.
+    for design in gm_designs::catalog() {
+        let module = design.module();
+        let suite = random_suite(&module, 0xBA5E ^ design.window as u64, &[40, 13, 0, 65]);
+        let interp = run_interpreter(&module, &suite);
+        let bare = CompiledModule::compile_with(&module, CompileOptions { probes: false })
+            .expect("compiles");
+        assert_eq!(bare.probe_count(), 0);
+        for block in BLOCKS {
+            let mut cov = CoverageSuite::new(&module);
+            let traces = suite.run_compiled(&module, &bare, &mut cov, block);
+            assert_eq!(
+                interp.traces, traces,
+                "{}: probe-free W={block} trace diverged",
+                design.name
+            );
+            let report = cov.report();
+            assert_eq!(
+                report.toggle, interp.report.toggle,
+                "{}: probe-free W={block} toggle diverged",
+                design.name
+            );
+            assert_eq!(
+                report.fsm, interp.report.fsm,
+                "{}: probe-free W={block} fsm diverged",
+                design.name
+            );
+            assert_eq!(report.line.covered, 0, "{}", design.name);
+            assert_eq!(report.branch.covered, 0, "{}", design.name);
+            assert_eq!(report.condition.covered, 0, "{}", design.name);
+            assert_eq!(report.expression.covered, 0, "{}", design.name);
+        }
+        // Bare trace-only replay (the cex/seed-trace shape) also agrees.
+        for (seg, want) in suite.segments().iter().zip(&interp.traces) {
+            let got = bare.run_segment(&module, &seg.vectors, &mut NopBatchObserver);
+            assert_eq!(&got, want, "{}: bare scalar replay diverged", design.name);
+        }
+    }
 }
 
 #[test]
@@ -432,7 +505,9 @@ proptest! {
         seed in any::<u64>(),
         nseg in 1usize..6,
         len in 1u64..18,
+        block_idx in 0usize..BLOCKS.len(),
     ) {
+        let block = BLOCKS[block_idx];
         let module = random_module(seed);
         // Elaboration must accept the generated module; if it does not,
         // the generator (not the backends) is broken.
@@ -442,7 +517,15 @@ proptest! {
         let interp = run_interpreter(&module, &suite);
         let scalar = run_compiled_scalar(&module, &suite);
         prop_assert_eq!(&interp, &scalar, "scalar diverged (seed {})", seed);
-        let batch = run_compiled_batch(&module, &suite);
-        prop_assert_eq!(&interp, &batch, "batch diverged (seed {})", seed);
+        let batch = run_compiled_batch(&module, &suite, block);
+        prop_assert_eq!(&interp, &batch, "batch W={} diverged (seed {})", block, seed);
+        // The probe-free tape must still be trace-identical.
+        let bare = CompiledModule::compile_with(&module, CompileOptions { probes: false })
+            .expect("compiles");
+        let bare_traces = suite.run_compiled(&module, &bare, &mut NopBatchObserver, block);
+        prop_assert_eq!(
+            &interp.traces, &bare_traces,
+            "probe-free W={} diverged (seed {})", block, seed
+        );
     }
 }
