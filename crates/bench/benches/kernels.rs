@@ -502,7 +502,7 @@ fn bench_ablation_incremental(c: &mut Criterion) {
             tree.fit(&ds).unwrap();
             for t in &traces[1..] {
                 let rows = ds.add_trace(&spec, t);
-                tree.add_rows(&ds, &rows).unwrap();
+                tree.add_rows(&ds, &rows.rows).unwrap();
             }
             tree.node_count()
         });

@@ -94,6 +94,67 @@ pub enum StealPolicy {
     Stealing,
 }
 
+/// Temporal-template mining: next-cycle implication, bounded
+/// eventuality, and stability windows proposed from per-row lookahead
+/// (see [`gm_mine::temporal_candidates`]).
+///
+/// The default (`horizon: 0`) disables the pass entirely and reproduces
+/// the combinational-only engine byte for byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct TemporalConfig {
+    /// Post-window lookahead cycles recorded per dataset row — the
+    /// maximum `shift`/`bound` a mined template can use. `0` disables
+    /// temporal mining.
+    pub horizon: u32,
+}
+
+impl TemporalConfig {
+    /// Whether the temporal pass runs.
+    pub fn enabled(&self) -> bool {
+        self.horizon > 0
+    }
+}
+
+/// Coverage-ranked directed refinement: counterexample prefixes are
+/// extended with deterministic random suffixes
+/// ([`gm_sim::synthesize_directed`]), scored against the uncovered-point
+/// index of the previous iteration's coverage snapshot, and the
+/// top-ranked variants are absorbed as `dir-*` suite segments.
+///
+/// The default (`variants: 0`) disables the pass entirely and
+/// reproduces the unrefined engine byte for byte. The pass also
+/// requires [`EngineConfig::record_coverage`] — without a coverage
+/// snapshot there is no uncovered set to rank against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RefineConfig {
+    /// Directed variants synthesized per counterexample prefix; `0`
+    /// disables the refinement pass.
+    pub variants: usize,
+    /// Random data-input cycles appended after each replayed prefix.
+    pub extra_cycles: u64,
+    /// At most this many top-ranked directed segments absorbed per
+    /// iteration (only variants with a strictly positive predicted
+    /// gain are ever absorbed).
+    pub max_absorb: usize,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig {
+            variants: 0,
+            extra_cycles: 16,
+            max_absorb: 2,
+        }
+    }
+}
+
+impl RefineConfig {
+    /// Whether the refinement pass runs.
+    pub fn enabled(&self) -> bool {
+        self.variants > 0
+    }
+}
+
 /// Which output bits to mine.
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub enum TargetSelection {
@@ -147,6 +208,12 @@ pub struct EngineConfig {
     /// Record per-iteration coverage of the accumulated suite (costs one
     /// suite re-simulation per iteration).
     pub record_coverage: bool,
+    /// Temporal-template mining (disabled by default — see
+    /// [`TemporalConfig`]).
+    pub temporal: TemporalConfig,
+    /// Coverage-ranked directed refinement (disabled by default — see
+    /// [`RefineConfig`]).
+    pub refine: RefineConfig,
     /// Which simulation engine runs the data-generation and coverage
     /// passes (seed traces, counterexample replay, suite coverage).
     /// Every backend produces a byte-identical [`crate::ClosureOutcome`]
@@ -173,6 +240,8 @@ impl Default for EngineConfig {
             steal: StealPolicy::RoundRobin,
             racing: false,
             record_coverage: true,
+            temporal: TemporalConfig::default(),
+            refine: RefineConfig::default(),
             sim_backend: SimBackend::default(),
         }
     }

@@ -57,18 +57,21 @@ use crate::config::{
 };
 use crate::error::EngineError;
 use crate::report::{ClosureOutcome, IterationReport, TargetSummary};
-use gm_coverage::CoverageSuite;
-use gm_mc::{BitAtom, CheckResult, Checker, McError, SessionStats, WindowProperty};
+use gm_coverage::{CoverageSuite, UncoveredIndex};
+use gm_mc::{
+    BitAtom, CheckResult, Checker, ConsequentKind, McError, SessionStats, TemporalProperty,
+    WindowProperty,
+};
 use gm_mine::{
-    assertion_at, input_space_coverage, proved_assertions, Assertion, Dataset, DecisionTree,
-    LeafStatus, MiningSpec,
+    assertion_at, input_space_coverage, proved_assertions, temporal_candidates, Assertion, Dataset,
+    DecisionTree, LeafStatus, MiningSpec, TemporalAssertion, TemporalTemplate,
 };
 use gm_rtl::{cone_of, elaborate, Module, SignalId};
 use gm_sim::{
-    collect_vectors, run_segment, CompileOptions, CompiledModule, InputVector, NopBatchObserver,
-    NopObserver, RandomStimulus, SimBackend, TestSuite, Trace,
+    collect_vectors, run_segment, synthesize_directed, CompileOptions, CompiledModule, InputVector,
+    NopBatchObserver, NopObserver, RandomStimulus, SimBackend, TestSuite, Trace,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -81,6 +84,50 @@ pub fn assertion_property(a: &Assertion) -> WindowProperty {
             .map(|(f, v)| BitAtom::new(f.signal, f.bit, f.offset, *v))
             .collect(),
         consequent: BitAtom::new(a.target.signal, a.target.bit, a.target.offset, a.value),
+    }
+}
+
+/// Converts a mined temporal assertion into the model checker's
+/// multi-consequent property form: `Next`/`Stability` templates demand
+/// the value at every consequent offset (conjunctive,
+/// [`ConsequentKind::All`]), bounded eventuality demands it at *some*
+/// offset (disjunctive, [`ConsequentKind::Any`]).
+pub fn temporal_property(a: &TemporalAssertion) -> TemporalProperty {
+    let antecedent = a
+        .literals
+        .iter()
+        .map(|(f, v)| BitAtom::new(f.signal, f.bit, f.offset, *v))
+        .collect();
+    let consequents = a
+        .consequent_offsets()
+        .map(|off| BitAtom::new(a.target.signal, a.target.bit, off, a.value))
+        .collect();
+    let kind = match a.template {
+        TemporalTemplate::Eventually { .. } => ConsequentKind::Any,
+        TemporalTemplate::Next { .. } | TemporalTemplate::Stability { .. } => ConsequentKind::All,
+    };
+    TemporalProperty {
+        antecedent,
+        consequents,
+        kind,
+    }
+}
+
+/// Per-iteration progress counters produced by one `iteration_pass`.
+#[derive(Clone, Copy, Default)]
+struct PassCounts {
+    refuted: usize,
+    temporal_candidates: usize,
+    temporal_refuted: usize,
+    directed_absorbed: usize,
+}
+
+impl PassCounts {
+    /// Whether the iteration moved the run forward: new counterexample
+    /// rows (combinational or temporal) or new coverage-gaining
+    /// directed stimulus. Zero means the loop cannot make progress.
+    fn progress(&self) -> usize {
+        self.refuted + self.temporal_refuted + self.directed_absorbed
     }
 }
 
@@ -137,6 +184,19 @@ pub struct Engine<'m> {
     compiled: Option<Arc<CompiledModule>>,
     /// Cooperative cancel token (see [`Engine::with_cancel`]).
     cancel: Option<Arc<AtomicBool>>,
+    /// Cumulative `(target, trace)` pairs dropped as too short to mine
+    /// (see [`IterationReport::short_traces`]).
+    short_traces: usize,
+    /// Temporal properties already decided this run, so a candidate the
+    /// tree keeps re-proposing is dispatched (and its counterexample
+    /// absorbed) exactly once.
+    temporal_decided: HashSet<TemporalProperty>,
+    /// Proved (or assumed-true) temporal assertions, in decision order.
+    temporal_proved: Vec<TemporalAssertion>,
+    /// The uncovered-point index of the latest coverage snapshot, kept
+    /// for the refinement pass's gain ranking (only populated when
+    /// refinement is enabled).
+    last_uncovered: Option<UncoveredIndex>,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -238,7 +298,7 @@ impl<'m> Engine<'m> {
                     signal,
                     bit,
                     spec,
-                    dataset: Dataset::new(),
+                    dataset: Dataset::with_horizon(config.temporal.horizon),
                     tree,
                     stuck: None,
                 }
@@ -273,6 +333,10 @@ impl<'m> Engine<'m> {
             reported_stats,
             compiled,
             cancel: None,
+            short_traces: 0,
+            temporal_decided: HashSet::new(),
+            temporal_proved: Vec::new(),
+            last_uncovered: None,
         })
     }
 
@@ -363,10 +427,15 @@ impl<'m> Engine<'m> {
         if !seed_vectors.is_empty() {
             self.suite.push("seed", seed_vectors.clone());
             let trace = self.simulate_segment(&seed_vectors)?;
+            let mut short = 0usize;
             for t in &mut self.targets {
                 let rows = t.dataset.add_trace(&t.spec, &trace);
-                debug_assert!(!rows.is_empty() || trace.len() < t.spec.span() as usize);
+                // The extraction report tells short traces apart from
+                // (impossible here) zero-row long traces.
+                debug_assert!(!rows.rows.is_empty() || rows.short_traces > 0);
+                short += rows.short_traces;
             }
+            self.short_traces += short;
         }
         for t in &mut self.targets {
             if let Err(e) = t.tree.fit(&t.dataset) {
@@ -381,7 +450,7 @@ impl<'m> Engine<'m> {
         // report — so the outcome stays valid, just truncated.
         let mut interrupted = false;
         let mut history: Vec<IterationReport> = Vec::new();
-        let mut go = match self.snapshot_report(0, 0) {
+        let mut go = match self.snapshot_report(0, PassCounts::default()) {
             Ok(report) => {
                 history.push(report);
                 on_iteration(&history[0])
@@ -397,15 +466,15 @@ impl<'m> Engine<'m> {
         let mut iteration = 0;
         while go && iteration < self.config.max_iterations {
             iteration += 1;
-            let refuted = match self.iteration_pass(iteration) {
-                Ok(refuted) => refuted,
+            let counts = match self.iteration_pass(iteration) {
+                Ok(counts) => counts,
                 Err(EngineError::Mc(McError::Cancelled)) => {
                     interrupted = true;
                     break;
                 }
                 Err(e) => return Err(e),
             };
-            match self.snapshot_report(iteration, refuted) {
+            match self.snapshot_report(iteration, counts) {
                 Ok(report) => history.push(report),
                 Err(EngineError::Mc(McError::Cancelled)) => {
                     interrupted = true;
@@ -414,12 +483,13 @@ impl<'m> Engine<'m> {
                 Err(e) => return Err(e),
             }
             go = on_iteration(history.last().expect("just pushed"));
-            if self.all_converged() {
+            if self.all_converged() && counts.directed_absorbed == 0 {
                 break;
             }
-            if refuted == 0 {
+            if counts.progress() == 0 {
                 // No forward progress possible: remaining leaves are
-                // stuck or unknown-open.
+                // stuck or unknown-open, and (when refinement is on) no
+                // directed variant gains coverage anymore.
                 break;
             }
         }
@@ -446,6 +516,7 @@ impl<'m> Engine<'m> {
             converged: self.all_converged(),
             iterations: history,
             assertions,
+            temporal: std::mem::take(&mut self.temporal_proved),
             suite: std::mem::replace(&mut self.suite, TestSuite::new()),
             targets,
             unknown_assumed: self.unknown_assumed,
@@ -462,6 +533,14 @@ impl<'m> Engine<'m> {
     /// Collects the full cross-target worklist of pure open leaves.
     /// Trees are stable while the worklist is pending in batched mode
     /// (counterexample absorption is deferred past the dispatch).
+    ///
+    /// When refinement is enabled and an uncovered-point index is
+    /// available, the worklist is coverage-ranked: candidates whose
+    /// literals mention signals with more open coverage points come
+    /// first, so their counterexamples — the prefixes the directed
+    /// synthesizer extends — steer toward uncovered logic. The sort is
+    /// stable with the collection order as tie-break, so ranking is
+    /// deterministic; with refinement off the order is untouched.
     fn open_candidates(&self) -> Vec<(usize, usize)> {
         let mut worklist: Vec<(usize, usize)> = Vec::new();
         for (ti, t) in self.targets.iter().enumerate() {
@@ -472,6 +551,21 @@ impl<'m> Engine<'m> {
                 if t.tree.leaf_status(leaf) == LeafStatus::Open && t.tree.is_pure(leaf) {
                     worklist.push((ti, leaf));
                 }
+            }
+        }
+        if self.config.refine.enabled() {
+            if let Some(index) = &self.last_uncovered {
+                let gain_of = |&(ti, leaf): &(usize, usize)| -> usize {
+                    let t = &self.targets[ti];
+                    let a = assertion_at(&t.tree, &t.spec, leaf);
+                    let mut sigs: Vec<SignalId> =
+                        a.literals.iter().map(|(f, _)| f.signal).collect();
+                    sigs.push(a.target.signal);
+                    sigs.sort_unstable();
+                    sigs.dedup();
+                    sigs.into_iter().map(|s| index.signal_gain(s)).sum()
+                };
+                worklist.sort_by_key(|cand| std::cmp::Reverse(gain_of(cand)));
             }
         }
         worklist
@@ -485,10 +579,33 @@ impl<'m> Engine<'m> {
     /// verification session, and every counterexample trace is absorbed
     /// in bulk afterwards. Unbatched mode checks candidates one at a
     /// time and feeds each counterexample back immediately.
-    fn iteration_pass(&mut self, iteration: u32) -> Result<usize, EngineError> {
-        if !self.config.batched {
-            return self.iteration_pass_sequential(iteration);
+    fn iteration_pass(&mut self, iteration: u32) -> Result<PassCounts, EngineError> {
+        // Counterexample input sequences discovered this iteration, in
+        // decision order: the refinement pass extends them toward
+        // uncovered logic.
+        let mut prefixes: Vec<Vec<InputVector>> = Vec::new();
+        let mut counts = if self.config.batched {
+            self.window_pass_batched(iteration, &mut prefixes)?
+        } else {
+            self.window_pass_sequential(iteration, &mut prefixes)?
+        };
+        if self.config.temporal.enabled() {
+            let (dispatched, refuted) = self.temporal_pass(iteration, &mut prefixes)?;
+            counts.temporal_candidates = dispatched;
+            counts.temporal_refuted = refuted;
         }
+        if self.config.refine.enabled() {
+            counts.directed_absorbed = self.refinement_pass(iteration, &prefixes)?;
+        }
+        Ok(counts)
+    }
+
+    /// The batched combinational pass (see [`Engine::iteration_pass`]).
+    fn window_pass_batched(
+        &mut self,
+        iteration: u32,
+        prefixes: &mut Vec<Vec<InputVector>>,
+    ) -> Result<PassCounts, EngineError> {
         let worklist = self.open_candidates();
         // Dedupe identical properties across targets: distinct target
         // bits often mine the same implication, which must cost one
@@ -534,6 +651,7 @@ impl<'m> Engine<'m> {
                     let label = format!("cex-{iteration}-{cex_count}");
                     self.suite.push(label, cex.inputs.clone());
                     pending_traces.push(self.simulate_segment(&cex.inputs)?);
+                    prefixes.push(cex.inputs);
                 }
                 CheckResult::Unknown { .. } => match self.config.unknown {
                     UnknownPolicy::AssumeTrue => {
@@ -550,14 +668,21 @@ impl<'m> Engine<'m> {
         for trace in &pending_traces {
             self.absorb_trace(trace);
         }
-        Ok(refuted)
+        Ok(PassCounts {
+            refuted,
+            ..PassCounts::default()
+        })
     }
 
     /// The unbatched pass: each candidate is checked and its
     /// counterexample absorbed immediately, so later candidates see the
     /// refined trees. Leaves are re-validated because the tree may morph
     /// under us as counterexample rows arrive.
-    fn iteration_pass_sequential(&mut self, iteration: u32) -> Result<usize, EngineError> {
+    fn window_pass_sequential(
+        &mut self,
+        iteration: u32,
+        prefixes: &mut Vec<Vec<InputVector>>,
+    ) -> Result<PassCounts, EngineError> {
         let worklist = self.open_candidates();
         let mut refuted = 0usize;
         let mut cex_count = 0usize;
@@ -585,6 +710,7 @@ impl<'m> Engine<'m> {
                     self.suite.push(label, cex.inputs.clone());
                     let trace = self.simulate_segment(&cex.inputs)?;
                     self.absorb_trace(&trace);
+                    prefixes.push(cex.inputs);
                 }
                 CheckResult::Unknown { .. } => match self.config.unknown {
                     UnknownPolicy::AssumeTrue => {
@@ -595,27 +721,177 @@ impl<'m> Engine<'m> {
                 },
             }
         }
-        Ok(refuted)
+        Ok(PassCounts {
+            refuted,
+            ..PassCounts::default()
+        })
+    }
+
+    /// One temporal-template pass: collect the undecided temporal
+    /// candidates across all targets (deduped by property), dispatch
+    /// them through the checker's temporal path, accumulate proved ones
+    /// into the run's temporal assertion list, and absorb refuted ones'
+    /// counterexamples as `tcex-*` segments. Returns `(dispatched,
+    /// refuted)`.
+    ///
+    /// Unlike combinational candidates, temporal verdicts never touch
+    /// leaf statuses — a refuted stability window says nothing about
+    /// the leaf's single-cycle implication. Decided properties are
+    /// remembered so a candidate the (stable) leaf keeps re-proposing
+    /// costs one query and one counterexample total, which also
+    /// guarantees the pass converges.
+    fn temporal_pass(
+        &mut self,
+        iteration: u32,
+        prefixes: &mut Vec<Vec<InputVector>>,
+    ) -> Result<(usize, usize), EngineError> {
+        let mut unique: Vec<TemporalProperty> = Vec::new();
+        let mut mined: Vec<TemporalAssertion> = Vec::new();
+        let mut seen: HashSet<TemporalProperty> = HashSet::new();
+        for t in &self.targets {
+            if t.stuck.is_some() {
+                continue;
+            }
+            for (_leaf, ta) in temporal_candidates(&t.tree, &t.spec, &t.dataset) {
+                let prop = temporal_property(&ta);
+                if self.temporal_decided.contains(&prop) || !seen.insert(prop.clone()) {
+                    continue;
+                }
+                unique.push(prop);
+                mined.push(ta);
+            }
+        }
+        let results = self.checker.check_temporal_batch(&unique)?;
+        let mut refuted = 0usize;
+        let mut tcex_count = 0usize;
+        for ((prop, ta), res) in unique.into_iter().zip(mined).zip(results) {
+            match res {
+                CheckResult::Proved => {
+                    self.temporal_decided.insert(prop);
+                    self.temporal_proved.push(ta);
+                }
+                CheckResult::Violated(cex) => {
+                    self.temporal_decided.insert(prop);
+                    refuted += 1;
+                    tcex_count += 1;
+                    let label = format!("tcex-{iteration}-{tcex_count}");
+                    self.suite.push(label, cex.inputs.clone());
+                    let trace = self.simulate_segment(&cex.inputs)?;
+                    self.absorb_trace(&trace);
+                    prefixes.push(cex.inputs);
+                }
+                CheckResult::Unknown { .. } => {
+                    // Decided either way: the verdict is deterministic,
+                    // so re-asking next iteration cannot improve it.
+                    self.temporal_decided.insert(prop);
+                    if self.config.unknown == UnknownPolicy::AssumeTrue {
+                        self.unknown_assumed += 1;
+                        self.temporal_proved.push(ta);
+                    }
+                }
+            }
+        }
+        Ok((seen.len(), refuted))
+    }
+
+    /// One coverage-ranked refinement pass: extend this iteration's
+    /// counterexample prefixes with deterministic random suffixes
+    /// ([`gm_sim::synthesize_directed`]), score every variant's trace
+    /// against the last coverage snapshot's uncovered-point index, and
+    /// absorb the top gainers as `dir-*` suite segments (and mining
+    /// rows). Returns the number of segments absorbed.
+    ///
+    /// Scores are computed against the frozen snapshot index, not
+    /// re-queried between absorptions; only strictly-positive gains are
+    /// absorbed, so total absorptions over a run are bounded by the
+    /// design's coverage-point count and the loop cannot spin.
+    fn refinement_pass(
+        &mut self,
+        iteration: u32,
+        prefixes: &[Vec<InputVector>],
+    ) -> Result<usize, EngineError> {
+        let Some(index) = self.last_uncovered.clone() else {
+            return Ok(0);
+        };
+        if index.is_empty() {
+            return Ok(0);
+        }
+        let rc = self.config.refine;
+        // Iteration-distinct but run-deterministic seeds; with no
+        // counterexamples this iteration, probe outward from reset.
+        let base_seed = self
+            .config
+            .seed
+            .wrapping_add((iteration as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let empty_prefix = [Vec::new()];
+        let prefixes: &[Vec<InputVector>] = if prefixes.is_empty() {
+            &empty_prefix
+        } else {
+            prefixes
+        };
+        let mut variants: Vec<Vec<InputVector>> = Vec::new();
+        for (pi, prefix) in prefixes.iter().enumerate() {
+            variants.extend(synthesize_directed(
+                self.module,
+                prefix,
+                base_seed.wrapping_add(pi as u64),
+                rc.extra_cycles,
+                rc.variants,
+            ));
+        }
+        let cancelled = || {
+            self.cancel
+                .as_deref()
+                .is_some_and(|c| c.load(Ordering::Acquire))
+        };
+        let mut scored: Vec<(usize, usize)> = Vec::with_capacity(variants.len());
+        let mut traces: Vec<Trace> = Vec::with_capacity(variants.len());
+        for (i, vectors) in variants.iter().enumerate() {
+            if cancelled() {
+                // Nothing has been absorbed yet: the pass is discarded
+                // whole, keeping the interrupted-outcome contract.
+                return Err(McError::Cancelled.into());
+            }
+            let trace = self.simulate_segment(vectors)?;
+            scored.push((i, index.trace_gain(&trace)));
+            traces.push(trace);
+        }
+        // Rank by gain, stable on synthesis order for ties.
+        scored.sort_by_key(|&(_, gain)| std::cmp::Reverse(gain));
+        let mut absorbed = 0usize;
+        for &(i, gain) in scored.iter().take(rc.max_absorb) {
+            if gain == 0 {
+                break;
+            }
+            absorbed += 1;
+            let label = format!("dir-{iteration}-{absorbed}");
+            self.suite.push(label, variants[i].clone());
+            self.absorb_trace(&traces[i]);
+        }
+        Ok(absorbed)
     }
 
     /// Feeds a counterexample trace into every target's dataset and tree
     /// (the shared test suite improves all outputs, §3).
     fn absorb_trace(&mut self, trace: &Trace) {
+        let mut short = 0usize;
         for t in &mut self.targets {
             if t.stuck.is_some() {
                 continue;
             }
             let rows = t.dataset.add_trace(&t.spec, trace);
-            if let Err(e) = t.tree.add_rows(&t.dataset, &rows) {
+            short += rows.short_traces;
+            if let Err(e) = t.tree.add_rows(&t.dataset, &rows.rows) {
                 t.stuck = Some(e);
             }
         }
+        self.short_traces += short;
     }
 
     fn snapshot_report(
         &mut self,
         iteration: u32,
-        refuted: usize,
+        counts: PassCounts,
     ) -> Result<IterationReport, EngineError> {
         let mut proved_total = 0usize;
         let mut candidates = 0usize;
@@ -674,6 +950,11 @@ impl<'m> Engine<'m> {
                     }
                 }
             }
+            // Freeze this snapshot's uncovered points for the next
+            // refinement pass's gain ranking.
+            if self.config.refine.enabled() {
+                self.last_uncovered = Some(UncoveredIndex::from_suite(&cov));
+            }
             Some(cov.report())
         } else {
             None
@@ -687,10 +968,15 @@ impl<'m> Engine<'m> {
             iteration,
             candidates,
             proved_total,
-            refuted,
+            refuted: counts.refuted,
             input_space_coverage: input_space,
             coverage,
             suite_cycles: self.suite.total_cycles(),
+            short_traces: self.short_traces,
+            temporal_candidates: counts.temporal_candidates,
+            temporal_proved: self.temporal_proved.len(),
+            temporal_refuted: counts.temporal_refuted,
+            directed_absorbed: counts.directed_absorbed,
             verification,
         })
     }

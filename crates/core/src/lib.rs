@@ -40,9 +40,10 @@ mod report;
 
 pub use campaign::{Campaign, CampaignJob, CampaignRun, CampaignSummary};
 pub use config::{
-    EngineConfig, SeedStimulus, ShardPolicy, StealPolicy, TargetSelection, UnknownPolicy,
+    EngineConfig, RefineConfig, SeedStimulus, ShardPolicy, StealPolicy, TargetSelection,
+    TemporalConfig, UnknownPolicy,
 };
-pub use engine::{assertion_property, Engine};
+pub use engine::{assertion_property, temporal_property, Engine};
 pub use error::EngineError;
 pub use gm_sim::{CompileOptions, CompiledModule, SimBackend, MAX_LANE_BLOCK};
 pub use mutation::{check_fault, fault_campaign, suite_detects_fault, FaultKind, FaultReport};

@@ -2,7 +2,7 @@
 
 use gm_coverage::CoverageReport;
 use gm_mc::SessionStats;
-use gm_mine::{Assertion, MineError};
+use gm_mine::{Assertion, MineError, TemporalAssertion};
 use gm_rtl::SignalId;
 use gm_sim::TestSuite;
 
@@ -29,6 +29,23 @@ pub struct IterationReport {
     pub coverage: Option<CoverageReport>,
     /// Total stimulus cycles in the accumulated suite.
     pub suite_cycles: usize,
+    /// Cumulative `(target, trace)` pairs dropped because the trace was
+    /// shorter than the target's mining span — stimulus the miner never
+    /// saw. A persistently non-zero count under directed seeding means
+    /// the configured window outruns the supplied tests.
+    pub short_traces: usize,
+    /// Temporal candidates dispatched to the checker this iteration
+    /// (zero when temporal mining is disabled).
+    pub temporal_candidates: usize,
+    /// Cumulative proved (or assumed) temporal assertions so far.
+    pub temporal_proved: usize,
+    /// Temporal candidates refuted this iteration; their counterexample
+    /// traces joined the suite as `tcex-*` segments.
+    pub temporal_refuted: usize,
+    /// Directed `dir-*` segments absorbed by the coverage-ranked
+    /// refinement pass this iteration (zero when refinement is
+    /// disabled).
+    pub directed_absorbed: usize,
     /// Verification-session work done during this iteration: queries by
     /// engine, memo hits, solver conflicts/propagations, unrolling
     /// frames encoded vs reused.
@@ -64,6 +81,10 @@ pub struct ClosureOutcome {
     pub iterations: Vec<IterationReport>,
     /// All proved assertions across targets.
     pub assertions: Vec<Assertion>,
+    /// Proved (or assumed-true) temporal assertions, in the
+    /// deterministic order they were decided. Empty unless
+    /// [`crate::TemporalConfig`] enables temporal mining.
+    pub temporal: Vec<TemporalAssertion>,
     /// The accumulated validation stimulus: seed patterns plus one
     /// segment per counterexample.
     pub suite: TestSuite,

@@ -387,6 +387,23 @@ impl ToggleCoverage {
             .sum();
         Ratio::new(covered, self.watched.len() * 2)
     }
+
+    /// The uncovered toggle points, in watched (declaration) order:
+    /// `(signal, bit, rising)` where `rising` distinguishes the missing
+    /// edge direction. Drives the refinement loop's uncovered-point
+    /// scoring.
+    pub fn uncovered(&self) -> Vec<(SignalId, u32, bool)> {
+        let mut out = Vec::new();
+        for &(sig, bit) in &self.watched {
+            if !self.rises.contains(&(sig, bit)) {
+                out.push((sig, bit, true));
+            }
+            if !self.falls.contains(&(sig, bit)) {
+                out.push((sig, bit, false));
+            }
+        }
+        out
+    }
 }
 
 impl SimObserver for ToggleCoverage {
@@ -515,6 +532,22 @@ impl FsmCoverage {
     /// The number of distinct state transitions observed on `reg`.
     pub fn transitions_observed(&self, reg: SignalId) -> usize {
         self.transitions.get(&reg).map_or(0, |t| t.len())
+    }
+
+    /// The declared-but-unvisited states, in declaration order:
+    /// `(register, state)` pairs. Drives the refinement loop's
+    /// uncovered-point scoring.
+    pub fn unvisited(&self) -> Vec<(SignalId, Bv)> {
+        let mut out = Vec::new();
+        for (reg, states) in &self.regs {
+            let visited = self.visited.get(reg);
+            for s in states {
+                if visited.is_none_or(|v| !v.contains(s)) {
+                    out.push((*reg, *s));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -694,6 +727,11 @@ impl<'m> CoverageSuite<'m> {
     /// The FSM collector.
     pub fn fsm(&self) -> &FsmCoverage {
         &self.fsm
+    }
+
+    /// The toggle collector.
+    pub fn toggle(&self) -> &ToggleCoverage {
+        &self.toggle
     }
 }
 

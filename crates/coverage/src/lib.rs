@@ -23,6 +23,7 @@
 mod collectors;
 mod points;
 mod ratio;
+mod uncovered;
 
 pub use collectors::{
     BranchCoverage, ConditionCoverage, CoverageSuite, ExpressionCoverage, FsmCoverage,
@@ -32,3 +33,4 @@ pub use points::{
     boolean_nodes, branch_points, count_boolean_nodes, declared_fsm_states, observe_boolean_nodes,
 };
 pub use ratio::{CoverageReport, Ratio};
+pub use uncovered::UncoveredIndex;

@@ -1,0 +1,144 @@
+//! Uncovered-point index for coverage-directed stimulus ranking.
+//!
+//! The refinement loop (gm-core) needs to ask, for each candidate
+//! stimulus it could absorb next, *how many currently-uncovered points
+//! would this trace newly hit?* — without mutating the live collectors.
+//! [`UncoveredIndex`] snapshots the open toggle points and unvisited
+//! FSM states out of a [`CoverageSuite`] and scores candidate traces
+//! against that frozen set.
+//!
+//! Only toggle and FSM points are indexed: they are the two metrics
+//! whose points are directly expressible as predicates over trace
+//! snapshots (a bit edge between consecutive settled cycles; a register
+//! equalling a declared state). Line/branch/condition/expression points
+//! need the evaluator's internal probes and are deliberately out of
+//! scope — the ranking is a heuristic gain estimate, not a replay.
+
+use crate::collectors::CoverageSuite;
+use gm_rtl::{Bv, SignalId};
+use gm_sim::Trace;
+
+/// A frozen snapshot of the uncovered toggle points and unvisited FSM
+/// states of a [`CoverageSuite`], with a trace-scoring query.
+///
+/// Construction order is deterministic (watched-declaration order for
+/// toggles, register-declaration order for FSM states), so scores and
+/// tie-breaks are reproducible across runs and backends.
+#[derive(Debug, Clone, Default)]
+pub struct UncoveredIndex {
+    /// Uncovered toggle points: `(signal, bit, rising)`.
+    toggles: Vec<(SignalId, u32, bool)>,
+    /// Declared-but-unvisited FSM states: `(register, state)`.
+    fsm_states: Vec<(SignalId, Bv)>,
+}
+
+impl UncoveredIndex {
+    /// Snapshots the uncovered points of `suite`.
+    pub fn from_suite(suite: &CoverageSuite) -> Self {
+        Self {
+            toggles: suite.toggle().uncovered(),
+            fsm_states: suite.fsm().unvisited(),
+        }
+    }
+
+    /// Whether there is nothing left to cover in the indexed metrics.
+    pub fn is_empty(&self) -> bool {
+        self.toggles.is_empty() && self.fsm_states.is_empty()
+    }
+
+    /// The number of open points in the index.
+    pub fn len(&self) -> usize {
+        self.toggles.len() + self.fsm_states.len()
+    }
+
+    /// The number of open points that live on `sig` (toggle edges of
+    /// any bit, plus unvisited FSM states when `sig` is a state
+    /// register). The worklist ranker uses this as a cheap distance
+    /// query: a candidate whose literals mention high-residue signals
+    /// is more likely to yield coverage-advancing stimulus when
+    /// refuted.
+    pub fn signal_gain(&self, sig: SignalId) -> usize {
+        self.toggles.iter().filter(|&&(s, _, _)| s == sig).count()
+            + self.fsm_states.iter().filter(|&&(s, _)| s == sig).count()
+    }
+
+    /// The number of indexed points `trace` would newly cover.
+    ///
+    /// Each open point counts at most once no matter how often the
+    /// trace hits it, matching how the live collectors would absorb it.
+    /// Toggle points follow the collector's edge semantics: an edge is
+    /// a bit change between *consecutive* settled cycles of this trace
+    /// (cross-trace seams are not edges).
+    pub fn trace_gain(&self, trace: &Trace) -> usize {
+        let mut gain = 0;
+        for &(sig, bit, rising) in &self.toggles {
+            if (1..trace.len()).any(|c| {
+                let old = trace.bit(c - 1, sig, bit);
+                let new = trace.bit(c, sig, bit);
+                old != new && new == rising
+            }) {
+                gain += 1;
+            }
+        }
+        for &(reg, state) in &self.fsm_states {
+            if (0..trace.len()).any(|c| trace.value(c, reg) == state) {
+                gain += 1;
+            }
+        }
+        gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gm_rtl::parse_verilog;
+    use gm_sim::Simulator;
+
+    const DFF: &str = "module dff(input clk, input d, output reg q);
+  always @(posedge clk) q <= d;
+endmodule";
+
+    fn trace_for<'m>(module: &'m gm_rtl::Module, d_vals: &[u64]) -> (CoverageSuite<'m>, Trace) {
+        let mut suite = CoverageSuite::new(module);
+        let mut sim = Simulator::new(module).unwrap();
+        let d = module.require("d").unwrap();
+        let vectors: Vec<Vec<(SignalId, Bv)>> =
+            d_vals.iter().map(|&v| vec![(d, Bv::new(v, 1))]).collect();
+        let trace = sim.run_vectors(&vectors, &mut suite);
+        (suite, trace)
+    }
+
+    #[test]
+    fn gain_counts_only_open_points_once() {
+        // Hold d low: d and q never move, so their rise/fall points
+        // stay open.
+        let m = parse_verilog(DFF).unwrap();
+        let (suite, _) = trace_for(&m, &[0, 0, 0]);
+        let idx = UncoveredIndex::from_suite(&suite);
+        assert!(!idx.is_empty());
+        let before = idx.len();
+
+        // A trace that toggles d (and hence q) repeatedly covers each
+        // open toggle point exactly once regardless of repetition.
+        let (_, busy) = trace_for(&m, &[0, 1, 0, 1, 0, 1]);
+        let gain = idx.trace_gain(&busy);
+        assert!(gain > 0, "toggling trace must gain over an idle baseline");
+        assert!(gain <= before);
+
+        // The idle trace itself gains nothing new.
+        let (_, idle) = trace_for(&m, &[0, 0, 0]);
+        assert_eq!(idx.trace_gain(&idle), 0);
+    }
+
+    #[test]
+    fn full_closure_empties_the_index() {
+        let m = parse_verilog(DFF).unwrap();
+        let (suite, _) = trace_for(&m, &[0, 1, 0, 1, 0]);
+        let idx = UncoveredIndex::from_suite(&suite);
+        assert!(idx.is_empty(), "open points left: {:?}", idx);
+        assert_eq!(idx.len(), 0);
+        let (_, t) = trace_for(&m, &[0, 1]);
+        assert_eq!(idx.trace_gain(&t), 0);
+    }
+}

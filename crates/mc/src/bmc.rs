@@ -10,11 +10,56 @@
 
 use crate::aig::{AigLit, AigNode};
 use crate::blast::Blasted;
-use crate::prop::{assemble_input_vector, BitAtom, CexTrace, CheckResult, WindowProperty};
+use crate::prop::{
+    assemble_input_vector, BitAtom, CexTrace, CheckResult, ConsequentKind, TemporalProperty,
+    WindowProperty,
+};
 use gm_rtl::Module;
 use gm_sat::{Lit, SolveResult, Solver};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// A bounded-window property the SAT engines can unroll: anything that
+/// can encode "the window starting at `base` is violated" as one
+/// activation literal. Implemented by [`WindowProperty`] (single
+/// consequent) and [`TemporalProperty`] (conjunctive / disjunctive
+/// consequents), which lets [`bmc`], [`k_induction`], and the
+/// incremental [`crate::CheckSession`] engines decide both through the
+/// same code path.
+pub trait UnrollProperty {
+    /// The largest cycle offset any atom uses (the window spans
+    /// `window_depth() + 1` cycles).
+    fn window_depth(&self) -> u32;
+
+    /// Encodes the violation of the window starting at `base` as an
+    /// activation literal.
+    fn encode_violation(&self, unroller: &mut Unroller, base: usize) -> Lit;
+
+    /// Encodes "the window starting at `base` satisfies the property".
+    fn encode_holds(&self, unroller: &mut Unroller, base: usize) -> Lit {
+        !self.encode_violation(unroller, base)
+    }
+}
+
+impl UnrollProperty for WindowProperty {
+    fn window_depth(&self) -> u32 {
+        self.depth()
+    }
+
+    fn encode_violation(&self, unroller: &mut Unroller, base: usize) -> Lit {
+        unroller.violation_lit(base, self)
+    }
+}
+
+impl UnrollProperty for TemporalProperty {
+    fn window_depth(&self) -> u32 {
+        self.depth()
+    }
+
+    fn encode_violation(&self, unroller: &mut Unroller, base: usize) -> Lit {
+        unroller.temporal_violation_lit(base, self)
+    }
+}
 
 /// Lays AIG time frames into a SAT solver.
 ///
@@ -196,6 +241,37 @@ impl Unroller {
         !self.violation_lit(base, prop)
     }
 
+    /// A literal equivalent to "the temporal property's window starting
+    /// at `base` is violated": the antecedent holds and the consequent
+    /// combination fails (`All`: some atom false; `Any`: every atom
+    /// false). An empty consequent set degenerates to `All` = true
+    /// (never violated) / `Any` = false (violated whenever the
+    /// antecedent holds) — the miner never emits one.
+    pub fn temporal_violation_lit(&mut self, base: usize, prop: &TemporalProperty) -> Lit {
+        let mut acc = self.true_lit;
+        for atom in prop.antecedent.clone() {
+            let al = self.atom_lit(base, &atom);
+            acc = self.encode_and(acc, al);
+        }
+        match prop.kind {
+            ConsequentKind::All => {
+                let mut all = self.true_lit;
+                for atom in prop.consequents.clone() {
+                    let cl = self.atom_lit(base, &atom);
+                    all = self.encode_and(all, cl);
+                }
+                self.encode_and(acc, !all)
+            }
+            ConsequentKind::Any => {
+                for atom in prop.consequents.clone() {
+                    let cl = self.atom_lit(base, &atom);
+                    acc = self.encode_and(acc, !cl);
+                }
+                acc
+            }
+        }
+    }
+
     /// Extracts the model's input assignments for frames `0..=last` as a
     /// counterexample trace.
     pub fn extract_cex(&self, module: &Module, last: usize) -> CexTrace {
@@ -223,10 +299,10 @@ impl Unroller {
 /// workloads should use [`crate::CheckSession`] (or
 /// [`crate::Checker::check_batch`]), which keeps the unrolling and the
 /// solver's learnt clauses alive across properties.
-pub fn bmc(
+pub fn bmc<P: UnrollProperty>(
     module: &Module,
     blasted: &Blasted,
-    prop: &WindowProperty,
+    prop: &P,
     max_start: u32,
 ) -> CheckResult {
     bmc_shared(module, Arc::new(blasted.clone()), prop, max_start)
@@ -235,18 +311,18 @@ pub fn bmc(
 /// The BMC scan on a shared design handle: the common core of the
 /// one-shot [`bmc`] entry point, canonical counterexample extraction,
 /// and the racing dispatch's SAT side.
-pub(crate) fn bmc_shared(
+pub(crate) fn bmc_shared<P: UnrollProperty>(
     module: &Module,
     blasted: Arc<Blasted>,
-    prop: &WindowProperty,
+    prop: &P,
     max_start: u32,
 ) -> CheckResult {
-    let depth = prop.depth() as usize;
+    let depth = prop.window_depth() as usize;
     let last_start = last_scan_start(&blasted, max_start);
     let mut unroller = Unroller::new(blasted, false);
     for start in 0..=last_start {
         unroller.ensure_frame(start + depth);
-        let v = unroller.violation_lit(start, prop);
+        let v = prop.encode_violation(&mut unroller, start);
         if unroller.solver().solve_with_assumptions(&[v]) == SolveResult::Sat {
             let cex = unroller.extract_cex(module, start + depth);
             return CheckResult::Violated(cex);
@@ -287,10 +363,10 @@ pub(crate) fn last_scan_start(blasted: &Blasted, max_start: u32) -> usize {
 /// Returns `None` when no violation exists within `limit` (the caller
 /// then falls back to whatever deterministic trace it already holds,
 /// e.g. an explicit-state one).
-pub(crate) fn canonical_cex(
+pub(crate) fn canonical_cex<P: UnrollProperty>(
     module: &Module,
     blasted: &Arc<Blasted>,
-    prop: &WindowProperty,
+    prop: &P,
     limit: u32,
 ) -> Option<CexTrace> {
     match bmc_shared(module, blasted.clone(), prop, limit) {
@@ -306,10 +382,10 @@ pub(crate) fn canonical_cex(
 /// step case assumes the property on `k` consecutive windows from an
 /// arbitrary state and asks whether the next window can fail. If the
 /// step is UNSAT the property is proved.
-pub fn k_induction(
+pub fn k_induction<P: UnrollProperty>(
     module: &Module,
     blasted: &Blasted,
-    prop: &WindowProperty,
+    prop: &P,
     max_k: u32,
 ) -> CheckResult {
     // Clone the design into one shared handle for every unroller below.
@@ -319,19 +395,19 @@ pub fn k_induction(
 /// [`k_induction`] on an already-shared design handle — used by the
 /// racing dispatch, which fires one-shot SAT engines from worker
 /// threads and must not clone the design per query.
-pub(crate) fn k_induction_shared(
+pub(crate) fn k_induction_shared<P: UnrollProperty>(
     module: &Module,
     shared: Arc<Blasted>,
-    prop: &WindowProperty,
+    prop: &P,
     max_k: u32,
 ) -> CheckResult {
-    let depth = prop.depth() as usize;
+    let depth = prop.window_depth() as usize;
     // Base cases, shared incrementally.
     let mut base = Unroller::new(shared.clone(), false);
     for k in 0..=max_k as usize {
         // Base: violation in window starting at k from reset?
         base.ensure_frame(k + depth);
-        let v = base.violation_lit(k, prop);
+        let v = prop.encode_violation(&mut base, k);
         if base.solver().solve_with_assumptions(&[v]) == SolveResult::Sat {
             let cex = base.extract_cex(module, k + depth);
             return CheckResult::Violated(cex);
@@ -341,10 +417,10 @@ pub(crate) fn k_induction_shared(
         step.ensure_frame(k + depth);
         let mut assumptions = Vec::new();
         for j in 0..k {
-            let h = step.holds_lit(j, prop);
+            let h = prop.encode_holds(&mut step, j);
             assumptions.push(h);
         }
-        let v = step.violation_lit(k, prop);
+        let v = prop.encode_violation(&mut step, k);
         assumptions.push(v);
         if step.solver().solve_with_assumptions(&assumptions) == SolveResult::Unsat {
             return CheckResult::Proved;
@@ -439,6 +515,44 @@ mod tests {
             }
             other => panic!("expected violation, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn temporal_eventuality_and_stability_on_dff() {
+        let (m, b) = setup(DFF);
+        let d = m.require("d").unwrap();
+        let q = m.require("q").unwrap();
+        // d@0 |-> F<=1 q@1: q@1 alone already follows d@0, so the
+        // disjunctive window (q@1 | q@2) is provable.
+        let eventually = TemporalProperty {
+            antecedent: vec![BitAtom::new(d, 0, 0, true)],
+            consequents: vec![BitAtom::new(q, 0, 1, true), BitAtom::new(q, 0, 2, true)],
+            kind: ConsequentKind::Any,
+        };
+        assert_eq!(k_induction(&m, &b, &eventually, 4), CheckResult::Proved);
+        // d@0 |-> G<=1 q@1: q@2 tracks the free input d@1, so the
+        // conjunctive window is violated.
+        let stable = TemporalProperty {
+            antecedent: vec![BitAtom::new(d, 0, 0, true)],
+            consequents: vec![BitAtom::new(q, 0, 1, true), BitAtom::new(q, 0, 2, true)],
+            kind: ConsequentKind::All,
+        };
+        match k_induction(&m, &b, &stable, 4) {
+            CheckResult::Violated(cex) => {
+                // The violating run must deassert d somewhere after the
+                // window start; BMC must agree on the verdict.
+                assert!(!cex.is_empty());
+                assert!(matches!(bmc(&m, &b, &stable, 4), CheckResult::Violated(_)));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+        // The stability claim that holds: d@0 & d@1 |-> q@1 & q@2.
+        let stable_ok = TemporalProperty {
+            antecedent: vec![BitAtom::new(d, 0, 0, true), BitAtom::new(d, 0, 1, true)],
+            consequents: vec![BitAtom::new(q, 0, 1, true), BitAtom::new(q, 0, 2, true)],
+            kind: ConsequentKind::All,
+        };
+        assert_eq!(k_induction(&m, &b, &stable_ok, 4), CheckResult::Proved);
     }
 
     #[test]

@@ -23,10 +23,10 @@
 //! work-attribution stats depend on which engine answered first.
 
 use crate::blast::{blast, Blasted};
-use crate::bmc::{bmc_shared, canonical_cex, k_induction_shared};
+use crate::bmc::{bmc_shared, canonical_cex, k_induction_shared, UnrollProperty};
 use crate::error::McError;
 use crate::explicit::{explicit_check, ExplicitLimits, ReachableStates};
-use crate::prop::{CheckResult, WindowProperty};
+use crate::prop::{CheckResult, TemporalProperty, WindowProperty};
 use crate::session::{cancel_requested, CheckSession, SessionStats};
 use gm_cache::BoundedLru;
 use gm_rtl::{elaborate, Elab, Module};
@@ -121,6 +121,10 @@ fn memo_entry_bytes(prop: &WindowProperty, result: &CheckResult) -> usize {
     memo_prop_bytes(prop) + memo_result_bytes(result)
 }
 
+fn memo_temporal_prop_bytes(prop: &TemporalProperty) -> usize {
+    64 + (prop.antecedent.len() + prop.consequents.len()) * std::mem::size_of::<crate::BitAtom>()
+}
+
 /// A reusable model checker for one module.
 ///
 /// The checker owns its module (an `Arc` clone of the one it was built
@@ -172,9 +176,14 @@ pub struct Checker {
     /// shared [`gm_cache::BoundedLru`]); unbounded until
     /// [`Checker::with_memo_capacity`] sets a bound.
     memo: BoundedLru<WindowProperty, CheckResult>,
+    /// Memo for multi-consequent temporal properties (single-consequent
+    /// ones collapse to [`WindowProperty`] and share `memo`). Same
+    /// lifecycle as `memo`: cleared together, bounded together.
+    temporal_memo: BoundedLru<TemporalProperty, CheckResult>,
     memo_insertions: u64,
     memo_evictions: u64,
-    /// Incrementally maintained byte estimate (see [`MemoStats`]).
+    /// Incrementally maintained byte estimate (see [`MemoStats`]),
+    /// covering both memos.
     memo_bytes: usize,
     /// Cooperative cancel token (see [`Checker::set_cancel`]).
     cancel: Option<Arc<AtomicBool>>,
@@ -212,6 +221,7 @@ impl Checker {
             reach_failed: false,
             shard_sessions: Vec::new(),
             memo: BoundedLru::unbounded(),
+            temporal_memo: BoundedLru::unbounded(),
             memo_insertions: 0,
             memo_evictions: 0,
             memo_bytes: 0,
@@ -269,6 +279,7 @@ impl Checker {
     /// is re-decided identically, so results never change.
     pub fn with_memo_capacity(mut self, entries: usize) -> Self {
         self.memo.set_capacity(Some(entries.max(1)));
+        self.temporal_memo.set_capacity(Some(entries.max(1)));
         self.evict_over_capacity();
         self
     }
@@ -278,7 +289,7 @@ impl Checker {
     /// monitoring polls never walk the memo.
     pub fn memo_stats(&self) -> MemoStats {
         MemoStats {
-            entries: self.memo.len(),
+            entries: self.memo.len() + self.temporal_memo.len(),
             approx_bytes: self.memo_bytes,
             insertions: self.memo_insertions,
             evictions: self.memo_evictions,
@@ -341,7 +352,27 @@ impl Checker {
 
     fn memo_clear(&mut self) {
         self.memo.clear();
+        self.temporal_memo.clear();
         self.memo_bytes = 0;
+    }
+
+    fn temporal_memo_insert(&mut self, prop: TemporalProperty, result: CheckResult) {
+        self.memo_insertions += 1;
+        let prop_bytes = memo_temporal_prop_bytes(&prop);
+        self.memo_bytes += prop_bytes + memo_result_bytes(&result);
+        if let Some(old) = self.temporal_memo.insert(prop, result) {
+            // Same key re-inserted: the fresh value replaced `old`, so
+            // only one property's worth of atoms is resident.
+            self.memo_bytes = self
+                .memo_bytes
+                .saturating_sub(prop_bytes + memo_result_bytes(&old));
+        }
+        while let Some((prop, result)) = self.temporal_memo.pop_over_capacity() {
+            self.memo_bytes = self
+                .memo_bytes
+                .saturating_sub(memo_temporal_prop_bytes(&prop) + memo_result_bytes(&result));
+            self.memo_evictions += 1;
+        }
     }
 
     /// Memoizes a decision; O(1) including the eviction of
@@ -412,9 +443,10 @@ impl Checker {
         self.shard_sessions.len()
     }
 
-    /// The number of distinct properties decided and memoized so far.
+    /// The number of distinct properties decided and memoized so far
+    /// (window and multi-consequent temporal alike).
     pub fn memo_len(&self) -> usize {
-        self.memo.len()
+        self.memo.len() + self.temporal_memo.len()
     }
 
     /// The number of reachable states, if explicit exploration ran.
@@ -502,6 +534,101 @@ impl Checker {
         let mut out = Vec::with_capacity(props.len());
         for prop in props {
             out.push(self.check(prop)?);
+        }
+        Ok(out)
+    }
+
+    /// Decides a temporal property.
+    ///
+    /// A single-consequent temporal property *is* a [`WindowProperty`]
+    /// and takes the full window dispatch — memo, explicit engine,
+    /// racing — via [`Checker::check`]. Multi-consequent properties
+    /// (bounded eventualities and stability windows) are decided by the
+    /// SAT engines on the shared session: [`Backend::Bmc`] /
+    /// [`Backend::KInduction`] respect their configured bounds, while
+    /// [`Backend::Auto`] and [`Backend::Explicit`] take the
+    /// BMC-then-k-induction path (the explicit engine has no
+    /// disjunctive-window evaluator, so `Explicit` degrades rather than
+    /// failing). Violated verdicts carry the canonical counterexample —
+    /// re-extracted on a fresh unrolling, independent of session
+    /// history — and results are memoized like window results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::Cancelled`] when the cooperative cancel token
+    /// is raised mid-decision.
+    pub fn check_temporal(&mut self, prop: &TemporalProperty) -> Result<CheckResult, McError> {
+        if let Some(window) = prop.as_window() {
+            return self.check(&window);
+        }
+        if let Some(res) = self.temporal_memo.get(prop).cloned() {
+            self.session.note_memo_hit();
+            return Ok(res);
+        }
+        let cancel = self.cancel.as_deref();
+        if cancel_requested(cancel) {
+            return Err(McError::Cancelled);
+        }
+        self.session.note_sat_decision();
+        let (limit, res) = match self.backend {
+            Backend::Bmc { bound } => (
+                bound,
+                self.session
+                    .bmc_cancellable(&self.module, prop, bound, cancel)?,
+            ),
+            Backend::KInduction { max_k } => (
+                max_k,
+                self.session
+                    .k_induction_cancellable(&self.module, prop, max_k, cancel)?,
+            ),
+            Backend::Auto | Backend::Explicit => {
+                let limit = self.bmc_bound.max(self.kind_max_k);
+                let res = match self.session.bmc_cancellable(
+                    &self.module,
+                    prop,
+                    self.bmc_bound,
+                    cancel,
+                )? {
+                    CheckResult::Violated(cex) => CheckResult::Violated(cex),
+                    _ => self.session.k_induction_cancellable(
+                        &self.module,
+                        prop,
+                        self.kind_max_k,
+                        cancel,
+                    )?,
+                };
+                (limit, res)
+            }
+        };
+        let res = canonicalize(
+            &self.module,
+            &self.blasted,
+            &mut self.session,
+            prop,
+            limit,
+            res,
+        );
+        self.temporal_memo_insert(prop.clone(), res.clone());
+        Ok(res)
+    }
+
+    /// Decides a batch of temporal properties sequentially against the
+    /// shared session. Duplicates are served from the memo; the result
+    /// order matches the input order. Temporal batches are not sharded:
+    /// the engine's temporal worklists are small (a few candidates per
+    /// open leaf), so the dispatch overhead would dominate.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first property that errors, like
+    /// [`Checker::check_batch`].
+    pub fn check_temporal_batch(
+        &mut self,
+        props: &[TemporalProperty],
+    ) -> Result<Vec<CheckResult>, McError> {
+        let mut out = Vec::with_capacity(props.len());
+        for prop in props {
+            out.push(self.check_temporal(prop)?);
         }
         Ok(out)
     }
@@ -816,11 +943,11 @@ fn decide_one(
 /// Replaces a session-extracted counterexample with the canonical one
 /// (see [`crate::session`]'s determinism contract). Verdicts pass
 /// through untouched.
-fn canonicalize(
+fn canonicalize<P: UnrollProperty>(
     module: &Module,
     blasted: &Arc<Blasted>,
     session: &mut CheckSession,
-    prop: &WindowProperty,
+    prop: &P,
     limit: u32,
     res: CheckResult,
 ) -> CheckResult {

@@ -65,9 +65,9 @@ mod session;
 pub use aig::{Aig, AigLit, AigNode, Latch};
 pub use aiger::{blasted_to_aiger, parse_aiger, to_aiger, ParsedAiger};
 pub use blast::{blast, Blasted};
-pub use bmc::{bmc, k_induction, Unroller};
+pub use bmc::{bmc, k_induction, UnrollProperty, Unroller};
 pub use check::{Backend, Checker, MemoStats};
 pub use error::McError;
 pub use explicit::{explicit_check, ExplicitCacheStats, ExplicitLimits, ReachableStates};
-pub use prop::{BitAtom, CexTrace, CheckResult, WindowProperty};
+pub use prop::{BitAtom, CexTrace, CheckResult, ConsequentKind, TemporalProperty, WindowProperty};
 pub use session::{CheckSession, SessionStats};

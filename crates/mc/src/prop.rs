@@ -103,6 +103,122 @@ impl fmt::Display for DisplayProperty<'_> {
     }
 }
 
+/// How a [`TemporalProperty`]'s consequent atoms combine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConsequentKind {
+    /// Every consequent atom must hold (stability windows `a -> G<=k b`:
+    /// one atom per cycle of the window).
+    All,
+    /// At least one consequent atom must hold (bounded eventuality
+    /// `a -> F<=k b`: one atom per cycle the target may fire in).
+    Any,
+}
+
+/// A windowed temporal safety property: `G (/\ antecedent -> C)` where
+/// `C` is a conjunction ([`ConsequentKind::All`]) or disjunction
+/// ([`ConsequentKind::Any`]) of consequent atoms at (possibly distinct)
+/// offsets.
+///
+/// This generalizes [`WindowProperty`] — which is the
+/// single-consequent special case — to the temporal templates the miner
+/// produces: next-cycle implications (`a -> Xb`), bounded eventualities
+/// (`a -> F<=k b`, `Any` over offsets `d..=d+k`), and stability windows
+/// (`a -> G<=k b`, `All` over the same offsets). All three stay bounded
+/// safety properties over finite windows, so the BMC/k-induction
+/// engines decide them exactly like window properties.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TemporalProperty {
+    /// Antecedent atoms (conjoined). Empty means `true`.
+    pub antecedent: Vec<BitAtom>,
+    /// Consequent atoms, combined per `kind`. Must be non-empty.
+    pub consequents: Vec<BitAtom>,
+    /// How the consequents combine.
+    pub kind: ConsequentKind,
+}
+
+impl TemporalProperty {
+    /// The window depth: the largest offset used by any atom. The window
+    /// spans `depth() + 1` cycles.
+    pub fn depth(&self) -> u32 {
+        self.antecedent
+            .iter()
+            .chain(self.consequents.iter())
+            .map(|a| a.offset)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The single-consequent view, when one exists: a one-atom temporal
+    /// property is exactly a [`WindowProperty`] (the `All`/`Any`
+    /// distinction collapses), so checkers can reuse the full window
+    /// dispatch — memoization, explicit engines, racing — for it.
+    pub fn as_window(&self) -> Option<WindowProperty> {
+        match self.consequents.as_slice() {
+            [single] => Some(WindowProperty {
+                antecedent: self.antecedent.clone(),
+                consequent: *single,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Formats the property with signal names for diagnostics.
+    pub fn display<'a>(&'a self, module: &'a Module) -> DisplayTemporal<'a> {
+        DisplayTemporal { prop: self, module }
+    }
+}
+
+/// Helper returned by [`TemporalProperty::display`].
+#[derive(Debug)]
+pub struct DisplayTemporal<'a> {
+    prop: &'a TemporalProperty,
+    module: &'a Module,
+}
+
+impl fmt::Display for DisplayTemporal<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let atom = |f: &mut fmt::Formatter<'_>, a: &BitAtom| -> fmt::Result {
+            let sig = self.module.signal(a.signal);
+            if !a.value {
+                write!(f, "!")?;
+            }
+            write!(f, "{}", sig.name())?;
+            if sig.width() > 1 {
+                write!(f, "[{}]", a.bit)?;
+            }
+            write!(f, "@{}", a.offset)
+        };
+        if self.prop.antecedent.is_empty() {
+            write!(f, "true")?;
+        } else {
+            for (i, a) in self.prop.antecedent.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                atom(f, a)?;
+            }
+        }
+        write!(f, " |-> ")?;
+        let sep = match self.prop.kind {
+            ConsequentKind::All => " & ",
+            ConsequentKind::Any => " | ",
+        };
+        if self.prop.consequents.len() > 1 {
+            write!(f, "(")?;
+        }
+        for (i, a) in self.prop.consequents.iter().enumerate() {
+            if i > 0 {
+                write!(f, "{sep}")?;
+            }
+            atom(f, a)?;
+        }
+        if self.prop.consequents.len() > 1 {
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
 /// A counterexample: a reset-rooted sequence of data-input vectors that
 /// drives the design through a window violating the property.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -183,6 +299,30 @@ mod tests {
         assert_eq!(p.depth(), 2);
         let display = format!("{}", p.display(&m));
         assert_eq!(display, "a@0 & !a@1 |-> y@2");
+    }
+
+    #[test]
+    fn temporal_depth_display_and_window_view() {
+        let m = parse_verilog("module m(input a, output y); assign y = a; endmodule").unwrap();
+        let a = m.require("a").unwrap();
+        let y = m.require("y").unwrap();
+        let p = TemporalProperty {
+            antecedent: vec![BitAtom::new(a, 0, 0, true)],
+            consequents: vec![BitAtom::new(y, 0, 1, true), BitAtom::new(y, 0, 2, true)],
+            kind: ConsequentKind::Any,
+        };
+        assert_eq!(p.depth(), 2);
+        assert!(p.as_window().is_none());
+        assert_eq!(format!("{}", p.display(&m)), "a@0 |-> (y@1 | y@2)");
+
+        let single = TemporalProperty {
+            antecedent: vec![BitAtom::new(a, 0, 0, true)],
+            consequents: vec![BitAtom::new(y, 0, 1, false)],
+            kind: ConsequentKind::All,
+        };
+        let w = single.as_window().expect("single consequent");
+        assert_eq!(w.consequent, BitAtom::new(y, 0, 1, false));
+        assert_eq!(format!("{}", single.display(&m)), "a@0 |-> !y@1");
     }
 
     #[test]

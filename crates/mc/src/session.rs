@@ -35,9 +35,9 @@
 //! shard count or batch order.
 
 use crate::blast::Blasted;
-use crate::bmc::Unroller;
+use crate::bmc::{UnrollProperty, Unroller};
 use crate::error::McError;
-use crate::prop::{CheckResult, WindowProperty};
+use crate::prop::CheckResult;
 use gm_rtl::Module;
 use gm_sat::{SolveResult, SolverStats};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -234,16 +234,16 @@ impl CheckSession {
 
     /// Asks the reset-rooted unrolling whether the window starting at
     /// `start` can violate `prop`; returns the trace if so.
-    fn base_violation(
+    fn base_violation<P: UnrollProperty>(
         &mut self,
         module: &Module,
-        prop: &WindowProperty,
+        prop: &P,
         start: usize,
     ) -> Option<crate::prop::CexTrace> {
-        let depth = prop.depth() as usize;
+        let depth = prop.window_depth() as usize;
         let base = Self::unroller(&mut self.base, &self.blasted, false, &mut self.stats);
         Self::extend_frames(base, start + depth, &mut self.stats);
-        let v = base.violation_lit(start, prop);
+        let v = prop.encode_violation(base, start);
         if Self::solve(base, &[v], &mut self.stats) == SolveResult::Sat {
             Some(base.extract_cex(module, start + depth))
         } else {
@@ -259,7 +259,12 @@ impl CheckSession {
     /// Latch-free designs are start-invariant, so their scan collapses
     /// to the single window at reset (the reported `Unknown` bound stays
     /// the requested one).
-    pub fn bmc(&mut self, module: &Module, prop: &WindowProperty, max_start: u32) -> CheckResult {
+    pub fn bmc<P: UnrollProperty>(
+        &mut self,
+        module: &Module,
+        prop: &P,
+        max_start: u32,
+    ) -> CheckResult {
         self.bmc_cancellable(module, prop, max_start, None)
             .expect("bmc without a cancel token is infallible")
     }
@@ -268,10 +273,10 @@ impl CheckSession {
     /// between SAT queries (once per window start of the unrolling
     /// scan). Returns [`McError::Cancelled`] as soon as the token is
     /// raised; no partial verdict is published.
-    pub fn bmc_cancellable(
+    pub fn bmc_cancellable<P: UnrollProperty>(
         &mut self,
         module: &Module,
-        prop: &WindowProperty,
+        prop: &P,
         max_start: u32,
         cancel: Option<&AtomicBool>,
     ) -> Result<CheckResult, McError> {
@@ -291,10 +296,10 @@ impl CheckSession {
     /// reset-rooted one, step cases on the free-init one.
     ///
     /// Same verdict as the one-shot [`crate::k_induction`].
-    pub fn k_induction(
+    pub fn k_induction<P: UnrollProperty>(
         &mut self,
         module: &Module,
-        prop: &WindowProperty,
+        prop: &P,
         max_k: u32,
     ) -> CheckResult {
         self.k_induction_cancellable(module, prop, max_k, None)
@@ -305,14 +310,14 @@ impl CheckSession {
     /// polled between SAT queries (once per induction depth `k`).
     /// Returns [`McError::Cancelled`] as soon as the token is raised;
     /// no partial verdict is published.
-    pub fn k_induction_cancellable(
+    pub fn k_induction_cancellable<P: UnrollProperty>(
         &mut self,
         module: &Module,
-        prop: &WindowProperty,
+        prop: &P,
         max_k: u32,
         cancel: Option<&AtomicBool>,
     ) -> Result<CheckResult, McError> {
-        let depth = prop.depth() as usize;
+        let depth = prop.window_depth() as usize;
         for k in 0..=max_k as usize {
             if cancel_requested(cancel) {
                 return Err(McError::Cancelled);
@@ -326,9 +331,9 @@ impl CheckSession {
             Self::extend_frames(step, k + depth, &mut self.stats);
             let mut assumptions = Vec::with_capacity(k + 1);
             for j in 0..k {
-                assumptions.push(step.holds_lit(j, prop));
+                assumptions.push(prop.encode_holds(step, j));
             }
-            assumptions.push(step.violation_lit(k, prop));
+            assumptions.push(prop.encode_violation(step, k));
             if Self::solve(step, &assumptions, &mut self.stats) == SolveResult::Unsat {
                 return Ok(CheckResult::Proved);
             }
@@ -342,7 +347,7 @@ mod tests {
     use super::*;
     use crate::blast::blast;
     use crate::bmc::{bmc, k_induction};
-    use crate::prop::BitAtom;
+    use crate::prop::{BitAtom, WindowProperty};
     use gm_rtl::{elaborate, parse_verilog};
 
     const DFF: &str = "

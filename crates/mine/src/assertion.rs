@@ -21,6 +21,105 @@ pub struct Assertion {
     pub value: bool,
 }
 
+/// Renders a signal bit as `name` or `name[bit]`. Shared by the
+/// combinational and temporal renderers.
+pub(crate) fn atom_name(module: &Module, signal: gm_rtl::SignalId, bit: u32) -> String {
+    let sig = module.signal(signal);
+    if sig.width() > 1 {
+        format!("{}[{}]", sig.name(), bit)
+    } else {
+        sig.name().to_string()
+    }
+}
+
+/// The LTL antecedent of a literal set: atoms prefixed with one `X` per
+/// offset, offset-sorted, `&`-joined; `true` when empty.
+pub(crate) fn ltl_antecedent(literals: &[(Feature, bool)], module: &Module) -> String {
+    let mut atoms: Vec<String> = Vec::new();
+    let mut sorted = literals.to_vec();
+    sorted.sort_by_key(|(f, _)| (f.offset, f.signal, f.bit));
+    for (f, v) in &sorted {
+        let mut s = "X ".repeat(f.offset as usize);
+        if !*v {
+            s.push('!');
+        }
+        s.push_str(&atom_name(module, f.signal, f.bit));
+        atoms.push(s);
+    }
+    if atoms.is_empty() {
+        "true".to_string()
+    } else {
+        atoms.join(" & ")
+    }
+}
+
+/// The PSL antecedent of a literal set: `next[k]`-nested atoms,
+/// `&&`-joined; `true` when empty.
+pub(crate) fn psl_antecedent(literals: &[(Feature, bool)], module: &Module) -> String {
+    let mut sorted = literals.to_vec();
+    sorted.sort_by_key(|(f, _)| (f.offset, f.signal, f.bit));
+    let mut ant_parts: Vec<String> = Vec::new();
+    for (f, v) in &sorted {
+        let base = format!(
+            "{}{}",
+            if *v { "" } else { "!" },
+            atom_name(module, f.signal, f.bit)
+        );
+        if f.offset == 0 {
+            ant_parts.push(base);
+        } else {
+            ant_parts.push(format!("next[{}] ({base})", f.offset));
+        }
+    }
+    if ant_parts.is_empty() {
+        "true".to_string()
+    } else {
+        ant_parts.join(" && ")
+    }
+}
+
+/// The SVA antecedent sequence of a literal set (offset-grouped atoms
+/// with `##N` delays; `1` when empty) and the last offset it reaches —
+/// the consequent's delay is measured from there.
+pub(crate) fn sva_antecedent(literals: &[(Feature, bool)], module: &Module) -> (String, u32) {
+    let mut by_offset: Vec<(u32, Vec<String>)> = Vec::new();
+    let mut sorted = literals.to_vec();
+    sorted.sort_by_key(|(f, _)| (f.offset, f.signal, f.bit));
+    for (f, v) in &sorted {
+        let name = format!(
+            "{}{}",
+            if *v { "" } else { "!" },
+            atom_name(module, f.signal, f.bit)
+        );
+        match by_offset.iter_mut().find(|(o, _)| *o == f.offset) {
+            Some((_, v)) => v.push(name),
+            None => by_offset.push((f.offset, vec![name])),
+        }
+    }
+    let mut seq = String::new();
+    let mut last_offset = 0;
+    if by_offset.is_empty() {
+        seq.push('1');
+    }
+    for (i, (offset, names)) in by_offset.iter().enumerate() {
+        if i > 0 {
+            seq.push_str(&format!(" ##{} ", offset - last_offset));
+        }
+        seq.push_str(&names.join(" && "));
+        last_offset = *offset;
+    }
+    (seq, last_offset)
+}
+
+/// The clock name used in SVA renderings (`clk` when the design has no
+/// identified clock).
+pub(crate) fn sva_clock(module: &Module) -> String {
+    module
+        .clock()
+        .map(|c| module.signal(c).name().to_string())
+        .unwrap_or_else(|| "clk".to_string())
+}
+
 impl Assertion {
     /// The fraction of the *input* space this assertion covers:
     /// `2^-(number of input literals)` — the paper's §7.1 formula, where
@@ -34,44 +133,16 @@ impl Assertion {
         0.5f64.powi(input_literals as i32)
     }
 
-    fn atom_name(module: &Module, signal: gm_rtl::SignalId, bit: u32) -> String {
-        let sig = module.signal(signal);
-        if sig.width() > 1 {
-            format!("{}[{}]", sig.name(), bit)
-        } else {
-            sig.name().to_string()
-        }
-    }
-
     /// Renders the assertion in the paper's LTL notation: literals
     /// prefixed with one `X` per cycle offset, e.g.
     /// `req0 & X !req1 => X X gnt0`.
     pub fn to_ltl(&self, module: &Module) -> String {
-        let mut atoms: Vec<String> = Vec::new();
-        let mut sorted = self.literals.clone();
-        sorted.sort_by_key(|(f, _)| (f.offset, f.signal, f.bit));
-        for (f, v) in &sorted {
-            let mut s = "X ".repeat(f.offset as usize);
-            if !*v {
-                s.push('!');
-            }
-            s.push_str(&Self::atom_name(module, f.signal, f.bit));
-            atoms.push(s);
-        }
-        let ant = if atoms.is_empty() {
-            "true".to_string()
-        } else {
-            atoms.join(" & ")
-        };
+        let ant = ltl_antecedent(&self.literals, module);
         let mut cons = "X ".repeat(self.target.offset as usize);
         if !self.value {
             cons.push('!');
         }
-        cons.push_str(&Self::atom_name(
-            module,
-            self.target.signal,
-            self.target.bit,
-        ));
+        cons.push_str(&atom_name(module, self.target.signal, self.target.bit));
         format!("{ant} => {cons}")
     }
 
@@ -79,30 +150,12 @@ impl Assertion {
     /// format): `always (ant -> next[k] (cons))` with `next`-nested
     /// antecedent stages.
     pub fn to_psl(&self, module: &Module) -> String {
-        let mut sorted = self.literals.clone();
-        sorted.sort_by_key(|(f, _)| (f.offset, f.signal, f.bit));
-        let atom = |signal, bit, value: bool| {
-            format!(
-                "{}{}",
-                if value { "" } else { "!" },
-                Self::atom_name(module, signal, bit)
-            )
-        };
-        let mut ant_parts: Vec<String> = Vec::new();
-        for (f, v) in &sorted {
-            let base = atom(f.signal, f.bit, *v);
-            if f.offset == 0 {
-                ant_parts.push(base);
-            } else {
-                ant_parts.push(format!("next[{}] ({base})", f.offset));
-            }
-        }
-        let ant = if ant_parts.is_empty() {
-            "true".to_string()
-        } else {
-            ant_parts.join(" && ")
-        };
-        let cons_base = atom(self.target.signal, self.target.bit, self.value);
+        let ant = psl_antecedent(&self.literals, module);
+        let cons_base = format!(
+            "{}{}",
+            if self.value { "" } else { "!" },
+            atom_name(module, self.target.signal, self.target.bit)
+        );
         let cons = if self.target.offset == 0 {
             cons_base
         } else {
@@ -114,41 +167,13 @@ impl Assertion {
     /// Renders the assertion as a SystemVerilog property, using `##N`
     /// cycle delays between offsets.
     pub fn to_sva(&self, module: &Module) -> String {
-        let mut by_offset: Vec<(u32, Vec<String>)> = Vec::new();
-        let mut sorted = self.literals.clone();
-        sorted.sort_by_key(|(f, _)| (f.offset, f.signal, f.bit));
-        for (f, v) in &sorted {
-            let name = format!(
-                "{}{}",
-                if *v { "" } else { "!" },
-                Self::atom_name(module, f.signal, f.bit)
-            );
-            match by_offset.iter_mut().find(|(o, _)| *o == f.offset) {
-                Some((_, v)) => v.push(name),
-                None => by_offset.push((f.offset, vec![name])),
-            }
-        }
-        let clock = module
-            .clock()
-            .map(|c| module.signal(c).name().to_string())
-            .unwrap_or_else(|| "clk".to_string());
-        let mut seq = String::new();
-        let mut last_offset = 0;
-        if by_offset.is_empty() {
-            seq.push('1');
-        }
-        for (i, (offset, names)) in by_offset.iter().enumerate() {
-            if i > 0 {
-                seq.push_str(&format!(" ##{} ", offset - last_offset));
-            }
-            seq.push_str(&names.join(" && "));
-            last_offset = *offset;
-        }
+        let (seq, last_offset) = sva_antecedent(&self.literals, module);
+        let clock = sva_clock(module);
         let delay = self.target.offset.saturating_sub(last_offset);
         let cons = format!(
             "{}{}",
             if self.value { "" } else { "!" },
-            Self::atom_name(module, self.target.signal, self.target.bit)
+            atom_name(module, self.target.signal, self.target.bit)
         );
         format!("@(posedge {clock}) {seq} |-> ##{delay} {cons};")
     }
@@ -186,15 +211,94 @@ pub fn proved_assertions(tree: &DecisionTree, spec: &MiningSpec) -> Vec<Assertio
         .collect()
 }
 
-/// The paper's input-space coverage of a set of true assertions: the sum
-/// of `2^-depth` over the (disjoint) leaves, counting only input
-/// literals. Reaches 1.0 exactly at convergence.
+/// The input-literal cube of one assertion: its path literals projected
+/// onto the input signals. `None` when the projection is contradictory
+/// (the same input atom required both `0` and `1`), i.e. an empty cube.
+fn input_cube(a: &Assertion, module: &Module) -> Option<Vec<(Feature, bool)>> {
+    let mut cube: Vec<(Feature, bool)> = Vec::new();
+    for &(f, v) in &a.literals {
+        if !module.signal(f.signal).is_input() {
+            continue;
+        }
+        match cube.iter().find(|(g, _)| *g == f) {
+            Some(&(_, prev)) if prev != v => return None,
+            Some(_) => {}
+            None => cube.push((f, v)),
+        }
+    }
+    Some(cube)
+}
+
+/// The exact measure of a union of cubes over uniformly random inputs,
+/// by Shannon expansion: pick a variable some cube tests, split on it,
+/// and recurse on the co-factored cube sets. Exponential only in the
+/// number of *distinct* variables the overlapping cubes share — leaf
+/// cubes of one tree are near-disjoint, so the recursion collapses
+/// almost immediately in practice.
+fn union_measure(cubes: &[Vec<(Feature, bool)>]) -> f64 {
+    if cubes.is_empty() {
+        return 0.0;
+    }
+    if cubes.iter().any(Vec::is_empty) {
+        // An unconditional cube covers the whole space.
+        return 1.0;
+    }
+    let var = cubes[0][0].0;
+    let cofactor = |val: bool| -> Vec<Vec<(Feature, bool)>> {
+        cubes
+            .iter()
+            .filter_map(|c| {
+                let mut rest = Vec::with_capacity(c.len());
+                for &(f, v) in c {
+                    if f == var {
+                        if v != val {
+                            return None;
+                        }
+                    } else {
+                        rest.push((f, v));
+                    }
+                }
+                Some(rest)
+            })
+            .collect()
+    };
+    0.5 * union_measure(&cofactor(false)) + 0.5 * union_measure(&cofactor(true))
+}
+
+/// The paper's input-space coverage of a set of true assertions,
+/// counting only input literals. Reaches 1.0 exactly at convergence.
+///
+/// Computed as the *exact union measure* of the input-literal cubes.
+/// The leaves of one tree are disjoint over their full literal sets,
+/// but projecting away state literals (the §6 extension move) can make
+/// two input cubes overlap — a naive `Σ 2^-depth` then double-counts
+/// the shared mass, and clamping the sum at 1.0 masquerades as exact
+/// convergence. Use [`input_space_overlap`] to see how much mass a set
+/// double-counts.
 pub fn input_space_coverage(assertions: &[Assertion], module: &Module) -> f64 {
-    assertions
+    let cubes: Vec<_> = assertions
         .iter()
-        .map(|a| a.input_space_fraction(module))
-        .sum::<f64>()
-        .min(1.0)
+        .filter_map(|a| input_cube(a, module))
+        .collect();
+    let union = union_measure(&cubes);
+    debug_assert!(
+        (0.0..=1.0 + 1e-12).contains(&union),
+        "union measure must be a probability, got {union}"
+    );
+    union.min(1.0)
+}
+
+/// The input-space mass an assertion set double-counts: the per-cube
+/// sum minus the exact union. Zero for a disjoint set; positive when
+/// state-literal projection made leaf cubes overlap (the case the old
+/// clamped sum silently hid).
+pub fn input_space_overlap(assertions: &[Assertion], module: &Module) -> f64 {
+    let cubes: Vec<_> = assertions
+        .iter()
+        .filter_map(|a| input_cube(a, module))
+        .collect();
+    let sum: f64 = cubes.iter().map(|c| 0.5f64.powi(c.len() as i32)).sum();
+    (sum - union_measure(&cubes)).max(0.0)
 }
 
 #[cfg(test)]
@@ -296,8 +400,45 @@ mod tests {
         // Adding a state literal (gnt0@0) does not shrink the share.
         a.literals.push((feat(&m, "gnt0", 0), true));
         assert_eq!(a.input_space_fraction(&m), 0.25);
+        // `a` and `b` project to the *same* input cube (they differ
+        // only in the state literal), so the union is one cube's 0.25
+        // — the old clamped sum reported 0.5.
         let b = a3(&m);
-        assert_eq!(input_space_coverage(&[a, b], &m), 0.5);
+        assert_eq!(input_space_coverage(&[a.clone(), b.clone()], &m), 0.25);
+        assert_eq!(input_space_overlap(&[a, b], &m), 0.25);
+    }
+
+    #[test]
+    fn overlapping_cubes_no_longer_masquerade_as_convergence() {
+        let m = arbiter();
+        // Four assertions over req0/req1 cubes that pairwise overlap:
+        // req0, !req0, and req1 — the plain sum is 0.5 + 0.5 + 0.5 =
+        // 1.5, which the old `.min(1.0)` clamp reported as exact
+        // convergence. The true union is req0 | !req0 | req1 = 1.0
+        // only because req0/!req0 partition the space; dropping one
+        // of them must drop the union below 1.0 even though the sum
+        // still reads 1.0.
+        let mk = |name: &str, value: bool| Assertion {
+            literals: vec![(feat(&m, name, 0), value)],
+            target: Target {
+                signal: m.require("gnt0").unwrap(),
+                bit: 0,
+                offset: 1,
+            },
+            value: true,
+        };
+        let full = [mk("req0", true), mk("req0", false), mk("req1", true)];
+        assert_eq!(input_space_coverage(&full, &m), 1.0);
+        assert!((input_space_overlap(&full, &m) - 0.5).abs() < 1e-12);
+        // req0 ∪ req1: sum = 1.0 (the clamp's fake convergence), union
+        // = 0.75.
+        let partial = [mk("req0", true), mk("req1", true)];
+        assert_eq!(input_space_coverage(&partial, &m), 0.75);
+        assert!((input_space_overlap(&partial, &m) - 0.25).abs() < 1e-12);
+        // A contradictory projection is an empty cube: measure zero.
+        let mut contradictory = mk("req0", true);
+        contradictory.literals.push((feat(&m, "req0", 0), false));
+        assert_eq!(input_space_coverage(&[contradictory], &m), 0.0);
     }
 
     #[test]

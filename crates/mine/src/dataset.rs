@@ -16,20 +16,69 @@ pub struct Row {
     pub target: bool,
 }
 
+/// What one extraction pass added: the indices of the new rows, plus
+/// the number of traces that were too short to yield even one window.
+///
+/// The refinement loop treats the two empty cases differently — a
+/// short trace means the stimulus was *dropped* (the engine counts it
+/// in its iteration report), while zero rows from a long-enough trace
+/// set means the stimulus carried no new windows — so extraction
+/// surfaces them distinctly instead of returning one empty `Vec` for
+/// both.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExtractedRows {
+    /// Indices of the rows added to the dataset.
+    pub rows: Vec<usize>,
+    /// Traces shorter than the window span, which yielded nothing.
+    pub short_traces: usize,
+}
+
+impl ExtractedRows {
+    /// Whether the pass added no rows (regardless of why).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Folds another pass's outcome into this one.
+    pub fn extend(&mut self, other: ExtractedRows) {
+        self.rows.extend(other.rows);
+        self.short_traces += other.short_traces;
+    }
+}
+
 /// A growing set of rows for one mining target.
 ///
 /// Rows carry values for *all* candidate features (including extension
 /// candidates), so activating an extension feature later never requires
 /// revisiting traces — the incremental tree just widens its search.
+///
+/// A dataset built with [`Dataset::with_horizon`] additionally records,
+/// per row, the target values up to `horizon` cycles *past* the window
+/// end (clipped at the trace boundary). The temporal miner reads these
+/// to propose next-cycle, bounded-eventuality and stability templates
+/// without re-simulating.
 #[derive(Clone, Debug, Default)]
 pub struct Dataset {
     rows: Vec<Row>,
+    horizon: u32,
+    /// Per-row target values at offsets `target.offset + 1 ..=
+    /// target.offset + horizon`, truncated where the trace ended.
+    future: Vec<Vec<bool>>,
 }
 
 impl Dataset {
     /// Creates an empty dataset.
     pub fn new() -> Self {
         Dataset::default()
+    }
+
+    /// Creates an empty dataset that records `horizon` cycles of
+    /// post-window target values per row (for temporal mining).
+    pub fn with_horizon(horizon: u32) -> Self {
+        Dataset {
+            horizon,
+            ..Dataset::default()
+        }
     }
 
     /// The rows collected so far.
@@ -48,25 +97,40 @@ impl Dataset {
         self.rows.is_empty()
     }
 
+    /// The temporal-lookahead horizon this dataset records (0 = none).
+    pub fn horizon(&self) -> u32 {
+        self.horizon
+    }
+
+    /// The recorded post-window target values of one row: index `j`
+    /// holds the target `j + 1` cycles after the row's target cycle.
+    /// Shorter than the horizon when the source trace ended early;
+    /// empty for hand-pushed rows.
+    pub fn future_of(&self, row: usize) -> &[bool] {
+        &self.future[row]
+    }
+
     /// Appends a hand-constructed row, returning its index. Intended for
     /// synthetic datasets; simulation data comes via [`Dataset::add_trace`].
     pub fn push_row(&mut self, row: Row) -> usize {
         self.rows.push(row);
+        self.future.push(Vec::new());
         self.rows.len() - 1
     }
 
-    /// Extracts every complete window of `trace` as a row. Returns the
-    /// indices of the added rows.
+    /// Extracts every complete window of `trace` as a row.
     ///
-    /// A trace of `n` cycles yields `n - span + 1` rows (none if shorter
-    /// than the window span). Duplicate rows are kept — the decision tree
-    /// works on counts, and duplicates mirror the paper's treatment of
-    /// simulation data.
-    pub fn add_trace(&mut self, spec: &MiningSpec, trace: &Trace) -> Vec<usize> {
+    /// A trace of `n` cycles yields `n - span + 1` rows; a trace
+    /// shorter than the window span yields none and is counted in
+    /// [`ExtractedRows::short_traces`]. Duplicate rows are kept — the
+    /// decision tree works on counts, and duplicates mirror the paper's
+    /// treatment of simulation data.
+    pub fn add_trace(&mut self, spec: &MiningSpec, trace: &Trace) -> ExtractedRows {
         let span = spec.span() as usize;
-        let mut added = Vec::new();
+        let mut out = ExtractedRows::default();
         if trace.len() < span {
-            return added;
+            out.short_traces = 1;
+            return out;
         }
         for start in 0..=(trace.len() - span) {
             let features = spec
@@ -74,15 +138,20 @@ impl Dataset {
                 .iter()
                 .map(|f| trace.bit(start + f.offset as usize, f.signal, f.bit))
                 .collect();
-            let target = trace.bit(
-                start + spec.target.offset as usize,
-                spec.target.signal,
-                spec.target.bit,
-            );
-            added.push(self.rows.len());
+            let target_cycle = start + spec.target.offset as usize;
+            let target = trace.bit(target_cycle, spec.target.signal, spec.target.bit);
+            let future = (1..=self.horizon as usize)
+                .map_while(|j| {
+                    let cycle = target_cycle + j;
+                    (cycle < trace.len())
+                        .then(|| trace.bit(cycle, spec.target.signal, spec.target.bit))
+                })
+                .collect();
+            out.rows.push(self.rows.len());
             self.rows.push(Row { features, target });
+            self.future.push(future);
         }
-        added
+        out
     }
 
     /// Adds rows from several traces.
@@ -90,8 +159,8 @@ impl Dataset {
         &mut self,
         spec: &MiningSpec,
         traces: impl IntoIterator<Item = &'t Trace>,
-    ) -> Vec<usize> {
-        let mut all = Vec::new();
+    ) -> ExtractedRows {
+        let mut all = ExtractedRows::default();
         for t in traces {
             all.extend(self.add_trace(spec, t));
         }
@@ -113,7 +182,7 @@ impl Dataset {
         module: &Module,
         suite: &TestSuite,
         backend: SimBackend,
-    ) -> gm_rtl::Result<Vec<usize>> {
+    ) -> gm_rtl::Result<ExtractedRows> {
         let traces = match backend {
             SimBackend::Interpreter => suite.run(module, &mut NopObserver)?,
             SimBackend::CompiledScalar => {
@@ -179,7 +248,8 @@ mod tests {
 
         let mut ds = Dataset::new();
         let added = ds.add_trace(&spec, &trace);
-        assert_eq!(added, vec![0, 1, 2]);
+        assert_eq!(added.rows, vec![0, 1, 2]);
+        assert_eq!(added.short_traces, 0);
         // Every row obeys q(t+1) = d(t); feature 0 is d@0.
         let d_idx = spec
             .features
@@ -189,6 +259,51 @@ mod tests {
         for row in ds.rows() {
             assert_eq!(row.target, row.features[d_idx]);
         }
+    }
+
+    #[test]
+    fn horizon_records_post_window_targets() {
+        let m = parse_verilog(
+            "module m(input clk, input rst, input d, output reg q);
+               always @(posedge clk)
+                 if (rst) q <= 0; else q <= d;
+             endmodule",
+        )
+        .unwrap();
+        let e = elaborate(&m).unwrap();
+        let q = m.require("q").unwrap();
+        let d = m.require("d").unwrap();
+        let cone = cone_of(&m, &e, q);
+        let spec = crate::features::MiningSpec::for_output(&m, &e, &cone, 0, 0);
+
+        let mut sim = Simulator::new(&m).unwrap();
+        let rst = m.require("rst").unwrap();
+        sim.set_input(rst, Bv::one_bit());
+        sim.step();
+        sim.set_input(rst, Bv::zero_bit());
+        let patterns = [true, false, true, true];
+        let vectors: Vec<_> = patterns
+            .iter()
+            .map(|&v| vec![(d, Bv::from_bool(v))])
+            .collect();
+        let trace = sim.run_vectors(&vectors, &mut NopObserver);
+
+        let mut ds = Dataset::with_horizon(2);
+        assert_eq!(ds.horizon(), 2);
+        let added = ds.add_trace(&spec, &trace);
+        assert_eq!(added.rows.len(), 3);
+        // Row r's target sits at cycle r+1; its future holds the
+        // target at cycles r+2, r+3 where those exist. q tracks d one
+        // cycle behind, so targets over cycles 1..=3 are d's pattern.
+        assert_eq!(ds.future_of(0), &[false, true]);
+        assert_eq!(ds.future_of(1), &[true]);
+        assert_eq!(ds.future_of(2), &[] as &[bool]);
+        // Hand-pushed rows have no recorded future.
+        let idx = ds.push_row(Row {
+            features: vec![true],
+            target: true,
+        });
+        assert!(ds.future_of(idx).is_empty());
     }
 
     #[test]
@@ -219,7 +334,7 @@ mod tests {
         ] {
             let mut ds = Dataset::new();
             let added = ds.add_suite(&spec, &m, &suite, backend).unwrap();
-            assert_eq!(added.len(), ds.len());
+            assert_eq!(added.rows.len(), ds.len());
             by_backend.push(ds.rows().to_vec());
         }
         assert_eq!(by_backend[0], by_backend[1]);
@@ -227,7 +342,7 @@ mod tests {
     }
 
     #[test]
-    fn short_traces_yield_nothing() {
+    fn short_traces_are_counted_distinctly() {
         let m = parse_verilog(
             "module m(input clk, input rst, input d, output reg q);
                always @(posedge clk)
@@ -244,7 +359,17 @@ mod tests {
             sim.run_vectors(&[vec![]], &mut NopObserver)
         };
         let mut ds = Dataset::new();
-        assert!(ds.add_trace(&spec, &trace).is_empty());
+        let added = ds.add_trace(&spec, &trace);
+        // The old API returned one indistinguishable empty Vec here;
+        // now the dropped stimulus is visible.
+        assert!(added.is_empty());
+        assert_eq!(added.short_traces, 1);
         assert!(ds.is_empty());
+        // A long-enough but windowless... every long-enough trace
+        // yields rows, so the other empty case is only reachable via
+        // an empty trace set.
+        let none = ds.add_traces(&spec, std::iter::empty());
+        assert!(none.is_empty());
+        assert_eq!(none.short_traces, 0);
     }
 }

@@ -20,11 +20,14 @@
 mod assertion;
 mod dataset;
 mod features;
+mod temporal;
 mod tree;
 
 pub use assertion::{
-    assertion_at, input_space_coverage, open_candidates, proved_assertions, Assertion,
+    assertion_at, input_space_coverage, input_space_overlap, open_candidates, proved_assertions,
+    Assertion,
 };
-pub use dataset::{Dataset, Row};
+pub use dataset::{Dataset, ExtractedRows, Row};
 pub use features::{Feature, MiningSpec, Target};
+pub use temporal::{temporal_candidates, TemporalAssertion, TemporalTemplate};
 pub use tree::{DecisionTree, LeafStatus, MineError, Node};

@@ -159,6 +159,13 @@ impl DecisionTree {
         self.nodes[idx].is_pure()
     }
 
+    /// The dataset row indices currently routed to a node. The temporal
+    /// miner reads these to inspect a leaf's post-window target values
+    /// (via [`crate::Dataset::future_of`]) without re-classifying.
+    pub fn node_rows(&self, idx: usize) -> &[u32] {
+        &self.nodes[idx].rows
+    }
+
     /// Indices of all current leaves.
     pub fn leaves(&self) -> Vec<usize> {
         (0..self.nodes.len())
@@ -448,6 +455,50 @@ mod tests {
             });
         }
         ds
+    }
+
+    #[test]
+    fn stale_leaf_ids_are_rejected_after_resplit() {
+        // Regression for the engine's leaf re-validation: a leaf id
+        // captured before counterexample rows arrive may be re-split
+        // into an internal node. Consumers must be able to detect that
+        // (is_leaf / leaves()) instead of silently reading the internal
+        // node's shorter path as if it were the original cube.
+        let sp = spec(2, 0);
+        let ds = dataset_from(&[(&[true, false], true), (&[false, false], false)]);
+        let mut tree = DecisionTree::new(&sp);
+        tree.fit(&ds).unwrap();
+        // The pure leaf predicting true under a=1.
+        let stale = *tree
+            .leaves()
+            .iter()
+            .find(|&&l| tree.node(l).prediction())
+            .unwrap();
+        let path_before = tree.path(stale);
+
+        // A counterexample row lands in that leaf and disagrees,
+        // forcing a re-split on b.
+        let mut ds = ds;
+        let cex = ds.push_row(Row {
+            features: vec![true, true],
+            target: false,
+        });
+        tree.add_rows(&ds, &[cex]).unwrap();
+
+        // The id still names a node — but not a leaf, and not the cube
+        // it used to be: treating it as one would check a strictly
+        // weaker antecedent.
+        assert!(
+            !tree.is_leaf(stale),
+            "re-split leaf must stop reporting as a leaf"
+        );
+        assert!(!tree.leaves().contains(&stale));
+        // No surviving leaf carries the stale cube either — the old
+        // antecedent is gone, not remapped.
+        assert!(
+            tree.leaves().iter().all(|l| tree.path(*l) != path_before),
+            "a leaf silently inherited the stale cube"
+        );
     }
 
     #[test]

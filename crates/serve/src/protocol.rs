@@ -281,6 +281,12 @@ impl WireConfig {
             },
             racing: self.racing,
             record_coverage: self.record_coverage,
+            // The wire protocol does not expose the temporal/refinement
+            // knobs yet; served runs keep the default (disabled)
+            // behavior, matching a standalone engine with the same wire
+            // config.
+            temporal: goldmine::TemporalConfig::default(),
+            refine: goldmine::RefineConfig::default(),
             sim_backend: match self.sim_backend {
                 WireSimBackend::Interpreter => SimBackend::Interpreter,
                 WireSimBackend::CompiledScalar => SimBackend::CompiledScalar,

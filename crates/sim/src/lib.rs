@@ -41,6 +41,8 @@ pub use compile::{
     NopBatchObserver, ProbeHits, ScalarSim, SimBackend, MAX_LANE_BLOCK,
 };
 pub use sim::{BranchOutcome, ExprRole, MultiObserver, NopObserver, SimObserver, Simulator};
-pub use stim::{collect_vectors, DirectedStimulus, InputVector, RandomStimulus, Stimulus};
+pub use stim::{
+    collect_vectors, synthesize_directed, DirectedStimulus, InputVector, RandomStimulus, Stimulus,
+};
 pub use suite::{run_segment, Segment, TestSuite};
 pub use trace::Trace;

@@ -123,6 +123,37 @@ impl Stimulus for DirectedStimulus {
     }
 }
 
+/// Synthesizes `variants` directed vector sequences from a
+/// counterexample prefix.
+///
+/// Each variant replays `prefix` verbatim — steering the design back
+/// into the state the counterexample reached — then appends
+/// `extra_cycles` of random data-input vectors so the run explores
+/// outward from that state instead of stopping where the witness did.
+/// Variant suffixes are seeded from `seed` and the variant index only,
+/// so the result is reproducible across runs and backends.
+pub fn synthesize_directed(
+    module: &Module,
+    prefix: &[InputVector],
+    seed: u64,
+    extra_cycles: u64,
+    variants: usize,
+) -> Vec<Vec<InputVector>> {
+    (0..variants as u64)
+        .map(|i| {
+            let mut vectors = prefix.to_vec();
+            // Weyl-sequence mix keeps variant 0 distinct from a plain
+            // `RandomStimulus::new(module, seed, ..)` stream.
+            let variant_seed = seed ^ (i + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let mut suffix = RandomStimulus::new(module, variant_seed, extra_cycles);
+            while let Some(v) = suffix.next_vector() {
+                vectors.push(v);
+            }
+            vectors
+        })
+        .collect()
+}
+
 /// Collects every vector a stimulus will produce.
 pub fn collect_vectors(stim: &mut dyn Stimulus) -> Vec<InputVector> {
     let mut out = Vec::new();
@@ -178,6 +209,23 @@ mod tests {
             assert_eq!(v.width(), 4);
             assert!(v.bits() < 16);
         }
+    }
+
+    #[test]
+    fn synthesized_variants_share_the_prefix_and_diverge_after() {
+        let m = module();
+        let a = m.require("a").unwrap();
+        let prefix: Vec<InputVector> = vec![vec![(a, Bv::one_bit())], vec![(a, Bv::zero_bit())]];
+        let out = synthesize_directed(&m, &prefix, 11, 8, 3);
+        assert_eq!(out.len(), 3);
+        for v in &out {
+            assert_eq!(v.len(), prefix.len() + 8);
+            assert_eq!(&v[..prefix.len()], &prefix[..]);
+        }
+        assert_ne!(out[0][2..], out[1][2..], "variant suffixes must differ");
+        // Deterministic: same arguments, same vectors.
+        assert_eq!(out, synthesize_directed(&m, &prefix, 11, 8, 3));
+        assert_ne!(out, synthesize_directed(&m, &prefix, 12, 8, 3));
     }
 
     #[test]
