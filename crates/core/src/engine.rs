@@ -56,7 +56,7 @@ use crate::config::{
     EngineConfig, SeedStimulus, ShardPolicy, StealPolicy, TargetSelection, UnknownPolicy,
 };
 use crate::error::EngineError;
-use crate::report::{ClosureOutcome, IterationReport, TargetSummary};
+use crate::report::{ClosureOutcome, IterTiming, IterationReport, TargetSummary};
 use gm_coverage::{CoverageSuite, UncoveredIndex};
 use gm_mc::{
     BitAtom, CheckResult, Checker, ConsequentKind, McError, SessionStats, TemporalProperty,
@@ -120,6 +120,9 @@ struct PassCounts {
     temporal_candidates: usize,
     temporal_refuted: usize,
     directed_absorbed: usize,
+    /// Phase wall clocks gathered along the way (verify/temporal/refine
+    /// here, coverage and total filled in around the snapshot).
+    timing: IterTiming,
 }
 
 impl PassCounts {
@@ -415,7 +418,14 @@ impl<'m> Engine<'m> {
         &mut self,
         mut on_iteration: impl FnMut(&IterationReport) -> bool,
     ) -> Result<ClosureOutcome, EngineError> {
+        let mut run_span = gm_trace::span("engine", "engine.run");
+        if run_span.is_active() {
+            run_span.arg("module", self.module.name());
+            run_span.arg("targets", self.targets.len());
+        }
         // Phase 1: seed data.
+        let seed_start = std::time::Instant::now();
+        let seed_span = gm_trace::span("engine", "engine.seed");
         let seed_vectors = match &self.config.stimulus {
             SeedStimulus::Random { cycles } => {
                 let mut stim = RandomStimulus::new(self.module, self.config.seed, *cycles);
@@ -442,6 +452,7 @@ impl<'m> Engine<'m> {
                 t.stuck = Some(e);
             }
         }
+        drop(seed_span);
 
         // A raised cancel token surfaces as `McError::Cancelled` from
         // the checker or the coverage pass. The interrupted pass's
@@ -451,7 +462,9 @@ impl<'m> Engine<'m> {
         let mut interrupted = false;
         let mut history: Vec<IterationReport> = Vec::new();
         let mut go = match self.snapshot_report(0, PassCounts::default()) {
-            Ok(report) => {
+            Ok(mut report) => {
+                // Iteration 0's wall time covers seeding + the snapshot.
+                report.timing.total_ns = seed_start.elapsed().as_nanos() as u64;
                 history.push(report);
                 on_iteration(&history[0])
             }
@@ -466,6 +479,9 @@ impl<'m> Engine<'m> {
         let mut iteration = 0;
         while go && iteration < self.config.max_iterations {
             iteration += 1;
+            let iter_start = std::time::Instant::now();
+            let mut iter_span = gm_trace::span("engine", "engine.iteration");
+            iter_span.arg("iteration", iteration);
             let counts = match self.iteration_pass(iteration) {
                 Ok(counts) => counts,
                 Err(EngineError::Mc(McError::Cancelled)) => {
@@ -475,13 +491,17 @@ impl<'m> Engine<'m> {
                 Err(e) => return Err(e),
             };
             match self.snapshot_report(iteration, counts) {
-                Ok(report) => history.push(report),
+                Ok(mut report) => {
+                    report.timing.total_ns = iter_start.elapsed().as_nanos() as u64;
+                    history.push(report);
+                }
                 Err(EngineError::Mc(McError::Cancelled)) => {
                     interrupted = true;
                     break;
                 }
                 Err(e) => return Err(e),
             }
+            drop(iter_span);
             go = on_iteration(history.last().expect("just pushed"));
             if self.all_converged() && counts.directed_absorbed == 0 {
                 break;
@@ -584,18 +604,34 @@ impl<'m> Engine<'m> {
         // decision order: the refinement pass extends them toward
         // uncovered logic.
         let mut prefixes: Vec<Vec<InputVector>> = Vec::new();
+        let verify_start = std::time::Instant::now();
+        let mut verify_span = gm_trace::span("engine", "engine.verify");
         let mut counts = if self.config.batched {
             self.window_pass_batched(iteration, &mut prefixes)?
         } else {
             self.window_pass_sequential(iteration, &mut prefixes)?
         };
+        verify_span.arg("refuted", counts.refuted);
+        drop(verify_span);
+        counts.timing.verify_ns = verify_start.elapsed().as_nanos() as u64;
         if self.config.temporal.enabled() {
+            let temporal_start = std::time::Instant::now();
+            let mut span = gm_trace::span("engine", "engine.temporal");
             let (dispatched, refuted) = self.temporal_pass(iteration, &mut prefixes)?;
+            span.arg("candidates", dispatched);
+            span.arg("refuted", refuted);
+            drop(span);
             counts.temporal_candidates = dispatched;
             counts.temporal_refuted = refuted;
+            counts.timing.temporal_ns = temporal_start.elapsed().as_nanos() as u64;
         }
         if self.config.refine.enabled() {
+            let refine_start = std::time::Instant::now();
+            let mut span = gm_trace::span("engine", "engine.refine");
             counts.directed_absorbed = self.refinement_pass(iteration, &prefixes)?;
+            span.arg("absorbed", counts.directed_absorbed);
+            drop(span);
+            counts.timing.refine_ns = refine_start.elapsed().as_nanos() as u64;
         }
         Ok(counts)
     }
@@ -912,7 +948,11 @@ impl<'m> Engine<'m> {
         } else {
             isc_sum / self.targets.len() as f64
         };
+        let mut timing = counts.timing;
         let coverage = if self.config.record_coverage {
+            let coverage_start = std::time::Instant::now();
+            let mut coverage_span = gm_trace::span("engine", "engine.coverage");
+            coverage_span.arg("segments", self.suite.len());
             let cancel = self.cancel.as_deref();
             let cancelled = || cancel.is_some_and(|c| c.load(Ordering::Acquire));
             let mut cov = CoverageSuite::new(self.module);
@@ -955,6 +995,8 @@ impl<'m> Engine<'m> {
             if self.config.refine.enabled() {
                 self.last_uncovered = Some(UncoveredIndex::from_suite(&cov));
             }
+            drop(coverage_span);
+            timing.coverage_ns = coverage_start.elapsed().as_nanos() as u64;
             Some(cov.report())
         } else {
             None
@@ -978,6 +1020,7 @@ impl<'m> Engine<'m> {
             temporal_refuted: counts.temporal_refuted,
             directed_absorbed: counts.directed_absorbed,
             verification,
+            timing,
         })
     }
 }

@@ -47,4 +47,4 @@ pub use engine::{assertion_property, temporal_property, Engine};
 pub use error::EngineError;
 pub use gm_sim::{CompileOptions, CompiledModule, SimBackend, MAX_LANE_BLOCK};
 pub use mutation::{check_fault, fault_campaign, suite_detects_fault, FaultKind, FaultReport};
-pub use report::{ClosureOutcome, IterationReport, TargetSummary};
+pub use report::{ClosureOutcome, IterTiming, IterationReport, TargetSummary};

@@ -6,12 +6,56 @@ use gm_mine::{Assertion, MineError, TemporalAssertion};
 use gm_rtl::SignalId;
 use gm_sim::TestSuite;
 
+/// Wall-clock phase breakdown of one engine iteration, in nanoseconds.
+///
+/// Measured unconditionally (a handful of `Instant` reads per
+/// iteration), independent of whether the trace recorder is on.
+/// Timings are inherently non-deterministic, so this struct is
+/// deliberately **excluded** from [`IterationReport`]'s `Debug` and
+/// `PartialEq` — the byte-identity oracles (`serve_agree`,
+/// `trace_agree`, shard/backend agreement) compare outcomes through
+/// those and must not see wall clocks.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IterTiming {
+    /// Combinational verification pass (worklist build + batch
+    /// dispatch + counterexample simulation/absorption).
+    pub verify_ns: u64,
+    /// Temporal-candidate pass (zero when temporal mining is off).
+    pub temporal_ns: u64,
+    /// Coverage-ranked refinement pass (zero when refinement is off).
+    pub refine_ns: u64,
+    /// Coverage snapshot pass over the accumulated suite (zero when
+    /// coverage recording is off).
+    pub coverage_ns: u64,
+    /// Whole iteration wall time (pass + snapshot + bookkeeping).
+    pub total_ns: u64,
+}
+
+impl IterTiming {
+    /// Element-wise sum (for whole-run aggregation).
+    #[must_use]
+    pub fn saturating_add(self, rhs: IterTiming) -> IterTiming {
+        IterTiming {
+            verify_ns: self.verify_ns.saturating_add(rhs.verify_ns),
+            temporal_ns: self.temporal_ns.saturating_add(rhs.temporal_ns),
+            refine_ns: self.refine_ns.saturating_add(rhs.refine_ns),
+            coverage_ns: self.coverage_ns.saturating_add(rhs.coverage_ns),
+            total_ns: self.total_ns.saturating_add(rhs.total_ns),
+        }
+    }
+}
+
 /// Progress metrics captured after each counterexample iteration.
 ///
 /// `iteration 0` describes the state after mining the seed data, before
 /// any counterexample feedback — matching the paper's iteration axis in
 /// Figures 12–14 and Table 1.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// `Debug` and `PartialEq` are implemented manually to cover every
+/// field **except** [`IterationReport::timing`]: the rendered report is
+/// the byte-identity artifact the agreement suites diff, and wall-clock
+/// noise must not break determinism contracts.
+#[derive(Clone)]
 pub struct IterationReport {
     /// The iteration number (0 = seed only).
     pub iteration: u32,
@@ -50,6 +94,49 @@ pub struct IterationReport {
     /// engine, memo hits, solver conflicts/propagations, unrolling
     /// frames encoded vs reused.
     pub verification: SessionStats,
+    /// Wall-clock phase breakdown of this iteration (excluded from
+    /// `Debug`/`PartialEq`; see [`IterTiming`]).
+    pub timing: IterTiming,
+}
+
+impl std::fmt::Debug for IterationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Mirrors the derived layout, minus `timing` (see struct docs).
+        f.debug_struct("IterationReport")
+            .field("iteration", &self.iteration)
+            .field("candidates", &self.candidates)
+            .field("proved_total", &self.proved_total)
+            .field("refuted", &self.refuted)
+            .field("input_space_coverage", &self.input_space_coverage)
+            .field("coverage", &self.coverage)
+            .field("suite_cycles", &self.suite_cycles)
+            .field("short_traces", &self.short_traces)
+            .field("temporal_candidates", &self.temporal_candidates)
+            .field("temporal_proved", &self.temporal_proved)
+            .field("temporal_refuted", &self.temporal_refuted)
+            .field("directed_absorbed", &self.directed_absorbed)
+            .field("verification", &self.verification)
+            .finish()
+    }
+}
+
+impl PartialEq for IterationReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Every field except `timing` (see struct docs).
+        self.iteration == other.iteration
+            && self.candidates == other.candidates
+            && self.proved_total == other.proved_total
+            && self.refuted == other.refuted
+            && self.input_space_coverage == other.input_space_coverage
+            && self.coverage == other.coverage
+            && self.suite_cycles == other.suite_cycles
+            && self.short_traces == other.short_traces
+            && self.temporal_candidates == other.temporal_candidates
+            && self.temporal_proved == other.temporal_proved
+            && self.temporal_refuted == other.temporal_refuted
+            && self.directed_absorbed == other.directed_absorbed
+            && self.verification == other.verification
+    }
 }
 
 /// Final state of one mining target.
@@ -126,5 +213,14 @@ impl ClosureOutcome {
         self.iterations
             .iter()
             .fold(SessionStats::default(), |acc, r| acc + r.verification)
+    }
+
+    /// Whole-run wall-clock phase breakdown (the sum of each
+    /// iteration's [`IterationReport::timing`]): where the run spent
+    /// its time, without needing the trace recorder on.
+    pub fn timing_total(&self) -> IterTiming {
+        self.iterations
+            .iter()
+            .fold(IterTiming::default(), |acc, r| acc.saturating_add(r.timing))
     }
 }

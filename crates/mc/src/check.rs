@@ -531,6 +531,8 @@ impl Checker {
     /// Same contract as [`Checker::check`], failing on the first
     /// property a forced backend cannot handle.
     pub fn check_batch(&mut self, props: &[WindowProperty]) -> Result<Vec<CheckResult>, McError> {
+        let mut span = gm_trace::span("mc", "mc.check_batch");
+        span.arg("props", props.len());
         let mut out = Vec::with_capacity(props.len());
         for prop in props {
             out.push(self.check(prop)?);
@@ -626,6 +628,8 @@ impl Checker {
         &mut self,
         props: &[TemporalProperty],
     ) -> Result<Vec<CheckResult>, McError> {
+        let mut span = gm_trace::span("mc", "mc.check_temporal_batch");
+        span.arg("props", props.len());
         let mut out = Vec::with_capacity(props.len());
         for prop in props {
             out.push(self.check_temporal(prop)?);

@@ -226,9 +226,19 @@ impl CheckSession {
         assumptions: &[gm_sat::Lit],
         stats: &mut SessionStats,
     ) -> SolveResult {
+        let mut span = gm_trace::span("mc", "mc.sat_query");
         stats.sat_queries += 1;
         let res = unroller.solver().solve_with_assumptions(assumptions);
-        stats.solver += unroller.solver().last_call_stats();
+        let delta = unroller.solver().last_call_stats();
+        stats.solver += delta;
+        if span.is_active() {
+            span.arg("assumptions", assumptions.len());
+            span.arg("sat", res == SolveResult::Sat);
+            span.arg("conflicts", delta.conflicts);
+            span.arg("decisions", delta.decisions);
+            span.arg("propagations", delta.propagations);
+            span.arg("learnt", delta.learnt);
+        }
         res
     }
 
@@ -285,7 +295,10 @@ impl CheckSession {
             if cancel_requested(cancel) {
                 return Err(McError::Cancelled);
             }
+            let mut span = gm_trace::span("mc", "mc.bmc_window");
+            span.arg("start", start as u64);
             if let Some(cex) = self.base_violation(module, prop, start) {
+                span.arg("violated", true);
                 return Ok(CheckResult::Violated(cex));
             }
         }
@@ -322,8 +335,11 @@ impl CheckSession {
             if cancel_requested(cancel) {
                 return Err(McError::Cancelled);
             }
+            let mut span = gm_trace::span("mc", "mc.kind_depth");
+            span.arg("k", k);
             // Base: violation in the window starting at k from reset?
             if let Some(cex) = self.base_violation(module, prop, k) {
+                span.arg("violated", true);
                 return Ok(CheckResult::Violated(cex));
             }
             // Step: from a free state, k windows hold but window k fails?

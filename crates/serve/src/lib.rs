@@ -64,7 +64,7 @@ pub use cache::{content_key, CacheStats, DesignCache};
 pub use net::{bind_unix, serve_unix, ServeClient};
 pub use protocol::{
     ClosureSummary, JobState, ProgressEvent, Request, Response, ServeStats, WireBackend,
-    WireConfig, WireTargets,
+    WireConfig, WireHistogram, WireTargets, LATENCY_BUCKETS_NS,
 };
 pub use scheduler::{run_campaign, run_jobs, run_jobs_stats, SchedPolicy, SchedStats};
 pub use service::{ClosureService, JobStatus, ServeConfig, ServeError};

@@ -249,17 +249,49 @@ impl ServeClient {
         source: &str,
         config: &crate::protocol::WireConfig,
     ) -> io::Result<(u64, bool)> {
+        self.submit_traced(name, source, config, false)
+    }
+
+    /// [`ServeClient::submit`] with an optional per-job flight
+    /// recorder; fetch the recording with [`ServeClient::trace`] once
+    /// the job is terminal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server-side submission errors.
+    pub fn submit_traced(
+        &mut self,
+        name: &str,
+        source: &str,
+        config: &crate::protocol::WireConfig,
+        trace: bool,
+    ) -> io::Result<(u64, bool)> {
         self.expect(
             &Request::Submit {
                 name: name.to_string(),
                 source: source.to_string(),
                 config: config.clone(),
+                trace,
             },
             |r| match r {
                 Response::Submitted { job, cached } => Some((job, cached)),
                 _ => None,
             },
         )
+    }
+
+    /// Fetches a terminal traced job's flight recording as Chrome
+    /// trace-event JSON (load it in Perfetto or `chrome://tracing`).
+    ///
+    /// # Errors
+    ///
+    /// Unknown, non-terminal, or untraced jobs surface as errors
+    /// carrying the server's message.
+    pub fn trace(&mut self, job: u64) -> io::Result<String> {
+        self.expect(&Request::Trace { job }, |r| match r {
+            Response::Trace { trace, .. } => Some(trace),
+            _ => None,
+        })
     }
 
     /// Polls a job's status.

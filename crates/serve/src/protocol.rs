@@ -20,8 +20,8 @@ use crate::json::{self, Json};
 use gm_mc::Backend;
 use gm_rtl::Module;
 use goldmine::{
-    EngineConfig, SeedStimulus, ShardPolicy, SimBackend, StealPolicy, TargetSelection,
-    UnknownPolicy, MAX_LANE_BLOCK,
+    EngineConfig, RefineConfig, SeedStimulus, ShardPolicy, SimBackend, StealPolicy,
+    TargetSelection, TemporalConfig, UnknownPolicy, MAX_LANE_BLOCK,
 };
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
@@ -75,6 +75,35 @@ fn bool_field(v: &Json, key: &str) -> Result<bool, ProtocolError> {
         .ok_or_else(|| ProtocolError(format!("field '{key}' must be a boolean")))
 }
 
+/// An optional unsigned field: absent or `null` yields `default`. The
+/// wire back-compat shape for knobs added after the first protocol
+/// version — older clients never send them and must keep resolving to
+/// the behavior they always had.
+fn opt_u64_field(v: &Json, key: &str, default: u64) -> Result<u64, ProtocolError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(other) => other
+            .as_u64()
+            .ok_or_else(|| ProtocolError(format!("field '{key}' must be an unsigned integer"))),
+    }
+}
+
+/// An optional boolean field: absent or `null` yields `default` (see
+/// [`opt_u64_field`]).
+fn opt_bool_field(v: &Json, key: &str, default: bool) -> Result<bool, ProtocolError> {
+    match v.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(other) => other
+            .as_bool()
+            .ok_or_else(|| ProtocolError(format!("field '{key}' must be a boolean"))),
+    }
+}
+
+fn wide_usize(value: u64, what: &str) -> Result<usize, ProtocolError> {
+    usize::try_from(value)
+        .map_err(|_| ProtocolError(format!("{what} exceeds the platform word size")))
+}
+
 /// Mining-target selection by signal *name* (wire form of
 /// [`TargetSelection`]).
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -117,6 +146,23 @@ pub struct WireConfig {
     pub racing: bool,
     /// Record per-iteration coverage.
     pub record_coverage: bool,
+    /// Temporal-mining lookahead horizon (the wire form of
+    /// [`TemporalConfig::horizon`]); `0` disables temporal mining.
+    /// Absent on the wire = `0` — pre-temporal clients keep the
+    /// behavior they always had.
+    pub temporal_horizon: u32,
+    /// Directed variants synthesized per counterexample prefix
+    /// ([`RefineConfig::variants`]); `0` disables the refinement pass.
+    /// Absent on the wire = `0`.
+    pub refine_variants: u64,
+    /// Random data-input cycles appended after each replayed prefix
+    /// ([`RefineConfig::extra_cycles`]). Absent on the wire = the
+    /// engine default.
+    pub refine_extra_cycles: u64,
+    /// Top-ranked directed segments absorbed per iteration
+    /// ([`RefineConfig::max_absorb`]). Absent on the wire = the engine
+    /// default.
+    pub refine_max_absorb: u64,
     /// Simulation backend: `"interpreter"`, `"scalar"`, `"batch"`, or
     /// `("wide", W)`. Absent on the wire = the default (64-lane
     /// compiled batch) — older clients keep working unchanged. Every
@@ -209,6 +255,10 @@ impl WireConfig {
             steal: config.steal == StealPolicy::Stealing,
             racing: config.racing,
             record_coverage: config.record_coverage,
+            temporal_horizon: config.temporal.horizon,
+            refine_variants: config.refine.variants as u64,
+            refine_extra_cycles: config.refine.extra_cycles,
+            refine_max_absorb: config.refine.max_absorb as u64,
             sim_backend: match config.sim_backend {
                 SimBackend::Interpreter => WireSimBackend::Interpreter,
                 SimBackend::CompiledScalar => WireSimBackend::CompiledScalar,
@@ -281,12 +331,14 @@ impl WireConfig {
             },
             racing: self.racing,
             record_coverage: self.record_coverage,
-            // The wire protocol does not expose the temporal/refinement
-            // knobs yet; served runs keep the default (disabled)
-            // behavior, matching a standalone engine with the same wire
-            // config.
-            temporal: goldmine::TemporalConfig::default(),
-            refine: goldmine::RefineConfig::default(),
+            temporal: TemporalConfig {
+                horizon: self.temporal_horizon,
+            },
+            refine: RefineConfig {
+                variants: wide_usize(self.refine_variants, "refine_variants")?,
+                extra_cycles: self.refine_extra_cycles,
+                max_absorb: wide_usize(self.refine_max_absorb, "refine_max_absorb")?,
+            },
             sim_backend: match self.sim_backend {
                 WireSimBackend::Interpreter => SimBackend::Interpreter,
                 WireSimBackend::CompiledScalar => SimBackend::CompiledScalar,
@@ -340,6 +392,10 @@ impl WireConfig {
             ("steal", Json::Bool(self.steal)),
             ("racing", Json::Bool(self.racing)),
             ("record_coverage", Json::Bool(self.record_coverage)),
+            ("temporal_horizon", Json::UInt(self.temporal_horizon.into())),
+            ("refine_variants", Json::UInt(self.refine_variants)),
+            ("refine_extra_cycles", Json::UInt(self.refine_extra_cycles)),
+            ("refine_max_absorb", Json::UInt(self.refine_max_absorb)),
             (
                 "sim_backend",
                 match self.sim_backend {
@@ -445,6 +501,32 @@ impl WireConfig {
             steal: bool_field(v, "steal")?,
             racing: bool_field(v, "racing")?,
             record_coverage: bool_field(v, "record_coverage")?,
+            // Absent temporal/refine knobs are the pre-observability
+            // wire form: resolve to the engine defaults those clients
+            // always ran with.
+            temporal_horizon: narrow_u32(
+                opt_u64_field(
+                    v,
+                    "temporal_horizon",
+                    TemporalConfig::default().horizon.into(),
+                )?,
+                "temporal_horizon",
+            )?,
+            refine_variants: opt_u64_field(
+                v,
+                "refine_variants",
+                RefineConfig::default().variants as u64,
+            )?,
+            refine_extra_cycles: opt_u64_field(
+                v,
+                "refine_extra_cycles",
+                RefineConfig::default().extra_cycles,
+            )?,
+            refine_max_absorb: opt_u64_field(
+                v,
+                "refine_max_absorb",
+                RefineConfig::default().max_absorb as u64,
+            )?,
             sim_backend,
         })
     }
@@ -624,6 +706,106 @@ impl JobState {
     }
 }
 
+/// Upper bounds of the service latency-histogram buckets, as
+/// `(nanoseconds, Prometheus le-label)` pairs. Shared by every
+/// [`WireHistogram`] so bucket counts stay comparable across metrics;
+/// the final implicit bucket is `+Inf`.
+pub const LATENCY_BUCKETS_NS: [(u64, &str); 12] = [
+    (1_000_000, "0.001"),
+    (2_500_000, "0.0025"),
+    (5_000_000, "0.005"),
+    (10_000_000, "0.01"),
+    (25_000_000, "0.025"),
+    (50_000_000, "0.05"),
+    (100_000_000, "0.1"),
+    (250_000_000, "0.25"),
+    (500_000_000, "0.5"),
+    (1_000_000_000, "1"),
+    (2_500_000_000, "2.5"),
+    (5_000_000_000, "5"),
+];
+
+/// A fixed-bucket latency histogram in wire form.
+///
+/// Bucket bounds are the process-wide [`LATENCY_BUCKETS_NS`]; counts
+/// are stored per bucket (not cumulative) plus one overflow slot, and
+/// durations sum in integer nanoseconds, so snapshots stay exactly
+/// comparable (`Eq`) and render to the Prometheus cumulative-`le` form
+/// on demand.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireHistogram {
+    /// Per-bucket observation counts aligned with
+    /// [`LATENCY_BUCKETS_NS`]; the extra final slot counts observations
+    /// above every bound (the `+Inf` bucket).
+    pub buckets: Vec<u64>,
+    /// Sum of every observed duration, in nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl Default for WireHistogram {
+    fn default() -> Self {
+        WireHistogram {
+            buckets: vec![0; LATENCY_BUCKETS_NS.len() + 1],
+            sum_ns: 0,
+        }
+    }
+}
+
+impl WireHistogram {
+    /// Records one observed duration.
+    pub fn observe_ns(&mut self, ns: u64) {
+        let slot = LATENCY_BUCKETS_NS
+            .iter()
+            .position(|&(bound, _)| ns <= bound)
+            .unwrap_or(LATENCY_BUCKETS_NS.len());
+        self.buckets[slot] += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+    }
+
+    /// Total observations (the Prometheus `_count` sample).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The observed-duration sum in seconds (the `_sum` sample).
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_ns as f64 / 1e9
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "buckets",
+                Json::Arr(self.buckets.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+            ("sum_ns", Json::UInt(self.sum_ns)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ProtocolError> {
+        let buckets = field(v, "buckets")?
+            .as_arr()
+            .ok_or_else(|| ProtocolError("histogram buckets must be an array".into()))?
+            .iter()
+            .map(|c| {
+                c.as_u64()
+                    .ok_or_else(|| ProtocolError("histogram bucket must be an integer".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if buckets.len() != LATENCY_BUCKETS_NS.len() + 1 {
+            return Err(ProtocolError(format!(
+                "histogram must have {} buckets, got {}",
+                LATENCY_BUCKETS_NS.len() + 1,
+                buckets.len()
+            )));
+        }
+        Ok(WireHistogram {
+            buckets,
+            sum_ns: u64_field(v, "sum_ns")?,
+        })
+    }
+}
+
 /// Aggregate service counters.
 ///
 /// Snapshots are internally consistent — every field is read under one
@@ -686,6 +868,10 @@ pub struct ServeStats {
     pub verify_frames_reused: u64,
     /// Counterexamples re-extracted on canonical unrollings.
     pub verify_cex_canonicalized: u64,
+    /// Queue latency: submission to worker claim, per claimed job.
+    pub queue_seconds: WireHistogram,
+    /// Job wall time: worker claim to terminal state, per retired job.
+    pub wall_seconds: WireHistogram,
 }
 
 impl ServeStats {
@@ -738,6 +924,8 @@ impl ServeStats {
                 "verify_cex_canonicalized",
                 Json::UInt(self.verify_cex_canonicalized),
             ),
+            ("queue_seconds", self.queue_seconds.to_json()),
+            ("wall_seconds", self.wall_seconds.to_json()),
         ])
     }
 
@@ -769,6 +957,15 @@ impl ServeStats {
             verify_frames_encoded: u64_field(v, "verify_frames_encoded")?,
             verify_frames_reused: u64_field(v, "verify_frames_reused")?,
             verify_cex_canonicalized: u64_field(v, "verify_cex_canonicalized")?,
+            // Absent histograms are the pre-observability wire form.
+            queue_seconds: match v.get("queue_seconds") {
+                None | Some(Json::Null) => WireHistogram::default(),
+                Some(other) => WireHistogram::from_json(other)?,
+            },
+            wall_seconds: match v.get("wall_seconds") {
+                None | Some(Json::Null) => WireHistogram::default(),
+                Some(other) => WireHistogram::from_json(other)?,
+            },
         })
     }
 
@@ -936,6 +1133,39 @@ impl ServeStats {
             "Counterexamples re-extracted canonically.",
             self.verify_cex_canonicalized,
         );
+        let mut histogram = |name: &str, help: &str, h: &WireHistogram| {
+            let _ = writeln!(out, "# HELP gmserve_{name} {help}");
+            let _ = writeln!(out, "# TYPE gmserve_{name} histogram");
+            let mut cumulative = 0u64;
+            for (&(_, label), count) in LATENCY_BUCKETS_NS.iter().zip(&h.buckets) {
+                cumulative += count;
+                let _ = writeln!(out, "gmserve_{name}_bucket{{le=\"{label}\"}} {cumulative}");
+            }
+            let total = h.count();
+            let _ = writeln!(out, "gmserve_{name}_bucket{{le=\"+Inf\"}} {total}");
+            let _ = writeln!(out, "gmserve_{name}_sum {}", h.sum_seconds());
+            let _ = writeln!(out, "gmserve_{name}_count {total}");
+        };
+        histogram(
+            "job_queue_seconds",
+            "Time jobs spent queued before a worker claimed them.",
+            &self.queue_seconds,
+        );
+        histogram(
+            "job_wall_seconds",
+            "Job wall time from worker claim to terminal state.",
+            &self.wall_seconds,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP gmserve_build_info Build metadata; the value is always 1."
+        );
+        let _ = writeln!(out, "# TYPE gmserve_build_info gauge");
+        let _ = writeln!(
+            out,
+            "gmserve_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        );
         out
     }
 }
@@ -952,6 +1182,12 @@ pub enum Request {
         source: String,
         /// The run configuration.
         config: WireConfig,
+        /// Capture a per-job flight recording; fetch it with
+        /// [`Request::Trace`] once the job is terminal. Absent on the
+        /// wire = `false` — tracing never changes the outcome
+        /// (`trace_agree` proves byte-identity), only whether the
+        /// recording exists.
+        trace: bool,
     },
     /// Poll a job's lifecycle state.
     Status {
@@ -975,6 +1211,12 @@ pub enum Request {
         /// The job id.
         job: u64,
     },
+    /// Fetch a terminal traced job's flight recording as Chrome
+    /// trace-event JSON.
+    Trace {
+        /// The job id.
+        job: u64,
+    },
     /// Fetch aggregate service counters.
     Stats,
     /// Fetch the counters rendered in the Prometheus text exposition
@@ -992,11 +1234,13 @@ impl Request {
                 name,
                 source,
                 config,
+                trace,
             } => Json::obj(vec![
                 ("type", Json::Str("submit".into())),
                 ("name", Json::Str(name.clone())),
                 ("source", Json::Str(source.clone())),
                 ("config", config.to_json()),
+                ("trace", Json::Bool(*trace)),
             ]),
             Request::Status { job } => Json::obj(vec![
                 ("type", Json::Str("status".into())),
@@ -1013,6 +1257,10 @@ impl Request {
             ]),
             Request::Cancel { job } => Json::obj(vec![
                 ("type", Json::Str("cancel".into())),
+                ("job", Json::UInt(*job)),
+            ]),
+            Request::Trace { job } => Json::obj(vec![
+                ("type", Json::Str("trace".into())),
                 ("job", Json::UInt(*job)),
             ]),
             Request::Stats => Json::obj(vec![("type", Json::Str("stats".into()))]),
@@ -1032,6 +1280,8 @@ impl Request {
                 name: str_field(v, "name")?.to_string(),
                 source: str_field(v, "source")?.to_string(),
                 config: WireConfig::from_json(field(v, "config")?)?,
+                // Absent = untraced, the pre-observability wire form.
+                trace: opt_bool_field(v, "trace", false)?,
             }),
             "status" => Ok(Request::Status {
                 job: u64_field(v, "job")?,
@@ -1044,6 +1294,9 @@ impl Request {
                 job: u64_field(v, "job")?,
             }),
             "cancel" => Ok(Request::Cancel {
+                job: u64_field(v, "job")?,
+            }),
+            "trace" => Ok(Request::Trace {
                 job: u64_field(v, "job")?,
             }),
             "stats" => Ok(Request::Stats),
@@ -1096,6 +1349,14 @@ pub enum Response {
         job: u64,
         /// The result.
         summary: ClosureSummary,
+    },
+    /// A terminal traced job's flight recording.
+    Trace {
+        /// The job id.
+        job: u64,
+        /// Chrome trace-event JSON (load in Perfetto or
+        /// `chrome://tracing`).
+        trace: String,
     },
     /// Aggregate counters.
     Stats(ServeStats),
@@ -1157,6 +1418,11 @@ impl Response {
                 ("job", Json::UInt(*job)),
                 ("summary", summary.to_json()),
             ]),
+            Response::Trace { job, trace } => Json::obj(vec![
+                ("type", Json::Str("trace".into())),
+                ("job", Json::UInt(*job)),
+                ("trace", Json::Str(trace.clone())),
+            ]),
             Response::Stats(stats) => Json::obj(vec![
                 ("type", Json::Str("stats".into())),
                 ("stats", stats.to_json()),
@@ -1213,6 +1479,10 @@ impl Response {
             "done" => Ok(Response::Done {
                 job: u64_field(v, "job")?,
                 summary: ClosureSummary::from_json(field(v, "summary")?)?,
+            }),
+            "trace" => Ok(Response::Trace {
+                job: u64_field(v, "job")?,
+                trace: str_field(v, "trace")?.to_string(),
             }),
             "stats" => Ok(Response::Stats(ServeStats::from_json(field(v, "stats")?)?)),
             "metrics" => Ok(Response::Metrics {
@@ -1298,6 +1568,7 @@ mod tests {
             name: "arbiter2".into(),
             source: "module m(input a, output y);\n  assign y = a;\nendmodule".into(),
             config: WireConfig::default().with_bit_targets(vec![("gnt0".into(), 0)]),
+            trace: false,
         });
         for sim_backend in [
             WireSimBackend::Interpreter,
@@ -1312,12 +1583,27 @@ mod tests {
                     sim_backend,
                     ..WireConfig::default()
                 },
+                trace: false,
             });
         }
+        // A traced submission with the temporal/refine knobs engaged.
+        round_trip_request(Request::Submit {
+            name: "b09".into(),
+            source: "module m(input a, output y); assign y = a; endmodule".into(),
+            config: WireConfig {
+                temporal_horizon: 3,
+                refine_variants: 8,
+                refine_extra_cycles: 24,
+                refine_max_absorb: 4,
+                ..WireConfig::default()
+            },
+            trace: true,
+        });
         round_trip_request(Request::Status { job: 7 });
         round_trip_request(Request::Progress { job: 7, from: 3 });
         round_trip_request(Request::Wait { job: u64::MAX });
         round_trip_request(Request::Cancel { job: 0 });
+        round_trip_request(Request::Trace { job: 12 });
         round_trip_request(Request::Stats);
         round_trip_request(Request::Metrics);
         round_trip_request(Request::Shutdown);
@@ -1371,8 +1657,24 @@ mod tests {
                 cache_evictions_bytes: 3,
                 compiled_reused: 4,
                 verify_sat_queries: 17,
+                queue_seconds: {
+                    let mut h = WireHistogram::default();
+                    h.observe_ns(40_000);
+                    h.observe_ns(7_000_000);
+                    h
+                },
+                wall_seconds: {
+                    let mut h = WireHistogram::default();
+                    h.observe_ns(800_000_000);
+                    h.observe_ns(90_000_000_000);
+                    h
+                },
                 ..ServeStats::default()
             }),
+            Response::Trace {
+                job: 3,
+                trace: "{\"traceEvents\":[]}".into(),
+            },
             Response::Metrics {
                 text: ServeStats::default().to_prometheus(),
             },
@@ -1403,15 +1705,128 @@ mod tests {
         assert!(text.contains("gmserve_jobs_queued 1"));
         assert!(text.contains("gmserve_jobs_running 2"));
         assert!(text.contains("gmserve_cache_bytes 4096"));
-        // Every sample line names a gmserve_ metric and parses as
-        // `name value`.
+        assert!(text.contains("# TYPE gmserve_build_info gauge"));
+        assert!(text.contains(&format!(
+            "gmserve_build_info{{version=\"{}\"}} 1",
+            env!("CARGO_PKG_VERSION")
+        )));
+        // Every sample line names a gmserve_ metric (optionally with a
+        // {label="…"} set) and parses as `name value`, with the value a
+        // finite number — the shape a promtool-style lint accepts.
         for line in text.lines().filter(|l| !l.starts_with('#')) {
-            let mut parts = line.split_whitespace();
-            let name = parts.next().unwrap();
+            let (name, value) = line.rsplit_once(' ').expect("sample is `name value`");
             assert!(name.starts_with("gmserve_"), "bad metric line: {line}");
-            parts.next().unwrap().parse::<u64>().unwrap();
-            assert_eq!(parts.next(), None);
+            if let Some(open) = name.find('{') {
+                assert!(name.ends_with('}'), "unterminated label set: {line}");
+                assert!(name[open + 1..].contains('='), "empty label set: {line}");
+            }
+            assert!(
+                value.parse::<f64>().unwrap().is_finite(),
+                "bad sample value: {line}"
+            );
         }
+        // Exactly one TYPE line per metric family.
+        let mut families: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        let total = families.len();
+        families.sort_unstable();
+        families.dedup();
+        assert_eq!(families.len(), total, "duplicate TYPE lines");
+    }
+
+    #[test]
+    fn prometheus_histograms_render_cumulative_le_buckets() {
+        let mut stats = ServeStats::default();
+        stats.queue_seconds.observe_ns(500_000); // ≤ 0.001s
+        stats.queue_seconds.observe_ns(2_000_000); // ≤ 0.0025s
+        stats.queue_seconds.observe_ns(90_000_000_000); // overflow
+        let text = stats.to_prometheus();
+        assert!(text.contains("# TYPE gmserve_job_queue_seconds histogram"));
+        assert!(text.contains("gmserve_job_queue_seconds_bucket{le=\"0.001\"} 1"));
+        assert!(text.contains("gmserve_job_queue_seconds_bucket{le=\"0.0025\"} 2"));
+        // Cumulative counts carry through every later bound.
+        assert!(text.contains("gmserve_job_queue_seconds_bucket{le=\"5\"} 2"));
+        assert!(text.contains("gmserve_job_queue_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("gmserve_job_queue_seconds_count 3"));
+        assert!(text.contains("gmserve_job_queue_seconds_sum 90.0025"));
+        // The untouched histogram still renders a full (empty) family.
+        assert!(text.contains("gmserve_job_wall_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("gmserve_job_wall_seconds_count 0"));
+    }
+
+    #[test]
+    fn serve_stats_histograms_round_trip_and_tolerate_absence() {
+        let mut stats = ServeStats {
+            submitted: 2,
+            completed: 2,
+            ..ServeStats::default()
+        };
+        stats.queue_seconds.observe_ns(1_500_000);
+        stats.wall_seconds.observe_ns(3_000_000_000);
+        let back = ServeStats::from_json(&stats.to_json()).unwrap();
+        assert_eq!(back, stats);
+        // Pre-observability stats frames carry no histograms; they
+        // resolve to empty ones, not an error.
+        let mut json = stats.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| k != "queue_seconds" && k != "wall_seconds");
+        }
+        let old = ServeStats::from_json(&json).unwrap();
+        assert_eq!(old.queue_seconds, WireHistogram::default());
+        assert_eq!(old.wall_seconds, WireHistogram::default());
+        assert_eq!(old.submitted, 2);
+    }
+
+    #[test]
+    fn temporal_and_refine_knobs_absent_from_the_wire_default_off() {
+        // Pre-observability clients never sent the knobs; their frames
+        // must resolve to the engine defaults they always ran with.
+        let mut json = WireConfig::default().to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| !k.starts_with("temporal_") && !k.starts_with("refine_"));
+        }
+        let back = WireConfig::from_json(&json).unwrap();
+        assert_eq!(back, WireConfig::default());
+        let m =
+            gm_rtl::parse_verilog("module m(input a, output y); assign y = a; endmodule").unwrap();
+        let engine = back.to_engine(&m).unwrap();
+        assert_eq!(engine.temporal, TemporalConfig::default());
+        assert_eq!(engine.refine, RefineConfig::default());
+        // And a submit frame without the trace flag is untraced.
+        let req = Json::obj(vec![
+            ("type", Json::Str("submit".into())),
+            ("name", Json::Str("m".into())),
+            ("source", Json::Str("module m; endmodule".into())),
+            ("config", WireConfig::default().to_json()),
+        ]);
+        match Request::from_json(&req).unwrap() {
+            Request::Submit { trace, .. } => assert!(!trace),
+            other => panic!("unexpected request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_temporal_and_refine_knobs_reach_the_engine_config() {
+        let m =
+            gm_rtl::parse_verilog("module m(input a, output y); assign y = a; endmodule").unwrap();
+        let wire = WireConfig {
+            temporal_horizon: 2,
+            refine_variants: 6,
+            refine_extra_cycles: 32,
+            refine_max_absorb: 3,
+            record_coverage: true,
+            ..WireConfig::default()
+        };
+        let engine = wire.to_engine(&m).unwrap();
+        assert_eq!(engine.temporal.horizon, 2);
+        assert_eq!(engine.refine.variants, 6);
+        assert_eq!(engine.refine.extra_cycles, 32);
+        assert_eq!(engine.refine.max_absorb, 3);
+        // And the round trip through from_engine preserves them.
+        assert_eq!(WireConfig::from_engine(&engine).unwrap(), wire);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 use crate::cache::DesignCache;
 use crate::protocol::{
     ClosureSummary, JobState, ProgressEvent, Request, Response, ServeStats, WireConfig,
+    WireHistogram,
 };
 use crate::scheduler::{SchedPolicy, StealQueues};
 use gm_mc::{Checker, SessionStats};
@@ -137,6 +138,15 @@ struct JobRecord {
     error: Option<String>,
     cancel: Arc<AtomicBool>,
     cached: bool,
+    /// Submission timestamp on the process trace clock — the base of
+    /// the queue-latency histogram and the retroactive `serve.queue`
+    /// span.
+    submitted_ns: u64,
+    /// The per-job flight recorder, present when the submission asked
+    /// for one. The worker installs it as its thread sink for the whole
+    /// claim→retire window; clients fetch the export once the job is
+    /// terminal.
+    trace: Option<gm_trace::TraceSink>,
 }
 
 struct State {
@@ -154,6 +164,13 @@ struct State {
     /// (the per-job [`SessionStats`] totals) — the service-level view a
     /// metrics scrape exposes.
     verify: SessionStats,
+    /// Queue latency (submission → worker claim), observed at every
+    /// real claim — cancelled-while-queued jobs never waited a full
+    /// queue turn and are not sampled.
+    queue_hist: WireHistogram,
+    /// Job wall time (worker claim → terminal state), observed at
+    /// retire.
+    wall_hist: WireHistogram,
 }
 
 impl State {
@@ -270,6 +287,8 @@ impl ClosureService {
                 failed: 0,
                 cancelled: 0,
                 verify: SessionStats::default(),
+                queue_hist: WireHistogram::default(),
+                wall_hist: WireHistogram::default(),
             }),
             done_cv: Condvar::new(),
             open: AtomicBool::new(true),
@@ -306,12 +325,29 @@ impl ClosureService {
         source: &str,
         wire: &WireConfig,
     ) -> Result<(u64, bool), ServeError> {
+        self.submit_source_traced(name, source, wire, false)
+    }
+
+    /// [`ClosureService::submit_source`] with an optional per-job
+    /// flight recorder (see [`ClosureService::submit_module_traced`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on parse, elaboration or target-resolution errors, or
+    /// after shutdown.
+    pub fn submit_source_traced(
+        &self,
+        name: &str,
+        source: &str,
+        wire: &WireConfig,
+        trace: bool,
+    ) -> Result<(u64, bool), ServeError> {
         let module =
             gm_rtl::parse_verilog(source).map_err(|e| ServeError(format!("parse error: {e}")))?;
         let config = wire
             .to_engine(&module)
             .map_err(|e| ServeError(e.to_string()))?;
-        self.submit_module(name, module, config)
+        self.submit_module_traced(name, module, config, trace)
     }
 
     /// Submits a parsed module with a resolved engine config (the
@@ -327,6 +363,28 @@ impl ClosureService {
         module: Module,
         config: EngineConfig,
     ) -> Result<(u64, bool), ServeError> {
+        self.submit_module_traced(name, module, config, false)
+    }
+
+    /// [`ClosureService::submit_module`] with an optional per-job
+    /// flight recorder: when `trace` is set the job captures structured
+    /// spans for its whole claim→retire window (engine iterations, SAT
+    /// queries, simulation batches, cache interactions), retrievable as
+    /// Chrome trace-event JSON via [`ClosureService::trace_json`] once
+    /// terminal. Tracing never changes the outcome — the `trace_agree`
+    /// suite proves byte-identity recorder on/off.
+    ///
+    /// # Errors
+    ///
+    /// Fails on elaboration errors, or after shutdown.
+    pub fn submit_module_traced(
+        &self,
+        name: &str,
+        module: Module,
+        config: EngineConfig,
+        trace: bool,
+    ) -> Result<(u64, bool), ServeError> {
+        let trace_sink = trace.then(gm_trace::TraceSink::new);
         let canonical = crate::cache::canonical_form(&module);
         let key = crate::cache::key_of(&canonical);
         // Elaboration is the expensive part of a cold submission; do it
@@ -385,6 +443,8 @@ impl ClosureService {
                     error: None,
                     cancel: Arc::new(AtomicBool::new(false)),
                     cached,
+                    submitted_ns: gm_trace::now_ns(),
+                    trace: trace_sink,
                 },
             );
             // Deal to the owning worker's local queue (still under the
@@ -490,6 +550,34 @@ impl ClosureService {
         st.jobs.get_mut(&job).and_then(|j| j.outcome.take())
     }
 
+    /// A terminal traced job's flight recording as Chrome trace-event
+    /// JSON (see [`ClosureService::submit_module_traced`]). Exported on
+    /// demand from the job's sink; repeat calls re-export the same
+    /// recording.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown jobs, jobs still queued or running, and jobs
+    /// that were not submitted with tracing.
+    pub fn trace_json(&self, job: u64) -> Result<String, ServeError> {
+        let st = self.state();
+        let Some(j) = st.jobs.get(&job) else {
+            return Err(ServeError(format!("unknown job {job}")));
+        };
+        if !terminal(j.state) {
+            return Err(ServeError(format!(
+                "job {job} is still {}; traces are exported once terminal",
+                j.state.as_str()
+            )));
+        }
+        match &j.trace {
+            Some(sink) => Ok(sink.export_chrome_json()),
+            None => Err(ServeError(format!(
+                "job {job} was not submitted with tracing"
+            ))),
+        }
+    }
+
     /// Aggregate service counters. Internally consistent: every field
     /// is read under one acquisition of the state lock, and all job
     /// state transitions update their counters under the same lock, so
@@ -535,6 +623,8 @@ impl ClosureService {
             verify_frames_encoded: st.verify.frames_encoded,
             verify_frames_reused: st.verify.frames_reused,
             verify_cex_canonicalized: st.verify.cex_canonicalized,
+            queue_seconds: st.queue_hist.clone(),
+            wall_seconds: st.wall_hist.clone(),
         }
     }
 
@@ -546,7 +636,8 @@ impl ClosureService {
                 name,
                 source,
                 config,
-            } => match self.submit_source(name, source, config) {
+                trace,
+            } => match self.submit_source_traced(name, source, config, *trace) {
                 Ok((job, cached)) => Response::Submitted { job, cached },
                 Err(e) => Response::Error {
                     message: e.to_string(),
@@ -616,6 +707,12 @@ impl ClosureService {
                     }
                 }
             }
+            Request::Trace { job } => match self.trace_json(*job) {
+                Ok(trace) => Response::Trace { job: *job, trace },
+                Err(e) => Response::Error {
+                    message: e.to_string(),
+                },
+            },
             Request::Stats => Response::Stats(self.stats()),
             Request::Metrics => Response::Metrics {
                 text: self.stats().to_prometheus(),
@@ -689,8 +786,11 @@ fn worker_loop(shared: &Arc<Shared>, w: usize) {
 
 /// Executes one job end to end on the claiming worker.
 fn run_job(shared: &Arc<Shared>, id: u64) {
-    // Claim: move the job's artifacts out of the record.
-    let claim = {
+    // Claim: move the job's artifacts out of the record, stamp the
+    // claim on the trace clock and sample the queue-latency histogram
+    // (real claims only — a cancelled-while-queued job never waited a
+    // full queue turn).
+    let (claim, started_ns) = {
         let mut st = shared.state.lock().expect("service state poisoned");
         let Some(job) = st.jobs.get_mut(&id) else {
             return;
@@ -704,7 +804,7 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             return;
         }
         job.state = JobState::Running;
-        (
+        let claim = (
             job.module.clone(),
             job.elab.clone(),
             job.checker.take(),
@@ -713,14 +813,45 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             job.cancel.clone(),
             job.key.clone(),
             job.canonical.clone(),
-        )
+            job.trace.clone(),
+            job.submitted_ns,
+        );
+        let started_ns = gm_trace::now_ns();
+        st.queue_hist.observe_ns(started_ns.saturating_sub(claim.9));
+        (claim, started_ns)
     };
-    let (module, elab, checker, compiled, config, cancel, key, canonical) = claim;
+    let (module, elab, checker, compiled, config, cancel, key, canonical, trace, submitted_ns) =
+        claim;
+
+    // Install the per-job flight recorder (when the submission asked
+    // for one) for the whole claim→retire window: every span the
+    // engine, checker, and simulator open on this thread records into
+    // the job's sink. The queue phase predates the claim, so it is
+    // recorded retroactively from the stored submission timestamp.
+    let trace_guard = trace.map(|sink| {
+        sink.record(
+            gm_trace::TraceEvent::complete(
+                "serve",
+                "serve.queue",
+                submitted_ns,
+                started_ns.saturating_sub(submitted_ns),
+            )
+            .with_arg("job", id),
+        );
+        gm_trace::push_thread_sink(sink)
+    });
+    let mut job_span = gm_trace::span("serve", "serve.job");
+    if job_span.is_active() {
+        job_span.arg("job", id);
+    }
 
     // Build (or reuse) the checker and run the engine outside the lock.
     let checker_result = match checker {
         Some(c) => Ok(c),
-        None => Checker::from_elab(&module, &elab),
+        None => {
+            let _span = gm_trace::span("serve", "serve.build_checker");
+            Checker::from_elab(&module, &elab)
+        }
     };
     // Reuse the design's parked compiled tape, or build (and later
     // park) one — per canonical design, not per engine. Compilation is
@@ -736,6 +867,10 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             let opts = CompileOptions {
                 probes: config.record_coverage,
             };
+            let mut span = gm_trace::span("serve", "serve.compile_tape");
+            if span.is_active() {
+                span.arg("probes", opts.probes);
+            }
             let c = Arc::new(CompiledModule::with_elab_opts(&module, &elab, opts));
             built_compiled = Some(c.clone());
             c
@@ -782,8 +917,21 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
         }
     };
 
+    // Close the job span and detach the recorder *before* taking the
+    // retire lock: the trace must be fully flushed into the sink before
+    // any client can observe the terminal state (and fetch the export).
+    let was_cancelled = observed_cancel || matches!(&outcome, Ok(o) if o.interrupted);
+    if job_span.is_active() {
+        job_span.arg("cancelled", was_cancelled);
+        job_span.arg("failed", outcome.is_err());
+    }
+    drop(job_span);
+    drop(trace_guard);
+
     // Retire: record the result, park the warm artifacts.
     let mut st = shared.state.lock().expect("service state poisoned");
+    st.wall_hist
+        .observe_ns(gm_trace::now_ns().saturating_sub(started_ns));
     if let Some(mut checker) = reclaimed {
         if shared.config.warm_memo {
             // Warm memos persist across requests — bound them so a
@@ -800,7 +948,6 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
     if let Ok(o) = &outcome {
         st.verify += o.verification_total();
     }
-    let was_cancelled = observed_cancel || matches!(&outcome, Ok(o) if o.interrupted);
     match outcome {
         Ok(outcome) => {
             if was_cancelled {
@@ -981,6 +1128,81 @@ mod tests {
         assert!(status.error.is_some(), "{status:?}");
         assert!(service.summary(job).is_none());
         assert!(service.take_outcome(job).unwrap().is_err());
+    }
+
+    #[test]
+    fn traced_jobs_capture_a_flight_recording() {
+        let service = ClosureService::new(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let src = "module t(input a, input b, output y); assign y = a & b; endmodule";
+        let (traced, _) = service
+            .submit_module_traced("traced", parse(src), tiny_config(), true)
+            .unwrap();
+        let (plain, _) = service
+            .submit_module("plain", parse(src), tiny_config())
+            .unwrap();
+        service.wait(traced);
+        service.wait(plain);
+
+        let json = service.trace_json(traced).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        for name in ["serve.queue", "serve.job", "engine.run", "engine.verify"] {
+            assert!(
+                json.contains(&format!("\"name\":\"{name}\"")),
+                "span {name} missing from the recording"
+            );
+        }
+        // Untraced and unknown jobs have no recording to export.
+        assert!(service.trace_json(plain).is_err());
+        assert!(service.trace_json(u64::MAX).is_err());
+
+        // Tracing never changes the outcome.
+        let traced_outcome = service.take_outcome(traced).unwrap().unwrap();
+        let plain_outcome = service.take_outcome(plain).unwrap().unwrap();
+        assert_eq!(
+            format!("{traced_outcome:?}"),
+            format!("{plain_outcome:?}"),
+            "the recorder must be inert"
+        );
+
+        // Both claims and both retirements were sampled.
+        let stats = service.stats();
+        assert_eq!(stats.queue_seconds.count(), 2);
+        assert_eq!(stats.wall_seconds.count(), 2);
+        assert!(stats.wall_seconds.sum_ns > 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn trace_requests_flow_through_the_wire_dispatcher() {
+        let service = ClosureService::new(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let response = service.handle_request(&Request::Submit {
+            name: "wired".into(),
+            source: "module w(input a, output y); assign y = ~a; endmodule".into(),
+            config: WireConfig::default(),
+            trace: true,
+        });
+        let Response::Submitted { job, .. } = response else {
+            panic!("unexpected response {response:?}");
+        };
+        service.wait(job);
+        match service.handle_request(&Request::Trace { job }) {
+            Response::Trace { job: id, trace } => {
+                assert_eq!(id, job);
+                assert!(trace.contains("\"name\":\"serve.job\""));
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        match service.handle_request(&Request::Trace { job: job + 100 }) {
+            Response::Error { .. } => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+        service.shutdown();
     }
 
     #[test]

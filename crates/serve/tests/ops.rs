@@ -219,15 +219,17 @@ fn byte_budget_evicts_lru_first_and_never_exceeds_budget() {
     assert!(warm.hit && warm.checker.is_none());
 }
 
-/// Parses a Prometheus exposition page into name → value.
+/// Parses a Prometheus exposition page into name → value, keeping the
+/// integer-valued series (the histogram `_sum` lines carry fractional
+/// seconds and are not part of the lifecycle invariant).
 fn parse_scrape(text: &str) -> HashMap<String, u64> {
     text.lines()
         .filter(|l| !l.starts_with('#') && !l.is_empty())
-        .map(|l| {
+        .filter_map(|l| {
             let mut parts = l.split_whitespace();
             let name = parts.next().expect("metric name").to_string();
-            let value = parts.next().expect("metric value").parse().unwrap();
-            (name, value)
+            let value = parts.next().expect("metric value").parse().ok()?;
+            Some((name, value))
         })
         .collect()
 }

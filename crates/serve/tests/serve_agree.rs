@@ -258,6 +258,114 @@ fn warm_memo_mode_keeps_verdicts_and_artifacts_identical() {
 }
 
 #[test]
+fn traced_served_runs_agree_and_export_loadable_recordings() {
+    // A traced submission must produce the same bytes as the untraced
+    // standalone baseline — the flight recorder is pure observation —
+    // and its export must be parseable JSON carrying the span
+    // vocabulary of every layer the job crossed.
+    let jobs = baselines_for(&["arbiter2", "b01"]);
+    let service = ClosureService::new(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    for b in &jobs {
+        let (id, _) = service
+            .submit_module_traced(&b.name, b.module.clone(), b.config.clone(), true)
+            .unwrap();
+        assert_eq!(service.wait(id), Some(JobState::Done), "{}", b.name);
+        let outcome = service.take_outcome(id).unwrap().unwrap();
+        assert_eq!(
+            format!("{outcome:?}"),
+            format!("{:?}", b.outcome),
+            "{}: tracing changed the served outcome",
+            b.name
+        );
+        let trace = service.trace_json(id).unwrap();
+        let parsed = gm_serve::json::parse(&trace).expect("trace export parses as JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("traceEvents array");
+        assert!(!events.is_empty(), "{}: empty recording", b.name);
+        let names: std::collections::HashSet<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(gm_serve::json::Json::as_str))
+            .collect();
+        for name in [
+            "serve.queue",
+            "serve.job",
+            "engine.run",
+            "engine.iteration",
+            "engine.verify",
+            "mc.check_batch",
+        ] {
+            assert!(names.contains(name), "{}: span {name} missing", b.name);
+        }
+    }
+    // Both claims and retirements landed in the latency histograms.
+    let stats = service.stats();
+    assert_eq!(stats.queue_seconds.count(), 2);
+    assert_eq!(stats.wall_seconds.count(), 2);
+    service.shutdown();
+}
+
+#[test]
+fn traces_and_histograms_travel_the_socket() {
+    let path = std::env::temp_dir().join(format!("gm-serve-trace-{}.sock", std::process::id()));
+    let listener = gm_serve::bind_unix(&path).unwrap();
+    let service = Arc::new(ClosureService::new(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }));
+    let server = {
+        let service = service.clone();
+        std::thread::spawn(move || gm_serve::serve_unix(service, listener))
+    };
+    let wire = WireConfig {
+        random_cycles: Some(32),
+        max_iterations: 10,
+        record_coverage: false,
+        ..WireConfig::default()
+    }
+    .with_bit_targets(vec![("gnt0".into(), 0), ("gnt1".into(), 0)]);
+    let b = baselines_for(&["arbiter2"])[0];
+
+    let mut client = ServeClient::connect(&path).unwrap();
+    let (job, _) = client
+        .submit_traced("arbiter2", gm_designs::sources::ARBITER2, &wire, true)
+        .unwrap();
+    // Traces are refused until the job is terminal or when it was
+    // submitted untraced.
+    let summary = client.wait(job).unwrap();
+    assert_eq!(
+        summary.outcome_debug,
+        format!("{:?}", b.outcome),
+        "traced wire run diverged from the standalone baseline"
+    );
+    let trace = client.trace(job).unwrap();
+    assert!(trace.contains("\"name\":\"serve.job\""), "{trace}");
+    assert!(gm_serve::json::parse(&trace).is_ok());
+    assert!(client.trace(job + 7).is_err(), "unknown jobs error");
+    let (untraced, _) = client
+        .submit("arbiter2-plain", gm_designs::sources::ARBITER2, &wire)
+        .unwrap();
+    client.wait(untraced).unwrap();
+    assert!(client.trace(untraced).is_err(), "untraced jobs error");
+    // The scrape endpoint exposes the histograms and build gauge.
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.contains("# TYPE gmserve_job_queue_seconds histogram"));
+    assert!(metrics.contains("gmserve_job_wall_seconds_count 2"));
+    assert!(metrics.contains("# TYPE gmserve_build_info gauge"));
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.wall_seconds.count(), 2);
+    assert!(stats.wall_seconds.sum_ns > 0);
+    client.shutdown().unwrap();
+    drop(client);
+    server.join().unwrap().unwrap();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn shutdown_returns_even_with_an_idle_connection_open() {
     let path = std::env::temp_dir().join(format!("gm-serve-idle-{}.sock", std::process::id()));
     let listener = gm_serve::bind_unix(&path).unwrap();

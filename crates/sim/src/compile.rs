@@ -566,6 +566,11 @@ impl CompiledModule {
         vectors: &[InputVector],
         obs: &mut dyn BatchObserver,
     ) -> Trace {
+        let mut span = gm_trace::span("sim", "sim.segment");
+        if span.is_active() {
+            span.arg("engine", "compiled_scalar");
+            span.arg("cycles", vectors.len());
+        }
         let mut sim = ScalarSim::new(self);
         sim.apply_reset(obs);
         let mut trace = Trace::for_module(module);
@@ -603,11 +608,59 @@ impl CompiledModule {
         cancel: Option<&std::sync::atomic::AtomicBool>,
         block: usize,
     ) -> Option<Vec<Trace>> {
+        let mut span = gm_trace::span("sim", "sim.batch");
+        if span.is_active() {
+            span.arg("segments", segments.len());
+            span.arg("lane_block", Self::normalized_block(block));
+            span.arg("lanes", 64 * Self::normalized_block(block));
+            span.arg("probes", self.probes.len());
+            span.arg("traces", collect_traces);
+            span.arg(
+                "cycles",
+                segments.iter().map(|s| s.vectors.len()).sum::<usize>(),
+            );
+        }
+        let out = self.run_segments_batched_untraced(
+            module,
+            segments,
+            obs,
+            collect_traces,
+            cancel,
+            block,
+        );
+        span.arg("cancelled", out.is_none());
+        out
+    }
+
+    /// [`Self::run_segments_batched`] minus the span wrapper — the
+    /// pre-trace machine code, kept callable so the recorder-overhead
+    /// bench can measure the instrumented entry against a true
+    /// baseline on identical inner code.
+    pub(crate) fn run_segments_batched_untraced(
+        &self,
+        module: &Module,
+        segments: &[Segment],
+        obs: &mut dyn BatchObserver,
+        collect_traces: bool,
+        cancel: Option<&std::sync::atomic::AtomicBool>,
+        block: usize,
+    ) -> Option<Vec<Trace>> {
         match block {
             0 | 1 => self.run_segments_blocked::<1>(module, segments, obs, collect_traces, cancel),
             2 => self.run_segments_blocked::<2>(module, segments, obs, collect_traces, cancel),
             3 | 4 => self.run_segments_blocked::<4>(module, segments, obs, collect_traces, cancel),
             _ => self.run_segments_blocked::<8>(module, segments, obs, collect_traces, cancel),
+        }
+    }
+
+    /// Maps a requested lane-block width onto the supported monomorphized
+    /// widths (1, 2, 4, 8) exactly as the executor dispatch does.
+    fn normalized_block(block: usize) -> usize {
+        match block {
+            0 | 1 => 1,
+            2 => 2,
+            3 | 4 => 4,
+            _ => 8,
         }
     }
 

@@ -111,6 +111,21 @@ impl TestSuite {
         compiled.run_segments_batched(module, &self.segments, obs, false, None, block);
     }
 
+    /// Bench-only twin of [`TestSuite::observe_compiled`] that enters
+    /// the executor through the uninstrumented pre-trace path, so the
+    /// recorder-overhead bench can compare the traced entry against a
+    /// true baseline. Not for production callers.
+    #[doc(hidden)]
+    pub fn observe_compiled_baseline(
+        &self,
+        module: &Module,
+        compiled: &crate::CompiledModule,
+        obs: &mut dyn crate::BatchObserver,
+        block: usize,
+    ) {
+        compiled.run_segments_batched_untraced(module, &self.segments, obs, false, None, block);
+    }
+
     /// [`TestSuite::observe_compiled`] with a cooperative cancel token
     /// polled once per simulated cycle. Returns `false` when the token
     /// cut the pass short — the observer has then seen a *partial*
@@ -142,6 +157,11 @@ pub fn run_segment(
     vectors: &[InputVector],
     obs: &mut dyn SimObserver,
 ) -> Result<Trace> {
+    let mut span = gm_trace::span("sim", "sim.segment");
+    if span.is_active() {
+        span.arg("engine", "interpreter");
+        span.arg("cycles", vectors.len());
+    }
     let mut sim = Simulator::new(module)?;
     apply_reset(&mut sim, module, obs);
     Ok(sim.run_vectors(vectors, obs))

@@ -15,6 +15,11 @@
 //! deliberate repeats, so the content-addressed cache gets hits), poll
 //! per-iteration progress, and print the merged results plus the
 //! server's scheduler/cache counters.
+//!
+//! Afterwards one job is re-submitted with the flight recorder on and
+//! its Chrome trace is fetched over the wire; set `GM_SERVE_TRACE_OUT`
+//! to a path to save it (load the file in Perfetto / `chrome://tracing`
+//! to see the queue/engine/solver span tree).
 
 use gm_serve::{ClosureService, ServeClient, ServeConfig, WireConfig};
 use std::path::{Path, PathBuf};
@@ -115,6 +120,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let mut conn = ServeClient::connect(&path)?;
+
+    // One traced job: the recorder rides along only for submissions
+    // that ask for it, and the trace is served once the job is
+    // terminal.
+    let design = gm_designs::by_name("arbiter2").expect("catalog design");
+    let (traced_job, _) = conn.submit_traced(
+        "arbiter2-traced",
+        design.source,
+        &wire_config(&design),
+        true,
+    )?;
+    conn.wait(traced_job)?;
+    let trace = conn.trace(traced_job)?;
+    let spans = trace.matches("\"ph\":\"X\"").count();
+    match std::env::var_os("GM_SERVE_TRACE_OUT") {
+        Some(out) => {
+            std::fs::write(&out, &trace)?;
+            println!(
+                "\ntraced job {traced_job}: {spans} spans, {} bytes -> {}",
+                trace.len(),
+                Path::new(&out).display()
+            );
+        }
+        None => println!(
+            "\ntraced job {traced_job}: {spans} spans, {} bytes (set GM_SERVE_TRACE_OUT to save)",
+            trace.len()
+        ),
+    }
+
     let stats = conn.stats()?;
     println!(
         "\nserver: {} submitted, {} completed on {} workers ({} steals); cache {} hits / {} misses / {} evictions ({} KiB resident)",
@@ -127,9 +161,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.cache_evictions,
         stats.cache_bytes / 1024,
     );
+    // The three scenario clients plus the traced re-submission.
     assert_eq!(
         stats.completed - baseline.completed,
-        (DESIGNS.len() * 3) as u64
+        (DESIGNS.len() * 3 + 1) as u64
     );
     assert!(
         stats.cache_hits - baseline.cache_hits >= (DESIGNS.len() * 2) as u64,
