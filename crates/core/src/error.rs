@@ -17,6 +17,20 @@ pub enum EngineError {
     Mc(McError),
 }
 
+impl EngineError {
+    /// Whether a fresh identical run could plausibly succeed — the
+    /// classification the closure service's retry loop consults.
+    /// Elaboration/simulation errors and model-checking resource limits
+    /// are deterministic (a retry reproduces them); only injected
+    /// transient faults ([`McError::retryable`]) are worth a retry.
+    pub fn retryable(&self) -> bool {
+        match self {
+            EngineError::Rtl(_) => false,
+            EngineError::Mc(e) => e.retryable(),
+        }
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

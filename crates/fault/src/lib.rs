@@ -1,0 +1,351 @@
+//! Deterministic, seeded fault injection.
+//!
+//! Production code declares *fault points* — named sites where an
+//! injected failure is plausible — by calling [`fire`]:
+//!
+//! ```ignore
+//! if gm_fault::fire("cache.checkout_fail") {
+//!     return Err(transient_checkout_error());
+//! }
+//! ```
+//!
+//! When no plan is armed, `fire` is a single relaxed atomic load (the
+//! same pattern as `gm_trace`'s sink registry), so fault points can
+//! stay compiled into release builds. A chaos test arms a seeded
+//! [`FaultPlan`] for the whole process via [`arm`]; while the returned
+//! [`FaultGuard`] lives, every matching `fire` call makes a
+//! *deterministic* decision derived from the plan seed, the point name,
+//! and that point's evaluation index — the same plan replays the same
+//! faults regardless of wall clock.
+//!
+//! Each point tracks how many times it was evaluated and how many times
+//! it fired ([`FaultGuard::report`]), so a chaos run can measure its
+//! own falsification power: a sweep whose declared points never fired
+//! did not actually test anything, and CI treats that as a failure.
+//!
+//! Arming is process-global and exclusive — tests that arm plans must
+//! serialize (the chaos suite runs single-threaded and holds a shared
+//! lock). [`arm`] replaces any previously armed plan; dropping the
+//! guard disarms only if its own plan is still the active one.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Rates are expressed in parts-per-million of evaluations.
+pub const PPM: u32 = 1_000_000;
+
+/// Fast-path arming flag: non-zero while a plan is armed. One relaxed
+/// load decides the common (disarmed) case.
+static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+/// The armed plan. Guarded by a mutex on the slow path only.
+static REGISTRY: Mutex<Option<Arc<PlanState>>> = Mutex::new(None);
+
+/// One named fault point in a plan.
+#[derive(Clone, Debug)]
+struct PointSpec {
+    name: String,
+    /// Firing probability per evaluation, in parts-per-million.
+    rate_ppm: u32,
+    /// Firing budget; 0 = unlimited.
+    max_fires: u64,
+}
+
+/// A seeded set of fault points to arm.
+///
+/// Decisions are a pure function of `(seed, point name, evaluation
+/// index)`: the same plan against the same workload injects the same
+/// faults. `rate_ppm = 1_000_000` fires on every evaluation (until the
+/// `max_fires` budget runs out), which is the fully deterministic shape
+/// chaos tests prefer.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    points: Vec<PointSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given decision seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds a point firing at `rate_ppm` parts-per-million of
+    /// evaluations, with no firing budget.
+    #[must_use]
+    pub fn point(self, name: &str, rate_ppm: u32) -> Self {
+        self.point_limited(name, rate_ppm, 0)
+    }
+
+    /// Adds a point firing at `rate_ppm` with a total firing budget
+    /// (`max_fires = 0` means unlimited). `point_limited(name, PPM, n)`
+    /// fires on exactly the first `n` evaluations.
+    #[must_use]
+    pub fn point_limited(mut self, name: &str, rate_ppm: u32, max_fires: u64) -> Self {
+        self.points.push(PointSpec {
+            name: name.to_string(),
+            rate_ppm: rate_ppm.min(PPM),
+            max_fires,
+        });
+        self
+    }
+
+    /// The names of every declared point, in declaration order.
+    pub fn names(&self) -> Vec<String> {
+        self.points.iter().map(|p| p.name.clone()).collect()
+    }
+}
+
+struct PointState {
+    spec: PointSpec,
+    evaluated: AtomicU64,
+    fired: AtomicU64,
+}
+
+struct PlanState {
+    seed: u64,
+    points: Vec<PointState>,
+}
+
+/// Evaluation/trigger counters for one fault point, from
+/// [`FaultGuard::report`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PointReport {
+    /// The point name.
+    pub name: String,
+    /// How many times a matching [`fire`] call was reached.
+    pub evaluated: u64,
+    /// How many of those evaluations injected the fault.
+    pub fired: u64,
+}
+
+/// Keeps a plan armed; disarms on drop (unless another plan replaced
+/// it first). Counters stay readable after disarming.
+pub struct FaultGuard {
+    state: Arc<PlanState>,
+}
+
+impl FaultGuard {
+    /// Per-point evaluation/trigger counters, in declaration order.
+    pub fn report(&self) -> Vec<PointReport> {
+        self.state
+            .points
+            .iter()
+            .map(|p| PointReport {
+                name: p.spec.name.clone(),
+                evaluated: p.evaluated.load(Ordering::Relaxed),
+                fired: p.fired.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// How many times `point` fired under this plan (0 for undeclared
+    /// points).
+    pub fn fired(&self, point: &str) -> u64 {
+        self.state
+            .points
+            .iter()
+            .find(|p| p.spec.name == point)
+            .map_or(0, |p| p.fired.load(Ordering::Relaxed))
+    }
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+        if reg
+            .as_ref()
+            .is_some_and(|active| Arc::ptr_eq(active, &self.state))
+        {
+            *reg = None;
+            ARMED.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Arms `plan` process-wide, replacing any armed plan. Fault decisions
+/// flow while the returned guard lives.
+pub fn arm(plan: FaultPlan) -> FaultGuard {
+    let state = Arc::new(PlanState {
+        seed: plan.seed,
+        points: plan
+            .points
+            .into_iter()
+            .map(|spec| PointState {
+                spec,
+                evaluated: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+            })
+            .collect(),
+    });
+    let mut reg = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
+    *reg = Some(state.clone());
+    ARMED.store(1, Ordering::Relaxed);
+    FaultGuard { state }
+}
+
+/// Whether any plan is armed — one relaxed atomic load. `fire` performs
+/// this check itself; use `enabled` only to skip *preparing* expensive
+/// arguments for a fault site.
+#[inline]
+pub fn enabled() -> bool {
+    ARMED.load(Ordering::Relaxed) != 0
+}
+
+/// Evaluates the named fault point: `true` means the caller should
+/// inject its failure now. Disarmed cost is one relaxed atomic load.
+#[inline]
+pub fn fire(point: &str) -> bool {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return false;
+    }
+    fire_slow(point)
+}
+
+#[cold]
+fn fire_slow(point: &str) -> bool {
+    let state = REGISTRY
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    let Some(state) = state else {
+        return false;
+    };
+    let Some(p) = state.points.iter().find(|p| p.spec.name == point) else {
+        return false;
+    };
+    let index = p.evaluated.fetch_add(1, Ordering::Relaxed);
+    if p.spec.rate_ppm == 0 {
+        return false;
+    }
+    let h = splitmix64(state.seed ^ fnv1a(point) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    if (h % u64::from(PPM)) >= u64::from(p.spec.rate_ppm) {
+        return false;
+    }
+    // Budget check *after* the rate decision so a capped point fires on
+    // its first `max_fires` rate hits, then stays quiet.
+    let prior = p.fired.fetch_add(1, Ordering::Relaxed);
+    if p.spec.max_fires != 0 && prior >= p.spec.max_fires {
+        p.fired.fetch_sub(1, Ordering::Relaxed);
+        return false;
+    }
+    true
+}
+
+/// FNV-1a over the point name — stable across runs, so the decision
+/// stream per point is independent of declaration order.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer — a cheap, well-mixed hash for the decision.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Arming is process-global: unit tests that arm plans serialize.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_fire_is_inert_and_free_of_state() {
+        let _g = lock();
+        assert!(!enabled());
+        assert!(!fire("anything.at_all"));
+    }
+
+    #[test]
+    fn full_rate_capped_point_fires_exactly_its_budget() {
+        let _g = lock();
+        let guard = arm(FaultPlan::new(7).point_limited("p.cap", PPM, 3));
+        let fired = (0..10).filter(|_| fire("p.cap")).count();
+        assert_eq!(fired, 3, "cap bounds total fires");
+        let report = guard.report();
+        assert_eq!(report[0].evaluated, 10);
+        assert_eq!(report[0].fired, 3);
+        assert_eq!(guard.fired("p.cap"), 3);
+        assert_eq!(guard.fired("p.undeclared"), 0);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed_and_differ_across_seeds() {
+        let _g = lock();
+        let run = |seed: u64| -> Vec<bool> {
+            let _guard = arm(FaultPlan::new(seed).point("p.rate", PPM / 2));
+            (0..64).map(|_| fire("p.rate")).collect()
+        };
+        assert_eq!(run(1), run(1), "same seed replays the same stream");
+        assert_ne!(run(1), run(2), "seeds decorrelate the streams");
+        let hits = run(3).iter().filter(|&&f| f).count();
+        assert!(
+            (8..=56).contains(&hits),
+            "half rate fires about half: {hits}"
+        );
+    }
+
+    #[test]
+    fn undeclared_points_never_fire_and_guard_drop_disarms() {
+        let _g = lock();
+        {
+            let _guard = arm(FaultPlan::new(0).point("p.one", PPM));
+            assert!(fire("p.one"));
+            assert!(!fire("p.other"), "undeclared points stay quiet");
+            assert!(enabled());
+        }
+        assert!(!enabled(), "guard drop disarms");
+        assert!(!fire("p.one"));
+    }
+
+    #[test]
+    fn rearming_replaces_the_plan_and_stale_guard_drop_is_inert() {
+        let _g = lock();
+        let first = arm(FaultPlan::new(0).point("p.a", PPM));
+        let second = arm(FaultPlan::new(0).point("p.b", PPM));
+        assert!(!fire("p.a"), "replaced plan no longer decides");
+        assert!(fire("p.b"));
+        drop(first);
+        assert!(enabled(), "stale guard drop leaves the active plan armed");
+        assert!(fire("p.b"));
+        drop(second);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn zero_rate_points_count_evaluations_without_firing() {
+        let _g = lock();
+        let guard = arm(FaultPlan::new(9).point("p.idle", 0));
+        for _ in 0..100 {
+            assert!(!fire("p.idle"));
+        }
+        let report = guard.report();
+        assert_eq!(report[0].evaluated, 100, "coverage is measured even idle");
+        assert_eq!(report[0].fired, 0);
+        assert_eq!(guard.report()[0].name, "p.idle");
+        assert_eq!(
+            arm(FaultPlan::new(0).point("a", 1).point_limited("b", 2, 3))
+                .report()
+                .len(),
+            2
+        );
+    }
+}

@@ -887,6 +887,13 @@ fn decide_one(
     if cancel_requested(cancel) {
         return Err(McError::Cancelled);
     }
+    // Every backend decides through here, so this one poll site gives
+    // the `sat.stall` / `sat.flaky` faults per-query granularity on the
+    // explicit path too (the SAT sessions also evaluate them per window
+    // start / induction depth).
+    if let Some(fault) = crate::session::injected_fault(cancel) {
+        return Err(fault);
+    }
     match params.backend {
         Backend::Explicit => match reach {
             Some(r) => {

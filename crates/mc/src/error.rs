@@ -39,6 +39,24 @@ pub enum McError {
     /// Cancelled decisions are never memoized — re-checking the
     /// property after the cancel decides it normally.
     Cancelled,
+    /// An injected transient fault (`gm_fault`) aborted the check. Only
+    /// produced while a fault plan is armed; carries the fault-point
+    /// name. Retryable: a fresh run of the same check is expected to
+    /// succeed once the fault stops firing.
+    TransientFault {
+        /// The `gm_fault` point that fired (e.g. `sat.flaky`).
+        point: &'static str,
+    },
+}
+
+impl McError {
+    /// Whether a fresh identical run could plausibly succeed. Resource
+    /// limits and elaboration errors are deterministic — retrying them
+    /// burns work for the same verdict — while injected transient
+    /// faults are retryable by construction.
+    pub fn retryable(&self) -> bool {
+        matches!(self, McError::TransientFault { .. })
+    }
 }
 
 impl fmt::Display for McError {
@@ -58,6 +76,9 @@ impl fmt::Display for McError {
                 write!(f, "window enumeration of {bits} bits exceeds {limit}")
             }
             McError::Cancelled => write!(f, "check cancelled"),
+            McError::TransientFault { point } => {
+                write!(f, "transient injected fault at {point}")
+            }
         }
     }
 }

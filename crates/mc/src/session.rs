@@ -48,6 +48,35 @@ pub(crate) fn cancel_requested(cancel: Option<&AtomicBool>) -> bool {
     cancel.is_some_and(|c| c.load(Ordering::Acquire))
 }
 
+/// Evaluates the `sat.stall` / `sat.flaky` fault points at a cancel
+/// poll site (between SAT queries). Disarmed cost is one relaxed
+/// atomic load per poll — the same budget as the cancel check itself.
+///
+/// Both points are gated on a cancel token being *present*: the
+/// non-cancellable wrappers ([`CheckSession::bmc`] /
+/// [`CheckSession::k_induction`]) promise infallibility without a
+/// token, and the conditions these faults emulate (a wedged or flaky
+/// SAT service) are only recoverable on the served, cancellable path.
+pub(crate) fn injected_fault(cancel: Option<&AtomicBool>) -> Option<McError> {
+    if !gm_fault::enabled() {
+        return None;
+    }
+    let c = cancel?;
+    if gm_fault::fire("sat.stall") {
+        // A wedged SAT query: the only way out is the cooperative
+        // cancel token (deadline enforcement or a caller cancel), which
+        // is exactly what deadline tests need to prove.
+        while !c.load(Ordering::Acquire) {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        return Some(McError::Cancelled);
+    }
+    if gm_fault::fire("sat.flaky") {
+        return Some(McError::TransientFault { point: "sat.flaky" });
+    }
+    None
+}
+
 /// Counters describing the work a verification session has done.
 ///
 /// Cumulative; subtract snapshots (the [`std::ops::Sub`] impl
@@ -295,6 +324,9 @@ impl CheckSession {
             if cancel_requested(cancel) {
                 return Err(McError::Cancelled);
             }
+            if let Some(fault) = injected_fault(cancel) {
+                return Err(fault);
+            }
             let mut span = gm_trace::span("mc", "mc.bmc_window");
             span.arg("start", start as u64);
             if let Some(cex) = self.base_violation(module, prop, start) {
@@ -334,6 +366,9 @@ impl CheckSession {
         for k in 0..=max_k as usize {
             if cancel_requested(cancel) {
                 return Err(McError::Cancelled);
+            }
+            if let Some(fault) = injected_fault(cancel) {
+                return Err(fault);
             }
             let mut span = gm_trace::span("mc", "mc.kind_depth");
             span.arg("k", k);

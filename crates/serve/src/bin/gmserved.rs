@@ -3,6 +3,8 @@
 //! ```text
 //! gmserved <socket-path> [--workers N] [--cache N] [--cache-bytes N]
 //!          [--round-robin] [--warm-memo]
+//!          [--deadline-ms N] [--max-retries N] [--retry-backoff-ms N]
+//!          [--max-queued N] [--max-queued-bytes N] [--drain-timeout-ms N]
 //! ```
 //!
 //! Binds a Unix-domain socket (replacing a stale file), serves closure
@@ -18,7 +20,9 @@ use std::sync::Arc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: gmserved <socket-path> [--workers N] [--cache N] [--cache-bytes N] \
-         [--round-robin] [--warm-memo]"
+         [--round-robin] [--warm-memo] [--deadline-ms N] [--max-retries N] \
+         [--retry-backoff-ms N] [--max-queued N] [--max-queued-bytes N] \
+         [--drain-timeout-ms N]"
     );
     ExitCode::FAILURE
 }
@@ -45,6 +49,30 @@ fn main() -> ExitCode {
             },
             "--round-robin" => config.policy = SchedPolicy::RoundRobin,
             "--warm-memo" => config.warm_memo = true,
+            "--deadline-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.default_deadline_ms = n,
+                None => return usage(),
+            },
+            "--max-retries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.retry.max_retries = n,
+                None => return usage(),
+            },
+            "--retry-backoff-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.retry.base_ms = n,
+                None => return usage(),
+            },
+            "--max-queued" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.max_queued = n,
+                None => return usage(),
+            },
+            "--max-queued-bytes" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.max_queued_bytes = n,
+                None => return usage(),
+            },
+            "--drain-timeout-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.drain_timeout_ms = n,
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }

@@ -345,6 +345,19 @@ impl DesignCache {
         self.enforce_byte_budget();
     }
 
+    /// Drops `key`'s entry entirely — module, elab, parked checkers and
+    /// compiled tapes. The retry path calls this when a job failed in a
+    /// way that may implicate the cached artifacts (a worker panic, an
+    /// injected checkout fault): the retry rebuilds from source instead
+    /// of re-running on possibly-poisoned warm state. Not counted as an
+    /// eviction — the eviction counters keep meaning "the budget pushed
+    /// a good entry out" (and their capacity/bytes/collision split keeps
+    /// summing to the total); retries are visible through the service's
+    /// own `jobs_retried` counter. Returns whether an entry was dropped.
+    pub fn invalidate(&mut self, key: &str) -> bool {
+        self.map.remove(key).is_some()
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

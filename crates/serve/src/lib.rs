@@ -57,6 +57,7 @@ pub mod cache;
 pub mod json;
 pub mod net;
 pub mod protocol;
+pub mod retry;
 pub mod scheduler;
 pub mod service;
 
@@ -64,7 +65,8 @@ pub use cache::{content_key, CacheStats, DesignCache};
 pub use net::{bind_unix, serve_unix, ServeClient};
 pub use protocol::{
     ClosureSummary, JobState, ProgressEvent, Request, Response, ServeStats, WireBackend,
-    WireConfig, WireHistogram, WireTargets, LATENCY_BUCKETS_NS,
+    WireConfig, WireCountHistogram, WireHistogram, WireTargets, LATENCY_BUCKETS_NS, RETRY_BUCKETS,
 };
+pub use retry::RetryPolicy;
 pub use scheduler::{run_campaign, run_jobs, run_jobs_stats, SchedPolicy, SchedStats};
-pub use service::{ClosureService, JobStatus, ServeConfig, ServeError};
+pub use service::{ClosureService, JobError, JobStatus, ServeConfig, ServeError, SubmitOptions};

@@ -38,14 +38,23 @@ pub fn bind_unix(path: &Path) -> io::Result<UnixListener> {
 /// Propagates accept-loop I/O failures (per-connection errors only end
 /// that connection).
 pub fn serve_unix(service: Arc<ClosureService>, listener: UnixListener) -> io::Result<()> {
+    /// How often finished connection threads are reaped.
+    const REAP_INTERVAL: Duration = Duration::from_millis(250);
     let closing = Arc::new(AtomicBool::new(false));
     listener.set_nonblocking(true)?;
     let mut conn_threads: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut last_reap = std::time::Instant::now();
     let mut fatal = None;
     while !closing.load(Ordering::Acquire) {
-        // Reap finished connections as we go — a long-lived daemon
-        // must not accumulate one dead JoinHandle per past client.
-        conn_threads.retain(|t| !t.is_finished());
+        // Reap finished connections on a periodic tick — a long-lived
+        // daemon must not accumulate one dead JoinHandle per past
+        // client, and the tick fires whether the iteration accepted a
+        // connection or idled on `WouldBlock`, so the reap cadence is
+        // independent of client traffic.
+        if last_reap.elapsed() >= REAP_INTERVAL {
+            conn_threads.retain(|t| !t.is_finished());
+            last_reap = std::time::Instant::now();
+        }
         match listener.accept() {
             Ok((stream, _)) => {
                 let service = service.clone();
@@ -90,6 +99,13 @@ fn handle_connection(
     // join forever.
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
     while let Some(frame) = read_frame_interruptible(&mut stream, closing)? {
+        // Injected abrupt disconnect: drop the connection between a
+        // request and its response — the shape of a client that
+        // vanished or a peer reset. Only this connection dies; the
+        // accept loop and every other client are untouched.
+        if gm_fault::fire("net.disconnect") {
+            return Ok(());
+        }
         let response = match Request::from_json(&frame) {
             Ok(request) => {
                 let response = service.handle_request(&request);
@@ -102,12 +118,34 @@ fn handle_connection(
                 message: e.to_string(),
             },
         };
-        write_frame(&mut stream, &response.to_json())?;
+        write_response_frame(&mut stream, &response)?;
         if matches!(response, Response::ShuttingDown) {
             break;
         }
     }
     Ok(())
+}
+
+/// Writes one response frame, honoring the `net.frame_truncate` fault:
+/// when armed and fired, the length prefix and only half the payload
+/// reach the client before the connection errors out — the torn-write
+/// shape a crashed server leaves behind. The client's frame reader must
+/// surface this as `UnexpectedEof`, never a hang or a desynced stream.
+fn write_response_frame(stream: &mut UnixStream, response: &Response) -> io::Result<()> {
+    if gm_fault::fire("net.frame_truncate") {
+        use std::io::Write;
+        let bytes = response.to_json().to_string().into_bytes();
+        let len = u32::try_from(bytes.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
+        stream.write_all(&len.to_be_bytes())?;
+        stream.write_all(&bytes[..bytes.len() / 2])?;
+        stream.flush()?;
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            "injected fault at net.frame_truncate",
+        ));
+    }
+    write_frame(stream, &response.to_json())
 }
 
 /// [`read_frame`], but interruptible by the shutdown flag: between
@@ -233,6 +271,13 @@ impl ServeClient {
     ) -> io::Result<T> {
         match self.request(request)? {
             Response::Error { message } => Err(io::Error::other(message)),
+            // Load shedding is a typed refusal, not a protocol error:
+            // `WouldBlock` tells callers the request is retryable once
+            // the server's backlog drains.
+            Response::Overloaded { queued, limit } => Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                format!("server overloaded ({queued} jobs queued, limit {limit}); retry later"),
+            )),
             other => decode(other)
                 .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unexpected response")),
         }
@@ -266,12 +311,33 @@ impl ServeClient {
         config: &crate::protocol::WireConfig,
         trace: bool,
     ) -> io::Result<(u64, bool)> {
+        self.submit_opts(name, source, config, trace, None)
+    }
+
+    /// [`ServeClient::submit`] with every per-submission option:
+    /// tracing and a per-job deadline (`None` = the server's default;
+    /// `Some(0)` opts out of any deadline). A shed submission (the
+    /// server's queue bound) surfaces as a `WouldBlock` error — retry
+    /// once the backlog drains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server-side submission errors.
+    pub fn submit_opts(
+        &mut self,
+        name: &str,
+        source: &str,
+        config: &crate::protocol::WireConfig,
+        trace: bool,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<(u64, bool)> {
         self.expect(
             &Request::Submit {
                 name: name.to_string(),
                 source: source.to_string(),
                 config: config.clone(),
                 trace,
+                deadline_ms,
             },
             |r| match r {
                 Response::Submitted { job, cached } => Some((job, cached)),
@@ -350,7 +416,7 @@ impl ServeClient {
     /// Propagates transport and server errors.
     pub fn stats(&mut self) -> io::Result<crate::protocol::ServeStats> {
         self.expect(&Request::Stats, |r| match r {
-            Response::Stats(stats) => Some(stats),
+            Response::Stats(stats) => Some(*stats),
             _ => None,
         })
     }

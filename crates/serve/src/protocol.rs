@@ -806,6 +806,85 @@ impl WireHistogram {
     }
 }
 
+/// Upper bounds of the per-job retry-count histogram buckets, as
+/// `(retries, le-label)` pairs; the final implicit bucket is `+Inf`.
+/// Unit-less (counts, not durations) — most jobs land in the `0`
+/// bucket, and anything past the `8` bound signals a retry storm.
+pub const RETRY_BUCKETS: [(u64, &str); 5] = [(0, "0"), (1, "1"), (2, "2"), (4, "4"), (8, "8")];
+
+/// A fixed-bucket histogram over small unit-less counts (per-job
+/// retries), bucketed by [`RETRY_BUCKETS`]. Same storage discipline as
+/// [`WireHistogram`]: per-bucket (non-cumulative) counts plus one
+/// overflow slot, integer sum, rendered to the Prometheus
+/// cumulative-`le` form on demand.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireCountHistogram {
+    /// Per-bucket observation counts aligned with [`RETRY_BUCKETS`];
+    /// the extra final slot is the `+Inf` bucket.
+    pub buckets: Vec<u64>,
+    /// Sum of every observed value.
+    pub sum: u64,
+}
+
+impl Default for WireCountHistogram {
+    fn default() -> Self {
+        WireCountHistogram {
+            buckets: vec![0; RETRY_BUCKETS.len() + 1],
+            sum: 0,
+        }
+    }
+}
+
+impl WireCountHistogram {
+    /// Records one observed value.
+    pub fn observe(&mut self, value: u64) {
+        let slot = RETRY_BUCKETS
+            .iter()
+            .position(|&(bound, _)| value <= bound)
+            .unwrap_or(RETRY_BUCKETS.len());
+        self.buckets[slot] += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Total observations (the Prometheus `_count` sample).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "buckets",
+                Json::Arr(self.buckets.iter().map(|&c| Json::UInt(c)).collect()),
+            ),
+            ("sum", Json::UInt(self.sum)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<Self, ProtocolError> {
+        let buckets = field(v, "buckets")?
+            .as_arr()
+            .ok_or_else(|| ProtocolError("histogram buckets must be an array".into()))?
+            .iter()
+            .map(|c| {
+                c.as_u64()
+                    .ok_or_else(|| ProtocolError("histogram bucket must be an integer".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if buckets.len() != RETRY_BUCKETS.len() + 1 {
+            return Err(ProtocolError(format!(
+                "count histogram must have {} buckets, got {}",
+                RETRY_BUCKETS.len() + 1,
+                buckets.len()
+            )));
+        }
+        Ok(WireCountHistogram {
+            buckets,
+            sum: u64_field(v, "sum")?,
+        })
+    }
+}
+
 /// Aggregate service counters.
 ///
 /// Snapshots are internally consistent — every field is read under one
@@ -872,6 +951,20 @@ pub struct ServeStats {
     pub queue_seconds: WireHistogram,
     /// Job wall time: worker claim to terminal state, per retired job.
     pub wall_seconds: WireHistogram,
+    /// Worker panics caught by the job isolation boundary
+    /// (`catch_unwind`) — each one cost a retry or a typed failure,
+    /// never a wedged worker.
+    pub worker_panics: u64,
+    /// Retry attempts scheduled for retryable job failures.
+    pub jobs_retried: u64,
+    /// Jobs that failed because their deadline expired.
+    pub jobs_deadline_exceeded: u64,
+    /// Submissions refused by admission control (queue bounds).
+    pub requests_shed: u64,
+    /// Dead worker threads respawned by the supervisor.
+    pub workers_respawned: u64,
+    /// Per-retired-job retry counts (most jobs observe 0).
+    pub job_retries: WireCountHistogram,
 }
 
 impl ServeStats {
@@ -926,6 +1019,15 @@ impl ServeStats {
             ),
             ("queue_seconds", self.queue_seconds.to_json()),
             ("wall_seconds", self.wall_seconds.to_json()),
+            ("worker_panics", Json::UInt(self.worker_panics)),
+            ("jobs_retried", Json::UInt(self.jobs_retried)),
+            (
+                "jobs_deadline_exceeded",
+                Json::UInt(self.jobs_deadline_exceeded),
+            ),
+            ("requests_shed", Json::UInt(self.requests_shed)),
+            ("workers_respawned", Json::UInt(self.workers_respawned)),
+            ("job_retries", self.job_retries.to_json()),
         ])
     }
 
@@ -965,6 +1067,17 @@ impl ServeStats {
             wall_seconds: match v.get("wall_seconds") {
                 None | Some(Json::Null) => WireHistogram::default(),
                 Some(other) => WireHistogram::from_json(other)?,
+            },
+            // Absent resilience counters are the pre-fault-injection
+            // wire form.
+            worker_panics: opt_u64_field(v, "worker_panics", 0)?,
+            jobs_retried: opt_u64_field(v, "jobs_retried", 0)?,
+            jobs_deadline_exceeded: opt_u64_field(v, "jobs_deadline_exceeded", 0)?,
+            requests_shed: opt_u64_field(v, "requests_shed", 0)?,
+            workers_respawned: opt_u64_field(v, "workers_respawned", 0)?,
+            job_retries: match v.get("job_retries") {
+                None | Some(Json::Null) => WireCountHistogram::default(),
+                Some(other) => WireCountHistogram::from_json(other)?,
             },
         })
     }
@@ -1133,6 +1246,36 @@ impl ServeStats {
             "Counterexamples re-extracted canonically.",
             self.verify_cex_canonicalized,
         );
+        metric(
+            "worker_panics_total",
+            "counter",
+            "Worker panics caught by the job isolation boundary.",
+            self.worker_panics,
+        );
+        metric(
+            "jobs_retried_total",
+            "counter",
+            "Retry attempts scheduled for retryable job failures.",
+            self.jobs_retried,
+        );
+        metric(
+            "jobs_deadline_exceeded_total",
+            "counter",
+            "Jobs failed because their deadline expired.",
+            self.jobs_deadline_exceeded,
+        );
+        metric(
+            "requests_shed_total",
+            "counter",
+            "Submissions refused by admission control.",
+            self.requests_shed,
+        );
+        metric(
+            "workers_respawned_total",
+            "counter",
+            "Dead worker threads respawned by the supervisor.",
+            self.workers_respawned,
+        );
         let mut histogram = |name: &str, help: &str, h: &WireHistogram| {
             let _ = writeln!(out, "# HELP gmserve_{name} {help}");
             let _ = writeln!(out, "# TYPE gmserve_{name} histogram");
@@ -1156,6 +1299,28 @@ impl ServeStats {
             "Job wall time from worker claim to terminal state.",
             &self.wall_seconds,
         );
+        // The retry histogram buckets counts, not durations, so it
+        // renders from its own bounds rather than the latency bounds.
+        {
+            let h = &self.job_retries;
+            let _ = writeln!(
+                out,
+                "# HELP gmserve_job_retries Retries per retired job (0 = first attempt succeeded)."
+            );
+            let _ = writeln!(out, "# TYPE gmserve_job_retries histogram");
+            let mut cumulative = 0u64;
+            for (&(_, label), count) in RETRY_BUCKETS.iter().zip(&h.buckets) {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "gmserve_job_retries_bucket{{le=\"{label}\"}} {cumulative}"
+                );
+            }
+            let total = h.count();
+            let _ = writeln!(out, "gmserve_job_retries_bucket{{le=\"+Inf\"}} {total}");
+            let _ = writeln!(out, "gmserve_job_retries_sum {}", h.sum);
+            let _ = writeln!(out, "gmserve_job_retries_count {total}");
+        }
         let _ = writeln!(
             out,
             "# HELP gmserve_build_info Build metadata; the value is always 1."
@@ -1188,6 +1353,11 @@ pub enum Request {
         /// (`trace_agree` proves byte-identity), only whether the
         /// recording exists.
         trace: bool,
+        /// Per-job deadline in milliseconds from submission. Absent or
+        /// `null` on the wire = `None`, which resolves to the server's
+        /// configured default; an explicit `0` disables the deadline
+        /// for this job.
+        deadline_ms: Option<u64>,
     },
     /// Poll a job's lifecycle state.
     Status {
@@ -1235,12 +1405,14 @@ impl Request {
                 source,
                 config,
                 trace,
+                deadline_ms,
             } => Json::obj(vec![
                 ("type", Json::Str("submit".into())),
                 ("name", Json::Str(name.clone())),
                 ("source", Json::Str(source.clone())),
                 ("config", config.to_json()),
                 ("trace", Json::Bool(*trace)),
+                ("deadline_ms", deadline_ms.map_or(Json::Null, Json::UInt)),
             ]),
             Request::Status { job } => Json::obj(vec![
                 ("type", Json::Str("status".into())),
@@ -1282,6 +1454,13 @@ impl Request {
                 config: WireConfig::from_json(field(v, "config")?)?,
                 // Absent = untraced, the pre-observability wire form.
                 trace: opt_bool_field(v, "trace", false)?,
+                // Absent = server-default deadline; 0 = explicitly none.
+                deadline_ms: match v.get("deadline_ms") {
+                    None | Some(Json::Null) => None,
+                    Some(other) => Some(other.as_u64().ok_or_else(|| {
+                        ProtocolError("field 'deadline_ms' must be an unsigned integer".into())
+                    })?),
+                },
             }),
             "status" => Ok(Request::Status {
                 job: u64_field(v, "job")?,
@@ -1358,8 +1537,9 @@ pub enum Response {
         /// `chrome://tracing`).
         trace: String,
     },
-    /// Aggregate counters.
-    Stats(ServeStats),
+    /// Aggregate counters. Boxed: the stats block (histograms included)
+    /// dwarfs every other variant.
+    Stats(Box<ServeStats>),
     /// The counters in the Prometheus text exposition format.
     Metrics {
         /// The rendered metrics page.
@@ -1367,6 +1547,17 @@ pub enum Response {
     },
     /// The server acknowledges a shutdown request.
     ShuttingDown,
+    /// Admission control refused a submission: the queue bound was hit.
+    /// A typed response (not a generic `Error`) so clients can
+    /// distinguish "back off and resubmit" from a request that will
+    /// never succeed.
+    Overloaded {
+        /// Jobs queued at refusal time.
+        queued: u64,
+        /// The configured bound that was hit (depth or bytes, whichever
+        /// tripped).
+        limit: u64,
+    },
     /// Any failure: unknown job, parse error, engine error, cancelled
     /// wait.
     Error {
@@ -1432,6 +1623,11 @@ impl Response {
                 ("text", Json::Str(text.clone())),
             ]),
             Response::ShuttingDown => Json::obj(vec![("type", Json::Str("shutting_down".into()))]),
+            Response::Overloaded { queued, limit } => Json::obj(vec![
+                ("type", Json::Str("overloaded".into())),
+                ("queued", Json::UInt(*queued)),
+                ("limit", Json::UInt(*limit)),
+            ]),
             Response::Error { message } => Json::obj(vec![
                 ("type", Json::Str("error".into())),
                 ("message", Json::Str(message.clone())),
@@ -1484,11 +1680,17 @@ impl Response {
                 job: u64_field(v, "job")?,
                 trace: str_field(v, "trace")?.to_string(),
             }),
-            "stats" => Ok(Response::Stats(ServeStats::from_json(field(v, "stats")?)?)),
+            "stats" => Ok(Response::Stats(Box::new(ServeStats::from_json(field(
+                v, "stats",
+            )?)?))),
             "metrics" => Ok(Response::Metrics {
                 text: str_field(v, "text")?.to_string(),
             }),
             "shutting_down" => Ok(Response::ShuttingDown),
+            "overloaded" => Ok(Response::Overloaded {
+                queued: u64_field(v, "queued")?,
+                limit: u64_field(v, "limit")?,
+            }),
             "error" => Ok(Response::Error {
                 message: str_field(v, "message")?.to_string(),
             }),
@@ -1569,6 +1771,7 @@ mod tests {
             source: "module m(input a, output y);\n  assign y = a;\nendmodule".into(),
             config: WireConfig::default().with_bit_targets(vec![("gnt0".into(), 0)]),
             trace: false,
+            deadline_ms: None,
         });
         for sim_backend in [
             WireSimBackend::Interpreter,
@@ -1584,6 +1787,7 @@ mod tests {
                     ..WireConfig::default()
                 },
                 trace: false,
+                deadline_ms: None,
             });
         }
         // A traced submission with the temporal/refine knobs engaged.
@@ -1598,6 +1802,16 @@ mod tests {
                 ..WireConfig::default()
             },
             trace: true,
+            deadline_ms: Some(30_000),
+        });
+        // An explicit 0 (deadline disabled) survives the wire distinct
+        // from absent (server default).
+        round_trip_request(Request::Submit {
+            name: "nodeadline".into(),
+            source: "module m(input a, output y); assign y = a; endmodule".into(),
+            config: WireConfig::default(),
+            trace: false,
+            deadline_ms: Some(0),
         });
         round_trip_request(Request::Status { job: 7 });
         round_trip_request(Request::Progress { job: 7, from: 3 });
@@ -1647,7 +1861,7 @@ mod tests {
                     outcome_debug: "ClosureOutcome { .. }".into(),
                 },
             },
-            Response::Stats(ServeStats {
+            Response::Stats(Box::new(ServeStats {
                 submitted: 9,
                 queued: 1,
                 running: 2,
@@ -1670,7 +1884,7 @@ mod tests {
                     h
                 },
                 ..ServeStats::default()
-            }),
+            })),
             Response::Trace {
                 job: 3,
                 trace: "{\"traceEvents\":[]}".into(),
@@ -1679,6 +1893,10 @@ mod tests {
                 text: ServeStats::default().to_prometheus(),
             },
             Response::ShuttingDown,
+            Response::Overloaded {
+                queued: 64,
+                limit: 64,
+            },
             Response::Error {
                 message: "unknown job 99".into(),
             },
@@ -1781,6 +1999,72 @@ mod tests {
     }
 
     #[test]
+    fn resilience_counters_round_trip_and_tolerate_absence() {
+        let mut stats = ServeStats {
+            worker_panics: 3,
+            jobs_retried: 5,
+            jobs_deadline_exceeded: 1,
+            requests_shed: 7,
+            workers_respawned: 2,
+            ..ServeStats::default()
+        };
+        stats.job_retries.observe(0);
+        stats.job_retries.observe(2);
+        stats.job_retries.observe(11); // overflow bucket
+        let back = ServeStats::from_json(&stats.to_json()).unwrap();
+        assert_eq!(back, stats);
+        // Pre-fault-injection stats frames carry none of the resilience
+        // fields; they resolve to zeros, not an error.
+        let mut json = stats.to_json();
+        if let Json::Obj(fields) = &mut json {
+            fields.retain(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "worker_panics"
+                        | "jobs_retried"
+                        | "jobs_deadline_exceeded"
+                        | "requests_shed"
+                        | "workers_respawned"
+                        | "job_retries"
+                )
+            });
+        }
+        let old = ServeStats::from_json(&json).unwrap();
+        assert_eq!(old.worker_panics, 0);
+        assert_eq!(old.requests_shed, 0);
+        assert_eq!(old.job_retries, WireCountHistogram::default());
+    }
+
+    #[test]
+    fn prometheus_renders_the_resilience_family_with_retry_buckets() {
+        let mut stats = ServeStats {
+            worker_panics: 2,
+            jobs_retried: 4,
+            jobs_deadline_exceeded: 1,
+            requests_shed: 3,
+            workers_respawned: 1,
+            ..ServeStats::default()
+        };
+        stats.job_retries.observe(0);
+        stats.job_retries.observe(0);
+        stats.job_retries.observe(3); // lands in the le="4" bucket
+        let text = stats.to_prometheus();
+        assert!(text.contains("# TYPE gmserve_worker_panics_total counter"));
+        assert!(text.contains("gmserve_worker_panics_total 2"));
+        assert!(text.contains("gmserve_jobs_retried_total 4"));
+        assert!(text.contains("gmserve_jobs_deadline_exceeded_total 1"));
+        assert!(text.contains("gmserve_requests_shed_total 3"));
+        assert!(text.contains("gmserve_workers_respawned_total 1"));
+        assert!(text.contains("# TYPE gmserve_job_retries histogram"));
+        assert!(text.contains("gmserve_job_retries_bucket{le=\"0\"} 2"));
+        assert!(text.contains("gmserve_job_retries_bucket{le=\"2\"} 2"));
+        assert!(text.contains("gmserve_job_retries_bucket{le=\"4\"} 3"));
+        assert!(text.contains("gmserve_job_retries_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("gmserve_job_retries_sum 3"));
+        assert!(text.contains("gmserve_job_retries_count 3"));
+    }
+
+    #[test]
     fn temporal_and_refine_knobs_absent_from_the_wire_default_off() {
         // Pre-observability clients never sent the knobs; their frames
         // must resolve to the engine defaults they always ran with.
@@ -1803,7 +2087,15 @@ mod tests {
             ("config", WireConfig::default().to_json()),
         ]);
         match Request::from_json(&req).unwrap() {
-            Request::Submit { trace, .. } => assert!(!trace),
+            Request::Submit {
+                trace, deadline_ms, ..
+            } => {
+                assert!(!trace);
+                assert_eq!(
+                    deadline_ms, None,
+                    "absent deadline resolves to the server default"
+                );
+            }
             other => panic!("unexpected request {other:?}"),
         }
     }

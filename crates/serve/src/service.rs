@@ -23,12 +23,38 @@
 //! runs of the same design — verdicts and artifacts stay identical, but
 //! the work counters in the outcome's iteration reports then reflect
 //! the memo hits.
+//!
+//! ## Resilience
+//!
+//! The lifecycle survives faults without giving up the contract above:
+//!
+//! * every attempt runs under panic isolation
+//!   ([`std::panic::catch_unwind`]), so a panicking job fails *that
+//!   job*, not the service; a supervisor thread respawns any worker
+//!   whose thread died anyway (e.g. the injected `worker.exit` fault);
+//! * retryable failures (injected transient faults — see [`gm_fault`] —
+//!   and worker panics) are retried under the bounded, deterministic
+//!   [`RetryPolicy`], with the design's possibly-poisoned cache entry
+//!   invalidated first so the retry rebuilds from source; a retried
+//!   job's outcome is byte-identical to a fault-free run
+//!   (`tests/chaos_agree.rs`);
+//! * per-job deadlines ([`SubmitOptions::deadline_ms`], defaulting to
+//!   [`ServeConfig::default_deadline_ms`]) ride the same cooperative
+//!   mid-iteration cancel token as [`ClosureService::cancel`], ending
+//!   with the typed [`JobError::DeadlineExceeded`];
+//! * admission control ([`ServeConfig::max_queued`] /
+//!   [`ServeConfig::max_queued_bytes`]) sheds excess submissions with
+//!   the explicit [`ServeError::Overloaded`] instead of letting the
+//!   queue grow without bound;
+//! * [`ClosureService::shutdown`] drains gracefully, bounded by
+//!   [`ServeConfig::drain_timeout_ms`].
 
 use crate::cache::DesignCache;
 use crate::protocol::{
     ClosureSummary, JobState, ProgressEvent, Request, Response, ServeStats, WireConfig,
-    WireHistogram,
+    WireCountHistogram, WireHistogram,
 };
+use crate::retry::RetryPolicy;
 use crate::scheduler::{SchedPolicy, StealQueues};
 use gm_mc::{Checker, SessionStats};
 use gm_rtl::{Elab, Module};
@@ -36,9 +62,11 @@ use goldmine::{
     ClosureOutcome, CompileOptions, CompiledModule, Engine, EngineConfig, EngineError, SimBackend,
 };
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Service construction knobs.
 #[derive(Clone, Debug)]
@@ -73,6 +101,26 @@ pub struct ServeConfig {
     /// without bound across requests. Irrelevant when `warm_memo` is
     /// off (memos are cleared by the reset).
     pub warm_memo_capacity: usize,
+    /// Default per-job deadline in milliseconds, applied to
+    /// submissions that don't carry their own
+    /// [`SubmitOptions::deadline_ms`]. 0 = no deadline. Enforced by
+    /// the supervisor through the job's cooperative cancel token; an
+    /// expired job fails with [`JobError::DeadlineExceeded`].
+    pub default_deadline_ms: u64,
+    /// Bounded retry/backoff for retryable failures (injected
+    /// transient faults and worker panics); see [`RetryPolicy`].
+    pub retry: RetryPolicy,
+    /// Admission bound on queue *depth*: a submission that would leave
+    /// more than this many jobs queued is shed with
+    /// [`ServeError::Overloaded`]. 0 = unbounded.
+    pub max_queued: usize,
+    /// Admission bound on queued *bytes* (the canonical source text
+    /// held by queued jobs). 0 = unbounded.
+    pub max_queued_bytes: usize,
+    /// How long [`ClosureService::shutdown`] waits for in-flight and
+    /// queued jobs to drain before cancelling whatever is left. 0 =
+    /// wait forever (the pre-resilience behavior).
+    pub drain_timeout_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -85,22 +133,117 @@ impl Default for ServeConfig {
             warm_memo: false,
             retain_jobs: 1024,
             warm_memo_capacity: 4096,
+            default_deadline_ms: 0,
+            retry: RetryPolicy::default(),
+            max_queued: 0,
+            max_queued_bytes: 0,
+            drain_timeout_ms: 0,
         }
     }
 }
 
-/// A service-level submission failure (parse, elaboration, config
-/// resolution).
+/// A submission-time failure: the request never became a job.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ServeError(pub String);
+pub enum ServeError {
+    /// The request was malformed (parse, elaboration or
+    /// target-resolution errors).
+    Rejected(String),
+    /// Admission control shed the request: the queue is at its
+    /// configured bound ([`ServeConfig::max_queued`] /
+    /// [`ServeConfig::max_queued_bytes`]). Retryable by the client
+    /// once the backlog drains.
+    Overloaded {
+        /// Jobs queued at the time of the refusal.
+        queued: u64,
+        /// The bound that was hit (depth or bytes, whichever tripped).
+        limit: u64,
+    },
+    /// The service no longer accepts submissions.
+    ShutDown,
+}
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "serve: {}", self.0)
+        match self {
+            ServeError::Rejected(msg) => write!(f, "serve: {msg}"),
+            ServeError::Overloaded { queued, limit } => write!(
+                f,
+                "serve: overloaded ({queued} jobs queued, limit {limit}); retry later"
+            ),
+            ServeError::ShutDown => write!(f, "serve: service is shut down"),
+        }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// Why a job ended in [`JobState::Failed`] — the typed half of
+/// [`ClosureService::take_outcome`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobError {
+    /// The engine failed deterministically (elaboration/simulation
+    /// errors, model-checking resource limits). Never retried: an
+    /// identical rerun reproduces the failure.
+    Engine(EngineError),
+    /// The job's deadline expired before it finished. The run was
+    /// stopped through the cooperative cancel token, mid-iteration.
+    DeadlineExceeded {
+        /// The deadline that expired, in milliseconds from submission.
+        deadline_ms: u64,
+    },
+    /// A retryable failure (injected transient fault or worker panic)
+    /// survived the whole retry budget.
+    RetriesExhausted {
+        /// Total attempts made (initial + retries).
+        attempts: u32,
+        /// The last attempt's failure, as text.
+        last: String,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Engine failures keep their pre-resilience status text.
+            JobError::Engine(e) => write!(f, "{e}"),
+            JobError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "deadline exceeded after {deadline_ms}ms")
+            }
+            JobError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for JobError {
+    fn from(e: EngineError) -> Self {
+        JobError::Engine(e)
+    }
+}
+
+/// Per-submission options for [`ClosureService::submit_module_opts`] /
+/// [`ClosureService::submit_source_opts`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOptions {
+    /// Capture a per-job flight recording (see
+    /// [`ClosureService::submit_module_traced`]).
+    pub trace: bool,
+    /// Per-job deadline in milliseconds from submission. `None` falls
+    /// back to [`ServeConfig::default_deadline_ms`]; an explicit
+    /// `Some(0)` opts *out* of any deadline even when the server has a
+    /// default.
+    pub deadline_ms: Option<u64>,
+}
 
 /// A status snapshot of one job.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -134,7 +277,7 @@ struct JobRecord {
     compiled: Option<Arc<CompiledModule>>,
     state: JobState,
     progress: Vec<ProgressEvent>,
-    outcome: Option<Result<ClosureOutcome, EngineError>>,
+    outcome: Option<Result<ClosureOutcome, JobError>>,
     error: Option<String>,
     cancel: Arc<AtomicBool>,
     cached: bool,
@@ -142,6 +285,15 @@ struct JobRecord {
     /// the queue-latency histogram and the retroactive `serve.queue`
     /// span.
     submitted_ns: u64,
+    /// The job's deadline in milliseconds from submission (`None` = no
+    /// deadline), and its absolute expiry on the trace clock. The
+    /// supervisor compares the latter against `now_ns` on every tick.
+    deadline_ms: Option<u64>,
+    deadline_ns: Option<u64>,
+    /// Set (with the cancel token) by the supervisor when the deadline
+    /// expires — what lets retire distinguish a deadline stop from a
+    /// client cancellation, which share the token.
+    deadline_hit: bool,
     /// The per-job flight recorder, present when the submission asked
     /// for one. The worker installs it as its thread sink for the whole
     /// claim→retire window; clients fetch the export once the job is
@@ -160,6 +312,15 @@ struct State {
     completed: u64,
     failed: u64,
     cancelled: u64,
+    /// Resilience counters (see the matching `gmserve_*_total`
+    /// Prometheus families).
+    worker_panics: u64,
+    jobs_retried: u64,
+    deadline_exceeded: u64,
+    requests_shed: u64,
+    workers_respawned: u64,
+    /// Retries per retired job (0 = first attempt succeeded).
+    retry_hist: WireCountHistogram,
     /// Verification work aggregated from every retired job's outcome
     /// (the per-job [`SessionStats`] totals) — the service-level view a
     /// metrics scrape exposes.
@@ -179,7 +340,10 @@ impl State {
     fn retire(&mut self, id: u64, retain: usize) {
         self.finished.push_back(id);
         while self.finished.len() > retain.max(1) {
-            let oldest = self.finished.pop_front().expect("non-empty");
+            let oldest = self
+                .finished
+                .pop_front()
+                .expect("pop is guarded by the length check above");
             self.jobs.remove(&oldest);
         }
     }
@@ -206,6 +370,70 @@ impl State {
         }
         self.retire(id, retain);
     }
+
+    /// Retires a still-queued job whose deadline expired before any
+    /// worker claimed it: typed [`JobError::DeadlineExceeded`] outcome,
+    /// warm checker parked back, retention applied. No-op past
+    /// `Queued`. Called by the supervisor under the same lock that
+    /// marks `deadline_hit`, so a claim can never observe a queued job
+    /// with the flag set. Callers notify `done_cv` afterwards.
+    fn expire_queued(&mut self, id: u64, retain: usize) {
+        let Some(job) = self.jobs.get_mut(&id) else {
+            return;
+        };
+        if job.state != JobState::Queued {
+            return;
+        }
+        let error = JobError::DeadlineExceeded {
+            deadline_ms: job.deadline_ms.unwrap_or(0),
+        };
+        job.state = JobState::Failed;
+        job.error = Some(error.to_string());
+        job.outcome = Some(Err(error));
+        let checker = job.checker.take();
+        let key = job.key.clone();
+        let canonical = job.canonical.clone();
+        self.failed += 1;
+        self.deadline_exceeded += 1;
+        if let Some(checker) = checker {
+            self.cache.park(&key, &canonical, checker);
+        }
+        self.retire(id, retain);
+    }
+
+    /// Parks a retired attempt's warm artifacts back into the cache.
+    fn park_artifacts(
+        &mut self,
+        config: &ServeConfig,
+        key: &str,
+        canonical: &Arc<str>,
+        reclaimed: Option<Checker>,
+        built_compiled: Option<Arc<CompiledModule>>,
+    ) {
+        if let Some(mut checker) = reclaimed {
+            if config.warm_memo {
+                // Warm memos persist across requests — bound them so a
+                // long-lived daemon's parked checkers cannot grow
+                // forever.
+                checker = checker.with_memo_capacity(config.warm_memo_capacity);
+            } else {
+                checker.reset_for_reuse();
+            }
+            self.cache.park(key, canonical, checker);
+        }
+        if let Some(c) = built_compiled {
+            self.cache.park_compiled(key, canonical, c);
+        }
+    }
+}
+
+/// Locks the service state, recovering from poisoning. Job execution —
+/// the only panic-prone code — runs under `catch_unwind` *outside* this
+/// lock, and every critical section leaves the table consistent before
+/// unlocking, so a poisoned lock (a panicking progress callback, say)
+/// carries no torn state worth wedging the whole service over.
+fn lock_state(state: &Mutex<State>) -> MutexGuard<'_, State> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 struct Shared {
@@ -216,6 +444,10 @@ struct Shared {
     /// terminal state.
     done_cv: Condvar,
     open: AtomicBool,
+    /// Worker thread slots, indexed by worker id. The supervisor joins
+    /// and respawns any slot whose thread died (`worker.exit` faults,
+    /// or a panic that escaped the attempt isolation).
+    workers: Mutex<Vec<Option<JoinHandle<()>>>>,
 }
 
 /// The persistent closure service (see the module docs).
@@ -245,7 +477,7 @@ struct Shared {
 /// ```
 pub struct ClosureService {
     shared: Arc<Shared>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for ClosureService {
@@ -266,9 +498,12 @@ fn terminal(state: JobState) -> bool {
     )
 }
 
+/// How often the supervisor checks deadlines and dead workers.
+const SUPERVISOR_TICK: Duration = Duration::from_millis(10);
+
 impl ClosureService {
-    /// Starts the service: spawns the worker pool and returns the
-    /// handle. Workers idle until submissions arrive.
+    /// Starts the service: spawns the worker pool and the supervisor,
+    /// and returns the handle. Workers idle until submissions arrive.
     pub fn new(config: ServeConfig) -> Self {
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -286,46 +521,60 @@ impl ClosureService {
                 completed: 0,
                 failed: 0,
                 cancelled: 0,
+                worker_panics: 0,
+                jobs_retried: 0,
+                deadline_exceeded: 0,
+                requests_shed: 0,
+                workers_respawned: 0,
+                retry_hist: WireCountHistogram::default(),
                 verify: SessionStats::default(),
                 queue_hist: WireHistogram::default(),
                 wall_hist: WireHistogram::default(),
             }),
             done_cv: Condvar::new(),
             open: AtomicBool::new(true),
+            workers: Mutex::new(Vec::new()),
             config,
         });
-        let handles = (0..workers)
-            .map(|w| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("gmserve-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, w))
-                    .expect("spawn service worker")
-            })
-            .collect();
+        {
+            let mut slots = shared
+                .workers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for w in 0..workers {
+                slots.push(Some(spawn_worker(&shared, w)));
+            }
+        }
+        let supervisor = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("gmserve-supervisor".into())
+                .spawn(move || supervisor_loop(&shared))
+                .expect("spawn service supervisor")
+        };
         ClosureService {
             shared,
-            handles: Mutex::new(handles),
+            supervisor: Mutex::new(Some(supervisor)),
         }
     }
 
     fn state(&self) -> MutexGuard<'_, State> {
-        self.shared.state.lock().expect("service state poisoned")
+        lock_state(&self.shared.state)
     }
 
     /// Submits Verilog source with a wire config (the socket path).
     ///
     /// # Errors
     ///
-    /// Fails on parse, elaboration or target-resolution errors, or
-    /// after shutdown.
+    /// Fails on parse, elaboration or target-resolution errors, when
+    /// admission control sheds the request, or after shutdown.
     pub fn submit_source(
         &self,
         name: &str,
         source: &str,
         wire: &WireConfig,
     ) -> Result<(u64, bool), ServeError> {
-        self.submit_source_traced(name, source, wire, false)
+        self.submit_source_opts(name, source, wire, SubmitOptions::default())
     }
 
     /// [`ClosureService::submit_source`] with an optional per-job
@@ -333,8 +582,7 @@ impl ClosureService {
     ///
     /// # Errors
     ///
-    /// Fails on parse, elaboration or target-resolution errors, or
-    /// after shutdown.
+    /// As [`ClosureService::submit_source`].
     pub fn submit_source_traced(
         &self,
         name: &str,
@@ -342,12 +590,36 @@ impl ClosureService {
         wire: &WireConfig,
         trace: bool,
     ) -> Result<(u64, bool), ServeError> {
-        let module =
-            gm_rtl::parse_verilog(source).map_err(|e| ServeError(format!("parse error: {e}")))?;
+        self.submit_source_opts(
+            name,
+            source,
+            wire,
+            SubmitOptions {
+                trace,
+                ..SubmitOptions::default()
+            },
+        )
+    }
+
+    /// [`ClosureService::submit_source`] with full per-submission
+    /// options (tracing, deadline).
+    ///
+    /// # Errors
+    ///
+    /// As [`ClosureService::submit_source`].
+    pub fn submit_source_opts(
+        &self,
+        name: &str,
+        source: &str,
+        wire: &WireConfig,
+        opts: SubmitOptions,
+    ) -> Result<(u64, bool), ServeError> {
+        let module = gm_rtl::parse_verilog(source)
+            .map_err(|e| ServeError::Rejected(format!("parse error: {e}")))?;
         let config = wire
             .to_engine(&module)
-            .map_err(|e| ServeError(e.to_string()))?;
-        self.submit_module_traced(name, module, config, trace)
+            .map_err(|e| ServeError::Rejected(e.to_string()))?;
+        self.submit_module_opts(name, module, config, opts)
     }
 
     /// Submits a parsed module with a resolved engine config (the
@@ -356,14 +628,15 @@ impl ClosureService {
     ///
     /// # Errors
     ///
-    /// Fails on elaboration errors, or after shutdown.
+    /// Fails on elaboration errors, when admission control sheds the
+    /// request, or after shutdown.
     pub fn submit_module(
         &self,
         name: &str,
         module: Module,
         config: EngineConfig,
     ) -> Result<(u64, bool), ServeError> {
-        self.submit_module_traced(name, module, config, false)
+        self.submit_module_opts(name, module, config, SubmitOptions::default())
     }
 
     /// [`ClosureService::submit_module`] with an optional per-job
@@ -376,7 +649,7 @@ impl ClosureService {
     ///
     /// # Errors
     ///
-    /// Fails on elaboration errors, or after shutdown.
+    /// As [`ClosureService::submit_module`].
     pub fn submit_module_traced(
         &self,
         name: &str,
@@ -384,7 +657,35 @@ impl ClosureService {
         config: EngineConfig,
         trace: bool,
     ) -> Result<(u64, bool), ServeError> {
-        let trace_sink = trace.then(gm_trace::TraceSink::new);
+        self.submit_module_opts(
+            name,
+            module,
+            config,
+            SubmitOptions {
+                trace,
+                ..SubmitOptions::default()
+            },
+        )
+    }
+
+    /// [`ClosureService::submit_module`] with full per-submission
+    /// options (tracing, deadline).
+    ///
+    /// # Errors
+    ///
+    /// As [`ClosureService::submit_module`].
+    pub fn submit_module_opts(
+        &self,
+        name: &str,
+        module: Module,
+        config: EngineConfig,
+        opts: SubmitOptions,
+    ) -> Result<(u64, bool), ServeError> {
+        let trace_sink = opts.trace.then(gm_trace::TraceSink::new);
+        let deadline_ms = opts
+            .deadline_ms
+            .unwrap_or(self.shared.config.default_deadline_ms);
+        let deadline_ms = (deadline_ms > 0).then_some(deadline_ms);
         let canonical = crate::cache::canonical_form(&module);
         let key = crate::cache::key_of(&canonical);
         // Elaboration is the expensive part of a cold submission; do it
@@ -398,13 +699,44 @@ impl ClosureService {
         loop {
             let mut st = self.state();
             if !self.shared.open.load(Ordering::Acquire) {
-                return Err(ServeError("service is shut down".into()));
+                return Err(ServeError::ShutDown);
+            }
+            // Admission control, before any expensive build work: shed
+            // the request while the queue is at its bound. Recomputed
+            // from the table on every pass (O(live jobs) under the
+            // lock), so the gauge can never drift from the truth.
+            let bounds = (
+                self.shared.config.max_queued,
+                self.shared.config.max_queued_bytes,
+            );
+            if bounds.0 > 0 || bounds.1 > 0 {
+                let queued: Vec<&JobRecord> = st
+                    .jobs
+                    .values()
+                    .filter(|j| j.state == JobState::Queued)
+                    .collect();
+                let depth = queued.len();
+                let bytes: usize = queued.iter().map(|j| j.canonical.len()).sum();
+                let over = if bounds.0 > 0 && depth >= bounds.0 {
+                    Some(bounds.0 as u64)
+                } else if bounds.1 > 0 && bytes.saturating_add(canonical.len()) > bounds.1 {
+                    Some(bounds.1 as u64)
+                } else {
+                    None
+                };
+                if let Some(limit) = over {
+                    st.requests_shed += 1;
+                    return Err(ServeError::Overloaded {
+                        queued: depth as u64,
+                        limit,
+                    });
+                }
             }
             if !st.cache.matches(&key, &canonical) && prebuilt.is_none() {
                 drop(st);
                 let module = module.take().expect("module consumed at most once");
                 let elab = gm_rtl::elaborate(&module)
-                    .map_err(|e| ServeError(format!("elaboration error: {e}")))?;
+                    .map_err(|e| ServeError::Rejected(format!("elaboration error: {e}")))?;
                 prebuilt = Some((Arc::new(module), Arc::new(elab)));
                 continue;
             }
@@ -426,6 +758,7 @@ impl ClosureService {
             let id = st.next_id;
             st.next_id += 1;
             st.submitted += 1;
+            let submitted_ns = gm_trace::now_ns();
             st.jobs.insert(
                 id,
                 JobRecord {
@@ -443,7 +776,11 @@ impl ClosureService {
                     error: None,
                     cancel: Arc::new(AtomicBool::new(false)),
                     cached,
-                    submitted_ns: gm_trace::now_ns(),
+                    submitted_ns,
+                    deadline_ms,
+                    deadline_ns: deadline_ms
+                        .map(|ms| submitted_ns.saturating_add(ms.saturating_mul(1_000_000))),
+                    deadline_hit: false,
                     trace: trace_sink,
                 },
             );
@@ -472,7 +809,8 @@ impl ClosureService {
 
     /// Progress events from index `from` on, plus whether the job is
     /// terminal (polling `progress` with the last seen index streams
-    /// per-iteration updates).
+    /// per-iteration updates). A retried job's progress restarts: the
+    /// failed attempt's events are cleared before the retry runs.
     pub fn progress(&self, job: u64, from: usize) -> Option<(Vec<ProgressEvent>, bool)> {
         let st = self.state();
         st.jobs.get(&job).map(|j| {
@@ -519,7 +857,7 @@ impl ClosureService {
                         .shared
                         .done_cv
                         .wait(st)
-                        .expect("service state poisoned");
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             }
         }
@@ -544,8 +882,9 @@ impl ClosureService {
 
     /// Removes and returns a finished job's full outcome — the
     /// in-process form the differential tests compare against
-    /// standalone engine runs.
-    pub fn take_outcome(&self, job: u64) -> Option<Result<ClosureOutcome, EngineError>> {
+    /// standalone engine runs. Failed jobs carry the typed [`JobError`]
+    /// (engine failure, deadline, exhausted retries).
+    pub fn take_outcome(&self, job: u64) -> Option<Result<ClosureOutcome, JobError>> {
         let mut st = self.state();
         st.jobs.get_mut(&job).and_then(|j| j.outcome.take())
     }
@@ -562,17 +901,17 @@ impl ClosureService {
     pub fn trace_json(&self, job: u64) -> Result<String, ServeError> {
         let st = self.state();
         let Some(j) = st.jobs.get(&job) else {
-            return Err(ServeError(format!("unknown job {job}")));
+            return Err(ServeError::Rejected(format!("unknown job {job}")));
         };
         if !terminal(j.state) {
-            return Err(ServeError(format!(
+            return Err(ServeError::Rejected(format!(
                 "job {job} is still {}; traces are exported once terminal",
                 j.state.as_str()
             )));
         }
         match &j.trace {
             Some(sink) => Ok(sink.export_chrome_json()),
-            None => Err(ServeError(format!(
+            None => Err(ServeError::Rejected(format!(
                 "job {job} was not submitted with tracing"
             ))),
         }
@@ -582,7 +921,8 @@ impl ClosureService {
     /// is read under one acquisition of the state lock, and all job
     /// state transitions update their counters under the same lock, so
     /// `submitted == queued + running + completed + failed + cancelled`
-    /// holds in every snapshot.
+    /// holds in every snapshot (shed requests are refused before they
+    /// count as submitted).
     pub fn stats(&self) -> ServeStats {
         let st = self.state();
         let cache = st.cache.stats();
@@ -623,6 +963,12 @@ impl ClosureService {
             verify_frames_encoded: st.verify.frames_encoded,
             verify_frames_reused: st.verify.frames_reused,
             verify_cex_canonicalized: st.verify.cex_canonicalized,
+            worker_panics: st.worker_panics,
+            jobs_retried: st.jobs_retried,
+            jobs_deadline_exceeded: st.deadline_exceeded,
+            requests_shed: st.requests_shed,
+            workers_respawned: st.workers_respawned,
+            job_retries: st.retry_hist.clone(),
             queue_seconds: st.queue_hist.clone(),
             wall_seconds: st.wall_hist.clone(),
         }
@@ -637,12 +983,22 @@ impl ClosureService {
                 source,
                 config,
                 trace,
-            } => match self.submit_source_traced(name, source, config, *trace) {
-                Ok((job, cached)) => Response::Submitted { job, cached },
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                },
-            },
+                deadline_ms,
+            } => {
+                let opts = SubmitOptions {
+                    trace: *trace,
+                    deadline_ms: *deadline_ms,
+                };
+                match self.submit_source_opts(name, source, config, opts) {
+                    Ok((job, cached)) => Response::Submitted { job, cached },
+                    Err(ServeError::Overloaded { queued, limit }) => {
+                        Response::Overloaded { queued, limit }
+                    }
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                }
+            }
             Request::Status { job } => match self.status(*job) {
                 Some(s) => Response::Status {
                     job: *job,
@@ -713,7 +1069,7 @@ impl ClosureService {
                     message: e.to_string(),
                 },
             },
-            Request::Stats => Response::Stats(self.stats()),
+            Request::Stats => Response::Stats(Box::new(self.stats())),
             Request::Metrics => Response::Metrics {
                 text: self.stats().to_prometheus(),
             },
@@ -737,16 +1093,65 @@ impl ClosureService {
         self.shared.queues.notify_all();
     }
 
-    /// Stops accepting submissions, drains every queued job, and joins
-    /// the workers. Idempotent; also invoked by `Drop`.
+    /// Stops accepting submissions, drains queued and running jobs, and
+    /// joins the supervisor and workers. With a nonzero
+    /// [`ServeConfig::drain_timeout_ms`] the drain is *bounded*: jobs
+    /// still live when the timeout expires are cancelled through their
+    /// cooperative tokens, so shutdown cannot hang on a stuck job.
+    /// Idempotent; also invoked by `Drop`.
     pub fn shutdown(&self) {
         self.begin_shutdown();
-        let handles: Vec<_> = self
-            .handles
+        let supervisor = self
+            .supervisor
             .lock()
-            .expect("service handles poisoned")
-            .drain(..)
-            .collect();
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(h) = supervisor {
+            let _ = h.join();
+        }
+        let drain_ms = self.shared.config.drain_timeout_ms;
+        if drain_ms > 0 {
+            let deadline = Instant::now() + Duration::from_millis(drain_ms);
+            let mut st = self.state();
+            while st.jobs.values().any(|j| !terminal(j.state)) {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    // Timed out: cancel everything still live. Running
+                    // jobs stop mid-iteration; queued ones are retired
+                    // here so the joins below never wait on them.
+                    let live: Vec<u64> = st
+                        .jobs
+                        .iter()
+                        .filter(|(_, j)| !terminal(j.state))
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for id in live {
+                        if let Some(job) = st.jobs.get_mut(&id) {
+                            job.cancel.store(true, Ordering::Release);
+                        }
+                        st.cancel_queued(id, self.shared.config.retain_jobs);
+                    }
+                    break;
+                }
+                st = self
+                    .shared
+                    .done_cv
+                    .wait_timeout(st, left)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+            drop(st);
+            self.shared.done_cv.notify_all();
+            self.shared.queues.notify_all();
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut slots = self
+                .shared
+                .workers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            slots.iter_mut().filter_map(Option::take).collect()
+        };
         for h in handles {
             let _ = h.join();
         }
@@ -770,8 +1175,22 @@ impl Drop for ClosureService {
     }
 }
 
+fn spawn_worker(shared: &Arc<Shared>, w: usize) -> JoinHandle<()> {
+    let shared = shared.clone();
+    std::thread::Builder::new()
+        .name(format!("gmserve-worker-{w}"))
+        .spawn(move || worker_loop(&shared, w))
+        .expect("spawn service worker")
+}
+
 fn worker_loop(shared: &Arc<Shared>, w: usize) {
     loop {
+        // Injected worker death: return without touching the queue —
+        // unclaimed jobs stay queued for stealers and for the slot's
+        // supervisor-respawned replacement.
+        if gm_fault::fire("worker.exit") {
+            return;
+        }
         match shared.queues.pop(w) {
             Some(id) => run_job(shared, id),
             None => {
@@ -784,14 +1203,177 @@ fn worker_loop(shared: &Arc<Shared>, w: usize) {
     }
 }
 
-/// Executes one job end to end on the claiming worker.
+/// The supervisor: enforces deadlines and respawns dead workers on a
+/// fixed tick until shutdown begins.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    while shared.open.load(Ordering::Acquire) {
+        enforce_deadlines(shared);
+        respawn_dead_workers(shared);
+        std::thread::sleep(SUPERVISOR_TICK);
+    }
+}
+
+/// Marks every live job past its deadline: raises the cooperative
+/// cancel token (running jobs stop mid-iteration and retire as
+/// [`JobError::DeadlineExceeded`]) and retires still-queued ones on the
+/// spot. Marking and queued-expiry happen under one lock acquisition,
+/// so the claim path can never observe a queued job with
+/// `deadline_hit` set.
+fn enforce_deadlines(shared: &Arc<Shared>) {
+    let now = gm_trace::now_ns();
+    let mut st = lock_state(&shared.state);
+    let expired: Vec<u64> = st
+        .jobs
+        .iter()
+        .filter(|(_, j)| {
+            !terminal(j.state) && !j.deadline_hit && j.deadline_ns.is_some_and(|d| now >= d)
+        })
+        .map(|(id, _)| *id)
+        .collect();
+    if expired.is_empty() {
+        return;
+    }
+    let mut retired = false;
+    for id in expired {
+        let Some(job) = st.jobs.get_mut(&id) else {
+            continue;
+        };
+        job.deadline_hit = true;
+        job.cancel.store(true, Ordering::Release);
+        if job.state == JobState::Queued {
+            st.expire_queued(id, shared.config.retain_jobs);
+            retired = true;
+        }
+    }
+    drop(st);
+    if retired {
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Joins and respawns any worker slot whose thread has died. The queue
+/// structure outlives the thread, so the replacement resumes exactly
+/// where the dead worker stopped.
+fn respawn_dead_workers(shared: &Arc<Shared>) {
+    let mut slots = shared
+        .workers
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    for w in 0..slots.len() {
+        let dead = slots[w].as_ref().is_some_and(JoinHandle::is_finished);
+        if !dead || !shared.open.load(Ordering::Acquire) {
+            continue;
+        }
+        if let Some(old) = slots[w].take() {
+            let _ = old.join();
+        }
+        slots[w] = Some(spawn_worker(shared, w));
+        lock_state(&shared.state).workers_respawned += 1;
+    }
+}
+
+/// One attempt's result, handed back to the retry loop.
+struct Attempt {
+    outcome: Result<ClosureOutcome, AttemptError>,
+    /// The checker reclaimed from the engine, to park back warm.
+    reclaimed: Option<Checker>,
+    /// A compiled tape this attempt built (parked per design).
+    built_compiled: Option<Arc<CompiledModule>>,
+    /// Whether the run observed the cancel token and stopped early.
+    observed_cancel: bool,
+}
+
+/// Why one attempt failed — the retry loop's classification input.
+enum AttemptError {
+    /// A real engine failure; retried only when
+    /// [`EngineError::retryable`] says a rerun could differ.
+    Engine(EngineError),
+    /// A serve-layer injected fault (always retryable).
+    Fault(&'static str),
+}
+
+/// How the retry loop ended; consumed by the retire block.
+enum Finish {
+    Finished {
+        outcome: ClosureOutcome,
+        was_cancelled: bool,
+        reclaimed: Option<Checker>,
+        built_compiled: Option<Arc<CompiledModule>>,
+    },
+    Error {
+        error: JobError,
+        reclaimed: Option<Checker>,
+        built_compiled: Option<Arc<CompiledModule>>,
+    },
+    /// Cancelled between attempts — no partial outcome to keep.
+    CancelledBare,
+}
+
+/// Renders a caught panic payload (`&str` / `String` are what `panic!`
+/// produces; anything else is opaque).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Sleeps the backoff delay in short slices, polling the cancel token
+/// so a cancellation or deadline never waits out a long backoff.
+/// Timing only — the retry *decision* and the delay itself were fixed
+/// by the pure [`RetryPolicy::backoff_ms`] before this call.
+fn wait_backoff(cancel: &AtomicBool, ms: u64) {
+    if ms == 0 {
+        return;
+    }
+    let deadline = Instant::now() + Duration::from_millis(ms);
+    loop {
+        if cancel.load(Ordering::Acquire) {
+            return;
+        }
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        std::thread::sleep(left.min(Duration::from_millis(5)));
+    }
+}
+
+/// If the job was cancelled (or its deadline expired) between attempts,
+/// the [`Finish`] that ends it; `None` to keep going.
+fn cancelled_finish(shared: &Arc<Shared>, id: u64, cancel: &AtomicBool) -> Option<Finish> {
+    if !cancel.load(Ordering::Acquire) {
+        return None;
+    }
+    let st = lock_state(&shared.state);
+    let deadline = st
+        .jobs
+        .get(&id)
+        .filter(|j| j.deadline_hit)
+        .map(|j| j.deadline_ms.unwrap_or(0));
+    drop(st);
+    Some(match deadline {
+        Some(deadline_ms) => Finish::Error {
+            error: JobError::DeadlineExceeded { deadline_ms },
+            reclaimed: None,
+            built_compiled: None,
+        },
+        None => Finish::CancelledBare,
+    })
+}
+
+/// Executes one job end to end on the claiming worker: a bounded retry
+/// loop of panic-isolated attempts, then a single retire.
 fn run_job(shared: &Arc<Shared>, id: u64) {
     // Claim: move the job's artifacts out of the record, stamp the
     // claim on the trace clock and sample the queue-latency histogram
     // (real claims only — a cancelled-while-queued job never waited a
     // full queue turn).
     let (claim, started_ns) = {
-        let mut st = shared.state.lock().expect("service state poisoned");
+        let mut st = lock_state(&shared.state);
         let Some(job) = st.jobs.get_mut(&id) else {
             return;
         };
@@ -845,12 +1427,223 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
         job_span.arg("job", id);
     }
 
+    // The attempt loop. The first attempt consumes the warm artifacts
+    // checked out at submission; retries run from scratch (the cache
+    // entry is invalidated first, so a poisoned checker or tape cannot
+    // carry a fault into the retry).
+    let policy = shared.config.retry;
+    let mut retries: u32 = 0;
+    let mut warm_checker = checker;
+    let mut warm_compiled = compiled;
+    let finish = loop {
+        if retries > 0 {
+            // Between attempts: a raised cancel or an expired deadline
+            // ends the job without another engine run. (The first
+            // attempt is covered by the claim's check above.)
+            if let Some(finish) = cancelled_finish(shared, id, &cancel) {
+                break finish;
+            }
+        }
+        let attempt_checker = warm_checker.take();
+        let attempt_compiled = warm_compiled.take();
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_attempt(
+                shared,
+                id,
+                &module,
+                &elab,
+                attempt_checker,
+                attempt_compiled,
+                config.clone(),
+                &cancel,
+            )
+        }));
+        // Every break is terminal; falling through means one retryable
+        // failure, described by `failure`.
+        let failure = match caught {
+            Ok(attempt) => match attempt.outcome {
+                Ok(outcome) => {
+                    let was_cancelled = attempt.observed_cancel || outcome.interrupted;
+                    break Finish::Finished {
+                        outcome,
+                        was_cancelled,
+                        reclaimed: attempt.reclaimed,
+                        built_compiled: attempt.built_compiled,
+                    };
+                }
+                Err(AttemptError::Engine(e)) if !e.retryable() => {
+                    break Finish::Error {
+                        error: JobError::Engine(e),
+                        reclaimed: attempt.reclaimed,
+                        built_compiled: attempt.built_compiled,
+                    };
+                }
+                Err(AttemptError::Engine(e)) => e.to_string(),
+                Err(AttemptError::Fault(point)) => format!("injected fault at {point}"),
+            },
+            Err(payload) => {
+                // The attempt panicked; the job fails or retries, the
+                // worker survives.
+                let message = panic_message(payload);
+                lock_state(&shared.state).worker_panics += 1;
+                format!("worker panic: {message}")
+            }
+        };
+        if let Some(finish) = cancelled_finish(shared, id, &cancel) {
+            break finish;
+        }
+        if !policy.allows(retries + 1) {
+            break Finish::Error {
+                error: JobError::RetriesExhausted {
+                    attempts: retries + 1,
+                    last: failure,
+                },
+                reclaimed: None,
+                built_compiled: None,
+            };
+        }
+        retries += 1;
+        {
+            let mut st = lock_state(&shared.state);
+            // The failed attempt may have poisoned the design's warm
+            // state; drop the entry so the retry rebuilds from source.
+            st.cache.invalidate(&key);
+            st.jobs_retried += 1;
+            if let Some(job) = st.jobs.get_mut(&id) {
+                // The retry restarts the run; stale events from the
+                // failed attempt would corrupt the progress stream.
+                job.progress.clear();
+            }
+        }
+        wait_backoff(&cancel, policy.backoff_ms(id, retries));
+    };
+
+    // Close the job span and detach the recorder *before* taking the
+    // retire lock: the trace must be fully flushed into the sink before
+    // any client can observe the terminal state (and fetch the export).
+    if job_span.is_active() {
+        job_span.arg(
+            "cancelled",
+            matches!(
+                &finish,
+                Finish::Finished {
+                    was_cancelled: true,
+                    ..
+                } | Finish::CancelledBare
+            ),
+        );
+        job_span.arg("failed", matches!(&finish, Finish::Error { .. }));
+        job_span.arg("retries", u64::from(retries));
+    }
+    drop(job_span);
+    drop(trace_guard);
+
+    // Retire: record the result, park the warm artifacts, classify.
+    let mut st = lock_state(&shared.state);
+    st.wall_hist
+        .observe_ns(gm_trace::now_ns().saturating_sub(started_ns));
+    st.retry_hist.observe(u64::from(retries));
+    match finish {
+        Finish::Finished {
+            outcome,
+            was_cancelled,
+            reclaimed,
+            built_compiled,
+        } => {
+            st.park_artifacts(&shared.config, &key, &canonical, reclaimed, built_compiled);
+            st.verify += outcome.verification_total();
+            let job = st
+                .jobs
+                .get_mut(&id)
+                .expect("running jobs are never retired");
+            // A cancel raised by the deadline supervisor is a deadline
+            // failure, not a client cancellation: the partial outcome
+            // is discarded for the typed error.
+            if was_cancelled && job.deadline_hit {
+                let error = JobError::DeadlineExceeded {
+                    deadline_ms: job.deadline_ms.unwrap_or(0),
+                };
+                job.error = Some(error.to_string());
+                job.outcome = Some(Err(error));
+                job.state = JobState::Failed;
+                st.failed += 1;
+                st.deadline_exceeded += 1;
+            } else if was_cancelled {
+                job.outcome = Some(Ok(outcome));
+                job.state = JobState::Cancelled;
+                st.cancelled += 1;
+            } else {
+                job.outcome = Some(Ok(outcome));
+                job.state = JobState::Done;
+                st.completed += 1;
+            }
+        }
+        Finish::Error {
+            error,
+            reclaimed,
+            built_compiled,
+        } => {
+            st.park_artifacts(&shared.config, &key, &canonical, reclaimed, built_compiled);
+            if matches!(error, JobError::DeadlineExceeded { .. }) {
+                st.deadline_exceeded += 1;
+            }
+            st.failed += 1;
+            let job = st
+                .jobs
+                .get_mut(&id)
+                .expect("running jobs are never retired");
+            job.error = Some(error.to_string());
+            job.outcome = Some(Err(error));
+            job.state = JobState::Failed;
+        }
+        Finish::CancelledBare => {
+            st.cancelled += 1;
+            let job = st
+                .jobs
+                .get_mut(&id)
+                .expect("running jobs are never retired");
+            job.state = JobState::Cancelled;
+        }
+    }
+    st.retire(id, shared.config.retain_jobs);
+    shared.done_cv.notify_all();
+}
+
+/// One panic-isolated attempt: build (or reuse) the artifacts, run the
+/// engine, hand everything back for the retry loop to classify.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    shared: &Arc<Shared>,
+    id: u64,
+    module: &Arc<Module>,
+    elab: &Arc<Elab>,
+    checker: Option<Checker>,
+    compiled: Option<Arc<CompiledModule>>,
+    config: EngineConfig,
+    cancel: &Arc<AtomicBool>,
+) -> Attempt {
+    let inert = |outcome| Attempt {
+        outcome,
+        reclaimed: None,
+        built_compiled: None,
+        observed_cancel: false,
+    };
+    if gm_fault::fire("worker.panic") {
+        panic!("injected fault at worker.panic");
+    }
+    if gm_fault::fire("cache.checkout_fail") {
+        // Simulated checkout corruption: the checked-out warm artifacts
+        // are dropped, the retry invalidates the cache entry and
+        // rebuilds the design from source.
+        return inert(Err(AttemptError::Fault("cache.checkout_fail")));
+    }
+
     // Build (or reuse) the checker and run the engine outside the lock.
     let checker_result = match checker {
         Some(c) => Ok(c),
         None => {
             let _span = gm_trace::span("serve", "serve.build_checker");
-            Checker::from_elab(&module, &elab)
+            Checker::from_elab(module, elab)
         }
     };
     // Reuse the design's parked compiled tape, or build (and later
@@ -871,7 +1664,7 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             if span.is_active() {
                 span.arg("probes", opts.probes);
             }
-            let c = Arc::new(CompiledModule::with_elab_opts(&module, &elab, opts));
+            let c = Arc::new(CompiledModule::with_elab_opts(module, elab, opts));
             built_compiled = Some(c.clone());
             c
         }))
@@ -886,7 +1679,7 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
     let (outcome, reclaimed) = match checker_result {
         Err(e) => (Err(EngineError::from(e)), None),
         Ok(checker) => {
-            match Engine::with_artifacts_compiled(&module, &elab, checker, compiled, config) {
+            match Engine::with_artifacts_compiled(module, elab, checker, compiled, config) {
                 // `with_artifacts_compiled` is infallible today (its
                 // `Result` covers future fallible mining-spec
                 // construction); if it ever gains real failure modes it
@@ -899,10 +1692,7 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
                     let job_cancel = cancel.clone();
                     let (outcome, checker) =
                         engine.with_cancel(cancel.clone()).run_reclaim(|report| {
-                            let mut st = shared_for_progress
-                                .state
-                                .lock()
-                                .expect("service state poisoned");
+                            let mut st = lock_state(&shared_for_progress.state);
                             if let Some(job) = st.jobs.get_mut(&id) {
                                 job.progress.push(ProgressEvent::from_report(report));
                             }
@@ -916,63 +1706,12 @@ fn run_job(shared: &Arc<Shared>, id: u64) {
             }
         }
     };
-
-    // Close the job span and detach the recorder *before* taking the
-    // retire lock: the trace must be fully flushed into the sink before
-    // any client can observe the terminal state (and fetch the export).
-    let was_cancelled = observed_cancel || matches!(&outcome, Ok(o) if o.interrupted);
-    if job_span.is_active() {
-        job_span.arg("cancelled", was_cancelled);
-        job_span.arg("failed", outcome.is_err());
+    Attempt {
+        outcome: outcome.map_err(AttemptError::Engine),
+        reclaimed,
+        built_compiled,
+        observed_cancel,
     }
-    drop(job_span);
-    drop(trace_guard);
-
-    // Retire: record the result, park the warm artifacts.
-    let mut st = shared.state.lock().expect("service state poisoned");
-    st.wall_hist
-        .observe_ns(gm_trace::now_ns().saturating_sub(started_ns));
-    if let Some(mut checker) = reclaimed {
-        if shared.config.warm_memo {
-            // Warm memos persist across requests — bound them so a
-            // long-lived daemon's parked checkers cannot grow forever.
-            checker = checker.with_memo_capacity(shared.config.warm_memo_capacity);
-        } else {
-            checker.reset_for_reuse();
-        }
-        st.cache.park(&key, &canonical, checker);
-    }
-    if let Some(c) = built_compiled {
-        st.cache.park_compiled(&key, &canonical, c);
-    }
-    if let Ok(o) = &outcome {
-        st.verify += o.verification_total();
-    }
-    match outcome {
-        Ok(outcome) => {
-            if was_cancelled {
-                st.cancelled += 1;
-            } else {
-                st.completed += 1;
-            }
-            let job = st.jobs.get_mut(&id).expect("running job in table");
-            job.outcome = Some(Ok(outcome));
-            job.state = if was_cancelled {
-                JobState::Cancelled
-            } else {
-                JobState::Done
-            };
-        }
-        Err(e) => {
-            st.failed += 1;
-            let job = st.jobs.get_mut(&id).expect("running job in table");
-            job.error = Some(e.to_string());
-            job.outcome = Some(Err(e));
-            job.state = JobState::Failed;
-        }
-    }
-    st.retire(id, shared.config.retain_jobs);
-    shared.done_cv.notify_all();
 }
 
 #[cfg(test)]
@@ -1127,7 +1866,12 @@ mod tests {
         let status = service.status(job).unwrap();
         assert!(status.error.is_some(), "{status:?}");
         assert!(service.summary(job).is_none());
-        assert!(service.take_outcome(job).unwrap().is_err());
+        // Deterministic engine failures are typed and never retried.
+        match service.take_outcome(job).unwrap() {
+            Err(JobError::Engine(_)) => {}
+            other => panic!("expected a typed engine error, got {other:?}"),
+        }
+        assert_eq!(service.stats().jobs_retried, 0);
     }
 
     #[test]
@@ -1172,6 +1916,10 @@ mod tests {
         assert_eq!(stats.queue_seconds.count(), 2);
         assert_eq!(stats.wall_seconds.count(), 2);
         assert!(stats.wall_seconds.sum_ns > 0);
+        // Fault-free runs still populate the retry histogram's zero
+        // bucket: one observation per retired job.
+        assert_eq!(stats.job_retries.count(), 2);
+        assert_eq!(stats.job_retries.sum, 0);
         service.shutdown();
     }
 
@@ -1186,6 +1934,7 @@ mod tests {
             source: "module w(input a, output y); assign y = ~a; endmodule".into(),
             config: WireConfig::default(),
             trace: true,
+            deadline_ms: None,
         });
         let Response::Submitted { job, .. } = response else {
             panic!("unexpected response {response:?}");
@@ -1231,15 +1980,44 @@ mod tests {
                 "shutdown must finish accepted work"
             );
         }
-        assert!(
-            service
-                .submit_module(
-                    "late",
-                    parse("module z(input a, output y); assign y = a; endmodule"),
-                    tiny_config()
-                )
-                .is_err(),
+        assert_eq!(
+            service.submit_module(
+                "late",
+                parse("module z(input a, output y); assign y = a; endmodule"),
+                tiny_config()
+            ),
+            Err(ServeError::ShutDown),
             "submissions after shutdown are rejected"
         );
+    }
+
+    #[test]
+    fn explicit_zero_deadline_opts_out_of_the_server_default() {
+        // A server default deadline generous enough that a tiny job
+        // can't trip it; the point here is the resolution logic.
+        let service = ClosureService::new(ServeConfig {
+            workers: 1,
+            default_deadline_ms: 120_000,
+            ..ServeConfig::default()
+        });
+        let src = "module o(input a, output y); assign y = a; endmodule";
+        let (defaulted, _) = service
+            .submit_module("defaulted", parse(src), tiny_config())
+            .unwrap();
+        let (opted_out, _) = service
+            .submit_module_opts(
+                "opted-out",
+                parse(src),
+                tiny_config(),
+                SubmitOptions {
+                    deadline_ms: Some(0),
+                    ..SubmitOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(service.wait(defaulted), Some(JobState::Done));
+        assert_eq!(service.wait(opted_out), Some(JobState::Done));
+        assert_eq!(service.stats().jobs_deadline_exceeded, 0);
+        service.shutdown();
     }
 }

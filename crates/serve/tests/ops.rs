@@ -269,6 +269,32 @@ fn concurrent_metrics_scrapes_are_internally_consistent() {
                             m["gmserve_jobs_submitted_total"], lifecycle,
                             "scrape caught counters mid-transition"
                         );
+                        // The resilience families render in every
+                        // scrape (zeros included) so dashboards can
+                        // rely on them, and the retry histogram is
+                        // internally consistent: +Inf is the count,
+                        // and only worker-retired jobs are observed.
+                        for counter in [
+                            "gmserve_worker_panics_total",
+                            "gmserve_jobs_retried_total",
+                            "gmserve_jobs_deadline_exceeded_total",
+                            "gmserve_requests_shed_total",
+                            "gmserve_workers_respawned_total",
+                        ] {
+                            assert!(m.contains_key(counter), "{counter} missing from scrape");
+                        }
+                        let retired = m["gmserve_jobs_completed_total"]
+                            + m["gmserve_jobs_failed_total"]
+                            + m["gmserve_jobs_cancelled_total"];
+                        assert_eq!(
+                            m["gmserve_job_retries_bucket{le=\"+Inf\"}"],
+                            m["gmserve_job_retries_count"],
+                            "+Inf bucket must equal the histogram count"
+                        );
+                        assert!(
+                            m["gmserve_job_retries_count"] <= retired,
+                            "retry observations outnumber retired jobs"
+                        );
                         scrapes += 1;
                     }
                     scrapes
